@@ -1,0 +1,55 @@
+//! Per-engine runtime on a via-layer clip (the "RT" column of Table 1).
+//!
+//! Every engine optimises the same V1-style clip under the fast lithography
+//! configuration; the measured times reproduce the paper's runtime ordering
+//! (one-shot DAMO fastest, iterative engines slower).
+
+use camo::{CamoConfig, CamoEngine};
+use camo_baselines::{CalibreLikeOpc, DamoLikeOpc, OpcConfig, OpcEngine, PixelIlt, RlOpc, RlOpcConfig};
+use camo_geometry::FeatureConfig;
+use camo_litho::{LithoConfig, LithoSimulator};
+use camo_workloads::via_test_set;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn engine_runtimes(c: &mut Criterion) {
+    let case = &via_test_set()[0];
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let mut opc = OpcConfig::via_layer();
+    opc.max_steps = 5;
+
+    let mut group = c.benchmark_group("table1_runtime");
+    group.sample_size(10);
+
+    group.bench_function("damo_like_one_shot", |b| {
+        let mut engine = DamoLikeOpc::new(opc.clone());
+        b.iter(|| engine.optimize(&case.clip, &sim))
+    });
+    group.bench_function("calibre_like_iterative", |b| {
+        let mut engine = CalibreLikeOpc::new(opc.clone());
+        b.iter(|| engine.optimize(&case.clip, &sim))
+    });
+    group.bench_function("rl_opc_inference", |b| {
+        let mut engine = RlOpc::new(
+            opc.clone(),
+            RlOpcConfig {
+                features: FeatureConfig { window: 300, tensor_size: 8 },
+                hidden: 16,
+                ..RlOpcConfig::default()
+            },
+        );
+        b.iter(|| engine.optimize(&case.clip, &sim))
+    });
+    group.bench_function("camo_inference", |b| {
+        let mut engine = CamoEngine::new(opc.clone(), CamoConfig::fast());
+        b.iter(|| engine.optimize(&case.clip, &sim))
+    });
+    group.bench_function("pixel_ilt", |b| {
+        let mut engine = PixelIlt::new(opc.clone());
+        engine.iterations = 5;
+        b.iter(|| engine.optimize(&case.clip, &sim))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_runtimes);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Per-engine runtime on a metal-layer clip (the "RT" column of Table 2),
+//! plus the modulator's own overhead.
+
+use camo::{CamoConfig, CamoEngine, Modulator};
+use camo_baselines::{CalibreLikeOpc, OpcConfig, OpcEngine, RlOpc, RlOpcConfig};
+use camo_geometry::FeatureConfig;
+use camo_litho::{LithoConfig, LithoSimulator};
+use camo_workloads::metal_test_set;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn engine_runtimes(c: &mut Criterion) {
+    // M8 is the smallest metal clip; it keeps the bench quick while still
+    // exercising the metal fragmentation path.
+    let case = &metal_test_set()[7];
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let mut opc = OpcConfig::metal_layer();
+    opc.max_steps = 5;
+
+    let mut group = c.benchmark_group("table2_runtime");
+    group.sample_size(10);
+
+    group.bench_function("calibre_like_iterative", |b| {
+        let mut engine = CalibreLikeOpc::new(opc.clone());
+        b.iter(|| engine.optimize(&case.clip, &sim))
+    });
+    group.bench_function("rl_opc_inference", |b| {
+        let mut engine = RlOpc::new(
+            opc.clone(),
+            RlOpcConfig {
+                features: FeatureConfig { window: 300, tensor_size: 8 },
+                hidden: 16,
+                ..RlOpcConfig::default()
+            },
+        );
+        b.iter(|| engine.optimize(&case.clip, &sim))
+    });
+    group.bench_function("camo_inference", |b| {
+        let mut engine = CamoEngine::new(opc.clone(), CamoConfig::fast());
+        b.iter(|| engine.optimize(&case.clip, &sim))
+    });
+    group.bench_function("camo_inference_no_modulator", |b| {
+        let mut engine = CamoEngine::new(opc.clone(), CamoConfig::fast().without_modulator());
+        b.iter(|| engine.optimize(&case.clip, &sim))
+    });
+
+    let modulator = Modulator::paper_default();
+    group.bench_function("modulator_preference", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for epe in [-8.0, -3.0, 0.0, 2.0, 7.0] {
+                acc += modulator.preference(epe)[4];
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_runtimes);
+criterion_main!(benches);

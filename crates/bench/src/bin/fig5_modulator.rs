@@ -1,0 +1,52 @@
+//! Reproduces Figure 5 of the CAMO paper: EPE trajectories with and without
+//! the OPC-inspired modulator on metal cases M2 and M4.
+//!
+//! Run with `cargo run -p camo-bench --release --bin fig5_modulator`
+//! (append `--quick` for a reduced smoke-test run).
+
+use camo_bench::paper::FIG5_PAPER_CONVERGED_EPE;
+use camo_bench::{render_table, run_modulator_ablation, ExperimentScale, ModulatorTrace};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!("== Figure 5: EPE trajectories with / without the modulator ==");
+    println!("scale: {scale:?}\n");
+    let traces = run_modulator_ablation(scale);
+
+    for trace in &traces {
+        println!("case {}:", trace.case);
+        let steps = trace.with_modulator.len().max(trace.without_modulator.len());
+        let rows: Vec<Vec<String>> = (0..steps)
+            .map(|t| {
+                vec![
+                    t.to_string(),
+                    trace
+                        .with_modulator
+                        .get(t)
+                        .map(|v| format!("{v:.0}"))
+                        .unwrap_or_else(|| "-".into()),
+                    trace
+                        .without_modulator
+                        .get(t)
+                        .map(|v| format!("{v:.0}"))
+                        .unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["step", "EPE w/ modulator (nm)", "EPE w/o modulator (nm)"], &rows)
+        );
+        println!(
+            "  fluctuation w/ modulator: {:.0} nm, w/o modulator: {:.0} nm",
+            ModulatorTrace::fluctuation(&trace.with_modulator[1..]),
+            ModulatorTrace::fluctuation(&trace.without_modulator[1..]),
+        );
+        println!("  converged EPE w/ modulator: {:.0} nm\n", trace.converged_epe());
+    }
+
+    println!("-- Paper reference --");
+    for (case, epe) in FIG5_PAPER_CONVERGED_EPE {
+        println!("  {case}: converges to at most {epe:.0} nm with the modulator; fluctuates without it");
+    }
+}

@@ -1,0 +1,75 @@
+//! Reproduces Figure 6 of the CAMO paper: target pattern, optimised mask,
+//! printed contour and PV band for a metal case (M10 by default).
+//!
+//! Run with `cargo run -p camo-bench --release --bin fig6_visualize`
+//! (append `--quick` to use a smaller case and coarser lithography).
+//! PGM images are written to `target/fig6/`.
+
+use camo::{CamoEngine, CamoTrainer};
+use camo_baselines::{OpcConfig, OpcEngine};
+use camo_bench::viz::{ascii_preview, write_pgm};
+use camo_bench::ExperimentScale;
+use camo_geometry::{Clip, Raster};
+use camo_litho::{LithoSimulator, ProcessCorner};
+use camo_workloads::{metal_test_set, metal_training_set};
+use std::path::PathBuf;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!("== Figure 6: OPC result visualisation ==");
+    println!("scale: {scale:?}\n");
+
+    let simulator = LithoSimulator::new(scale.litho());
+    let opc = OpcConfig::metal_layer();
+    let metal = metal_test_set();
+    let case = match scale {
+        ExperimentScale::Quick => &metal[7], // the small M8 clip
+        ExperimentScale::Full => &metal[9],  // M10 as in the paper
+    };
+    println!("case: {} ({} measure points)", case.clip.name(), case.measure_points);
+
+    // Train CAMO briefly and optimise the case.
+    let train: Vec<Clip> = metal_training_set().iter().map(|c| c.clip.clone()).collect();
+    let train = match scale {
+        ExperimentScale::Quick => train[..1].to_vec(),
+        ExperimentScale::Full => train,
+    };
+    let mut engine = CamoEngine::new(opc, scale.camo_config());
+    let mut trainer = CamoTrainer::new(&engine);
+    trainer.train(&mut engine, &train, &simulator);
+    let outcome = engine.optimize(&case.clip, &simulator);
+    println!(
+        "final EPE = {:.0} nm, PV band = {:.0} nm^2, {} steps\n",
+        outcome.total_epe(),
+        outcome.pv_band(),
+        outcome.steps
+    );
+
+    // (a) target, (b) mask, (c) printed contour, (d) PV band.
+    let pixel = simulator.config().pixel_size;
+    let mut target = Raster::new(case.clip.region(), pixel);
+    for p in case.clip.targets() {
+        target.fill_polygon(p, 1.0);
+    }
+    let mask_image = simulator.rasterize(&outcome.mask);
+    let printed = simulator.printed(&outcome.mask, ProcessCorner::nominal());
+    let pv_band = simulator.pv_band_image(&outcome.mask);
+
+    let out_dir = PathBuf::from("target/fig6");
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    for (name, image) in [
+        ("a_target", &target),
+        ("b_mask", &mask_image),
+        ("c_contour", &printed),
+        ("d_pvband", &pv_band),
+    ] {
+        let path = out_dir.join(format!("{name}.pgm"));
+        write_pgm(image, &path).expect("write PGM");
+        println!("wrote {}", path.display());
+    }
+
+    println!("\n(a) target pattern:\n{}", ascii_preview(&target, 48));
+    println!("(b) optimised mask:\n{}", ascii_preview(&mask_image, 48));
+    println!("(c) printed contour (nominal):\n{}", ascii_preview(&printed, 48));
+    println!("(d) PV band:\n{}", ascii_preview(&pv_band, 48));
+}

@@ -1,0 +1,79 @@
+//! Reproduces Table 1 of the CAMO paper: via-layer OPC comparison.
+//!
+//! Run with `cargo run -p camo-bench --release --bin table1_via`
+//! (append `--quick` for a reduced smoke-test run).
+
+use camo_bench::paper::{TABLE1_PAPER, TABLE1_PAPER_RATIOS};
+use camo_bench::{format_ratio_row, format_row, render_table, run_via_experiment, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!("== Table 1: OPC results on via layer patterns (EPE nm, PVB nm^2, RT s) ==");
+    println!("scale: {scale:?}\n");
+    let summary = run_via_experiment(scale);
+
+    // Per-case table for every engine.
+    let mut headers = vec!["Design".to_string(), "Via #".to_string()];
+    for row in &summary.rows {
+        headers.push(format!("{} EPE", row.engine));
+        headers.push(format!("{} PVB", row.engine));
+        headers.push(format!("{} RT", row.engine));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (i, name) in summary.case_names.iter().enumerate() {
+        let mut row = vec![name.clone(), summary.case_sizes[i].to_string()];
+        for engine in &summary.rows {
+            let c = &engine.cases[i];
+            row.push(format!("{:.0}", c.epe));
+            row.push(format!("{:.0}", c.pvb));
+            row.push(format!("{:.2}", c.runtime));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&header_refs, &rows));
+
+    // Summary (Sum + Ratio) in the paper's layout.
+    let camo = summary.camo_row();
+    let reference = (camo.epe_sum(), camo.pvb_sum(), camo.runtime_sum());
+    let mut sum_rows = Vec::new();
+    for engine in &summary.rows {
+        sum_rows.push(format_row(
+            &engine.engine,
+            engine.epe_sum(),
+            engine.pvb_sum(),
+            engine.runtime_sum(),
+        ));
+        sum_rows.push(format_ratio_row(
+            &format!("{} (ratio)", engine.engine),
+            (engine.epe_sum(), engine.pvb_sum(), engine.runtime_sum()),
+            reference,
+        ));
+    }
+    println!("{}", render_table(&["Engine", "EPE sum", "PVB sum", "RT sum"], &sum_rows));
+
+    println!("-- Paper reference (Table 1, Sum / Ratio rows) --");
+    let paper_rows: Vec<Vec<String>> = TABLE1_PAPER
+        .iter()
+        .map(|r| format_row(r.engine, r.epe_sum, r.pvb_sum, r.runtime_sum))
+        .collect();
+    println!("{}", render_table(&["Engine", "EPE sum", "PVB sum", "RT sum"], &paper_rows));
+    let ratio_rows: Vec<Vec<String>> = TABLE1_PAPER_RATIOS
+        .iter()
+        .map(|(n, e, p, t)| vec![n.to_string(), format!("{e:.2}"), format!("{p:.2}"), format!("{t:.2}")])
+        .collect();
+    println!("{}", render_table(&["Engine", "EPE ratio", "PVB ratio", "RT ratio"], &ratio_rows));
+
+    // Shape check: does CAMO win on EPE as in the paper?
+    let camo_epe = camo.epe_sum();
+    let best_other = summary
+        .rows
+        .iter()
+        .filter(|r| r.engine != "CAMO")
+        .map(|r| r.epe_sum())
+        .fold(f64::MAX, f64::min);
+    println!(
+        "shape check: CAMO EPE sum = {camo_epe:.0} nm, best baseline = {best_other:.0} nm -> {}",
+        if camo_epe <= best_other { "CAMO wins (matches paper)" } else { "CAMO does not win (differs from paper)" }
+    );
+}

@@ -1,0 +1,78 @@
+//! Reproduces Table 2 of the CAMO paper: metal-layer OPC comparison.
+//!
+//! Run with `cargo run -p camo-bench --release --bin table2_metal`
+//! (append `--quick` for a reduced smoke-test run).
+
+use camo_bench::paper::{TABLE2_PAPER, TABLE2_PAPER_RATIOS};
+use camo_bench::{format_ratio_row, format_row, render_table, run_metal_experiment, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!("== Table 2: OPC results on metal layer patterns (EPE nm, PVB nm^2, RT s) ==");
+    println!("scale: {scale:?}\n");
+    let summary = run_metal_experiment(scale);
+
+    let mut headers = vec!["Design".to_string(), "Point #".to_string()];
+    for row in &summary.rows {
+        headers.push(format!("{} EPE", row.engine));
+        headers.push(format!("{} PVB", row.engine));
+        headers.push(format!("{} RT", row.engine));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (i, name) in summary.case_names.iter().enumerate() {
+        let mut row = vec![name.clone(), summary.case_sizes[i].to_string()];
+        for engine in &summary.rows {
+            let c = &engine.cases[i];
+            row.push(format!("{:.0}", c.epe));
+            row.push(format!("{:.0}", c.pvb));
+            row.push(format!("{:.2}", c.runtime));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&header_refs, &rows));
+
+    let camo = summary.camo_row();
+    let reference = (camo.epe_sum(), camo.pvb_sum(), camo.runtime_sum());
+    let mut sum_rows = Vec::new();
+    for engine in &summary.rows {
+        sum_rows.push(format_row(
+            &engine.engine,
+            engine.epe_sum(),
+            engine.pvb_sum(),
+            engine.runtime_sum(),
+        ));
+        sum_rows.push(format_ratio_row(
+            &format!("{} (ratio)", engine.engine),
+            (engine.epe_sum(), engine.pvb_sum(), engine.runtime_sum()),
+            reference,
+        ));
+    }
+    println!("{}", render_table(&["Engine", "EPE sum", "PVB sum", "RT sum"], &sum_rows));
+
+    println!("-- Paper reference (Table 2, Sum / Ratio rows) --");
+    let paper_rows: Vec<Vec<String>> = TABLE2_PAPER
+        .iter()
+        .map(|r| format_row(r.engine, r.epe_sum, r.pvb_sum, r.runtime_sum))
+        .collect();
+    println!("{}", render_table(&["Engine", "EPE sum", "PVB sum", "RT sum"], &paper_rows));
+    let ratio_rows: Vec<Vec<String>> = TABLE2_PAPER_RATIOS
+        .iter()
+        .map(|(n, e, p, t)| vec![n.to_string(), format!("{e:.2}"), format!("{p:.2}"), format!("{t:.2}")])
+        .collect();
+    println!("{}", render_table(&["Engine", "EPE ratio", "PVB ratio", "RT ratio"], &ratio_rows));
+
+    let camo_epe = camo.epe_sum();
+    if let Some(rl) = summary.row("RL-OPC") {
+        println!(
+            "shape check: RL-OPC EPE / CAMO EPE = {:.2} (paper: 3.42 — RL-OPC fails to converge on metal)",
+            rl.epe_sum() / camo_epe.max(1e-9)
+        );
+    }
+    if let Some(calibre) = summary.row("Calibre-like") {
+        println!(
+            "shape check: Calibre EPE / CAMO EPE = {:.2} (paper: 1.13 — CAMO ~10% better)",
+            calibre.epe_sum() / camo_epe.max(1e-9)
+        );
+    }
+}

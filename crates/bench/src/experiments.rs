@@ -1,0 +1,372 @@
+//! Experiment runners reproducing the paper's tables and figures.
+
+use camo::{CamoConfig, CamoEngine, CamoTrainer, Modulator};
+use camo_baselines::{CalibreLikeOpc, DamoLikeOpc, OpcConfig, OpcEngine, RlOpc, RlOpcConfig};
+use camo_geometry::{Clip, FeatureConfig};
+use camo_litho::{LithoConfig, LithoSimulator, ResistModel};
+use camo_workloads::{metal_test_set, metal_training_set, via_test_set, via_training_set};
+
+/// How much compute an experiment run is allowed to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Reduced case count, coarse lithography, minimal training. Used by the
+    /// integration tests and Criterion benches.
+    Quick,
+    /// All benchmark cases, the default lithography resolution and the full
+    /// (CPU-sized) training schedule. Used by the table binaries.
+    Full,
+}
+
+impl ExperimentScale {
+    /// Parses `--quick` from the process arguments (defaults to `Full`).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Self::Quick
+        } else {
+            Self::Full
+        }
+    }
+
+    /// Lithography configuration for this scale.
+    ///
+    /// The resist threshold is calibrated to 0.40 (the library default is
+    /// 0.34) so that the standard +3 nm initial retarget does **not** already
+    /// meet the early-exit criterion on the SRAF-assisted via benchmarks —
+    /// otherwise every engine would trivially tie. This mirrors the paper's
+    /// setting, where the benchmarks require 5–10 correction iterations.
+    pub fn litho(&self) -> LithoConfig {
+        let resist = ResistModel::new(0.40, 40.0);
+        match self {
+            Self::Quick => LithoConfig { resist, ..LithoConfig::fast() },
+            Self::Full => LithoConfig { resist, ..LithoConfig::default() },
+        }
+    }
+
+    /// CAMO hyper-parameters for this scale.
+    pub fn camo_config(&self) -> CamoConfig {
+        match self {
+            Self::Quick => CamoConfig::fast(),
+            Self::Full => CamoConfig {
+                features: FeatureConfig { window: 500, tensor_size: 16 },
+                embedding: 128,
+                hidden: 64,
+                rnn_layers: 3,
+                imitation_epochs: 12,
+                teacher_steps: 5,
+                // A single REINFORCE epoch: at CPU-scale budgets longer
+                // Phase-2 runs destabilise the behaviour-cloned policy (the
+                // very failure mode the paper's modulator mitigates at full
+                // GPU-scale budgets).
+                rl_epochs: 1,
+                reinforce: camo_rl::ReinforceConfig { gamma: 0.95, normalize: false },
+                ..CamoConfig::default()
+            },
+        }
+    }
+
+    /// RL-OPC hyper-parameters for this scale.
+    pub fn rl_opc_config(&self) -> RlOpcConfig {
+        match self {
+            Self::Quick => RlOpcConfig {
+                features: FeatureConfig { window: 300, tensor_size: 8 },
+                hidden: 16,
+                ..RlOpcConfig::default()
+            },
+            Self::Full => RlOpcConfig::default(),
+        }
+    }
+
+    /// Number of RL-OPC training epochs for this scale.
+    pub fn rl_opc_epochs(&self) -> usize {
+        match self {
+            Self::Quick => 1,
+            Self::Full => 3,
+        }
+    }
+
+    fn truncate<T: Clone>(&self, cases: &[T], quick_len: usize) -> Vec<T> {
+        match self {
+            Self::Quick => cases.iter().take(quick_len).cloned().collect(),
+            Self::Full => cases.to_vec(),
+        }
+    }
+}
+
+/// One engine's results on one benchmark case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// Case name (`V1`…`V13` or `M1`…`M10`).
+    pub case: String,
+    /// Total |EPE| over the case's measure points, nm.
+    pub epe: f64,
+    /// PV-band area, nm².
+    pub pvb: f64,
+    /// Wall-clock runtime, s.
+    pub runtime: f64,
+}
+
+/// One engine's results across a benchmark suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineRow {
+    /// Engine name.
+    pub engine: String,
+    /// Per-case results, in suite order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl EngineRow {
+    /// Sum of EPE over all cases, nm.
+    pub fn epe_sum(&self) -> f64 {
+        self.cases.iter().map(|c| c.epe).sum()
+    }
+
+    /// Sum of PV band over all cases, nm².
+    pub fn pvb_sum(&self) -> f64 {
+        self.cases.iter().map(|c| c.pvb).sum()
+    }
+
+    /// Sum of runtime over all cases, s.
+    pub fn runtime_sum(&self) -> f64 {
+        self.cases.iter().map(|c| c.runtime).sum()
+    }
+}
+
+/// Results of one table experiment (one row per engine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSummary {
+    /// Benchmark case names, in order.
+    pub case_names: Vec<String>,
+    /// Per-case measure-point (or via) counts.
+    pub case_sizes: Vec<usize>,
+    /// One row per engine, in presentation order (CAMO last).
+    pub rows: Vec<EngineRow>,
+}
+
+impl ExperimentSummary {
+    /// The CAMO row (always present, always last).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty.
+    pub fn camo_row(&self) -> &EngineRow {
+        self.rows.last().expect("summary has at least the CAMO row")
+    }
+
+    /// Row by engine name.
+    pub fn row(&self, engine: &str) -> Option<&EngineRow> {
+        self.rows.iter().find(|r| r.engine == engine)
+    }
+}
+
+fn run_engine(
+    name: &str,
+    engine: &mut dyn OpcEngine,
+    clips: &[(String, Clip)],
+    simulator: &LithoSimulator,
+) -> EngineRow {
+    let cases = clips
+        .iter()
+        .map(|(case, clip)| {
+            let outcome = engine.optimize(clip, simulator);
+            CaseResult {
+                case: case.clone(),
+                epe: outcome.total_epe(),
+                pvb: outcome.pv_band(),
+                runtime: outcome.runtime_secs(),
+            }
+        })
+        .collect();
+    EngineRow { engine: name.to_string(), cases }
+}
+
+/// Reproduces **Table 1**: via-layer comparison of DAMO-like, Calibre-like,
+/// RL-OPC and CAMO.
+pub fn run_via_experiment(scale: ExperimentScale) -> ExperimentSummary {
+    let simulator = LithoSimulator::new(scale.litho());
+    let opc = OpcConfig::via_layer();
+
+    let train_cases = scale.truncate(&via_training_set(), 2);
+    let test_cases = scale.truncate(&via_test_set(), 3);
+    let train_clips: Vec<Clip> = train_cases.iter().map(|c| c.clip.clone()).collect();
+    let test_clips: Vec<(String, Clip)> = test_cases
+        .iter()
+        .map(|c| (c.clip.name().to_string(), c.clip.clone()))
+        .collect();
+
+    // DAMO-like: fit the one-shot gain on the training set.
+    let mut damo = DamoLikeOpc::new(opc.clone());
+    damo.fit(&train_clips, &simulator);
+
+    // Calibre-like needs no training.
+    let mut calibre = CalibreLikeOpc::new(opc.clone());
+
+    // RL-OPC: brief REINFORCE training.
+    let mut rl_opc = RlOpc::new(opc.clone(), scale.rl_opc_config());
+    rl_opc.train(&train_clips, &simulator, scale.rl_opc_epochs());
+
+    // CAMO: two-phase training.
+    let mut camo = CamoEngine::new(opc, scale.camo_config());
+    let mut trainer = CamoTrainer::new(&camo);
+    trainer.train(&mut camo, &train_clips, &simulator);
+
+    let rows = vec![
+        run_engine("DAMO-like", &mut damo, &test_clips, &simulator),
+        run_engine("Calibre-like", &mut calibre, &test_clips, &simulator),
+        run_engine("RL-OPC", &mut rl_opc, &test_clips, &simulator),
+        run_engine("CAMO", &mut camo, &test_clips, &simulator),
+    ];
+
+    ExperimentSummary {
+        case_names: test_cases.iter().map(|c| c.clip.name().to_string()).collect(),
+        case_sizes: test_cases.iter().map(|c| c.via_count).collect(),
+        rows,
+    }
+}
+
+/// Reproduces **Table 2**: metal-layer comparison of Calibre-like, RL-OPC and
+/// CAMO.
+pub fn run_metal_experiment(scale: ExperimentScale) -> ExperimentSummary {
+    let simulator = LithoSimulator::new(scale.litho());
+    let opc = OpcConfig::metal_layer();
+
+    let train_cases = scale.truncate(&metal_training_set(), 2);
+    let test_cases = scale.truncate(&metal_test_set(), 2);
+    let train_clips: Vec<Clip> = train_cases.iter().map(|c| c.clip.clone()).collect();
+    let test_clips: Vec<(String, Clip)> = test_cases
+        .iter()
+        .map(|c| (c.clip.name().to_string(), c.clip.clone()))
+        .collect();
+
+    let mut calibre = CalibreLikeOpc::new(opc.clone());
+
+    let mut rl_opc = RlOpc::new(opc.clone(), scale.rl_opc_config());
+    rl_opc.train(&train_clips, &simulator, scale.rl_opc_epochs());
+
+    let mut camo = CamoEngine::new(opc, scale.camo_config());
+    let mut trainer = CamoTrainer::new(&camo);
+    trainer.train(&mut camo, &train_clips, &simulator);
+
+    let rows = vec![
+        run_engine("Calibre-like", &mut calibre, &test_clips, &simulator),
+        run_engine("RL-OPC", &mut rl_opc, &test_clips, &simulator),
+        run_engine("CAMO", &mut camo, &test_clips, &simulator),
+    ];
+
+    ExperimentSummary {
+        case_names: test_cases.iter().map(|c| c.clip.name().to_string()).collect(),
+        case_sizes: test_cases.iter().map(|c| c.measure_points).collect(),
+        rows,
+    }
+}
+
+/// EPE trajectories with and without the modulator on selected metal cases
+/// (the **Figure 5** ablation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModulatorTrace {
+    /// Case name.
+    pub case: String,
+    /// Total |EPE| per step with the modulator enabled.
+    pub with_modulator: Vec<f64>,
+    /// Total |EPE| per step with the modulator disabled.
+    pub without_modulator: Vec<f64>,
+}
+
+impl ModulatorTrace {
+    /// Final EPE with the modulator, nm.
+    pub fn converged_epe(&self) -> f64 {
+        *self.with_modulator.last().expect("non-empty trajectory")
+    }
+
+    /// Range (max − min) of the trajectory after the first step — a measure of
+    /// fluctuation.
+    pub fn fluctuation(trace: &[f64]) -> f64 {
+        let max = trace.iter().cloned().fold(f64::MIN, f64::max);
+        let min = trace.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    }
+}
+
+/// Runs the modulator ablation on metal cases M2 and M4 (indices 1 and 3).
+pub fn run_modulator_ablation(scale: ExperimentScale) -> Vec<ModulatorTrace> {
+    let simulator = LithoSimulator::new(scale.litho());
+    let opc = OpcConfig::metal_layer();
+    let metal = metal_test_set();
+    let selected: Vec<usize> = match scale {
+        ExperimentScale::Quick => vec![1],
+        ExperimentScale::Full => vec![1, 3],
+    };
+    let train_cases = scale.truncate(&metal_training_set(), 1);
+    let train_clips: Vec<Clip> = train_cases.iter().map(|c| c.clip.clone()).collect();
+
+    selected
+        .into_iter()
+        .map(|idx| {
+            let case = &metal[idx];
+            let mut with = CamoEngine::new(opc.clone(), scale.camo_config());
+            let mut trainer = CamoTrainer::new(&with);
+            trainer.train(&mut with, &train_clips, &simulator);
+            let with_outcome = with.optimize(&case.clip, &simulator);
+
+            let mut without =
+                CamoEngine::new(opc.clone(), scale.camo_config().without_modulator());
+            let mut trainer = CamoTrainer::new(&without);
+            trainer.train(&mut without, &train_clips, &simulator);
+            let without_outcome = without.optimize(&case.clip, &simulator);
+
+            ModulatorTrace {
+                case: case.clip.name().to_string(),
+                with_modulator: with_outcome.epe_trajectory,
+                without_modulator: without_outcome.epe_trajectory,
+            }
+        })
+        .collect()
+}
+
+/// The modulator preference vectors for a sweep of EPE values — the data
+/// behind **Figure 4**.
+pub fn modulator_projection_rows() -> Vec<(f64, [f64; 5])> {
+    let modulator = Modulator::paper_default();
+    [-8.0, -4.0, -2.0, -1.0, 0.0, 1.0, 2.0, 4.0, 8.0]
+        .into_iter()
+        .map(|epe| (epe, modulator.preference(epe)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_rows_cover_both_signs() {
+        let rows = modulator_projection_rows();
+        assert_eq!(rows.len(), 9);
+        let (epe, pref) = rows[0];
+        assert!(epe < 0.0);
+        assert!(pref[0] > pref[4]);
+        let (epe, pref) = rows[rows.len() - 1];
+        assert!(epe > 0.0);
+        assert!(pref[4] > pref[0]);
+    }
+
+    #[test]
+    fn scale_quick_truncates_cases() {
+        let scale = ExperimentScale::Quick;
+        assert_eq!(scale.truncate(&[1, 2, 3, 4, 5], 2), vec![1, 2]);
+        let full = ExperimentScale::Full;
+        assert_eq!(full.truncate(&[1, 2, 3], 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn engine_row_sums() {
+        let row = EngineRow {
+            engine: "X".into(),
+            cases: vec![
+                CaseResult { case: "A".into(), epe: 10.0, pvb: 100.0, runtime: 1.0 },
+                CaseResult { case: "B".into(), epe: 20.0, pvb: 200.0, runtime: 2.0 },
+            ],
+        };
+        assert_eq!(row.epe_sum(), 30.0);
+        assert_eq!(row.pvb_sum(), 300.0);
+        assert_eq!(row.runtime_sum(), 3.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Experiment-reproduction harness for CAMO-RS.
+//!
+//! Every table and figure of the paper's evaluation section has a
+//! corresponding runner here, shared by the command-line binaries in
+//! `src/bin/`, the Criterion benches in `benches/` and the integration tests
+//! in `tests/`:
+//!
+//! | Paper artefact | Runner | Binary |
+//! |---|---|---|
+//! | Table 1 (via layer)   | [`experiments::run_via_experiment`]   | `table1_via` |
+//! | Table 2 (metal layer) | [`experiments::run_metal_experiment`] | `table2_metal` |
+//! | Figure 5 (modulator ablation) | [`experiments::run_modulator_ablation`] | `fig5_modulator` |
+//! | Figure 6 (mask/contour/PV band visualisation) | [`viz`] | `fig6_visualize` |
+//! | Figure 4 (modulator projection) | [`experiments::modulator_projection_rows`] | `fig4_projection` |
+//!
+//! The [`paper`] module embeds the paper's reported numbers so every binary
+//! prints a *paper vs. measured* comparison; `EXPERIMENTS.md` is generated
+//! from those outputs.
+
+pub mod experiments;
+pub mod paper;
+pub mod table;
+pub mod viz;
+
+pub use experiments::{
+    modulator_projection_rows, run_metal_experiment, run_modulator_ablation, run_via_experiment,
+    EngineRow, ExperimentScale, ExperimentSummary, ModulatorTrace,
+};
+pub use table::{format_ratio_row, format_row, render_table};

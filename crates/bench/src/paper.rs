@@ -1,0 +1,86 @@
+//! Reference numbers reported in the CAMO paper (DAC 2024), used to print
+//! paper-vs-measured comparisons.
+//!
+//! Only the aggregate rows are reproduced here; per-clip values depend on the
+//! exact benchmark clips, which are not redistributable (see `DESIGN.md`).
+
+/// Summary (Sum row) of the paper's Table 1 for one engine on the via layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperViaRow {
+    /// Engine name as printed in the paper.
+    pub engine: &'static str,
+    /// Total EPE over the 13 test clips, nm.
+    pub epe_sum: f64,
+    /// Total PV band, nm².
+    pub pvb_sum: f64,
+    /// Total runtime, s.
+    pub runtime_sum: f64,
+}
+
+/// Summary (Sum row) of the paper's Table 2 for one engine on the metal
+/// layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperMetalRow {
+    /// Engine name as printed in the paper.
+    pub engine: &'static str,
+    /// Total EPE over the 10 test clips, nm.
+    pub epe_sum: f64,
+    /// Total PV band, nm².
+    pub pvb_sum: f64,
+    /// Total runtime, s.
+    pub runtime_sum: f64,
+}
+
+/// Table 1 "Sum" row of the paper (via layer, 13 clips, 58 vias).
+pub const TABLE1_PAPER: [PaperViaRow; 4] = [
+    PaperViaRow { engine: "DAMO", epe_sum: 307.0, pvb_sum: 154_733.0, runtime_sum: 7.43 },
+    PaperViaRow { engine: "Calibre", epe_sum: 235.0, pvb_sum: 154_987.0, runtime_sum: 108.36 },
+    PaperViaRow { engine: "RL-OPC", epe_sum: 276.0, pvb_sum: 153_723.0, runtime_sum: 149.6 },
+    PaperViaRow { engine: "CAMO", epe_sum: 196.0, pvb_sum: 151_112.0, runtime_sum: 82.38 },
+];
+
+/// Table 2 "Sum" row of the paper (metal layer, 10 clips, 886 measure points).
+pub const TABLE2_PAPER: [PaperMetalRow; 3] = [
+    PaperMetalRow { engine: "Calibre", epe_sum: 698.0, pvb_sum: 372_067.0, runtime_sum: 87.05 },
+    PaperMetalRow { engine: "RL-OPC", epe_sum: 2118.0, pvb_sum: 375_786.0, runtime_sum: 167.78 },
+    PaperMetalRow { engine: "CAMO", epe_sum: 620.0, pvb_sum: 364_464.0, runtime_sum: 88.37 },
+];
+
+/// Paper Table 1 ratios (relative to CAMO = 1.00): EPE, PVB, runtime.
+pub const TABLE1_PAPER_RATIOS: [(&str, f64, f64, f64); 4] = [
+    ("DAMO", 1.57, 1.02, 0.10),
+    ("Calibre", 1.20, 1.03, 1.32),
+    ("RL-OPC", 1.41, 1.02, 1.96),
+    ("CAMO", 1.00, 1.00, 1.00),
+];
+
+/// Paper Table 2 ratios (relative to CAMO = 1.00): EPE, PVB, runtime.
+pub const TABLE2_PAPER_RATIOS: [(&str, f64, f64, f64); 3] = [
+    ("Calibre", 1.13, 1.02, 0.99),
+    ("RL-OPC", 3.42, 1.03, 1.90),
+    ("CAMO", 1.00, 1.00, 1.00),
+];
+
+/// Figure-5 headline numbers: with the modulator the EPE trajectories of M2
+/// and M4 converge to at most these values (nm); without it they fluctuate.
+pub const FIG5_PAPER_CONVERGED_EPE: [(&str, f64); 2] = [("M2", 64.0), ("M4", 60.0)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tables_rank_camo_first() {
+        let camo = TABLE1_PAPER.last().expect("non-empty");
+        assert!(TABLE1_PAPER.iter().all(|r| r.epe_sum >= camo.epe_sum));
+        assert!(TABLE1_PAPER.iter().all(|r| r.pvb_sum >= camo.pvb_sum));
+        let camo2 = TABLE2_PAPER.last().expect("non-empty");
+        assert!(TABLE2_PAPER.iter().all(|r| r.epe_sum >= camo2.epe_sum));
+    }
+
+    #[test]
+    fn ratios_are_relative_to_camo() {
+        assert_eq!(TABLE1_PAPER_RATIOS[3].1, 1.00);
+        assert_eq!(TABLE2_PAPER_RATIOS[2].1, 1.00);
+    }
+}

@@ -1,0 +1,98 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Renders a table with a header row and aligned columns.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |widths: &[usize]| {
+        let mut s = String::from("+");
+        for w in widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('+');
+        }
+        s.push('\n');
+        s
+    };
+    out.push_str(&line(&widths));
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:<w$} |"));
+    }
+    out.push('\n');
+    out.push_str(&line(&widths));
+    for row in rows {
+        out.push('|');
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            out.push_str(&format!(" {cell:<w$} |"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&line(&widths));
+    out
+}
+
+/// Formats a result row `(name, epe, pvb, runtime)` with sensible precision.
+pub fn format_row(name: &str, epe: f64, pvb: f64, runtime: f64) -> Vec<String> {
+    vec![
+        name.to_string(),
+        format!("{epe:.0}"),
+        format!("{pvb:.0}"),
+        format!("{runtime:.2}"),
+    ]
+}
+
+/// Formats a ratio row relative to a reference `(epe, pvb, runtime)` triple.
+pub fn format_ratio_row(
+    name: &str,
+    value: (f64, f64, f64),
+    reference: (f64, f64, f64),
+) -> Vec<String> {
+    let ratio = |a: f64, b: f64| if b.abs() < 1e-12 { 0.0 } else { a / b };
+    vec![
+        name.to_string(),
+        format!("{:.2}", ratio(value.0, reference.0)),
+        format!("{:.2}", ratio(value.1, reference.1)),
+        format!("{:.2}", ratio(value.2, reference.2)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_rows_and_aligns_columns() {
+        let rows = vec![
+            format_row("CAMO", 196.0, 151_112.0, 82.38),
+            format_row("Calibre", 235.0, 154_987.0, 108.36),
+        ];
+        let table = render_table(&["Engine", "EPE", "PVB", "RT"], &rows);
+        assert!(table.contains("CAMO"));
+        assert!(table.contains("151112"));
+        assert!(table.contains("108.36"));
+        // Every line has the same width.
+        let widths: Vec<usize> = table.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn ratio_row_is_relative() {
+        let row = format_ratio_row("Calibre", (235.0, 154987.0, 108.36), (196.0, 151112.0, 82.38));
+        assert_eq!(row[1], "1.20");
+        assert_eq!(row[2], "1.03");
+        assert_eq!(row[3], "1.32");
+    }
+
+    #[test]
+    fn zero_reference_does_not_panic() {
+        let row = format_ratio_row("X", (1.0, 1.0, 1.0), (0.0, 1.0, 1.0));
+        assert_eq!(row[1], "0.00");
+    }
+}

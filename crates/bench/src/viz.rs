@@ -1,0 +1,80 @@
+//! Visualisation helpers for the Figure-6 style outputs.
+//!
+//! The paper's Figure 6 shows, for one metal case, (a) the target pattern,
+//! (b) the optimised mask, (c) the printed contour and (d) the PV band. This
+//! module renders each as a portable graymap (PGM) image plus a compact ASCII
+//! preview for terminals.
+
+use camo_geometry::Raster;
+use std::io;
+use std::path::Path;
+
+/// Writes a raster as an 8-bit binary PGM file, scaling values to `[0, 255]`.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the file.
+pub fn write_pgm(raster: &Raster, path: &Path) -> io::Result<()> {
+    let max = raster.max().max(1e-12);
+    let mut content = Vec::new();
+    content.extend_from_slice(format!("P5\n{} {}\n255\n", raster.width(), raster.height()).as_bytes());
+    // PGM rows go top-to-bottom; our rasters are bottom-up.
+    for iy in (0..raster.height()).rev() {
+        for ix in 0..raster.width() {
+            let v = (raster.get(ix, iy) / max * 255.0).round().clamp(0.0, 255.0) as u8;
+            content.push(v);
+        }
+    }
+    std::fs::write(path, content)
+}
+
+/// Renders a coarse ASCII preview of a raster (`#` for filled, `.` for empty),
+/// downsampled to at most `max_cols` columns.
+pub fn ascii_preview(raster: &Raster, max_cols: usize) -> String {
+    let stride = (raster.width() / max_cols.max(1)).max(1);
+    let threshold = raster.max() * 0.5;
+    let mut out = String::new();
+    let mut iy = raster.height();
+    while iy >= stride {
+        iy -= stride;
+        for ix in (0..raster.width()).step_by(stride) {
+            out.push(if raster.get(ix, iy) > threshold && threshold > 0.0 { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camo_geometry::{Raster, Rect};
+
+    #[test]
+    fn pgm_roundtrip_writes_header_and_pixels() {
+        let mut r = Raster::new(Rect::new(0, 0, 40, 20), 10);
+        r.fill_rect(Rect::new(0, 0, 20, 20), 1.0);
+        let dir = std::env::temp_dir().join("camo_viz_test.pgm");
+        write_pgm(&r, &dir).expect("write PGM");
+        let bytes = std::fs::read(&dir).expect("read back");
+        assert!(bytes.starts_with(b"P5\n4 2\n255\n"));
+        assert_eq!(bytes.len(), "P5\n4 2\n255\n".len() + 8);
+        std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn ascii_preview_marks_filled_cells() {
+        let mut r = Raster::new(Rect::new(0, 0, 100, 100), 10);
+        r.fill_rect(Rect::new(0, 0, 50, 100), 1.0);
+        let preview = ascii_preview(&r, 10);
+        assert!(preview.contains('#'));
+        assert!(preview.contains('.'));
+    }
+
+    #[test]
+    fn empty_raster_preview_has_no_marks() {
+        let r = Raster::new(Rect::new(0, 0, 100, 100), 10);
+        let preview = ascii_preview(&r, 10);
+        assert!(!preview.contains('#'));
+    }
+}

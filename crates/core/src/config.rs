@@ -1,0 +1,134 @@
+//! CAMO hyper-parameters.
+
+use camo_geometry::{Coord, FeatureConfig};
+use camo_rl::{ReinforceConfig, RewardConfig};
+
+/// Hyper-parameters of the CAMO policy, modulator and trainer.
+///
+/// The defaults follow Section 4.1 of the paper where practical (embedding
+/// width 256, RNN hidden size 64 with 3 layers, learning rate 3·10⁻⁴,
+/// modulator `f(x) = 0.02·x⁴ + 1`, graph threshold 250 nm); the squish tensor
+/// is 16 × 16 rather than 128 × 128 because this build targets a single CPU
+/// core rather than an RTX 3090.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CamoConfig {
+    /// Segment observation encoding (window size and tensor side length).
+    pub features: FeatureConfig,
+    /// Node embedding width after the encoder and GraphSAGE fusion.
+    pub embedding: usize,
+    /// RNN hidden-state width.
+    pub hidden: usize,
+    /// Number of stacked RNN layers.
+    pub rnn_layers: usize,
+    /// Control-point distance threshold for graph edges, nm.
+    pub graph_threshold: Coord,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Modulator polynomial coefficient `k` in `f(x) = k·xⁿ + b`.
+    pub modulator_k: f64,
+    /// Modulator exponent `n` (must be even and positive).
+    pub modulator_n: u32,
+    /// Modulator offset `b`.
+    pub modulator_b: f64,
+    /// Whether the modulator is applied (disabled for the Figure-5 ablation).
+    pub use_modulator: bool,
+    /// Reward weighting (Eq. (3)).
+    pub reward: RewardConfig,
+    /// REINFORCE settings.
+    pub reinforce: ReinforceConfig,
+    /// Phase-1 imitation epochs.
+    pub imitation_epochs: usize,
+    /// Number of teacher steps collected per clip for Phase 1 (the paper
+    /// mimics five-step Calibre trajectories).
+    pub teacher_steps: usize,
+    /// Phase-2 REINFORCE epochs.
+    pub rl_epochs: usize,
+    /// RNG seed for initialisation and sampling.
+    pub seed: u64,
+}
+
+impl Default for CamoConfig {
+    fn default() -> Self {
+        Self {
+            features: FeatureConfig::default(),
+            embedding: 256,
+            hidden: 64,
+            rnn_layers: 3,
+            graph_threshold: 250,
+            learning_rate: 3e-4,
+            modulator_k: 0.02,
+            modulator_n: 4,
+            modulator_b: 1.0,
+            use_modulator: true,
+            reward: RewardConfig::default(),
+            reinforce: ReinforceConfig::default(),
+            imitation_epochs: 20,
+            teacher_steps: 5,
+            rl_epochs: 5,
+            seed: 2024,
+        }
+    }
+}
+
+impl CamoConfig {
+    /// A scaled-down configuration for unit tests and CI: tiny tensors and
+    /// network widths, very few training epochs.
+    pub fn fast() -> Self {
+        Self {
+            features: FeatureConfig { window: 300, tensor_size: 8 },
+            embedding: 32,
+            hidden: 16,
+            rnn_layers: 2,
+            imitation_epochs: 2,
+            teacher_steps: 2,
+            rl_epochs: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with the modulator disabled (the Figure-5 ablation).
+    pub fn without_modulator(mut self) -> Self {
+        self.use_modulator = false;
+        self
+    }
+
+    /// Length of the stacked (6-channel) feature vector consumed by the
+    /// policy encoder.
+    pub fn feature_len(&self) -> usize {
+        self.features.stacked_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let cfg = CamoConfig::default();
+        assert_eq!(cfg.embedding, 256);
+        assert_eq!(cfg.hidden, 64);
+        assert_eq!(cfg.rnn_layers, 3);
+        assert_eq!(cfg.graph_threshold, 250);
+        assert!((cfg.learning_rate - 3e-4).abs() < 1e-12);
+        assert!((cfg.modulator_k - 0.02).abs() < 1e-12);
+        assert_eq!(cfg.modulator_n, 4);
+        assert!(cfg.use_modulator);
+    }
+
+    #[test]
+    fn fast_config_is_smaller() {
+        let fast = CamoConfig::fast();
+        let full = CamoConfig::default();
+        assert!(fast.feature_len() < full.feature_len());
+        assert!(fast.embedding < full.embedding);
+        assert!(fast.imitation_epochs < full.imitation_epochs);
+    }
+
+    #[test]
+    fn without_modulator_only_clears_flag() {
+        let cfg = CamoConfig::default().without_modulator();
+        assert!(!cfg.use_modulator);
+        assert_eq!(cfg.embedding, CamoConfig::default().embedding);
+    }
+}

@@ -1,0 +1,149 @@
+//! Segment-graph construction.
+//!
+//! CAMO encodes the fragmented layout as an undirected graph: one node per
+//! segment (located at its control point) and an edge whenever two control
+//! points are closer than a threshold (250 nm in the paper). The graph is
+//! built once per clip from the *target* geometry and stays fixed while the
+//! mask evolves; only the node features are refreshed every step.
+
+use camo_geometry::{Coord, Fragments};
+
+/// The proximity graph over a clip's segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentGraph {
+    adjacency: Vec<Vec<usize>>,
+    threshold: Coord,
+}
+
+impl SegmentGraph {
+    /// Builds the graph from fragmented segments using the given control-point
+    /// distance threshold in nm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not positive.
+    pub fn build(fragments: &Fragments, threshold: Coord) -> Self {
+        assert!(threshold > 0, "graph threshold must be positive");
+        let points: Vec<_> = fragments
+            .segments
+            .iter()
+            .map(|s| s.control_point())
+            .collect();
+        let n = points.len();
+        let threshold_sq = (threshold as i128) * (threshold as i128);
+        let mut adjacency = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if points[i].distance_squared(points[j]) <= threshold_sq {
+                    adjacency[i].push(j);
+                    adjacency[j].push(i);
+                }
+            }
+        }
+        Self { adjacency, threshold }
+    }
+
+    /// Number of nodes (segments).
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// The distance threshold used to build the graph, nm.
+    pub fn threshold(&self) -> Coord {
+        self.threshold
+    }
+
+    /// Adjacency list (neighbour indices per node).
+    pub fn adjacency(&self) -> &[Vec<usize>] {
+        &self.adjacency
+    }
+
+    /// Neighbours of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjacency[v]
+    }
+
+    /// Mean node degree (0.0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.adjacency.is_empty() {
+            0.0
+        } else {
+            self.adjacency.iter().map(|n| n.len()).sum::<usize>() as f64
+                / self.adjacency.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camo_geometry::{Clip, FragmentationParams, Rect};
+
+    fn two_via_fragments(gap: i64) -> Fragments {
+        let mut clip = Clip::new(Rect::new(0, 0, 2000, 2000));
+        clip.add_target(Rect::new(500, 500, 570, 570).to_polygon());
+        clip.add_target(Rect::new(570 + gap, 500, 640 + gap, 570).to_polygon());
+        clip.fragment(&FragmentationParams::via_layer())
+    }
+
+    #[test]
+    fn segments_of_one_via_are_fully_connected() {
+        let mut clip = Clip::new(Rect::new(0, 0, 2000, 2000));
+        clip.add_target(Rect::new(500, 500, 570, 570).to_polygon());
+        let frags = clip.fragment(&FragmentationParams::via_layer());
+        let graph = SegmentGraph::build(&frags, 250);
+        assert_eq!(graph.node_count(), 4);
+        // Control points of a 70 nm via are at most 70 nm apart: complete K4.
+        assert_eq!(graph.edge_count(), 6);
+        assert!((graph.mean_degree() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearby_vias_are_linked_distant_vias_are_not() {
+        let close = SegmentGraph::build(&two_via_fragments(60), 250);
+        let far = SegmentGraph::build(&two_via_fragments(800), 250);
+        // Close pair: edges between the facing segments of different vias.
+        assert!(close.edge_count() > far.edge_count());
+        // Far pair: only the two intra-via cliques remain.
+        assert_eq!(far.edge_count(), 12);
+        for v in 0..far.node_count() {
+            for &u in far.neighbors(v) {
+                assert!(u < far.node_count());
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_controls_connectivity() {
+        let frags = two_via_fragments(150);
+        let tight = SegmentGraph::build(&frags, 100);
+        let loose = SegmentGraph::build(&frags, 500);
+        assert!(loose.edge_count() > tight.edge_count());
+        assert_eq!(tight.threshold(), 100);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let graph = SegmentGraph::build(&two_via_fragments(100), 250);
+        for v in 0..graph.node_count() {
+            for &u in graph.neighbors(v) {
+                assert!(graph.neighbors(u).contains(&v), "edge {v}-{u} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let _ = SegmentGraph::build(&two_via_fragments(100), 0);
+    }
+}

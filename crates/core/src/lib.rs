@@ -1,0 +1,58 @@
+//! # CAMO: Correlation-Aware Mask Optimization with Modulated RL
+//!
+//! A Rust reproduction of the CAMO OPC system (Liang et al., DAC 2024).
+//! CAMO corrects lithography proximity effects by moving the boundary
+//! segments of a target layout, choosing among five movements
+//! (−2…+2 nm) per segment per step. Its three distinguishing components, all
+//! implemented here, are:
+//!
+//! 1. **Graph-based feature fusion** ([`graph`], [`policy`]): segments become
+//!    nodes of a proximity graph and a GraphSAGE layer fuses each segment's
+//!    squish-pattern features with its neighbours'.
+//! 2. **Correlation-aware sequential decisions** ([`policy`]): an RNN walks
+//!    the node embeddings in boundary order so every decision sees the
+//!    context of previously decided segments.
+//! 3. **OPC-inspired modulation** ([`modulator`]): a preference vector derived
+//!    from each segment's signed EPE through `f(x) = 0.02·x⁴ + 1` multiplies
+//!    the policy distribution, biasing exploration toward lithographically
+//!    sensible movements and stabilising training.
+//!
+//! Training follows the paper's two phases ([`trainer`]): behaviour cloning
+//! of a Calibre-like teacher, then REINFORCE fine-tuning on the
+//! EPE/PV-band improvement reward. Inference ([`engine`]) applies the
+//! modulated argmax policy with the paper's early-exit rules, and implements
+//! the same [`OpcEngine`](camo_baselines::OpcEngine) interface as the
+//! baselines so every experiment harness can swap engines freely.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use camo::{CamoConfig, CamoEngine};
+//! use camo_baselines::{OpcConfig, OpcEngine};
+//! use camo_geometry::{Clip, Rect};
+//! use camo_litho::{LithoConfig, LithoSimulator};
+//!
+//! // One 70 nm via in a small clip.
+//! let mut clip = Clip::new(Rect::new(0, 0, 800, 800));
+//! clip.add_target(Rect::new(365, 365, 435, 435).to_polygon());
+//!
+//! let simulator = LithoSimulator::new(LithoConfig::fast());
+//! let config = CamoConfig::fast();
+//! let mut engine = CamoEngine::new(OpcConfig::via_layer(), config);
+//! let outcome = engine.optimize(&clip, &simulator);
+//! assert!(outcome.total_epe().is_finite());
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod graph;
+pub mod modulator;
+pub mod policy;
+pub mod trainer;
+
+pub use config::CamoConfig;
+pub use engine::CamoEngine;
+pub use graph::SegmentGraph;
+pub use modulator::Modulator;
+pub use policy::CamoPolicy;
+pub use trainer::{CamoTrainer, TrainingReport};

@@ -1,0 +1,256 @@
+//! Two-phase CAMO training (Algorithm 1 of the paper).
+//!
+//! * **Phase 1 — imitation**: the policy mimics per-step movements of the
+//!   Calibre-like teacher on the training clips (behaviour cloning with the
+//!   cross-entropy objective). The modulator is not used in this phase.
+//! * **Phase 2 — modulated REINFORCE**: the policy samples actions from the
+//!   modulated distribution `p̂ ⊙ π_θ(a|s)`, the environment returns the
+//!   EPE/PV-band improvement reward of Eq. (3), and parameters are updated
+//!   with the REINFORCE gradient computed on the *unmodulated* policy output,
+//!   exactly as the paper prescribes.
+
+use crate::engine::{action_to_move, move_to_action, CamoEngine};
+use camo_baselines::CalibreLikeOpc;
+use camo_geometry::{Clip, Coord};
+use camo_litho::LithoSimulator;
+use camo_nn::{cross_entropy_grad, log_softmax, Optimizer, Sgd};
+use camo_rl::{reinforce_coefficients, Trajectory};
+
+/// Per-epoch statistics produced by training.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainingReport {
+    /// Mean behaviour-cloning loss per Phase-1 epoch.
+    pub imitation_losses: Vec<f64>,
+    /// Total episode reward per Phase-2 epoch (summed over training clips).
+    pub rl_rewards: Vec<f64>,
+}
+
+impl TrainingReport {
+    /// True when Phase-1 made progress (final loss below the first).
+    pub fn imitation_improved(&self) -> bool {
+        match (self.imitation_losses.first(), self.imitation_losses.last()) {
+            (Some(first), Some(last)) => last <= first,
+            _ => false,
+        }
+    }
+}
+
+/// Runs the two-phase training procedure against a set of training clips.
+#[derive(Debug, Clone)]
+pub struct CamoTrainer {
+    teacher: CalibreLikeOpc,
+}
+
+impl CamoTrainer {
+    /// Creates a trainer whose Phase-1 teacher uses the engine's OPC
+    /// configuration.
+    pub fn new(engine: &CamoEngine) -> Self {
+        Self {
+            teacher: CalibreLikeOpc::new(engine.opc_config().clone()),
+        }
+    }
+
+    /// Runs Phase 1 followed by Phase 2 on `clips`, updating the engine's
+    /// policy in place.
+    pub fn train(
+        &mut self,
+        engine: &mut CamoEngine,
+        clips: &[Clip],
+        simulator: &LithoSimulator,
+    ) -> TrainingReport {
+        let imitation_epochs = engine.config().imitation_epochs;
+        let rl_epochs = engine.config().rl_epochs;
+        let mut report = TrainingReport::default();
+        for _ in 0..imitation_epochs {
+            report
+                .imitation_losses
+                .push(self.imitation_epoch(engine, clips, simulator));
+        }
+        for _ in 0..rl_epochs {
+            report
+                .rl_rewards
+                .push(self.reinforce_epoch(engine, clips, simulator));
+        }
+        report
+    }
+
+    /// One epoch of behaviour cloning; returns the mean cross-entropy loss.
+    pub fn imitation_epoch(
+        &mut self,
+        engine: &mut CamoEngine,
+        clips: &[Clip],
+        simulator: &LithoSimulator,
+    ) -> f64 {
+        let lr = engine.config().learning_rate;
+        let teacher_steps = engine.config().teacher_steps;
+        let mut total_loss = 0.0;
+        let mut samples = 0usize;
+        for clip in clips {
+            let mut mask = engine.opc_config().initial_mask(clip);
+            let graph = engine.graph(&mask);
+            for _ in 0..teacher_steps {
+                let epe = simulator.evaluate_epe(&mask);
+                let teacher_moves = self.teacher.teacher_moves(&epe);
+                let targets: Vec<usize> = teacher_moves.iter().map(|&m| move_to_action(m)).collect();
+                let features = engine.node_features(&mask);
+                let policy = engine.policy_mut();
+                let logits = policy.forward(&features, graph.adjacency());
+                let n = logits.len().max(1);
+                let grads: Vec<Vec<f64>> = logits
+                    .iter()
+                    .zip(&targets)
+                    .map(|(l, &t)| cross_entropy_grad(l, t, 1.0 / n as f64))
+                    .collect();
+                for (l, &t) in logits.iter().zip(&targets) {
+                    total_loss += -log_softmax(l)[t];
+                    samples += 1;
+                }
+                policy.zero_grad();
+                policy.backward(&grads);
+                let mut optimizer = Sgd::new(lr, 0.0).with_grad_clip(5.0);
+                optimizer.step(&mut policy.parameters_mut());
+                mask.apply_moves(&teacher_moves);
+            }
+        }
+        if samples == 0 {
+            0.0
+        } else {
+            total_loss / samples as f64
+        }
+    }
+
+    /// One epoch of modulated REINFORCE; returns the summed episode reward.
+    pub fn reinforce_epoch(
+        &mut self,
+        engine: &mut CamoEngine,
+        clips: &[Clip],
+        simulator: &LithoSimulator,
+    ) -> f64 {
+        let mut total = 0.0;
+        for clip in clips {
+            total += self.reinforce_episode(engine, clip, simulator);
+        }
+        total
+    }
+
+    fn reinforce_episode(
+        &mut self,
+        engine: &mut CamoEngine,
+        clip: &Clip,
+        simulator: &LithoSimulator,
+    ) -> f64 {
+        let lr = engine.config().learning_rate;
+        let reward_cfg = engine.config().reward;
+        let reinforce_cfg = engine.config().reinforce;
+        let max_steps = engine.opc_config().max_steps;
+
+        let mut mask = engine.opc_config().initial_mask(clip);
+        let graph = engine.graph(&mask);
+        let mut eval = simulator.evaluate(&mask);
+        let mut trajectory = Trajectory::new();
+        // Per step: the features observed and the actions taken.
+        let mut steps: Vec<(Vec<Vec<f64>>, Vec<usize>)> = Vec::new();
+
+        for _ in 0..max_steps {
+            if engine.opc_config().early_exit(eval.mean_epe()) {
+                break;
+            }
+            let features = engine.node_features(&mask);
+            let decisions = engine.decide(&mask, &graph, &eval.epe, true);
+            let actions: Vec<usize> = decisions.iter().map(|(a, _)| *a).collect();
+            let moves: Vec<Coord> = actions.iter().map(|&a| action_to_move(a)).collect();
+            mask.apply_moves(&moves);
+            let next = simulator.evaluate(&mask);
+            let reward = reward_cfg.reward(
+                eval.total_epe(),
+                next.total_epe(),
+                eval.pv_band,
+                next.pv_band,
+            );
+            trajectory.push(reward);
+            steps.push((features, actions));
+            eval = next;
+        }
+
+        // REINFORCE update on the original (unmodulated) policy outputs.
+        let coefficients = reinforce_coefficients(&trajectory, &reinforce_cfg);
+        let policy = engine.policy_mut();
+        policy.zero_grad();
+        for ((features, actions), &coeff) in steps.iter().zip(&coefficients) {
+            let logits = policy.forward(features, graph.adjacency());
+            let n = logits.len().max(1) as f64;
+            let grads: Vec<Vec<f64>> = logits
+                .iter()
+                .zip(actions)
+                .map(|(l, &a)| cross_entropy_grad(l, a, coeff / n))
+                .collect();
+            policy.backward(&grads);
+        }
+        let mut optimizer = Sgd::new(lr, 0.0).with_grad_clip(5.0);
+        optimizer.step(&mut policy.parameters_mut());
+        trajectory.total_reward()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CamoConfig;
+    use camo_baselines::OpcConfig;
+    use camo_geometry::Rect;
+    use camo_litho::{LithoConfig, LithoSimulator};
+
+    fn training_clips() -> Vec<Clip> {
+        let mut a = Clip::new(Rect::new(0, 0, 800, 800));
+        a.add_target(Rect::new(365, 365, 435, 435).to_polygon());
+        let mut b = Clip::new(Rect::new(0, 0, 800, 800));
+        b.add_target(Rect::new(265, 365, 335, 435).to_polygon());
+        b.add_target(Rect::new(465, 365, 535, 435).to_polygon());
+        vec![a, b]
+    }
+
+    fn fast_engine() -> CamoEngine {
+        let mut opc = OpcConfig::via_layer();
+        opc.max_steps = 2;
+        CamoEngine::new(opc, CamoConfig::fast())
+    }
+
+    #[test]
+    fn imitation_loss_decreases_over_epochs() {
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let mut engine = fast_engine();
+        let mut trainer = CamoTrainer::new(&engine);
+        let clips = training_clips();
+        let mut losses = Vec::new();
+        for _ in 0..4 {
+            losses.push(trainer.imitation_epoch(&mut engine, &clips, &sim));
+        }
+        assert!(
+            losses.last().expect("non-empty") < losses.first().expect("non-empty"),
+            "imitation loss should decrease: {losses:?}"
+        );
+    }
+
+    #[test]
+    fn full_training_produces_report() {
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let mut engine = fast_engine();
+        let mut trainer = CamoTrainer::new(&engine);
+        let report = trainer.train(&mut engine, &training_clips(), &sim);
+        assert_eq!(report.imitation_losses.len(), engine.config().imitation_epochs);
+        assert_eq!(report.rl_rewards.len(), engine.config().rl_epochs);
+        assert!(report.imitation_improved());
+        assert!(report.rl_rewards.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn reinforce_epoch_runs_without_modulator() {
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let mut opc = OpcConfig::via_layer();
+        opc.max_steps = 2;
+        let mut engine = CamoEngine::new(opc, CamoConfig::fast().without_modulator());
+        let mut trainer = CamoTrainer::new(&engine);
+        let reward = trainer.reinforce_epoch(&mut engine, &training_clips(), &sim);
+        assert!(reward.is_finite());
+    }
+}

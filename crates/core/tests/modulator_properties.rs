@@ -1,0 +1,98 @@
+//! Property-based tests of the modulator's required properties (Section 3.2)
+//! and of the segment-graph invariants.
+
+use camo::{Modulator, SegmentGraph};
+use camo_geometry::{Clip, FragmentationParams, Rect};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The preference vector is always a probability distribution. (For very
+    /// large |EPE| the disfavoured entries underflow to exactly zero, which
+    /// is still a valid distribution.)
+    #[test]
+    fn preference_is_always_a_distribution(epe in -40.0f64..40.0) {
+        let m = Modulator::paper_default();
+        let p = m.preference(epe);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| v.is_finite() && (0.0..=1.0).contains(&v)));
+        if epe.abs() < 10.0 {
+            prop_assert!(p.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    /// Property 1 of the paper: the larger |EPE|, the more distinct the
+    /// preferences (monotone sharpness), and the preferred direction corrects
+    /// the error.
+    #[test]
+    fn sharpness_is_monotone_in_epe(a in 0.0f64..20.0, b in 0.0f64..20.0) {
+        let m = Modulator::paper_default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.sharpness(lo) <= m.sharpness(hi) + 1e-9);
+    }
+
+    /// The preferred movement always opposes the EPE sign (outward for
+    /// under-printing, inward for over-printing) once |EPE| is non-trivial.
+    #[test]
+    fn preferred_move_corrects_the_error(epe in 1.0f64..40.0, sign in prop::bool::ANY) {
+        let m = Modulator::paper_default();
+        let signed = if sign { epe } else { -epe };
+        let p = m.preference(signed);
+        let argmax = p
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        if sign {
+            prop_assert_eq!(argmax, 4, "positive EPE must prefer +2 nm: {:?}", p);
+        } else {
+            prop_assert_eq!(argmax, 0, "negative EPE must prefer -2 nm: {:?}", p);
+        }
+    }
+
+    /// Property 2 of the paper: modulation never destroys normalisation and
+    /// leaves near-zero-EPE policies essentially untouched.
+    #[test]
+    fn modulation_preserves_distributions(
+        epe in -30.0f64..30.0,
+        raw in prop::collection::vec(0.01f64..1.0, 5),
+    ) {
+        let m = Modulator::paper_default();
+        let sum: f64 = raw.iter().sum();
+        let policy: Vec<f64> = raw.iter().map(|v| v / sum).collect();
+        let out = m.modulate(epe, &policy);
+        prop_assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        if epe.abs() < 0.05 {
+            for (a, b) in out.iter().zip(&policy) {
+                prop_assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Graph construction: adjacency is symmetric, irreflexive and monotone
+    /// in the threshold.
+    #[test]
+    fn graph_invariants(
+        gap in 10i64..600,
+        threshold_a in 50i64..300,
+        threshold_b in 301i64..800,
+    ) {
+        let mut clip = Clip::new(Rect::new(0, 0, 2000, 2000));
+        clip.add_target(Rect::new(500, 500, 570, 570).to_polygon());
+        clip.add_target(Rect::new(570 + gap, 500, 640 + gap, 570).to_polygon());
+        let frags = clip.fragment(&FragmentationParams::via_layer());
+        let small = SegmentGraph::build(&frags, threshold_a);
+        let large = SegmentGraph::build(&frags, threshold_b);
+        prop_assert!(large.edge_count() >= small.edge_count());
+        for g in [&small, &large] {
+            for v in 0..g.node_count() {
+                prop_assert!(!g.neighbors(v).contains(&v), "self loop at {v}");
+                for &u in g.neighbors(v) {
+                    prop_assert!(g.neighbors(u).contains(&v));
+                }
+            }
+        }
+    }
+}

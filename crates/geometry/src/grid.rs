@@ -1,0 +1,405 @@
+//! Rasterisation of rectilinear geometry onto a pixel grid.
+//!
+//! The lithography simulator consumes masks as pixel grids. [`Raster`] covers
+//! a rectangular region at a configurable pixel pitch and supports scanline
+//! filling of rectilinear polygons and rectangles.
+
+use crate::point::{Coord, Point};
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+
+/// A dense 2-D grid of `f64` samples covering a layout region.
+///
+/// Pixel `(ix, iy)` covers the square
+/// `[origin.x + ix·p, origin.x + (ix+1)·p) × [origin.y + iy·p, …)` where `p`
+/// is the pixel size in nm. Data is stored row-major with `iy` as the slow
+/// axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Raster {
+    origin: Point,
+    pixel_size: Coord,
+    width: usize,
+    height: usize,
+    data: Vec<f64>,
+}
+
+impl Raster {
+    /// Creates a zero-filled raster covering `region` at `pixel_size` nm per
+    /// pixel. The region is expanded (never truncated) to a whole number of
+    /// pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixel_size <= 0` or the region is empty.
+    pub fn new(region: Rect, pixel_size: Coord) -> Self {
+        assert!(pixel_size > 0, "pixel size must be positive");
+        assert!(!region.is_empty(), "cannot rasterise an empty region");
+        let width = ((region.width() + pixel_size - 1) / pixel_size) as usize;
+        let height = ((region.height() + pixel_size - 1) / pixel_size) as usize;
+        Self {
+            origin: region.lower_left(),
+            pixel_size,
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Creates a raster with explicit dimensions (used by the litho kernels
+    /// for intermediate images).
+    pub fn with_dimensions(origin: Point, pixel_size: Coord, width: usize, height: usize) -> Self {
+        assert!(pixel_size > 0, "pixel size must be positive");
+        Self {
+            origin,
+            pixel_size,
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Grid width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel pitch in nm.
+    pub fn pixel_size(&self) -> Coord {
+        self.pixel_size
+    }
+
+    /// Lower-left corner of the covered region.
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// The covered region in nm.
+    pub fn region(&self) -> Rect {
+        Rect::new(
+            self.origin.x,
+            self.origin.y,
+            self.origin.x + self.width as Coord * self.pixel_size,
+            self.origin.y + self.height as Coord * self.pixel_size,
+        )
+    }
+
+    /// Raw sample slice (row-major, `iy` slow).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw sample slice.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Sample at pixel `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.width && iy < self.height, "pixel index out of range");
+        self.data[iy * self.width + ix]
+    }
+
+    /// Sets the sample at pixel `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, ix: usize, iy: usize, value: f64) {
+        assert!(ix < self.width && iy < self.height, "pixel index out of range");
+        self.data[iy * self.width + ix] = value;
+    }
+
+    /// Centre of pixel `(ix, iy)` in nm (rounded to the nm grid).
+    pub fn pixel_center(&self, ix: usize, iy: usize) -> Point {
+        Point::new(
+            self.origin.x + ix as Coord * self.pixel_size + self.pixel_size / 2,
+            self.origin.y + iy as Coord * self.pixel_size + self.pixel_size / 2,
+        )
+    }
+
+    /// Pixel indices containing point `p`, or `None` when outside the grid.
+    pub fn pixel_at(&self, p: Point) -> Option<(usize, usize)> {
+        if p.x < self.origin.x || p.y < self.origin.y {
+            return None;
+        }
+        let ix = ((p.x - self.origin.x) / self.pixel_size) as usize;
+        let iy = ((p.y - self.origin.y) / self.pixel_size) as usize;
+        if ix < self.width && iy < self.height {
+            Some((ix, iy))
+        } else {
+            None
+        }
+    }
+
+    /// Value at the pixel containing `p`, or 0.0 outside the grid.
+    pub fn sample(&self, p: Point) -> f64 {
+        match self.pixel_at(p) {
+            Some((ix, iy)) => self.get(ix, iy),
+            None => 0.0,
+        }
+    }
+
+    /// Bilinearly interpolated value at an arbitrary (sub-pixel) location
+    /// given in nm. Outside the grid the nearest edge value is used.
+    pub fn sample_bilinear(&self, x: f64, y: f64) -> f64 {
+        if self.width == 0 || self.height == 0 {
+            return 0.0;
+        }
+        let p = self.pixel_size as f64;
+        let fx = ((x - self.origin.x as f64) / p - 0.5).clamp(0.0, (self.width - 1) as f64);
+        let fy = ((y - self.origin.y as f64) / p - 0.5).clamp(0.0, (self.height - 1) as f64);
+        let ix0 = fx.floor() as usize;
+        let iy0 = fy.floor() as usize;
+        let ix1 = (ix0 + 1).min(self.width - 1);
+        let iy1 = (iy0 + 1).min(self.height - 1);
+        let tx = fx - ix0 as f64;
+        let ty = fy - iy0 as f64;
+        let v00 = self.get(ix0, iy0);
+        let v10 = self.get(ix1, iy0);
+        let v01 = self.get(ix0, iy1);
+        let v11 = self.get(ix1, iy1);
+        v00 * (1.0 - tx) * (1.0 - ty)
+            + v10 * tx * (1.0 - ty)
+            + v01 * (1.0 - tx) * ty
+            + v11 * tx * ty
+    }
+
+    /// Adds `value` to every pixel whose centre lies inside `rect`.
+    pub fn fill_rect(&mut self, rect: Rect, value: f64) {
+        let half = self.pixel_size / 2;
+        let ix0 = (((rect.x0 - self.origin.x - half).max(0)) / self.pixel_size) as usize;
+        let iy0 = (((rect.y0 - self.origin.y - half).max(0)) / self.pixel_size) as usize;
+        for iy in iy0..self.height {
+            let cy = self.origin.y + iy as Coord * self.pixel_size + half;
+            if cy >= rect.y1 {
+                break;
+            }
+            if cy < rect.y0 {
+                continue;
+            }
+            for ix in ix0..self.width {
+                let cx = self.origin.x + ix as Coord * self.pixel_size + half;
+                if cx >= rect.x1 {
+                    break;
+                }
+                if cx < rect.x0 {
+                    continue;
+                }
+                self.data[iy * self.width + ix] += value;
+            }
+        }
+    }
+
+    /// Adds `value` to every pixel whose centre lies inside the rectilinear
+    /// polygon (even-odd scanline fill).
+    pub fn fill_polygon(&mut self, polygon: &Polygon, value: f64) {
+        let bbox = polygon.bounding_box();
+        let half = self.pixel_size / 2;
+        // Collect vertical edges once.
+        let vertical: Vec<(Coord, Coord, Coord)> = polygon
+            .edges()
+            .filter(|(a, b)| a.x == b.x)
+            .map(|(a, b)| (a.x, a.y.min(b.y), a.y.max(b.y)))
+            .collect();
+        for iy in 0..self.height {
+            let cy = self.origin.y + iy as Coord * self.pixel_size + half;
+            if cy < bbox.y0 || cy >= bbox.y1 {
+                continue;
+            }
+            // X positions where the scanline crosses a vertical edge. Using
+            // the half-open convention [ylo, yhi) avoids double counting at
+            // shared vertices.
+            let mut crossings: Vec<Coord> = vertical
+                .iter()
+                .filter(|&&(_, ylo, yhi)| cy >= ylo && cy < yhi)
+                .map(|&(x, _, _)| x)
+                .collect();
+            crossings.sort_unstable();
+            for pair in crossings.chunks_exact(2) {
+                let (x_in, x_out) = (pair[0], pair[1]);
+                for ix in 0..self.width {
+                    let cx = self.origin.x + ix as Coord * self.pixel_size + half;
+                    if cx < x_in {
+                        continue;
+                    }
+                    if cx >= x_out {
+                        break;
+                    }
+                    self.data[iy * self.width + ix] += value;
+                }
+            }
+        }
+    }
+
+    /// Box-downsamples this raster by an integer `factor`: each output pixel
+    /// is the mean of the corresponding `factor × factor` block (missing
+    /// samples at the upper edges are treated as 0). The output pixel size is
+    /// `factor` times larger.
+    ///
+    /// Downsampling a 1 nm rasterisation to the simulation pixel size yields
+    /// an anti-aliased (area-coverage) mask image, so sub-pixel segment moves
+    /// change the image smoothly instead of snapping to the pixel grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn downsampled(&self, factor: usize) -> Raster {
+        assert!(factor > 0, "downsample factor must be positive");
+        if factor == 1 {
+            return self.clone();
+        }
+        let out_w = (self.width + factor - 1) / factor;
+        let out_h = (self.height + factor - 1) / factor;
+        let mut out = Raster::with_dimensions(
+            self.origin,
+            self.pixel_size * factor as Coord,
+            out_w,
+            out_h,
+        );
+        let norm = 1.0 / (factor * factor) as f64;
+        let out_data = out.data_mut();
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let mut acc = 0.0;
+                for sy in 0..factor {
+                    let iy = oy * factor + sy;
+                    if iy >= self.height {
+                        continue;
+                    }
+                    for sx in 0..factor {
+                        let ix = ox * factor + sx;
+                        if ix >= self.width {
+                            continue;
+                        }
+                        acc += self.data[iy * self.width + ix];
+                    }
+                }
+                out_data[oy * out_w + ox] = acc * norm;
+            }
+        }
+        out
+    }
+
+    /// Clamps every sample to `[lo, hi]`.
+    pub fn clamp_values(&mut self, lo: f64, hi: f64) {
+        for v in &mut self.data {
+            *v = v.clamp(lo, hi);
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum sample (0.0 for an empty raster).
+    pub fn max(&self) -> f64 {
+        self.data.iter().cloned().fold(f64::MIN, f64::max).max(0.0)
+    }
+
+    /// Number of samples strictly above `threshold`.
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.data.iter().filter(|&&v| v > threshold).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raster_dimensions_round_up() {
+        let r = Raster::new(Rect::new(0, 0, 205, 100), 10);
+        assert_eq!(r.width(), 21);
+        assert_eq!(r.height(), 10);
+        assert_eq!(r.region().width(), 210);
+    }
+
+    #[test]
+    fn fill_rect_covers_expected_pixels() {
+        let mut r = Raster::new(Rect::new(0, 0, 100, 100), 10);
+        r.fill_rect(Rect::new(20, 20, 50, 40), 1.0);
+        // Pixels with centres at x in {25, 35, 45} and y in {25, 35}: 3x2.
+        assert_eq!(r.count_above(0.5), 6);
+        assert_eq!(r.sample(Point::new(26, 26)), 1.0);
+        assert_eq!(r.sample(Point::new(55, 26)), 0.0);
+    }
+
+    #[test]
+    fn fill_polygon_matches_fill_rect_for_rectangles() {
+        let rect = Rect::new(10, 20, 80, 70);
+        let mut a = Raster::new(Rect::new(0, 0, 100, 100), 5);
+        let mut b = a.clone();
+        a.fill_rect(rect, 1.0);
+        b.fill_polygon(&rect.to_polygon(), 1.0);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn fill_polygon_handles_l_shape() {
+        let l = Polygon::l_shape(Rect::new(0, 0, 100, 100), 50, 50);
+        let mut r = Raster::new(Rect::new(0, 0, 100, 100), 1);
+        r.fill_polygon(&l, 1.0);
+        let filled = r.count_above(0.5) as i64;
+        assert_eq!(filled, l.area());
+    }
+
+    #[test]
+    fn bilinear_sampling_interpolates() {
+        let mut r = Raster::new(Rect::new(0, 0, 20, 20), 10);
+        r.set(0, 0, 0.0);
+        r.set(1, 0, 1.0);
+        r.set(0, 1, 0.0);
+        r.set(1, 1, 1.0);
+        let mid = r.sample_bilinear(10.0, 10.0);
+        assert!((mid - 0.5).abs() < 1e-9, "expected 0.5, got {mid}");
+    }
+
+    #[test]
+    fn pixel_lookup_roundtrip() {
+        let r = Raster::new(Rect::new(100, 200, 300, 400), 4);
+        let c = r.pixel_center(3, 5);
+        assert_eq!(r.pixel_at(c), Some((3, 5)));
+        assert_eq!(r.pixel_at(Point::new(0, 0)), None);
+    }
+
+    #[test]
+    fn downsampling_preserves_mean_coverage() {
+        let mut fine = Raster::new(Rect::new(0, 0, 100, 100), 1);
+        fine.fill_rect(Rect::new(0, 0, 37, 100), 1.0);
+        let coarse = fine.downsampled(10);
+        assert_eq!(coarse.width(), 10);
+        assert_eq!(coarse.pixel_size(), 10);
+        // Total coverage is preserved up to the constant factor.
+        assert!((coarse.sum() * 100.0 - fine.sum()).abs() < 1e-9);
+        // The partially covered column has fractional coverage.
+        let partial = coarse.get(3, 5);
+        assert!(partial > 0.0 && partial < 1.0, "expected fractional coverage, got {partial}");
+    }
+
+    #[test]
+    fn downsample_factor_one_is_identity() {
+        let mut r = Raster::new(Rect::new(0, 0, 20, 20), 2);
+        r.fill_rect(Rect::new(0, 0, 10, 10), 1.0);
+        assert_eq!(r.downsampled(1), r);
+    }
+
+    #[test]
+    fn clamp_and_stats() {
+        let mut r = Raster::new(Rect::new(0, 0, 10, 10), 1);
+        r.fill_rect(Rect::new(0, 0, 10, 10), 2.0);
+        assert!((r.max() - 2.0).abs() < 1e-12);
+        r.clamp_values(0.0, 1.0);
+        assert!((r.max() - 1.0).abs() < 1e-12);
+        assert!((r.sum() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,303 @@
+//! Mask state: a target clip plus per-segment offsets.
+//!
+//! The OPC engines in this workspace never edit polygons directly; they move
+//! boundary segments by integer-nanometre offsets. [`MaskState`] owns the
+//! offsets and reconstructs concrete mask polygons on demand, so the mask is
+//! always a well-formed rectilinear layout derived from the target.
+
+use crate::point::{Coord, Point};
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+use crate::segment::{FragmentationParams, Fragments, Orientation, Segment};
+use crate::Clip;
+
+/// Default clamp on the absolute per-segment offset, nm.
+pub const DEFAULT_MAX_OFFSET: Coord = 20;
+
+/// The evolving mask of one clip: the target plus a signed offset per segment.
+///
+/// Positive offsets move a segment along its outward normal (the mask grows),
+/// negative offsets move it inward (the mask shrinks). SRAFs from the clip
+/// are carried along unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskState {
+    clip: Clip,
+    fragments: Fragments,
+    offsets: Vec<Coord>,
+    max_offset: Coord,
+}
+
+impl MaskState {
+    /// Creates a mask with all offsets zero.
+    pub fn new(clip: Clip, fragments: Fragments) -> Self {
+        let n = fragments.segments.len();
+        Self {
+            clip,
+            fragments,
+            offsets: vec![0; n],
+            max_offset: DEFAULT_MAX_OFFSET,
+        }
+    }
+
+    /// Convenience constructor: fragments the clip and builds the mask.
+    pub fn from_clip(clip: &Clip, params: &FragmentationParams) -> Self {
+        Self::new(clip.clone(), clip.fragment(params))
+    }
+
+    /// The underlying target clip.
+    pub fn clip(&self) -> &Clip {
+        &self.clip
+    }
+
+    /// The fragmentation this mask is built on.
+    pub fn fragments(&self) -> &Fragments {
+        &self.fragments
+    }
+
+    /// Current per-segment offsets, indexed by segment id.
+    pub fn offsets(&self) -> &[Coord] {
+        &self.offsets
+    }
+
+    /// Number of movable segments.
+    pub fn segment_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// The symmetric clamp applied to every offset, nm.
+    pub fn max_offset(&self) -> Coord {
+        self.max_offset
+    }
+
+    /// Sets the symmetric offset clamp (must be positive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_offset <= 0`.
+    pub fn set_max_offset(&mut self, max_offset: Coord) {
+        assert!(max_offset > 0, "max_offset must be positive");
+        self.max_offset = max_offset;
+        for o in &mut self.offsets {
+            *o = (*o).clamp(-max_offset, max_offset);
+        }
+    }
+
+    /// Adds `delta` nm to the offset of segment `id`, clamping to the
+    /// configured maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn move_segment(&mut self, id: usize, delta: Coord) {
+        let o = &mut self.offsets[id];
+        *o = (*o + delta).clamp(-self.max_offset, self.max_offset);
+    }
+
+    /// Applies one movement per segment (`moves.len()` must equal
+    /// [`Self::segment_count`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn apply_moves(&mut self, moves: &[Coord]) {
+        assert_eq!(
+            moves.len(),
+            self.offsets.len(),
+            "one movement per segment is required"
+        );
+        for (id, &m) in moves.iter().enumerate() {
+            self.move_segment(id, m);
+        }
+    }
+
+    /// Moves every segment outward by `bias` nm — the paper's mask
+    /// initialisation ("moving each edge outwards for 3 nm").
+    pub fn apply_uniform_bias(&mut self, bias: Coord) {
+        for id in 0..self.offsets.len() {
+            self.move_segment(id, bias);
+        }
+    }
+
+    /// Resets all offsets to zero.
+    pub fn reset(&mut self) {
+        for o in &mut self.offsets {
+            *o = 0;
+        }
+    }
+
+    /// Reconstructs the concrete mask polygons (one per target polygon) from
+    /// the current offsets.
+    pub fn mask_polygons(&self) -> Vec<Polygon> {
+        (0..self.clip.targets().len())
+            .map(|poly_idx| self.moved_polygon(poly_idx))
+            .collect()
+    }
+
+    /// All mask geometry as rectangles is not generally possible for moved
+    /// polygons; this returns the SRAF rectangles carried by the mask.
+    pub fn sraf_rects(&self) -> &[Rect] {
+        self.clip.srafs()
+    }
+
+    /// Reconstructs one moved polygon from the target polygon and the offsets
+    /// of its segments.
+    fn moved_polygon(&self, poly_idx: usize) -> Polygon {
+        let segs: Vec<&Segment> = self.fragments.segments_of_polygon(poly_idx);
+        assert!(!segs.is_empty(), "polygon {poly_idx} has no segments");
+        let shifted: Vec<(Point, Point, Orientation)> = segs
+            .iter()
+            .map(|s| {
+                let v = s.outward.unit().scaled(self.offsets[s.id]);
+                (s.start + v, s.end + v, s.orientation())
+            })
+            .collect();
+        let n = shifted.len();
+        let mut vertices: Vec<Point> = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            let (s_i, e_i, o_i) = shifted[i];
+            let (s_next, _, o_next) = shifted[(i + 1) % n];
+            if vertices.last() != Some(&s_i) {
+                vertices.push(s_i);
+            }
+            if o_i == o_next {
+                // Same orientation: connect with a perpendicular jog (or
+                // nothing when the offsets match).
+                if vertices.last() != Some(&e_i) {
+                    vertices.push(e_i);
+                }
+            } else {
+                // Corner: the new corner is the intersection of the two
+                // shifted edge lines.
+                let corner = match o_i {
+                    Orientation::Horizontal => Point::new(s_next.x, e_i.y),
+                    Orientation::Vertical => Point::new(e_i.x, s_next.y),
+                };
+                if vertices.last() != Some(&corner) {
+                    vertices.push(corner);
+                }
+            }
+        }
+        // Close the loop: drop a trailing vertex equal to the first.
+        while vertices.len() > 1 && vertices.first() == vertices.last() {
+            vertices.pop();
+        }
+        // Remove any consecutive duplicates that survived.
+        vertices.dedup();
+        Polygon::new(vertices).normalized()
+    }
+
+    /// Bounding box of all mask geometry (moved polygons plus SRAFs).
+    pub fn mask_bounding_box(&self) -> Rect {
+        let mut bbox: Option<Rect> = None;
+        for p in self.mask_polygons() {
+            let b = p.bounding_box();
+            bbox = Some(match bbox {
+                Some(acc) => acc.union(&b),
+                None => b,
+            });
+        }
+        for s in self.clip.srafs() {
+            bbox = Some(match bbox {
+                Some(acc) => acc.union(s),
+                None => *s,
+            });
+        }
+        bbox.unwrap_or_else(|| self.clip.region())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::FragmentationParams;
+
+    fn via_mask() -> MaskState {
+        let mut clip = Clip::new(Rect::new(0, 0, 2000, 2000));
+        clip.add_target(Rect::new(1000, 1000, 1070, 1070).to_polygon());
+        MaskState::from_clip(&clip, &FragmentationParams::via_layer())
+    }
+
+    #[test]
+    fn zero_offsets_reproduce_target() {
+        let mask = via_mask();
+        let polys = mask.mask_polygons();
+        assert_eq!(polys.len(), 1);
+        assert_eq!(polys[0].area(), 70 * 70);
+        assert_eq!(polys[0].bounding_box(), Rect::new(1000, 1000, 1070, 1070));
+    }
+
+    #[test]
+    fn uniform_outward_bias_grows_square() {
+        let mut mask = via_mask();
+        mask.apply_uniform_bias(3);
+        let polys = mask.mask_polygons();
+        assert_eq!(polys[0].bounding_box(), Rect::new(997, 997, 1073, 1073));
+        assert_eq!(polys[0].area(), 76 * 76);
+    }
+
+    #[test]
+    fn uniform_inward_bias_shrinks_square() {
+        let mut mask = via_mask();
+        mask.apply_uniform_bias(-5);
+        assert_eq!(mask.mask_polygons()[0].area(), 60 * 60);
+    }
+
+    #[test]
+    fn single_segment_move_creates_valid_polygon() {
+        let mut mask = via_mask();
+        // Move only one edge outward by 2 nm.
+        mask.move_segment(0, 2);
+        let p = &mask.mask_polygons()[0];
+        assert!(p.is_counter_clockwise());
+        assert_eq!(p.area(), 70 * 72);
+    }
+
+    #[test]
+    fn offsets_are_clamped() {
+        let mut mask = via_mask();
+        mask.set_max_offset(4);
+        for _ in 0..10 {
+            mask.move_segment(0, 2);
+        }
+        assert_eq!(mask.offsets()[0], 4);
+        for _ in 0..10 {
+            mask.move_segment(0, -2);
+        }
+        assert_eq!(mask.offsets()[0], -4);
+    }
+
+    #[test]
+    fn metal_wire_jog_reconstruction() {
+        // A 300x50 wire with staggered offsets on the bottom edge must yield
+        // a valid rectilinear polygon with jogs.
+        let mut clip = Clip::new(Rect::new(0, 0, 1500, 1500));
+        clip.add_target(Rect::new(100, 100, 400, 150).to_polygon());
+        let mut mask = MaskState::from_clip(&clip, &FragmentationParams::metal_layer());
+        let n = mask.segment_count();
+        let moves: Vec<Coord> = (0..n).map(|i| if i % 2 == 0 { 2 } else { -1 }).collect();
+        mask.apply_moves(&moves);
+        let p = &mask.mask_polygons()[0];
+        assert!(p.is_counter_clockwise());
+        assert!(p.area() > 0);
+        // Every edge must remain axis-parallel (enforced by Polygon::new) and
+        // the area stays within the plausible envelope.
+        let base = 300 * 50;
+        assert!((p.area() - base).abs() < base / 4);
+    }
+
+    #[test]
+    fn reset_restores_target() {
+        let mut mask = via_mask();
+        mask.apply_uniform_bias(3);
+        mask.reset();
+        assert_eq!(mask.mask_polygons()[0].area(), 70 * 70);
+        assert!(mask.offsets().iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one movement per segment")]
+    fn apply_moves_validates_length() {
+        let mut mask = via_mask();
+        mask.apply_moves(&[1, 2]);
+    }
+}

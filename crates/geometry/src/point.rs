@@ -1,0 +1,237 @@
+//! Integer-nanometre points and vectors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Coordinate type: signed integer nanometres.
+pub type Coord = i64;
+
+/// A point on the layout grid, in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    /// Horizontal coordinate in nm.
+    pub x: Coord,
+    /// Vertical coordinate in nm.
+    pub y: Coord,
+}
+
+/// A displacement between two [`Point`]s, in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Vector {
+    /// Horizontal component in nm.
+    pub dx: Coord,
+    /// Vertical component in nm.
+    pub dy: Coord,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` nm.
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const fn origin() -> Self {
+        Self { x: 0, y: 0 }
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    pub fn manhattan_distance(&self, other: Point) -> Coord {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn distance_squared(&self, other: Point) -> i128 {
+        let dx = (self.x - other.x) as i128;
+        let dy = (self.y - other.y) as i128;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance to `other` as `f64`.
+    pub fn distance(&self, other: Point) -> f64 {
+        (self.distance_squared(other) as f64).sqrt()
+    }
+
+    /// Chebyshev (L∞) distance to `other`.
+    pub fn chebyshev_distance(&self, other: Point) -> Coord {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+}
+
+impl Vector {
+    /// Creates a vector `(dx, dy)`.
+    pub const fn new(dx: Coord, dy: Coord) -> Self {
+        Self { dx, dy }
+    }
+
+    /// The zero vector.
+    pub const fn zero() -> Self {
+        Self { dx: 0, dy: 0 }
+    }
+
+    /// Scales both components by `k`.
+    pub fn scaled(self, k: Coord) -> Self {
+        Self::new(self.dx * k, self.dy * k)
+    }
+
+    /// Rotates the vector 90° counter-clockwise.
+    pub fn rotated_ccw(self) -> Self {
+        Self::new(-self.dy, self.dx)
+    }
+
+    /// Rotates the vector 90° clockwise.
+    pub fn rotated_cw(self) -> Self {
+        Self::new(self.dy, -self.dx)
+    }
+
+    /// Manhattan length of the vector.
+    pub fn manhattan_length(self) -> Coord {
+        self.dx.abs() + self.dy.abs()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.dx, self.dy)
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    fn add(self, v: Vector) -> Point {
+        Point::new(self.x + v.dx, self.y + v.dy)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    fn add_assign(&mut self, v: Vector) {
+        self.x += v.dx;
+        self.y += v.dy;
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    fn sub(self, v: Vector) -> Point {
+        Point::new(self.x - v.dx, self.y - v.dy)
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    fn sub_assign(&mut self, v: Vector) {
+        self.x -= v.dx;
+        self.y -= v.dy;
+    }
+}
+
+impl Sub<Point> for Point {
+    type Output = Vector;
+    fn sub(self, other: Point) -> Vector {
+        Vector::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Add<Vector> for Vector {
+    type Output = Vector;
+    fn add(self, other: Vector) -> Vector {
+        Vector::new(self.dx + other.dx, self.dy + other.dy)
+    }
+}
+
+impl Sub<Vector> for Vector {
+    type Output = Vector;
+    fn sub(self, other: Vector) -> Vector {
+        Vector::new(self.dx - other.dx, self.dy - other.dy)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        Vector::new(-self.dx, -self.dy)
+    }
+}
+
+impl Mul<Coord> for Vector {
+    type Output = Vector;
+    fn mul(self, k: Coord) -> Vector {
+        self.scaled(k)
+    }
+}
+
+impl From<(Coord, Coord)> for Point {
+    fn from((x, y): (Coord, Coord)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<(Coord, Coord)> for Vector {
+    fn from((dx, dy): (Coord, Coord)) -> Self {
+        Vector::new(dx, dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let p = Point::new(10, 20);
+        let v = Vector::new(3, -4);
+        assert_eq!(p + v, Point::new(13, 16));
+        assert_eq!(p - v, Point::new(7, 24));
+        assert_eq!(Point::new(13, 16) - p, v);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, 4);
+        assert_eq!(a.manhattan_distance(b), 7);
+        assert_eq!(a.chebyshev_distance(b), 4);
+        assert_eq!(a.distance_squared(b), 25);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_rotation() {
+        let v = Vector::new(1, 0);
+        assert_eq!(v.rotated_ccw(), Vector::new(0, 1));
+        assert_eq!(v.rotated_cw(), Vector::new(0, -1));
+        assert_eq!(v.rotated_ccw().rotated_cw(), v);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let v = Vector::new(2, -3);
+        assert_eq!(-v, Vector::new(-2, 3));
+        assert_eq!(v * 3, Vector::new(6, -9));
+        assert_eq!(v + Vector::new(1, 1), Vector::new(3, -2));
+        assert_eq!(v.manhattan_length(), 5);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let p: Point = (5, 6).into();
+        assert_eq!(p, Point::new(5, 6));
+        assert_eq!(format!("{p}"), "(5, 6)");
+        let v: Vector = (1, 2).into();
+        assert_eq!(format!("{v}"), "<1, 2>");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut p = Point::new(1, 1);
+        p += Vector::new(2, 3);
+        assert_eq!(p, Point::new(3, 4));
+        p -= Vector::new(1, 1);
+        assert_eq!(p, Point::new(2, 3));
+    }
+}

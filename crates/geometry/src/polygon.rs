@@ -1,0 +1,261 @@
+//! Rectilinear polygons (Manhattan geometry).
+
+use crate::point::{Coord, Point};
+use crate::rect::Rect;
+use std::fmt;
+
+/// A simple rectilinear (Manhattan) polygon given by its vertex loop.
+///
+/// Consecutive vertices must differ in exactly one coordinate (axis-parallel
+/// edges). The loop is implicitly closed: the last vertex connects back to
+/// the first. Use [`Polygon::normalized`] to obtain a counter-clockwise copy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from a vertex loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 vertices are supplied or if any edge is not
+    /// axis-parallel.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(vertices.len() >= 4, "a rectilinear polygon needs at least 4 vertices");
+        let n = vertices.len();
+        for i in 0..n {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % n];
+            assert!(
+                a.x == b.x || a.y == b.y,
+                "polygon edge {a} -> {b} is not axis-parallel"
+            );
+            assert!(a != b, "degenerate zero-length edge at vertex {i}");
+        }
+        Self { vertices }
+    }
+
+    /// The vertex loop.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always false: polygons have at least four vertices.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterator over directed edges `(start, end)` around the loop.
+    pub fn edges(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| (self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Signed area (positive for counter-clockwise loops), via the shoelace
+    /// formula.
+    pub fn signed_area(&self) -> i64 {
+        let n = self.vertices.len();
+        let mut twice: i128 = 0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            twice += a.x as i128 * b.y as i128 - b.x as i128 * a.y as i128;
+        }
+        (twice / 2) as i64
+    }
+
+    /// Absolute enclosed area in nm².
+    pub fn area(&self) -> i64 {
+        self.signed_area().abs()
+    }
+
+    /// True when the vertex loop is counter-clockwise.
+    pub fn is_counter_clockwise(&self) -> bool {
+        self.signed_area() > 0
+    }
+
+    /// Returns a counter-clockwise copy (reverses the loop when needed).
+    pub fn normalized(&self) -> Polygon {
+        if self.is_counter_clockwise() {
+            self.clone()
+        } else {
+            let mut v = self.vertices.clone();
+            v.reverse();
+            Polygon { vertices: v }
+        }
+    }
+
+    /// Axis-aligned bounding box.
+    pub fn bounding_box(&self) -> Rect {
+        let mut x0 = Coord::MAX;
+        let mut y0 = Coord::MAX;
+        let mut x1 = Coord::MIN;
+        let mut y1 = Coord::MIN;
+        for v in &self.vertices {
+            x0 = x0.min(v.x);
+            y0 = y0.min(v.y);
+            x1 = x1.max(v.x);
+            y1 = y1.max(v.y);
+        }
+        Rect::new(x0, y0, x1, y1)
+    }
+
+    /// Point-in-polygon test (even-odd rule). Points exactly on the boundary
+    /// are reported as inside.
+    pub fn contains_point(&self, p: Point) -> bool {
+        if self.on_boundary(p) {
+            return true;
+        }
+        // Cast a ray in +x at y = p.y + 0.5 conceptually; because the polygon
+        // is rectilinear with integer coordinates we count crossings of
+        // vertical edges that span the half-integer line.
+        let mut inside = false;
+        for (a, b) in self.edges() {
+            if a.x == b.x {
+                // vertical edge
+                let (ylo, yhi) = if a.y < b.y { (a.y, b.y) } else { (b.y, a.y) };
+                if a.x > p.x && p.y >= ylo && p.y < yhi {
+                    inside = !inside;
+                }
+            }
+        }
+        inside
+    }
+
+    /// True when `p` lies exactly on one of the polygon's edges.
+    pub fn on_boundary(&self, p: Point) -> bool {
+        for (a, b) in self.edges() {
+            if a.x == b.x {
+                let (ylo, yhi) = if a.y < b.y { (a.y, b.y) } else { (b.y, a.y) };
+                if p.x == a.x && p.y >= ylo && p.y <= yhi {
+                    return true;
+                }
+            } else {
+                let (xlo, xhi) = if a.x < b.x { (a.x, b.x) } else { (b.x, a.x) };
+                if p.y == a.y && p.x >= xlo && p.x <= xhi {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Total boundary length in nm.
+    pub fn perimeter(&self) -> Coord {
+        self.edges().map(|(a, b)| a.manhattan_distance(b)).sum()
+    }
+
+    /// Creates an L-shaped polygon — a convenience constructor for tests and
+    /// metal-pattern generation. The L occupies `outer` minus the rectangle
+    /// cut from its upper-right corner with the given `notch_w` × `notch_h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the notch does not fit strictly inside the outer rectangle
+    /// extents.
+    pub fn l_shape(outer: Rect, notch_w: Coord, notch_h: Coord) -> Polygon {
+        assert!(notch_w > 0 && notch_h > 0);
+        assert!(notch_w < outer.width() && notch_h < outer.height());
+        Polygon::new(vec![
+            Point::new(outer.x0, outer.y0),
+            Point::new(outer.x1, outer.y0),
+            Point::new(outer.x1, outer.y1 - notch_h),
+            Point::new(outer.x1 - notch_w, outer.y1 - notch_h),
+            Point::new(outer.x1 - notch_w, outer.y1),
+            Point::new(outer.x0, outer.y1),
+        ])
+    }
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polygon[")?;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Rect> for Polygon {
+    fn from(r: Rect) -> Self {
+        r.to_polygon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Polygon {
+        Rect::new(0, 0, 10, 10).to_polygon()
+    }
+
+    #[test]
+    fn square_area_and_orientation() {
+        let p = square();
+        assert_eq!(p.area(), 100);
+        assert!(p.is_counter_clockwise());
+        assert_eq!(p.perimeter(), 40);
+    }
+
+    #[test]
+    fn normalization_fixes_clockwise_loops() {
+        let cw = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(0, 10),
+            Point::new(10, 10),
+            Point::new(10, 0),
+        ]);
+        assert!(!cw.is_counter_clockwise());
+        let ccw = cw.normalized();
+        assert!(ccw.is_counter_clockwise());
+        assert_eq!(ccw.area(), cw.area());
+    }
+
+    #[test]
+    fn point_containment() {
+        let p = square();
+        assert!(p.contains_point(Point::new(5, 5)));
+        assert!(p.contains_point(Point::new(0, 0))); // boundary
+        assert!(p.contains_point(Point::new(10, 5))); // boundary
+        assert!(!p.contains_point(Point::new(11, 5)));
+        assert!(!p.contains_point(Point::new(-1, 5)));
+    }
+
+    #[test]
+    fn l_shape_area() {
+        let l = Polygon::l_shape(Rect::new(0, 0, 100, 60), 40, 30);
+        assert_eq!(l.area(), 100 * 60 - 40 * 30);
+        assert!(l.is_counter_clockwise());
+        assert!(l.contains_point(Point::new(10, 10)));
+        // Point inside the notch (upper right) is outside the L.
+        assert!(!l.contains_point(Point::new(90, 50)));
+    }
+
+    #[test]
+    fn bounding_box_covers_all_vertices() {
+        let l = Polygon::l_shape(Rect::new(5, 5, 105, 65), 40, 30);
+        assert_eq!(l.bounding_box(), Rect::new(5, 5, 105, 65));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis-parallel")]
+    fn diagonal_edges_are_rejected() {
+        let _ = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(10, 10),
+            Point::new(0, 10),
+            Point::new(0, 5),
+        ]);
+    }
+}

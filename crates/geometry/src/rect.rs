@@ -1,0 +1,237 @@
+//! Axis-aligned rectangles in nanometres.
+
+use crate::point::{Coord, Point, Vector};
+use crate::polygon::Polygon;
+use std::fmt;
+
+/// An axis-aligned rectangle `[x0, x1) × [y0, y1)` in nanometres.
+///
+/// Rectangles are half-open on the upper edges when rasterised, but all
+/// geometric queries (`contains_point`, `intersects`) treat them as closed
+/// regions, which matches typical layout-tool semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Rect {
+    /// Left edge (minimum x).
+    pub x0: Coord,
+    /// Bottom edge (minimum y).
+    pub y0: Coord,
+    /// Right edge (maximum x).
+    pub x1: Coord,
+    /// Top edge (maximum y).
+    pub y1: Coord,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners. Coordinates are normalised so
+    /// that `x0 <= x1` and `y0 <= y1`.
+    pub fn new(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Self {
+        Self {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Creates a rectangle centred at `center` with the given width and height.
+    ///
+    /// Width/height remainders are split as evenly as possible.
+    pub fn centered_at(center: Point, width: Coord, height: Coord) -> Self {
+        let hw = width / 2;
+        let hh = height / 2;
+        Self::new(center.x - hw, center.y - hh, center.x - hw + width, center.y - hh + height)
+    }
+
+    /// Width (x extent) in nm.
+    pub fn width(&self) -> Coord {
+        self.x1 - self.x0
+    }
+
+    /// Height (y extent) in nm.
+    pub fn height(&self) -> Coord {
+        self.y1 - self.y0
+    }
+
+    /// Area in nm².
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// True when the rectangle has zero area.
+    pub fn is_empty(&self) -> bool {
+        self.width() == 0 || self.height() == 0
+    }
+
+    /// Centre point (rounded down on odd extents).
+    pub fn center(&self) -> Point {
+        Point::new((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+    }
+
+    /// Lower-left corner.
+    pub fn lower_left(&self) -> Point {
+        Point::new(self.x0, self.y0)
+    }
+
+    /// Upper-right corner.
+    pub fn upper_right(&self) -> Point {
+        Point::new(self.x1, self.y1)
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+
+    /// True when `other` is entirely inside (or equal to) `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.x0 >= self.x0 && other.x1 <= self.x1 && other.y0 >= self.y0 && other.y1 <= self.y1
+    }
+
+    /// True when the two closed rectangles share any point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// Intersection of the two rectangles, or `None` when they are disjoint
+    /// or the overlap is degenerate (zero area).
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let r = Rect {
+            x0: self.x0.max(other.x0),
+            y0: self.y0.max(other.y0),
+            x1: self.x1.min(other.x1),
+            y1: self.y1.min(other.y1),
+        };
+        if r.x0 < r.x1 && r.y0 < r.y1 {
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Smallest rectangle containing both inputs.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Rectangle grown by `margin` on every side (shrunk for negative margins).
+    pub fn expanded(&self, margin: Coord) -> Rect {
+        Rect::new(self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin)
+    }
+
+    /// Rectangle translated by `v`.
+    pub fn translated(&self, v: Vector) -> Rect {
+        Rect {
+            x0: self.x0 + v.dx,
+            y0: self.y0 + v.dy,
+            x1: self.x1 + v.dx,
+            y1: self.y1 + v.dy,
+        }
+    }
+
+    /// Minimum edge-to-edge spacing to `other` (0 when they touch or overlap).
+    pub fn spacing_to(&self, other: &Rect) -> Coord {
+        let dx = (other.x0 - self.x1).max(self.x0 - other.x1).max(0);
+        let dy = (other.y0 - self.y1).max(self.y0 - other.y1).max(0);
+        // Rectilinear spacing convention: the max of the axis gaps when both
+        // are positive (diagonal), otherwise the single positive gap.
+        if dx > 0 && dy > 0 {
+            dx.max(dy)
+        } else {
+            dx.max(dy)
+        }
+    }
+
+    /// Converts this rectangle into a counter-clockwise rectilinear polygon.
+    pub fn to_polygon(&self) -> Polygon {
+        Polygon::new(vec![
+            Point::new(self.x0, self.y0),
+            Point::new(self.x1, self.y0),
+            Point::new(self.x1, self.y1),
+            Point::new(self.x0, self.y1),
+        ])
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}; {}, {}]", self.x0, self.y0, self.x1, self.y1)
+    }
+}
+
+impl From<(Coord, Coord, Coord, Coord)> for Rect {
+    fn from((x0, y0, x1, y1): (Coord, Coord, Coord, Coord)) -> Self {
+        Rect::new(x0, y0, x1, y1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalises() {
+        let r = Rect::new(10, 20, 0, 5);
+        assert_eq!(r, Rect::new(0, 5, 10, 20));
+        assert_eq!(r.width(), 10);
+        assert_eq!(r.height(), 15);
+        assert_eq!(r.area(), 150);
+    }
+
+    #[test]
+    fn centered_at_has_requested_size() {
+        let r = Rect::centered_at(Point::new(100, 100), 70, 70);
+        assert_eq!(r.width(), 70);
+        assert_eq!(r.height(), 70);
+        assert_eq!(r.center(), Point::new(100, 100));
+    }
+
+    #[test]
+    fn containment_and_intersection() {
+        let a = Rect::new(0, 0, 100, 100);
+        let b = Rect::new(50, 50, 150, 150);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), Some(Rect::new(50, 50, 100, 100)));
+        assert!(a.contains_point(Point::new(100, 100)));
+        assert!(!a.contains_point(Point::new(101, 100)));
+        assert!(a.contains_rect(&Rect::new(10, 10, 20, 20)));
+        assert!(!a.contains_rect(&b));
+        assert_eq!(a.union(&b), Rect::new(0, 0, 150, 150));
+    }
+
+    #[test]
+    fn disjoint_rects_have_no_intersection() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(20, 20, 30, 30);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.intersection(&b), None);
+        assert_eq!(a.spacing_to(&b), 10);
+    }
+
+    #[test]
+    fn expansion_and_translation() {
+        let r = Rect::new(10, 10, 20, 20);
+        assert_eq!(r.expanded(5), Rect::new(5, 5, 25, 25));
+        assert_eq!(r.expanded(-2), Rect::new(12, 12, 18, 18));
+        assert_eq!(r.translated(Vector::new(-10, 5)), Rect::new(0, 15, 10, 25));
+    }
+
+    #[test]
+    fn to_polygon_is_ccw_with_matching_area() {
+        let r = Rect::new(0, 0, 70, 70);
+        let p = r.to_polygon();
+        assert_eq!(p.area(), r.area());
+        assert!(p.is_counter_clockwise());
+    }
+
+    #[test]
+    fn spacing_when_touching_is_zero() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10);
+        assert_eq!(a.spacing_to(&b), 0);
+    }
+}

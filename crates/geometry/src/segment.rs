@@ -1,0 +1,407 @@
+//! Boundary fragmentation: segments, control points and EPE measure points.
+//!
+//! Following the conventional OPC flow described in the CAMO paper, each
+//! target-pattern boundary is split into movable *segments*. Via-layer
+//! patterns keep one segment per edge; metal-layer edges along the primary
+//! direction are split so that each EPE measure point (60 nm spacing) sits at
+//! the centre of its segment, with remainders absorbed by line ends.
+
+use crate::point::{Coord, Point, Vector};
+use crate::polygon::Polygon;
+
+/// Identifier of a segment within a [`Fragments`] collection.
+pub type SegmentId = usize;
+
+/// Axis orientation of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// The segment runs parallel to the x axis.
+    Horizontal,
+    /// The segment runs parallel to the y axis.
+    Vertical,
+}
+
+/// Outward direction of a segment (the direction a positive offset moves it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Outward normal points in +x.
+    East,
+    /// Outward normal points in -x.
+    West,
+    /// Outward normal points in +y.
+    North,
+    /// Outward normal points in -y.
+    South,
+}
+
+impl Direction {
+    /// Unit vector of the outward normal.
+    pub fn unit(self) -> Vector {
+        match self {
+            Direction::East => Vector::new(1, 0),
+            Direction::West => Vector::new(-1, 0),
+            Direction::North => Vector::new(0, 1),
+            Direction::South => Vector::new(0, -1),
+        }
+    }
+
+    /// Orientation of a segment whose outward normal is `self`.
+    pub fn segment_orientation(self) -> Orientation {
+        match self {
+            Direction::East | Direction::West => Orientation::Vertical,
+            Direction::North | Direction::South => Orientation::Horizontal,
+        }
+    }
+}
+
+/// A movable fragment of a target-pattern edge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Index of this segment in its [`Fragments`] collection.
+    pub id: SegmentId,
+    /// Index of the owning polygon within the clip.
+    pub polygon: usize,
+    /// Index of the owning edge within the polygon's edge loop.
+    pub edge: usize,
+    /// Segment start point on the *target* boundary (loop order).
+    pub start: Point,
+    /// Segment end point on the *target* boundary (loop order).
+    pub end: Point,
+    /// Outward normal direction: positive offsets move the segment this way.
+    pub outward: Direction,
+    /// True when this segment is a line end (metal layer) or a via edge.
+    pub is_line_end: bool,
+}
+
+impl Segment {
+    /// The control point: midpoint of the segment on the target boundary.
+    pub fn control_point(&self) -> Point {
+        Point::new((self.start.x + self.end.x) / 2, (self.start.y + self.end.y) / 2)
+    }
+
+    /// Segment length in nm.
+    pub fn length(&self) -> Coord {
+        self.start.manhattan_distance(self.end)
+    }
+
+    /// Orientation of the segment itself.
+    pub fn orientation(&self) -> Orientation {
+        self.outward.segment_orientation()
+    }
+}
+
+/// A control point: the midpoint of a segment, used as the centre of its
+/// squish-pattern window and as the graph-node location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ControlPoint {
+    /// Segment this control point belongs to.
+    pub segment: SegmentId,
+    /// Location on the target boundary.
+    pub location: Point,
+}
+
+/// An EPE measure point on the target boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeasurePoint {
+    /// Segment whose EPE this point measures.
+    pub segment: SegmentId,
+    /// Location on the target boundary.
+    pub location: Point,
+    /// Outward direction at this point (EPE is signed along this direction).
+    pub outward: Direction,
+}
+
+/// Parameters controlling boundary fragmentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentationParams {
+    /// Spacing between EPE measure points along primary-direction edges, nm.
+    /// Each interior segment is centred on one measure point.
+    pub measure_spacing: Coord,
+    /// When true, every polygon edge becomes exactly one segment regardless
+    /// of its length (via-layer convention).
+    pub edge_as_single_segment: bool,
+    /// Minimum length for a line-end segment before the remainder is merged
+    /// into its neighbour, nm.
+    pub min_segment_length: Coord,
+}
+
+impl FragmentationParams {
+    /// Via-layer convention: each via edge is one segment with the measure
+    /// point at the edge centre.
+    pub fn via_layer() -> Self {
+        Self {
+            measure_spacing: 70,
+            edge_as_single_segment: true,
+            min_segment_length: 10,
+        }
+    }
+
+    /// Metal-layer convention from the paper: measure points every 60 nm
+    /// along primary-direction edges, remainders absorbed by line ends.
+    pub fn metal_layer() -> Self {
+        Self {
+            measure_spacing: 60,
+            edge_as_single_segment: false,
+            min_segment_length: 10,
+        }
+    }
+}
+
+impl Default for FragmentationParams {
+    fn default() -> Self {
+        Self::metal_layer()
+    }
+}
+
+/// The result of fragmenting one or more polygons.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Fragments {
+    /// All segments, indexed by [`SegmentId`].
+    pub segments: Vec<Segment>,
+    /// One measure point per segment, in segment order.
+    pub measure_points: Vec<MeasurePoint>,
+}
+
+impl Fragments {
+    /// Control points of all segments, in segment order.
+    pub fn control_points(&self) -> Vec<ControlPoint> {
+        self.segments
+            .iter()
+            .map(|s| ControlPoint {
+                segment: s.id,
+                location: s.control_point(),
+            })
+            .collect()
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when no segments are present.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Appends another collection, re-indexing its segments.
+    pub fn extend(&mut self, other: Fragments) {
+        let base = self.segments.len();
+        for mut s in other.segments {
+            s.id += base;
+            self.segments.push(s);
+        }
+        for mut m in other.measure_points {
+            m.segment += base;
+            self.measure_points.push(m);
+        }
+    }
+
+    /// Segments belonging to polygon `polygon`, in boundary order.
+    pub fn segments_of_polygon(&self, polygon: usize) -> Vec<&Segment> {
+        self.segments.iter().filter(|s| s.polygon == polygon).collect()
+    }
+}
+
+/// Outward normal of edge `(a, b)` of a counter-clockwise polygon.
+fn outward_of_edge(a: Point, b: Point) -> Direction {
+    // For a CCW loop the interior lies to the left of the directed edge, so
+    // the outward normal is the right-hand normal.
+    if a.x == b.x {
+        // vertical edge
+        if b.y > a.y {
+            Direction::East
+        } else {
+            Direction::West
+        }
+    } else if b.x > a.x {
+        Direction::South
+    } else {
+        Direction::North
+    }
+}
+
+/// Splits one directed edge into segments so that measure points at
+/// `spacing` intervals sit at segment centres; remainders go to the ends.
+fn split_edge(a: Point, b: Point, spacing: Coord, min_len: Coord) -> Vec<(Point, Point)> {
+    let length = a.manhattan_distance(b);
+    if length <= spacing + min_len {
+        return vec![(a, b)];
+    }
+    // Number of interior measure points that fit with full spacing.
+    let n_points = (length / spacing).max(1);
+    let covered = n_points * spacing;
+    let remainder = length - covered;
+    let lead = remainder / 2;
+    let trail = remainder - lead;
+    // Walk along the edge: first segment of (lead + spacing/2 .. ), interior
+    // segments of `spacing`, last segment absorbing the trailing remainder.
+    let dir = Vector::new((b.x - a.x).signum(), (b.y - a.y).signum());
+    let mut cuts: Vec<Coord> = Vec::new();
+    // The first measure point sits at lead + spacing/2; segment boundaries
+    // are halfway between measure points.
+    let first_center = lead + spacing / 2;
+    let mut c = first_center + spacing / 2;
+    while c < length {
+        cuts.push(c);
+        c += spacing;
+    }
+    // Drop a trailing cut that would create a sliver shorter than min_len.
+    while let Some(&last) = cuts.last() {
+        if length - last < min_len.max(trail.min(spacing / 2)) && cuts.len() > 1 {
+            cuts.pop();
+        } else {
+            break;
+        }
+    }
+    let mut out = Vec::with_capacity(cuts.len() + 1);
+    let mut prev = 0;
+    for &cut in &cuts {
+        out.push((a + dir.scaled(prev), a + dir.scaled(cut)));
+        prev = cut;
+    }
+    out.push((a + dir.scaled(prev), b));
+    out
+}
+
+/// Fragments a single counter-clockwise polygon's boundary.
+///
+/// `polygon_index` is recorded in every produced [`Segment`] so that segments
+/// from several polygons can be collected into one [`Fragments`] set.
+///
+/// # Panics
+///
+/// Panics if `polygon` is not counter-clockwise (call
+/// [`Polygon::normalized`] first).
+pub fn fragment_polygon(
+    polygon: &Polygon,
+    polygon_index: usize,
+    params: &FragmentationParams,
+) -> Fragments {
+    assert!(
+        polygon.is_counter_clockwise(),
+        "fragment_polygon requires a counter-clockwise polygon"
+    );
+    let mut frags = Fragments::default();
+    let edges: Vec<(Point, Point)> = polygon.edges().collect();
+    for (edge_idx, &(a, b)) in edges.iter().enumerate() {
+        let outward = outward_of_edge(a, b);
+        let pieces = if params.edge_as_single_segment {
+            vec![(a, b)]
+        } else {
+            split_edge(a, b, params.measure_spacing, params.min_segment_length)
+        };
+        let n_pieces = pieces.len();
+        for (k, (s, e)) in pieces.into_iter().enumerate() {
+            let id = frags.segments.len();
+            let is_line_end = params.edge_as_single_segment || k == 0 || k + 1 == n_pieces;
+            let seg = Segment {
+                id,
+                polygon: polygon_index,
+                edge: edge_idx,
+                start: s,
+                end: e,
+                outward,
+                is_line_end,
+            };
+            let mp = MeasurePoint {
+                segment: id,
+                location: seg.control_point(),
+                outward,
+            };
+            frags.segments.push(seg);
+            frags.measure_points.push(mp);
+        }
+    }
+    frags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::Rect;
+
+    #[test]
+    fn via_edge_is_single_segment() {
+        let poly = Rect::new(0, 0, 70, 70).to_polygon();
+        let frags = fragment_polygon(&poly, 0, &FragmentationParams::via_layer());
+        assert_eq!(frags.segments.len(), 4);
+        for s in &frags.segments {
+            assert_eq!(s.length(), 70);
+            assert_eq!(s.control_point(), frags.measure_points[s.id].location);
+        }
+        // Check outward directions cover all four sides.
+        let dirs: std::collections::HashSet<_> =
+            frags.segments.iter().map(|s| s.outward).collect();
+        assert_eq!(dirs.len(), 4);
+    }
+
+    #[test]
+    fn outward_directions_point_away_from_interior() {
+        let poly = Rect::new(0, 0, 70, 70).to_polygon();
+        let frags = fragment_polygon(&poly, 0, &FragmentationParams::via_layer());
+        for s in &frags.segments {
+            let cp = s.control_point();
+            let outside = cp + s.outward.unit().scaled(5);
+            let inside = cp + (-s.outward.unit()).scaled(5);
+            assert!(!poly.contains_point(outside), "outward of {s:?} points inside");
+            assert!(poly.contains_point(inside), "inward of {s:?} points outside");
+        }
+    }
+
+    #[test]
+    fn metal_edge_splits_at_measure_spacing() {
+        // A 300 nm long, 50 nm wide wire: long edges split every 60 nm.
+        let poly = Rect::new(0, 0, 300, 50).to_polygon();
+        let frags = fragment_polygon(&poly, 0, &FragmentationParams::metal_layer());
+        // Long edges are 300 nm -> 5 measure points each; short edges single.
+        let bottom: Vec<_> = frags
+            .segments
+            .iter()
+            .filter(|s| s.outward == Direction::South)
+            .collect();
+        assert!(bottom.len() >= 4, "expected >=4 bottom segments, got {}", bottom.len());
+        let total: Coord = bottom.iter().map(|s| s.length()).sum();
+        assert_eq!(total, 300);
+        // First/last flagged as line ends.
+        assert!(bottom.first().unwrap().is_line_end);
+        assert!(bottom.last().unwrap().is_line_end);
+    }
+
+    #[test]
+    fn fragments_extend_reindexes() {
+        let p1 = Rect::new(0, 0, 70, 70).to_polygon();
+        let p2 = Rect::new(200, 0, 270, 70).to_polygon();
+        let mut a = fragment_polygon(&p1, 0, &FragmentationParams::via_layer());
+        let b = fragment_polygon(&p2, 1, &FragmentationParams::via_layer());
+        a.extend(b);
+        assert_eq!(a.segments.len(), 8);
+        for (i, s) in a.segments.iter().enumerate() {
+            assert_eq!(s.id, i);
+            assert_eq!(a.measure_points[i].segment, i);
+        }
+        assert_eq!(a.segments_of_polygon(1).len(), 4);
+    }
+
+    #[test]
+    fn segment_lengths_cover_edge_exactly() {
+        for len in [120_i64, 180, 250, 333, 601] {
+            let poly = Rect::new(0, 0, len, 50).to_polygon();
+            let frags = fragment_polygon(&poly, 0, &FragmentationParams::metal_layer());
+            let south: Coord = frags
+                .segments
+                .iter()
+                .filter(|s| s.outward == Direction::South)
+                .map(|s| s.length())
+                .sum();
+            assert_eq!(south, len, "edge length {len} not fully covered");
+        }
+    }
+
+    #[test]
+    fn direction_units_are_consistent() {
+        assert_eq!(Direction::East.unit(), Vector::new(1, 0));
+        assert_eq!(Direction::North.segment_orientation(), Orientation::Horizontal);
+        assert_eq!(Direction::West.segment_orientation(), Orientation::Vertical);
+    }
+}

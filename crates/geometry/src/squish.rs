@@ -1,0 +1,404 @@
+//! Squish-pattern encoding (Figure 3 of the CAMO paper).
+//!
+//! Layout windows are sparse, so instead of rasterising them into large pixel
+//! images, the *squish pattern* places scanlines only at geometry edges. The
+//! window becomes a small occupancy matrix `M` plus two spacing vectors
+//! `δx`/`δy` holding the physical width of every grid interval in nm.
+//!
+//! The policy network needs a fixed input size, so the variable-size squish
+//! pattern is converted to an [`AdaptiveSquishTensor`] of `d × d × 3`
+//! channels (occupancy, x-spacing, y-spacing), padding or merging grid
+//! intervals as required — the "adaptive squish pattern" of Yang et al.
+//! (ASPDAC'19) that both RL-OPC and CAMO use.
+
+use crate::point::Coord;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+
+/// A variable-size squish encoding of one layout window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquishPattern {
+    /// Occupancy matrix, row-major: `matrix[row * cols + col]`, 1.0 when the
+    /// grid cell is covered by geometry.
+    pub matrix: Vec<f64>,
+    /// Horizontal interval widths in nm (length = `cols`).
+    pub delta_x: Vec<Coord>,
+    /// Vertical interval heights in nm (length = `rows`).
+    pub delta_y: Vec<Coord>,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of rows.
+    pub rows: usize,
+}
+
+impl SquishPattern {
+    /// Encodes the geometry visible in `window`.
+    ///
+    /// Scanlines are placed at the window boundary, at every polygon edge and
+    /// at every rectangle edge that falls inside the window. `extra_x` /
+    /// `extra_y` allow callers to force additional scanlines (CAMO adds the
+    /// *target* edges when encoding the mask so that edge movements stand
+    /// out).
+    pub fn encode(
+        window: Rect,
+        polygons: &[Polygon],
+        rects: &[Rect],
+        extra_x: &[Coord],
+        extra_y: &[Coord],
+    ) -> Self {
+        let mut xs: Vec<Coord> = vec![window.x0, window.x1];
+        let mut ys: Vec<Coord> = vec![window.y0, window.y1];
+        for p in polygons {
+            for (a, b) in p.edges() {
+                if a.x == b.x {
+                    if a.x > window.x0 && a.x < window.x1 {
+                        xs.push(a.x);
+                    }
+                } else if a.y > window.y0 && a.y < window.y1 {
+                    ys.push(a.y);
+                }
+            }
+        }
+        for r in rects {
+            for x in [r.x0, r.x1] {
+                if x > window.x0 && x < window.x1 {
+                    xs.push(x);
+                }
+            }
+            for y in [r.y0, r.y1] {
+                if y > window.y0 && y < window.y1 {
+                    ys.push(y);
+                }
+            }
+        }
+        for &x in extra_x {
+            if x > window.x0 && x < window.x1 {
+                xs.push(x);
+            }
+        }
+        for &y in extra_y {
+            if y > window.y0 && y < window.y1 {
+                ys.push(y);
+            }
+        }
+        xs.sort_unstable();
+        xs.dedup();
+        ys.sort_unstable();
+        ys.dedup();
+
+        let cols = xs.len() - 1;
+        let rows = ys.len() - 1;
+        let delta_x: Vec<Coord> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+        let delta_y: Vec<Coord> = ys.windows(2).map(|w| w[1] - w[0]).collect();
+        let mut matrix = vec![0.0; cols * rows];
+        for row in 0..rows {
+            let cy = (ys[row] + ys[row + 1]) / 2;
+            for col in 0..cols {
+                let cx = (xs[col] + xs[col + 1]) / 2;
+                let p = crate::point::Point::new(cx, cy);
+                let covered = polygons.iter().any(|poly| poly.contains_point(p))
+                    || rects.iter().any(|r| r.contains_point(p) && !r.is_empty());
+                if covered {
+                    matrix[row * cols + col] = 1.0;
+                }
+            }
+        }
+        Self {
+            matrix,
+            delta_x,
+            delta_y,
+            cols,
+            rows,
+        }
+    }
+
+    /// Occupancy value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn occupancy(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "squish index out of range");
+        self.matrix[row * self.cols + col]
+    }
+
+    /// Total covered area represented by the pattern, nm².
+    pub fn covered_area(&self) -> i64 {
+        let mut area = 0;
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                if self.matrix[row * self.cols + col] > 0.5 {
+                    area += self.delta_x[col] * self.delta_y[row];
+                }
+            }
+        }
+        area
+    }
+
+    /// Total window area, nm².
+    pub fn window_area(&self) -> i64 {
+        let w: Coord = self.delta_x.iter().sum();
+        let h: Coord = self.delta_y.iter().sum();
+        w * h
+    }
+}
+
+/// A fixed-size, 3-channel tensor derived from a [`SquishPattern`].
+///
+/// Channels: 0 = occupancy, 1 = normalised x-spacing of the cell's column,
+/// 2 = normalised y-spacing of the cell's row. Spacings are normalised by the
+/// window extent so all values lie in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveSquishTensor {
+    /// Tensor values, layout `[channel][row][col]` flattened row-major.
+    pub data: Vec<f64>,
+    /// Side length (rows = cols = `size`).
+    pub size: usize,
+}
+
+impl AdaptiveSquishTensor {
+    /// Number of channels in the tensor.
+    pub const CHANNELS: usize = 3;
+
+    /// Converts a squish pattern to a fixed `size × size × 3` tensor.
+    ///
+    /// Columns/rows are merged (smallest spacing first) when the pattern is
+    /// larger than `size`, and zero-spacing entries are appended when it is
+    /// smaller, exactly preserving total covered area in the spacing
+    /// channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn from_pattern(pattern: &SquishPattern, size: usize) -> Self {
+        assert!(size > 0, "tensor size must be positive");
+        let (matrix, dx, dy) = adapt(pattern, size);
+        let wx: Coord = dx.iter().sum::<Coord>().max(1);
+        let wy: Coord = dy.iter().sum::<Coord>().max(1);
+        let mut data = vec![0.0; Self::CHANNELS * size * size];
+        let plane = size * size;
+        for row in 0..size {
+            for col in 0..size {
+                let idx = row * size + col;
+                data[idx] = matrix[idx];
+                data[plane + idx] = dx[col] as f64 / wx as f64;
+                data[2 * plane + idx] = dy[row] as f64 / wy as f64;
+            }
+        }
+        Self { data, size }
+    }
+
+    /// Value of `channel` at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn get(&self, channel: usize, row: usize, col: usize) -> f64 {
+        assert!(channel < Self::CHANNELS && row < self.size && col < self.size);
+        self.data[channel * self.size * self.size + row * self.size + col]
+    }
+
+    /// Flattened length (`3 · size²`).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has zero size (never happens for valid tensors).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Concatenates two tensors channel-wise (used by CAMO to stack the mask
+    /// encoding with the target-edge-highlighted encoding into 6 channels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes differ.
+    pub fn concat(&self, other: &AdaptiveSquishTensor) -> Vec<f64> {
+        assert_eq!(self.size, other.size, "cannot concatenate tensors of different size");
+        let mut out = Vec::with_capacity(self.data.len() + other.data.len());
+        out.extend_from_slice(&self.data);
+        out.extend_from_slice(&other.data);
+        out
+    }
+}
+
+/// Merges or pads a squish pattern to exactly `size × size`.
+fn adapt(pattern: &SquishPattern, size: usize) -> (Vec<f64>, Vec<Coord>, Vec<Coord>) {
+    let mut matrix = pattern.matrix.clone();
+    let mut cols = pattern.cols;
+    let mut rows = pattern.rows;
+    let mut dx = pattern.delta_x.clone();
+    let mut dy = pattern.delta_y.clone();
+
+    // Merge columns while too many.
+    while cols > size {
+        let (i, _) = dx
+            .windows(2)
+            .enumerate()
+            .min_by_key(|(_, w)| w[0] + w[1])
+            .expect("at least two columns when merging");
+        let mut new_matrix = Vec::with_capacity(rows * (cols - 1));
+        for row in 0..rows {
+            for col in 0..cols {
+                if col == i + 1 {
+                    continue;
+                }
+                let mut v = matrix[row * cols + col];
+                if col == i {
+                    v = v.max(matrix[row * cols + col + 1]);
+                }
+                new_matrix.push(v);
+            }
+        }
+        dx[i] += dx[i + 1];
+        dx.remove(i + 1);
+        matrix = new_matrix;
+        cols -= 1;
+    }
+    // Merge rows while too many.
+    while rows > size {
+        let (i, _) = dy
+            .windows(2)
+            .enumerate()
+            .min_by_key(|(_, w)| w[0] + w[1])
+            .expect("at least two rows when merging");
+        let mut new_matrix = Vec::with_capacity((rows - 1) * cols);
+        for row in 0..rows {
+            if row == i + 1 {
+                continue;
+            }
+            for col in 0..cols {
+                let mut v = matrix[row * cols + col];
+                if row == i {
+                    v = v.max(matrix[(row + 1) * cols + col]);
+                }
+                new_matrix.push(v);
+            }
+        }
+        dy[i] += dy[i + 1];
+        dy.remove(i + 1);
+        matrix = new_matrix;
+        rows -= 1;
+    }
+    // Pad with zero-spacing columns/rows when too few.
+    if cols < size {
+        let add = size - cols;
+        let mut new_matrix = Vec::with_capacity(rows * size);
+        for row in 0..rows {
+            new_matrix.extend_from_slice(&matrix[row * cols..(row + 1) * cols]);
+            new_matrix.extend(std::iter::repeat(0.0).take(add));
+        }
+        dx.extend(std::iter::repeat(0).take(add));
+        matrix = new_matrix;
+        cols = size;
+    }
+    if rows < size {
+        let add = size - rows;
+        matrix.extend(std::iter::repeat(0.0).take(add * cols));
+        dy.extend(std::iter::repeat(0).take(add));
+        rows = size;
+    }
+    debug_assert_eq!(matrix.len(), rows * cols);
+    (matrix, dx, dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    #[test]
+    fn encode_single_rect_window() {
+        // A 70 nm via centred in a 500 nm window: 3x3 grid, centre cell set.
+        let window = Rect::new(0, 0, 500, 500);
+        let via = Rect::new(215, 215, 285, 285);
+        let sp = SquishPattern::encode(window, &[via.to_polygon()], &[], &[], &[]);
+        assert_eq!(sp.cols, 3);
+        assert_eq!(sp.rows, 3);
+        assert_eq!(sp.occupancy(1, 1), 1.0);
+        assert_eq!(sp.occupancy(0, 0), 0.0);
+        assert_eq!(sp.covered_area(), 70 * 70);
+        assert_eq!(sp.window_area(), 500 * 500);
+        assert_eq!(sp.delta_x, vec![215, 70, 215]);
+    }
+
+    #[test]
+    fn encode_includes_sraf_rects() {
+        let window = Rect::new(0, 0, 400, 400);
+        let via = Rect::new(165, 165, 235, 235);
+        let sraf = Rect::new(40, 165, 60, 235);
+        let sp = SquishPattern::encode(window, &[via.to_polygon()], &[sraf], &[], &[]);
+        assert_eq!(sp.covered_area(), 70 * 70 + 20 * 70);
+    }
+
+    #[test]
+    fn extra_scanlines_add_grid_lines() {
+        let window = Rect::new(0, 0, 100, 100);
+        let sp0 = SquishPattern::encode(window, &[], &[], &[], &[]);
+        assert_eq!(sp0.cols, 1);
+        let sp1 = SquishPattern::encode(window, &[], &[], &[30, 60], &[50]);
+        assert_eq!(sp1.cols, 3);
+        assert_eq!(sp1.rows, 2);
+        assert_eq!(sp1.covered_area(), 0);
+    }
+
+    #[test]
+    fn adaptive_tensor_pads_small_patterns() {
+        let window = Rect::new(0, 0, 500, 500);
+        let via = Rect::new(215, 215, 285, 285);
+        let sp = SquishPattern::encode(window, &[via.to_polygon()], &[], &[], &[]);
+        let t = AdaptiveSquishTensor::from_pattern(&sp, 8);
+        assert_eq!(t.size, 8);
+        assert_eq!(t.len(), 3 * 64);
+        // Occupancy channel preserves the filled cell.
+        assert_eq!(t.get(0, 1, 1), 1.0);
+        // Padded cells carry zero spacing.
+        assert_eq!(t.get(1, 0, 7), 0.0);
+    }
+
+    #[test]
+    fn adaptive_tensor_merges_large_patterns() {
+        // Many small rects -> more than `size` grid lines; merging must keep
+        // values in [0, 1] and the requested dimensions.
+        let window = Rect::new(0, 0, 1000, 1000);
+        let rects: Vec<Rect> = (0..12)
+            .map(|i| Rect::new(10 + i * 80, 10 + i * 80, 40 + i * 80, 40 + i * 80))
+            .collect();
+        let polys: Vec<Polygon> = rects.iter().map(|r| r.to_polygon()).collect();
+        let sp = SquishPattern::encode(window, &polys, &[], &[], &[]);
+        assert!(sp.cols > 8);
+        let t = AdaptiveSquishTensor::from_pattern(&sp, 8);
+        assert_eq!(t.size, 8);
+        for v in &t.data {
+            assert!((0.0..=1.0).contains(v), "value {v} out of range");
+        }
+        // Some occupancy must survive the merge.
+        assert!(t.data[..64].iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn concat_produces_six_channels() {
+        let window = Rect::new(0, 0, 200, 200);
+        let via = Rect::new(65, 65, 135, 135);
+        let sp = SquishPattern::encode(window, &[via.to_polygon()], &[], &[], &[]);
+        let t = AdaptiveSquishTensor::from_pattern(&sp, 4);
+        let stacked = t.concat(&t);
+        assert_eq!(stacked.len(), 6 * 16);
+    }
+
+    #[test]
+    fn window_off_origin_is_supported() {
+        let window = Rect::new(1000, 1000, 1500, 1500);
+        let via = Rect::new(1215, 1215, 1285, 1285);
+        let sp = SquishPattern::encode(window, &[via.to_polygon()], &[], &[], &[]);
+        assert_eq!(sp.covered_area(), 70 * 70);
+        assert!(sp
+            .matrix
+            .iter()
+            .zip(0..)
+            .any(|(&v, _)| v > 0.5));
+        let p = Point::new(1250, 1250);
+        assert!(via.contains_point(p));
+    }
+}

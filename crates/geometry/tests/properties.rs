@@ -1,0 +1,99 @@
+//! Property-based tests of the geometry substrate's core invariants.
+
+use camo_geometry::{
+    fragment_polygon, Clip, FragmentationParams, MaskState, Point, Polygon, Rect, SquishPattern,
+};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0i64..500, 0i64..500, 20i64..300, 20i64..300)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rectangle area equals the area of its polygon, and the polygon is CCW.
+    #[test]
+    fn rect_polygon_roundtrip(rect in arb_rect()) {
+        let poly = rect.to_polygon();
+        prop_assert_eq!(poly.area(), rect.area());
+        prop_assert!(poly.is_counter_clockwise());
+        prop_assert_eq!(poly.bounding_box(), rect);
+        prop_assert_eq!(poly.perimeter(), 2 * (rect.width() + rect.height()));
+    }
+
+    /// Intersection is commutative and contained in both operands.
+    #[test]
+    fn rect_intersection_properties(a in arb_rect(), b in arb_rect()) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab, ba);
+        if let Some(i) = ab {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area().min(b.area()));
+        }
+        // Union always contains both.
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a) && u.contains_rect(&b));
+    }
+
+    /// Fragmentation covers every edge exactly, regardless of edge length.
+    #[test]
+    fn fragmentation_covers_boundary(rect in arb_rect()) {
+        let poly = rect.to_polygon();
+        let frags = fragment_polygon(&poly, 0, &FragmentationParams::metal_layer());
+        let total: i64 = frags.segments.iter().map(|s| s.length()).sum();
+        prop_assert_eq!(total, poly.perimeter());
+        // One measure point per segment, located at the control point.
+        prop_assert_eq!(frags.measure_points.len(), frags.segments.len());
+        for (mp, seg) in frags.measure_points.iter().zip(&frags.segments) {
+            prop_assert_eq!(mp.location, seg.control_point());
+        }
+    }
+
+    /// Moving segments and resetting always reproduces the target polygon,
+    /// and any sequence of bounded moves keeps the mask polygon valid.
+    #[test]
+    fn mask_moves_keep_polygons_valid(
+        rect in arb_rect(),
+        moves in prop::collection::vec(-2i64..=2, 1..40),
+    ) {
+        let mut clip = Clip::new(Rect::new(-50, -50, 900, 900));
+        clip.add_target(rect.to_polygon());
+        let mut mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+        let n = mask.segment_count();
+        for (i, &m) in moves.iter().enumerate() {
+            mask.move_segment(i % n, m);
+        }
+        for poly in mask.mask_polygons() {
+            prop_assert!(poly.area() > 0);
+            prop_assert!(poly.is_counter_clockwise());
+        }
+        mask.reset();
+        prop_assert_eq!(mask.mask_polygons()[0].area(), rect.area());
+    }
+
+    /// The squish pattern always reproduces the covered area of the encoded
+    /// geometry when the geometry lies inside the window.
+    #[test]
+    fn squish_preserves_covered_area(x in 50i64..300, y in 50i64..300, w in 10i64..100, h in 10i64..100) {
+        let window = Rect::new(0, 0, 500, 500);
+        let rect = Rect::new(x, y, (x + w).min(499), (y + h).min(499));
+        let sp = SquishPattern::encode(window, &[rect.to_polygon()], &[], &[], &[]);
+        prop_assert_eq!(sp.covered_area(), rect.area());
+        prop_assert_eq!(sp.window_area(), 500 * 500);
+        // Occupancy values are binary.
+        prop_assert!(sp.matrix.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    /// Point containment of a rectangle's polygon matches the rectangle's own
+    /// containment test.
+    #[test]
+    fn polygon_containment_matches_rect(rect in arb_rect(), px in -10i64..600, py in -10i64..600) {
+        let poly: Polygon = rect.to_polygon();
+        let p = Point::new(px, py);
+        prop_assert_eq!(poly.contains_point(p), rect.contains_point(p));
+    }
+}

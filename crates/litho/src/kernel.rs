@@ -1,0 +1,150 @@
+//! Optical kernels: a sum-of-Gaussians approximation of the projection optics.
+//!
+//! A full Hopkins/SOCS decomposition of a 193 nm immersion scanner yields a
+//! handful of dominant kernels whose point-spread functions are smooth,
+//! band-limited blobs with a width set by `λ / NA` (roughly 35–70 nm at the
+//! nodes the CAMO benchmarks target). We approximate each kernel with an
+//! isotropic Gaussian, which preserves the properties the OPC loop depends
+//! on: limited proximity range, corner rounding, line-end pullback, and a
+//! smooth, monotone response to mask-edge movement.
+
+/// A single isotropic Gaussian convolution kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianKernel {
+    /// Relative weight of this kernel in the intensity sum.
+    pub weight: f64,
+    /// Standard deviation in nm.
+    pub sigma_nm: f64,
+}
+
+impl GaussianKernel {
+    /// Creates a kernel with the given weight and width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_nm <= 0` or `weight < 0`.
+    pub fn new(weight: f64, sigma_nm: f64) -> Self {
+        assert!(sigma_nm > 0.0, "kernel sigma must be positive");
+        assert!(weight >= 0.0, "kernel weight must be non-negative");
+        Self { weight, sigma_nm }
+    }
+
+    /// Discretises the kernel into normalised 1-D taps at `pixel_size` nm,
+    /// truncated at ±3σ. The taps sum to 1.
+    pub fn taps(&self, pixel_size: i64, extra_blur_nm: f64) -> Vec<f64> {
+        let sigma = (self.sigma_nm.powi(2) + extra_blur_nm.powi(2)).sqrt();
+        let sigma_px = sigma / pixel_size as f64;
+        let radius = (3.0 * sigma_px).ceil() as i64;
+        let mut taps = Vec::with_capacity((2 * radius + 1) as usize);
+        let mut sum = 0.0;
+        for i in -radius..=radius {
+            let x = i as f64;
+            let v = (-0.5 * (x / sigma_px).powi(2)).exp();
+            taps.push(v);
+            sum += v;
+        }
+        for t in &mut taps {
+            *t /= sum;
+        }
+        taps
+    }
+}
+
+/// The projection-optics model: a weighted set of Gaussian kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpticalModel {
+    kernels: Vec<GaussianKernel>,
+}
+
+impl OpticalModel {
+    /// Builds a model from explicit kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty.
+    pub fn new(kernels: Vec<GaussianKernel>) -> Self {
+        assert!(!kernels.is_empty(), "an optical model needs at least one kernel");
+        Self { kernels }
+    }
+
+    /// Default two-kernel model: a dominant main lobe plus a wider, weaker
+    /// lobe producing realistic proximity interactions out to ~150 nm.
+    pub fn default_dac_node() -> Self {
+        Self::new(vec![
+            GaussianKernel::new(1.0, 28.0),
+            GaussianKernel::new(0.35, 60.0),
+        ])
+    }
+
+    /// A single-kernel model (used for quick tests and ablations).
+    pub fn single(sigma_nm: f64) -> Self {
+        Self::new(vec![GaussianKernel::new(1.0, sigma_nm)])
+    }
+
+    /// The kernels in this model.
+    pub fn kernels(&self) -> &[GaussianKernel] {
+        &self.kernels
+    }
+
+    /// Total weight of all kernels.
+    pub fn total_weight(&self) -> f64 {
+        self.kernels.iter().map(|k| k.weight).sum()
+    }
+
+    /// The widest sigma in the model (defines the proximity range).
+    pub fn max_sigma(&self) -> f64 {
+        self.kernels
+            .iter()
+            .map(|k| k.sigma_nm)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Default for OpticalModel {
+    fn default() -> Self {
+        Self::default_dac_node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taps_are_normalised_and_symmetric() {
+        let k = GaussianKernel::new(1.0, 28.0);
+        let taps = k.taps(4, 0.0);
+        let sum: f64 = taps.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(taps.len() % 2, 1);
+        let n = taps.len();
+        for i in 0..n / 2 {
+            assert!((taps[i] - taps[n - 1 - i]).abs() < 1e-12);
+        }
+        // Centre tap is the largest.
+        let mid = taps[n / 2];
+        assert!(taps.iter().all(|&t| t <= mid + 1e-15));
+    }
+
+    #[test]
+    fn extra_blur_widens_taps() {
+        let k = GaussianKernel::new(1.0, 28.0);
+        let base = k.taps(4, 0.0);
+        let blurred = k.taps(4, 20.0);
+        assert!(blurred.len() > base.len());
+    }
+
+    #[test]
+    fn default_model_has_two_kernels() {
+        let m = OpticalModel::default();
+        assert_eq!(m.kernels().len(), 2);
+        assert!(m.total_weight() > 1.0);
+        assert!((m.max_sigma() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn zero_sigma_rejected() {
+        let _ = GaussianKernel::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Lithography simulation substrate for CAMO-RS.
+//!
+//! The CAMO paper evaluates masks with a Calibre-compatible industrial
+//! lithography simulator. That simulator is proprietary, so this crate
+//! provides the closest open equivalent exercising the same code path:
+//!
+//! * a **partially-coherent optical model** approximated by a weighted sum of
+//!   Gaussian kernels (a SOCS-style decomposition, [`kernel`]),
+//! * an **aerial image** computed by separable convolution of the rasterised
+//!   mask ([`aerial`]),
+//! * a **sigmoid/threshold resist model** ([`resist`]),
+//! * **process corners** (dose and defocus variation) and the **PV band**
+//!   ([`process`], [`pvband`]),
+//! * **EPE measurement** at standard measure points with sub-pixel contour
+//!   localisation ([`epe`]),
+//! * printed **contour extraction** ([`contour`]), and
+//! * rule-based **SRAF insertion** ([`sraf`]) standing in for the
+//!   Calibre-inserted assist features of the via-layer benchmarks.
+//!
+//! The facade type is [`LithoSimulator`]; OPC engines only consume its
+//! [`SimulationResult`] (per-point EPE, total EPE, PV-band area), which is
+//! exactly the information the paper's engines consume from Calibre.
+//!
+//! # Example
+//!
+//! ```
+//! use camo_geometry::{Clip, Rect, FragmentationParams, MaskState};
+//! use camo_litho::{LithoConfig, LithoSimulator};
+//!
+//! let mut clip = Clip::new(Rect::new(0, 0, 1000, 1000));
+//! clip.add_target(Rect::new(465, 465, 535, 535).to_polygon());
+//! let mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+//! let sim = LithoSimulator::new(LithoConfig::default());
+//! let result = sim.evaluate(&mask);
+//! assert_eq!(result.epe.per_point.len(), 4); // one EPE value per via edge
+//! ```
+
+pub mod aerial;
+pub mod contour;
+pub mod epe;
+pub mod kernel;
+pub mod process;
+pub mod pvband;
+pub mod resist;
+pub mod simulator;
+pub mod sraf;
+
+pub use aerial::rasterize_mask;
+pub use contour::{contour_cells, print_image};
+pub use epe::{measure_epe, EpeReport};
+pub use kernel::{GaussianKernel, OpticalModel};
+pub use process::ProcessCorner;
+pub use pvband::pv_band_area;
+pub use resist::ResistModel;
+pub use simulator::{LithoConfig, LithoSimulator, SimulationResult};
+pub use sraf::{insert_srafs, SrafRules};

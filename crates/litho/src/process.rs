@@ -1,0 +1,60 @@
+//! Process-variation corners.
+
+/// One lithography process condition: a dose multiplier and a defocus blur.
+///
+/// The PV band is obtained by printing the same mask under the *inner*
+/// (under-exposed / defocused) and *outer* (over-exposed) corners and taking
+/// the area between the two contours.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessCorner {
+    /// Exposure dose multiplier (1.0 = nominal).
+    pub dose: f64,
+    /// Additional defocus blur in nm (0.0 = nominal focus).
+    pub defocus_nm: f64,
+}
+
+impl ProcessCorner {
+    /// Nominal condition.
+    pub fn nominal() -> Self {
+        Self { dose: 1.0, defocus_nm: 0.0 }
+    }
+
+    /// Inner corner: lower dose and defocus — prints the smallest contour.
+    pub fn inner() -> Self {
+        Self { dose: 0.96, defocus_nm: 20.0 }
+    }
+
+    /// Outer corner: higher dose at focus — prints the largest contour.
+    pub fn outer() -> Self {
+        Self { dose: 1.04, defocus_nm: 0.0 }
+    }
+
+    /// The standard corner triple `(inner, nominal, outer)`.
+    pub fn standard_set() -> [ProcessCorner; 3] {
+        [Self::inner(), Self::nominal(), Self::outer()]
+    }
+}
+
+impl Default for ProcessCorner {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_are_ordered_by_dose() {
+        let [inner, nominal, outer] = ProcessCorner::standard_set();
+        assert!(inner.dose < nominal.dose);
+        assert!(nominal.dose < outer.dose);
+        assert!(inner.defocus_nm > nominal.defocus_nm);
+    }
+
+    #[test]
+    fn nominal_is_default() {
+        assert_eq!(ProcessCorner::default(), ProcessCorner::nominal());
+    }
+}

@@ -1,0 +1,124 @@
+//! Process-variation band computation.
+
+use camo_geometry::Raster;
+
+/// Computes the PV-band area in nm²: the area printed under the *outer*
+/// corner but not under the *inner* corner.
+///
+/// Both images must share dimensions and pixel size.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ.
+pub fn pv_band_area(
+    inner_intensity: &Raster,
+    inner_threshold: f64,
+    outer_intensity: &Raster,
+    outer_threshold: f64,
+) -> f64 {
+    assert_eq!(inner_intensity.width(), outer_intensity.width());
+    assert_eq!(inner_intensity.height(), outer_intensity.height());
+    assert_eq!(inner_intensity.pixel_size(), outer_intensity.pixel_size());
+    let px = inner_intensity.pixel_size() as f64;
+    let mut band_pixels = 0usize;
+    for (&i_in, &i_out) in inner_intensity.data().iter().zip(outer_intensity.data()) {
+        let printed_inner = i_in > inner_threshold;
+        let printed_outer = i_out > outer_threshold;
+        if printed_outer && !printed_inner {
+            band_pixels += 1;
+        }
+    }
+    band_pixels as f64 * px * px
+}
+
+/// Computes the PV-band as a binary raster (1.0 inside the band), useful for
+/// visualisation (Figure 6 of the paper).
+pub fn pv_band_image(
+    inner_intensity: &Raster,
+    inner_threshold: f64,
+    outer_intensity: &Raster,
+    outer_threshold: f64,
+) -> Raster {
+    assert_eq!(inner_intensity.width(), outer_intensity.width());
+    assert_eq!(inner_intensity.height(), outer_intensity.height());
+    let mut out = Raster::with_dimensions(
+        inner_intensity.origin(),
+        inner_intensity.pixel_size(),
+        inner_intensity.width(),
+        inner_intensity.height(),
+    );
+    for ((o, &i_in), &i_out) in out
+        .data_mut()
+        .iter_mut()
+        .zip(inner_intensity.data())
+        .zip(outer_intensity.data())
+    {
+        let printed_inner = i_in > inner_threshold;
+        let printed_outer = i_out > outer_threshold;
+        *o = if printed_outer && !printed_inner { 1.0 } else { 0.0 };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aerial::{aerial_image, rasterize_mask};
+    use crate::kernel::OpticalModel;
+    use crate::process::ProcessCorner;
+    use crate::resist::ResistModel;
+    use camo_geometry::{Clip, FragmentationParams, MaskState, Rect};
+
+    fn via_mask() -> MaskState {
+        let mut clip = Clip::new(Rect::new(0, 0, 1000, 1000));
+        clip.add_target(Rect::new(465, 465, 535, 535).to_polygon());
+        MaskState::from_clip(&clip, &FragmentationParams::via_layer())
+    }
+
+    #[test]
+    fn pv_band_is_positive_for_printing_feature() {
+        let mask = via_mask();
+        let raster = rasterize_mask(&mask, 5);
+        let model = OpticalModel::default();
+        let resist = ResistModel::default();
+        let inner_c = ProcessCorner::inner();
+        let outer_c = ProcessCorner::outer();
+        let inner = aerial_image(&raster, &model, inner_c.defocus_nm);
+        let outer = aerial_image(&raster, &model, outer_c.defocus_nm);
+        let area = pv_band_area(
+            &inner,
+            resist.dosed_threshold(inner_c.dose),
+            &outer,
+            resist.dosed_threshold(outer_c.dose),
+        );
+        assert!(area > 0.0, "PV band must be positive, got {area}");
+        // Band should be a ring, far smaller than the full printed area.
+        assert!(area < 70.0 * 70.0 * 4.0);
+    }
+
+    #[test]
+    fn identical_corners_give_zero_band() {
+        let mask = via_mask();
+        let raster = rasterize_mask(&mask, 5);
+        let model = OpticalModel::default();
+        let image = aerial_image(&raster, &model, 0.0);
+        let t = ResistModel::default().threshold;
+        assert_eq!(pv_band_area(&image, t, &image, t), 0.0);
+    }
+
+    #[test]
+    fn band_image_area_matches_band_area() {
+        let mask = via_mask();
+        let raster = rasterize_mask(&mask, 5);
+        let model = OpticalModel::default();
+        let resist = ResistModel::default();
+        let inner = aerial_image(&raster, &model, 20.0);
+        let outer = aerial_image(&raster, &model, 0.0);
+        let t_in = resist.dosed_threshold(0.96);
+        let t_out = resist.dosed_threshold(1.04);
+        let area = pv_band_area(&inner, t_in, &outer, t_out);
+        let img = pv_band_image(&inner, t_in, &outer, t_out);
+        let img_area = img.count_above(0.5) as f64 * 25.0;
+        assert!((area - img_area).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,238 @@
+//! The lithography-simulator facade used by every OPC engine.
+
+use crate::aerial::{aerial_image, rasterize_mask};
+use crate::epe::{measure_epe, EpeReport};
+use crate::kernel::OpticalModel;
+use crate::process::ProcessCorner;
+use crate::pvband::{pv_band_area, pv_band_image};
+use crate::resist::ResistModel;
+use camo_geometry::{MaskState, Raster};
+
+/// Configuration of the lithography simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LithoConfig {
+    /// Raster pixel size in nm.
+    pub pixel_size: i64,
+    /// Projection-optics model.
+    pub optical: OpticalModel,
+    /// Resist model.
+    pub resist: ResistModel,
+    /// Inner (minimum-print) process corner.
+    pub inner_corner: ProcessCorner,
+    /// Outer (maximum-print) process corner.
+    pub outer_corner: ProcessCorner,
+    /// Maximum |EPE| searched for, nm.
+    pub epe_search_range: f64,
+}
+
+impl Default for LithoConfig {
+    fn default() -> Self {
+        Self {
+            pixel_size: 5,
+            optical: OpticalModel::default(),
+            resist: ResistModel::default(),
+            inner_corner: ProcessCorner::inner(),
+            outer_corner: ProcessCorner::outer(),
+            epe_search_range: 40.0,
+        }
+    }
+}
+
+impl LithoConfig {
+    /// A faster, coarser configuration for unit tests and RL smoke training.
+    pub fn fast() -> Self {
+        Self {
+            pixel_size: 10,
+            ..Self::default()
+        }
+    }
+}
+
+/// Full evaluation of one mask: EPE at every measure point plus PV band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationResult {
+    /// Per-measure-point EPE report (nominal condition).
+    pub epe: EpeReport,
+    /// PV-band area in nm².
+    pub pv_band: f64,
+}
+
+impl SimulationResult {
+    /// Sum of |EPE| over all measure points, nm.
+    pub fn total_epe(&self) -> f64 {
+        self.epe.total_abs()
+    }
+
+    /// Mean |EPE| per measure point, nm.
+    pub fn mean_epe(&self) -> f64 {
+        self.epe.mean_abs()
+    }
+}
+
+/// The lithography simulator: rasterises masks, computes aerial images under
+/// nominal and corner conditions, and reports EPE / PV band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LithoSimulator {
+    config: LithoConfig,
+}
+
+impl LithoSimulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: LithoConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LithoConfig {
+        &self.config
+    }
+
+    /// Rasterises the mask at the configured pixel size.
+    pub fn rasterize(&self, mask: &MaskState) -> Raster {
+        rasterize_mask(mask, self.config.pixel_size)
+    }
+
+    /// Aerial image under an arbitrary process corner.
+    pub fn aerial(&self, mask: &MaskState, corner: ProcessCorner) -> Raster {
+        let raster = self.rasterize(mask);
+        aerial_image(&raster, &self.config.optical, corner.defocus_nm)
+    }
+
+    /// Effective print threshold under `corner` (dose scales the threshold).
+    pub fn threshold(&self, corner: ProcessCorner) -> f64 {
+        self.config.resist.dosed_threshold(corner.dose)
+    }
+
+    /// Binary print image under `corner`.
+    pub fn printed(&self, mask: &MaskState, corner: ProcessCorner) -> Raster {
+        let image = self.aerial(mask, corner);
+        crate::contour::print_image(&image, self.threshold(corner))
+    }
+
+    /// Measures EPE under the nominal condition only (no PV band); cheaper
+    /// than [`Self::evaluate`] and used by inner OPC loops that only need EPE.
+    pub fn evaluate_epe(&self, mask: &MaskState) -> EpeReport {
+        let nominal = self.aerial(mask, ProcessCorner::nominal());
+        measure_epe(
+            &nominal,
+            self.threshold(ProcessCorner::nominal()),
+            &mask.fragments().measure_points,
+            self.config.epe_search_range,
+        )
+    }
+
+    /// Full evaluation: nominal EPE plus PV-band area.
+    ///
+    /// The mask is rasterised once; the three aerial images (nominal, inner,
+    /// outer) reuse that raster.
+    pub fn evaluate(&self, mask: &MaskState) -> SimulationResult {
+        let raster = self.rasterize(mask);
+        let nominal = aerial_image(&raster, &self.config.optical, 0.0);
+        let epe = measure_epe(
+            &nominal,
+            self.config.resist.threshold,
+            &mask.fragments().measure_points,
+            self.config.epe_search_range,
+        );
+        let inner = if self.config.inner_corner.defocus_nm != 0.0 {
+            aerial_image(&raster, &self.config.optical, self.config.inner_corner.defocus_nm)
+        } else {
+            nominal.clone()
+        };
+        let outer = if self.config.outer_corner.defocus_nm != 0.0 {
+            aerial_image(&raster, &self.config.optical, self.config.outer_corner.defocus_nm)
+        } else {
+            nominal
+        };
+        let pv_band = pv_band_area(
+            &inner,
+            self.threshold(self.config.inner_corner),
+            &outer,
+            self.threshold(self.config.outer_corner),
+        );
+        SimulationResult { epe, pv_band }
+    }
+
+    /// PV-band binary image for visualisation (Figure 6 of the paper).
+    pub fn pv_band_image(&self, mask: &MaskState) -> Raster {
+        let raster = self.rasterize(mask);
+        let inner = aerial_image(&raster, &self.config.optical, self.config.inner_corner.defocus_nm);
+        let outer = aerial_image(&raster, &self.config.optical, self.config.outer_corner.defocus_nm);
+        pv_band_image(
+            &inner,
+            self.threshold(self.config.inner_corner),
+            &outer,
+            self.threshold(self.config.outer_corner),
+        )
+    }
+}
+
+impl Default for LithoSimulator {
+    fn default() -> Self {
+        Self::new(LithoConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camo_geometry::{Clip, FragmentationParams, Rect};
+
+    fn via_mask(bias: i64) -> MaskState {
+        let mut clip = Clip::new(Rect::new(0, 0, 1000, 1000));
+        clip.add_target(Rect::new(465, 465, 535, 535).to_polygon());
+        let mut mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+        mask.apply_uniform_bias(bias);
+        mask
+    }
+
+    #[test]
+    fn evaluate_reports_epe_and_pvband() {
+        let sim = LithoSimulator::default();
+        let result = sim.evaluate(&via_mask(0));
+        assert_eq!(result.epe.per_point.len(), 4);
+        assert!(result.total_epe() > 0.0);
+        assert!(result.pv_band > 0.0);
+    }
+
+    #[test]
+    fn opc_bias_improves_epe() {
+        let sim = LithoSimulator::default();
+        let before = sim.evaluate(&via_mask(0)).total_epe();
+        let after = sim.evaluate(&via_mask(6)).total_epe();
+        assert!(after < before, "bias should reduce EPE: {before} -> {after}");
+    }
+
+    #[test]
+    fn evaluate_epe_matches_full_evaluation() {
+        let sim = LithoSimulator::default();
+        let mask = via_mask(3);
+        let quick = sim.evaluate_epe(&mask);
+        let full = sim.evaluate(&mask);
+        for (a, b) in quick.per_point.iter().zip(&full.epe.per_point) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn printed_image_is_binary() {
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let printed = sim.printed(&via_mask(4), ProcessCorner::nominal());
+        for &v in printed.data() {
+            assert!(v == 0.0 || v == 1.0);
+        }
+        assert!(printed.count_above(0.5) > 0);
+    }
+
+    #[test]
+    fn pv_band_image_has_positive_area() {
+        let sim = LithoSimulator::default();
+        let img = sim.pv_band_image(&via_mask(4));
+        assert!(img.count_above(0.5) > 0);
+    }
+
+    #[test]
+    fn fast_config_uses_coarser_pixels() {
+        assert!(LithoConfig::fast().pixel_size > LithoConfig::default().pixel_size);
+    }
+}

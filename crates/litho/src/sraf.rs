@@ -1,0 +1,152 @@
+//! Rule-based sub-resolution assist feature (SRAF) insertion.
+//!
+//! The via-layer benchmarks in the CAMO paper have SRAFs inserted by Calibre
+//! before the OPC engine runs. This module provides a rule-based equivalent:
+//! thin bars placed at a fixed distance from every via edge, dropped whenever
+//! they would violate spacing to other targets or previously placed SRAFs.
+
+use camo_geometry::{Clip, Rect};
+
+/// SRAF placement rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SrafRules {
+    /// Distance from the target edge to the near SRAF edge, nm.
+    pub distance: i64,
+    /// SRAF bar width, nm.
+    pub width: i64,
+    /// Extension of the SRAF beyond the via edge on each side, nm.
+    pub extension: i64,
+    /// Minimum spacing between an SRAF and any target or other SRAF, nm.
+    pub min_spacing: i64,
+}
+
+impl Default for SrafRules {
+    fn default() -> Self {
+        Self {
+            distance: 90,
+            width: 20,
+            extension: 0,
+            min_spacing: 40,
+        }
+    }
+}
+
+/// Computes SRAF rectangles for every target in `clip` according to `rules`.
+///
+/// Four candidate bars (left/right/bottom/top) are generated per target
+/// bounding box; a candidate is kept only if it stays inside the clip region
+/// and respects `min_spacing` to all targets and already accepted SRAFs.
+pub fn insert_srafs(clip: &Clip, rules: &SrafRules) -> Vec<Rect> {
+    let region = clip.region();
+    let target_boxes: Vec<Rect> = clip.targets().iter().map(|p| p.bounding_box()).collect();
+    let mut srafs: Vec<Rect> = Vec::new();
+
+    for tb in &target_boxes {
+        let d = rules.distance;
+        let w = rules.width;
+        let e = rules.extension;
+        let candidates = [
+            // left
+            Rect::new(tb.x0 - d - w, tb.y0 - e, tb.x0 - d, tb.y1 + e),
+            // right
+            Rect::new(tb.x1 + d, tb.y0 - e, tb.x1 + d + w, tb.y1 + e),
+            // bottom
+            Rect::new(tb.x0 - e, tb.y0 - d - w, tb.x1 + e, tb.y0 - d),
+            // top
+            Rect::new(tb.x0 - e, tb.y1 + d, tb.x1 + e, tb.y1 + d + w),
+        ];
+        for cand in candidates {
+            if !region.contains_rect(&cand) {
+                continue;
+            }
+            let clashes_target = target_boxes
+                .iter()
+                .any(|t| t.expanded(rules.min_spacing).intersects(&cand) && t != tb && {
+                    // a candidate is allowed to sit at `distance` from its own
+                    // via, but must respect min_spacing to every other target
+                    true
+                })
+                || target_boxes
+                    .iter()
+                    .filter(|t| *t != tb)
+                    .any(|t| t.expanded(rules.min_spacing).intersects(&cand));
+            let clashes_sraf = srafs
+                .iter()
+                .any(|s| s.expanded(rules.min_spacing).intersects(&cand));
+            if !clashes_target && !clashes_sraf {
+                srafs.push(cand);
+            }
+        }
+    }
+    srafs
+}
+
+/// Inserts SRAFs into the clip in place, replacing any existing ones.
+pub fn apply_srafs(clip: &mut Clip, rules: &SrafRules) {
+    clip.clear_srafs();
+    for s in insert_srafs(clip, rules) {
+        clip.add_sraf(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camo_geometry::Rect;
+
+    #[test]
+    fn isolated_via_gets_four_srafs() {
+        let mut clip = Clip::new(Rect::new(0, 0, 2000, 2000));
+        clip.add_target(Rect::new(965, 965, 1035, 1035).to_polygon());
+        let srafs = insert_srafs(&clip, &SrafRules::default());
+        assert_eq!(srafs.len(), 4);
+        for s in &srafs {
+            assert!(clip.region().contains_rect(s));
+            assert!(!s.intersects(&Rect::new(965, 965, 1035, 1035)));
+        }
+    }
+
+    #[test]
+    fn via_at_clip_edge_drops_outside_candidates() {
+        let mut clip = Clip::new(Rect::new(0, 0, 2000, 2000));
+        clip.add_target(Rect::new(10, 10, 80, 80).to_polygon());
+        let srafs = insert_srafs(&clip, &SrafRules::default());
+        assert!(srafs.len() < 4);
+        for s in &srafs {
+            assert!(clip.region().contains_rect(s));
+        }
+    }
+
+    #[test]
+    fn close_vias_suppress_clashing_srafs() {
+        let mut clip = Clip::new(Rect::new(0, 0, 2000, 2000));
+        clip.add_target(Rect::new(900, 900, 970, 970).to_polygon());
+        clip.add_target(Rect::new(1100, 900, 1170, 970).to_polygon());
+        let srafs = insert_srafs(&clip, &SrafRules::default());
+        // The bars between the two vias clash with the other via and are
+        // dropped; fewer than 8 bars remain.
+        assert!(srafs.len() < 8);
+        let boxes: Vec<Rect> = clip.targets().iter().map(|p| p.bounding_box()).collect();
+        for s in &srafs {
+            for (i, t) in boxes.iter().enumerate() {
+                let own = s.spacing_to(t) <= SrafRules::default().distance;
+                if !own {
+                    assert!(
+                        s.spacing_to(t) >= SrafRules::default().min_spacing,
+                        "sraf {s} too close to target {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_srafs_replaces_existing() {
+        let mut clip = Clip::new(Rect::new(0, 0, 2000, 2000));
+        clip.add_target(Rect::new(965, 965, 1035, 1035).to_polygon());
+        clip.add_sraf(Rect::new(0, 0, 10, 10));
+        apply_srafs(&mut clip, &SrafRules::default());
+        assert_eq!(clip.srafs().len(), 4);
+        assert!(!clip.srafs().contains(&Rect::new(0, 0, 10, 10)));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the lithography substrate's physical invariants.
+
+use camo_geometry::{Clip, FragmentationParams, MaskState, Rect};
+use camo_litho::{print_image, LithoConfig, LithoSimulator, OpticalModel, ProcessCorner};
+use proptest::prelude::*;
+
+fn clip_with_via(x: i64, y: i64, size: i64) -> Clip {
+    let mut clip = Clip::new(Rect::new(0, 0, 1000, 1000));
+    clip.add_target(Rect::new(x, y, x + size, y + size).to_polygon());
+    clip
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Aerial intensity is non-negative and never exceeds the optical model's
+    /// total weight, for any via position/size and bias.
+    #[test]
+    fn aerial_intensity_is_bounded(
+        x in 200i64..700,
+        y in 200i64..700,
+        size in 40i64..120,
+        bias in -3i64..=6,
+    ) {
+        let clip = clip_with_via(x, y, size);
+        let mut mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+        mask.apply_uniform_bias(bias);
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let image = sim.aerial(&mask, ProcessCorner::nominal());
+        let ceiling = OpticalModel::default().total_weight() + 1e-9;
+        prop_assert!(image.data().iter().all(|&v| v >= 0.0 && v <= ceiling));
+    }
+
+    /// The print image is binary, and the printed area never exceeds the
+    /// simulated region.
+    #[test]
+    fn printed_area_is_sane(x in 200i64..700, y in 200i64..700, size in 40i64..120) {
+        let clip = clip_with_via(x, y, size);
+        let mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let image = sim.aerial(&mask, ProcessCorner::nominal());
+        let binary = print_image(&image, sim.threshold(ProcessCorner::nominal()));
+        prop_assert!(binary.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        let printed = binary.count_above(0.5) as i64 * 100;
+        prop_assert!(printed <= 1_000_000);
+    }
+
+    /// EPE reports are complete (one value per measure point) and within the
+    /// configured search range; the PV band is non-negative and bounded by
+    /// the clip area.
+    #[test]
+    fn evaluation_reports_are_well_formed(
+        x in 200i64..700,
+        y in 200i64..700,
+        size in 50i64..110,
+        bias in 0i64..=5,
+    ) {
+        let clip = clip_with_via(x, y, size);
+        let mut mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+        mask.apply_uniform_bias(bias);
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let result = sim.evaluate(&mask);
+        prop_assert_eq!(result.epe.per_point.len(), mask.fragments().measure_points.len());
+        let range = sim.config().epe_search_range;
+        prop_assert!(result.epe.per_point.iter().all(|e| e.abs() <= range + 1e-9));
+        prop_assert!(result.pv_band >= 0.0);
+        prop_assert!(result.pv_band <= 1_000_000.0);
+        prop_assert!(result.total_epe() >= result.epe.max_abs());
+    }
+
+    /// The outer process corner always prints at least as much area as the
+    /// inner corner (the defining property behind the PV band).
+    #[test]
+    fn outer_corner_prints_more_than_inner(x in 300i64..600, size in 60i64..110) {
+        let clip = clip_with_via(x, x, size);
+        let mut mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+        mask.apply_uniform_bias(3);
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let inner = sim.printed(&mask, ProcessCorner::inner());
+        let outer = sim.printed(&mask, ProcessCorner::outer());
+        prop_assert!(outer.count_above(0.5) >= inner.count_above(0.5));
+    }
+}

@@ -1,0 +1,323 @@
+//! 2-D convolution and average pooling on `[C, H, W]` tensors.
+
+use crate::init::xavier_uniform;
+use crate::tensor::{Param, Tensor};
+
+/// A 2-D convolution over a single `[C, H, W]` sample with stride and no
+/// padding ("valid" convolution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    input_cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0`.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, seed: u64) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        Self {
+            weight: Param::new(xavier_uniform(
+                vec![out_channels, in_channels, kernel, kernel],
+                seed,
+            )),
+            bias: Param::new(Tensor::zeros(vec![out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            input_cache: None,
+        }
+    }
+
+    /// Output spatial size for an input of side `n`.
+    pub fn output_size(&self, n: usize) -> usize {
+        if n < self.kernel {
+            0
+        } else {
+            (n - self.kernel) / self.stride + 1
+        }
+    }
+
+    /// Forward pass on `[C, H, W]`; caches the input for backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 3-D `[in_channels, H, W]`.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.input_cache = Some(input.clone());
+        self.forward_inference(input)
+    }
+
+    /// Forward pass without caching.
+    pub fn forward_inference(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "Conv2d expects a [C, H, W] input");
+        assert_eq!(shape[0], self.in_channels, "channel count mismatch");
+        let (h, w) = (shape[1], shape[2]);
+        let oh = self.output_size(h);
+        let ow = self.output_size(w);
+        let mut out = Tensor::zeros(vec![self.out_channels, oh, ow]);
+        let k = self.kernel;
+        let wdat = self.weight.value.data();
+        let idat = input.data();
+        let odat = out.data_mut();
+        for f in 0..self.out_channels {
+            let b = self.bias.value.data()[f];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for c in 0..self.in_channels {
+                        for ky in 0..k {
+                            let iy = oy * self.stride + ky;
+                            for kx in 0..k {
+                                let ix = ox * self.stride + kx;
+                                acc += wdat[((f * self.in_channels + c) * k + ky) * k + kx]
+                                    * idat[(c * h + iy) * w + ix];
+                            }
+                        }
+                    }
+                    odat[(f * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: accumulates gradients and returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` was not called first.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .input_cache
+            .as_ref()
+            .expect("Conv2d::backward called before forward")
+            .clone();
+        let shape = input.shape();
+        let (h, w) = (shape[1], shape[2]);
+        let oh = self.output_size(h);
+        let ow = self.output_size(w);
+        let k = self.kernel;
+        let mut grad_input = Tensor::zeros(vec![self.in_channels, h, w]);
+        let idat = input.data();
+        let godat = grad_output.data();
+        {
+            let wgrad = self.weight.grad.data_mut();
+            let bgrad = self.bias.grad.data_mut();
+            let gidat = grad_input.data_mut();
+            let wdat = self.weight.value.data();
+            for f in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = godat[(f * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        bgrad[f] += go;
+                        for c in 0..self.in_channels {
+                            for ky in 0..k {
+                                let iy = oy * self.stride + ky;
+                                for kx in 0..k {
+                                    let ix = ox * self.stride + kx;
+                                    let widx = ((f * self.in_channels + c) * k + ky) * k + kx;
+                                    let iidx = (c * h + iy) * w + ix;
+                                    wgrad[widx] += go * idat[iidx];
+                                    gidat[iidx] += go * wdat[widx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+
+    /// Mutable access to the layer's parameters.
+    pub fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.weight.zero_grad();
+        self.bias.zero_grad();
+    }
+}
+
+/// Non-overlapping average pooling on `[C, H, W]` tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvgPool2d {
+    kernel: usize,
+    input_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates a pooling layer with a `kernel × kernel` window and equal
+    /// stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0`.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel > 0, "pool kernel must be positive");
+        Self { kernel, input_shape: None }
+    }
+
+    /// Forward pass on `[C, H, W]` (dimensions must be divisible by the
+    /// kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if H or W is not divisible by the kernel size.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.input_shape = Some(input.shape().to_vec());
+        self.forward_inference(input)
+    }
+
+    /// Forward pass without caching.
+    pub fn forward_inference(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "AvgPool2d expects a [C, H, W] input");
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        assert_eq!(h % self.kernel, 0, "height not divisible by pool kernel");
+        assert_eq!(w % self.kernel, 0, "width not divisible by pool kernel");
+        let oh = h / self.kernel;
+        let ow = w / self.kernel;
+        let mut out = Tensor::zeros(vec![c, oh, ow]);
+        let norm = 1.0 / (self.kernel * self.kernel) as f64;
+        let idat = input.data();
+        let odat = out.data_mut();
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..self.kernel {
+                        for kx in 0..self.kernel {
+                            acc += idat[(ch * h + oy * self.kernel + ky) * w + ox * self.kernel + kx];
+                        }
+                    }
+                    odat[(ch * oh + oy) * ow + ox] = acc * norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `forward` was not called first.
+    pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = self
+            .input_shape
+            .as_ref()
+            .expect("AvgPool2d::backward called before forward")
+            .clone();
+        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        let oh = h / self.kernel;
+        let ow = w / self.kernel;
+        let norm = 1.0 / (self.kernel * self.kernel) as f64;
+        let mut grad_input = Tensor::zeros(shape);
+        let gidat = grad_input.data_mut();
+        let godat = grad_output.data();
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = godat[(ch * oh + oy) * ow + ox] * norm;
+                    for ky in 0..self.kernel {
+                        for kx in 0..self.kernel {
+                            gidat[(ch * h + oy * self.kernel + ky) * w + ox * self.kernel + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+        grad_input
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_shape() {
+        let conv = Conv2d::new(2, 3, 3, 2, 1);
+        assert_eq!(conv.output_size(8), 3);
+        let x = Tensor::ones(vec![2, 8, 8]);
+        let y = conv.forward_inference(&x);
+        assert_eq!(y.shape(), &[3, 3, 3]);
+    }
+
+    #[test]
+    fn conv_gradient_check_weights() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, 3);
+        let x = Tensor::from_vec((0..9).map(|i| i as f64 * 0.1).collect(), vec![1, 3, 3]);
+        let y = conv.forward(&x);
+        conv.backward(&Tensor::ones(y.shape().to_vec()));
+        let analytic = conv.weight.grad.clone();
+        let eps = 1e-6;
+        for idx in 0..analytic.len() {
+            let mut plus = conv.clone();
+            plus.weight.value.data_mut()[idx] += eps;
+            let lp = plus.forward_inference(&x).sum();
+            let mut minus = conv.clone();
+            minus.weight.value.data_mut()[idx] -= eps;
+            let lm = minus.forward_inference(&x).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.data()[idx]).abs() < 1e-5,
+                "conv weight grad mismatch at {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_gradient_check_input() {
+        let mut conv = Conv2d::new(1, 2, 2, 1, 9);
+        let x = Tensor::from_vec((0..16).map(|i| (i as f64).sin()).collect(), vec![1, 4, 4]);
+        let y = conv.forward(&x);
+        let gx = conv.backward(&Tensor::ones(y.shape().to_vec()));
+        let eps = 1e-6;
+        for idx in [0usize, 5, 10, 15] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let numeric =
+                (conv.forward_inference(&xp).sum() - conv.forward_inference(&xm).sum()) / (2.0 * eps);
+            assert!((numeric - gx.data()[idx]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn avg_pool_averages_blocks() {
+        let mut pool = AvgPool2d::new(2);
+        let x = Tensor::from_vec((0..16).map(|i| i as f64).collect(), vec![1, 4, 4]);
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.data()[0], (0.0 + 1.0 + 4.0 + 5.0) / 4.0);
+        let gx = pool.backward(&Tensor::ones(vec![1, 2, 2]));
+        assert!(gx.data().iter().all(|&v| (v - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn pool_rejects_indivisible_inputs() {
+        let mut pool = AvgPool2d::new(3);
+        let x = Tensor::ones(vec![1, 4, 4]);
+        let _ = pool.forward(&x);
+    }
+}

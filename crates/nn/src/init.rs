@@ -1,0 +1,39 @@
+//! Weight initialisation.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Xavier/Glorot uniform initialisation for a `[fan_out, fan_in]` weight
+/// matrix (or any shape whose first two dimensions are fan-out / fan-in).
+///
+/// The seed makes every network construction deterministic, which the
+/// experiment harness relies on for reproducible tables.
+pub fn xavier_uniform(shape: Vec<usize>, seed: u64) -> Tensor {
+    let fan_out = shape.first().copied().unwrap_or(1) as f64;
+    let fan_in = shape.get(1).copied().unwrap_or(1) as f64;
+    let rest: usize = shape.iter().skip(2).product::<usize>().max(1);
+    let limit = (6.0 / (fan_in * rest as f64 + fan_out * rest as f64)).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(-limit..limit)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_is_bounded_and_deterministic() {
+        let a = xavier_uniform(vec![8, 4], 7);
+        let b = xavier_uniform(vec![8, 4], 7);
+        let c = xavier_uniform(vec![8, 4], 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let limit = (6.0_f64 / 12.0).sqrt();
+        assert!(a.data().iter().all(|v| v.abs() <= limit));
+        // Not all zero.
+        assert!(a.data().iter().any(|v| v.abs() > 1e-6));
+    }
+}

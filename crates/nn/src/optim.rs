@@ -1,0 +1,140 @@
+//! Parameter optimisers.
+
+use crate::tensor::{Param, Tensor};
+
+/// An optimiser updating a set of [`Param`]s from their accumulated
+/// gradients.
+pub trait Optimizer {
+    /// Applies one update step and leaves the gradients untouched (call
+    /// [`Param::zero_grad`] separately, usually via the owning module).
+    fn step(&mut self, params: &mut [&mut Param]);
+}
+
+/// Stochastic gradient descent with optional momentum and gradient clipping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Momentum coefficient (0.0 disables momentum).
+    pub momentum: f64,
+    /// Maximum L2 norm of the full gradient; 0.0 disables clipping.
+    pub max_grad_norm: f64,
+}
+
+impl Sgd {
+    /// Creates a plain SGD optimiser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn new(learning_rate: f64, momentum: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self {
+            learning_rate,
+            momentum,
+            max_grad_norm: 0.0,
+        }
+    }
+
+    /// Enables gradient-norm clipping.
+    pub fn with_grad_clip(mut self, max_norm: f64) -> Self {
+        self.max_grad_norm = max_norm;
+        self
+    }
+
+    fn global_norm(params: &[&mut Param]) -> f64 {
+        params
+            .iter()
+            .map(|p| p.grad.data().iter().map(|g| g * g).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        let scale = if self.max_grad_norm > 0.0 {
+            let norm = Self::global_norm(params);
+            if norm > self.max_grad_norm {
+                self.max_grad_norm / norm
+            } else {
+                1.0
+            }
+        } else {
+            1.0
+        };
+        for p in params.iter_mut() {
+            if self.momentum > 0.0 {
+                if p.state.is_none() {
+                    p.state = Some(Tensor::zeros(p.value.shape().to_vec()));
+                }
+                let m = self.momentum;
+                let velocity = p.state.as_mut().expect("momentum buffer initialised above");
+                for ((v, &g), x) in velocity
+                    .data_mut()
+                    .iter_mut()
+                    .zip(p.grad.data())
+                    .zip(p.value.data_mut().iter_mut())
+                {
+                    *v = m * *v + g * scale;
+                    *x -= self.learning_rate * *v;
+                }
+            } else {
+                for (x, &g) in p.value.data_mut().iter_mut().zip(p.grad.data()) {
+                    *x -= self.learning_rate * g * scale;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_minimises_a_quadratic() {
+        // Minimise f(x) = (x - 3)² with gradient 2(x - 3).
+        let mut p = Param::new(Tensor::from_vec(vec![0.0], vec![1]));
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..200 {
+            p.zero_grad();
+            let x = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (x - 3.0);
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f64| {
+            let mut p = Param::new(Tensor::from_vec(vec![0.0], vec![1]));
+            let mut opt = Sgd::new(0.01, momentum);
+            for _ in 0..100 {
+                p.zero_grad();
+                let x = p.value.data()[0];
+                p.grad.data_mut()[0] = 2.0 * (x - 3.0);
+                opt.step(&mut [&mut p]);
+            }
+            (p.value.data()[0] - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn gradient_clipping_limits_update() {
+        let mut p = Param::new(Tensor::from_vec(vec![0.0], vec![1]));
+        p.grad.data_mut()[0] = 1000.0;
+        let mut clipped = Sgd::new(1.0, 0.0).with_grad_clip(1.0);
+        clipped.step(&mut [&mut p]);
+        assert!((p.value.data()[0] + 1.0).abs() < 1e-9, "update should be clipped to norm 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_learning_rate_rejected() {
+        let _ = Sgd::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Dense tensors and trainable parameters.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A dense, row-major n-dimensional array of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(data: Vec<f64>, shape: Vec<usize>) -> Self {
+        let expected: usize = shape.iter().product();
+        assert_eq!(data.len(), expected, "data length does not match shape");
+        Self { shape, data }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        Self { shape, data: vec![0.0; n] }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: Vec<usize>) -> Self {
+        let n: usize = shape.iter().product();
+        Self { shape, data: vec![1.0; n] }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns a copy with a new shape (element count must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshaped(&self, shape: Vec<usize>) -> Tensor {
+        Tensor::from_vec(self.data.clone(), shape)
+    }
+
+    /// Element at a 2-D index `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the index is out of range.
+    pub fn at2(&self, row: usize, col: usize) -> f64 {
+        assert_eq!(self.shape.len(), 2, "at2 requires a 2-D tensor");
+        assert!(row < self.shape[0] && col < self.shape[1]);
+        self.data[row * self.shape[1] + col]
+    }
+
+    /// Sets the element at a 2-D index `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the index is out of range.
+    pub fn set2(&mut self, row: usize, col: usize, v: f64) {
+        assert_eq!(self.shape.len(), 2, "set2 requires a 2-D tensor");
+        assert!(row < self.shape[0] && col < self.shape[1]);
+        self.data[row * self.shape[1] + col] = v;
+    }
+
+    /// Matrix multiplication of two 2-D tensors: `[m, k] × [k, n] -> [m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D or the inner dimensions mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul requires 2-D tensors");
+        assert_eq!(other.shape.len(), 2, "matmul requires 2-D tensors");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "inner dimensions must match: {k} vs {k2}");
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &other.data[p * n..(p + 1) * n];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, vec![m, n])
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, vec![n, m])
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor::from_vec(self.data.iter().map(|&v| f(v)).collect(), self.shape.clone())
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f64
+        }
+    }
+
+    /// Index of the maximum element (first occurrence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of an empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Scales all elements in place.
+    pub fn scale(&mut self, k: f64) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Adds `other * k` to `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, k: f64) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_scaled");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?} ({} elements)", self.shape, self.data.len())
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn add(self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        Tensor::from_vec(
+            self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+            self.shape.clone(),
+        )
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+    fn sub(self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in sub");
+        Tensor::from_vec(
+            self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
+            self.shape.clone(),
+        )
+    }
+}
+
+impl Mul<f64> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, k: f64) -> Tensor {
+        self.map(|v| v * k)
+    }
+}
+
+/// A trainable parameter: a value tensor and its accumulated gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// Optimiser state (e.g. momentum buffer), lazily initialised.
+    pub state: Option<Tensor>,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().to_vec());
+        Self { value, grad, state: None }
+    }
+
+    /// Zeroes the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.data_mut() {
+            *g = 0.0;
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_reshape() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.at2(1, 2), 6.0);
+        let r = t.reshaped(vec![3, 2]);
+        assert_eq!(r.at2(2, 1), 6.0);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], vec![2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![2, 3]);
+        let t = a.transposed();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.transposed(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::ones(vec![2, 2]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        assert_eq!((&a + &b).data(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!((&b - &a).data(), &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!((&b * 2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(b.sum(), 10.0);
+        assert_eq!(b.mean(), 2.5);
+        assert_eq!(b.argmax(), 3);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::zeros(vec![3]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], vec![3]);
+        a.add_scaled(&b, 0.5);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new(Tensor::ones(vec![2, 2]));
+        p.grad = Tensor::ones(vec![2, 2]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length does not match shape")]
+    fn bad_shape_rejected() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], vec![3]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of the neural-network substrate: softmax identities
+//! and gradient correctness under random inputs.
+
+use camo_nn::{cross_entropy_grad, log_softmax, softmax, Linear, RnnStack, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Softmax is a distribution, is shift-invariant, and log-softmax is its
+    /// logarithm.
+    #[test]
+    fn softmax_identities(logits in prop::collection::vec(-20.0f64..20.0, 2..8), shift in -50.0f64..50.0) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| v >= 0.0));
+        let shifted: Vec<f64> = logits.iter().map(|&v| v + shift).collect();
+        for (a, b) in softmax(&shifted).iter().zip(&p) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        for (ls, pv) in log_softmax(&logits).iter().zip(&p) {
+            prop_assert!((ls - pv.ln()).abs() < 1e-9);
+        }
+    }
+
+    /// The cross-entropy gradient sums to zero over classes (softmax minus
+    /// one-hot) and scales linearly with the coefficient.
+    #[test]
+    fn cross_entropy_grad_properties(
+        logits in prop::collection::vec(-10.0f64..10.0, 3..7),
+        coeff in -5.0f64..5.0,
+    ) {
+        let target = logits.len() / 2;
+        let g = cross_entropy_grad(&logits, target, coeff);
+        prop_assert!((g.iter().sum::<f64>()).abs() < 1e-9);
+        let g1 = cross_entropy_grad(&logits, target, 1.0);
+        for (a, b) in g.iter().zip(&g1) {
+            prop_assert!((a - coeff * b).abs() < 1e-9);
+        }
+    }
+
+    /// Linear layers are, in fact, linear: f(ax) = a·f(x) − (a−1)·bias and
+    /// f(x + y) + f(0) = f(x) + f(y).
+    #[test]
+    fn linear_layer_is_affine(
+        x in prop::collection::vec(-2.0f64..2.0, 4),
+        y in prop::collection::vec(-2.0f64..2.0, 4),
+        seed in 0u64..1000,
+    ) {
+        let layer = Linear::new(4, 3, seed);
+        let f = |v: &[f64]| layer.forward_inference(&Tensor::from_vec(v.to_vec(), vec![1, 4])).into_vec();
+        let zero = f(&[0.0; 4]);
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let lhs = f(&sum);
+        let rhs: Vec<f64> = f(&x)
+            .iter()
+            .zip(f(&y).iter())
+            .zip(&zero)
+            .map(|((a, b), z)| a + b - z)
+            .collect();
+        for (a, b) in lhs.iter().zip(&rhs) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// RNN hidden states stay bounded by 1 in magnitude (tanh) for any input.
+    #[test]
+    fn rnn_outputs_are_bounded(
+        inputs in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 3), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let rnn = RnnStack::new(3, 4, 2, seed);
+        let outputs = rnn.forward_sequence_inference(&inputs);
+        prop_assert_eq!(outputs.len(), inputs.len());
+        for h in outputs {
+            prop_assert!(h.iter().all(|v| v.abs() <= 1.0));
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The environment abstraction shared by the OPC agents.
+
+/// Outcome of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step<O> {
+    /// Observation after the action was applied.
+    pub observation: O,
+    /// Scalar reward produced by the transition.
+    pub reward: f64,
+    /// True when the episode terminated (early exit or step budget spent).
+    pub done: bool,
+}
+
+/// A reinforcement-learning environment.
+///
+/// The OPC environments in this workspace use the layout state as the
+/// observation and a vector of per-segment movement indices as the action.
+pub trait Environment {
+    /// Observation made available to the policy.
+    type Observation;
+    /// Action consumed by [`Environment::step`].
+    type Action;
+
+    /// Resets the environment to its initial state and returns the first
+    /// observation.
+    fn reset(&mut self) -> Self::Observation;
+
+    /// Applies `action`, advances the environment and returns the outcome.
+    fn step(&mut self, action: &Self::Action) -> Step<Self::Observation>;
+
+    /// Maximum number of steps per episode.
+    fn max_steps(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial 1-D environment used to exercise the trait.
+    struct Walk {
+        position: i64,
+        steps: usize,
+    }
+
+    impl Environment for Walk {
+        type Observation = i64;
+        type Action = i64;
+
+        fn reset(&mut self) -> i64 {
+            self.position = 0;
+            self.steps = 0;
+            self.position
+        }
+
+        fn step(&mut self, action: &i64) -> Step<i64> {
+            self.position += action;
+            self.steps += 1;
+            Step {
+                observation: self.position,
+                reward: -(self.position.abs() as f64),
+                done: self.steps >= self.max_steps(),
+            }
+        }
+
+        fn max_steps(&self) -> usize {
+            3
+        }
+    }
+
+    #[test]
+    fn environment_trait_roundtrip() {
+        let mut env = Walk { position: 5, steps: 0 };
+        assert_eq!(env.reset(), 0);
+        let s1 = env.step(&2);
+        assert_eq!(s1.observation, 2);
+        assert!(!s1.done);
+        let _ = env.step(&-1);
+        let s3 = env.step(&0);
+        assert!(s3.done);
+        assert_eq!(s3.reward, -1.0);
+    }
+}

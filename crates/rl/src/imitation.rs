@@ -1,0 +1,97 @@
+//! Behaviour-cloning utilities for Phase-1 training.
+//!
+//! In the paper's first training phase, the policy mimics trajectories
+//! collected from a reference OPC engine (Calibre): for every segment and
+//! step the teacher provides a movement index, and the policy is trained with
+//! the ordinary cross-entropy objective on its output distribution.
+
+use camo_nn::log_softmax;
+
+/// One batch of imitation targets: per-segment teacher actions paired with
+/// the policy's logits for the same segments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ImitationBatch {
+    /// Policy logits, one vector per segment.
+    pub logits: Vec<Vec<f64>>,
+    /// Teacher movement index per segment.
+    pub targets: Vec<usize>,
+}
+
+impl ImitationBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one (logits, teacher action) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range for `logits`.
+    pub fn push(&mut self, logits: Vec<f64>, target: usize) {
+        assert!(target < logits.len(), "teacher action out of range");
+        self.logits.push(logits);
+        self.targets.push(target);
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+/// Mean cross-entropy loss of a batch: `−mean(log softmax(logits)[target])`.
+///
+/// Returns 0.0 for an empty batch.
+pub fn behavior_cloning_loss(batch: &ImitationBatch) -> f64 {
+    if batch.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = batch
+        .logits
+        .iter()
+        .zip(&batch.targets)
+        .map(|(l, &t)| -log_softmax(l)[t])
+        .sum();
+    total / batch.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confident_correct_predictions_have_low_loss() {
+        let mut good = ImitationBatch::new();
+        good.push(vec![5.0, 0.0, 0.0, 0.0, 0.0], 0);
+        let mut bad = ImitationBatch::new();
+        bad.push(vec![5.0, 0.0, 0.0, 0.0, 0.0], 3);
+        assert!(behavior_cloning_loss(&good) < behavior_cloning_loss(&bad));
+    }
+
+    #[test]
+    fn uniform_logits_give_log_k_loss() {
+        let mut batch = ImitationBatch::new();
+        batch.push(vec![0.0; 5], 2);
+        let loss = behavior_cloning_loss(&batch);
+        assert!((loss - (5.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_has_zero_loss() {
+        assert_eq!(behavior_cloning_loss(&ImitationBatch::new()), 0.0);
+        assert!(ImitationBatch::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "teacher action out of range")]
+    fn out_of_range_target_rejected() {
+        let mut batch = ImitationBatch::new();
+        batch.push(vec![0.0; 5], 5);
+    }
+}

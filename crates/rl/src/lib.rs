@@ -1,0 +1,40 @@
+//! Reinforcement-learning substrate for CAMO-RS.
+//!
+//! Both CAMO and the RL-OPC baseline are policy-gradient agents in the sense
+//! of Williams' REINFORCE. This crate collects the algorithm-level pieces
+//! that are independent of any particular policy network:
+//!
+//! * the [`Environment`] abstraction and [`Step`] outcome,
+//! * the OPC improvement [`reward`] of Eq. (3) of the paper,
+//! * [`Trajectory`] recording and discounted-return computation,
+//! * the [`reinforce`] coefficient calculation (return × log-prob gradient),
+//! * behaviour-cloning utilities for the paper's Phase-1 [`imitation`]
+//!   training.
+//!
+//! # Example
+//!
+//! ```
+//! use camo_rl::{RewardConfig, Trajectory};
+//!
+//! let cfg = RewardConfig::default();
+//! let r = cfg.reward(100.0, 80.0, 5000.0, 4900.0);
+//! assert!(r > 0.0); // both EPE and PV band improved
+//!
+//! let mut traj = Trajectory::new();
+//! traj.push(0.5);
+//! traj.push(1.0);
+//! let returns = traj.discounted_returns(0.9);
+//! assert_eq!(returns.len(), 2);
+//! ```
+
+pub mod env;
+pub mod imitation;
+pub mod reinforce;
+pub mod reward;
+pub mod trajectory;
+
+pub use env::{Environment, Step};
+pub use imitation::{behavior_cloning_loss, ImitationBatch};
+pub use reinforce::{normalize_returns, reinforce_coefficients, ReinforceConfig};
+pub use reward::RewardConfig;
+pub use trajectory::Trajectory;

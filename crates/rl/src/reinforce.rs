@@ -1,0 +1,95 @@
+//! REINFORCE policy-gradient coefficients.
+//!
+//! The parameter update in the paper (Eq. (7)) is
+//! `θ ← θ + α · ∇_θ r(s_t, a_t) · log π_θ(a_t | s_t)`.
+//! The policy networks expose logits; the gradient of
+//! `−G_t · log π(a_t)` with respect to those logits is
+//! `G_t · (softmax(logits) − onehot(a_t))`, so all a trainer needs from this
+//! module is the per-step coefficient `G_t` (optionally normalised) to feed
+//! into [`camo_nn::cross_entropy_grad`].
+
+use crate::trajectory::Trajectory;
+
+/// Configuration of the REINFORCE update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReinforceConfig {
+    /// Discount factor `γ`.
+    pub gamma: f64,
+    /// When true, returns are standardised (zero mean, unit variance) across
+    /// the episode, the usual variance-reduction trick.
+    pub normalize: bool,
+}
+
+impl Default for ReinforceConfig {
+    fn default() -> Self {
+        Self { gamma: 0.95, normalize: true }
+    }
+}
+
+/// Standardises a return sequence to zero mean and unit variance. Sequences
+/// shorter than 2 or with zero variance are returned unchanged.
+pub fn normalize_returns(returns: &[f64]) -> Vec<f64> {
+    if returns.len() < 2 {
+        return returns.to_vec();
+    }
+    let mean = returns.iter().sum::<f64>() / returns.len() as f64;
+    let var = returns.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / returns.len() as f64;
+    let std = var.sqrt();
+    if std < 1e-9 {
+        return returns.to_vec();
+    }
+    returns.iter().map(|r| (r - mean) / std).collect()
+}
+
+/// Computes the per-step policy-gradient coefficients for one episode.
+pub fn reinforce_coefficients(trajectory: &Trajectory, config: &ReinforceConfig) -> Vec<f64> {
+    let returns = trajectory.discounted_returns(config.gamma);
+    if config.normalize {
+        normalize_returns(&returns)
+    } else {
+        returns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_without_normalisation_are_returns() {
+        let traj: Trajectory = [1.0, 0.0, -1.0].into_iter().collect();
+        let cfg = ReinforceConfig { gamma: 1.0, normalize: false };
+        assert_eq!(reinforce_coefficients(&traj, &cfg), vec![0.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn normalised_returns_have_zero_mean_unit_variance() {
+        let traj: Trajectory = [0.5, 1.5, -0.5, 2.0, 0.0].into_iter().collect();
+        let coeffs = reinforce_coefficients(&traj, &ReinforceConfig::default());
+        let mean = coeffs.iter().sum::<f64>() / coeffs.len() as f64;
+        let var = coeffs.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / coeffs.len() as f64;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_returns_are_left_unchanged() {
+        let returns = vec![2.0, 2.0, 2.0];
+        assert_eq!(normalize_returns(&returns), returns);
+    }
+
+    #[test]
+    fn single_step_episode_is_left_unchanged() {
+        assert_eq!(normalize_returns(&[3.0]), vec![3.0]);
+    }
+
+    #[test]
+    fn better_episodes_get_larger_coefficients() {
+        let good: Trajectory = [1.0, 1.0].into_iter().collect();
+        let bad: Trajectory = [-1.0, -1.0].into_iter().collect();
+        let cfg = ReinforceConfig { gamma: 0.9, normalize: false };
+        let g = reinforce_coefficients(&good, &cfg);
+        let b = reinforce_coefficients(&bad, &cfg);
+        assert!(g[0] > b[0]);
+    }
+}

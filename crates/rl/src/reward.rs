@@ -1,0 +1,90 @@
+//! The OPC improvement reward (Eq. (3) of the CAMO paper).
+
+/// Parameters of the reward combining EPE and PV-band improvement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RewardConfig {
+    /// Small constant `ε` preventing division by zero when EPE reaches zero.
+    pub epsilon: f64,
+    /// Weight `β` of the PV-band improvement relative to the EPE improvement.
+    pub beta: f64,
+}
+
+impl Default for RewardConfig {
+    /// The paper sets `ε = 0.1` and `β = 1`.
+    fn default() -> Self {
+        Self { epsilon: 0.1, beta: 1.0 }
+    }
+}
+
+impl RewardConfig {
+    /// Creates a reward configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon <= 0` or `beta < 0`.
+    pub fn new(epsilon: f64, beta: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        assert!(beta >= 0.0, "beta must be non-negative");
+        Self { epsilon, beta }
+    }
+
+    /// Computes the reward of transitioning from `(epe_t, pvb_t)` to
+    /// `(epe_next, pvb_next)`:
+    ///
+    /// `r = (|EPE_t| − |EPE_{t+1}|)/(|EPE_t| + ε) + β·(PVB_t − PVB_{t+1})/PVB_t`
+    ///
+    /// A degenerate `pvb_t == 0` contributes no PV-band term.
+    pub fn reward(&self, epe_t: f64, epe_next: f64, pvb_t: f64, pvb_next: f64) -> f64 {
+        let epe_term = (epe_t.abs() - epe_next.abs()) / (epe_t.abs() + self.epsilon);
+        let pvb_term = if pvb_t.abs() > f64::EPSILON {
+            (pvb_t - pvb_next) / pvb_t
+        } else {
+            0.0
+        };
+        epe_term + self.beta * pvb_term
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_gives_positive_reward() {
+        let cfg = RewardConfig::default();
+        assert!(cfg.reward(100.0, 60.0, 5000.0, 4800.0) > 0.0);
+    }
+
+    #[test]
+    fn degradation_gives_negative_reward() {
+        let cfg = RewardConfig::default();
+        assert!(cfg.reward(60.0, 100.0, 4800.0, 5000.0) < 0.0);
+    }
+
+    #[test]
+    fn epe_term_is_bounded_by_one() {
+        let cfg = RewardConfig::default();
+        // Perfect correction: EPE goes to zero, PVB unchanged.
+        let r = cfg.reward(50.0, 0.0, 1000.0, 1000.0);
+        assert!(r > 0.0 && r <= 1.0);
+    }
+
+    #[test]
+    fn beta_scales_pvb_contribution() {
+        let only_pvb_change = |beta: f64| RewardConfig::new(0.1, beta).reward(10.0, 10.0, 100.0, 90.0);
+        assert!((only_pvb_change(2.0) - 2.0 * only_pvb_change(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_pvb_does_not_divide_by_zero() {
+        let cfg = RewardConfig::default();
+        let r = cfg.reward(10.0, 5.0, 0.0, 0.0);
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn invalid_epsilon_rejected() {
+        let _ = RewardConfig::new(0.0, 1.0);
+    }
+}

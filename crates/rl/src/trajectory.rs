@@ -1,0 +1,113 @@
+//! Episode trajectories and discounted returns.
+
+/// The reward sequence of one episode (Eq. (1)/(2) of the paper).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trajectory {
+    rewards: Vec<f64>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the reward of one step.
+    pub fn push(&mut self, reward: f64) {
+        self.rewards.push(reward);
+    }
+
+    /// Recorded step rewards in order.
+    pub fn rewards(&self) -> &[f64] {
+        &self.rewards
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.rewards.len()
+    }
+
+    /// True when no steps have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rewards.is_empty()
+    }
+
+    /// Undiscounted episode return.
+    pub fn total_reward(&self) -> f64 {
+        self.rewards.iter().sum()
+    }
+
+    /// Discounted return-to-go for every step:
+    /// `G_t = Σ_{k≥t} γ^{k−t} · r_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is outside `[0, 1]`.
+    pub fn discounted_returns(&self, gamma: f64) -> Vec<f64> {
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+        let mut returns = vec![0.0; self.rewards.len()];
+        let mut acc = 0.0;
+        for (i, &r) in self.rewards.iter().enumerate().rev() {
+            acc = r + gamma * acc;
+            returns[i] = acc;
+        }
+        returns
+    }
+
+    /// Clears the trajectory for reuse.
+    pub fn clear(&mut self) {
+        self.rewards.clear();
+    }
+}
+
+impl FromIterator<f64> for Trajectory {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self {
+            rewards: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_match_hand_computation() {
+        let traj: Trajectory = [1.0, 2.0, 3.0].into_iter().collect();
+        let g = traj.discounted_returns(0.5);
+        assert!((g[2] - 3.0).abs() < 1e-12);
+        assert!((g[1] - (2.0 + 0.5 * 3.0)).abs() < 1e-12);
+        assert!((g[0] - (1.0 + 0.5 * 3.5)).abs() < 1e-12);
+        assert_eq!(traj.total_reward(), 6.0);
+        assert_eq!(traj.len(), 3);
+    }
+
+    #[test]
+    fn gamma_one_gives_suffix_sums() {
+        let traj: Trajectory = [1.0, 1.0, 1.0, 1.0].into_iter().collect();
+        assert_eq!(traj.discounted_returns(1.0), vec![4.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn gamma_zero_gives_immediate_rewards() {
+        let traj: Trajectory = [0.3, -0.7, 0.2].into_iter().collect();
+        assert_eq!(traj.discounted_returns(0.0), vec![0.3, -0.7, 0.2]);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut traj = Trajectory::new();
+        traj.push(1.0);
+        traj.clear();
+        assert!(traj.is_empty());
+        assert!(traj.discounted_returns(0.9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in [0, 1]")]
+    fn invalid_gamma_rejected() {
+        let traj: Trajectory = [1.0].into_iter().collect();
+        let _ = traj.discounted_returns(1.5);
+    }
+}

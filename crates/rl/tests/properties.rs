@@ -1,0 +1,68 @@
+//! Property-based tests of the RL substrate: reward bounds, discounted
+//! returns and normalisation.
+
+use camo_rl::{normalize_returns, RewardConfig, Trajectory};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The EPE term of the reward is bounded above by 1 (perfect correction)
+    /// and the reward is symmetric-ish: improvement is positive, degradation
+    /// negative when the PV band is unchanged.
+    #[test]
+    fn reward_sign_matches_epe_change(epe_t in 0.5f64..500.0, epe_next in 0.0f64..500.0, pvb in 1.0f64..1e6) {
+        let cfg = RewardConfig::default();
+        let r = cfg.reward(epe_t, epe_next, pvb, pvb);
+        prop_assert!(r.is_finite());
+        prop_assert!(r <= 1.0 + 1e-12);
+        if epe_next < epe_t {
+            prop_assert!(r > 0.0);
+        } else if epe_next > epe_t {
+            prop_assert!(r < 0.0);
+        }
+    }
+
+    /// Discounted returns are monotone under reward shifts and match the
+    /// recursive definition G_t = r_t + γ·G_{t+1}.
+    #[test]
+    fn discounted_returns_satisfy_recursion(
+        rewards in prop::collection::vec(-5.0f64..5.0, 1..20),
+        gamma in 0.0f64..1.0,
+    ) {
+        let traj: Trajectory = rewards.iter().cloned().collect();
+        let g = traj.discounted_returns(gamma);
+        prop_assert_eq!(g.len(), rewards.len());
+        for t in 0..rewards.len() {
+            let expected = rewards[t] + if t + 1 < rewards.len() { gamma * g[t + 1] } else { 0.0 };
+            prop_assert!((g[t] - expected).abs() < 1e-9);
+        }
+    }
+
+    /// Normalised returns have zero mean and unit variance (when the input
+    /// has spread), and normalisation preserves ordering.
+    #[test]
+    fn normalization_is_affine_and_standardising(
+        returns in prop::collection::vec(-100.0f64..100.0, 2..30),
+    ) {
+        let normalised = normalize_returns(&returns);
+        prop_assert_eq!(normalised.len(), returns.len());
+        // Order preservation.
+        for i in 0..returns.len() {
+            for j in 0..returns.len() {
+                if returns[i] < returns[j] {
+                    prop_assert!(normalised[i] <= normalised[j] + 1e-9);
+                }
+            }
+        }
+        let spread = returns.iter().cloned().fold(f64::MIN, f64::max)
+            - returns.iter().cloned().fold(f64::MAX, f64::min);
+        if spread > 1e-6 {
+            let mean: f64 = normalised.iter().sum::<f64>() / normalised.len() as f64;
+            let var: f64 =
+                normalised.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / normalised.len() as f64;
+            prop_assert!(mean.abs() < 1e-6);
+            prop_assert!((var - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Benchmark layout generators for CAMO-RS.
+//!
+//! The CAMO paper evaluates on two benchmark suites that are not publicly
+//! redistributable:
+//!
+//! * **Via layer** — 2 µm × 2 µm clips containing 2–6 vias of 70 nm × 70 nm
+//!   (from Liu et al., TODAES'20), with SRAFs inserted by Calibre. The
+//!   training set has 11 clips (2–5 vias), the test set 13 clips (2–6 vias).
+//! * **Metal layer** — 1.5 µm × 1.5 µm clips sampled from an OpenROAD /
+//!   NanGate-45 layout plus regular metal patterns, with EPE measure points
+//!   every 60 nm along primary-direction edges.
+//!
+//! This crate generates synthetic equivalents with the same geometry
+//! statistics (feature sizes, counts, spacings, measure-point densities), so
+//! every experiment in the paper can be exercised end-to-end. Generation is
+//! deterministic given the benchmark seed.
+//!
+//! # Example
+//!
+//! ```
+//! use camo_workloads::{via_test_set, metal_test_set};
+//!
+//! let vias = via_test_set();
+//! assert_eq!(vias.len(), 13);
+//! assert_eq!(vias[0].clip.name(), "V1");
+//!
+//! let metals = metal_test_set();
+//! assert_eq!(metals.len(), 10);
+//! ```
+
+pub mod metal;
+pub mod via;
+
+pub use metal::{metal_test_set, metal_training_set, MetalCase, MetalGenerator, MetalParams};
+pub use via::{via_test_set, via_training_set, ViaCase, ViaGenerator, ViaParams};

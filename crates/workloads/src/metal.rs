@@ -1,0 +1,260 @@
+//! Metal-layer benchmark generation.
+//!
+//! The paper samples 1.5 µm × 1.5 µm clips from an OpenROAD / NanGate-45
+//! layout and adds clips with regular metal patterns. The generator below
+//! produces standard-cell-style M2 routing: horizontal tracks on a fixed
+//! pitch, wires of 45 nm-class widths with random extents and staggered line
+//! ends, plus a "regular" line/space variant. Measure points land every 60 nm
+//! on the primary-direction edges, so the per-clip measure-point counts span
+//! the same range as Table 2 of the paper.
+
+use camo_geometry::{Clip, FragmentationParams, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the metal-layer generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetalParams {
+    /// Clip side length, nm (the paper uses 1500 nm).
+    pub clip_size: i64,
+    /// Routing-track pitch, nm.
+    pub track_pitch: i64,
+    /// Wire width range `[min, max]`, nm.
+    pub width_range: (i64, i64),
+    /// Minimum wire length, nm.
+    pub min_length: i64,
+    /// Margin kept free around the clip boundary, nm.
+    pub margin: i64,
+}
+
+impl Default for MetalParams {
+    fn default() -> Self {
+        Self {
+            clip_size: 1500,
+            track_pitch: 140,
+            width_range: (50, 70),
+            min_length: 150,
+            margin: 80,
+        }
+    }
+}
+
+/// One metal-layer benchmark case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetalCase {
+    /// The generated clip.
+    pub clip: Clip,
+    /// Number of EPE measure points under the metal fragmentation rules.
+    pub measure_points: usize,
+}
+
+impl MetalCase {
+    /// Fragmentation parameters appropriate for this case.
+    pub fn fragmentation(&self) -> FragmentationParams {
+        FragmentationParams::metal_layer()
+    }
+}
+
+/// Deterministic generator of metal-layer clips.
+#[derive(Debug, Clone)]
+pub struct MetalGenerator {
+    params: MetalParams,
+    rng: StdRng,
+}
+
+impl MetalGenerator {
+    /// Creates a generator with the given parameters and seed.
+    pub fn new(params: MetalParams, seed: u64) -> Self {
+        Self {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The generation parameters.
+    pub fn params(&self) -> &MetalParams {
+        &self.params
+    }
+
+    /// Generates a routing-style clip: `wires` horizontal wires distributed
+    /// over the available tracks with random extents.
+    pub fn generate_routing(&mut self, name: impl Into<String>, wires: usize) -> MetalCase {
+        let p = self.params.clone();
+        let region = Rect::new(0, 0, p.clip_size, p.clip_size);
+        let mut clip = Clip::with_name(region, name);
+        let usable = p.clip_size - 2 * p.margin;
+        let tracks = (usable / p.track_pitch) as usize;
+        let mut placed = 0usize;
+        let mut track_order: Vec<usize> = (0..tracks).collect();
+        // Shuffle track order deterministically.
+        for i in (1..track_order.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            track_order.swap(i, j);
+        }
+        let mut rects: Vec<Rect> = Vec::new();
+        for &t in track_order.iter().cycle().take(tracks * 2) {
+            if placed >= wires {
+                break;
+            }
+            let y0 = p.margin + t as i64 * p.track_pitch;
+            let width = (self.rng.gen_range(p.width_range.0..=p.width_range.1) / 10) * 10;
+            let max_len = p.clip_size - 2 * p.margin;
+            let len = (self.rng.gen_range(p.min_length..=max_len) / 10) * 10;
+            let x0 = p.margin + (self.rng.gen_range(0..=(max_len - len)) / 10) * 10;
+            let cand = Rect::new(x0, y0, x0 + len, y0 + width);
+            // Keep wires on distinct tracks from colliding (same track reuse
+            // requires a 100 nm end-to-end gap).
+            let ok = rects
+                .iter()
+                .all(|r| !r.expanded(40).intersects(&cand));
+            if ok {
+                rects.push(cand);
+                placed += 1;
+            }
+        }
+        rects.sort_by_key(|r| (r.y0, r.x0));
+        for r in &rects {
+            clip.add_target(r.to_polygon());
+        }
+        Self::finish(clip)
+    }
+
+    /// Generates a regular line/space clip: `lines` full-width lines on the
+    /// configured pitch (the paper's "clips with regular metal patterns").
+    pub fn generate_regular(&mut self, name: impl Into<String>, lines: usize) -> MetalCase {
+        let p = self.params.clone();
+        let region = Rect::new(0, 0, p.clip_size, p.clip_size);
+        let mut clip = Clip::with_name(region, name);
+        let width = (p.width_range.0 + p.width_range.1) / 2;
+        let start_y = p.margin;
+        for i in 0..lines {
+            let y0 = start_y + i as i64 * p.track_pitch;
+            if y0 + width > p.clip_size - p.margin {
+                break;
+            }
+            clip.add_target(Rect::new(p.margin, y0, p.clip_size - p.margin, y0 + width).to_polygon());
+        }
+        Self::finish(clip)
+    }
+
+    fn finish(clip: Clip) -> MetalCase {
+        let frags = clip.fragment(&FragmentationParams::metal_layer());
+        MetalCase {
+            measure_points: frags.measure_points.len(),
+            clip,
+        }
+    }
+}
+
+/// A small training set of metal clips (routing plus regular patterns).
+pub fn metal_training_set() -> Vec<MetalCase> {
+    let mut generator = MetalGenerator::new(MetalParams::default(), 4545);
+    let mut cases = Vec::new();
+    for (i, wires) in [3usize, 4, 5, 6].into_iter().enumerate() {
+        cases.push(generator.generate_routing(format!("MT{}", i + 1), wires));
+    }
+    cases.push(generator.generate_regular("MT5", 4));
+    cases
+}
+
+/// The 10-clip metal test set (M1–M10), spanning the same measure-point range
+/// as Table 2 of the paper (small regular clip M8, large routing clip M10).
+pub fn metal_test_set() -> Vec<MetalCase> {
+    let mut generator = MetalGenerator::new(MetalParams::default(), 99);
+    let spec: [(usize, bool); 10] = [
+        (3, false), // M1
+        (4, false), // M2
+        (4, false), // M3
+        (5, false), // M4
+        (5, false), // M5
+        (6, false), // M6
+        (6, false), // M7
+        (1, true),  // M8 — small regular clip
+        (3, true),  // M9 — regular lines
+        (7, false), // M10
+    ];
+    spec.iter()
+        .enumerate()
+        .map(|(i, &(n, regular))| {
+            let name = format!("M{}", i + 1);
+            if regular {
+                generator.generate_regular(name, n)
+            } else {
+                generator.generate_routing(name, n)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_set_has_ten_named_cases() {
+        let cases = metal_test_set();
+        assert_eq!(cases.len(), 10);
+        assert_eq!(cases[0].clip.name(), "M1");
+        assert_eq!(cases[9].clip.name(), "M10");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = metal_test_set();
+        let b = metal_test_set();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.clip, y.clip);
+            assert_eq!(x.measure_points, y.measure_points);
+        }
+    }
+
+    #[test]
+    fn measure_point_counts_span_table2_range() {
+        let cases = metal_test_set();
+        let counts: Vec<usize> = cases.iter().map(|c| c.measure_points).collect();
+        // M8 (regular, 1 line) must be the smallest; M10 among the largest.
+        let min = *counts.iter().min().expect("non-empty");
+        assert_eq!(counts[7], min, "M8 should have the fewest measure points: {counts:?}");
+        assert!(counts[9] >= counts[0], "M10 should be larger than M1: {counts:?}");
+        assert!(counts.iter().all(|&c| c >= 10 && c <= 220), "{counts:?}");
+    }
+
+    #[test]
+    fn wires_do_not_overlap() {
+        for case in metal_test_set() {
+            let boxes: Vec<Rect> = case.clip.targets().iter().map(|p| p.bounding_box()).collect();
+            for (i, a) in boxes.iter().enumerate() {
+                for b in boxes.iter().skip(i + 1) {
+                    assert!(!a.intersects(b), "{} overlaps {} in {}", a, b, case.clip.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wires_stay_inside_clip() {
+        for case in metal_test_set().iter().chain(&metal_training_set()) {
+            for poly in case.clip.targets() {
+                assert!(case.clip.region().contains_rect(&poly.bounding_box()));
+            }
+        }
+    }
+
+    #[test]
+    fn regular_clips_have_full_width_lines() {
+        let mut generator = MetalGenerator::new(MetalParams::default(), 1);
+        let case = generator.generate_regular("R", 3);
+        assert_eq!(case.clip.targets().len(), 3);
+        let p = MetalParams::default();
+        for poly in case.clip.targets() {
+            assert_eq!(poly.bounding_box().width(), p.clip_size - 2 * p.margin);
+        }
+    }
+
+    #[test]
+    fn training_set_is_generated() {
+        let cases = metal_training_set();
+        assert_eq!(cases.len(), 5);
+        assert!(cases.iter().all(|c| !c.clip.targets().is_empty()));
+    }
+}

@@ -1,0 +1,208 @@
+//! Via-layer benchmark generation.
+
+use camo_geometry::{Clip, FragmentationParams, Rect};
+use camo_litho::{insert_srafs, SrafRules};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the via-layer generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViaParams {
+    /// Clip side length, nm (the paper uses 2 µm).
+    pub clip_size: i64,
+    /// Via side length, nm (the paper uses 70 nm).
+    pub via_size: i64,
+    /// Minimum centre-to-centre spacing between vias, nm.
+    pub min_pitch: i64,
+    /// Margin kept free around the clip boundary, nm.
+    pub margin: i64,
+    /// Whether SRAFs are inserted (the paper's via benchmarks include them).
+    pub with_srafs: bool,
+}
+
+impl Default for ViaParams {
+    fn default() -> Self {
+        Self {
+            clip_size: 2000,
+            via_size: 70,
+            min_pitch: 250,
+            margin: 400,
+            with_srafs: true,
+        }
+    }
+}
+
+/// One via-layer benchmark case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViaCase {
+    /// The generated clip (targets plus SRAFs).
+    pub clip: Clip,
+    /// Number of vias in the clip.
+    pub via_count: usize,
+}
+
+impl ViaCase {
+    /// Fragmentation parameters appropriate for this case.
+    pub fn fragmentation(&self) -> FragmentationParams {
+        FragmentationParams::via_layer()
+    }
+}
+
+/// Deterministic generator of via-layer clips.
+#[derive(Debug, Clone)]
+pub struct ViaGenerator {
+    params: ViaParams,
+    rng: StdRng,
+}
+
+impl ViaGenerator {
+    /// Creates a generator with the given parameters and seed.
+    pub fn new(params: ViaParams, seed: u64) -> Self {
+        Self {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The generation parameters.
+    pub fn params(&self) -> &ViaParams {
+        &self.params
+    }
+
+    /// Generates one clip containing exactly `via_count` vias.
+    ///
+    /// Vias are placed by rejection sampling on a coarse placement grid with
+    /// the configured minimum pitch; generation always succeeds for the
+    /// paper's densities (≤ 6 vias in 2 µm²).
+    pub fn generate(&mut self, name: impl Into<String>, via_count: usize) -> ViaCase {
+        let p = &self.params;
+        let region = Rect::new(0, 0, p.clip_size, p.clip_size);
+        let mut clip = Clip::with_name(region, name);
+        let mut centers: Vec<(i64, i64)> = Vec::new();
+        let lo = p.margin;
+        let hi = p.clip_size - p.margin;
+        let mut guard = 0;
+        while centers.len() < via_count {
+            guard += 1;
+            assert!(guard < 100_000, "via placement failed to converge");
+            // Snap to a 10 nm placement grid like real via layers.
+            let x = (self.rng.gen_range(lo..hi) / 10) * 10;
+            let y = (self.rng.gen_range(lo..hi) / 10) * 10;
+            let ok = centers
+                .iter()
+                .all(|&(cx, cy)| (cx - x).abs().max((cy - y).abs()) >= p.min_pitch);
+            if ok {
+                centers.push((x, y));
+            }
+        }
+        // Deterministic ordering: sort by (y, x) so the segment order (and
+        // therefore the RNN sequence) does not depend on sampling order.
+        centers.sort();
+        for (x, y) in centers {
+            let half = p.via_size / 2;
+            clip.add_target(Rect::new(x - half, y - half, x - half + p.via_size, y - half + p.via_size).to_polygon());
+        }
+        if p.with_srafs {
+            for s in insert_srafs(&clip, &SrafRules::default()) {
+                clip.add_sraf(s);
+            }
+        }
+        ViaCase { clip, via_count }
+    }
+}
+
+/// The 11-clip training set of the paper (2–5 vias per clip).
+pub fn via_training_set() -> Vec<ViaCase> {
+    let counts = [2, 2, 3, 3, 3, 4, 4, 4, 5, 5, 5];
+    let mut generator = ViaGenerator::new(ViaParams::default(), 20240);
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| generator.generate(format!("T{}", i + 1), c))
+        .collect()
+}
+
+/// The 13-clip test set of the paper (V1–V13, 2–6 vias per clip, matching
+/// the via counts of Table 1).
+pub fn via_test_set() -> Vec<ViaCase> {
+    let counts = [2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 6, 6, 6];
+    let mut generator = ViaGenerator::new(ViaParams::default(), 777);
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| generator.generate(format!("V{}", i + 1), c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_set_matches_table1_counts() {
+        let cases = via_test_set();
+        assert_eq!(cases.len(), 13);
+        let counts: Vec<usize> = cases.iter().map(|c| c.via_count).collect();
+        assert_eq!(counts, vec![2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 6, 6, 6]);
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, 58); // the paper's "Sum" row counts 58 vias
+        assert_eq!(cases[0].clip.name(), "V1");
+        assert_eq!(cases[12].clip.name(), "V13");
+    }
+
+    #[test]
+    fn training_set_has_eleven_clips() {
+        let cases = via_training_set();
+        assert_eq!(cases.len(), 11);
+        assert!(cases.iter().all(|c| (2..=5).contains(&c.via_count)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = via_test_set();
+        let b = via_test_set();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.clip, y.clip);
+        }
+    }
+
+    #[test]
+    fn vias_respect_minimum_pitch_and_margin() {
+        for case in via_test_set() {
+            let boxes: Vec<Rect> = case.clip.targets().iter().map(|p| p.bounding_box()).collect();
+            assert_eq!(boxes.len(), case.via_count);
+            let params = ViaParams::default();
+            for (i, a) in boxes.iter().enumerate() {
+                assert_eq!(a.width(), params.via_size);
+                assert_eq!(a.height(), params.via_size);
+                assert!(a.x0 >= params.margin - params.via_size);
+                assert!(a.x1 <= params.clip_size - params.margin + params.via_size);
+                for b in boxes.iter().skip(i + 1) {
+                    let dx = (a.center().x - b.center().x).abs();
+                    let dy = (a.center().y - b.center().y).abs();
+                    assert!(dx.max(dy) >= params.min_pitch, "vias too close: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn srafs_present_and_disjoint_from_targets() {
+        let cases = via_test_set();
+        assert!(cases.iter().all(|c| !c.clip.srafs().is_empty()));
+        for case in &cases {
+            for sraf in case.clip.srafs() {
+                for target in case.clip.targets() {
+                    assert!(!sraf.intersects(&target.bounding_box()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fragmentation_yields_four_segments_per_via() {
+        let case = &via_test_set()[4];
+        let frags = case.clip.fragment(&case.fragmentation());
+        assert_eq!(frags.segments.len(), case.via_count * 4);
+    }
+}

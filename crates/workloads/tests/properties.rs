@@ -1,0 +1,69 @@
+//! Property-based tests of the benchmark generators: every generated clip
+//! must satisfy the layer's design rules regardless of the seed.
+
+use camo_geometry::Rect;
+use camo_workloads::{MetalGenerator, MetalParams, ViaGenerator, ViaParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Via clips: correct via count, vias inside the margin, minimum pitch
+    /// respected and SRAFs disjoint from targets for any seed.
+    #[test]
+    fn via_clips_respect_design_rules(seed in 0u64..10_000, count in 2usize..=6) {
+        let params = ViaParams::default();
+        let mut generator = ViaGenerator::new(params.clone(), seed);
+        let case = generator.generate("P", count);
+        let boxes: Vec<Rect> = case.clip.targets().iter().map(|p| p.bounding_box()).collect();
+        prop_assert_eq!(boxes.len(), count);
+        for (i, a) in boxes.iter().enumerate() {
+            prop_assert_eq!(a.width(), params.via_size);
+            prop_assert!(case.clip.region().contains_rect(a));
+            for b in boxes.iter().skip(i + 1) {
+                let dx = (a.center().x - b.center().x).abs();
+                let dy = (a.center().y - b.center().y).abs();
+                prop_assert!(dx.max(dy) >= params.min_pitch);
+            }
+        }
+        for sraf in case.clip.srafs() {
+            prop_assert!(case.clip.region().contains_rect(sraf));
+            for t in &boxes {
+                prop_assert!(!sraf.intersects(t));
+            }
+        }
+    }
+
+    /// Metal clips: wires stay inside the clip, never overlap, and the
+    /// measure-point count grows with the wire count.
+    #[test]
+    fn metal_clips_respect_design_rules(seed in 0u64..10_000, wires in 1usize..=6) {
+        let params = MetalParams::default();
+        let mut generator = MetalGenerator::new(params.clone(), seed);
+        let case = generator.generate_routing("P", wires);
+        let boxes: Vec<Rect> = case.clip.targets().iter().map(|p| p.bounding_box()).collect();
+        prop_assert!(!boxes.is_empty());
+        prop_assert!(boxes.len() <= wires);
+        for (i, a) in boxes.iter().enumerate() {
+            prop_assert!(case.clip.region().contains_rect(a));
+            prop_assert!(a.height() >= params.width_range.0 && a.height() <= params.width_range.1);
+            prop_assert!(a.width() >= params.min_length);
+            for b in boxes.iter().skip(i + 1) {
+                prop_assert!(!a.intersects(b));
+            }
+        }
+        prop_assert!(case.measure_points >= 4 * boxes.len());
+    }
+
+    /// Regular metal clips have exactly the requested number of full-width
+    /// lines (when they fit) and deterministic measure counts per seed.
+    #[test]
+    fn regular_metal_clips_are_deterministic(seed in 0u64..10_000, lines in 1usize..=4) {
+        let params = MetalParams::default();
+        let a = MetalGenerator::new(params.clone(), seed).generate_regular("P", lines);
+        let b = MetalGenerator::new(params, seed).generate_regular("P", lines);
+        prop_assert_eq!(a.clip.targets().len(), lines);
+        prop_assert_eq!(a.measure_points, b.measure_points);
+        prop_assert_eq!(a.clip, b.clip);
+    }
+}

@@ -1,0 +1,54 @@
+//! Metal-layer OPC: the workload the paper highlights as too complex for
+//! earlier ML-OPC engines. Trains CAMO on synthetic routing clips and
+//! compares it with the Calibre-like baseline on two test clips.
+//!
+//! ```text
+//! cargo run -p camo --release --example metal_opc
+//! ```
+
+use camo::{CamoConfig, CamoEngine, CamoTrainer};
+use camo_baselines::{CalibreLikeOpc, OpcConfig, OpcEngine};
+use camo_geometry::Clip;
+use camo_litho::{LithoConfig, LithoSimulator};
+use camo_workloads::{metal_test_set, metal_training_set};
+
+fn main() {
+    let simulator = LithoSimulator::new(LithoConfig::fast());
+    let opc = OpcConfig::metal_layer();
+
+    let training: Vec<Clip> = metal_training_set()
+        .iter()
+        .take(2)
+        .map(|c| c.clip.clone())
+        .collect();
+
+    let mut camo = CamoEngine::new(opc.clone(), CamoConfig::fast());
+    let mut trainer = CamoTrainer::new(&camo);
+    trainer.train(&mut camo, &training, &simulator);
+
+    let mut calibre = CalibreLikeOpc::new(opc);
+
+    println!(
+        "{:<6} {:>7} {:>13} {:>13} {:>12} {:>12}",
+        "case", "points", "Calibre EPE", "CAMO EPE", "Calibre PVB", "CAMO PVB"
+    );
+    // M8 and M1 are the two smallest clips — quick yet representative.
+    let metal = metal_test_set();
+    for case in [&metal[7], &metal[0]] {
+        let c = calibre.optimize(&case.clip, &simulator);
+        let m = camo.optimize(&case.clip, &simulator);
+        println!(
+            "{:<6} {:>7} {:>13.0} {:>13.0} {:>12.0} {:>12.0}",
+            case.clip.name(),
+            case.measure_points,
+            c.total_epe(),
+            m.total_epe(),
+            c.pv_band(),
+            m.pv_band()
+        );
+        println!(
+            "        CAMO per-step EPE: {:?}",
+            m.epe_trajectory.iter().map(|e| e.round()).collect::<Vec<_>>()
+        );
+    }
+}

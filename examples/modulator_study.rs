@@ -1,0 +1,52 @@
+//! Modulator study: prints the preference vectors of Figure 4 and contrasts
+//! CAMO's EPE trajectory with and without the modulator on one metal clip
+//! (the Figure-5 ablation in miniature).
+//!
+//! ```text
+//! cargo run -p camo --release --example modulator_study
+//! ```
+
+use camo::{CamoConfig, CamoEngine, Modulator};
+use camo_baselines::{OpcConfig, OpcEngine};
+use camo_litho::{LithoConfig, LithoSimulator};
+use camo_workloads::metal_test_set;
+
+fn main() {
+    // Part 1 — the projection function f(x) = 0.02·x⁴ + 1 (Figure 4).
+    let modulator = Modulator::paper_default();
+    println!("modulator preferences for movements [-2, -1, 0, +1, +2] nm:");
+    for epe in [-8.0, -2.0, 0.0, 2.0, 8.0] {
+        let p = modulator.preference(epe);
+        println!(
+            "  EPE {epe:+5.1} nm -> [{:.3} {:.3} {:.3} {:.3} {:.3}]  (sharpness {:.2})",
+            p[0], p[1], p[2], p[3], p[4],
+            modulator.sharpness(epe)
+        );
+    }
+
+    // Part 2 — the effect on the optimisation trajectory (Figure 5).
+    let simulator = LithoSimulator::new(LithoConfig::fast());
+    let mut opc = OpcConfig::metal_layer();
+    opc.max_steps = 8;
+    let case = &metal_test_set()[7]; // the small M8 clip keeps this quick
+
+    let mut with = CamoEngine::new(opc.clone(), CamoConfig::fast());
+    let with_outcome = with.optimize(&case.clip, &simulator);
+    let mut without = CamoEngine::new(opc, CamoConfig::fast().without_modulator());
+    let without_outcome = without.optimize(&case.clip, &simulator);
+
+    println!("\ncase {} ({} measure points):", case.clip.name(), case.measure_points);
+    println!(
+        "  EPE per step, with modulator:    {:?}",
+        with_outcome.epe_trajectory.iter().map(|e| e.round()).collect::<Vec<_>>()
+    );
+    println!(
+        "  EPE per step, without modulator: {:?}",
+        without_outcome.epe_trajectory.iter().map(|e| e.round()).collect::<Vec<_>>()
+    );
+    println!(
+        "  final EPE: {:.0} nm (with) vs {:.0} nm (without)",
+        with_outcome.total_epe(),
+        without_outcome.total_epe()
+    );
+}

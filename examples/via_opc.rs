@@ -1,0 +1,56 @@
+//! Via-layer OPC end to end: train CAMO on the training clips, then compare
+//! it against the Calibre-like and DAMO-like baselines on a few test clips —
+//! a miniature version of the Table-1 experiment.
+//!
+//! ```text
+//! cargo run -p camo --release --example via_opc
+//! ```
+
+use camo::{CamoConfig, CamoEngine, CamoTrainer};
+use camo_baselines::{CalibreLikeOpc, DamoLikeOpc, OpcConfig, OpcEngine};
+use camo_geometry::Clip;
+use camo_litho::{LithoConfig, LithoSimulator};
+use camo_workloads::{via_test_set, via_training_set};
+
+fn main() {
+    let simulator = LithoSimulator::new(LithoConfig::fast());
+    let opc = OpcConfig::via_layer();
+
+    // Training clips (the paper uses 11; three keep this example quick).
+    let training: Vec<Clip> = via_training_set()
+        .iter()
+        .take(3)
+        .map(|c| c.clip.clone())
+        .collect();
+
+    // Train CAMO: Phase 1 imitation of the Calibre-like teacher, Phase 2
+    // modulated REINFORCE.
+    let mut camo = CamoEngine::new(opc.clone(), CamoConfig::fast());
+    let mut trainer = CamoTrainer::new(&camo);
+    let report = trainer.train(&mut camo, &training, &simulator);
+    println!(
+        "training: imitation loss {:.3} -> {:.3}, RL reward per epoch {:?}",
+        report.imitation_losses.first().copied().unwrap_or(0.0),
+        report.imitation_losses.last().copied().unwrap_or(0.0),
+        report.rl_rewards.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+
+    let mut calibre = CalibreLikeOpc::new(opc.clone());
+    let mut damo = DamoLikeOpc::new(opc.clone());
+    damo.fit(&training, &simulator);
+
+    println!("\n{:<6} {:>4} {:>14} {:>14} {:>14}", "case", "vias", "DAMO-like EPE", "Calibre EPE", "CAMO EPE");
+    for case in via_test_set().iter().take(4) {
+        let d = damo.optimize(&case.clip, &simulator);
+        let c = calibre.optimize(&case.clip, &simulator);
+        let m = camo.optimize(&case.clip, &simulator);
+        println!(
+            "{:<6} {:>4} {:>14.0} {:>14.0} {:>14.0}",
+            case.clip.name(),
+            case.via_count,
+            d.total_epe(),
+            c.total_epe(),
+            m.total_epe()
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Training-pipeline integration: Phase-1 imitation and Phase-2 modulated
+//! REINFORCE on small clips, plus the RL-OPC baseline's training loop.
+
+use camo::{CamoConfig, CamoEngine, CamoTrainer};
+use camo_baselines::{OpcConfig, OpcEngine, RlOpc, RlOpcConfig};
+use camo_geometry::{Clip, FeatureConfig, Rect};
+use camo_litho::{LithoConfig, LithoSimulator};
+
+fn training_clips() -> Vec<Clip> {
+    let mut a = Clip::with_name(Rect::new(0, 0, 800, 800), "TR1");
+    a.add_target(Rect::new(365, 365, 435, 435).to_polygon());
+    let mut b = Clip::with_name(Rect::new(0, 0, 800, 800), "TR2");
+    b.add_target(Rect::new(265, 365, 335, 435).to_polygon());
+    b.add_target(Rect::new(465, 365, 535, 435).to_polygon());
+    vec![a, b]
+}
+
+fn test_clip() -> Clip {
+    let mut c = Clip::with_name(Rect::new(0, 0, 800, 800), "TE1");
+    c.add_target(Rect::new(315, 315, 385, 385).to_polygon());
+    c.add_target(Rect::new(455, 435, 525, 505).to_polygon());
+    c
+}
+
+fn fast_opc(max_steps: usize) -> OpcConfig {
+    let mut opc = OpcConfig::via_layer();
+    opc.max_steps = max_steps;
+    opc
+}
+
+#[test]
+fn two_phase_training_improves_imitation_and_keeps_inference_working() {
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let mut config = CamoConfig::fast();
+    config.imitation_epochs = 3;
+    config.rl_epochs = 1;
+    let mut engine = CamoEngine::new(fast_opc(2), config);
+    let mut trainer = CamoTrainer::new(&engine);
+    let report = trainer.train(&mut engine, &training_clips(), &sim);
+
+    assert_eq!(report.imitation_losses.len(), 3);
+    assert_eq!(report.rl_rewards.len(), 1);
+    assert!(report.imitation_improved(), "losses: {:?}", report.imitation_losses);
+
+    // The trained engine still optimises an unseen clip correctly.
+    let outcome = engine.optimize(&test_clip(), &sim);
+    let initial = sim.evaluate(&fast_opc(2).initial_mask(&test_clip())).total_epe();
+    assert!(outcome.total_epe() <= initial + 1e-9);
+}
+
+#[test]
+fn trained_policy_differs_from_untrained_policy() {
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let clips = training_clips();
+    let mut config = CamoConfig::fast();
+    config.imitation_epochs = 3;
+    config.rl_epochs = 0;
+
+    let untrained = CamoEngine::new(fast_opc(2), config.clone());
+    let mut trained = CamoEngine::new(fast_opc(2), config);
+    let mut trainer = CamoTrainer::new(&trained);
+    trainer.train(&mut trained, &clips, &sim);
+
+    // Compare raw policy outputs on the same observation.
+    let mask = untrained.opc_config().initial_mask(&clips[0]);
+    let graph = untrained.graph(&mask);
+    let features = untrained.node_features(&mask);
+    let before = untrained.policy().forward_inference(&features, graph.adjacency());
+    let after = trained.policy().forward_inference(&features, graph.adjacency());
+    assert_ne!(before, after, "training must change the policy outputs");
+}
+
+#[test]
+fn rl_opc_training_loop_runs_end_to_end() {
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let clips = training_clips();
+    let mut opc = fast_opc(2);
+    opc.early_exit_epe = 0.1;
+    let mut engine = RlOpc::new(
+        opc,
+        RlOpcConfig {
+            features: FeatureConfig { window: 300, tensor_size: 8 },
+            hidden: 16,
+            ..RlOpcConfig::default()
+        },
+    );
+    let rewards = engine.train(&clips, &sim, 2);
+    assert_eq!(rewards.len(), 2);
+    assert!(rewards.iter().all(|r| r.is_finite()));
+    let outcome = engine.optimize(&test_clip(), &sim);
+    assert!(outcome.total_epe().is_finite());
+}

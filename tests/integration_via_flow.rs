@@ -1,0 +1,117 @@
+//! End-to-end via-layer flow: workload generation → SRAF insertion →
+//! fragmentation → graph construction → lithography simulation → CAMO OPC.
+
+use camo::{CamoConfig, CamoEngine};
+use camo_baselines::{OpcConfig, OpcEngine};
+use camo_geometry::{FragmentationParams, MaskState};
+use camo_litho::{LithoConfig, LithoSimulator};
+use camo_workloads::{ViaGenerator, ViaParams};
+
+/// A small via clip that keeps debug-mode simulation cheap.
+fn small_via_params() -> ViaParams {
+    ViaParams {
+        clip_size: 900,
+        via_size: 70,
+        min_pitch: 220,
+        margin: 250,
+        with_srafs: true,
+        ..ViaParams::default()
+    }
+}
+
+fn fast_opc(max_steps: usize) -> OpcConfig {
+    let mut opc = OpcConfig::via_layer();
+    opc.max_steps = max_steps;
+    opc
+}
+
+#[test]
+fn generated_via_clip_flows_through_the_whole_stack() {
+    let mut generator = ViaGenerator::new(small_via_params(), 3);
+    let case = generator.generate("IT1", 2);
+    assert_eq!(case.clip.targets().len(), 2);
+    assert!(!case.clip.srafs().is_empty(), "SRAFs must be inserted");
+
+    // Fragmentation: 4 segments per via, one measure point each.
+    let frags = case.clip.fragment(&FragmentationParams::via_layer());
+    assert_eq!(frags.segments.len(), 8);
+    assert_eq!(frags.measure_points.len(), 8);
+
+    // The initial (biased) mask evaluates to a finite EPE and positive PVB.
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let opc = fast_opc(3);
+    let mask = opc.initial_mask(&case.clip);
+    let result = sim.evaluate(&mask);
+    assert_eq!(result.epe.per_point.len(), 8);
+    assert!(result.total_epe().is_finite());
+    assert!(result.pv_band > 0.0);
+}
+
+#[test]
+fn camo_improves_the_initial_mask_on_a_via_clip() {
+    let mut generator = ViaGenerator::new(small_via_params(), 11);
+    let case = generator.generate("IT2", 2);
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let opc = fast_opc(4);
+
+    // Reference: untouched initial mask.
+    let initial = opc.initial_mask(&case.clip);
+    let initial_epe = sim.evaluate(&initial).total_epe();
+
+    // CAMO (untrained, but modulated) must visit a mask at least as good as
+    // the raw initial one, and must not blow the error up at the end (the
+    // trained full-scale run then improves further).
+    let mut engine = CamoEngine::new(opc, CamoConfig::fast());
+    let outcome = engine.optimize(&case.clip, &sim);
+    let best = outcome
+        .epe_trajectory
+        .iter()
+        .cloned()
+        .fold(f64::MAX, f64::min);
+    assert!(best <= initial_epe + 1e-9, "best {best} vs initial {initial_epe}");
+    assert!(
+        outcome.total_epe() <= initial_epe * 1.3 + 4.0,
+        "final {} vs initial {initial_epe}",
+        outcome.total_epe()
+    );
+    assert!(outcome.steps >= 1);
+    assert_eq!(outcome.epe_trajectory.len(), outcome.steps + 1);
+}
+
+#[test]
+fn segment_graph_connects_facing_via_edges() {
+    let mut generator = ViaGenerator::new(small_via_params(), 19);
+    let case = generator.generate("IT3", 3);
+    let opc = fast_opc(1);
+    let mask = opc.initial_mask(&case.clip);
+    let engine = CamoEngine::new(opc, CamoConfig::fast());
+    let graph = engine.graph(&mask);
+    assert_eq!(graph.node_count(), mask.segment_count());
+    // Each via forms a clique of 4 → at least 6 edges per via.
+    assert!(graph.edge_count() >= 6 * 3);
+    // Node features exist for every node and have the configured length.
+    let features = engine.node_features(&mask);
+    assert_eq!(features.len(), graph.node_count());
+    assert!(features
+        .iter()
+        .all(|f| f.len() == engine.config().feature_len()));
+}
+
+#[test]
+fn mask_offsets_stay_within_clamp_during_optimization() {
+    let mut generator = ViaGenerator::new(small_via_params(), 29);
+    let case = generator.generate("IT4", 2);
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let mut engine = CamoEngine::new(fast_opc(5), CamoConfig::fast());
+    let outcome = engine.optimize(&case.clip, &sim);
+    let max = camo_geometry::mask::DEFAULT_MAX_OFFSET;
+    assert!(outcome.mask.offsets().iter().all(|o| o.abs() <= max));
+    // The mask polygons remain valid rectilinear polygons.
+    for poly in outcome.mask.mask_polygons() {
+        assert!(poly.is_counter_clockwise());
+        assert!(poly.area() > 0);
+    }
+    // Re-deriving a mask from the same clip yields the same segment count.
+    let again = MaskState::from_clip(&case.clip, &FragmentationParams::via_layer());
+    assert_eq!(again.segment_count(), outcome.mask.segment_count());
+}
