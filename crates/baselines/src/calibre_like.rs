@@ -56,8 +56,9 @@ impl OpcEngine for CalibreLikeOpc {
 
     fn optimize(&mut self, clip: &Clip, simulator: &LithoSimulator) -> OpcOutcome {
         let start = Instant::now();
-        let mut mask = self.config.initial_mask(clip);
-        let mut epe = simulator.evaluate_epe(&mask);
+        let mask = self.config.initial_mask(clip);
+        let mut eval = simulator.evaluator(&mask);
+        let mut epe = eval.epe();
         let mut trajectory = vec![epe.total_abs()];
         let mut steps = 0;
         for _ in 0..self.config.max_steps {
@@ -65,14 +66,14 @@ impl OpcEngine for CalibreLikeOpc {
                 break;
             }
             let moves = self.teacher_moves(&epe);
-            mask.apply_moves(&moves);
-            epe = simulator.evaluate_epe(&mask);
+            eval.apply_moves(&moves);
+            epe = eval.epe();
             trajectory.push(epe.total_abs());
             steps += 1;
         }
-        let result = simulator.evaluate(&mask);
+        let result = eval.evaluate();
         OpcOutcome {
-            mask,
+            mask: eval.into_mask(),
             result,
             steps,
             runtime: start.elapsed(),

@@ -56,9 +56,14 @@ impl DamoLikeOpc {
             let initial = self.config.initial_mask(clip);
             let epe0 = simulator.evaluate_epe(&initial);
             let converged = teacher.optimize(clip, simulator);
+            debug_assert_eq!(
+                epe0.per_point.len(),
+                converged.mask.segment_count(),
+                "per-point EPE count must match the mask's segment count"
+            );
             for (seg, &offset) in converged.mask.offsets().iter().enumerate() {
                 let extra = (offset - self.config.initial_bias) as f64;
-                let e = epe0.per_point[seg];
+                let e = epe0.per_point.get(seg).copied().unwrap_or(0.0);
                 if e.abs() > 0.5 {
                     num += extra * e;
                     den += e * e;
@@ -78,18 +83,19 @@ impl OpcEngine for DamoLikeOpc {
 
     fn optimize(&mut self, clip: &Clip, simulator: &LithoSimulator) -> OpcOutcome {
         let start = Instant::now();
-        let mut mask = self.config.initial_mask(clip);
-        let epe0 = simulator.evaluate_epe(&mask);
+        let mask = self.config.initial_mask(clip);
+        let mut eval = simulator.evaluator(&mask);
+        let epe0 = eval.epe();
         let moves: Vec<Coord> = epe0
             .per_point
             .iter()
             .map(|&e| ((self.gain * e).round() as Coord).clamp(-self.max_offset, self.max_offset))
             .collect();
-        mask.apply_moves(&moves);
-        let result = simulator.evaluate(&mask);
+        eval.apply_moves(&moves);
+        let result = eval.evaluate();
         let trajectory = vec![epe0.total_abs(), result.total_epe()];
         OpcOutcome {
-            mask,
+            mask: eval.into_mask(),
             result,
             steps: 1,
             runtime: start.elapsed(),

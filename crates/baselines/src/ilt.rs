@@ -172,9 +172,17 @@ mod tests {
         let mut engine = PixelIlt::new(OpcConfig::via_layer());
         engine.iterations = 10;
         let outcome = engine.optimize(&via_clip(), &sim);
-        let mean_offset: f64 = outcome.mask.offsets().iter().map(|&o| o as f64).sum::<f64>()
+        let mean_offset: f64 = outcome
+            .mask
+            .offsets()
+            .iter()
+            .map(|&o| o as f64)
+            .sum::<f64>()
             / outcome.mask.segment_count() as f64;
-        assert!(mean_offset >= 0.0, "expected outward bias, got {mean_offset}");
+        assert!(
+            mean_offset >= 0.0,
+            "expected outward bias, got {mean_offset}"
+        );
     }
 
     #[test]

@@ -152,18 +152,19 @@ impl RlOpc {
     }
 
     fn train_episode(&mut self, clip: &Clip, simulator: &LithoSimulator) -> f64 {
-        let mut mask = self.opc.initial_mask(clip);
-        let mut eval = simulator.evaluate(&mask);
+        let mask = self.opc.initial_mask(clip);
+        let mut session = simulator.evaluator(&mask);
+        let mut eval = session.evaluate();
         let mut trajectory = Trajectory::new();
         let mut steps: Vec<Vec<(Vec<f64>, usize)>> = Vec::new();
         for _ in 0..self.opc.max_steps {
             if self.opc.early_exit(eval.mean_epe()) {
                 break;
             }
-            let decisions = self.select_actions(&mask, true);
+            let decisions = self.select_actions(session.mask(), true);
             let moves: Vec<Coord> = decisions.iter().map(|(_, a)| action_to_move(*a)).collect();
-            mask.apply_moves(&moves);
-            let next = simulator.evaluate(&mask);
+            session.apply_moves(&moves);
+            let next = session.evaluate();
             let reward = self.config.reward.reward(
                 eval.total_epe(),
                 next.total_epe(),
@@ -194,24 +195,25 @@ impl OpcEngine for RlOpc {
 
     fn optimize(&mut self, clip: &Clip, simulator: &LithoSimulator) -> OpcOutcome {
         let start = Instant::now();
-        let mut mask = self.opc.initial_mask(clip);
-        let mut epe = simulator.evaluate_epe(&mask);
+        let mask = self.opc.initial_mask(clip);
+        let mut eval = simulator.evaluator(&mask);
+        let mut epe = eval.epe();
         let mut trajectory = vec![epe.total_abs()];
         let mut steps = 0;
         for _ in 0..self.opc.max_steps {
             if self.opc.early_exit(epe.mean_abs()) {
                 break;
             }
-            let decisions = self.select_actions(&mask, false);
+            let decisions = self.select_actions(eval.mask(), false);
             let moves: Vec<Coord> = decisions.iter().map(|(_, a)| action_to_move(*a)).collect();
-            mask.apply_moves(&moves);
-            epe = simulator.evaluate_epe(&mask);
+            eval.apply_moves(&moves);
+            epe = eval.epe();
             trajectory.push(epe.total_abs());
             steps += 1;
         }
-        let result = simulator.evaluate(&mask);
+        let result = eval.evaluate();
         OpcOutcome {
-            mask,
+            mask: eval.into_mask(),
             result,
             steps,
             runtime: start.elapsed(),
@@ -256,7 +258,10 @@ mod tests {
 
     fn tiny_config() -> RlOpcConfig {
         RlOpcConfig {
-            features: FeatureConfig { window: 300, tensor_size: 8 },
+            features: FeatureConfig {
+                window: 300,
+                tensor_size: 8,
+            },
             hidden: 16,
             ..RlOpcConfig::default()
         }

@@ -5,7 +5,7 @@
 
 use camo::{CamoConfig, CamoEngine};
 use camo_baselines::OpcConfig;
-use camo_geometry::{segment_features_stacked, FeatureConfig, Rect};
+use camo_geometry::{segment_features_stacked, FeatureConfig};
 use camo_litho::{GaussianKernel, LithoConfig, LithoSimulator, OpticalModel};
 use camo_workloads::via_test_set;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};

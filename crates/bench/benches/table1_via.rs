@@ -5,7 +5,9 @@
 //! (one-shot DAMO fastest, iterative engines slower).
 
 use camo::{CamoConfig, CamoEngine};
-use camo_baselines::{CalibreLikeOpc, DamoLikeOpc, OpcConfig, OpcEngine, PixelIlt, RlOpc, RlOpcConfig};
+use camo_baselines::{
+    CalibreLikeOpc, DamoLikeOpc, OpcConfig, OpcEngine, PixelIlt, RlOpc, RlOpcConfig,
+};
 use camo_geometry::FeatureConfig;
 use camo_litho::{LithoConfig, LithoSimulator};
 use camo_workloads::via_test_set;
@@ -32,7 +34,10 @@ fn engine_runtimes(c: &mut Criterion) {
         let mut engine = RlOpc::new(
             opc.clone(),
             RlOpcConfig {
-                features: FeatureConfig { window: 300, tensor_size: 8 },
+                features: FeatureConfig {
+                    window: 300,
+                    tensor_size: 8,
+                },
                 hidden: 16,
                 ..RlOpcConfig::default()
             },

@@ -27,7 +27,10 @@ fn engine_runtimes(c: &mut Criterion) {
         let mut engine = RlOpc::new(
             opc.clone(),
             RlOpcConfig {
-                features: FeatureConfig { window: 300, tensor_size: 8 },
+                features: FeatureConfig {
+                    window: 300,
+                    tensor_size: 8,
+                },
                 hidden: 16,
                 ..RlOpcConfig::default()
             },

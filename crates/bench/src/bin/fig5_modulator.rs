@@ -15,7 +15,10 @@ fn main() {
 
     for trace in &traces {
         println!("case {}:", trace.case);
-        let steps = trace.with_modulator.len().max(trace.without_modulator.len());
+        let steps = trace
+            .with_modulator
+            .len()
+            .max(trace.without_modulator.len());
         let rows: Vec<Vec<String>> = (0..steps)
             .map(|t| {
                 vec![
@@ -35,18 +38,26 @@ fn main() {
             .collect();
         println!(
             "{}",
-            render_table(&["step", "EPE w/ modulator (nm)", "EPE w/o modulator (nm)"], &rows)
+            render_table(
+                &["step", "EPE w/ modulator (nm)", "EPE w/o modulator (nm)"],
+                &rows
+            )
         );
         println!(
             "  fluctuation w/ modulator: {:.0} nm, w/o modulator: {:.0} nm",
             ModulatorTrace::fluctuation(&trace.with_modulator[1..]),
             ModulatorTrace::fluctuation(&trace.without_modulator[1..]),
         );
-        println!("  converged EPE w/ modulator: {:.0} nm\n", trace.converged_epe());
+        println!(
+            "  converged EPE w/ modulator: {:.0} nm\n",
+            trace.converged_epe()
+        );
     }
 
     println!("-- Paper reference --");
     for (case, epe) in FIG5_PAPER_CONVERGED_EPE {
-        println!("  {case}: converges to at most {epe:.0} nm with the modulator; fluctuates without it");
+        println!(
+            "  {case}: converges to at most {epe:.0} nm with the modulator; fluctuates without it"
+        );
     }
 }

@@ -26,10 +26,17 @@ fn main() {
         ExperimentScale::Quick => &metal[7], // the small M8 clip
         ExperimentScale::Full => &metal[9],  // M10 as in the paper
     };
-    println!("case: {} ({} measure points)", case.clip.name(), case.measure_points);
+    println!(
+        "case: {} ({} measure points)",
+        case.clip.name(),
+        case.measure_points
+    );
 
     // Train CAMO briefly and optimise the case.
-    let train: Vec<Clip> = metal_training_set().iter().map(|c| c.clip.clone()).collect();
+    let train: Vec<Clip> = metal_training_set()
+        .iter()
+        .map(|c| c.clip.clone())
+        .collect();
     let train = match scale {
         ExperimentScale::Quick => train[..1].to_vec(),
         ExperimentScale::Full => train,
@@ -70,6 +77,9 @@ fn main() {
 
     println!("\n(a) target pattern:\n{}", ascii_preview(&target, 48));
     println!("(b) optimised mask:\n{}", ascii_preview(&mask_image, 48));
-    println!("(c) printed contour (nominal):\n{}", ascii_preview(&printed, 48));
+    println!(
+        "(c) printed contour (nominal):\n{}",
+        ascii_preview(&printed, 48)
+    );
     println!("(d) PV band:\n{}", ascii_preview(&pv_band, 48));
 }

@@ -1,0 +1,194 @@
+//! Performance snapshot of the lithography hot path.
+//!
+//! Times the scratch-buffer pipeline against the seed's reference
+//! implementation on a paper-style via clip at the default px5
+//! configuration, and writes `BENCH_litho.json` (op, mean ns, speedup)
+//! so regressions are visible across PRs:
+//!
+//! ```text
+//! cargo run --release -p camo-bench --bin perf_snapshot
+//! ```
+
+use camo::{CamoConfig, CamoEngine};
+use camo_baselines::{OpcConfig, OpcEngine};
+use camo_litho::{reference, LithoConfig, LithoSimulator};
+use camo_workloads::via_test_set;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn mean_ns<F: FnMut()>(mut op: F, iters: usize) -> f64 {
+    op(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+struct Row {
+    op: &'static str,
+    mean_ns: f64,
+    reference_ns: Option<f64>,
+}
+
+impl Row {
+    fn speedup(&self) -> Option<f64> {
+        self.reference_ns.map(|r| r / self.mean_ns)
+    }
+}
+
+fn main() {
+    let case = &via_test_set()[0];
+    let config = LithoConfig::default(); // the px5 configuration of the tables
+    let guard = config.guard_band_nm();
+    let sim = LithoSimulator::new(config.clone());
+    let opc = OpcConfig::via_layer();
+    let mask = opc.initial_mask(&case.clip);
+    let iters = 20;
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Mask rasterisation: analytic coverage vs 1 nm fine grid + downsample.
+    rows.push(Row {
+        op: "rasterize",
+        mean_ns: mean_ns(
+            || {
+                black_box(camo_litho::rasterize_mask(&mask, config.pixel_size, guard));
+            },
+            iters,
+        ),
+        reference_ns: Some(mean_ns(
+            || {
+                black_box(reference::rasterize_mask(&mask, config.pixel_size, guard));
+            },
+            iters,
+        )),
+    });
+
+    // Full evaluation (nominal EPE + PV band).
+    rows.push(Row {
+        op: "evaluate",
+        mean_ns: mean_ns(
+            || {
+                black_box(sim.evaluate(&mask));
+            },
+            iters,
+        ),
+        reference_ns: Some(mean_ns(
+            || {
+                black_box(reference::evaluate(&config, &mask, guard));
+            },
+            iters,
+        )),
+    });
+
+    // Stateless EPE-only evaluation.
+    rows.push(Row {
+        op: "evaluate_epe",
+        mean_ns: mean_ns(
+            || {
+                black_box(sim.evaluate_epe(&mask));
+            },
+            iters,
+        ),
+        reference_ns: Some(mean_ns(
+            || {
+                black_box(reference::evaluate_epe(&config, &mask, guard));
+            },
+            iters,
+        )),
+    });
+
+    // The per-step inner-loop cost: move every segment, re-measure EPE.
+    // Incremental session vs the seed loop's full re-evaluation.
+    let n = mask.segment_count();
+    let step_moves = [vec![1i64; n], vec![-1i64; n]];
+    let mut session = sim.evaluator(&mask);
+    let _ = session.epe();
+    let mut flip = 0usize;
+    let incremental_ns = mean_ns(
+        || {
+            session.apply_moves(&step_moves[flip % 2]);
+            flip += 1;
+            black_box(session.epe());
+        },
+        iters,
+    );
+    let mut seed_mask = mask.clone();
+    let mut flip_ref = 0usize;
+    let reference_step_ns = mean_ns(
+        || {
+            seed_mask.apply_moves(&step_moves[flip_ref % 2]);
+            flip_ref += 1;
+            black_box(reference::evaluate_epe(&config, &seed_mask, guard));
+        },
+        iters,
+    );
+    rows.push(Row {
+        op: "evaluate_epe_incremental_step",
+        mean_ns: incremental_ns,
+        reference_ns: Some(reference_step_ns),
+    });
+
+    // One CAMO engine step end-to-end (decide + move + re-evaluate),
+    // recorded for trend tracking (no seed equivalent to compare against).
+    let mut engine_opc = opc.clone();
+    engine_opc.max_steps = 1;
+    engine_opc.early_exit_epe = 0.0;
+    let mut engine = CamoEngine::new(engine_opc, CamoConfig::fast());
+    rows.push(Row {
+        op: "camo_optimize_step",
+        mean_ns: mean_ns(
+            || {
+                black_box(engine.optimize(&case.clip, &sim));
+            },
+            5,
+        ),
+        reference_ns: None,
+    });
+
+    // Human-readable report.
+    println!(
+        "perf snapshot — clip {} ({} segments), px{} guard {} nm",
+        case.clip.name(),
+        n,
+        config.pixel_size,
+        guard
+    );
+    for row in &rows {
+        match row.speedup() {
+            Some(s) => println!(
+                "{:32} {:>14.0} ns  (reference {:>14.0} ns, speedup {:.1}x)",
+                row.op,
+                row.mean_ns,
+                row.reference_ns.unwrap_or(0.0),
+                s
+            ),
+            None => println!("{:32} {:>14.0} ns", row.op, row.mean_ns),
+        }
+    }
+
+    // Machine-readable report.
+    let mut json = String::from("{\n  \"bench\": \"litho_hot_path\",\n");
+    let _ = writeln!(json, "  \"clip\": \"{}\",", case.clip.name());
+    let _ = writeln!(json, "  \"pixel_size_nm\": {},", config.pixel_size);
+    let _ = writeln!(json, "  \"guard_band_nm\": {},", guard);
+    let _ = writeln!(json, "  \"segments\": {},", n);
+    json.push_str("  \"ops\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"op\": \"{}\", \"mean_ns\": {:.0}, \"reference_mean_ns\": {}, \"speedup\": {}}}",
+            row.op,
+            row.mean_ns,
+            row.reference_ns
+                .map_or("null".to_string(), |r| format!("{r:.0}")),
+            row.speedup().map_or("null".to_string(), |s| format!("{s:.2}")),
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_litho.json", &json).expect("write BENCH_litho.json");
+    println!("\nwrote BENCH_litho.json");
+}

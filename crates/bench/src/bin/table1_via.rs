@@ -50,19 +50,38 @@ fn main() {
             reference,
         ));
     }
-    println!("{}", render_table(&["Engine", "EPE sum", "PVB sum", "RT sum"], &sum_rows));
+    println!(
+        "{}",
+        render_table(&["Engine", "EPE sum", "PVB sum", "RT sum"], &sum_rows)
+    );
 
     println!("-- Paper reference (Table 1, Sum / Ratio rows) --");
     let paper_rows: Vec<Vec<String>> = TABLE1_PAPER
         .iter()
         .map(|r| format_row(r.engine, r.epe_sum, r.pvb_sum, r.runtime_sum))
         .collect();
-    println!("{}", render_table(&["Engine", "EPE sum", "PVB sum", "RT sum"], &paper_rows));
+    println!(
+        "{}",
+        render_table(&["Engine", "EPE sum", "PVB sum", "RT sum"], &paper_rows)
+    );
     let ratio_rows: Vec<Vec<String>> = TABLE1_PAPER_RATIOS
         .iter()
-        .map(|(n, e, p, t)| vec![n.to_string(), format!("{e:.2}"), format!("{p:.2}"), format!("{t:.2}")])
+        .map(|(n, e, p, t)| {
+            vec![
+                n.to_string(),
+                format!("{e:.2}"),
+                format!("{p:.2}"),
+                format!("{t:.2}"),
+            ]
+        })
         .collect();
-    println!("{}", render_table(&["Engine", "EPE ratio", "PVB ratio", "RT ratio"], &ratio_rows));
+    println!(
+        "{}",
+        render_table(
+            &["Engine", "EPE ratio", "PVB ratio", "RT ratio"],
+            &ratio_rows
+        )
+    );
 
     // Shape check: does CAMO win on EPE as in the paper?
     let camo_epe = camo.epe_sum();
@@ -74,6 +93,10 @@ fn main() {
         .fold(f64::MAX, f64::min);
     println!(
         "shape check: CAMO EPE sum = {camo_epe:.0} nm, best baseline = {best_other:.0} nm -> {}",
-        if camo_epe <= best_other { "CAMO wins (matches paper)" } else { "CAMO does not win (differs from paper)" }
+        if camo_epe <= best_other {
+            "CAMO wins (matches paper)"
+        } else {
+            "CAMO does not win (differs from paper)"
+        }
     );
 }

@@ -4,7 +4,9 @@
 //! (append `--quick` for a reduced smoke-test run).
 
 use camo_bench::paper::{TABLE2_PAPER, TABLE2_PAPER_RATIOS};
-use camo_bench::{format_ratio_row, format_row, render_table, run_metal_experiment, ExperimentScale};
+use camo_bench::{
+    format_ratio_row, format_row, render_table, run_metal_experiment, ExperimentScale,
+};
 
 fn main() {
     let scale = ExperimentScale::from_args();
@@ -48,19 +50,38 @@ fn main() {
             reference,
         ));
     }
-    println!("{}", render_table(&["Engine", "EPE sum", "PVB sum", "RT sum"], &sum_rows));
+    println!(
+        "{}",
+        render_table(&["Engine", "EPE sum", "PVB sum", "RT sum"], &sum_rows)
+    );
 
     println!("-- Paper reference (Table 2, Sum / Ratio rows) --");
     let paper_rows: Vec<Vec<String>> = TABLE2_PAPER
         .iter()
         .map(|r| format_row(r.engine, r.epe_sum, r.pvb_sum, r.runtime_sum))
         .collect();
-    println!("{}", render_table(&["Engine", "EPE sum", "PVB sum", "RT sum"], &paper_rows));
+    println!(
+        "{}",
+        render_table(&["Engine", "EPE sum", "PVB sum", "RT sum"], &paper_rows)
+    );
     let ratio_rows: Vec<Vec<String>> = TABLE2_PAPER_RATIOS
         .iter()
-        .map(|(n, e, p, t)| vec![n.to_string(), format!("{e:.2}"), format!("{p:.2}"), format!("{t:.2}")])
+        .map(|(n, e, p, t)| {
+            vec![
+                n.to_string(),
+                format!("{e:.2}"),
+                format!("{p:.2}"),
+                format!("{t:.2}"),
+            ]
+        })
         .collect();
-    println!("{}", render_table(&["Engine", "EPE ratio", "PVB ratio", "RT ratio"], &ratio_rows));
+    println!(
+        "{}",
+        render_table(
+            &["Engine", "EPE ratio", "PVB ratio", "RT ratio"],
+            &ratio_rows
+        )
+    );
 
     let camo_epe = camo.epe_sum();
     if let Some(rl) = summary.row("RL-OPC") {

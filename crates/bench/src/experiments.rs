@@ -37,8 +37,14 @@ impl ExperimentScale {
     pub fn litho(&self) -> LithoConfig {
         let resist = ResistModel::new(0.40, 40.0);
         match self {
-            Self::Quick => LithoConfig { resist, ..LithoConfig::fast() },
-            Self::Full => LithoConfig { resist, ..LithoConfig::default() },
+            Self::Quick => LithoConfig {
+                resist,
+                ..LithoConfig::fast()
+            },
+            Self::Full => LithoConfig {
+                resist,
+                ..LithoConfig::default()
+            },
         }
     }
 
@@ -47,7 +53,10 @@ impl ExperimentScale {
         match self {
             Self::Quick => CamoConfig::fast(),
             Self::Full => CamoConfig {
-                features: FeatureConfig { window: 500, tensor_size: 16 },
+                features: FeatureConfig {
+                    window: 500,
+                    tensor_size: 16,
+                },
                 embedding: 128,
                 hidden: 64,
                 rnn_layers: 3,
@@ -58,7 +67,10 @@ impl ExperimentScale {
                 // very failure mode the paper's modulator mitigates at full
                 // GPU-scale budgets).
                 rl_epochs: 1,
-                reinforce: camo_rl::ReinforceConfig { gamma: 0.95, normalize: false },
+                reinforce: camo_rl::ReinforceConfig {
+                    gamma: 0.95,
+                    normalize: false,
+                },
                 ..CamoConfig::default()
             },
         }
@@ -68,7 +80,10 @@ impl ExperimentScale {
     pub fn rl_opc_config(&self) -> RlOpcConfig {
         match self {
             Self::Quick => RlOpcConfig {
-                features: FeatureConfig { window: 300, tensor_size: 8 },
+                features: FeatureConfig {
+                    window: 300,
+                    tensor_size: 8,
+                },
                 hidden: 16,
                 ..RlOpcConfig::default()
             },
@@ -176,7 +191,10 @@ fn run_engine(
             }
         })
         .collect();
-    EngineRow { engine: name.to_string(), cases }
+    EngineRow {
+        engine: name.to_string(),
+        cases,
+    }
 }
 
 /// Reproduces **Table 1**: via-layer comparison of DAMO-like, Calibre-like,
@@ -217,7 +235,10 @@ pub fn run_via_experiment(scale: ExperimentScale) -> ExperimentSummary {
     ];
 
     ExperimentSummary {
-        case_names: test_cases.iter().map(|c| c.clip.name().to_string()).collect(),
+        case_names: test_cases
+            .iter()
+            .map(|c| c.clip.name().to_string())
+            .collect(),
         case_sizes: test_cases.iter().map(|c| c.via_count).collect(),
         rows,
     }
@@ -253,7 +274,10 @@ pub fn run_metal_experiment(scale: ExperimentScale) -> ExperimentSummary {
     ];
 
     ExperimentSummary {
-        case_names: test_cases.iter().map(|c| c.clip.name().to_string()).collect(),
+        case_names: test_cases
+            .iter()
+            .map(|c| c.clip.name().to_string())
+            .collect(),
         case_sizes: test_cases.iter().map(|c| c.measure_points).collect(),
         rows,
     }
@@ -307,8 +331,7 @@ pub fn run_modulator_ablation(scale: ExperimentScale) -> Vec<ModulatorTrace> {
             trainer.train(&mut with, &train_clips, &simulator);
             let with_outcome = with.optimize(&case.clip, &simulator);
 
-            let mut without =
-                CamoEngine::new(opc.clone(), scale.camo_config().without_modulator());
+            let mut without = CamoEngine::new(opc.clone(), scale.camo_config().without_modulator());
             let mut trainer = CamoTrainer::new(&without);
             trainer.train(&mut without, &train_clips, &simulator);
             let without_outcome = without.optimize(&case.clip, &simulator);
@@ -361,8 +384,18 @@ mod tests {
         let row = EngineRow {
             engine: "X".into(),
             cases: vec![
-                CaseResult { case: "A".into(), epe: 10.0, pvb: 100.0, runtime: 1.0 },
-                CaseResult { case: "B".into(), epe: 20.0, pvb: 200.0, runtime: 2.0 },
+                CaseResult {
+                    case: "A".into(),
+                    epe: 10.0,
+                    pvb: 100.0,
+                    runtime: 1.0,
+                },
+                CaseResult {
+                    case: "B".into(),
+                    epe: 20.0,
+                    pvb: 200.0,
+                    runtime: 2.0,
+                },
             ],
         };
         assert_eq!(row.epe_sum(), 30.0);

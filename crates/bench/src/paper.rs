@@ -33,17 +33,52 @@ pub struct PaperMetalRow {
 
 /// Table 1 "Sum" row of the paper (via layer, 13 clips, 58 vias).
 pub const TABLE1_PAPER: [PaperViaRow; 4] = [
-    PaperViaRow { engine: "DAMO", epe_sum: 307.0, pvb_sum: 154_733.0, runtime_sum: 7.43 },
-    PaperViaRow { engine: "Calibre", epe_sum: 235.0, pvb_sum: 154_987.0, runtime_sum: 108.36 },
-    PaperViaRow { engine: "RL-OPC", epe_sum: 276.0, pvb_sum: 153_723.0, runtime_sum: 149.6 },
-    PaperViaRow { engine: "CAMO", epe_sum: 196.0, pvb_sum: 151_112.0, runtime_sum: 82.38 },
+    PaperViaRow {
+        engine: "DAMO",
+        epe_sum: 307.0,
+        pvb_sum: 154_733.0,
+        runtime_sum: 7.43,
+    },
+    PaperViaRow {
+        engine: "Calibre",
+        epe_sum: 235.0,
+        pvb_sum: 154_987.0,
+        runtime_sum: 108.36,
+    },
+    PaperViaRow {
+        engine: "RL-OPC",
+        epe_sum: 276.0,
+        pvb_sum: 153_723.0,
+        runtime_sum: 149.6,
+    },
+    PaperViaRow {
+        engine: "CAMO",
+        epe_sum: 196.0,
+        pvb_sum: 151_112.0,
+        runtime_sum: 82.38,
+    },
 ];
 
 /// Table 2 "Sum" row of the paper (metal layer, 10 clips, 886 measure points).
 pub const TABLE2_PAPER: [PaperMetalRow; 3] = [
-    PaperMetalRow { engine: "Calibre", epe_sum: 698.0, pvb_sum: 372_067.0, runtime_sum: 87.05 },
-    PaperMetalRow { engine: "RL-OPC", epe_sum: 2118.0, pvb_sum: 375_786.0, runtime_sum: 167.78 },
-    PaperMetalRow { engine: "CAMO", epe_sum: 620.0, pvb_sum: 364_464.0, runtime_sum: 88.37 },
+    PaperMetalRow {
+        engine: "Calibre",
+        epe_sum: 698.0,
+        pvb_sum: 372_067.0,
+        runtime_sum: 87.05,
+    },
+    PaperMetalRow {
+        engine: "RL-OPC",
+        epe_sum: 2118.0,
+        pvb_sum: 375_786.0,
+        runtime_sum: 167.78,
+    },
+    PaperMetalRow {
+        engine: "CAMO",
+        epe_sum: 620.0,
+        pvb_sum: 364_464.0,
+        runtime_sum: 88.37,
+    },
 ];
 
 /// Paper Table 1 ratios (relative to CAMO = 1.00): EPE, PVB, runtime.

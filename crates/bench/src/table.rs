@@ -84,7 +84,11 @@ mod tests {
 
     #[test]
     fn ratio_row_is_relative() {
-        let row = format_ratio_row("Calibre", (235.0, 154987.0, 108.36), (196.0, 151112.0, 82.38));
+        let row = format_ratio_row(
+            "Calibre",
+            (235.0, 154987.0, 108.36),
+            (196.0, 151112.0, 82.38),
+        );
         assert_eq!(row[1], "1.20");
         assert_eq!(row[2], "1.03");
         assert_eq!(row[3], "1.32");

@@ -17,7 +17,8 @@ use std::path::Path;
 pub fn write_pgm(raster: &Raster, path: &Path) -> io::Result<()> {
     let max = raster.max().max(1e-12);
     let mut content = Vec::new();
-    content.extend_from_slice(format!("P5\n{} {}\n255\n", raster.width(), raster.height()).as_bytes());
+    content
+        .extend_from_slice(format!("P5\n{} {}\n255\n", raster.width(), raster.height()).as_bytes());
     // PGM rows go top-to-bottom; our rasters are bottom-up.
     for iy in (0..raster.height()).rev() {
         for ix in 0..raster.width() {
@@ -38,7 +39,11 @@ pub fn ascii_preview(raster: &Raster, max_cols: usize) -> String {
     while iy >= stride {
         iy -= stride;
         for ix in (0..raster.width()).step_by(stride) {
-            out.push(if raster.get(ix, iy) > threshold && threshold > 0.0 { '#' } else { '.' });
+            out.push(if raster.get(ix, iy) > threshold && threshold > 0.0 {
+                '#'
+            } else {
+                '.'
+            });
         }
         out.push('\n');
     }

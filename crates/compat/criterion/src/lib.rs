@@ -1,0 +1,166 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! vendors the subset of the `criterion` 0.5 API the workspace's benches
+//! use: [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BatchSize`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Timing is a plain
+//! mean-of-N wall-clock measurement printed to stdout — adequate for the
+//! relative comparisons the benches make, without criterion's statistics.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between measurements (accepted and
+/// ignored: the shim always times one routine invocation at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Times closures handed to `bench_function`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock time of one iteration, filled by `iter*`.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` and records the mean iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up round keeps cold-cache noise out of the mean.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+
+    /// Measures `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = total / self.samples as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!(
+            "{}/{}: {:>12.1} ns/iter ({} samples)",
+            self.name,
+            id,
+            bencher.mean.as_nanos() as f64,
+            self.sample_size
+        );
+        self.criterion
+            .results
+            .push((format!("{}/{}", self.name, id), bencher.mean));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// `(benchmark id, mean duration)` pairs measured so far.
+    pub results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group runner function (as `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main` (as `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].0, "g/noop");
+    }
+}

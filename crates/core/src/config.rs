@@ -75,7 +75,10 @@ impl CamoConfig {
     /// network widths, very few training epochs.
     pub fn fast() -> Self {
         Self {
-            features: FeatureConfig { window: 300, tensor_size: 8 },
+            features: FeatureConfig {
+                window: 300,
+                tensor_size: 8,
+            },
             embedding: 32,
             hidden: 16,
             rnn_layers: 2,

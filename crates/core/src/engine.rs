@@ -23,7 +23,10 @@ pub fn action_to_move(action: usize) -> Coord {
 ///
 /// Panics if the displacement is outside the action space.
 pub fn move_to_action(movement: Coord) -> usize {
-    assert!((-2..=2).contains(&movement), "movement {movement} outside the action space");
+    assert!(
+        (-2..=2).contains(&movement),
+        "movement {movement} outside the action space"
+    );
     (movement + 2) as usize
 }
 
@@ -43,7 +46,13 @@ impl CamoEngine {
         let policy = CamoPolicy::new(&config);
         let modulator = Modulator::new(config.modulator_k, config.modulator_n, config.modulator_b);
         let rng = StdRng::seed_from_u64(config.seed.wrapping_add(5));
-        Self { opc, config, policy, modulator, rng }
+        Self {
+            opc,
+            config,
+            policy,
+            modulator,
+            rng,
+        }
     }
 
     /// The OPC run configuration (step budget, early exit, fragmentation).
@@ -88,6 +97,11 @@ impl CamoEngine {
     /// from the (optionally modulated) distribution; otherwise the modulated
     /// argmax of Eq. (6) is used. Returns `(action, unmodulated logits)` per
     /// segment.
+    ///
+    /// `epe` must carry one per-point value per segment of `mask` (the
+    /// invariant documented on [`MaskState`]); this is debug-asserted, and
+    /// in release builds a missing value falls back to `0.0` (no
+    /// modulation) instead of panicking.
     pub fn decide(
         &mut self,
         mask: &MaskState,
@@ -95,6 +109,11 @@ impl CamoEngine {
         epe: &EpeReport,
         sample: bool,
     ) -> Vec<(usize, Vec<f64>)> {
+        debug_assert_eq!(
+            epe.per_point.len(),
+            mask.segment_count(),
+            "per-point EPE count must match the mask's segment count"
+        );
         let features = self.node_features(mask);
         let logits = self.policy.forward_inference(&features, graph.adjacency());
         logits
@@ -103,7 +122,8 @@ impl CamoEngine {
             .map(|(seg, l)| {
                 let probs = softmax(&l);
                 let dist: [f64; ACTION_COUNT] = if self.config.use_modulator {
-                    self.modulator.modulate(epe.per_point[seg], &probs)
+                    let seg_epe = epe.per_point.get(seg).copied().unwrap_or(0.0);
+                    self.modulator.modulate(seg_epe, &probs)
                 } else {
                     let mut d = [0.0; ACTION_COUNT];
                     d.copy_from_slice(&probs);
@@ -127,25 +147,28 @@ impl OpcEngine for CamoEngine {
 
     fn optimize(&mut self, clip: &Clip, simulator: &LithoSimulator) -> OpcOutcome {
         let start = Instant::now();
-        let mut mask = self.opc.initial_mask(clip);
+        let mask = self.opc.initial_mask(clip);
         let graph = self.graph(&mask);
-        let mut epe = simulator.evaluate_epe(&mask);
+        // One evaluation session for the whole loop: every step re-simulates
+        // only the region its movements dirtied.
+        let mut eval = simulator.evaluator(&mask);
+        let mut epe = eval.epe();
         let mut trajectory = vec![epe.total_abs()];
         let mut steps = 0;
         for _ in 0..self.opc.max_steps {
             if self.opc.early_exit(epe.mean_abs()) {
                 break;
             }
-            let decisions = self.decide(&mask, &graph, &epe, false);
+            let decisions = self.decide(eval.mask(), &graph, &epe, false);
             let moves: Vec<Coord> = decisions.iter().map(|(a, _)| action_to_move(*a)).collect();
-            mask.apply_moves(&moves);
-            epe = simulator.evaluate_epe(&mask);
+            eval.apply_moves(&moves);
+            epe = eval.epe();
             trajectory.push(epe.total_abs());
             steps += 1;
         }
-        let result = simulator.evaluate(&mask);
+        let result = eval.evaluate();
         OpcOutcome {
-            mask,
+            mask: eval.into_mask(),
             result,
             steps,
             runtime: start.elapsed(),
@@ -206,7 +229,7 @@ mod tests {
         let outcome = engine.optimize(&via_clip(), &sim);
         assert_eq!(engine.name(), "CAMO");
         assert!(outcome.total_epe().is_finite());
-        assert!(outcome.epe_trajectory.len() >= 1);
+        assert!(!outcome.epe_trajectory.is_empty());
         assert!(outcome.steps <= 3);
     }
 
@@ -243,20 +266,51 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "per-point EPE count must match")]
+    fn decide_rejects_mismatched_epe_report_in_debug() {
+        // An EPE report with fewer points than segments used to panic with
+        // an opaque out-of-bounds index; now the invariant is asserted
+        // explicitly (and release builds fall back to unmodulated decisions).
+        let mut engine = CamoEngine::new(OpcConfig::via_layer(), CamoConfig::fast());
+        let mask = engine.opc_config().initial_mask(&via_clip());
+        let graph = engine.graph(&mask);
+        let bogus = camo_litho::EpeReport {
+            per_point: vec![4.0], // 1 value for a 4-segment via
+            search_range: 40.0,
+        };
+        let _ = engine.decide(&mask, &graph, &bogus, false);
+    }
+
+    #[test]
     fn disabling_modulator_changes_decisions() {
         let sim = LithoSimulator::new(LithoConfig::fast());
         let mut with = CamoEngine::new(OpcConfig::via_layer(), CamoConfig::fast());
-        let mut without = CamoEngine::new(OpcConfig::via_layer(), CamoConfig::fast().without_modulator());
+        let mut without = CamoEngine::new(
+            OpcConfig::via_layer(),
+            CamoConfig::fast().without_modulator(),
+        );
         let mask = with.opc_config().initial_mask(&via_clip());
         let graph = with.graph(&mask);
         let epe = sim.evaluate_epe(&mask);
-        let a: Vec<usize> = with.decide(&mask, &graph, &epe, false).iter().map(|(a, _)| *a).collect();
-        let b: Vec<usize> = without.decide(&mask, &graph, &epe, false).iter().map(|(a, _)| *a).collect();
+        let a: Vec<usize> = with
+            .decide(&mask, &graph, &epe, false)
+            .iter()
+            .map(|(a, _)| *a)
+            .collect();
+        let b: Vec<usize> = without
+            .decide(&mask, &graph, &epe, false)
+            .iter()
+            .map(|(a, _)| *a)
+            .collect();
         // With a strongly positive EPE the modulator pushes toward outward
         // moves; the untrained policy alone is near-uniform, so decisions
         // should differ for at least one segment.
         assert_ne!(a, b);
         // And the modulated decisions are outward.
-        assert!(a.iter().all(|&x| x >= 2), "modulated actions should not be inward: {a:?}");
+        assert!(
+            a.iter().all(|&x| x >= 2),
+            "modulated actions should not be inward: {a:?}"
+        );
     }
 }

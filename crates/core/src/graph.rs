@@ -40,7 +40,10 @@ impl SegmentGraph {
                 }
             }
         }
-        Self { adjacency, threshold }
+        Self {
+            adjacency,
+            threshold,
+        }
     }
 
     /// Number of nodes (segments).
@@ -136,7 +139,10 @@ mod tests {
         let graph = SegmentGraph::build(&two_via_fragments(100), 250);
         for v in 0..graph.node_count() {
             for &u in graph.neighbors(v) {
-                assert!(graph.neighbors(u).contains(&v), "edge {v}-{u} not symmetric");
+                assert!(
+                    graph.neighbors(u).contains(&v),
+                    "edge {v}-{u} not symmetric"
+                );
             }
         }
     }

@@ -35,7 +35,10 @@ impl Modulator {
     pub fn new(k: f64, n: u32, b: f64) -> Self {
         assert!(k > 0.0, "modulator k must be positive");
         assert!(b >= 0.0, "modulator b must be non-negative");
-        assert!(n > 0 && n % 2 == 0, "modulator exponent must be positive and even");
+        assert!(
+            n > 0 && n.is_multiple_of(2),
+            "modulator exponent must be positive and even"
+        );
         Self { k, n, b }
     }
 
@@ -76,7 +79,11 @@ impl Modulator {
     ///
     /// Panics if `policy` does not have exactly five entries.
     pub fn modulate(&self, epe: f64, policy: &[f64]) -> [f64; ACTION_COUNT] {
-        assert_eq!(policy.len(), ACTION_COUNT, "policy distribution must have 5 entries");
+        assert_eq!(
+            policy.len(),
+            ACTION_COUNT,
+            "policy distribution must have 5 entries"
+        );
         let pref = self.preference(epe);
         let mut combined = [0.0; ACTION_COUNT];
         let mut sum = 0.0;
@@ -128,9 +135,15 @@ mod tests {
         let m = Modulator::paper_default();
         let p = m.preference(6.0);
         // Index 4 corresponds to +2 nm (outward).
-        assert!(p[4] > p[0], "outward must beat inward for positive EPE: {p:?}");
+        assert!(
+            p[4] > p[0],
+            "outward must beat inward for positive EPE: {p:?}"
+        );
         assert_eq!(
-            p.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).expect("finite")).map(|(i, _)| i),
+            p.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i),
             Some(4)
         );
     }
@@ -139,7 +152,10 @@ mod tests {
     fn negative_epe_prefers_inward_movement() {
         let m = Modulator::paper_default();
         let p = m.preference(-6.0);
-        assert!(p[0] > p[4], "inward must beat outward for negative EPE: {p:?}");
+        assert!(
+            p[0] > p[4],
+            "inward must beat outward for negative EPE: {p:?}"
+        );
     }
 
     #[test]
@@ -161,7 +177,10 @@ mod tests {
         let policy = [0.1, 0.1, 0.6, 0.1, 0.1];
         let modulated = m.modulate(8.0, &policy);
         assert!((modulated.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert!(modulated[4] > policy[4], "outward probability should increase");
+        assert!(
+            modulated[4] > policy[4],
+            "outward probability should increase"
+        );
         // With zero EPE the policy is essentially unchanged.
         let neutral = m.modulate(0.0, &policy);
         for (a, b) in neutral.iter().zip(&policy) {

@@ -31,7 +31,11 @@ impl CamoPolicy {
         Self {
             encoder: Linear::new(feature_len, config.embedding, config.seed),
             encoder_act: Relu::new(),
-            sage: SageLayer::new(config.embedding, config.embedding, config.seed.wrapping_add(11)),
+            sage: SageLayer::new(
+                config.embedding,
+                config.embedding,
+                config.seed.wrapping_add(11),
+            ),
             rnn: RnnStack::new(
                 config.embedding,
                 config.hidden,
@@ -83,7 +87,11 @@ impl CamoPolicy {
     }
 
     /// Forward pass without caching (inference only).
-    pub fn forward_inference(&self, features: &[Vec<f64>], adjacency: &[Vec<usize>]) -> Vec<Vec<f64>> {
+    pub fn forward_inference(
+        &self,
+        features: &[Vec<f64>],
+        adjacency: &[Vec<usize>],
+    ) -> Vec<Vec<f64>> {
         let x = self.features_tensor(features);
         let embedded = self.encoder.forward_inference(&x);
         let embedded = self.encoder_act.forward_inference(&embedded);
@@ -164,7 +172,11 @@ mod tests {
         let policy = CamoPolicy::new(&config);
         let n = 4;
         let features: Vec<Vec<f64>> = (0..n)
-            .map(|i| (0..config.feature_len()).map(|j| ((i * 7 + j) as f64 * 0.13).sin() * 0.5).collect())
+            .map(|i| {
+                (0..config.feature_len())
+                    .map(|j| ((i * 7 + j) as f64 * 0.13).sin() * 0.5)
+                    .collect()
+            })
             .collect();
         let adjacency = vec![vec![1], vec![0, 2], vec![1, 3], vec![2]];
         (policy, features, adjacency)
@@ -230,7 +242,11 @@ mod tests {
         // Also check a weight deep in the encoder to make sure gradients flow
         // through the whole chain.
         let analytic_enc = policy.encoder.parameters_mut()[0].grad.clone();
-        let nonzero = analytic_enc.data().iter().filter(|g| g.abs() > 1e-12).count();
+        let nonzero = analytic_enc
+            .data()
+            .iter()
+            .filter(|g| g.abs() > 1e-12)
+            .count();
         assert!(nonzero > 0, "encoder must receive gradient");
         let idx = analytic_enc
             .data()
@@ -276,7 +292,10 @@ mod tests {
             opt.step(&mut policy.parameters_mut());
         }
         let after = nll(&policy);
-        assert!(after < before, "imitation loss must decrease: {before} -> {after}");
+        assert!(
+            after < before,
+            "imitation loss must decrease: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -296,6 +315,9 @@ mod tests {
             .zip(&changed[3])
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff > 1e-9, "sequential correlation must flow through the RNN");
+        assert!(
+            diff > 1e-9,
+            "sequential correlation must flow through the RNN"
+        );
     }
 }

@@ -86,13 +86,15 @@ impl CamoTrainer {
         let mut total_loss = 0.0;
         let mut samples = 0usize;
         for clip in clips {
-            let mut mask = engine.opc_config().initial_mask(clip);
+            let mask = engine.opc_config().initial_mask(clip);
             let graph = engine.graph(&mask);
+            let mut eval = simulator.evaluator(&mask);
             for _ in 0..teacher_steps {
-                let epe = simulator.evaluate_epe(&mask);
+                let epe = eval.epe();
                 let teacher_moves = self.teacher.teacher_moves(&epe);
-                let targets: Vec<usize> = teacher_moves.iter().map(|&m| move_to_action(m)).collect();
-                let features = engine.node_features(&mask);
+                let targets: Vec<usize> =
+                    teacher_moves.iter().map(|&m| move_to_action(m)).collect();
+                let features = engine.node_features(eval.mask());
                 let policy = engine.policy_mut();
                 let logits = policy.forward(&features, graph.adjacency());
                 let n = logits.len().max(1);
@@ -109,7 +111,7 @@ impl CamoTrainer {
                 policy.backward(&grads);
                 let mut optimizer = Sgd::new(lr, 0.0).with_grad_clip(5.0);
                 optimizer.step(&mut policy.parameters_mut());
-                mask.apply_moves(&teacher_moves);
+                eval.apply_moves(&teacher_moves);
             }
         }
         if samples == 0 {
@@ -144,9 +146,10 @@ impl CamoTrainer {
         let reinforce_cfg = engine.config().reinforce;
         let max_steps = engine.opc_config().max_steps;
 
-        let mut mask = engine.opc_config().initial_mask(clip);
+        let mask = engine.opc_config().initial_mask(clip);
         let graph = engine.graph(&mask);
-        let mut eval = simulator.evaluate(&mask);
+        let mut session = simulator.evaluator(&mask);
+        let mut eval = session.evaluate();
         let mut trajectory = Trajectory::new();
         // Per step: the features observed and the actions taken.
         let mut steps: Vec<(Vec<Vec<f64>>, Vec<usize>)> = Vec::new();
@@ -155,12 +158,12 @@ impl CamoTrainer {
             if engine.opc_config().early_exit(eval.mean_epe()) {
                 break;
             }
-            let features = engine.node_features(&mask);
-            let decisions = engine.decide(&mask, &graph, &eval.epe, true);
+            let features = engine.node_features(session.mask());
+            let decisions = engine.decide(session.mask(), &graph, &eval.epe, true);
             let actions: Vec<usize> = decisions.iter().map(|(a, _)| *a).collect();
             let moves: Vec<Coord> = actions.iter().map(|&a| action_to_move(a)).collect();
-            mask.apply_moves(&moves);
-            let next = simulator.evaluate(&mask);
+            session.apply_moves(&moves);
+            let next = session.evaluate();
             let reward = reward_cfg.reward(
                 eval.total_epe(),
                 next.total_epe(),
@@ -237,7 +240,10 @@ mod tests {
         let mut engine = fast_engine();
         let mut trainer = CamoTrainer::new(&engine);
         let report = trainer.train(&mut engine, &training_clips(), &sim);
-        assert_eq!(report.imitation_losses.len(), engine.config().imitation_epochs);
+        assert_eq!(
+            report.imitation_losses.len(),
+            engine.config().imitation_epochs
+        );
         assert_eq!(report.rl_rewards.len(), engine.config().rl_epochs);
         assert!(report.imitation_improved());
         assert!(report.rl_rewards.iter().all(|r| r.is_finite()));

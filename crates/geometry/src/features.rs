@@ -26,7 +26,10 @@ pub struct FeatureConfig {
 
 impl Default for FeatureConfig {
     fn default() -> Self {
-        Self { window: 500, tensor_size: 16 }
+        Self {
+            window: 500,
+            tensor_size: 16,
+        }
     }
 }
 
@@ -54,7 +57,11 @@ pub fn segment_window(mask: &MaskState, segment: usize, config: &FeatureConfig) 
 /// # Panics
 ///
 /// Panics if `segment` is out of range.
-pub fn segment_features_basic(mask: &MaskState, segment: usize, config: &FeatureConfig) -> Vec<f64> {
+pub fn segment_features_basic(
+    mask: &MaskState,
+    segment: usize,
+    config: &FeatureConfig,
+) -> Vec<f64> {
     let window = segment_window(mask, segment, config);
     let polys = mask.mask_polygons();
     let pattern = SquishPattern::encode(window, &polys, mask.sraf_rects(), &[], &[]);
@@ -71,7 +78,11 @@ pub fn segment_features_basic(mask: &MaskState, segment: usize, config: &Feature
 /// # Panics
 ///
 /// Panics if `segment` is out of range.
-pub fn segment_features_stacked(mask: &MaskState, segment: usize, config: &FeatureConfig) -> Vec<f64> {
+pub fn segment_features_stacked(
+    mask: &MaskState,
+    segment: usize,
+    config: &FeatureConfig,
+) -> Vec<f64> {
     let window = segment_window(mask, segment, config);
     let polys = mask.mask_polygons();
     let srafs = mask.sraf_rects();
@@ -114,15 +125,24 @@ mod tests {
     fn feature_lengths_match_config() {
         let mask = via_mask();
         let cfg = FeatureConfig::default();
-        assert_eq!(segment_features_basic(&mask, 0, &cfg).len(), cfg.basic_len());
-        assert_eq!(segment_features_stacked(&mask, 0, &cfg).len(), cfg.stacked_len());
+        assert_eq!(
+            segment_features_basic(&mask, 0, &cfg).len(),
+            cfg.basic_len()
+        );
+        assert_eq!(
+            segment_features_stacked(&mask, 0, &cfg).len(),
+            cfg.stacked_len()
+        );
         assert_eq!(cfg.stacked_len(), 2 * cfg.basic_len());
     }
 
     #[test]
     fn features_are_bounded() {
         let mask = via_mask();
-        let cfg = FeatureConfig { window: 400, tensor_size: 8 };
+        let cfg = FeatureConfig {
+            window: 400,
+            tensor_size: 8,
+        };
         for seg in 0..mask.segment_count() {
             for v in segment_features_stacked(&mask, seg, &cfg) {
                 assert!((0.0..=1.0).contains(&v), "feature {v} out of range");
@@ -137,7 +157,10 @@ mod tests {
         let before = segment_features_stacked(&mask, 0, &cfg);
         mask.move_segment(0, 2);
         let after = segment_features_stacked(&mask, 0, &cfg);
-        assert_ne!(before, after, "edge movement must be visible in the encoding");
+        assert_ne!(
+            before, after,
+            "edge movement must be visible in the encoding"
+        );
     }
 
     #[test]
@@ -164,6 +187,9 @@ mod tests {
             .expect("right edge of the first via");
         let features = segment_features_basic(&mask, right_seg.id, &cfg);
         let occupancy_sum: f64 = features[..cfg.tensor_size * cfg.tensor_size].iter().sum();
-        assert!(occupancy_sum >= 2.0, "expected both vias visible, sum={occupancy_sum}");
+        assert!(
+            occupancy_sum >= 2.0,
+            "expected both vias visible, sum={occupancy_sum}"
+        );
     }
 }

@@ -104,7 +104,10 @@ impl Raster {
     ///
     /// Panics if the indices are out of range.
     pub fn get(&self, ix: usize, iy: usize) -> f64 {
-        assert!(ix < self.width && iy < self.height, "pixel index out of range");
+        assert!(
+            ix < self.width && iy < self.height,
+            "pixel index out of range"
+        );
         self.data[iy * self.width + ix]
     }
 
@@ -114,7 +117,10 @@ impl Raster {
     ///
     /// Panics if the indices are out of range.
     pub fn set(&mut self, ix: usize, iy: usize, value: f64) {
-        assert!(ix < self.width && iy < self.height, "pixel index out of range");
+        assert!(
+            ix < self.width && iy < self.height,
+            "pixel index out of range"
+        );
         self.data[iy * self.width + ix] = value;
     }
 
@@ -257,14 +263,10 @@ impl Raster {
         if factor == 1 {
             return self.clone();
         }
-        let out_w = (self.width + factor - 1) / factor;
-        let out_h = (self.height + factor - 1) / factor;
-        let mut out = Raster::with_dimensions(
-            self.origin,
-            self.pixel_size * factor as Coord,
-            out_w,
-            out_h,
-        );
+        let out_w = self.width.div_ceil(factor);
+        let out_h = self.height.div_ceil(factor);
+        let mut out =
+            Raster::with_dimensions(self.origin, self.pixel_size * factor as Coord, out_w, out_h);
         let norm = 1.0 / (factor * factor) as f64;
         let out_data = out.data_mut();
         for oy in 0..out_h {
@@ -296,6 +298,190 @@ impl Raster {
         }
     }
 
+    /// The window spanning the whole grid.
+    pub fn full_window(&self) -> PixelWindow {
+        PixelWindow {
+            x0: 0,
+            y0: 0,
+            x1: self.width,
+            y1: self.height,
+        }
+    }
+
+    /// Pixel window covering `region` (in nm), snapped outward to pixel
+    /// boundaries and clamped to the grid. `None` when the region misses the
+    /// grid entirely.
+    pub fn pixel_window(&self, region: Rect) -> Option<PixelWindow> {
+        let p = self.pixel_size;
+        let rel_x0 = region.x0 - self.origin.x;
+        let rel_y0 = region.y0 - self.origin.y;
+        let rel_x1 = region.x1 - self.origin.x;
+        let rel_y1 = region.y1 - self.origin.y;
+        if rel_x1 <= 0 || rel_y1 <= 0 {
+            return None;
+        }
+        let x0 = (rel_x0.max(0) / p) as usize;
+        let y0 = (rel_y0.max(0) / p) as usize;
+        let x1 = (((rel_x1 + p - 1) / p) as usize).min(self.width);
+        let y1 = (((rel_y1 + p - 1) / p) as usize).min(self.height);
+        if x0 < x1 && y0 < y1 {
+            Some(PixelWindow { x0, y0, x1, y1 })
+        } else {
+            None
+        }
+    }
+
+    /// The region in nm covered by a pixel window.
+    pub fn window_region(&self, win: PixelWindow) -> Rect {
+        let p = self.pixel_size;
+        Rect::new(
+            self.origin.x + win.x0 as Coord * p,
+            self.origin.y + win.y0 as Coord * p,
+            self.origin.x + win.x1 as Coord * p,
+            self.origin.y + win.y1 as Coord * p,
+        )
+    }
+
+    /// Zeroes every sample inside `win`.
+    pub fn zero_window(&mut self, win: PixelWindow) {
+        for iy in win.y0..win.y1 {
+            self.data[iy * self.width + win.x0..iy * self.width + win.x1].fill(0.0);
+        }
+    }
+
+    /// Clamps every sample inside `win` to `[lo, hi]`.
+    pub fn clamp_window(&mut self, win: PixelWindow, lo: f64, hi: f64) {
+        for iy in win.y0..win.y1 {
+            for v in &mut self.data[iy * self.width + win.x0..iy * self.width + win.x1] {
+                *v = v.clamp(lo, hi);
+            }
+        }
+    }
+
+    /// Adds `value · coverage` to every pixel of `win` overlapped by `rect`,
+    /// where coverage is the *exact* fraction of the pixel square covered by
+    /// the rectangle. This is the analytic equivalent of filling a 1 nm grid
+    /// and box-downsampling, without the intermediate grid.
+    pub fn fill_rect_coverage_in(&mut self, rect: Rect, value: f64, win: PixelWindow) {
+        let p = self.pixel_size;
+        let inv_area = 1.0 / (p * p) as f64;
+        // Clip the rectangle to the window's nm extent.
+        let wr = self.window_region(win);
+        let x0 = rect.x0.max(wr.x0);
+        let y0 = rect.y0.max(wr.y0);
+        let x1 = rect.x1.min(wr.x1);
+        let y1 = rect.y1.min(wr.y1);
+        if x0 >= x1 || y0 >= y1 {
+            return;
+        }
+        let ix0 = ((x0 - self.origin.x) / p) as usize;
+        let iy0 = ((y0 - self.origin.y) / p) as usize;
+        for iy in iy0..win.y1 {
+            let py0 = self.origin.y + iy as Coord * p;
+            if py0 >= y1 {
+                break;
+            }
+            let hy = y1.min(py0 + p) - y0.max(py0);
+            let row = iy * self.width;
+            for ix in ix0..win.x1 {
+                let px0 = self.origin.x + ix as Coord * p;
+                if px0 >= x1 {
+                    break;
+                }
+                let hx = x1.min(px0 + p) - x0.max(px0);
+                self.data[row + ix] += value * (hx * hy) as f64 * inv_area;
+            }
+        }
+    }
+
+    /// Adds exact area coverage of a rectilinear polygon (even-odd rule) to
+    /// the pixels of `win`, reusing `scratch` so the steady-state OPC loop
+    /// performs no heap allocation.
+    ///
+    /// The polygon is decomposed into horizontal bands between consecutive
+    /// distinct vertex `y` coordinates; within a band the covered `x`
+    /// intervals are constant, so each (band × interval) cell is an exact
+    /// rectangle handed to [`Self::fill_rect_coverage_in`].
+    pub fn fill_polygon_coverage_in(
+        &mut self,
+        vertices: &[Point],
+        value: f64,
+        win: PixelWindow,
+        scratch: &mut CoverageScratch,
+    ) {
+        let n = vertices.len();
+        if n < 4 {
+            return;
+        }
+        let wr = self.window_region(win);
+        scratch.vertical_edges.clear();
+        scratch.band_ys.clear();
+        for i in 0..n {
+            let a = vertices[i];
+            let b = vertices[(i + 1) % n];
+            if a.x == b.x {
+                scratch
+                    .vertical_edges
+                    .push((a.x, a.y.min(b.y), a.y.max(b.y)));
+            }
+            scratch.band_ys.push(a.y);
+        }
+        scratch.band_ys.sort_unstable();
+        scratch.band_ys.dedup();
+        for bi in 0..scratch.band_ys.len().saturating_sub(1) {
+            let ya = scratch.band_ys[bi];
+            let yb = scratch.band_ys[bi + 1];
+            if yb <= wr.y0 || ya >= wr.y1 {
+                continue;
+            }
+            // Crossing x positions: vertical edges spanning the whole band
+            // (bands are minimal intervals between vertex ys, so an edge
+            // either spans a band completely or misses it).
+            scratch.crossings.clear();
+            for &(x, ylo, yhi) in &scratch.vertical_edges {
+                if ylo <= ya && yhi >= yb {
+                    scratch.crossings.push(x);
+                }
+            }
+            scratch.crossings.sort_unstable();
+            for pair in scratch.crossings.chunks_exact(2) {
+                self.fill_rect_coverage_in(Rect::new(pair[0], ya, pair[1], yb), value, win);
+            }
+        }
+    }
+
+    /// Smallest pixel window containing every non-zero sample, or `None`
+    /// when the raster is all zero.
+    pub fn nonzero_window(&self) -> Option<PixelWindow> {
+        let mut win: Option<PixelWindow> = None;
+        for iy in 0..self.height {
+            let row = &self.data[iy * self.width..(iy + 1) * self.width];
+            let first = match row.iter().position(|&v| v != 0.0) {
+                Some(i) => i,
+                None => continue,
+            };
+            let last = row
+                .iter()
+                .rposition(|&v| v != 0.0)
+                .expect("row has a non-zero");
+            win = Some(match win {
+                Some(w) => PixelWindow {
+                    x0: w.x0.min(first),
+                    y0: w.y0,
+                    x1: w.x1.max(last + 1),
+                    y1: iy + 1,
+                },
+                None => PixelWindow {
+                    x0: first,
+                    y0: iy,
+                    x1: last + 1,
+                    y1: iy + 1,
+                },
+            });
+        }
+        win
+    }
+
     /// Sum of all samples.
     pub fn sum(&self) -> f64 {
         self.data.iter().sum()
@@ -309,6 +495,81 @@ impl Raster {
     /// Number of samples strictly above `threshold`.
     pub fn count_above(&self, threshold: f64) -> usize {
         self.data.iter().filter(|&&v| v > threshold).count()
+    }
+}
+
+/// A half-open rectangle of pixel indices `[x0, x1) × [y0, y1)` on a
+/// [`Raster`], used to restrict fills and convolutions to the region that
+/// actually changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PixelWindow {
+    /// First column.
+    pub x0: usize,
+    /// First row.
+    pub y0: usize,
+    /// One past the last column.
+    pub x1: usize,
+    /// One past the last row.
+    pub y1: usize,
+}
+
+impl PixelWindow {
+    /// Window width in pixels.
+    pub fn width(&self) -> usize {
+        self.x1 - self.x0
+    }
+
+    /// Window height in pixels.
+    pub fn height(&self) -> usize {
+        self.y1 - self.y0
+    }
+
+    /// Number of pixels covered.
+    pub fn area(&self) -> usize {
+        self.width() * self.height()
+    }
+
+    /// Window grown by `margin` pixels on every side, clamped to a
+    /// `bounds_w × bounds_h` grid.
+    pub fn expanded(&self, margin: usize, bounds_w: usize, bounds_h: usize) -> PixelWindow {
+        PixelWindow {
+            x0: self.x0.saturating_sub(margin),
+            y0: self.y0.saturating_sub(margin),
+            x1: (self.x1 + margin).min(bounds_w),
+            y1: (self.y1 + margin).min(bounds_h),
+        }
+    }
+
+    /// Smallest window containing both inputs.
+    pub fn union(&self, other: &PixelWindow) -> PixelWindow {
+        PixelWindow {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+}
+
+/// Reusable scratch buffers for [`Raster::fill_polygon_coverage_in`]. Keeping
+/// them outside the raster lets one scratch serve many fills without heap
+/// allocation in the steady state.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageScratch {
+    vertical_edges: Vec<(Coord, Coord, Coord)>,
+    band_ys: Vec<Coord>,
+    crossings: Vec<Coord>,
+}
+
+impl CoverageScratch {
+    /// Pre-allocates capacity for polygons with up to `max_vertices`
+    /// vertices, so later fills never allocate.
+    pub fn with_capacity(max_vertices: usize) -> Self {
+        Self {
+            vertical_edges: Vec::with_capacity(max_vertices),
+            band_ys: Vec::with_capacity(max_vertices),
+            crossings: Vec::with_capacity(max_vertices),
+        }
     }
 }
 
@@ -383,7 +644,10 @@ mod tests {
         assert!((coarse.sum() * 100.0 - fine.sum()).abs() < 1e-9);
         // The partially covered column has fractional coverage.
         let partial = coarse.get(3, 5);
-        assert!(partial > 0.0 && partial < 1.0, "expected fractional coverage, got {partial}");
+        assert!(
+            partial > 0.0 && partial < 1.0,
+            "expected fractional coverage, got {partial}"
+        );
     }
 
     #[test]
@@ -391,6 +655,142 @@ mod tests {
         let mut r = Raster::new(Rect::new(0, 0, 20, 20), 2);
         r.fill_rect(Rect::new(0, 0, 10, 10), 1.0);
         assert_eq!(r.downsampled(1), r);
+    }
+
+    #[test]
+    fn rect_coverage_matches_fine_grid_downsample() {
+        // The analytic path must reproduce the 1 nm fill + box downsample
+        // exactly (both compute the covered area of each pixel square).
+        let rect = Rect::new(13, 27, 88, 61);
+        let mut fine = Raster::new(Rect::new(0, 0, 100, 100), 1);
+        fine.fill_rect(rect, 1.0);
+        let reference = fine.downsampled(5);
+        let mut analytic = Raster::new(Rect::new(0, 0, 100, 100), 5);
+        let win = analytic.full_window();
+        analytic.fill_rect_coverage_in(rect, 1.0, win);
+        for (a, b) in analytic.data().iter().zip(reference.data()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn polygon_coverage_matches_fine_grid_downsample() {
+        let l = Polygon::l_shape(Rect::new(7, 3, 93, 77), 31, 24);
+        let mut fine = Raster::new(Rect::new(0, 0, 100, 100), 1);
+        fine.fill_polygon(&l, 1.0);
+        let reference = fine.downsampled(5);
+        let mut analytic = Raster::new(Rect::new(0, 0, 100, 100), 5);
+        let win = analytic.full_window();
+        let mut scratch = CoverageScratch::default();
+        analytic.fill_polygon_coverage_in(l.vertices(), 1.0, win, &mut scratch);
+        for (a, b) in analytic.data().iter().zip(reference.data()) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+        // Total coverage equals the exact polygon area.
+        assert!((analytic.sum() * 25.0 - l.area() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_fill_only_touches_the_window() {
+        let rect = Rect::new(0, 0, 100, 100);
+        let mut r = Raster::new(rect, 10);
+        let win = PixelWindow {
+            x0: 2,
+            y0: 3,
+            x1: 5,
+            y1: 6,
+        };
+        r.fill_rect_coverage_in(rect, 1.0, win);
+        for iy in 0..r.height() {
+            for ix in 0..r.width() {
+                let inside = (win.x0..win.x1).contains(&ix) && (win.y0..win.y1).contains(&iy);
+                assert_eq!(r.get(ix, iy) != 0.0, inside, "pixel ({ix},{iy})");
+            }
+        }
+        r.zero_window(win);
+        assert_eq!(r.sum(), 0.0);
+    }
+
+    #[test]
+    fn pixel_window_snaps_outward_and_clamps() {
+        let r = Raster::new(Rect::new(0, 0, 100, 100), 10);
+        let w = r.pixel_window(Rect::new(11, 19, 30, 41)).expect("window");
+        assert_eq!(
+            w,
+            PixelWindow {
+                x0: 1,
+                y0: 1,
+                x1: 3,
+                y1: 5
+            }
+        );
+        assert_eq!(r.window_region(w), Rect::new(10, 10, 30, 50));
+        assert_eq!(r.pixel_window(Rect::new(-50, -50, -10, -10)), None);
+        assert_eq!(r.pixel_window(Rect::new(200, 200, 300, 300)), None);
+        let clamped = r.pixel_window(Rect::new(95, 95, 300, 300)).expect("window");
+        assert_eq!(
+            clamped,
+            PixelWindow {
+                x0: 9,
+                y0: 9,
+                x1: 10,
+                y1: 10
+            }
+        );
+    }
+
+    #[test]
+    fn nonzero_window_bounds_content() {
+        let mut r = Raster::new(Rect::new(0, 0, 100, 100), 10);
+        assert_eq!(r.nonzero_window(), None);
+        r.set(3, 2, 0.5);
+        r.set(7, 8, 0.1);
+        assert_eq!(
+            r.nonzero_window(),
+            Some(PixelWindow {
+                x0: 3,
+                y0: 2,
+                x1: 8,
+                y1: 9
+            })
+        );
+    }
+
+    #[test]
+    fn pixel_window_ops() {
+        let a = PixelWindow {
+            x0: 2,
+            y0: 2,
+            x1: 4,
+            y1: 5,
+        };
+        assert_eq!(a.width(), 2);
+        assert_eq!(a.height(), 3);
+        assert_eq!(a.area(), 6);
+        let b = PixelWindow {
+            x0: 0,
+            y0: 4,
+            x1: 3,
+            y1: 6,
+        };
+        assert_eq!(
+            a.union(&b),
+            PixelWindow {
+                x0: 0,
+                y0: 2,
+                x1: 4,
+                y1: 6
+            }
+        );
+        assert_eq!(
+            a.expanded(3, 6, 6),
+            PixelWindow {
+                x0: 0,
+                y0: 0,
+                x1: 6,
+                y1: 6
+            }
+        );
     }
 
     #[test]

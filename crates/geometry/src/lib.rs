@@ -39,7 +39,7 @@ pub mod squish;
 pub use features::{
     segment_features_basic, segment_features_stacked, segment_window, FeatureConfig,
 };
-pub use grid::Raster;
+pub use grid::{CoverageScratch, PixelWindow, Raster};
 pub use mask::MaskState;
 pub use point::{Coord, Point, Vector};
 pub use polygon::Polygon;

@@ -8,7 +8,7 @@
 use crate::point::{Coord, Point};
 use crate::polygon::Polygon;
 use crate::rect::Rect;
-use crate::segment::{FragmentationParams, Fragments, Orientation, Segment};
+use crate::segment::{FragmentationParams, Fragments, Orientation};
 use crate::Clip;
 
 /// Default clamp on the absolute per-segment offset, nm.
@@ -19,6 +19,13 @@ pub const DEFAULT_MAX_OFFSET: Coord = 20;
 /// Positive offsets move a segment along its outward normal (the mask grows),
 /// negative offsets move it inward (the mask shrinks). SRAFs from the clip
 /// are carried along unchanged.
+///
+/// # Invariants
+///
+/// Fragmentation produces exactly one EPE measure point per segment, so
+/// `fragments().measure_points.len() == segment_count()` always holds and
+/// measure point `i` belongs to segment `i`. Consumers that index per-point
+/// EPE by segment id (the CAMO engine, the baselines) rely on this.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MaskState {
     clip: Clip,
@@ -94,20 +101,45 @@ impl MaskState {
     }
 
     /// Applies one movement per segment (`moves.len()` must equal
-    /// [`Self::segment_count`]).
+    /// [`Self::segment_count`]) and returns the *dirty rectangle*: a region
+    /// in nm guaranteed to contain every point where the mask geometry
+    /// changed, or `None` when no offset actually changed (all movements
+    /// were zero or swallowed by the clamp).
+    ///
+    /// The rectangle is conservative: each moved segment contributes its
+    /// target-boundary extent grown by `max_offset() + 1` nm on every side,
+    /// which covers the swept edge and the jogs shared with its neighbours.
+    /// Incremental evaluators re-simulate only this region.
     ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
-    pub fn apply_moves(&mut self, moves: &[Coord]) {
+    pub fn apply_moves(&mut self, moves: &[Coord]) -> Option<Rect> {
         assert_eq!(
             moves.len(),
             self.offsets.len(),
             "one movement per segment is required"
         );
+        let mut dirty: Option<Rect> = None;
         for (id, &m) in moves.iter().enumerate() {
+            let before = self.offsets[id];
             self.move_segment(id, m);
+            if self.offsets[id] != before {
+                let r = self.segment_dirty_rect(id);
+                dirty = Some(match dirty {
+                    Some(acc) => acc.union(&r),
+                    None => r,
+                });
+            }
         }
+        dirty
+    }
+
+    /// Conservative bound on the geometry affected by moving segment `id`:
+    /// the segment's target extent grown by the offset clamp plus one.
+    fn segment_dirty_rect(&self, id: usize) -> Rect {
+        let s = &self.fragments.segments[id];
+        Rect::new(s.start.x, s.start.y, s.end.x, s.end.y).expanded(self.max_offset + 1)
     }
 
     /// Moves every segment outward by `bias` nm — the paper's mask
@@ -139,31 +171,47 @@ impl MaskState {
         self.clip.srafs()
     }
 
-    /// Reconstructs one moved polygon from the target polygon and the offsets
-    /// of its segments.
-    fn moved_polygon(&self, poly_idx: usize) -> Polygon {
-        let segs: Vec<&Segment> = self.fragments.segments_of_polygon(poly_idx);
-        assert!(!segs.is_empty(), "polygon {poly_idx} has no segments");
-        let shifted: Vec<(Point, Point, Orientation)> = segs
+    /// Writes the vertex loop of one moved polygon into `out` (cleared
+    /// first). This is the allocation-free core of [`Self::mask_polygons`]:
+    /// incremental evaluators call it with reusable buffers so the
+    /// steady-state rasterisation path never touches the heap.
+    ///
+    /// The produced loop is in boundary order (counter-clockwise for valid
+    /// masks) but is *not* validated as a [`Polygon`]; rasterisation only
+    /// needs the raw loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polygon has no segments.
+    pub fn moved_polygon_vertices(&self, poly_idx: usize, out: &mut Vec<Point>) {
+        out.clear();
+        // Segments of one polygon are contiguous in fragmentation order.
+        let segs = &self.fragments.segments;
+        let start = segs
             .iter()
-            .map(|s| {
-                let v = s.outward.unit().scaled(self.offsets[s.id]);
-                (s.start + v, s.end + v, s.orientation())
-            })
-            .collect();
-        let n = shifted.len();
-        let mut vertices: Vec<Point> = Vec::with_capacity(2 * n);
+            .position(|s| s.polygon == poly_idx)
+            .unwrap_or_else(|| panic!("polygon {poly_idx} has no segments"));
+        let mut end = start;
+        while end < segs.len() && segs[end].polygon == poly_idx {
+            end += 1;
+        }
+        let n = end - start;
+        let shifted = |k: usize| -> (Point, Point, Orientation) {
+            let s = &segs[start + k];
+            let v = s.outward.unit().scaled(self.offsets[s.id]);
+            (s.start + v, s.end + v, s.orientation())
+        };
         for i in 0..n {
-            let (s_i, e_i, o_i) = shifted[i];
-            let (s_next, _, o_next) = shifted[(i + 1) % n];
-            if vertices.last() != Some(&s_i) {
-                vertices.push(s_i);
+            let (s_i, e_i, o_i) = shifted(i);
+            let (s_next, _, o_next) = shifted((i + 1) % n);
+            if out.last() != Some(&s_i) {
+                out.push(s_i);
             }
             if o_i == o_next {
                 // Same orientation: connect with a perpendicular jog (or
                 // nothing when the offsets match).
-                if vertices.last() != Some(&e_i) {
-                    vertices.push(e_i);
+                if out.last() != Some(&e_i) {
+                    out.push(e_i);
                 }
             } else {
                 // Corner: the new corner is the intersection of the two
@@ -172,17 +220,24 @@ impl MaskState {
                     Orientation::Horizontal => Point::new(s_next.x, e_i.y),
                     Orientation::Vertical => Point::new(e_i.x, s_next.y),
                 };
-                if vertices.last() != Some(&corner) {
-                    vertices.push(corner);
+                if out.last() != Some(&corner) {
+                    out.push(corner);
                 }
             }
         }
         // Close the loop: drop a trailing vertex equal to the first.
-        while vertices.len() > 1 && vertices.first() == vertices.last() {
-            vertices.pop();
+        while out.len() > 1 && out.first() == out.last() {
+            out.pop();
         }
         // Remove any consecutive duplicates that survived.
-        vertices.dedup();
+        out.dedup();
+    }
+
+    /// Reconstructs one moved polygon from the target polygon and the offsets
+    /// of its segments.
+    fn moved_polygon(&self, poly_idx: usize) -> Polygon {
+        let mut vertices = Vec::new();
+        self.moved_polygon_vertices(poly_idx, &mut vertices);
         Polygon::new(vertices).normalized()
     }
 
@@ -299,5 +354,44 @@ mod tests {
     fn apply_moves_validates_length() {
         let mut mask = via_mask();
         mask.apply_moves(&[1, 2]);
+    }
+
+    #[test]
+    fn apply_moves_reports_dirty_rect() {
+        let mut mask = via_mask();
+        let n = mask.segment_count();
+        // No-op moves: nothing is dirty.
+        assert_eq!(mask.apply_moves(&vec![0; n]), None);
+        // Clamped-away moves are also clean.
+        mask.set_max_offset(2);
+        mask.apply_uniform_bias(2);
+        assert_eq!(mask.apply_moves(&vec![2; n]), None);
+        // A real move dirties a region covering the moved geometry.
+        mask.reset();
+        let mut moves = vec![0; n];
+        moves[0] = 2;
+        let dirty = mask.apply_moves(&moves).expect("dirty rect");
+        let seg = &mask.fragments().segments[0];
+        let seg_box = Rect::new(seg.start.x, seg.start.y, seg.end.x, seg.end.y);
+        assert!(dirty.contains_rect(&seg_box.expanded(2)));
+        // And the dirty rect stays local: far corners of the clip are clean.
+        assert!(!dirty.contains_point(Point::new(0, 0)));
+    }
+
+    #[test]
+    fn moved_polygon_vertices_match_polygon_api() {
+        let mut mask = via_mask();
+        mask.move_segment(0, 2);
+        mask.move_segment(2, -1);
+        let mut buf = Vec::new();
+        mask.moved_polygon_vertices(0, &mut buf);
+        let poly = &mask.mask_polygons()[0];
+        assert_eq!(buf.len(), poly.vertices().len());
+        // Same loop up to orientation/rotation: compare as vertex sets.
+        let mut a = buf.clone();
+        let mut b = poly.vertices().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
     }
 }

@@ -22,7 +22,10 @@ impl Polygon {
     /// Panics if fewer than 4 vertices are supplied or if any edge is not
     /// axis-parallel.
     pub fn new(vertices: Vec<Point>) -> Self {
-        assert!(vertices.len() >= 4, "a rectilinear polygon needs at least 4 vertices");
+        assert!(
+            vertices.len() >= 4,
+            "a rectilinear polygon needs at least 4 vertices"
+        );
         let n = vertices.len();
         for i in 0..n {
             let a = vertices[i];

@@ -39,7 +39,12 @@ impl Rect {
     pub fn centered_at(center: Point, width: Coord, height: Coord) -> Self {
         let hw = width / 2;
         let hh = height / 2;
-        Self::new(center.x - hw, center.y - hh, center.x - hw + width, center.y - hh + height)
+        Self::new(
+            center.x - hw,
+            center.y - hh,
+            center.x - hw + width,
+            center.y - hh + height,
+        )
     }
 
     /// Width (x extent) in nm.
@@ -120,7 +125,12 @@ impl Rect {
 
     /// Rectangle grown by `margin` on every side (shrunk for negative margins).
     pub fn expanded(&self, margin: Coord) -> Rect {
-        Rect::new(self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin)
+        Rect::new(
+            self.x0 - margin,
+            self.y0 - margin,
+            self.x1 + margin,
+            self.y1 + margin,
+        )
     }
 
     /// Rectangle translated by `v`.
@@ -137,13 +147,9 @@ impl Rect {
     pub fn spacing_to(&self, other: &Rect) -> Coord {
         let dx = (other.x0 - self.x1).max(self.x0 - other.x1).max(0);
         let dy = (other.y0 - self.y1).max(self.y0 - other.y1).max(0);
-        // Rectilinear spacing convention: the max of the axis gaps when both
-        // are positive (diagonal), otherwise the single positive gap.
-        if dx > 0 && dy > 0 {
-            dx.max(dy)
-        } else {
-            dx.max(dy)
-        }
+        // Rectilinear spacing convention: the max of the axis gaps (covers
+        // both the diagonal case and the single-axis case).
+        dx.max(dy)
     }
 
     /// Converts this rectangle into a counter-clockwise rectilinear polygon.

@@ -76,7 +76,10 @@ pub struct Segment {
 impl Segment {
     /// The control point: midpoint of the segment on the target boundary.
     pub fn control_point(&self) -> Point {
-        Point::new((self.start.x + self.end.x) / 2, (self.start.y + self.end.y) / 2)
+        Point::new(
+            (self.start.x + self.end.x) / 2,
+            (self.start.y + self.end.y) / 2,
+        )
     }
 
     /// Segment length in nm.
@@ -199,7 +202,10 @@ impl Fragments {
 
     /// Segments belonging to polygon `polygon`, in boundary order.
     pub fn segments_of_polygon(&self, polygon: usize) -> Vec<&Segment> {
-        self.segments.iter().filter(|s| s.polygon == polygon).collect()
+        self.segments
+            .iter()
+            .filter(|s| s.polygon == polygon)
+            .collect()
     }
 }
 
@@ -331,8 +337,7 @@ mod tests {
             assert_eq!(s.control_point(), frags.measure_points[s.id].location);
         }
         // Check outward directions cover all four sides.
-        let dirs: std::collections::HashSet<_> =
-            frags.segments.iter().map(|s| s.outward).collect();
+        let dirs: std::collections::HashSet<_> = frags.segments.iter().map(|s| s.outward).collect();
         assert_eq!(dirs.len(), 4);
     }
 
@@ -344,8 +349,14 @@ mod tests {
             let cp = s.control_point();
             let outside = cp + s.outward.unit().scaled(5);
             let inside = cp + (-s.outward.unit()).scaled(5);
-            assert!(!poly.contains_point(outside), "outward of {s:?} points inside");
-            assert!(poly.contains_point(inside), "inward of {s:?} points outside");
+            assert!(
+                !poly.contains_point(outside),
+                "outward of {s:?} points inside"
+            );
+            assert!(
+                poly.contains_point(inside),
+                "inward of {s:?} points outside"
+            );
         }
     }
 
@@ -360,7 +371,11 @@ mod tests {
             .iter()
             .filter(|s| s.outward == Direction::South)
             .collect();
-        assert!(bottom.len() >= 4, "expected >=4 bottom segments, got {}", bottom.len());
+        assert!(
+            bottom.len() >= 4,
+            "expected >=4 bottom segments, got {}",
+            bottom.len()
+        );
         let total: Coord = bottom.iter().map(|s| s.length()).sum();
         assert_eq!(total, 300);
         // First/last flagged as line ends.
@@ -401,7 +416,10 @@ mod tests {
     #[test]
     fn direction_units_are_consistent() {
         assert_eq!(Direction::East.unit(), Vector::new(1, 0));
-        assert_eq!(Direction::North.segment_orientation(), Orientation::Horizontal);
+        assert_eq!(
+            Direction::North.segment_orientation(),
+            Orientation::Horizontal
+        );
         assert_eq!(Direction::West.segment_orientation(), Orientation::Vertical);
     }
 }

@@ -118,7 +118,10 @@ impl SquishPattern {
     ///
     /// Panics if the indices are out of range.
     pub fn occupancy(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "squish index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "squish index out of range"
+        );
         self.matrix[row * self.cols + col]
     }
 
@@ -177,12 +180,12 @@ impl AdaptiveSquishTensor {
         let wy: Coord = dy.iter().sum::<Coord>().max(1);
         let mut data = vec![0.0; Self::CHANNELS * size * size];
         let plane = size * size;
-        for row in 0..size {
-            for col in 0..size {
+        for (row, &dy_row) in dy.iter().enumerate() {
+            for (col, &dx_col) in dx.iter().enumerate() {
                 let idx = row * size + col;
                 data[idx] = matrix[idx];
-                data[plane + idx] = dx[col] as f64 / wx as f64;
-                data[2 * plane + idx] = dy[row] as f64 / wy as f64;
+                data[plane + idx] = dx_col as f64 / wx as f64;
+                data[2 * plane + idx] = dy_row as f64 / wy as f64;
             }
         }
         Self { data, size }
@@ -215,7 +218,10 @@ impl AdaptiveSquishTensor {
     ///
     /// Panics if the sizes differ.
     pub fn concat(&self, other: &AdaptiveSquishTensor) -> Vec<f64> {
-        assert_eq!(self.size, other.size, "cannot concatenate tensors of different size");
+        assert_eq!(
+            self.size, other.size,
+            "cannot concatenate tensors of different size"
+        );
         let mut out = Vec::with_capacity(self.data.len() + other.data.len());
         out.extend_from_slice(&self.data);
         out.extend_from_slice(&other.data);
@@ -287,16 +293,16 @@ fn adapt(pattern: &SquishPattern, size: usize) -> (Vec<f64>, Vec<Coord>, Vec<Coo
         let mut new_matrix = Vec::with_capacity(rows * size);
         for row in 0..rows {
             new_matrix.extend_from_slice(&matrix[row * cols..(row + 1) * cols]);
-            new_matrix.extend(std::iter::repeat(0.0).take(add));
+            new_matrix.extend(std::iter::repeat_n(0.0, add));
         }
-        dx.extend(std::iter::repeat(0).take(add));
+        dx.extend(std::iter::repeat_n(0, add));
         matrix = new_matrix;
         cols = size;
     }
     if rows < size {
         let add = size - rows;
-        matrix.extend(std::iter::repeat(0.0).take(add * cols));
-        dy.extend(std::iter::repeat(0).take(add));
+        matrix.extend(std::iter::repeat_n(0.0, add * cols));
+        dy.extend(std::iter::repeat_n(0, add));
         rows = size;
     }
     debug_assert_eq!(matrix.len(), rows * cols);
@@ -393,11 +399,7 @@ mod tests {
         let via = Rect::new(1215, 1215, 1285, 1285);
         let sp = SquishPattern::encode(window, &[via.to_polygon()], &[], &[], &[]);
         assert_eq!(sp.covered_area(), 70 * 70);
-        assert!(sp
-            .matrix
-            .iter()
-            .zip(0..)
-            .any(|(&v, _)| v > 0.5));
+        assert!(sp.matrix.iter().zip(0..).any(|(&v, _)| v > 0.5));
         let p = Point::new(1250, 1250);
         assert!(via.contains_point(p));
     }

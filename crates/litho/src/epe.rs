@@ -141,7 +141,7 @@ mod tests {
         clip.add_target(Rect::new(500 - half, 500 - half, 500 + half, 500 + half).to_polygon());
         let mut mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
         mask.apply_uniform_bias(bias);
-        let raster = rasterize_mask(&mask, 5);
+        let raster = rasterize_mask(&mask, 5, 0);
         let image = aerial_image(&raster, &OpticalModel::default(), 0.0);
         measure_epe(
             &image,
@@ -156,7 +156,11 @@ mod tests {
         // A small isolated via prints smaller than target: contour inside.
         let report = evaluate(70, 0);
         assert_eq!(report.per_point.len(), 4);
-        assert!(report.per_point.iter().all(|&e| e > 0.0), "{:?}", report.per_point);
+        assert!(
+            report.per_point.iter().all(|&e| e > 0.0),
+            "{:?}",
+            report.per_point
+        );
     }
 
     #[test]
@@ -169,7 +173,11 @@ mod tests {
     #[test]
     fn strong_overbias_flips_epe_sign() {
         let over = evaluate(70, 18);
-        assert!(over.per_point.iter().all(|&e| e < 0.0), "{:?}", over.per_point);
+        assert!(
+            over.per_point.iter().all(|&e| e < 0.0),
+            "{:?}",
+            over.per_point
+        );
     }
 
     #[test]

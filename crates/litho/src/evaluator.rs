@@ -1,0 +1,293 @@
+//! The incremental evaluation session: a mask plus the scratch state needed
+//! to re-simulate only what changed.
+
+use crate::epe::{measure_epe, EpeReport};
+use crate::pipeline::{aerial_window, DerivedImage, SimWorkspace};
+use crate::process::ProcessCorner;
+use crate::pvband::pv_band_area;
+use crate::simulator::{LithoSimulator, SimulationResult};
+use camo_geometry::{Coord, MaskState, Raster, Rect};
+
+/// A stateful evaluation session over one mask.
+///
+/// Created by [`LithoSimulator::evaluator`]. The evaluator owns the mask and
+/// a [`SimWorkspace`]; [`Self::apply_moves`] re-rasterises and re-convolves
+/// only the dirty rectangle reported by the mask (padded by the kernel
+/// radius), falling back to a full refresh when more than half the raster is
+/// dirty. Results are identical to stateless evaluation — the incremental
+/// path recomputes exactly the pixels a full pass would produce for the new
+/// mask, bit for bit.
+///
+/// ```
+/// use camo_geometry::{Clip, Coord, FragmentationParams, MaskState, Rect};
+/// use camo_litho::{LithoConfig, LithoSimulator};
+///
+/// let mut clip = Clip::new(Rect::new(0, 0, 1000, 1000));
+/// clip.add_target(Rect::new(465, 465, 535, 535).to_polygon());
+/// let mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+/// let sim = LithoSimulator::new(LithoConfig::fast());
+///
+/// let mut eval = sim.evaluator(&mask);
+/// let before = eval.epe().total_abs();
+/// let moves: Vec<Coord> = vec![2; eval.mask().segment_count()];
+/// eval.apply_moves(&moves); // incremental re-simulation
+/// assert!(eval.epe().total_abs() < before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaskEvaluator<'a> {
+    sim: &'a LithoSimulator,
+    mask: MaskState,
+    ws: SimWorkspace,
+}
+
+impl<'a> MaskEvaluator<'a> {
+    pub(crate) fn new(sim: &'a LithoSimulator, mask: MaskState) -> Self {
+        let config = sim.config();
+        let region = crate::aerial::simulation_region(&mask, config.guard_band_nm());
+        let raster = Raster::new(region, config.pixel_size);
+        let ws = SimWorkspace::new(
+            raster,
+            config.pixel_size,
+            mask.clip().targets().len(),
+            mask.segment_count(),
+        );
+        let mut eval = Self { sim, mask, ws };
+        eval.ws.reserve_row_acc();
+        eval.full_rasterize();
+        eval
+    }
+
+    /// The simulator this session evaluates against.
+    pub fn simulator(&self) -> &LithoSimulator {
+        self.sim
+    }
+
+    /// The mask under evaluation.
+    pub fn mask(&self) -> &MaskState {
+        &self.mask
+    }
+
+    /// Consumes the session and returns the mask.
+    pub fn into_mask(self) -> MaskState {
+        self.mask
+    }
+
+    /// The current mask coverage raster.
+    pub fn mask_raster(&self) -> &Raster {
+        &self.ws.raster
+    }
+
+    /// Applies one movement per segment and incrementally re-simulates the
+    /// dirty region (see [`MaskState::apply_moves`] for the movement
+    /// semantics and panics).
+    pub fn apply_moves(&mut self, moves: &[Coord]) {
+        let dirty = self.mask.apply_moves(moves);
+        let Some(dirty_nm) = dirty else { return };
+        self.refresh_dirty(dirty_nm);
+    }
+
+    /// Adds `delta` nm to one segment's offset and re-simulates.
+    pub fn move_segment(&mut self, id: usize, delta: Coord) {
+        let before = self.mask.offsets()[id];
+        self.mask.move_segment(id, delta);
+        if self.mask.offsets()[id] != before {
+            let s = &self.mask.fragments().segments[id];
+            let dirty = Rect::new(s.start.x, s.start.y, s.end.x, s.end.y)
+                .expanded(self.mask.max_offset() + 1);
+            self.refresh_dirty(dirty);
+        }
+    }
+
+    /// Signed EPE at every measure point under the nominal condition.
+    pub fn epe(&mut self) -> EpeReport {
+        let config = self.sim.config();
+        let threshold = self.sim.threshold(ProcessCorner::nominal());
+        let slot = self.ensure_slot(0.0);
+        measure_epe(
+            &self.ws.slots[slot].img,
+            threshold,
+            &self.mask.fragments().measure_points,
+            config.epe_search_range,
+        )
+    }
+
+    /// Full evaluation: nominal EPE plus the PV-band area between the
+    /// configured process corners.
+    pub fn evaluate(&mut self) -> SimulationResult {
+        let config = self.sim.config();
+        let epe = self.epe();
+        let inner_slot = self.ensure_slot(config.inner_corner.defocus_nm);
+        let outer_slot = self.ensure_slot(config.outer_corner.defocus_nm);
+        let pv_band = pv_band_area(
+            &self.ws.slots[inner_slot].img,
+            self.sim.threshold(config.inner_corner),
+            &self.ws.slots[outer_slot].img,
+            self.sim.threshold(config.outer_corner),
+        );
+        SimulationResult { epe, pv_band }
+    }
+
+    /// Aerial-intensity image under `corner` (cached per defocus value).
+    pub fn aerial(&mut self, corner: ProcessCorner) -> &Raster {
+        let slot = self.ensure_slot(corner.defocus_nm);
+        &self.ws.slots[slot].img
+    }
+
+    /// Rebuilds the raster and every cached image from scratch.
+    fn full_rasterize(&mut self) {
+        self.ws.raster.data_mut().fill(0.0);
+        let full = self.ws.raster.full_window();
+        let mut content: Option<Rect> = None;
+        for i in 0..self.mask.clip().targets().len() {
+            let mut verts = std::mem::take(&mut self.ws.polys[i]);
+            self.mask.moved_polygon_vertices(i, &mut verts);
+            self.ws
+                .raster
+                .fill_polygon_coverage_in(&verts, 1.0, full, &mut self.ws.cov);
+            content = union_rect(content, vertex_bbox(&verts));
+            self.ws.polys[i] = verts;
+        }
+        for &sraf in self.mask.sraf_rects() {
+            self.ws.raster.fill_rect_coverage_in(sraf, 1.0, full);
+            content = union_rect(content, Some(sraf));
+        }
+        self.ws.content = content.and_then(|r| self.ws.raster.pixel_window(r));
+        if let Some(win) = self.ws.content {
+            self.ws.raster.clamp_window(win, 0.0, 1.0);
+        }
+        for slot in &mut self.ws.slots {
+            slot.valid = false;
+            slot.pending = None;
+        }
+        for i in 0..self.ws.slots.len() {
+            self.refresh_slot(i);
+        }
+    }
+
+    /// Re-rasterises the dirty window and refreshes every cached image, or
+    /// falls back to a full refresh when the window dominates the raster.
+    fn refresh_dirty(&mut self, dirty_nm: Rect) {
+        let Some(win) = self.ws.raster.pixel_window(dirty_nm) else {
+            return;
+        };
+        let total = self.ws.raster.width() * self.ws.raster.height();
+        if win.area() * 2 > total {
+            self.full_rasterize();
+            return;
+        }
+        self.ws.raster.zero_window(win);
+        for i in 0..self.mask.clip().targets().len() {
+            let mut verts = std::mem::take(&mut self.ws.polys[i]);
+            self.mask.moved_polygon_vertices(i, &mut verts);
+            self.ws
+                .raster
+                .fill_polygon_coverage_in(&verts, 1.0, win, &mut self.ws.cov);
+            self.ws.polys[i] = verts;
+        }
+        for &sraf in self.mask.sraf_rects() {
+            self.ws.raster.fill_rect_coverage_in(sraf, 1.0, win);
+        }
+        self.ws.raster.clamp_window(win, 0.0, 1.0);
+        self.ws.content = Some(match self.ws.content {
+            Some(c) => c.union(&win),
+            None => win,
+        });
+        for slot in &mut self.ws.slots {
+            if slot.valid {
+                slot.pending = Some(match slot.pending {
+                    Some(p) => p.union(&win),
+                    None => win,
+                });
+            }
+        }
+        self.refresh_valid_slots();
+    }
+
+    /// Brings every already-computed image up to date (eagerly, so the whole
+    /// rasterise + convolve cost of a step sits in `apply_moves`).
+    fn refresh_valid_slots(&mut self) {
+        for i in 0..self.ws.slots.len() {
+            if self.ws.slots[i].valid {
+                self.refresh_slot(i);
+            }
+        }
+    }
+
+    /// Index of the cached image for `blur`, creating (and fully computing)
+    /// it on first use.
+    fn ensure_slot(&mut self, blur_nm: f64) -> usize {
+        let bits = blur_nm.to_bits();
+        if let Some(i) = self.ws.slots.iter().position(|s| s.blur_bits == bits) {
+            if !self.ws.slots[i].valid || self.ws.slots[i].pending.is_some() {
+                self.refresh_slot(i);
+            }
+            return i;
+        }
+        let img = Raster::with_dimensions(
+            self.ws.raster.origin(),
+            self.ws.raster.pixel_size(),
+            self.ws.raster.width(),
+            self.ws.raster.height(),
+        );
+        self.ws.slots.push(DerivedImage {
+            blur_bits: bits,
+            img,
+            valid: false,
+            pending: None,
+        });
+        let i = self.ws.slots.len() - 1;
+        self.refresh_slot(i);
+        i
+    }
+
+    /// Recomputes one cached image: over the content window when invalid,
+    /// over the pending window (padded by the kernel radius) otherwise.
+    fn refresh_slot(&mut self, index: usize) {
+        let (w, h) = (self.ws.width(), self.ws.height());
+        let model = &self.sim.config().optical;
+        let blur = f64::from_bits(self.ws.slots[index].blur_bits);
+        let radius = self.ws.taps.max_radius(model, blur);
+        let window = if !self.ws.slots[index].valid {
+            self.ws.slots[index].img.data_mut().fill(0.0);
+            self.ws.content.map(|c| c.expanded(radius, w, h))
+        } else {
+            self.ws.slots[index]
+                .pending
+                .map(|p| p.expanded(radius, w, h))
+        };
+        if let Some(win) = window {
+            let slot = &mut self.ws.slots[index];
+            aerial_window(
+                self.ws.raster.data(),
+                w,
+                h,
+                model,
+                blur,
+                &mut self.ws.taps,
+                win,
+                &mut self.ws.tmp,
+                &mut self.ws.amp,
+                &mut self.ws.row_acc,
+                slot.img.data_mut(),
+            );
+        }
+        self.ws.slots[index].valid = true;
+        self.ws.slots[index].pending = None;
+    }
+}
+
+fn vertex_bbox(vertices: &[camo_geometry::Point]) -> Option<Rect> {
+    let first = vertices.first()?;
+    let mut r = Rect::new(first.x, first.y, first.x, first.y);
+    for v in &vertices[1..] {
+        r = Rect::new(r.x0.min(v.x), r.y0.min(v.y), r.x1.max(v.x), r.y1.max(v.y));
+    }
+    Some(r)
+}
+
+fn union_rect(acc: Option<Rect>, r: Option<Rect>) -> Option<Rect> {
+    match (acc, r) {
+        (Some(a), Some(b)) => Some(a.union(&b)),
+        (a, b) => a.or(b),
+    }
+}

@@ -63,7 +63,10 @@ impl OpticalModel {
     ///
     /// Panics if `kernels` is empty.
     pub fn new(kernels: Vec<GaussianKernel>) -> Self {
-        assert!(!kernels.is_empty(), "an optical model needs at least one kernel");
+        assert!(
+            !kernels.is_empty(),
+            "an optical model needs at least one kernel"
+        );
         Self { kernels }
     }
 
@@ -93,10 +96,7 @@ impl OpticalModel {
 
     /// The widest sigma in the model (defines the proximity range).
     pub fn max_sigma(&self) -> f64 {
-        self.kernels
-            .iter()
-            .map(|k| k.sigma_nm)
-            .fold(0.0, f64::max)
+        self.kernels.iter().map(|k| k.sigma_nm).fold(0.0, f64::max)
     }
 }
 

@@ -21,6 +21,20 @@
 //! [`SimulationResult`] (per-point EPE, total EPE, PV-band area), which is
 //! exactly the information the paper's engines consume from Calibre.
 //!
+//! # The scratch-buffer pipeline
+//!
+//! Evaluation runs on a reusable [`SimWorkspace`] ([`pipeline`]): masks are
+//! rasterised *analytically* (exact per-pixel area coverage, no intermediate
+//! 1 nm grid), kernels are discretised once per `(σ, defocus)` and cached,
+//! and convolution is windowed over the mask content with a branch-free
+//! interior. OPC loops hold a [`MaskEvaluator`] session
+//! ([`LithoSimulator::evaluator`]): each [`MaskEvaluator::apply_moves`]
+//! re-simulates only the dirty rectangle the movements touched (padded by
+//! the kernel support), allocation-free in the steady state and bit-for-bit
+//! identical to full evaluation. The seed's original implementation is kept
+//! under the `reference-impl` feature as `reference` for parity tests and
+//! speedup tracking (`perf_snapshot`).
+//!
 //! # Example
 //!
 //! ```
@@ -38,9 +52,13 @@
 pub mod aerial;
 pub mod contour;
 pub mod epe;
+pub mod evaluator;
 pub mod kernel;
+pub mod pipeline;
 pub mod process;
 pub mod pvband;
+#[cfg(any(test, feature = "reference-impl"))]
+pub mod reference;
 pub mod resist;
 pub mod simulator;
 pub mod sraf;
@@ -48,7 +66,9 @@ pub mod sraf;
 pub use aerial::rasterize_mask;
 pub use contour::{contour_cells, print_image};
 pub use epe::{measure_epe, EpeReport};
+pub use evaluator::MaskEvaluator;
 pub use kernel::{GaussianKernel, OpticalModel};
+pub use pipeline::SimWorkspace;
 pub use process::ProcessCorner;
 pub use pvband::pv_band_area;
 pub use resist::ResistModel;

@@ -1,0 +1,329 @@
+//! The scratch-buffer simulation pipeline.
+//!
+//! Everything the inner OPC loop executes per step lives here: windowed
+//! separable convolution with a branch-free interior, per-`(σ, defocus)`
+//! tap caching, and the [`SimWorkspace`] that owns every buffer so the
+//! steady-state loop performs no heap allocation.
+//!
+//! Two properties are load-bearing:
+//!
+//! * **Window locality** — a Gaussian tap stack of radius `R` pixels maps a
+//!   change inside raster window `W` to an amplitude change inside
+//!   `W ± R` only, and the amplitude is *identically zero* beyond the mask
+//!   content grown by `R` (convolving zeros yields exactly `0.0`). Both full
+//!   and incremental evaluation therefore compute only a window and leave
+//!   the rest of the buffer untouched/zero, with no approximation.
+//! * **Order stability** — per output pixel, taps are accumulated in
+//!   ascending index order in every code path (interior, border, full,
+//!   windowed), so incremental re-evaluation reproduces full evaluation
+//!   bit-for-bit and the fast path matches the seed's reference
+//!   implementation to ~1 ulp.
+
+use crate::kernel::{GaussianKernel, OpticalModel};
+use camo_geometry::{Coord, CoverageScratch, PixelWindow, Point, Raster};
+
+/// One discretised kernel: taps plus derived constants reused every step.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedTaps {
+    sigma_bits: u64,
+    blur_bits: u64,
+    /// Normalised 1-D taps (ascending index order).
+    pub values: Vec<f64>,
+    /// Sum of `values` accumulated in ascending order — the interior
+    /// normaliser, kept identical to the border math's full-support case.
+    pub sum: f64,
+}
+
+impl CachedTaps {
+    /// Tap radius in pixels (`len == 2 · radius + 1`).
+    pub fn radius(&self) -> usize {
+        self.values.len() / 2
+    }
+}
+
+/// Cache of discretised taps keyed by `(σ, defocus)` at a fixed pixel size.
+#[derive(Debug, Clone)]
+pub(crate) struct TapsCache {
+    pixel_size: Coord,
+    entries: Vec<CachedTaps>,
+}
+
+impl TapsCache {
+    pub fn new(pixel_size: Coord) -> Self {
+        Self {
+            pixel_size,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Index of the cached taps for `kernel` at `blur`, discretising on the
+    /// first request. Entries are never evicted, so indices stay stable.
+    pub fn index_of(&mut self, kernel: &GaussianKernel, blur_nm: f64) -> usize {
+        let sigma_bits = kernel.sigma_nm.to_bits();
+        let blur_bits = blur_nm.to_bits();
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|e| e.sigma_bits == sigma_bits && e.blur_bits == blur_bits)
+        {
+            return i;
+        }
+        let values = kernel.taps(self.pixel_size, blur_nm);
+        let mut sum = 0.0;
+        for &t in &values {
+            sum += t;
+        }
+        self.entries.push(CachedTaps {
+            sigma_bits,
+            blur_bits,
+            values,
+            sum,
+        });
+        self.entries.len() - 1
+    }
+
+    pub fn entry(&self, index: usize) -> &CachedTaps {
+        &self.entries[index]
+    }
+
+    /// Largest tap radius over the model's kernels at `blur` (populates the
+    /// cache as a side effect).
+    pub fn max_radius(&mut self, model: &OpticalModel, blur_nm: f64) -> usize {
+        let mut radius = 0;
+        for kernel in model.kernels() {
+            let idx = self.index_of(kernel, blur_nm);
+            radius = radius.max(self.entries[idx].radius());
+        }
+        radius
+    }
+}
+
+/// One row of the separable convolution, output restricted to `[x0, x1)`.
+///
+/// Interior pixels (full tap support) run branch-free and divide by the
+/// precomputed tap sum; border pixels renormalise over the in-bounds taps
+/// exactly like the seed implementation, so intensity does not artificially
+/// fall off at the raster boundary.
+fn convolve_row(
+    row_in: &[f64],
+    row_out: &mut [f64],
+    taps: &[f64],
+    taps_sum: f64,
+    x0: usize,
+    x1: usize,
+) {
+    let w = row_in.len();
+    let len = taps.len();
+    let radius = len / 2;
+    let bordered = |x: usize, row_out: &mut [f64]| {
+        let mut acc = 0.0;
+        let mut norm = 0.0;
+        for (k, &t) in taps.iter().enumerate() {
+            let xi = x as isize + k as isize - radius as isize;
+            if xi >= 0 && (xi as usize) < w {
+                acc += t * row_in[xi as usize];
+                norm += t;
+            }
+        }
+        row_out[x] = if norm > 0.0 { acc / norm } else { 0.0 };
+    };
+    // Disjoint split: [x0, il) border, [il, ih) interior, [ih, x1) border.
+    let il = radius.clamp(x0, x1);
+    let ih = (w + radius + 1).saturating_sub(len).clamp(il, x1);
+    for x in x0..il {
+        bordered(x, row_out);
+    }
+    for x in il..ih {
+        let window = &row_in[x - radius..x - radius + len];
+        let mut acc = 0.0;
+        for (t, v) in taps.iter().zip(window) {
+            acc += t * v;
+        }
+        row_out[x] = acc / taps_sum;
+    }
+    for x in ih..x1 {
+        bordered(x, row_out);
+    }
+}
+
+/// Separable 2-D convolution restricted to the output window `win`.
+///
+/// `input`, `tmp` and `out` are full `w × h` buffers; only `win` of `out`
+/// is written (plus the rows of `tmp` the vertical pass needs). `row_acc`
+/// must hold at least `win.width()` elements.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn convolve_window(
+    input: &[f64],
+    w: usize,
+    h: usize,
+    taps: &[f64],
+    taps_sum: f64,
+    win: PixelWindow,
+    tmp: &mut [f64],
+    out: &mut [f64],
+    row_acc: &mut [f64],
+) {
+    let len = taps.len();
+    let radius = len / 2;
+
+    // Horizontal pass over the rows the vertical pass will read.
+    let ylo = win.y0.saturating_sub(radius);
+    let yhi = (win.y1 + radius).min(h);
+    for y in ylo..yhi {
+        let row_in = &input[y * w..(y + 1) * w];
+        let row_out = &mut tmp[y * w..(y + 1) * w];
+        convolve_row(row_in, row_out, taps, taps_sum, win.x0, win.x1);
+    }
+
+    // Vertical pass: accumulate tap-by-tap over whole rows so the inner loop
+    // is a branch-free AXPY while per-pixel addition order stays ascending.
+    let acc = &mut row_acc[..win.width()];
+    for y in win.y0..win.y1 {
+        let klo = radius.saturating_sub(y);
+        let khi = len.min(h + radius - y);
+        acc.fill(0.0);
+        for (k, &t) in taps.iter().enumerate().take(khi).skip(klo) {
+            let src_row = (y + k - radius) * w;
+            let src = &tmp[src_row + win.x0..src_row + win.x1];
+            for (a, s) in acc.iter_mut().zip(src) {
+                *a += t * s;
+            }
+        }
+        let norm = if klo == 0 && khi == len {
+            taps_sum
+        } else {
+            let mut n = 0.0;
+            for &t in &taps[klo..khi] {
+                n += t;
+            }
+            n
+        };
+        let out_row = &mut out[y * w + win.x0..y * w + win.x1];
+        if norm > 0.0 {
+            for (o, a) in out_row.iter_mut().zip(acc.iter()) {
+                *o = a / norm;
+            }
+        } else {
+            out_row.fill(0.0);
+        }
+    }
+}
+
+/// Recomputes the aerial intensity of `mask_data` inside `win`: zeroes the
+/// window, then accumulates `weight · amplitude²` per kernel, exactly as the
+/// full-frame computation would for those pixels.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn aerial_window(
+    mask_data: &[f64],
+    w: usize,
+    h: usize,
+    model: &OpticalModel,
+    blur_nm: f64,
+    taps: &mut TapsCache,
+    win: PixelWindow,
+    tmp: &mut [f64],
+    amp: &mut [f64],
+    row_acc: &mut [f64],
+    intensity: &mut [f64],
+) {
+    for y in win.y0..win.y1 {
+        intensity[y * w + win.x0..y * w + win.x1].fill(0.0);
+    }
+    for kernel in model.kernels() {
+        let idx = taps.index_of(kernel, blur_nm);
+        let entry = taps.entry(idx);
+        convolve_window(
+            mask_data,
+            w,
+            h,
+            &entry.values,
+            entry.sum,
+            win,
+            tmp,
+            amp,
+            row_acc,
+        );
+        let weight = kernel.weight;
+        for y in win.y0..win.y1 {
+            let row = y * w;
+            let out = &mut intensity[row + win.x0..row + win.x1];
+            let a = &amp[row + win.x0..row + win.x1];
+            for (o, &v) in out.iter_mut().zip(a) {
+                *o += weight * v * v;
+            }
+        }
+    }
+}
+
+/// The reusable scratch state of one evaluation session: the mask raster,
+/// convolution buffers, cached taps, polygon/coverage scratch and the
+/// derived intensity images (one per defocus value in use).
+#[derive(Debug, Clone)]
+pub struct SimWorkspace {
+    pub(crate) raster: Raster,
+    pub(crate) tmp: Vec<f64>,
+    pub(crate) amp: Vec<f64>,
+    pub(crate) row_acc: Vec<f64>,
+    pub(crate) taps: TapsCache,
+    pub(crate) polys: Vec<Vec<Point>>,
+    pub(crate) cov: CoverageScratch,
+    /// Pixel window known to contain all non-zero mask coverage.
+    pub(crate) content: Option<PixelWindow>,
+    pub(crate) slots: Vec<DerivedImage>,
+}
+
+/// A cached aerial-intensity image at one defocus blur.
+#[derive(Debug, Clone)]
+pub(crate) struct DerivedImage {
+    pub blur_bits: u64,
+    pub img: Raster,
+    /// False until the first full computation (or after a full refresh).
+    pub valid: bool,
+    /// Raster window dirtied since the image was last brought up to date.
+    pub pending: Option<PixelWindow>,
+}
+
+impl SimWorkspace {
+    /// Builds a workspace over `raster`'s geometry for a mask with
+    /// `polygon_count` target polygons and `segment_count` segments; all
+    /// buffers are sized so the steady-state loop never allocates.
+    pub(crate) fn new(
+        raster: Raster,
+        pixel_size: Coord,
+        polygon_count: usize,
+        segment_count: usize,
+    ) -> Self {
+        let cells = raster.width() * raster.height();
+        // Upper bound on a moved polygon's vertex count: two vertices per
+        // segment plus slack for the closing dedup.
+        let vertex_bound = 2 * segment_count + 8;
+        Self {
+            raster,
+            tmp: vec![0.0; cells],
+            amp: vec![0.0; cells],
+            row_acc: Vec::new(),
+            taps: TapsCache::new(pixel_size),
+            polys: (0..polygon_count)
+                .map(|_| Vec::with_capacity(vertex_bound))
+                .collect(),
+            cov: CoverageScratch::with_capacity(vertex_bound),
+            content: None,
+            slots: Vec::new(),
+        }
+    }
+
+    pub(crate) fn width(&self) -> usize {
+        self.raster.width()
+    }
+
+    pub(crate) fn height(&self) -> usize {
+        self.raster.height()
+    }
+
+    /// Ensures `row_acc` can hold one window row of the raster.
+    pub(crate) fn reserve_row_acc(&mut self) {
+        if self.row_acc.len() < self.raster.width() {
+            self.row_acc = vec![0.0; self.raster.width()];
+        }
+    }
+}

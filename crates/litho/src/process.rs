@@ -16,17 +16,26 @@ pub struct ProcessCorner {
 impl ProcessCorner {
     /// Nominal condition.
     pub fn nominal() -> Self {
-        Self { dose: 1.0, defocus_nm: 0.0 }
+        Self {
+            dose: 1.0,
+            defocus_nm: 0.0,
+        }
     }
 
     /// Inner corner: lower dose and defocus — prints the smallest contour.
     pub fn inner() -> Self {
-        Self { dose: 0.96, defocus_nm: 20.0 }
+        Self {
+            dose: 0.96,
+            defocus_nm: 20.0,
+        }
     }
 
     /// Outer corner: higher dose at focus — prints the largest contour.
     pub fn outer() -> Self {
-        Self { dose: 1.04, defocus_nm: 0.0 }
+        Self {
+            dose: 1.04,
+            defocus_nm: 0.0,
+        }
     }
 
     /// The standard corner triple `(inner, nominal, outer)`.

@@ -55,7 +55,11 @@ pub fn pv_band_image(
     {
         let printed_inner = i_in > inner_threshold;
         let printed_outer = i_out > outer_threshold;
-        *o = if printed_outer && !printed_inner { 1.0 } else { 0.0 };
+        *o = if printed_outer && !printed_inner {
+            1.0
+        } else {
+            0.0
+        };
     }
     out
 }
@@ -78,7 +82,7 @@ mod tests {
     #[test]
     fn pv_band_is_positive_for_printing_feature() {
         let mask = via_mask();
-        let raster = rasterize_mask(&mask, 5);
+        let raster = rasterize_mask(&mask, 5, 0);
         let model = OpticalModel::default();
         let resist = ResistModel::default();
         let inner_c = ProcessCorner::inner();
@@ -99,7 +103,7 @@ mod tests {
     #[test]
     fn identical_corners_give_zero_band() {
         let mask = via_mask();
-        let raster = rasterize_mask(&mask, 5);
+        let raster = rasterize_mask(&mask, 5, 0);
         let model = OpticalModel::default();
         let image = aerial_image(&raster, &model, 0.0);
         let t = ResistModel::default().threshold;
@@ -109,7 +113,7 @@ mod tests {
     #[test]
     fn band_image_area_matches_band_area() {
         let mask = via_mask();
-        let raster = rasterize_mask(&mask, 5);
+        let raster = rasterize_mask(&mask, 5, 0);
         let model = OpticalModel::default();
         let resist = ResistModel::default();
         let inner = aerial_image(&raster, &model, 20.0);

@@ -1,0 +1,136 @@
+//! The seed's original (pre-workspace) simulation path, kept verbatim for
+//! parity testing and as the speedup baseline of `perf_snapshot`.
+//!
+//! Compiled only for unit tests and under the `reference-impl` feature; the
+//! production pipeline lives in [`crate::pipeline`] and must agree with this
+//! module to |Δ| < 1e-9 on aerial intensity (see the parity tests in
+//! `crate::aerial`).
+
+use crate::epe::{measure_epe, EpeReport};
+use crate::kernel::OpticalModel;
+use crate::pvband::pv_band_area;
+use crate::simulator::{LithoConfig, SimulationResult};
+use camo_geometry::{Coord, MaskState, Raster};
+
+/// Seed rasterisation: fill a 1 nm fine grid, clamp, box-downsample. The
+/// `guard_nm` parameter exists so parity tests can compare against the new
+/// path on identical regions; the seed behaviour is `guard_nm = 0`.
+pub fn rasterize_mask(mask: &MaskState, pixel_size: Coord, guard_nm: Coord) -> Raster {
+    let region = crate::aerial::simulation_region(mask, guard_nm);
+    let mut fine = Raster::new(region, 1);
+    for poly in mask.mask_polygons() {
+        fine.fill_polygon(&poly, 1.0);
+    }
+    for sraf in mask.sraf_rects() {
+        fine.fill_rect(*sraf, 1.0);
+    }
+    fine.clamp_values(0.0, 1.0);
+    fine.downsampled(pixel_size as usize)
+}
+
+/// Seed separable convolution: per-pixel bounds checks and border
+/// renormalisation in both passes, fresh buffers per call.
+pub fn convolve_separable(input: &Raster, taps: &[f64]) -> Raster {
+    let radius = (taps.len() / 2) as isize;
+    let w = input.width();
+    let h = input.height();
+    let mut tmp = vec![0.0_f64; w * h];
+    let data = input.data();
+
+    // Horizontal pass.
+    for y in 0..h {
+        let row = &data[y * w..(y + 1) * w];
+        for x in 0..w {
+            let mut acc = 0.0;
+            let mut norm = 0.0;
+            for (k, &t) in taps.iter().enumerate() {
+                let xi = x as isize + k as isize - radius;
+                if xi >= 0 && (xi as usize) < w {
+                    acc += t * row[xi as usize];
+                    norm += t;
+                }
+            }
+            tmp[y * w + x] = if norm > 0.0 { acc / norm } else { 0.0 };
+        }
+    }
+
+    // Vertical pass.
+    let mut out = Raster::with_dimensions(input.origin(), input.pixel_size(), w, h);
+    let out_data = out.data_mut();
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            let mut norm = 0.0;
+            for (k, &t) in taps.iter().enumerate() {
+                let yi = y as isize + k as isize - radius;
+                if yi >= 0 && (yi as usize) < h {
+                    acc += t * tmp[yi as usize * w + x];
+                    norm += t;
+                }
+            }
+            out_data[y * w + x] = if norm > 0.0 { acc / norm } else { 0.0 };
+        }
+    }
+    out
+}
+
+/// Seed aerial image: fresh tap discretisation and convolution buffers per
+/// kernel per call.
+pub fn aerial_image(mask_raster: &Raster, model: &OpticalModel, defocus_blur_nm: f64) -> Raster {
+    let mut intensity = Raster::with_dimensions(
+        mask_raster.origin(),
+        mask_raster.pixel_size(),
+        mask_raster.width(),
+        mask_raster.height(),
+    );
+    for kernel in model.kernels() {
+        let taps = kernel.taps(mask_raster.pixel_size(), defocus_blur_nm);
+        let amplitude = convolve_separable(mask_raster, &taps);
+        let w = kernel.weight;
+        for (out, &a) in intensity.data_mut().iter_mut().zip(amplitude.data()) {
+            *out += w * a * a;
+        }
+    }
+    intensity
+}
+
+/// Seed EPE-only evaluation (rasterise + nominal aerial + measure).
+pub fn evaluate_epe(config: &LithoConfig, mask: &MaskState, guard_nm: Coord) -> EpeReport {
+    let raster = rasterize_mask(mask, config.pixel_size, guard_nm);
+    let nominal = aerial_image(&raster, &config.optical, 0.0);
+    measure_epe(
+        &nominal,
+        config.resist.threshold,
+        &mask.fragments().measure_points,
+        config.epe_search_range,
+    )
+}
+
+/// Seed full evaluation (nominal EPE plus PV band across the corners).
+pub fn evaluate(config: &LithoConfig, mask: &MaskState, guard_nm: Coord) -> SimulationResult {
+    let raster = rasterize_mask(mask, config.pixel_size, guard_nm);
+    let nominal = aerial_image(&raster, &config.optical, 0.0);
+    let epe = measure_epe(
+        &nominal,
+        config.resist.threshold,
+        &mask.fragments().measure_points,
+        config.epe_search_range,
+    );
+    let inner = if config.inner_corner.defocus_nm != 0.0 {
+        aerial_image(&raster, &config.optical, config.inner_corner.defocus_nm)
+    } else {
+        nominal.clone()
+    };
+    let outer = if config.outer_corner.defocus_nm != 0.0 {
+        aerial_image(&raster, &config.optical, config.outer_corner.defocus_nm)
+    } else {
+        nominal
+    };
+    let pv_band = pv_band_area(
+        &inner,
+        config.resist.dosed_threshold(config.inner_corner.dose),
+        &outer,
+        config.resist.dosed_threshold(config.outer_corner.dose),
+    );
+    SimulationResult { epe, pv_band }
+}

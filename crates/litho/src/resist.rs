@@ -21,7 +21,10 @@ impl ResistModel {
     pub fn new(threshold: f64, steepness: f64) -> Self {
         assert!(threshold > 0.0, "resist threshold must be positive");
         assert!(steepness > 0.0, "resist steepness must be positive");
-        Self { threshold, steepness }
+        Self {
+            threshold,
+            steepness,
+        }
     }
 
     /// Whether intensity `i` prints (hard threshold).

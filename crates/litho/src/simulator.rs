@@ -1,18 +1,18 @@
 //! The lithography-simulator facade used by every OPC engine.
 
-use crate::aerial::{aerial_image, rasterize_mask};
-use crate::epe::{measure_epe, EpeReport};
+use crate::epe::EpeReport;
+use crate::evaluator::MaskEvaluator;
 use crate::kernel::OpticalModel;
 use crate::process::ProcessCorner;
-use crate::pvband::{pv_band_area, pv_band_image};
+use crate::pvband::pv_band_image;
 use crate::resist::ResistModel;
-use camo_geometry::{MaskState, Raster};
+use camo_geometry::{Coord, MaskState, Raster};
 
 /// Configuration of the lithography simulator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LithoConfig {
     /// Raster pixel size in nm.
-    pub pixel_size: i64,
+    pub pixel_size: Coord,
     /// Projection-optics model.
     pub optical: OpticalModel,
     /// Resist model.
@@ -46,6 +46,27 @@ impl LithoConfig {
             ..Self::default()
         }
     }
+
+    /// Guard band in nm added around the clip when simulating, sized so no
+    /// kernel's truncated support (3σ, including the widest corner defocus)
+    /// ever reaches the raster boundary from inside the clip, and rounded up
+    /// to a whole number of pixels so the raster grid stays aligned with the
+    /// clip region.
+    pub fn guard_band_nm(&self) -> Coord {
+        let max_defocus = self
+            .inner_corner
+            .defocus_nm
+            .max(self.outer_corner.defocus_nm)
+            .max(0.0);
+        let mut guard_px: Coord = 0;
+        for kernel in self.optical.kernels() {
+            let sigma_eff = (kernel.sigma_nm.powi(2) + max_defocus.powi(2)).sqrt();
+            // Matches the tap radius computed by `GaussianKernel::taps`.
+            let radius_px = (3.0 * sigma_eff / self.pixel_size as f64).ceil() as Coord;
+            guard_px = guard_px.max(radius_px);
+        }
+        guard_px * self.pixel_size
+    }
 }
 
 /// Full evaluation of one mask: EPE at every measure point plus PV band.
@@ -71,6 +92,13 @@ impl SimulationResult {
 
 /// The lithography simulator: rasterises masks, computes aerial images under
 /// nominal and corner conditions, and reports EPE / PV band.
+///
+/// For one-shot questions use the stateless methods ([`Self::evaluate`],
+/// [`Self::evaluate_epe`], …). OPC loops that re-evaluate a mask after every
+/// small update should open a session with [`Self::evaluator`]: the session
+/// owns reusable scratch buffers and re-simulates only the region each
+/// update dirtied, which is what makes the per-step cost proportional to
+/// the change rather than to the clip.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LithoSimulator {
     config: LithoConfig,
@@ -87,15 +115,21 @@ impl LithoSimulator {
         &self.config
     }
 
-    /// Rasterises the mask at the configured pixel size.
+    /// Opens an incremental evaluation session over a copy of `mask`.
+    pub fn evaluator(&self, mask: &MaskState) -> MaskEvaluator<'_> {
+        MaskEvaluator::new(self, mask.clone())
+    }
+
+    /// Rasterises the mask at the configured pixel size (guard band
+    /// included).
     pub fn rasterize(&self, mask: &MaskState) -> Raster {
-        rasterize_mask(mask, self.config.pixel_size)
+        crate::aerial::rasterize_mask(mask, self.config.pixel_size, self.config.guard_band_nm())
     }
 
     /// Aerial image under an arbitrary process corner.
     pub fn aerial(&self, mask: &MaskState, corner: ProcessCorner) -> Raster {
-        let raster = self.rasterize(mask);
-        aerial_image(&raster, &self.config.optical, corner.defocus_nm)
+        let mut eval = self.evaluator(mask);
+        eval.aerial(corner).clone()
     }
 
     /// Effective print threshold under `corner` (dose scales the threshold).
@@ -110,54 +144,22 @@ impl LithoSimulator {
     }
 
     /// Measures EPE under the nominal condition only (no PV band); cheaper
-    /// than [`Self::evaluate`] and used by inner OPC loops that only need EPE.
+    /// than [`Self::evaluate`] and used by inner OPC loops that only need
+    /// EPE. (Loops should prefer holding a [`Self::evaluator`] session.)
     pub fn evaluate_epe(&self, mask: &MaskState) -> EpeReport {
-        let nominal = self.aerial(mask, ProcessCorner::nominal());
-        measure_epe(
-            &nominal,
-            self.threshold(ProcessCorner::nominal()),
-            &mask.fragments().measure_points,
-            self.config.epe_search_range,
-        )
+        self.evaluator(mask).epe()
     }
 
     /// Full evaluation: nominal EPE plus PV-band area.
-    ///
-    /// The mask is rasterised once; the three aerial images (nominal, inner,
-    /// outer) reuse that raster.
     pub fn evaluate(&self, mask: &MaskState) -> SimulationResult {
-        let raster = self.rasterize(mask);
-        let nominal = aerial_image(&raster, &self.config.optical, 0.0);
-        let epe = measure_epe(
-            &nominal,
-            self.config.resist.threshold,
-            &mask.fragments().measure_points,
-            self.config.epe_search_range,
-        );
-        let inner = if self.config.inner_corner.defocus_nm != 0.0 {
-            aerial_image(&raster, &self.config.optical, self.config.inner_corner.defocus_nm)
-        } else {
-            nominal.clone()
-        };
-        let outer = if self.config.outer_corner.defocus_nm != 0.0 {
-            aerial_image(&raster, &self.config.optical, self.config.outer_corner.defocus_nm)
-        } else {
-            nominal
-        };
-        let pv_band = pv_band_area(
-            &inner,
-            self.threshold(self.config.inner_corner),
-            &outer,
-            self.threshold(self.config.outer_corner),
-        );
-        SimulationResult { epe, pv_band }
+        self.evaluator(mask).evaluate()
     }
 
     /// PV-band binary image for visualisation (Figure 6 of the paper).
     pub fn pv_band_image(&self, mask: &MaskState) -> Raster {
-        let raster = self.rasterize(mask);
-        let inner = aerial_image(&raster, &self.config.optical, self.config.inner_corner.defocus_nm);
-        let outer = aerial_image(&raster, &self.config.optical, self.config.outer_corner.defocus_nm);
+        let mut eval = self.evaluator(mask);
+        let inner = eval.aerial(self.config.inner_corner).clone();
+        let outer = eval.aerial(self.config.outer_corner).clone();
         pv_band_image(
             &inner,
             self.threshold(self.config.inner_corner),
@@ -176,7 +178,7 @@ impl Default for LithoSimulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use camo_geometry::{Clip, FragmentationParams, Rect};
+    use camo_geometry::{Clip, Coord, FragmentationParams, Rect};
 
     fn via_mask(bias: i64) -> MaskState {
         let mut clip = Clip::new(Rect::new(0, 0, 1000, 1000));
@@ -200,7 +202,10 @@ mod tests {
         let sim = LithoSimulator::default();
         let before = sim.evaluate(&via_mask(0)).total_epe();
         let after = sim.evaluate(&via_mask(6)).total_epe();
-        assert!(after < before, "bias should reduce EPE: {before} -> {after}");
+        assert!(
+            after < before,
+            "bias should reduce EPE: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -234,5 +239,52 @@ mod tests {
     #[test]
     fn fast_config_uses_coarser_pixels() {
         assert!(LithoConfig::fast().pixel_size > LithoConfig::default().pixel_size);
+    }
+
+    #[test]
+    fn guard_band_covers_widest_kernel_support() {
+        let config = LithoConfig::default();
+        let guard = config.guard_band_nm();
+        // Widest kernel: σ 60 with 20 nm corner defocus -> σ_eff ≈ 63.2,
+        // 3σ_eff ≈ 190, rounded up to the 5 nm pixel grid.
+        assert_eq!(guard, 190);
+        assert_eq!(guard % config.pixel_size, 0);
+        // The fast config (10 nm pixels) still covers 3σ_eff.
+        let fast = LithoConfig::fast();
+        assert!(fast.guard_band_nm() as f64 >= 3.0 * 63.0);
+    }
+
+    #[test]
+    fn session_incremental_matches_stateless_evaluation() {
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let mut eval = sim.evaluator(&via_mask(0));
+        let moves: Vec<Coord> = vec![2, -1, 1, 0];
+        eval.apply_moves(&moves);
+        eval.apply_moves(&moves);
+        let session_epe = eval.epe();
+        let session_full = eval.evaluate();
+
+        let mut fresh = via_mask(0);
+        fresh.apply_moves(&moves);
+        fresh.apply_moves(&moves);
+        let stateless_epe = sim.evaluate_epe(&fresh);
+        let stateless_full = sim.evaluate(&fresh);
+        assert_eq!(session_epe, stateless_epe, "incremental EPE must be exact");
+        assert_eq!(
+            session_full, stateless_full,
+            "incremental result must be exact"
+        );
+        assert_eq!(eval.mask().offsets(), fresh.offsets());
+        assert_eq!(eval.into_mask(), fresh);
+    }
+
+    #[test]
+    fn session_move_segment_matches_apply_moves() {
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let mut a = sim.evaluator(&via_mask(0));
+        a.move_segment(1, 2);
+        let mut b = sim.evaluator(&via_mask(0));
+        b.apply_moves(&[0, 2, 0, 0]);
+        assert_eq!(a.epe(), b.epe());
     }
 }

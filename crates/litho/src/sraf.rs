@@ -59,17 +59,12 @@ pub fn insert_srafs(clip: &Clip, rules: &SrafRules) -> Vec<Rect> {
             if !region.contains_rect(&cand) {
                 continue;
             }
+            // A candidate is allowed to sit at `distance` from its own via,
+            // but must respect min_spacing to every other target.
             let clashes_target = target_boxes
                 .iter()
-                .any(|t| t.expanded(rules.min_spacing).intersects(&cand) && t != tb && {
-                    // a candidate is allowed to sit at `distance` from its own
-                    // via, but must respect min_spacing to every other target
-                    true
-                })
-                || target_boxes
-                    .iter()
-                    .filter(|t| *t != tb)
-                    .any(|t| t.expanded(rules.min_spacing).intersects(&cand));
+                .filter(|t| *t != tb)
+                .any(|t| t.expanded(rules.min_spacing).intersects(&cand));
             let clashes_sraf = srafs
                 .iter()
                 .any(|s| s.expanded(rules.min_spacing).intersects(&cand));

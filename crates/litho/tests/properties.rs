@@ -81,3 +81,63 @@ proptest! {
         prop_assert!(outer.count_above(0.5) >= inner.count_above(0.5));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Incremental re-evaluation through a `MaskEvaluator` session matches
+    /// stateless full evaluation *exactly* (bit-for-bit) after any sequence
+    /// of random per-segment move rounds: the windowed path recomputes
+    /// precisely the pixels a full pass would produce.
+    #[test]
+    fn incremental_session_matches_full_evaluation(
+        x in 200i64..700,
+        y in 200i64..700,
+        size in 50i64..110,
+        rounds in prop::collection::vec(prop::collection::vec(-2i64..=2, 4), 1..8),
+    ) {
+        let clip = clip_with_via(x, y, size);
+        let mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+        let sim = LithoSimulator::new(LithoConfig::fast());
+
+        let mut session = sim.evaluator(&mask);
+        let mut reference_mask = mask;
+        for moves in &rounds {
+            session.apply_moves(moves);
+            reference_mask.apply_moves(moves);
+            let incremental = session.epe();
+            let full = sim.evaluate_epe(&reference_mask);
+            prop_assert_eq!(&incremental, &full, "EPE diverged after a round");
+        }
+        let incremental = session.evaluate();
+        let full = sim.evaluate(&reference_mask);
+        prop_assert_eq!(incremental, full);
+    }
+
+    /// The same exactness holds on multi-polygon metal-style clips, where a
+    /// single round can dirty most of the raster and trigger the
+    /// full-refresh fallback.
+    #[test]
+    fn incremental_session_matches_full_on_metal_clips(
+        y0 in 100i64..300,
+        len in 400i64..1200,
+        seed_moves in prop::collection::vec(-2i64..=2, 60),
+    ) {
+        let mut clip = Clip::new(Rect::new(0, 0, 1500, 1500));
+        clip.add_target(Rect::new(80, y0, 80 + len, y0 + 60).to_polygon());
+        clip.add_target(Rect::new(80, y0 + 200, 80 + len, y0 + 250).to_polygon());
+        let mask = MaskState::from_clip(&clip, &FragmentationParams::metal_layer());
+        let n = mask.segment_count();
+        let sim = LithoSimulator::new(LithoConfig::fast());
+
+        let mut session = sim.evaluator(&mask);
+        let mut reference_mask = mask;
+        for round in 0..3 {
+            let moves: Vec<i64> = (0..n).map(|i| seed_moves[(i + round) % seed_moves.len()]).collect();
+            session.apply_moves(&moves);
+            reference_mask.apply_moves(&moves);
+        }
+        prop_assert_eq!(session.epe(), sim.evaluate_epe(&reference_mask));
+        prop_assert_eq!(session.evaluate(), sim.evaluate(&reference_mask));
+    }
+}

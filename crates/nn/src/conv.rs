@@ -22,8 +22,17 @@ impl Conv2d {
     /// # Panics
     ///
     /// Panics if `kernel == 0` or `stride == 0`.
-    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, seed: u64) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         Self {
             weight: Param::new(xavier_uniform(
                 vec![out_channels, in_channels, kernel, kernel],
@@ -171,7 +180,10 @@ impl AvgPool2d {
     /// Panics if `kernel == 0`.
     pub fn new(kernel: usize) -> Self {
         assert!(kernel > 0, "pool kernel must be positive");
-        Self { kernel, input_shape: None }
+        Self {
+            kernel,
+            input_shape: None,
+        }
     }
 
     /// Forward pass on `[C, H, W]` (dimensions must be divisible by the
@@ -204,7 +216,8 @@ impl AvgPool2d {
                     let mut acc = 0.0;
                     for ky in 0..self.kernel {
                         for kx in 0..self.kernel {
-                            acc += idat[(ch * h + oy * self.kernel + ky) * w + ox * self.kernel + kx];
+                            acc +=
+                                idat[(ch * h + oy * self.kernel + ky) * w + ox * self.kernel + kx];
                         }
                     }
                     odat[(ch * oh + oy) * ow + ox] = acc * norm;
@@ -238,7 +251,8 @@ impl AvgPool2d {
                     let g = godat[(ch * oh + oy) * ow + ox] * norm;
                     for ky in 0..self.kernel {
                         for kx in 0..self.kernel {
-                            gidat[(ch * h + oy * self.kernel + ky) * w + ox * self.kernel + kx] += g;
+                            gidat[(ch * h + oy * self.kernel + ky) * w + ox * self.kernel + kx] +=
+                                g;
                         }
                     }
                 }
@@ -296,8 +310,8 @@ mod tests {
             xp.data_mut()[idx] += eps;
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let numeric =
-                (conv.forward_inference(&xp).sum() - conv.forward_inference(&xm).sum()) / (2.0 * eps);
+            let numeric = (conv.forward_inference(&xp).sum() - conv.forward_inference(&xm).sum())
+                / (2.0 * eps);
             assert!((numeric - gx.data()[idx]).abs() < 1e-5);
         }
     }

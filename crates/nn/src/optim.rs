@@ -129,7 +129,10 @@ mod tests {
         p.grad.data_mut()[0] = 1000.0;
         let mut clipped = Sgd::new(1.0, 0.0).with_grad_clip(1.0);
         clipped.step(&mut [&mut p]);
-        assert!((p.value.data()[0] + 1.0).abs() < 1e-9, "update should be clipped to norm 1");
+        assert!(
+            (p.value.data()[0] + 1.0).abs() < 1e-9,
+            "update should be clipped to norm 1"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ impl RnnCell {
     fn new(input_size: usize, hidden_size: usize, seed: u64) -> Self {
         Self {
             u: Param::new(xavier_uniform(vec![hidden_size, input_size], seed)),
-            w: Param::new(xavier_uniform(vec![hidden_size, hidden_size], seed.wrapping_add(1))),
+            w: Param::new(xavier_uniform(
+                vec![hidden_size, hidden_size],
+                seed.wrapping_add(1),
+            )),
             b: Param::new(Tensor::zeros(vec![hidden_size])),
             input_size,
             hidden_size,
@@ -160,7 +163,11 @@ impl RnnStack {
                 RnnCell::new(in_sz, hidden_size, seed.wrapping_add(97 * l as u64))
             })
             .collect();
-        Self { cells, input_size, hidden_size }
+        Self {
+            cells,
+            input_size,
+            hidden_size,
+        }
     }
 
     /// Input feature size.
@@ -262,7 +269,11 @@ mod tests {
     #[test]
     fn later_steps_depend_on_earlier_inputs() {
         let mut rnn = RnnStack::new(3, 4, 2, 2);
-        let base = vec![vec![0.2, -0.1, 0.4], vec![0.0, 0.3, -0.2], vec![0.1, 0.1, 0.1]];
+        let base = vec![
+            vec![0.2, -0.1, 0.4],
+            vec![0.0, 0.3, -0.2],
+            vec![0.1, 0.1, 0.1],
+        ];
         let mut altered = base.clone();
         altered[0][0] += 0.5;
         let out_base = rnn.forward_sequence(&base);

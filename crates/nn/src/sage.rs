@@ -81,8 +81,7 @@ impl SageLayer {
     /// Panics if the adjacency list length differs from the node count or any
     /// neighbour index is out of range.
     pub fn forward(&mut self, nodes: &Tensor, adjacency: &[Vec<usize>]) -> Tensor {
-        let out = self.forward_common(nodes, adjacency, true);
-        out
+        self.forward_common(nodes, adjacency, true)
     }
 
     /// Forward pass without caching (inference only).
@@ -242,7 +241,9 @@ mod tests {
     fn gradient_check_parameters_and_inputs() {
         let mut layer = SageLayer::new(3, 2, 21);
         let nodes = Tensor::from_vec(
-            vec![0.5, -0.2, 0.3, 0.1, 0.4, -0.6, -0.1, 0.2, 0.7, 0.9, -0.3, 0.0],
+            vec![
+                0.5, -0.2, 0.3, 0.1, 0.4, -0.6, -0.1, 0.2, 0.7, 0.9, -0.3, 0.0,
+            ],
             vec![4, 3],
         );
         let adj = chain_adjacency(4);

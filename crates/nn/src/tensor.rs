@@ -25,13 +25,19 @@ impl Tensor {
     /// A tensor of zeros.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let n: usize = shape.iter().product();
-        Self { shape, data: vec![0.0; n] }
+        Self {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// A tensor of ones.
     pub fn ones(shape: Vec<usize>) -> Self {
         let n: usize = shape.iter().product();
-        Self { shape, data: vec![1.0; n] }
+        Self {
+            shape,
+            data: vec![1.0; n],
+        }
     }
 
     /// The tensor shape.
@@ -142,7 +148,10 @@ impl Tensor {
 
     /// Element-wise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|&v| f(v)).collect(), self.shape.clone())
+        Tensor::from_vec(
+            self.data.iter().map(|&v| f(v)).collect(),
+            self.shape.clone(),
+        )
     }
 
     /// Sum of all elements.
@@ -206,7 +215,11 @@ impl Add<&Tensor> for &Tensor {
     fn add(self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch in add");
         Tensor::from_vec(
-            self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect(),
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
             self.shape.clone(),
         )
     }
@@ -217,7 +230,11 @@ impl Sub<&Tensor> for &Tensor {
     fn sub(self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch in sub");
         Tensor::from_vec(
-            self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
             self.shape.clone(),
         )
     }
@@ -245,7 +262,11 @@ impl Param {
     /// Wraps a value tensor with a zeroed gradient.
     pub fn new(value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().to_vec());
-        Self { value, grad, state: None }
+        Self {
+            value,
+            grad,
+            state: None,
+        }
     }
 
     /// Zeroes the accumulated gradient.

@@ -69,7 +69,10 @@ mod tests {
 
     #[test]
     fn environment_trait_roundtrip() {
-        let mut env = Walk { position: 5, steps: 0 };
+        let mut env = Walk {
+            position: 5,
+            steps: 0,
+        };
         assert_eq!(env.reset(), 0);
         let s1 = env.step(&2);
         assert_eq!(s1.observation, 2);

@@ -22,7 +22,10 @@ pub struct ReinforceConfig {
 
 impl Default for ReinforceConfig {
     fn default() -> Self {
-        Self { gamma: 0.95, normalize: true }
+        Self {
+            gamma: 0.95,
+            normalize: true,
+        }
     }
 }
 
@@ -58,7 +61,10 @@ mod tests {
     #[test]
     fn coefficients_without_normalisation_are_returns() {
         let traj: Trajectory = [1.0, 0.0, -1.0].into_iter().collect();
-        let cfg = ReinforceConfig { gamma: 1.0, normalize: false };
+        let cfg = ReinforceConfig {
+            gamma: 1.0,
+            normalize: false,
+        };
         assert_eq!(reinforce_coefficients(&traj, &cfg), vec![0.0, -1.0, -1.0]);
     }
 
@@ -87,7 +93,10 @@ mod tests {
     fn better_episodes_get_larger_coefficients() {
         let good: Trajectory = [1.0, 1.0].into_iter().collect();
         let bad: Trajectory = [-1.0, -1.0].into_iter().collect();
-        let cfg = ReinforceConfig { gamma: 0.9, normalize: false };
+        let cfg = ReinforceConfig {
+            gamma: 0.9,
+            normalize: false,
+        };
         let g = reinforce_coefficients(&good, &cfg);
         let b = reinforce_coefficients(&bad, &cfg);
         assert!(g[0] > b[0]);

@@ -12,7 +12,10 @@ pub struct RewardConfig {
 impl Default for RewardConfig {
     /// The paper sets `ε = 0.1` and `β = 1`.
     fn default() -> Self {
-        Self { epsilon: 0.1, beta: 1.0 }
+        Self {
+            epsilon: 0.1,
+            beta: 1.0,
+        }
     }
 }
 
@@ -71,7 +74,8 @@ mod tests {
 
     #[test]
     fn beta_scales_pvb_contribution() {
-        let only_pvb_change = |beta: f64| RewardConfig::new(0.1, beta).reward(10.0, 10.0, 100.0, 90.0);
+        let only_pvb_change =
+            |beta: f64| RewardConfig::new(0.1, beta).reward(10.0, 10.0, 100.0, 90.0);
         assert!((only_pvb_change(2.0) - 2.0 * only_pvb_change(1.0)).abs() < 1e-12);
     }
 

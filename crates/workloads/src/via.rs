@@ -100,7 +100,15 @@ impl ViaGenerator {
         centers.sort();
         for (x, y) in centers {
             let half = p.via_size / 2;
-            clip.add_target(Rect::new(x - half, y - half, x - half + p.via_size, y - half + p.via_size).to_polygon());
+            clip.add_target(
+                Rect::new(
+                    x - half,
+                    y - half,
+                    x - half + p.via_size,
+                    y - half + p.via_size,
+                )
+                .to_polygon(),
+            );
         }
         if p.with_srafs {
             for s in insert_srafs(&clip, &SrafRules::default()) {
@@ -169,7 +177,12 @@ mod tests {
     #[test]
     fn vias_respect_minimum_pitch_and_margin() {
         for case in via_test_set() {
-            let boxes: Vec<Rect> = case.clip.targets().iter().map(|p| p.bounding_box()).collect();
+            let boxes: Vec<Rect> = case
+                .clip
+                .targets()
+                .iter()
+                .map(|p| p.bounding_box())
+                .collect();
             assert_eq!(boxes.len(), case.via_count);
             let params = ViaParams::default();
             for (i, a) in boxes.iter().enumerate() {

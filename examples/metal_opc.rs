@@ -48,7 +48,10 @@ fn main() {
         );
         println!(
             "        CAMO per-step EPE: {:?}",
-            m.epe_trajectory.iter().map(|e| e.round()).collect::<Vec<_>>()
+            m.epe_trajectory
+                .iter()
+                .map(|e| e.round())
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -19,7 +19,11 @@ fn main() {
         let p = modulator.preference(epe);
         println!(
             "  EPE {epe:+5.1} nm -> [{:.3} {:.3} {:.3} {:.3} {:.3}]  (sharpness {:.2})",
-            p[0], p[1], p[2], p[3], p[4],
+            p[0],
+            p[1],
+            p[2],
+            p[3],
+            p[4],
             modulator.sharpness(epe)
         );
     }
@@ -35,14 +39,26 @@ fn main() {
     let mut without = CamoEngine::new(opc, CamoConfig::fast().without_modulator());
     let without_outcome = without.optimize(&case.clip, &simulator);
 
-    println!("\ncase {} ({} measure points):", case.clip.name(), case.measure_points);
+    println!(
+        "\ncase {} ({} measure points):",
+        case.clip.name(),
+        case.measure_points
+    );
     println!(
         "  EPE per step, with modulator:    {:?}",
-        with_outcome.epe_trajectory.iter().map(|e| e.round()).collect::<Vec<_>>()
+        with_outcome
+            .epe_trajectory
+            .iter()
+            .map(|e| e.round())
+            .collect::<Vec<_>>()
     );
     println!(
         "  EPE per step, without modulator: {:?}",
-        without_outcome.epe_trajectory.iter().map(|e| e.round()).collect::<Vec<_>>()
+        without_outcome
+            .epe_trajectory
+            .iter()
+            .map(|e| e.round())
+            .collect::<Vec<_>>()
     );
     println!(
         "  final EPE: {:.0} nm (with) vs {:.0} nm (without)",

@@ -27,7 +27,14 @@ fn main() {
     println!("clip: {}", clip.name());
     println!("segments moved: {}", outcome.mask.segment_count());
     println!("steps taken:    {}", outcome.steps);
-    println!("EPE trajectory: {:?}", outcome.epe_trajectory.iter().map(|e| e.round()).collect::<Vec<_>>());
+    println!(
+        "EPE trajectory: {:?}",
+        outcome
+            .epe_trajectory
+            .iter()
+            .map(|e| e.round())
+            .collect::<Vec<_>>()
+    );
     println!("final EPE:      {:.1} nm", outcome.total_epe());
     println!("final PV band:  {:.0} nm^2", outcome.pv_band());
     println!("runtime:        {:.3} s", outcome.runtime_secs());

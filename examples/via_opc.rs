@@ -32,14 +32,21 @@ fn main() {
         "training: imitation loss {:.3} -> {:.3}, RL reward per epoch {:?}",
         report.imitation_losses.first().copied().unwrap_or(0.0),
         report.imitation_losses.last().copied().unwrap_or(0.0),
-        report.rl_rewards.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()
+        report
+            .rl_rewards
+            .iter()
+            .map(|r| (r * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 
     let mut calibre = CalibreLikeOpc::new(opc.clone());
     let mut damo = DamoLikeOpc::new(opc.clone());
     damo.fit(&training, &simulator);
 
-    println!("\n{:<6} {:>4} {:>14} {:>14} {:>14}", "case", "vias", "DAMO-like EPE", "Calibre EPE", "CAMO EPE");
+    println!(
+        "\n{:<6} {:>4} {:>14} {:>14} {:>14}",
+        "case", "vias", "DAMO-like EPE", "Calibre EPE", "CAMO EPE"
+    );
     for case in via_test_set().iter().take(4) {
         let d = damo.optimize(&case.clip, &simulator);
         let c = calibre.optimize(&case.clip, &simulator);

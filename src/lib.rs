@@ -1,0 +1,16 @@
+//! Umbrella crate for the CAMO reproduction workspace.
+//!
+//! This crate holds no code of its own; it exists so the repository root can
+//! carry the cross-crate integration tests (`tests/`) and runnable examples
+//! (`examples/`). The implementation lives in the `crates/` members:
+//!
+//! * `camo-geometry` — integer-nm layout primitives, fragmentation, masks,
+//!   rasterisation.
+//! * `camo-litho` — the lithography simulator (optics, resist, EPE, PV band)
+//!   and its scratch-buffer evaluation pipeline.
+//! * `camo-nn` / `camo-rl` — the minimal neural-network and RL substrates.
+//! * `camo` — the CAMO engine, policy, modulator and trainer.
+//! * `camo-baselines` — Calibre-like, DAMO-like, RL-OPC and pixel-ILT
+//!   baselines.
+//! * `camo-workloads` — via/metal benchmark generators.
+//! * `camo-bench` — experiment harnesses and performance tracking.

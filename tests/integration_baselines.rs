@@ -27,9 +27,18 @@ fn every_engine_beats_the_uncorrected_initial_mask() {
     let initial_epe = sim.evaluate(&opc.initial_mask(&clip)).total_epe();
 
     let outcomes = vec![
-        ("Calibre-like", CalibreLikeOpc::new(opc.clone()).optimize(&clip, &sim)),
-        ("DAMO-like", DamoLikeOpc::new(opc.clone()).optimize(&clip, &sim)),
-        ("CAMO", CamoEngine::new(opc.clone(), CamoConfig::fast()).optimize(&clip, &sim)),
+        (
+            "Calibre-like",
+            CalibreLikeOpc::new(opc.clone()).optimize(&clip, &sim),
+        ),
+        (
+            "DAMO-like",
+            DamoLikeOpc::new(opc.clone()).optimize(&clip, &sim),
+        ),
+        (
+            "CAMO",
+            CamoEngine::new(opc.clone(), CamoConfig::fast()).optimize(&clip, &sim),
+        ),
     ];
     for (name, outcome) in &outcomes {
         assert!(

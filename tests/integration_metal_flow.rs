@@ -32,7 +32,11 @@ fn metal_fragmentation_places_measure_points_every_60nm() {
     assert_eq!(frags.measure_points.len(), case.measure_points);
     // A 580 nm line edge carries ~9 measure points; two edges per line plus
     // the two ends, times two lines.
-    assert!(case.measure_points > 20, "expected dense measure points, got {}", case.measure_points);
+    assert!(
+        case.measure_points > 20,
+        "expected dense measure points, got {}",
+        case.measure_points
+    );
     // Every measure point lies on its segment.
     for mp in &frags.measure_points {
         let seg = &frags.segments[mp.segment];
@@ -66,7 +70,10 @@ fn camo_handles_metal_clips_without_panicking_and_tracks_trajectory() {
     // the same wire (spacing < 250 nm).
     let mask = engine.opc_config().initial_mask(&case.clip);
     let graph = engine.graph(&mask);
-    assert!(graph.mean_degree() >= 1.0, "metal graph should not be edgeless");
+    assert!(
+        graph.mean_degree() >= 1.0,
+        "metal graph should not be edgeless"
+    );
 }
 
 #[test]

@@ -40,11 +40,17 @@ fn two_phase_training_improves_imitation_and_keeps_inference_working() {
 
     assert_eq!(report.imitation_losses.len(), 3);
     assert_eq!(report.rl_rewards.len(), 1);
-    assert!(report.imitation_improved(), "losses: {:?}", report.imitation_losses);
+    assert!(
+        report.imitation_improved(),
+        "losses: {:?}",
+        report.imitation_losses
+    );
 
     // The trained engine still optimises an unseen clip correctly.
     let outcome = engine.optimize(&test_clip(), &sim);
-    let initial = sim.evaluate(&fast_opc(2).initial_mask(&test_clip())).total_epe();
+    let initial = sim
+        .evaluate(&fast_opc(2).initial_mask(&test_clip()))
+        .total_epe();
     assert!(outcome.total_epe() <= initial + 1e-9);
 }
 
@@ -65,8 +71,12 @@ fn trained_policy_differs_from_untrained_policy() {
     let mask = untrained.opc_config().initial_mask(&clips[0]);
     let graph = untrained.graph(&mask);
     let features = untrained.node_features(&mask);
-    let before = untrained.policy().forward_inference(&features, graph.adjacency());
-    let after = trained.policy().forward_inference(&features, graph.adjacency());
+    let before = untrained
+        .policy()
+        .forward_inference(&features, graph.adjacency());
+    let after = trained
+        .policy()
+        .forward_inference(&features, graph.adjacency());
     assert_ne!(before, after, "training must change the policy outputs");
 }
 
@@ -79,7 +89,10 @@ fn rl_opc_training_loop_runs_end_to_end() {
     let mut engine = RlOpc::new(
         opc,
         RlOpcConfig {
-            features: FeatureConfig { window: 300, tensor_size: 8 },
+            features: FeatureConfig {
+                window: 300,
+                tensor_size: 8,
+            },
             hidden: 16,
             ..RlOpcConfig::default()
         },

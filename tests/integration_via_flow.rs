@@ -15,7 +15,6 @@ fn small_via_params() -> ViaParams {
         min_pitch: 220,
         margin: 250,
         with_srafs: true,
-        ..ViaParams::default()
     }
 }
 
@@ -68,7 +67,10 @@ fn camo_improves_the_initial_mask_on_a_via_clip() {
         .iter()
         .cloned()
         .fold(f64::MAX, f64::min);
-    assert!(best <= initial_epe + 1e-9, "best {best} vs initial {initial_epe}");
+    assert!(
+        best <= initial_epe + 1e-9,
+        "best {best} vs initial {initial_epe}"
+    );
     assert!(
         outcome.total_epe() <= initial_epe * 1.3 + 4.0,
         "final {} vs initial {initial_epe}",
