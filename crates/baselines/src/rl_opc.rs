@@ -10,9 +10,11 @@ use crate::engine::{OpcConfig, OpcEngine, OpcOutcome};
 use camo_geometry::{segment_features_basic, Clip, Coord, FeatureConfig, MaskState};
 use camo_litho::LithoSimulator;
 use camo_nn::{cross_entropy_grad, softmax, Linear, Optimizer, Relu, Sgd, Tensor};
-use camo_rl::{reinforce_coefficients, ReinforceConfig, RewardConfig, Trajectory};
+use camo_rl::{
+    argmax, episode_rng, reinforce_coefficients, sample_index, ReinforceConfig, RewardConfig,
+    Trajectory,
+};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Number of discrete movements (−2, −1, 0, +1, +2 nm).
@@ -39,6 +41,12 @@ pub struct RlOpcConfig {
     /// Episodes simulated per training clip per epoch.
     pub episodes_per_clip: usize,
     /// RNG seed for initialisation and action sampling.
+    ///
+    /// Action sampling follows the same stream-derivation contract as
+    /// CAMO: each training episode draws from an independent generator
+    /// derived via `camo_rl::episode_rng(seed, episode_ordinal)`, where the
+    /// ordinal counts episodes in `(epoch, clip, episode)` order, instead
+    /// of threading one mutable generator across clips.
     pub seed: u64,
 }
 
@@ -64,7 +72,6 @@ pub struct RlOpc {
     fc1: Linear,
     relu: Relu,
     fc2: Linear,
-    rng: StdRng,
 }
 
 impl RlOpc {
@@ -75,7 +82,6 @@ impl RlOpc {
             fc1: Linear::new(input, config.hidden, config.seed),
             relu: Relu::new(),
             fc2: Linear::new(config.hidden, ACTION_COUNT, config.seed.wrapping_add(1)),
-            rng: StdRng::seed_from_u64(config.seed.wrapping_add(2)),
             opc,
             config,
         }
@@ -86,12 +92,21 @@ impl RlOpc {
         &self.opc
     }
 
-    /// Policy logits for one segment observation.
+    /// Policy logits for one segment observation, caching activations for
+    /// the backward pass.
     fn logits(&mut self, features: &[f64]) -> Vec<f64> {
         let x = Tensor::from_vec(features.to_vec(), vec![1, features.len()]);
         let h = self.fc1.forward(&x);
         let h = self.relu.forward(&h);
         self.fc2.forward(&h).into_vec()
+    }
+
+    /// Policy logits for one segment observation (inference only).
+    fn logits_inference(&self, features: &[f64]) -> Vec<f64> {
+        let x = Tensor::from_vec(features.to_vec(), vec![1, features.len()]);
+        let h = self.fc1.forward_inference(&x);
+        let h = self.relu.forward_inference(&h);
+        self.fc2.forward_inference(&h).into_vec()
     }
 
     /// Accumulates the policy gradient for one (observation, action) pair
@@ -117,19 +132,22 @@ impl RlOpc {
         self.fc2.zero_grad();
     }
 
-    /// Selects actions for every segment: greedy (argmax) when `sample` is
-    /// false, stochastic sampling when true.
-    fn select_actions(&mut self, mask: &MaskState, sample: bool) -> Vec<(Vec<f64>, usize)> {
+    /// Selects actions for every segment: stochastic sampling when an
+    /// episode generator is supplied, greedy (argmax) otherwise.
+    fn select_actions(
+        &self,
+        mask: &MaskState,
+        mut rng: Option<&mut StdRng>,
+    ) -> Vec<(Vec<f64>, usize)> {
         let n = mask.segment_count();
         let mut out = Vec::with_capacity(n);
         for seg in 0..n {
             let features = segment_features_basic(mask, seg, &self.config.features);
-            let logits = self.logits(&features);
+            let logits = self.logits_inference(&features);
             let probs = softmax(&logits);
-            let action = if sample {
-                sample_index(&probs, &mut self.rng)
-            } else {
-                argmax(&probs)
+            let action = match rng.as_deref_mut() {
+                Some(r) => sample_index(&probs, r),
+                None => argmax(&probs),
             };
             out.push((features, action));
         }
@@ -137,13 +155,19 @@ impl RlOpc {
     }
 
     /// REINFORCE training on a set of clips for `epochs` epochs.
+    ///
+    /// Every episode samples from its own generator derived from
+    /// `(config.seed, episode ordinal)` — see [`RlOpcConfig::seed`].
     pub fn train(&mut self, clips: &[Clip], simulator: &LithoSimulator, epochs: usize) -> Vec<f64> {
         let mut epoch_rewards = Vec::with_capacity(epochs);
+        let mut episode_ordinal = 0u64;
         for _ in 0..epochs {
             let mut epoch_total = 0.0;
             for clip in clips {
                 for _ in 0..self.config.episodes_per_clip {
-                    epoch_total += self.train_episode(clip, simulator);
+                    let mut rng = episode_rng(self.config.seed, episode_ordinal);
+                    episode_ordinal += 1;
+                    epoch_total += self.train_episode(clip, simulator, &mut rng);
                 }
             }
             epoch_rewards.push(epoch_total);
@@ -151,7 +175,7 @@ impl RlOpc {
         epoch_rewards
     }
 
-    fn train_episode(&mut self, clip: &Clip, simulator: &LithoSimulator) -> f64 {
+    fn train_episode(&mut self, clip: &Clip, simulator: &LithoSimulator, rng: &mut StdRng) -> f64 {
         let mask = self.opc.initial_mask(clip);
         let mut session = simulator.evaluator(&mask);
         let mut eval = session.evaluate();
@@ -161,7 +185,7 @@ impl RlOpc {
             if self.opc.early_exit(eval.mean_epe()) {
                 break;
             }
-            let decisions = self.select_actions(session.mask(), true);
+            let decisions = self.select_actions(session.mask(), Some(rng));
             let moves: Vec<Coord> = decisions.iter().map(|(_, a)| action_to_move(*a)).collect();
             session.apply_moves(&moves);
             let next = session.evaluate();
@@ -204,7 +228,7 @@ impl OpcEngine for RlOpc {
             if self.opc.early_exit(epe.mean_abs()) {
                 break;
             }
-            let decisions = self.select_actions(eval.mask(), false);
+            let decisions = self.select_actions(eval.mask(), None);
             let moves: Vec<Coord> = decisions.iter().map(|(_, a)| action_to_move(*a)).collect();
             eval.apply_moves(&moves);
             epe = eval.epe();
@@ -220,28 +244,6 @@ impl OpcEngine for RlOpc {
             epe_trajectory: trajectory,
         }
     }
-}
-
-fn argmax(probs: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, &p) in probs.iter().enumerate() {
-        if p > probs[best] {
-            best = i;
-        }
-    }
-    best
-}
-
-fn sample_index(probs: &[f64], rng: &mut StdRng) -> usize {
-    let r: f64 = rng.gen();
-    let mut acc = 0.0;
-    for (i, &p) in probs.iter().enumerate() {
-        acc += p;
-        if r <= acc {
-            return i;
-        }
-    }
-    probs.len() - 1
 }
 
 #[cfg(test)]

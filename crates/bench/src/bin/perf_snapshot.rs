@@ -1,17 +1,28 @@
-//! Performance snapshot of the lithography hot path.
+//! Performance snapshot of the lithography hot path and the batch runtime.
 //!
 //! Times the scratch-buffer pipeline against the seed's reference
 //! implementation on a paper-style via clip at the default px5
-//! configuration, and writes `BENCH_litho.json` (op, mean ns, speedup)
-//! so regressions are visible across PRs:
+//! configuration, measures multi-clip batch throughput (clips/s at 1, 2
+//! and 4 pool threads) over the Table-1 via set — verifying along the way
+//! that every batch run is bit-identical to the serial loop — and writes
+//! `BENCH_litho.json` (op, mean ns, speedup, batch rows) so regressions
+//! are visible across PRs:
 //!
 //! ```text
 //! cargo run --release -p camo-bench --bin perf_snapshot
 //! ```
+//!
+//! `--quick` switches to the fast lithography configuration, skips the
+//! slow reference-implementation baselines and does **not** rewrite
+//! `BENCH_litho.json`; `--threads N` restricts the batch sweep to one
+//! thread count. CI runs `--quick --threads 1` and `--quick --threads 2`
+//! on every PR so batch-determinism or throughput regressions surface
+//! immediately.
 
 use camo::{CamoConfig, CamoEngine};
 use camo_baselines::{OpcConfig, OpcEngine};
 use camo_litho::{reference, LithoConfig, LithoSimulator};
+use camo_runtime::optimize_batch;
 use camo_workloads::via_test_set;
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -38,14 +49,41 @@ impl Row {
     }
 }
 
+/// Batch throughput of `optimize_batch` at one pool size.
+struct BatchRow {
+    threads: usize,
+    clips: usize,
+    clips_per_s: f64,
+}
+
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let only_threads = std::env::args().any(|a| a == "--threads");
+    let thread_counts: Vec<usize> = if only_threads {
+        // 0 keeps its documented "all hardware threads" meaning; the row is
+        // labelled with the resolved count.
+        let requested = camo_bench::threads_from_args();
+        vec![if requested == 0 {
+            camo_runtime::available_threads()
+        } else {
+            requested
+        }]
+    } else {
+        vec![1, 2, 4]
+    };
+
     let case = &via_test_set()[0];
-    let config = LithoConfig::default(); // the px5 configuration of the tables
+    // The px5 configuration of the tables, or the fast configuration for CI.
+    let config = if quick {
+        LithoConfig::fast()
+    } else {
+        LithoConfig::default()
+    };
     let guard = config.guard_band_nm();
     let sim = LithoSimulator::new(config.clone());
     let opc = OpcConfig::via_layer();
     let mask = opc.initial_mask(&case.clip);
-    let iters = 20;
+    let iters = if quick { 5 } else { 20 };
 
     let mut rows: Vec<Row> = Vec::new();
 
@@ -58,12 +96,14 @@ fn main() {
             },
             iters,
         ),
-        reference_ns: Some(mean_ns(
-            || {
-                black_box(reference::rasterize_mask(&mask, config.pixel_size, guard));
-            },
-            iters,
-        )),
+        reference_ns: (!quick).then(|| {
+            mean_ns(
+                || {
+                    black_box(reference::rasterize_mask(&mask, config.pixel_size, guard));
+                },
+                iters,
+            )
+        }),
     });
 
     // Full evaluation (nominal EPE + PV band).
@@ -75,12 +115,14 @@ fn main() {
             },
             iters,
         ),
-        reference_ns: Some(mean_ns(
-            || {
-                black_box(reference::evaluate(&config, &mask, guard));
-            },
-            iters,
-        )),
+        reference_ns: (!quick).then(|| {
+            mean_ns(
+                || {
+                    black_box(reference::evaluate(&config, &mask, guard));
+                },
+                iters,
+            )
+        }),
     });
 
     // Stateless EPE-only evaluation.
@@ -92,12 +134,14 @@ fn main() {
             },
             iters,
         ),
-        reference_ns: Some(mean_ns(
-            || {
-                black_box(reference::evaluate_epe(&config, &mask, guard));
-            },
-            iters,
-        )),
+        reference_ns: (!quick).then(|| {
+            mean_ns(
+                || {
+                    black_box(reference::evaluate_epe(&config, &mask, guard));
+                },
+                iters,
+            )
+        }),
     });
 
     // The per-step inner-loop cost: move every segment, re-measure EPE.
@@ -115,20 +159,22 @@ fn main() {
         },
         iters,
     );
-    let mut seed_mask = mask.clone();
-    let mut flip_ref = 0usize;
-    let reference_step_ns = mean_ns(
-        || {
-            seed_mask.apply_moves(&step_moves[flip_ref % 2]);
-            flip_ref += 1;
-            black_box(reference::evaluate_epe(&config, &seed_mask, guard));
-        },
-        iters,
-    );
+    let reference_step_ns = (!quick).then(|| {
+        let mut seed_mask = mask.clone();
+        let mut flip_ref = 0usize;
+        mean_ns(
+            || {
+                seed_mask.apply_moves(&step_moves[flip_ref % 2]);
+                flip_ref += 1;
+                black_box(reference::evaluate_epe(&config, &seed_mask, guard));
+            },
+            iters,
+        )
+    });
     rows.push(Row {
         op: "evaluate_epe_incremental_step",
         mean_ns: incremental_ns,
-        reference_ns: Some(reference_step_ns),
+        reference_ns: reference_step_ns,
     });
 
     // One CAMO engine step end-to-end (decide + move + re-evaluate),
@@ -147,6 +193,42 @@ fn main() {
         ),
         reference_ns: None,
     });
+
+    // Batch throughput over the full via test set: clips/s per pool size,
+    // with every run checked bit-identical to the serial loop.
+    let clips: Vec<camo_geometry::Clip> = via_test_set().iter().map(|c| c.clip.clone()).collect();
+    let mut batch_opc = opc.clone();
+    if quick {
+        batch_opc.max_steps = 2;
+    }
+    let batch_engine = CamoEngine::new(batch_opc, CamoConfig::fast());
+    let serial: Vec<_> = clips
+        .iter()
+        .map(|clip| batch_engine.clone().optimize(clip, &sim))
+        .collect();
+    let mut batch_rows: Vec<BatchRow> = Vec::new();
+    for &threads in &thread_counts {
+        let start = Instant::now();
+        let outcomes = optimize_batch(&batch_engine, &clips, &sim, threads);
+        let secs = start.elapsed().as_secs_f64();
+        for (i, (parallel, reference)) in outcomes.iter().zip(&serial).enumerate() {
+            let same = parallel.mask.offsets() == reference.mask.offsets()
+                && parallel.result.epe.per_point == reference.result.epe.per_point
+                && parallel.result.pv_band.to_bits() == reference.result.pv_band.to_bits();
+            if !same {
+                eprintln!(
+                    "DETERMINISM REGRESSION: optimize_batch with {threads} threads diverged \
+                     from the serial loop on clip {i}"
+                );
+                std::process::exit(1);
+            }
+        }
+        batch_rows.push(BatchRow {
+            threads,
+            clips: clips.len(),
+            clips_per_s: clips.len() as f64 / secs,
+        });
+    }
 
     // Human-readable report.
     println!(
@@ -168,6 +250,25 @@ fn main() {
             None => println!("{:32} {:>14.0} ns", row.op, row.mean_ns),
         }
     }
+    // Speedups are only meaningful against a measured 1-thread row.
+    let serial_rate = batch_rows
+        .iter()
+        .find(|b| b.threads == 1)
+        .map(|b| b.clips_per_s);
+    for b in &batch_rows {
+        let vs_serial = serial_rate
+            .map(|s| format!(", {:.2}x vs 1 thread", b.clips_per_s / s))
+            .unwrap_or_default();
+        println!(
+            "optimize_batch {:>2} thread(s)       {:>8.2} clips/s over {} clips (bit-identical to serial){}",
+            b.threads, b.clips_per_s, b.clips, vs_serial
+        );
+    }
+
+    if quick {
+        println!("\nquick mode: BENCH_litho.json left untouched");
+        return;
+    }
 
     // Machine-readable report.
     let mut json = String::from("{\n  \"bench\": \"litho_hot_path\",\n");
@@ -187,6 +288,25 @@ fn main() {
             row.speedup().map_or("null".to_string(), |s| format!("{s:.2}")),
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"batch\": [\n");
+    for (i, b) in batch_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"op\": \"optimize_batch\", \"threads\": {}, \"clips\": {}, \"clips_per_s\": {:.3}, \"speedup_vs_1_thread\": {}}}",
+            b.threads,
+            b.clips,
+            b.clips_per_s,
+            serial_rate.map_or("null".to_string(), |s| format!(
+                "{:.2}",
+                b.clips_per_s / s
+            )),
+        );
+        json.push_str(if i + 1 < batch_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_litho.json", &json).expect("write BENCH_litho.json");

@@ -1,16 +1,24 @@
 //! Reproduces Table 1 of the CAMO paper: via-layer OPC comparison.
 //!
 //! Run with `cargo run -p camo-bench --release --bin table1_via`
-//! (append `--quick` for a reduced smoke-test run).
+//! (append `--quick` for a reduced smoke-test run, `--threads N` to spread
+//! the test-set sweep over N pool workers — EPE/PVB results are
+//! bit-identical at any thread count; the RT column is wall-clock measured
+//! inside the workers, so it inflates under contention when N exceeds the
+//! hardware threads).
 
 use camo_bench::paper::{TABLE1_PAPER, TABLE1_PAPER_RATIOS};
-use camo_bench::{format_ratio_row, format_row, render_table, run_via_experiment, ExperimentScale};
+use camo_bench::{
+    format_ratio_row, format_row, render_table, run_via_experiment_threaded, threads_from_args,
+    ExperimentScale,
+};
 
 fn main() {
     let scale = ExperimentScale::from_args();
+    let threads = threads_from_args();
     println!("== Table 1: OPC results on via layer patterns (EPE nm, PVB nm^2, RT s) ==");
-    println!("scale: {scale:?}\n");
-    let summary = run_via_experiment(scale);
+    println!("scale: {scale:?}, threads: {threads}\n");
+    let summary = run_via_experiment_threaded(scale, threads);
 
     // Per-case table for every engine.
     let mut headers = vec!["Design".to_string(), "Via #".to_string()];

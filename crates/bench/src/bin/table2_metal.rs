@@ -1,18 +1,24 @@
 //! Reproduces Table 2 of the CAMO paper: metal-layer OPC comparison.
 //!
 //! Run with `cargo run -p camo-bench --release --bin table2_metal`
-//! (append `--quick` for a reduced smoke-test run).
+//! (append `--quick` for a reduced smoke-test run, `--threads N` to spread
+//! the test-set sweep over N pool workers — EPE/PVB results are
+//! bit-identical at any thread count; the RT column is wall-clock measured
+//! inside the workers, so it inflates under contention when N exceeds the
+//! hardware threads).
 
 use camo_bench::paper::{TABLE2_PAPER, TABLE2_PAPER_RATIOS};
 use camo_bench::{
-    format_ratio_row, format_row, render_table, run_metal_experiment, ExperimentScale,
+    format_ratio_row, format_row, render_table, run_metal_experiment_threaded, threads_from_args,
+    ExperimentScale,
 };
 
 fn main() {
     let scale = ExperimentScale::from_args();
+    let threads = threads_from_args();
     println!("== Table 2: OPC results on metal layer patterns (EPE nm, PVB nm^2, RT s) ==");
-    println!("scale: {scale:?}\n");
-    let summary = run_metal_experiment(scale);
+    println!("scale: {scale:?}, threads: {threads}\n");
+    let summary = run_metal_experiment_threaded(scale, threads);
 
     let mut headers = vec!["Design".to_string(), "Point #".to_string()];
     for row in &summary.rows {

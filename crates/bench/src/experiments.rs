@@ -4,6 +4,7 @@ use camo::{CamoConfig, CamoEngine, CamoTrainer, Modulator};
 use camo_baselines::{CalibreLikeOpc, DamoLikeOpc, OpcConfig, OpcEngine, RlOpc, RlOpcConfig};
 use camo_geometry::{Clip, FeatureConfig};
 use camo_litho::{LithoConfig, LithoSimulator, ResistModel};
+use camo_runtime::sweep_cases;
 use camo_workloads::{metal_test_set, metal_training_set, via_test_set, via_training_set};
 
 /// How much compute an experiment run is allowed to use.
@@ -25,6 +26,11 @@ impl ExperimentScale {
         } else {
             Self::Full
         }
+    }
+
+    /// True for the reduced scale.
+    pub fn is_quick(&self) -> bool {
+        matches!(self, Self::Quick)
     }
 
     /// Lithography configuration for this scale.
@@ -107,6 +113,21 @@ impl ExperimentScale {
     }
 }
 
+/// Parses `--threads N` from the process arguments (defaults to 1, the
+/// serial sweep; 0 means "all hardware threads").
+pub fn threads_from_args() -> usize {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads requires a non-negative integer");
+        }
+    }
+    1
+}
+
 /// One engine's results on one benchmark case.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CaseResult {
@@ -173,22 +194,20 @@ impl ExperimentSummary {
     }
 }
 
-fn run_engine(
+fn run_engine<E: OpcEngine + Clone + Sync>(
     name: &str,
-    engine: &mut dyn OpcEngine,
+    engine: &E,
     clips: &[(String, Clip)],
     simulator: &LithoSimulator,
+    threads: usize,
 ) -> EngineRow {
-    let cases = clips
-        .iter()
-        .map(|(case, clip)| {
-            let outcome = engine.optimize(clip, simulator);
-            CaseResult {
-                case: case.clone(),
-                epe: outcome.total_epe(),
-                pvb: outcome.pv_band(),
-                runtime: outcome.runtime_secs(),
-            }
+    let cases = sweep_cases(engine, clips, simulator, threads)
+        .into_iter()
+        .map(|(case, outcome)| CaseResult {
+            case,
+            epe: outcome.total_epe(),
+            pvb: outcome.pv_band(),
+            runtime: outcome.runtime_secs(),
         })
         .collect();
     EngineRow {
@@ -198,8 +217,16 @@ fn run_engine(
 }
 
 /// Reproduces **Table 1**: via-layer comparison of DAMO-like, Calibre-like,
-/// RL-OPC and CAMO.
+/// RL-OPC and CAMO, with the test-set sweep running serially.
 pub fn run_via_experiment(scale: ExperimentScale) -> ExperimentSummary {
+    run_via_experiment_threaded(scale, 1)
+}
+
+/// [`run_via_experiment`] with the per-case sweep of every engine spread
+/// over `threads` pool workers. Results are bit-identical to the serial
+/// sweep at any thread count (engines decide greedily and are cloned per
+/// clip).
+pub fn run_via_experiment_threaded(scale: ExperimentScale, threads: usize) -> ExperimentSummary {
     let simulator = LithoSimulator::new(scale.litho());
     let opc = OpcConfig::via_layer();
 
@@ -216,22 +243,22 @@ pub fn run_via_experiment(scale: ExperimentScale) -> ExperimentSummary {
     damo.fit(&train_clips, &simulator);
 
     // Calibre-like needs no training.
-    let mut calibre = CalibreLikeOpc::new(opc.clone());
+    let calibre = CalibreLikeOpc::new(opc.clone());
 
     // RL-OPC: brief REINFORCE training.
     let mut rl_opc = RlOpc::new(opc.clone(), scale.rl_opc_config());
     rl_opc.train(&train_clips, &simulator, scale.rl_opc_epochs());
 
-    // CAMO: two-phase training.
+    // CAMO: two-phase training, with per-clip episodes on the pool.
     let mut camo = CamoEngine::new(opc, scale.camo_config());
-    let mut trainer = CamoTrainer::new(&camo);
-    trainer.train(&mut camo, &train_clips, &simulator);
+    let trainer = CamoTrainer::new(&camo);
+    camo_runtime::train(&trainer, &mut camo, &train_clips, &simulator, threads);
 
     let rows = vec![
-        run_engine("DAMO-like", &mut damo, &test_clips, &simulator),
-        run_engine("Calibre-like", &mut calibre, &test_clips, &simulator),
-        run_engine("RL-OPC", &mut rl_opc, &test_clips, &simulator),
-        run_engine("CAMO", &mut camo, &test_clips, &simulator),
+        run_engine("DAMO-like", &damo, &test_clips, &simulator, threads),
+        run_engine("Calibre-like", &calibre, &test_clips, &simulator, threads),
+        run_engine("RL-OPC", &rl_opc, &test_clips, &simulator, threads),
+        run_engine("CAMO", &camo, &test_clips, &simulator, threads),
     ];
 
     ExperimentSummary {
@@ -245,8 +272,14 @@ pub fn run_via_experiment(scale: ExperimentScale) -> ExperimentSummary {
 }
 
 /// Reproduces **Table 2**: metal-layer comparison of Calibre-like, RL-OPC and
-/// CAMO.
+/// CAMO, with the test-set sweep running serially.
 pub fn run_metal_experiment(scale: ExperimentScale) -> ExperimentSummary {
+    run_metal_experiment_threaded(scale, 1)
+}
+
+/// [`run_metal_experiment`] with the per-case sweep of every engine spread
+/// over `threads` pool workers (bit-identical to the serial sweep).
+pub fn run_metal_experiment_threaded(scale: ExperimentScale, threads: usize) -> ExperimentSummary {
     let simulator = LithoSimulator::new(scale.litho());
     let opc = OpcConfig::metal_layer();
 
@@ -258,19 +291,19 @@ pub fn run_metal_experiment(scale: ExperimentScale) -> ExperimentSummary {
         .map(|c| (c.clip.name().to_string(), c.clip.clone()))
         .collect();
 
-    let mut calibre = CalibreLikeOpc::new(opc.clone());
+    let calibre = CalibreLikeOpc::new(opc.clone());
 
     let mut rl_opc = RlOpc::new(opc.clone(), scale.rl_opc_config());
     rl_opc.train(&train_clips, &simulator, scale.rl_opc_epochs());
 
     let mut camo = CamoEngine::new(opc, scale.camo_config());
-    let mut trainer = CamoTrainer::new(&camo);
-    trainer.train(&mut camo, &train_clips, &simulator);
+    let trainer = CamoTrainer::new(&camo);
+    camo_runtime::train(&trainer, &mut camo, &train_clips, &simulator, threads);
 
     let rows = vec![
-        run_engine("Calibre-like", &mut calibre, &test_clips, &simulator),
-        run_engine("RL-OPC", &mut rl_opc, &test_clips, &simulator),
-        run_engine("CAMO", &mut camo, &test_clips, &simulator),
+        run_engine("Calibre-like", &calibre, &test_clips, &simulator, threads),
+        run_engine("RL-OPC", &rl_opc, &test_clips, &simulator, threads),
+        run_engine("CAMO", &camo, &test_clips, &simulator, threads),
     ];
 
     ExperimentSummary {

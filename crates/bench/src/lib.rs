@@ -23,7 +23,8 @@ pub mod table;
 pub mod viz;
 
 pub use experiments::{
-    modulator_projection_rows, run_metal_experiment, run_modulator_ablation, run_via_experiment,
+    modulator_projection_rows, run_metal_experiment, run_metal_experiment_threaded,
+    run_modulator_ablation, run_via_experiment, run_via_experiment_threaded, threads_from_args,
     EngineRow, ExperimentScale, ExperimentSummary, ModulatorTrace,
 };
 pub use table::{format_ratio_row, format_row, render_table};

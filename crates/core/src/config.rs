@@ -44,6 +44,20 @@ pub struct CamoConfig {
     /// Phase-2 REINFORCE epochs.
     pub rl_epochs: usize,
     /// RNG seed for initialisation and sampling.
+    ///
+    /// # Stream-derivation contract
+    ///
+    /// The seed is never threaded through one mutable generator across
+    /// clips. Policy initialisation derives fixed offsets of `seed`, and
+    /// every training episode draws its actions from an independent
+    /// generator derived as
+    /// `camo_rl::episode_rng(seed, epoch * n_clips + clip_index)`.
+    /// Episode streams therefore depend only on
+    /// `(seed, epoch, clip_index)` — not on the order, interleaving, or
+    /// thread on which episodes execute — so parallel batch runtimes (see
+    /// the `camo-runtime` crate) reproduce serial results bit for bit at
+    /// any thread count, and successive epochs still explore fresh
+    /// randomness.
     pub seed: u64,
 }
 

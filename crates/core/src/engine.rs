@@ -8,8 +8,8 @@ use camo_baselines::{OpcConfig, OpcEngine, OpcOutcome};
 use camo_geometry::{segment_features_stacked, Clip, Coord, MaskState};
 use camo_litho::{EpeReport, LithoSimulator};
 use camo_nn::softmax;
+use camo_rl::{argmax, sample_index};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Maps a movement index (0–4) to its displacement in nm (−2…+2).
@@ -31,13 +31,18 @@ pub fn move_to_action(movement: Coord) -> usize {
 }
 
 /// The CAMO OPC engine: modulated, correlation-aware policy inference.
+///
+/// The engine itself is stateless between clips: greedy inference needs no
+/// randomness, and stochastic (training) decisions draw from a caller-owned
+/// generator derived per episode via [`camo_rl::episode_rng`]. Cloning an
+/// engine and optimising clips on separate threads therefore produces
+/// results bit-identical to a serial loop.
 #[derive(Debug, Clone)]
 pub struct CamoEngine {
     opc: OpcConfig,
     config: CamoConfig,
     policy: CamoPolicy,
     modulator: Modulator,
-    rng: StdRng,
 }
 
 impl CamoEngine {
@@ -45,13 +50,11 @@ impl CamoEngine {
     pub fn new(opc: OpcConfig, config: CamoConfig) -> Self {
         let policy = CamoPolicy::new(&config);
         let modulator = Modulator::new(config.modulator_k, config.modulator_n, config.modulator_b);
-        let rng = StdRng::seed_from_u64(config.seed.wrapping_add(5));
         Self {
             opc,
             config,
             policy,
             modulator,
-            rng,
         }
     }
 
@@ -93,21 +96,21 @@ impl CamoEngine {
         SegmentGraph::build(mask.fragments(), self.config.graph_threshold)
     }
 
-    /// Chooses an action per segment. When `sample` is true actions are drawn
-    /// from the (optionally modulated) distribution; otherwise the modulated
-    /// argmax of Eq. (6) is used. Returns `(action, unmodulated logits)` per
-    /// segment.
+    /// Chooses an action per segment. When an episode generator is supplied
+    /// actions are drawn from the (optionally modulated) distribution;
+    /// otherwise the modulated argmax of Eq. (6) is used. Returns
+    /// `(action, unmodulated logits)` per segment.
     ///
     /// `epe` must carry one per-point value per segment of `mask` (the
     /// invariant documented on [`MaskState`]); this is debug-asserted, and
     /// in release builds a missing value falls back to `0.0` (no
     /// modulation) instead of panicking.
     pub fn decide(
-        &mut self,
+        &self,
         mask: &MaskState,
         graph: &SegmentGraph,
         epe: &EpeReport,
-        sample: bool,
+        mut rng: Option<&mut StdRng>,
     ) -> Vec<(usize, Vec<f64>)> {
         debug_assert_eq!(
             epe.per_point.len(),
@@ -129,10 +132,9 @@ impl CamoEngine {
                     d.copy_from_slice(&probs);
                     d
                 };
-                let action = if sample {
-                    sample_index(&dist, &mut self.rng)
-                } else {
-                    argmax(&dist)
+                let action = match rng.as_deref_mut() {
+                    Some(r) => sample_index(&dist, r),
+                    None => argmax(&dist),
                 };
                 (action, l)
             })
@@ -159,7 +161,7 @@ impl OpcEngine for CamoEngine {
             if self.opc.early_exit(epe.mean_abs()) {
                 break;
             }
-            let decisions = self.decide(eval.mask(), &graph, &epe, false);
+            let decisions = self.decide(eval.mask(), &graph, &epe, None);
             let moves: Vec<Coord> = decisions.iter().map(|(a, _)| action_to_move(*a)).collect();
             eval.apply_moves(&moves);
             epe = eval.epe();
@@ -175,28 +177,6 @@ impl OpcEngine for CamoEngine {
             epe_trajectory: trajectory,
         }
     }
-}
-
-fn argmax(values: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, &v) in values.iter().enumerate() {
-        if v > values[best] {
-            best = i;
-        }
-    }
-    best
-}
-
-fn sample_index(probs: &[f64], rng: &mut StdRng) -> usize {
-    let r: f64 = rng.gen();
-    let mut acc = 0.0;
-    for (i, &p) in probs.iter().enumerate() {
-        acc += p;
-        if r <= acc {
-            return i;
-        }
-    }
-    probs.len() - 1
 }
 
 #[cfg(test)]
@@ -253,11 +233,11 @@ mod tests {
     #[test]
     fn decide_returns_one_action_per_segment() {
         let sim = LithoSimulator::new(LithoConfig::fast());
-        let mut engine = CamoEngine::new(OpcConfig::via_layer(), CamoConfig::fast());
+        let engine = CamoEngine::new(OpcConfig::via_layer(), CamoConfig::fast());
         let mask = engine.opc_config().initial_mask(&via_clip());
         let graph = engine.graph(&mask);
         let epe = sim.evaluate_epe(&mask);
-        let decisions = engine.decide(&mask, &graph, &epe, false);
+        let decisions = engine.decide(&mask, &graph, &epe, None);
         assert_eq!(decisions.len(), mask.segment_count());
         for (a, logits) in &decisions {
             assert!(*a < ACTION_COUNT);
@@ -272,21 +252,21 @@ mod tests {
         // An EPE report with fewer points than segments used to panic with
         // an opaque out-of-bounds index; now the invariant is asserted
         // explicitly (and release builds fall back to unmodulated decisions).
-        let mut engine = CamoEngine::new(OpcConfig::via_layer(), CamoConfig::fast());
+        let engine = CamoEngine::new(OpcConfig::via_layer(), CamoConfig::fast());
         let mask = engine.opc_config().initial_mask(&via_clip());
         let graph = engine.graph(&mask);
         let bogus = camo_litho::EpeReport {
             per_point: vec![4.0], // 1 value for a 4-segment via
             search_range: 40.0,
         };
-        let _ = engine.decide(&mask, &graph, &bogus, false);
+        let _ = engine.decide(&mask, &graph, &bogus, None);
     }
 
     #[test]
     fn disabling_modulator_changes_decisions() {
         let sim = LithoSimulator::new(LithoConfig::fast());
-        let mut with = CamoEngine::new(OpcConfig::via_layer(), CamoConfig::fast());
-        let mut without = CamoEngine::new(
+        let with = CamoEngine::new(OpcConfig::via_layer(), CamoConfig::fast());
+        let without = CamoEngine::new(
             OpcConfig::via_layer(),
             CamoConfig::fast().without_modulator(),
         );
@@ -294,12 +274,12 @@ mod tests {
         let graph = with.graph(&mask);
         let epe = sim.evaluate_epe(&mask);
         let a: Vec<usize> = with
-            .decide(&mask, &graph, &epe, false)
+            .decide(&mask, &graph, &epe, None)
             .iter()
             .map(|(a, _)| *a)
             .collect();
         let b: Vec<usize> = without
-            .decide(&mask, &graph, &epe, false)
+            .decide(&mask, &graph, &epe, None)
             .iter()
             .map(|(a, _)| *a)
             .collect();

@@ -55,4 +55,4 @@ pub use engine::CamoEngine;
 pub use graph::SegmentGraph;
 pub use modulator::Modulator;
 pub use policy::CamoPolicy;
-pub use trainer::{CamoTrainer, TrainingReport};
+pub use trainer::{CamoTrainer, EpisodeGrads, TrainingReport};

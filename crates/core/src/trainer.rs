@@ -8,13 +8,29 @@
 //!   EPE/PV-band improvement reward of Eq. (3), and parameters are updated
 //!   with the REINFORCE gradient computed on the *unmodulated* policy output,
 //!   exactly as the paper prescribes.
+//!
+//! # Epoch structure and determinism
+//!
+//! Each epoch evaluates every clip's episode against the **same frozen
+//! policy snapshot** and applies a single parameter update from the sum of
+//! the per-episode gradients, reduced in clip order. Episodes are therefore
+//! independent of one another: [`CamoTrainer::imitation_episode`] and
+//! [`CamoTrainer::reinforce_episode`] take `&self` plus an immutable engine
+//! and may run concurrently (the `camo-runtime` crate does exactly that),
+//! while [`CamoTrainer::finish_imitation_epoch`] /
+//! [`CamoTrainer::finish_reinforce_epoch`] perform the fixed-order
+//! reduction and update. Stochastic action sampling draws from a generator
+//! derived per episode from `(config.seed, epoch, clip_index)` — see
+//! [`CamoConfig::seed`](crate::CamoConfig) — so epoch results are
+//! bit-identical however the episodes are scheduled, while successive
+//! epochs still explore fresh streams.
 
 use crate::engine::{action_to_move, move_to_action, CamoEngine};
 use camo_baselines::CalibreLikeOpc;
 use camo_geometry::{Clip, Coord};
 use camo_litho::LithoSimulator;
 use camo_nn::{cross_entropy_grad, log_softmax, Optimizer, Sgd};
-use camo_rl::{reinforce_coefficients, Trajectory};
+use camo_rl::{episode_rng, reinforce_coefficients, Trajectory};
 
 /// Per-epoch statistics produced by training.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -33,6 +49,22 @@ impl TrainingReport {
             _ => false,
         }
     }
+}
+
+/// The gradient contribution of one training episode, computed against a
+/// frozen snapshot of the engine's policy.
+#[derive(Debug, Clone)]
+pub struct EpisodeGrads {
+    /// One flat gradient per policy parameter tensor, in
+    /// [`CamoPolicy::parameters_mut`](crate::CamoPolicy::parameters_mut)
+    /// order.
+    pub grads: Vec<Vec<f64>>,
+    /// Summed cross-entropy loss (imitation) or total episode reward
+    /// (REINFORCE).
+    pub metric: f64,
+    /// Number of (segment, step) samples behind an imitation `metric`; 0
+    /// for REINFORCE episodes.
+    pub samples: usize,
 }
 
 /// Runs the two-phase training procedure against a set of training clips.
@@ -66,10 +98,10 @@ impl CamoTrainer {
                 .imitation_losses
                 .push(self.imitation_epoch(engine, clips, simulator));
         }
-        for _ in 0..rl_epochs {
+        for epoch in 0..rl_epochs {
             report
                 .rl_rewards
-                .push(self.reinforce_epoch(engine, clips, simulator));
+                .push(self.reinforce_epoch_at(engine, clips, simulator, epoch));
         }
         report
     }
@@ -81,70 +113,111 @@ impl CamoTrainer {
         clips: &[Clip],
         simulator: &LithoSimulator,
     ) -> f64 {
-        let lr = engine.config().learning_rate;
-        let teacher_steps = engine.config().teacher_steps;
-        let mut total_loss = 0.0;
-        let mut samples = 0usize;
-        for clip in clips {
-            let mask = engine.opc_config().initial_mask(clip);
-            let graph = engine.graph(&mask);
-            let mut eval = simulator.evaluator(&mask);
-            for _ in 0..teacher_steps {
-                let epe = eval.epe();
-                let teacher_moves = self.teacher.teacher_moves(&epe);
-                let targets: Vec<usize> =
-                    teacher_moves.iter().map(|&m| move_to_action(m)).collect();
-                let features = engine.node_features(eval.mask());
-                let policy = engine.policy_mut();
-                let logits = policy.forward(&features, graph.adjacency());
-                let n = logits.len().max(1);
-                let grads: Vec<Vec<f64>> = logits
-                    .iter()
-                    .zip(&targets)
-                    .map(|(l, &t)| cross_entropy_grad(l, t, 1.0 / n as f64))
-                    .collect();
-                for (l, &t) in logits.iter().zip(&targets) {
-                    total_loss += -log_softmax(l)[t];
-                    samples += 1;
-                }
-                policy.zero_grad();
-                policy.backward(&grads);
-                let mut optimizer = Sgd::new(lr, 0.0).with_grad_clip(5.0);
-                optimizer.step(&mut policy.parameters_mut());
-                eval.apply_moves(&teacher_moves);
-            }
-        }
-        if samples == 0 {
-            0.0
-        } else {
-            total_loss / samples as f64
-        }
+        let episodes: Vec<EpisodeGrads> = clips
+            .iter()
+            .map(|clip| self.imitation_episode(engine, clip, simulator))
+            .collect();
+        Self::finish_imitation_epoch(engine, &episodes)
     }
 
-    /// One epoch of modulated REINFORCE; returns the summed episode reward.
+    /// One epoch of modulated REINFORCE (as epoch 0); returns the summed
+    /// episode reward. Multi-epoch schedules should use
+    /// [`Self::reinforce_epoch_at`] so each epoch explores fresh streams.
     pub fn reinforce_epoch(
         &mut self,
         engine: &mut CamoEngine,
         clips: &[Clip],
         simulator: &LithoSimulator,
     ) -> f64 {
-        let mut total = 0.0;
-        for clip in clips {
-            total += self.reinforce_episode(engine, clip, simulator);
-        }
-        total
+        self.reinforce_epoch_at(engine, clips, simulator, 0)
     }
 
-    fn reinforce_episode(
-        &mut self,
+    /// One epoch of modulated REINFORCE with episode streams offset by
+    /// `epoch`: clip `i` samples from stream `epoch * clips.len() + i`, so
+    /// successive epochs explore fresh randomness while any scheduling of
+    /// the episodes within an epoch stays bit-identical.
+    pub fn reinforce_epoch_at(
+        &self,
         engine: &mut CamoEngine,
+        clips: &[Clip],
+        simulator: &LithoSimulator,
+        epoch: usize,
+    ) -> f64 {
+        let base = epoch * clips.len();
+        let episodes: Vec<EpisodeGrads> = clips
+            .iter()
+            .enumerate()
+            .map(|(i, clip)| self.reinforce_episode(engine, base + i, clip, simulator))
+            .collect();
+        Self::finish_reinforce_epoch(engine, &episodes)
+    }
+
+    /// The behaviour-cloning gradient of one clip's teacher trajectory,
+    /// against the engine's current (frozen) policy.
+    ///
+    /// Teacher movements depend only on the measured EPE, never on the
+    /// policy, so the trajectory — and hence the gradient — is a pure
+    /// function of `(engine, clip)` and can be computed concurrently with
+    /// other episodes.
+    pub fn imitation_episode(
+        &self,
+        engine: &CamoEngine,
         clip: &Clip,
         simulator: &LithoSimulator,
-    ) -> f64 {
-        let lr = engine.config().learning_rate;
+    ) -> EpisodeGrads {
+        let teacher_steps = engine.config().teacher_steps;
+        let mask = engine.opc_config().initial_mask(clip);
+        let graph = engine.graph(&mask);
+        let mut eval = simulator.evaluator(&mask);
+        let mut policy = engine.policy().clone();
+        policy.zero_grad();
+        let mut total_loss = 0.0;
+        let mut samples = 0usize;
+        for _ in 0..teacher_steps {
+            let epe = eval.epe();
+            let teacher_moves = self.teacher.teacher_moves(&epe);
+            let targets: Vec<usize> = teacher_moves.iter().map(|&m| move_to_action(m)).collect();
+            let features = engine.node_features(eval.mask());
+            let logits = policy.forward(&features, graph.adjacency());
+            let n = logits.len().max(1);
+            let grads: Vec<Vec<f64>> = logits
+                .iter()
+                .zip(&targets)
+                .map(|(l, &t)| cross_entropy_grad(l, t, 1.0 / n as f64))
+                .collect();
+            for (l, &t) in logits.iter().zip(&targets) {
+                total_loss += -log_softmax(l)[t];
+                samples += 1;
+            }
+            policy.backward(&grads);
+            eval.apply_moves(&teacher_moves);
+        }
+        EpisodeGrads {
+            grads: extract_grads(&mut policy),
+            metric: total_loss,
+            samples,
+        }
+    }
+
+    /// The REINFORCE gradient of one sampled episode on `clip`, against the
+    /// engine's current (frozen) policy.
+    ///
+    /// Actions are drawn from a generator derived from
+    /// `(engine.config().seed, episode_stream)` — for per-clip episodes the
+    /// stream is `epoch * clips.len() + clip_index` — so the episode is a
+    /// pure function of its inputs and can be computed concurrently with
+    /// other episodes.
+    pub fn reinforce_episode(
+        &self,
+        engine: &CamoEngine,
+        episode_stream: usize,
+        clip: &Clip,
+        simulator: &LithoSimulator,
+    ) -> EpisodeGrads {
         let reward_cfg = engine.config().reward;
         let reinforce_cfg = engine.config().reinforce;
         let max_steps = engine.opc_config().max_steps;
+        let mut rng = episode_rng(engine.config().seed, episode_stream as u64);
 
         let mask = engine.opc_config().initial_mask(clip);
         let graph = engine.graph(&mask);
@@ -159,7 +232,7 @@ impl CamoTrainer {
                 break;
             }
             let features = engine.node_features(session.mask());
-            let decisions = engine.decide(session.mask(), &graph, &eval.epe, true);
+            let decisions = engine.decide(session.mask(), &graph, &eval.epe, Some(&mut rng));
             let actions: Vec<usize> = decisions.iter().map(|(a, _)| *a).collect();
             let moves: Vec<Coord> = actions.iter().map(|&a| action_to_move(a)).collect();
             session.apply_moves(&moves);
@@ -175,9 +248,9 @@ impl CamoTrainer {
             eval = next;
         }
 
-        // REINFORCE update on the original (unmodulated) policy outputs.
+        // REINFORCE gradient on the original (unmodulated) policy outputs.
         let coefficients = reinforce_coefficients(&trajectory, &reinforce_cfg);
-        let policy = engine.policy_mut();
+        let mut policy = engine.policy().clone();
         policy.zero_grad();
         for ((features, actions), &coeff) in steps.iter().zip(&coefficients) {
             let logits = policy.forward(features, graph.adjacency());
@@ -189,10 +262,70 @@ impl CamoTrainer {
                 .collect();
             policy.backward(&grads);
         }
-        let mut optimizer = Sgd::new(lr, 0.0).with_grad_clip(5.0);
-        optimizer.step(&mut policy.parameters_mut());
-        trajectory.total_reward()
+        EpisodeGrads {
+            grads: extract_grads(&mut policy),
+            metric: trajectory.total_reward(),
+            samples: 0,
+        }
     }
+
+    /// Reduces a Phase-1 epoch's episodes in order, applies the update and
+    /// returns the mean cross-entropy loss.
+    pub fn finish_imitation_epoch(engine: &mut CamoEngine, episodes: &[EpisodeGrads]) -> f64 {
+        let (loss, samples) = episodes
+            .iter()
+            .fold((0.0, 0usize), |(l, s), e| (l + e.metric, s + e.samples));
+        Self::apply_epoch_update(engine, episodes);
+        if samples == 0 {
+            0.0
+        } else {
+            loss / samples as f64
+        }
+    }
+
+    /// Reduces a Phase-2 epoch's episodes in order, applies the update and
+    /// returns the summed episode reward.
+    pub fn finish_reinforce_epoch(engine: &mut CamoEngine, episodes: &[EpisodeGrads]) -> f64 {
+        let reward = episodes.iter().map(|e| e.metric).sum();
+        Self::apply_epoch_update(engine, episodes);
+        reward
+    }
+
+    /// Sums the episode gradients **in slice order** into the engine's
+    /// policy and takes one clipped SGD step. The fixed reduction order is
+    /// what makes parallel epochs bit-identical to serial ones: however the
+    /// episodes were computed, the floating-point additions happen in the
+    /// same sequence.
+    fn apply_epoch_update(engine: &mut CamoEngine, episodes: &[EpisodeGrads]) {
+        let lr = engine.config().learning_rate;
+        let policy = engine.policy_mut();
+        policy.zero_grad();
+        let mut params = policy.parameters_mut();
+        for episode in episodes {
+            assert_eq!(
+                episode.grads.len(),
+                params.len(),
+                "episode gradient layout must match the policy"
+            );
+            for (param, grad) in params.iter_mut().zip(&episode.grads) {
+                for (dst, &src) in param.grad.data_mut().iter_mut().zip(grad) {
+                    *dst += src;
+                }
+            }
+        }
+        let mut optimizer = Sgd::new(lr, 0.0).with_grad_clip(5.0);
+        optimizer.step(&mut params);
+    }
+}
+
+/// Snapshots a policy's accumulated gradients as flat vectors, in parameter
+/// order.
+fn extract_grads(policy: &mut crate::CamoPolicy) -> Vec<Vec<f64>> {
+    policy
+        .parameters_mut()
+        .iter()
+        .map(|p| p.grad.data().to_vec())
+        .collect()
 }
 
 #[cfg(test)]
@@ -258,5 +391,52 @@ mod tests {
         let mut trainer = CamoTrainer::new(&engine);
         let reward = trainer.reinforce_epoch(&mut engine, &training_clips(), &sim);
         assert!(reward.is_finite());
+    }
+
+    #[test]
+    fn episodes_are_pure_functions_of_engine_and_clip() {
+        // The same (engine, clip, clip_index) must yield the same gradients
+        // no matter how often or in which order episodes are computed —
+        // the property the parallel runtime's bit-identity rests on.
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let engine = fast_engine();
+        let trainer = CamoTrainer::new(&engine);
+        let clips = training_clips();
+        let a = trainer.reinforce_episode(&engine, 1, &clips[1], &sim);
+        let first = trainer.imitation_episode(&engine, &clips[0], &sim);
+        let b = trainer.reinforce_episode(&engine, 1, &clips[1], &sim);
+        assert_eq!(a.grads, b.grads);
+        assert_eq!(a.metric, b.metric);
+        let again = trainer.imitation_episode(&engine, &clips[0], &sim);
+        assert_eq!(first.grads, again.grads);
+    }
+
+    #[test]
+    fn epoch_update_sums_episodes_in_order() {
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let clips = training_clips();
+        let mut by_epoch = fast_engine();
+        let trainer = CamoTrainer::new(&by_epoch);
+        let episodes: Vec<EpisodeGrads> = clips
+            .iter()
+            .map(|c| trainer.imitation_episode(&by_epoch, c, &sim))
+            .collect();
+        // Manually reduce against a second engine and compare parameters.
+        let mut manual = fast_engine();
+        CamoTrainer::finish_imitation_epoch(&mut manual, &episodes);
+        CamoTrainer::finish_imitation_epoch(&mut by_epoch, &episodes);
+        let a: Vec<Vec<f64>> = manual
+            .policy_mut()
+            .parameters_mut()
+            .iter()
+            .map(|p| p.value.data().to_vec())
+            .collect();
+        let b: Vec<Vec<f64>> = by_epoch
+            .policy_mut()
+            .parameters_mut()
+            .iter()
+            .map(|p| p.value.data().to_vec())
+            .collect();
+        assert_eq!(a, b);
     }
 }

@@ -167,7 +167,12 @@ impl<'a> MaskEvaluator<'a> {
     /// Re-rasterises the dirty window and refreshes every cached image, or
     /// falls back to a full refresh when the window dominates the raster.
     fn refresh_dirty(&mut self, dirty_nm: Rect) {
+        // The mask has already mutated by the time we get here, so a dirty
+        // rect that misses the raster (or degenerates when snapped to pixel
+        // boundaries) must still trigger a rebuild — early-returning would
+        // leave the raster and every cached aerial image stale.
         let Some(win) = self.ws.raster.pixel_window(dirty_nm) else {
+            self.full_rasterize();
             return;
         };
         let total = self.ws.raster.width() * self.ws.raster.height();
@@ -289,5 +294,84 @@ fn union_rect(acc: Option<Rect>, r: Option<Rect>) -> Option<Rect> {
     match (acc, r) {
         (Some(a), Some(b)) => Some(a.union(&b)),
         (a, b) => a.or(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::LithoConfig;
+    use camo_geometry::{Clip, FragmentationParams};
+
+    fn edge_via_mask() -> MaskState {
+        // A via flush against the clip edge, so dirty rects from its outer
+        // segments extend past the clip (the raster's guard band still
+        // covers them — the degenerate case is exercised directly below).
+        let mut clip = Clip::new(Rect::new(0, 0, 600, 600));
+        clip.add_target(Rect::new(0, 265, 70, 335).to_polygon());
+        MaskState::from_clip(&clip, &FragmentationParams::via_layer())
+    }
+
+    fn assert_matches_fresh(sim: &LithoSimulator, eval: &mut MaskEvaluator<'_>) {
+        let a = eval.epe();
+        let ra = eval.evaluate();
+        let mut fresh = sim.evaluator(eval.mask());
+        let b = fresh.epe();
+        assert_eq!(a.per_point, b.per_point, "EPE must match a fresh session");
+        let rb = fresh.evaluate();
+        assert_eq!(ra.pv_band, rb.pv_band, "PV band must match a fresh session");
+    }
+
+    #[test]
+    fn off_raster_dirty_rect_falls_back_to_full_refresh() {
+        // Regression: `refresh_dirty` used to early-return when the dirty
+        // rect missed the raster, leaving the raster and every cached image
+        // stale even though the mask had already mutated.
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let mask = edge_via_mask();
+        let mut eval = sim.evaluator(&mask);
+        let _ = eval.evaluate(); // populate every cached image
+        eval.mask.move_segment(0, 2);
+        eval.mask.move_segment(1, -1);
+        // Hand the refresher a rect far outside the simulation region, the
+        // shape of a dirty rect that misses the raster entirely.
+        eval.refresh_dirty(Rect::new(-100_000, -100_000, -99_000, -99_000));
+        assert_matches_fresh(&sim, &mut eval);
+    }
+
+    #[test]
+    fn degenerate_dirty_rect_falls_back_to_full_refresh() {
+        // A rect that overlaps the raster in nm but snaps to an empty pixel
+        // window (zero width after clamping) must also rebuild.
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let mask = edge_via_mask();
+        let mut eval = sim.evaluator(&mask);
+        let _ = eval.evaluate();
+        eval.mask.move_segment(2, 1);
+        let region = eval.ws.raster.region();
+        // Zero-width slivers on the raster's right edge snap to `None`.
+        let sliver = Rect::new(region.x1, region.y0, region.x1, region.y1);
+        assert!(eval.ws.raster.pixel_window(sliver).is_none());
+        eval.refresh_dirty(sliver);
+        assert_matches_fresh(&sim, &mut eval);
+    }
+
+    #[test]
+    fn edge_segment_moves_stay_identical_to_full_evaluation() {
+        // Segments of a via flush against the clip edge produce dirty rects
+        // that poke outside the clip; the incremental path must stay
+        // bit-identical to a fresh full evaluation through a whole episode
+        // of moves.
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let mask = edge_via_mask();
+        let mut eval = sim.evaluator(&mask);
+        let n = eval.mask().segment_count();
+        for step in 0..4 {
+            let moves: Vec<Coord> = (0..n)
+                .map(|s| [2, -1, 1, -2][(s + step) % 4] as Coord)
+                .collect();
+            eval.apply_moves(&moves);
+            assert_matches_fresh(&sim, &mut eval);
+        }
     }
 }

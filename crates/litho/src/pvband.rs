@@ -33,6 +33,12 @@ pub fn pv_band_area(
 
 /// Computes the PV-band as a binary raster (1.0 inside the band), useful for
 /// visualisation (Figure 6 of the paper).
+///
+/// Both images must share dimensions and pixel size.
+///
+/// # Panics
+///
+/// Panics if the image dimensions or pixel sizes differ.
 pub fn pv_band_image(
     inner_intensity: &Raster,
     inner_threshold: f64,
@@ -41,6 +47,11 @@ pub fn pv_band_image(
 ) -> Raster {
     assert_eq!(inner_intensity.width(), outer_intensity.width());
     assert_eq!(inner_intensity.height(), outer_intensity.height());
+    assert_eq!(
+        inner_intensity.pixel_size(),
+        outer_intensity.pixel_size(),
+        "PV-band images must share a pixel size"
+    );
     let mut out = Raster::with_dimensions(
         inner_intensity.origin(),
         inner_intensity.pixel_size(),
@@ -124,5 +135,18 @@ mod tests {
         let img = pv_band_image(&inner, t_in, &outer, t_out);
         let img_area = img.count_above(0.5) as f64 * 25.0;
         assert!((area - img_area).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel size")]
+    fn band_image_rejects_mismatched_pixel_sizes() {
+        // Same dimensions but different resolutions: every pixel pair now
+        // covers different nm regions, so the band image would be
+        // geometrically wrong. `pv_band_area` already asserted this;
+        // `pv_band_image` must too.
+        use camo_geometry::{Point, Raster};
+        let coarse = Raster::with_dimensions(Point::new(0, 0), 10, 16, 16);
+        let fine = Raster::with_dimensions(Point::new(0, 0), 5, 16, 16);
+        let _ = pv_band_image(&coarse, 0.5, &fine, 0.5);
     }
 }

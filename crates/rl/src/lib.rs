@@ -9,7 +9,9 @@
 //! * [`Trajectory`] recording and discounted-return computation,
 //! * the [`reinforce`] coefficient calculation (return × log-prob gradient),
 //! * behaviour-cloning utilities for the paper's Phase-1 [`imitation`]
-//!   training.
+//!   training,
+//! * shared action [`sampling`] and the `(seed, episode)` RNG-derivation
+//!   contract that keeps parallel and serial training bit-identical.
 //!
 //! # Example
 //!
@@ -31,10 +33,12 @@ pub mod env;
 pub mod imitation;
 pub mod reinforce;
 pub mod reward;
+pub mod sampling;
 pub mod trajectory;
 
 pub use env::{Environment, Step};
 pub use imitation::{behavior_cloning_loss, ImitationBatch};
 pub use reinforce::{normalize_returns, reinforce_coefficients, ReinforceConfig};
 pub use reward::RewardConfig;
+pub use sampling::{argmax, episode_rng, episode_seed, sample_index};
 pub use trajectory::Trajectory;

@@ -1,0 +1,179 @@
+//! Shared action sampling and per-episode RNG derivation.
+//!
+//! Both CAMO and the RL-OPC baseline sample one of five movements from a
+//! per-segment probability vector. The sampling routine lives here so the
+//! two engines cannot drift apart, and so its edge-case contract is tested
+//! once:
+//!
+//! * an entry with probability `0.0` is **never** selected, even when the
+//!   uniform draw lands exactly on `0.0` or on a cumulative boundary;
+//! * trailing floating-point residue (the draw exceeding the cumulative sum)
+//!   falls back to the *last positive* entry, not blindly to
+//!   `probs.len() - 1`.
+//!
+//! The module also defines the episode-RNG derivation contract used by the
+//! training loops: instead of threading one mutable generator across clips
+//! (which makes results depend on execution order), every episode derives
+//! its own generator from `(seed, episode index)`. Parallel and serial
+//! epoch schedules therefore see bit-identical random streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mixes a base seed and an episode index into an independent stream seed.
+///
+/// Uses the SplitMix64 finalizer over the golden-ratio-scaled index so that
+/// neighbouring episode indices produce decorrelated streams.
+pub fn episode_seed(seed: u64, episode_index: u64) -> u64 {
+    let mut z = seed ^ episode_index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The generator for one training episode, derived from the run seed and
+/// the episode's index (for per-clip episodes, the clip index).
+///
+/// Every episode owns an independent stream, so results do not depend on
+/// the order — or the thread — in which episodes execute.
+pub fn episode_rng(seed: u64, episode_index: u64) -> StdRng {
+    StdRng::seed_from_u64(episode_seed(seed, episode_index))
+}
+
+/// Index of the largest entry (first one on ties).
+pub fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Samples an index from an (approximately normalised) probability vector.
+///
+/// Entries with probability `<= 0.0` are never selected: a draw of exactly
+/// `0.0` skips leading zero entries, and a draw beyond the cumulative sum
+/// (floating-point residue, or a slightly under-normalised vector) falls
+/// back to the last entry with positive probability.
+///
+/// # Panics
+///
+/// Panics if no entry is positive.
+pub fn sample_index<R: Rng>(probs: &[f64], rng: &mut R) -> usize {
+    let r: f64 = rng.gen();
+    let mut acc = 0.0;
+    let mut fallback = None;
+    for (i, &p) in probs.iter().enumerate() {
+        if p <= 0.0 {
+            continue;
+        }
+        fallback = Some(i);
+        acc += p;
+        if r < acc {
+            return i;
+        }
+    }
+    fallback.expect("sample_index requires at least one positive probability")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    /// A generator producing a fixed sequence of raw 64-bit values, for
+    /// driving `sample_index` to exact draws.
+    struct FixedRng(Vec<u64>, usize);
+
+    impl FixedRng {
+        fn of(values: &[u64]) -> Self {
+            Self(values.to_vec(), 0)
+        }
+
+        /// The raw value that makes `Rng::gen::<f64>()` produce `unit`.
+        fn raw_for(unit: f64) -> u64 {
+            ((unit * (1u64 << 53) as f64) as u64) << 11
+        }
+    }
+
+    impl RngCore for FixedRng {
+        fn next_u64(&mut self) -> u64 {
+            let v = self.0[self.1 % self.0.len()];
+            self.1 += 1;
+            v
+        }
+    }
+
+    #[test]
+    fn zero_draw_never_selects_leading_zero_probability() {
+        // r == 0.0 with probs[0] == 0.0: the old `r <= acc` comparison
+        // returned index 0, an action the modulator had suppressed entirely.
+        let mut rng = FixedRng::of(&[0]);
+        let probs = [0.0, 0.7, 0.3, 0.0, 0.0];
+        assert_eq!(sample_index(&probs, &mut rng), 1);
+    }
+
+    #[test]
+    fn trailing_residue_falls_back_to_last_positive_entry() {
+        // The vector under-sums to 0.9 and the draw lands beyond it; the old
+        // implementation fell through to `probs.len() - 1`, which here has
+        // probability 0.
+        let mut rng = FixedRng::of(&[FixedRng::raw_for(0.95)]);
+        let probs = [0.5, 0.4, 0.0];
+        assert_eq!(sample_index(&probs, &mut rng), 1);
+    }
+
+    #[test]
+    fn interior_draws_follow_the_cumulative_distribution() {
+        let probs = [0.25, 0.5, 0.25];
+        for (unit, expected) in [(0.1, 0), (0.3, 1), (0.74, 1), (0.76, 2)] {
+            let mut rng = FixedRng::of(&[FixedRng::raw_for(unit)]);
+            assert_eq!(sample_index(&probs, &mut rng), expected, "draw {unit}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive probability")]
+    fn all_zero_probabilities_panic() {
+        let mut rng = FixedRng::of(&[0]);
+        sample_index(&[0.0, 0.0], &mut rng);
+    }
+
+    #[test]
+    fn sampled_frequencies_roughly_match_probabilities() {
+        let probs = [0.1, 0.0, 0.6, 0.0, 0.3];
+        let mut rng = episode_rng(11, 0);
+        let mut counts = [0usize; 5];
+        for _ in 0..20_000 {
+            counts[sample_index(&probs, &mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[3], 0);
+        for (i, &p) in probs.iter().enumerate() {
+            let freq = counts[i] as f64 / 20_000.0;
+            assert!((freq - p).abs() < 0.02, "action {i}: {freq} vs {p}");
+        }
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_the_first_entry() {
+        assert_eq!(argmax(&[0.2, 0.5, 0.5]), 1);
+        assert_eq!(argmax(&[1.0]), 0);
+    }
+
+    #[test]
+    fn episode_streams_are_deterministic_and_decorrelated() {
+        let mut a = episode_rng(42, 3);
+        let mut b = episode_rng(42, 3);
+        let mut c = episode_rng(42, 4);
+        let mut any_diff = false;
+        for _ in 0..32 {
+            let (x, y, z): (f64, f64, f64) = (a.gen(), b.gen(), c.gen());
+            assert_eq!(x, y);
+            any_diff |= x != z;
+        }
+        assert!(any_diff, "neighbouring episodes must see distinct streams");
+    }
+}

@@ -1,0 +1,140 @@
+//! Batch APIs over the worker pool: multi-clip inference, parallel training
+//! epochs and named-case workload sweeps.
+//!
+//! Everything here is **bit-identical to the serial path at any thread
+//! count**. Inference engines are cloned per task and decide greedily;
+//! training episodes derive their random streams from
+//! `(seed, clip_index)` and the epoch reduction always sums episode
+//! gradients in clip order (see [`CamoTrainer`]'s epoch documentation).
+
+use crate::pool::parallel_map;
+use camo::{CamoEngine, CamoTrainer, TrainingReport};
+use camo_baselines::{OpcEngine, OpcOutcome};
+use camo_geometry::Clip;
+use camo_litho::LithoSimulator;
+
+/// Optimises every clip with its own clone of `engine`, on up to `threads`
+/// worker threads, returning outcomes in clip order.
+///
+/// The engine template is cloned once per clip, so per-run state (scratch
+/// activations, evaluation sessions) never leaks between clips and the
+/// result is bit-identical to calling `engine.clone().optimize(..)` in a
+/// serial loop — the property the runtime's tests assert for 1–4 threads.
+pub fn optimize_batch<E>(
+    engine: &E,
+    clips: &[Clip],
+    simulator: &LithoSimulator,
+    threads: usize,
+) -> Vec<OpcOutcome>
+where
+    E: OpcEngine + Clone + Sync,
+{
+    parallel_map(threads, clips, |_, clip| {
+        let mut worker = engine.clone();
+        worker.optimize(clip, simulator)
+    })
+}
+
+/// Optimises a set of named benchmark cases (a workload sweep), returning
+/// `(name, outcome)` pairs in case order.
+pub fn sweep_cases<E>(
+    engine: &E,
+    cases: &[(String, Clip)],
+    simulator: &LithoSimulator,
+    threads: usize,
+) -> Vec<(String, OpcOutcome)>
+where
+    E: OpcEngine + Clone + Sync,
+{
+    let outcomes = parallel_map(threads, cases, |_, (_, clip)| {
+        let mut worker = engine.clone();
+        worker.optimize(clip, simulator)
+    });
+    cases
+        .iter()
+        .map(|(name, _)| name.clone())
+        .zip(outcomes)
+        .collect()
+}
+
+/// One Phase-1 (behaviour cloning) epoch with per-clip episodes computed
+/// concurrently; returns the mean cross-entropy loss.
+///
+/// Episodes are gradients against the epoch-start policy snapshot, so they
+/// are independent; the reduction and the single parameter update happen in
+/// clip order on the caller's thread, making the result bit-identical to
+/// [`CamoTrainer::imitation_epoch`].
+pub fn imitation_epoch(
+    trainer: &CamoTrainer,
+    engine: &mut CamoEngine,
+    clips: &[Clip],
+    simulator: &LithoSimulator,
+    threads: usize,
+) -> f64 {
+    let snapshot: &CamoEngine = engine;
+    let episodes = parallel_map(threads, clips, |_, clip| {
+        trainer.imitation_episode(snapshot, clip, simulator)
+    });
+    CamoTrainer::finish_imitation_epoch(engine, &episodes)
+}
+
+/// One Phase-2 (modulated REINFORCE) epoch (as epoch 0) with per-clip
+/// episodes computed concurrently; returns the summed episode reward.
+/// Multi-epoch schedules should use [`reinforce_epoch_at`].
+pub fn reinforce_epoch(
+    trainer: &CamoTrainer,
+    engine: &mut CamoEngine,
+    clips: &[Clip],
+    simulator: &LithoSimulator,
+    threads: usize,
+) -> f64 {
+    reinforce_epoch_at(trainer, engine, clips, simulator, threads, 0)
+}
+
+/// One Phase-2 (modulated REINFORCE) epoch with per-clip episodes computed
+/// concurrently; returns the summed episode reward.
+///
+/// Each episode samples from its `(seed, epoch * clips.len() + clip_index)`
+/// derived generator, so scheduling cannot change the streams; the
+/// fixed-order reduction makes the result bit-identical to
+/// [`CamoTrainer::reinforce_epoch_at`].
+pub fn reinforce_epoch_at(
+    trainer: &CamoTrainer,
+    engine: &mut CamoEngine,
+    clips: &[Clip],
+    simulator: &LithoSimulator,
+    threads: usize,
+    epoch: usize,
+) -> f64 {
+    let snapshot: &CamoEngine = engine;
+    let base = epoch * clips.len();
+    let episodes = parallel_map(threads, clips, |clip_index, clip| {
+        trainer.reinforce_episode(snapshot, base + clip_index, clip, simulator)
+    });
+    CamoTrainer::finish_reinforce_epoch(engine, &episodes)
+}
+
+/// The full two-phase training schedule with every epoch's episodes run on
+/// the pool; bit-identical to [`CamoTrainer::train`] at any thread count.
+pub fn train(
+    trainer: &CamoTrainer,
+    engine: &mut CamoEngine,
+    clips: &[Clip],
+    simulator: &LithoSimulator,
+    threads: usize,
+) -> TrainingReport {
+    let imitation_epochs = engine.config().imitation_epochs;
+    let rl_epochs = engine.config().rl_epochs;
+    let mut report = TrainingReport::default();
+    for _ in 0..imitation_epochs {
+        report
+            .imitation_losses
+            .push(imitation_epoch(trainer, engine, clips, simulator, threads));
+    }
+    for epoch in 0..rl_epochs {
+        report.rl_rewards.push(reinforce_epoch_at(
+            trainer, engine, clips, simulator, threads, epoch,
+        ));
+    }
+    report
+}

@@ -1,0 +1,178 @@
+//! Determinism properties of the batch runtime: everything the pool
+//! computes must be bit-identical to the serial path for 1–4 threads.
+
+use camo::{CamoConfig, CamoEngine, CamoTrainer};
+use camo_baselines::{CalibreLikeOpc, OpcConfig, OpcEngine, RlOpc, RlOpcConfig};
+use camo_geometry::{Clip, FeatureConfig, Rect};
+use camo_litho::{LithoConfig, LithoSimulator};
+use camo_runtime::{imitation_epoch, optimize_batch, reinforce_epoch, sweep_cases};
+use proptest::prelude::*;
+
+/// A small via grid with `count` vias spread over the clip.
+fn batch_clips(count: usize, size: i64) -> Vec<Clip> {
+    (0..count)
+        .map(|i| {
+            let mut clip = Clip::new(Rect::new(0, 0, 900, 900));
+            let x = 205 + 60 * (i as i64 % 5);
+            let y = 255 + 90 * (i as i64 / 5);
+            clip.add_target(Rect::new(x, y, x + size, y + size).to_polygon());
+            if i % 2 == 1 {
+                clip.add_target(
+                    Rect::new(x + 280, y + 140, x + 280 + size, y + 140 + size).to_polygon(),
+                );
+            }
+            clip
+        })
+        .collect()
+}
+
+fn fast_opc(max_steps: usize) -> OpcConfig {
+    let mut opc = OpcConfig::via_layer();
+    opc.max_steps = max_steps;
+    opc
+}
+
+fn assert_outcomes_bit_identical(
+    serial: &[camo_baselines::OpcOutcome],
+    parallel: &[camo_baselines::OpcOutcome],
+    threads: usize,
+) {
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(parallel).enumerate() {
+        assert_eq!(
+            s.mask.offsets(),
+            p.mask.offsets(),
+            "clip {i} offsets diverged at {threads} threads"
+        );
+        assert_eq!(
+            s.result.epe.per_point, p.result.epe.per_point,
+            "clip {i} EPE diverged at {threads} threads"
+        );
+        assert_eq!(
+            s.result.pv_band.to_bits(),
+            p.result.pv_band.to_bits(),
+            "clip {i} PV band diverged at {threads} threads"
+        );
+        assert_eq!(s.steps, p.steps, "clip {i} step count diverged");
+        assert_eq!(
+            s.epe_trajectory, p.epe_trajectory,
+            "clip {i} trajectory diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `optimize_batch` with a CAMO engine template matches the serial loop
+    /// bit for bit, whatever the clip count and thread count.
+    #[test]
+    fn camo_optimize_batch_is_bit_identical_to_serial(
+        count in 2usize..6,
+        size in 60i64..90,
+        threads in 1usize..=4,
+    ) {
+        let clips = batch_clips(count, size);
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let engine = CamoEngine::new(fast_opc(2), CamoConfig::fast());
+        let serial: Vec<_> = clips
+            .iter()
+            .map(|clip| engine.clone().optimize(clip, &sim))
+            .collect();
+        let parallel = optimize_batch(&engine, &clips, &sim, threads);
+        assert_outcomes_bit_identical(&serial, &parallel, threads);
+    }
+
+    /// Parallel Phase-1 and Phase-2 epochs leave the policy in exactly the
+    /// state the serial trainer produces, for 1–4 threads.
+    #[test]
+    fn parallel_training_epochs_are_bit_identical_to_serial(threads in 1usize..=4) {
+        let clips = batch_clips(3, 70);
+        let sim = LithoSimulator::new(LithoConfig::fast());
+
+        let mut serial_engine = CamoEngine::new(fast_opc(2), CamoConfig::fast());
+        let mut serial_trainer = CamoTrainer::new(&serial_engine);
+        let mut pool_engine = CamoEngine::new(fast_opc(2), CamoConfig::fast());
+        let pool_trainer = CamoTrainer::new(&pool_engine);
+
+        for epoch in 0..2 {
+            let serial_loss = serial_trainer.imitation_epoch(&mut serial_engine, &clips, &sim);
+            let pool_loss = imitation_epoch(&pool_trainer, &mut pool_engine, &clips, &sim, threads);
+            assert_eq!(
+                serial_loss.to_bits(),
+                pool_loss.to_bits(),
+                "imitation loss diverged in epoch {epoch} at {threads} threads"
+            );
+        }
+        let serial_reward = serial_trainer.reinforce_epoch(&mut serial_engine, &clips, &sim);
+        let pool_reward = reinforce_epoch(&pool_trainer, &mut pool_engine, &clips, &sim, threads);
+        assert_eq!(
+            serial_reward.to_bits(),
+            pool_reward.to_bits(),
+            "REINFORCE reward diverged at {threads} threads"
+        );
+
+        let mask = serial_engine.opc_config().initial_mask(&clips[0]);
+        let graph = serial_engine.graph(&mask);
+        let features = serial_engine.node_features(&mask);
+        let serial_logits = serial_engine
+            .policy()
+            .forward_inference(&features, graph.adjacency());
+        let pool_logits = pool_engine
+            .policy()
+            .forward_inference(&features, graph.adjacency());
+        assert_eq!(
+            serial_logits, pool_logits,
+            "trained policies diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn baseline_engines_run_bit_identically_through_the_pool() {
+    let clips = batch_clips(4, 70);
+    let sim = LithoSimulator::new(LithoConfig::fast());
+
+    let calibre = CalibreLikeOpc::new(fast_opc(3));
+    let serial: Vec<_> = clips
+        .iter()
+        .map(|clip| calibre.clone().optimize(clip, &sim))
+        .collect();
+    for threads in 1..=4 {
+        let parallel = optimize_batch(&calibre, &clips, &sim, threads);
+        assert_outcomes_bit_identical(&serial, &parallel, threads);
+    }
+
+    let rl = RlOpc::new(
+        fast_opc(2),
+        RlOpcConfig {
+            features: FeatureConfig {
+                window: 300,
+                tensor_size: 8,
+            },
+            hidden: 16,
+            ..RlOpcConfig::default()
+        },
+    );
+    let serial: Vec<_> = clips
+        .iter()
+        .map(|clip| rl.clone().optimize(clip, &sim))
+        .collect();
+    let parallel = optimize_batch(&rl, &clips, &sim, 3);
+    assert_outcomes_bit_identical(&serial, &parallel, 3);
+}
+
+#[test]
+fn sweep_cases_preserves_names_and_order() {
+    let clips = batch_clips(3, 70);
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let engine = CalibreLikeOpc::new(fast_opc(1));
+    let cases: Vec<(String, Clip)> = clips
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (format!("case-{i}"), c))
+        .collect();
+    let results = sweep_cases(&engine, &cases, &sim, 2);
+    let names: Vec<&str> = results.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["case-0", "case-1", "case-2"]);
+}
