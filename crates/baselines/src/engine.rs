@@ -108,6 +108,16 @@ pub trait OpcEngine {
     fn name(&self) -> &str;
 
     /// Optimises the mask for `clip` using `simulator` for evaluation.
+    ///
+    /// The simulator is a shared handle: its immutable
+    /// [`camo_litho::LithoContext`] (kernel taps, thresholds, guard band)
+    /// and its workspace pool are common to every clip of a batch, so
+    /// engines should open evaluator sessions through it
+    /// ([`LithoSimulator::evaluator`] or the one-shot facade methods)
+    /// rather than construct per-clip simulators — sessions then borrow
+    /// the context and recycle pooled scratch buffers instead of paying
+    /// setup per clip. `&LithoSimulator` is `Sync`; batch runtimes hand
+    /// the same reference to every worker thread.
     fn optimize(&mut self, clip: &Clip, simulator: &LithoSimulator) -> OpcOutcome;
 }
 

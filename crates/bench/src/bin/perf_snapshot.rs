@@ -18,15 +18,26 @@
 //! thread count. CI runs `--quick --threads 1` and `--quick --threads 2`
 //! on every PR so batch-determinism or throughput regressions surface
 //! immediately.
+//!
+//! `--layout` adds the layout-scale section (it always runs in full mode):
+//! a generated multi-tile layout is swept through the tiler at 1/2 threads
+//! (tiles/s, verified bit-identical to whole-layout evaluation — exit 1 on
+//! divergence), and the context-reuse speedup of the batch path (one shared
+//! `LithoContext`/workspace pool vs a cold per-clip simulator) is measured;
+//! both are recorded in `BENCH_litho.json`. CI smokes
+//! `--quick --layout --threads 1` alongside the batch runs.
 
 use camo::{CamoConfig, CamoEngine};
 use camo_baselines::{OpcConfig, OpcEngine};
-use camo_litho::{reference, LithoConfig, LithoSimulator};
-use camo_runtime::optimize_batch;
-use camo_workloads::via_test_set;
+use camo_litho::{reference, LithoConfig, LithoSimulator, Tiler};
+use camo_runtime::{evaluate_layout, optimize_batch};
+use camo_workloads::{via_test_set, LayoutParams};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
+
+/// Core size of the layout-sweep benchmark tiles, nm.
+const LAYOUT_TILE_NM: i64 = 1500;
 
 fn mean_ns<F: FnMut()>(mut op: F, iters: usize) -> f64 {
     op(); // warm-up
@@ -56,8 +67,29 @@ struct BatchRow {
     clips_per_s: f64,
 }
 
+/// Tiled layout-sweep throughput at one pool size.
+struct LayoutRow {
+    threads: usize,
+    tiles_per_s: f64,
+}
+
+/// Context-reuse measurement: the serial batch path with one shared
+/// `LithoContext` + workspace pool vs a cold simulator per clip.
+struct ContextReuse {
+    clips: usize,
+    shared_s: f64,
+    cold_s: f64,
+}
+
+impl ContextReuse {
+    fn speedup(&self) -> f64 {
+        self.cold_s / self.shared_s
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let layout_mode = std::env::args().any(|a| a == "--layout") || !quick;
     let only_threads = std::env::args().any(|a| a == "--threads");
     let thread_counts: Vec<usize> = if only_threads {
         // 0 keeps its documented "all hardware threads" meaning; the row is
@@ -230,6 +262,94 @@ fn main() {
         });
     }
 
+    // Layout-scale section: tiled sweep throughput (verified bit-identical
+    // to whole-layout evaluation) plus the context-reuse speedup of the
+    // batch path.
+    let mut layout_rows: Vec<LayoutRow> = Vec::new();
+    let mut layout_meta: Option<(String, usize, usize, i64)> = None;
+    let mut context_reuse: Option<ContextReuse> = None;
+    if layout_mode {
+        let params = if quick {
+            LayoutParams::smoke()
+        } else {
+            LayoutParams::default()
+        };
+        let layout_case = camo_workloads::generate_layout("Lbench", &params, 9002);
+        let layout_mask = layout_case.initial_mask();
+        let tiler = Tiler::new(LAYOUT_TILE_NM);
+        let whole = sim.evaluate(&layout_mask);
+        let layout_threads: Vec<usize> = if only_threads {
+            thread_counts.clone()
+        } else {
+            vec![1, 2]
+        };
+        for &threads in &layout_threads {
+            let start = Instant::now();
+            let report = evaluate_layout(&sim, &layout_mask, &tiler, threads);
+            let secs = start.elapsed().as_secs_f64();
+            let epe_same = report.epe.per_point.len() == whole.epe.per_point.len()
+                && report
+                    .epe
+                    .per_point
+                    .iter()
+                    .zip(&whole.epe.per_point)
+                    .all(|(t, w)| t.to_bits() == w.to_bits());
+            if !epe_same || report.pv_band.to_bits() != whole.pv_band.to_bits() {
+                eprintln!(
+                    "TILING REGRESSION: tiled layout sweep with {threads} threads diverged \
+                     from whole-layout evaluation"
+                );
+                std::process::exit(1);
+            }
+            layout_meta = Some((
+                layout_case.clip.name().to_string(),
+                layout_case.via_count,
+                report.tiles,
+                tiler.tile_nm(),
+            ));
+            layout_rows.push(LayoutRow {
+                threads,
+                tiles_per_s: report.tiles as f64 / secs,
+            });
+        }
+
+        // Context reuse on the batch evaluation path: one shared simulator
+        // (context built once, workspaces pooled) sweeping every clip, vs a
+        // cold `LithoSimulator::new` per evaluation — which is what every
+        // session effectively paid before the shared-context refactor
+        // (per-session tap derivation + workspace allocation).
+        let eval_masks: Vec<camo_geometry::MaskState> = via_test_set()
+            .iter()
+            .map(|c| opc.initial_mask(&c.clip))
+            .collect();
+        // Quick smoke keeps the timed work small; the full run averages
+        // more reps since its numbers are persisted into BENCH_litho.json.
+        let reps = if quick { 3 } else { 5 };
+        for m in &eval_masks {
+            let _ = black_box(sim.evaluate(m)); // warm the pool
+        }
+        let start = Instant::now();
+        for _ in 0..reps {
+            for m in &eval_masks {
+                let _ = black_box(sim.evaluate(m));
+            }
+        }
+        let shared_s = start.elapsed().as_secs_f64() / reps as f64;
+        let start = Instant::now();
+        for _ in 0..reps {
+            for m in &eval_masks {
+                let cold_sim = LithoSimulator::new(config.clone());
+                let _ = black_box(cold_sim.evaluate(m));
+            }
+        }
+        let cold_s = start.elapsed().as_secs_f64() / reps as f64;
+        context_reuse = Some(ContextReuse {
+            clips: eval_masks.len(),
+            shared_s,
+            cold_s,
+        });
+    }
+
     // Human-readable report.
     println!(
         "perf snapshot — clip {} ({} segments), px{} guard {} nm",
@@ -262,6 +382,31 @@ fn main() {
         println!(
             "optimize_batch {:>2} thread(s)       {:>8.2} clips/s over {} clips (bit-identical to serial){}",
             b.threads, b.clips_per_s, b.clips, vs_serial
+        );
+    }
+    if let Some((name, vias, tiles, tile_nm)) = &layout_meta {
+        println!("layout sweep — {name} ({vias} vias, {tiles} tiles @ {tile_nm} nm cores)");
+        let layout_serial = layout_rows
+            .iter()
+            .find(|r| r.threads == 1)
+            .map(|r| r.tiles_per_s);
+        for r in &layout_rows {
+            let vs_serial = layout_serial
+                .map(|s| format!(", {:.2}x vs 1 thread", r.tiles_per_s / s))
+                .unwrap_or_default();
+            println!(
+                "evaluate_layout {:>2} thread(s)      {:>8.2} tiles/s (bit-identical to whole layout){}",
+                r.threads, r.tiles_per_s, vs_serial
+            );
+        }
+    }
+    if let Some(cr) = &context_reuse {
+        println!(
+            "context reuse (batch evaluate, {} clips): shared {:.4}s vs cold-per-clip {:.4}s ({:.2}x)",
+            cr.clips,
+            cr.shared_s,
+            cr.cold_s,
+            cr.speedup()
         );
     }
 
@@ -308,7 +453,45 @@ fn main() {
             "\n"
         });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    if let Some((name, vias, tiles, tile_nm)) = &layout_meta {
+        let layout_serial = layout_rows
+            .iter()
+            .find(|r| r.threads == 1)
+            .map(|r| r.tiles_per_s);
+        let _ = writeln!(
+            json,
+            "  \"layout\": {{\"name\": \"{name}\", \"vias\": {vias}, \"tiles\": {tiles}, \"tile_nm\": {tile_nm}, \"bit_identical_to_whole_layout\": true, \"rows\": ["
+        );
+        for (i, r) in layout_rows.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"op\": \"evaluate_layout\", \"threads\": {}, \"tiles_per_s\": {:.3}, \"speedup_vs_1_thread\": {}}}",
+                r.threads,
+                r.tiles_per_s,
+                layout_serial.map_or("null".to_string(), |s| format!("{:.2}", r.tiles_per_s / s)),
+            );
+            json.push_str(if i + 1 < layout_rows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("  ]},\n");
+    }
+    if let Some(cr) = &context_reuse {
+        let _ = writeln!(
+            json,
+            "  \"context_reuse\": {{\"op\": \"evaluate_batch_serial\", \"clips\": {}, \"shared_context_s\": {:.4}, \"cold_context_per_clip_s\": {:.4}, \"speedup\": {:.2}}}",
+            cr.clips,
+            cr.shared_s,
+            cr.cold_s,
+            cr.speedup()
+        );
+    } else {
+        json.push_str("  \"context_reuse\": null\n");
+    }
+    json.push_str("}\n");
     std::fs::write("BENCH_litho.json", &json).expect("write BENCH_litho.json");
     println!("\nwrote BENCH_litho.json");
 }

@@ -24,6 +24,14 @@
 //! [`CamoConfig::seed`](crate::CamoConfig) — so epoch results are
 //! bit-identical however the episodes are scheduled, while successive
 //! epochs still explore fresh streams.
+//!
+//! Every episode opens its evaluator session through the one shared
+//! `&LithoSimulator`: the simulator's immutable
+//! [`camo_litho::LithoContext`] (kernel taps derived once per
+//! configuration) and its workspace pool are common to the whole training
+//! run, so concurrent episodes borrow shared state instead of rebuilding
+//! per-episode simulation setup — a training run on `T` threads holds at
+//! most `T` workspaces regardless of epoch or clip count.
 
 use crate::engine::{action_to_move, move_to_action, CamoEngine};
 use camo_baselines::CalibreLikeOpc;

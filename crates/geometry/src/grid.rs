@@ -58,6 +58,61 @@ impl Raster {
         }
     }
 
+    /// Re-targets this raster at `region` (expanded to whole pixels, exactly
+    /// like [`Self::new`]) and zero-fills it, reusing the existing sample
+    /// allocation when its capacity suffices — the in-place counterpart of
+    /// [`Self::new`] for callers that recycle raster buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixel_size <= 0` or the region is empty.
+    pub fn reshape(&mut self, region: Rect, pixel_size: Coord) {
+        self.reshape_scratch(region, pixel_size);
+        self.data.fill(0.0);
+    }
+
+    /// Like [`Self::reshape`], but leaves the sample values **unspecified**
+    /// (stale data from the previous use may remain): pooled scratch rasters
+    /// whose consumers overwrite every sample before reading use this to
+    /// skip the zero-fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixel_size <= 0` or the region is empty.
+    pub fn reshape_scratch(&mut self, region: Rect, pixel_size: Coord) {
+        assert!(pixel_size > 0, "pixel size must be positive");
+        assert!(!region.is_empty(), "cannot rasterise an empty region");
+        let width = ((region.width() + pixel_size - 1) / pixel_size) as usize;
+        let height = ((region.height() + pixel_size - 1) / pixel_size) as usize;
+        self.reshape_scratch_with_dimensions(region.lower_left(), pixel_size, width, height);
+    }
+
+    /// Like [`Self::reshape_with_dimensions`], but leaves the sample values
+    /// unspecified (see [`Self::reshape_scratch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixel_size <= 0`.
+    pub fn reshape_scratch_with_dimensions(
+        &mut self,
+        origin: Point,
+        pixel_size: Coord,
+        width: usize,
+        height: usize,
+    ) {
+        assert!(pixel_size > 0, "pixel size must be positive");
+        self.origin = origin;
+        self.pixel_size = pixel_size;
+        self.width = width;
+        self.height = height;
+        let cells = width * height;
+        if self.data.len() < cells {
+            self.data.resize(cells, 0.0);
+        } else {
+            self.data.truncate(cells);
+        }
+    }
+
     /// Grid width in pixels.
     pub fn width(&self) -> usize {
         self.width
@@ -156,19 +211,19 @@ impl Raster {
 
     /// Bilinearly interpolated value at an arbitrary (sub-pixel) location
     /// given in nm. Outside the grid the nearest edge value is used.
+    ///
+    /// The pixel index and interpolation fraction are derived through an
+    /// exact integer/fraction decomposition, so the result is invariant
+    /// under translating the raster origin by whole pixels (two rasters
+    /// whose grids coincide sample bit-identically at the same absolute
+    /// location). Layout tiling relies on this for stitched EPE to match
+    /// whole-layout evaluation bit for bit.
     pub fn sample_bilinear(&self, x: f64, y: f64) -> f64 {
         if self.width == 0 || self.height == 0 {
             return 0.0;
         }
-        let p = self.pixel_size as f64;
-        let fx = ((x - self.origin.x as f64) / p - 0.5).clamp(0.0, (self.width - 1) as f64);
-        let fy = ((y - self.origin.y as f64) / p - 0.5).clamp(0.0, (self.height - 1) as f64);
-        let ix0 = fx.floor() as usize;
-        let iy0 = fy.floor() as usize;
-        let ix1 = (ix0 + 1).min(self.width - 1);
-        let iy1 = (iy0 + 1).min(self.height - 1);
-        let tx = fx - ix0 as f64;
-        let ty = fy - iy0 as f64;
+        let (ix0, ix1, tx) = bilinear_axis(x - self.origin.x as f64, self.pixel_size, self.width);
+        let (iy0, iy1, ty) = bilinear_axis(y - self.origin.y as f64, self.pixel_size, self.height);
         let v00 = self.get(ix0, iy0);
         let v10 = self.get(ix1, iy0);
         let v01 = self.get(ix0, iy1);
@@ -498,6 +553,43 @@ impl Raster {
     }
 }
 
+/// One axis of the bilinear lookup: pixel-centre coordinates place sample
+/// `i` at `origin + i·p + p/2`, so the interpolation cell for a point at
+/// distance `d` from the origin starts at `floor(d/p - 1/2)`.
+///
+/// The index/fraction split is computed as an exact decomposition
+/// `d - p/2 = i·p + frac`, `frac ∈ [0, p)`: all intermediate values stay on
+/// a dyadic grid for layout-scale magnitudes, so the fraction (and therefore
+/// the interpolated value) does not depend on where the raster origin sits —
+/// only on the sample's position relative to the pixel grid. The naive
+/// `(d/p - 0.5).floor()` formulation loses that invariance to division
+/// rounding.
+fn bilinear_axis(d: f64, pixel_size: Coord, n: usize) -> (usize, usize, f64) {
+    let p = pixel_size as f64;
+    let u = d - 0.5 * p;
+    let mut i = (u / p).floor();
+    let mut frac = u - i * p;
+    // The floored quotient can be off by one ulp around integer boundaries;
+    // renormalise so that `frac` is canonical in `[0, p)`.
+    if frac < 0.0 {
+        i -= 1.0;
+        frac += p;
+    } else if frac >= p {
+        i += 1.0;
+        frac -= p;
+    }
+    let last = n - 1;
+    if i < 0.0 {
+        // Clamp to the first pixel centre (nearest-edge extension).
+        return (0, 1.min(last), 0.0);
+    }
+    if i >= last as f64 {
+        return (last, last, 0.0);
+    }
+    let ix0 = i as usize;
+    (ix0, (ix0 + 1).min(last), frac / p)
+}
+
 /// A half-open rectangle of pixel indices `[x0, x1) × [y0, y1)` on a
 /// [`Raster`], used to restrict fills and convolutions to the region that
 /// actually changed.
@@ -791,6 +883,83 @@ mod tests {
                 y1: 6
             }
         );
+    }
+
+    #[test]
+    fn bilinear_sampling_is_invariant_under_grid_aligned_origins() {
+        // Two rasters whose pixel grids coincide must sample bit-identically
+        // at the same absolute location — the contract layout tiling builds
+        // its bit-exact stitching on.
+        let mut wide = Raster::new(Rect::new(-190, -190, 3195, 3195), 5);
+        for iy in 0..wide.height() {
+            for ix in 0..wide.width() {
+                let v = ((ix * 31 + iy * 17) % 97) as f64 / 97.0;
+                wide.set(ix, iy, v);
+            }
+        }
+        let mut narrow = Raster::new(Rect::new(810, 1005, 2310, 2505), 5);
+        for iy in 0..narrow.height() {
+            for ix in 0..narrow.width() {
+                let c = narrow.pixel_center(ix, iy);
+                narrow.set(ix, iy, wide.sample(c));
+            }
+        }
+        // Positions on the 0.5 nm lattice EPE measurement walks, well inside
+        // the narrow raster so no edge clamping triggers.
+        for k in 0..200 {
+            let x = 1200.0 + k as f64 * 3.5;
+            let y = 1300.0 + (k % 37) as f64 * 10.5;
+            let a = wide.sample_bilinear(x, y);
+            let b = narrow.sample_bilinear(x, y);
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "sample at ({x}, {y}) depends on the origin: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn bilinear_sampling_clamps_to_edges() {
+        let mut r = Raster::new(Rect::new(0, 0, 30, 30), 10);
+        for iy in 0..3 {
+            for ix in 0..3 {
+                r.set(ix, iy, (iy * 3 + ix) as f64);
+            }
+        }
+        // Far outside: nearest corner values.
+        assert_eq!(r.sample_bilinear(-100.0, -100.0), 0.0);
+        assert_eq!(r.sample_bilinear(100.0, 100.0), 8.0);
+        // Interior midpoint interpolates all four neighbours.
+        let mid = r.sample_bilinear(10.0, 10.0);
+        assert!((mid - 2.0).abs() < 1e-12, "expected 2.0, got {mid}");
+    }
+
+    #[test]
+    fn reshape_reuses_allocation_and_zero_fills() {
+        let mut r = Raster::new(Rect::new(0, 0, 100, 100), 10);
+        r.fill_rect(Rect::new(0, 0, 100, 100), 1.0);
+        let ptr = r.data().as_ptr();
+        r.reshape(Rect::new(200, 300, 245, 335), 5);
+        assert_eq!(r.origin(), Point::new(200, 300));
+        assert_eq!(r.pixel_size(), 5);
+        assert_eq!(r.width(), 9);
+        assert_eq!(r.height(), 7);
+        assert!(r.data().iter().all(|&v| v == 0.0), "reshape must zero-fill");
+        assert_eq!(ptr, r.data().as_ptr(), "smaller reshape must not realloc");
+        assert_eq!(r, Raster::new(Rect::new(200, 300, 245, 335), 5));
+    }
+
+    #[test]
+    fn reshape_scratch_keeps_geometry_but_not_values() {
+        let mut r = Raster::new(Rect::new(0, 0, 100, 100), 10);
+        r.fill_rect(Rect::new(0, 0, 100, 100), 1.0);
+        r.reshape_scratch(Rect::new(50, 50, 90, 90), 10);
+        // Geometry matches a fresh raster; values are unspecified (here the
+        // stale 1.0s survive, which is the point of the fast path).
+        let fresh = Raster::new(Rect::new(50, 50, 90, 90), 10);
+        assert_eq!(r.origin(), fresh.origin());
+        assert_eq!((r.width(), r.height()), (fresh.width(), fresh.height()));
+        assert_eq!(r.data().len(), fresh.data().len());
     }
 
     #[test]

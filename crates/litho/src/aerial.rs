@@ -67,7 +67,10 @@ pub fn aerial_image(mask_raster: &Raster, model: &OpticalModel, defocus_blur_nm:
     };
     let (w, h) = (mask_raster.width(), mask_raster.height());
     let mut taps = TapsCache::new(mask_raster.pixel_size());
-    let radius = taps.max_radius(model, defocus_blur_nm);
+    taps.populate(model, defocus_blur_nm);
+    let radius = taps
+        .max_radius(model, defocus_blur_nm)
+        .expect("taps just populated");
     let win = content.expanded(radius, w, h);
     let mut tmp = vec![0.0; w * h];
     let mut amp = vec![0.0; w * h];
@@ -78,7 +81,7 @@ pub fn aerial_image(mask_raster: &Raster, model: &OpticalModel, defocus_blur_nm:
         h,
         model,
         defocus_blur_nm,
-        &mut taps,
+        &taps,
         win,
         &mut tmp,
         &mut amp,

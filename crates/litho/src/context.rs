@@ -1,0 +1,140 @@
+//! The shared, immutable simulation context.
+//!
+//! Everything about a [`LithoConfig`] that is expensive to derive but
+//! identical for every clip lives here: discretised kernel taps for each
+//! process corner, per-corner print thresholds, the guard band and the
+//! per-blur kernel radii. A context is built **once** per configuration and
+//! then shared — `Arc`-cloned across threads, batches and long-lived
+//! serving processes — so per-clip evaluator sessions only borrow it.
+//!
+//! The tap cache is fully populated at construction and never mutated
+//! afterwards, so shared access needs no interior mutability or locking on
+//! the hot path (see [`TapsCache::lookup`]).
+
+use crate::pipeline::TapsCache;
+use crate::process::ProcessCorner;
+use crate::simulator::LithoConfig;
+use camo_geometry::Coord;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Count of contexts built process-wide; batch sharing is asserted against
+/// this counter (one batch, any clip count, exactly one build).
+static CONTEXT_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Immutable per-configuration simulation state, shared by every evaluator
+/// session created from the same [`crate::LithoSimulator`].
+#[derive(Debug, Clone)]
+pub struct LithoContext {
+    config: LithoConfig,
+    guard_band_nm: Coord,
+    taps: TapsCache,
+    /// `(blur bits, max kernel radius in pixels)` for every pre-populated
+    /// defocus blur — the corner set of the configuration.
+    known_blurs: Vec<(u64, usize)>,
+}
+
+impl LithoContext {
+    /// Builds the shared state for `config`: discretises every kernel at
+    /// every corner defocus, and caches the guard band. This is the only
+    /// place tap derivation happens for corner blurs.
+    pub fn new(config: LithoConfig) -> Self {
+        let guard_band_nm = config.guard_band_nm();
+        let mut taps = TapsCache::new(config.pixel_size);
+        let mut known_blurs = Vec::new();
+        let corner_blurs = [
+            0.0,
+            config.inner_corner.defocus_nm,
+            config.outer_corner.defocus_nm,
+        ];
+        for blur in corner_blurs {
+            if known_blurs.iter().any(|&(bits, _)| bits == blur.to_bits()) {
+                continue;
+            }
+            taps.populate(&config.optical, blur);
+            let radius = taps
+                .max_radius(&config.optical, blur)
+                .expect("taps just populated");
+            known_blurs.push((blur.to_bits(), radius));
+        }
+        CONTEXT_BUILDS.fetch_add(1, Ordering::Relaxed);
+        Self {
+            config,
+            guard_band_nm,
+            taps,
+            known_blurs,
+        }
+    }
+
+    /// Number of contexts built so far by this process. A whole batch (or
+    /// training run) over one simulator must add exactly 1.
+    pub fn build_count() -> usize {
+        CONTEXT_BUILDS.load(Ordering::Relaxed)
+    }
+
+    /// The configuration this context was built for.
+    pub fn config(&self) -> &LithoConfig {
+        &self.config
+    }
+
+    /// Cached guard band (see [`LithoConfig::guard_band_nm`]).
+    pub fn guard_band_nm(&self) -> Coord {
+        self.guard_band_nm
+    }
+
+    /// Effective print threshold under `corner` (dose scales the threshold).
+    pub fn threshold(&self, corner: ProcessCorner) -> f64 {
+        self.config.resist.dosed_threshold(corner.dose)
+    }
+
+    /// The shared, fully populated tap cache.
+    pub(crate) fn taps(&self) -> &TapsCache {
+        &self.taps
+    }
+
+    /// Largest kernel radius at `blur_nm`, or `None` when the blur is not in
+    /// the configured corner set (callers then fall back to a
+    /// workspace-local cache).
+    pub(crate) fn max_radius(&self, blur_nm: f64) -> Option<usize> {
+        let bits = blur_nm.to_bits();
+        self.known_blurs
+            .iter()
+            .find(|&&(b, _)| b == bits)
+            .map(|&(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::tap_derivation_count;
+
+    #[test]
+    fn context_populates_all_corner_blurs() {
+        // Unit tests share the process with concurrently running tests, so
+        // only lower bounds on the global counters are meaningful here; the
+        // exact once-per-batch accounting is asserted by the single-test
+        // `construction_count` integration binary.
+        let before = tap_derivation_count();
+        let builds = LithoContext::build_count();
+        let ctx = LithoContext::new(LithoConfig::default());
+        // Default config: two kernels × two distinct blurs (0.0 shared by
+        // nominal and the outer corner, 20.0 for the inner corner).
+        assert!(tap_derivation_count() - before >= 4);
+        assert!(LithoContext::build_count() - builds >= 1);
+        assert!(ctx.max_radius(0.0).is_some());
+        assert!(ctx.max_radius(20.0).is_some());
+        assert_eq!(ctx.max_radius(7.5), None);
+        assert_eq!(ctx.guard_band_nm(), ctx.config().guard_band_nm());
+    }
+
+    #[test]
+    fn context_thresholds_match_resist_model() {
+        let ctx = LithoContext::new(LithoConfig::default());
+        for corner in ProcessCorner::standard_set() {
+            assert_eq!(
+                ctx.threshold(corner),
+                ctx.config().resist.dosed_threshold(corner.dose)
+            );
+        }
+    }
+}

@@ -2,9 +2,10 @@
 //! to re-simulate only what changed.
 
 use crate::epe::{measure_epe, EpeReport};
-use crate::pipeline::{aerial_window, DerivedImage, SimWorkspace};
+use crate::pipeline::{aerial_window, DerivedImage, TapsCache};
+use crate::pool::PooledWorkspace;
 use crate::process::ProcessCorner;
-use crate::pvband::pv_band_area;
+use crate::pvband::{pv_band_area, pv_band_area_in};
 use crate::simulator::{LithoSimulator, SimulationResult};
 use camo_geometry::{Coord, MaskState, Raster, Rect};
 
@@ -33,25 +34,34 @@ use camo_geometry::{Coord, MaskState, Raster, Rect};
 /// eval.apply_moves(&moves); // incremental re-simulation
 /// assert!(eval.epe().total_abs() < before);
 /// ```
-#[derive(Debug, Clone)]
+///
+/// The session borrows the simulator's shared immutable
+/// [`crate::LithoContext`] (kernel taps, thresholds) and checks its
+/// [`crate::SimWorkspace`] out of the simulator's [`crate::WorkspacePool`];
+/// dropping the evaluator returns the workspace for the next session to
+/// reuse.
+#[derive(Debug)]
 pub struct MaskEvaluator<'a> {
     sim: &'a LithoSimulator,
     mask: MaskState,
-    ws: SimWorkspace,
+    ws: PooledWorkspace,
 }
 
 impl<'a> MaskEvaluator<'a> {
     pub(crate) fn new(sim: &'a LithoSimulator, mask: MaskState) -> Self {
-        let config = sim.config();
-        let region = crate::aerial::simulation_region(&mask, config.guard_band_nm());
-        let raster = Raster::new(region, config.pixel_size);
-        let ws = SimWorkspace::new(
-            raster,
-            config.pixel_size,
+        let ctx = sim.context();
+        let region = crate::aerial::simulation_region(&mask, ctx.guard_band_nm());
+        let ws = sim.pool().checkout(
+            region,
+            ctx.config().pixel_size,
             mask.clip().targets().len(),
             mask.segment_count(),
         );
-        let mut eval = Self { sim, mask, ws };
+        let mut eval = Self {
+            sim,
+            mask,
+            ws: PooledWorkspace::new(ws, sim.pool_arc()),
+        };
         eval.ws.reserve_row_acc();
         eval.full_rasterize();
         eval
@@ -127,6 +137,28 @@ impl<'a> MaskEvaluator<'a> {
         SimulationResult { epe, pv_band }
     }
 
+    /// PV-band area restricted to `region` (in nm; snapped outward to pixel
+    /// boundaries, clamped to the raster): the area printed under the outer
+    /// but not the inner corner, counted over that window only. Layout
+    /// tiling uses this to stitch per-tile PV contributions into an exact
+    /// layout total. Returns 0.0 when `region` misses the raster.
+    pub fn pv_band_in(&mut self, region: Rect) -> f64 {
+        let Some(win) = self.ws.raster.pixel_window(region) else {
+            return 0.0;
+        };
+        let config = self.sim.config();
+        let (inner_corner, outer_corner) = (config.inner_corner, config.outer_corner);
+        let inner_slot = self.ensure_slot(inner_corner.defocus_nm);
+        let outer_slot = self.ensure_slot(outer_corner.defocus_nm);
+        pv_band_area_in(
+            &self.ws.slots[inner_slot].img,
+            self.sim.threshold(inner_corner),
+            &self.ws.slots[outer_slot].img,
+            self.sim.threshold(outer_corner),
+            win,
+        )
+    }
+
     /// Aerial-intensity image under `corner` (cached per defocus value).
     pub fn aerial(&mut self, corner: ProcessCorner) -> &Raster {
         let slot = self.ensure_slot(corner.defocus_nm);
@@ -135,27 +167,27 @@ impl<'a> MaskEvaluator<'a> {
 
     /// Rebuilds the raster and every cached image from scratch.
     fn full_rasterize(&mut self) {
-        self.ws.raster.data_mut().fill(0.0);
-        let full = self.ws.raster.full_window();
+        let ws = &mut *self.ws;
+        ws.raster.data_mut().fill(0.0);
+        let full = ws.raster.full_window();
         let mut content: Option<Rect> = None;
         for i in 0..self.mask.clip().targets().len() {
-            let mut verts = std::mem::take(&mut self.ws.polys[i]);
+            let mut verts = std::mem::take(&mut ws.polys[i]);
             self.mask.moved_polygon_vertices(i, &mut verts);
-            self.ws
-                .raster
-                .fill_polygon_coverage_in(&verts, 1.0, full, &mut self.ws.cov);
+            ws.raster
+                .fill_polygon_coverage_in(&verts, 1.0, full, &mut ws.cov);
             content = union_rect(content, vertex_bbox(&verts));
-            self.ws.polys[i] = verts;
+            ws.polys[i] = verts;
         }
         for &sraf in self.mask.sraf_rects() {
-            self.ws.raster.fill_rect_coverage_in(sraf, 1.0, full);
+            ws.raster.fill_rect_coverage_in(sraf, 1.0, full);
             content = union_rect(content, Some(sraf));
         }
-        self.ws.content = content.and_then(|r| self.ws.raster.pixel_window(r));
-        if let Some(win) = self.ws.content {
-            self.ws.raster.clamp_window(win, 0.0, 1.0);
+        ws.content = content.and_then(|r| ws.raster.pixel_window(r));
+        if let Some(win) = ws.content {
+            ws.raster.clamp_window(win, 0.0, 1.0);
         }
-        for slot in &mut self.ws.slots {
+        for slot in &mut ws.slots {
             slot.valid = false;
             slot.pending = None;
         }
@@ -171,33 +203,33 @@ impl<'a> MaskEvaluator<'a> {
         // rect that misses the raster (or degenerates when snapped to pixel
         // boundaries) must still trigger a rebuild — early-returning would
         // leave the raster and every cached aerial image stale.
-        let Some(win) = self.ws.raster.pixel_window(dirty_nm) else {
+        let ws = &mut *self.ws;
+        let Some(win) = ws.raster.pixel_window(dirty_nm) else {
             self.full_rasterize();
             return;
         };
-        let total = self.ws.raster.width() * self.ws.raster.height();
+        let total = ws.raster.width() * ws.raster.height();
         if win.area() * 2 > total {
             self.full_rasterize();
             return;
         }
-        self.ws.raster.zero_window(win);
+        ws.raster.zero_window(win);
         for i in 0..self.mask.clip().targets().len() {
-            let mut verts = std::mem::take(&mut self.ws.polys[i]);
+            let mut verts = std::mem::take(&mut ws.polys[i]);
             self.mask.moved_polygon_vertices(i, &mut verts);
-            self.ws
-                .raster
-                .fill_polygon_coverage_in(&verts, 1.0, win, &mut self.ws.cov);
-            self.ws.polys[i] = verts;
+            ws.raster
+                .fill_polygon_coverage_in(&verts, 1.0, win, &mut ws.cov);
+            ws.polys[i] = verts;
         }
         for &sraf in self.mask.sraf_rects() {
-            self.ws.raster.fill_rect_coverage_in(sraf, 1.0, win);
+            ws.raster.fill_rect_coverage_in(sraf, 1.0, win);
         }
-        self.ws.raster.clamp_window(win, 0.0, 1.0);
-        self.ws.content = Some(match self.ws.content {
+        ws.raster.clamp_window(win, 0.0, 1.0);
+        ws.content = Some(match ws.content {
             Some(c) => c.union(&win),
             None => win,
         });
-        for slot in &mut self.ws.slots {
+        for slot in &mut ws.slots {
             if slot.valid {
                 slot.pending = Some(match slot.pending {
                     Some(p) => p.union(&win),
@@ -247,37 +279,54 @@ impl<'a> MaskEvaluator<'a> {
 
     /// Recomputes one cached image: over the content window when invalid,
     /// over the pending window (padded by the kernel radius) otherwise.
+    ///
+    /// Taps come from the shared immutable context for corner blurs (the hot
+    /// path — no locking, no mutation); blurs outside the corner set fall
+    /// back to the workspace-local `extra_taps` cache.
     fn refresh_slot(&mut self, index: usize) {
-        let (w, h) = (self.ws.width(), self.ws.height());
-        let model = &self.sim.config().optical;
-        let blur = f64::from_bits(self.ws.slots[index].blur_bits);
-        let radius = self.ws.taps.max_radius(model, blur);
-        let window = if !self.ws.slots[index].valid {
-            self.ws.slots[index].img.data_mut().fill(0.0);
-            self.ws.content.map(|c| c.expanded(radius, w, h))
+        let ctx = self.sim.context();
+        let model = &ctx.config().optical;
+        let ws = &mut *self.ws;
+        let (w, h) = (ws.raster.width(), ws.raster.height());
+        let blur = f64::from_bits(ws.slots[index].blur_bits);
+        let shared_radius = ctx.max_radius(blur);
+        let radius = match shared_radius {
+            Some(r) => r,
+            None => {
+                ws.extra_taps.populate(model, blur);
+                ws.extra_taps
+                    .max_radius(model, blur)
+                    .expect("extra taps just populated")
+            }
+        };
+        let window = if !ws.slots[index].valid {
+            ws.slots[index].img.data_mut().fill(0.0);
+            ws.content.map(|c| c.expanded(radius, w, h))
         } else {
-            self.ws.slots[index]
-                .pending
-                .map(|p| p.expanded(radius, w, h))
+            ws.slots[index].pending.map(|p| p.expanded(radius, w, h))
         };
         if let Some(win) = window {
-            let slot = &mut self.ws.slots[index];
+            let taps: &TapsCache = if shared_radius.is_some() {
+                ctx.taps()
+            } else {
+                &ws.extra_taps
+            };
             aerial_window(
-                self.ws.raster.data(),
+                ws.raster.data(),
                 w,
                 h,
                 model,
                 blur,
-                &mut self.ws.taps,
+                taps,
                 win,
-                &mut self.ws.tmp,
-                &mut self.ws.amp,
-                &mut self.ws.row_acc,
-                slot.img.data_mut(),
+                &mut ws.tmp,
+                &mut ws.amp,
+                &mut ws.row_acc,
+                ws.slots[index].img.data_mut(),
             );
         }
-        self.ws.slots[index].valid = true;
-        self.ws.slots[index].pending = None;
+        ws.slots[index].valid = true;
+        ws.slots[index].pending = None;
     }
 }
 

@@ -21,19 +21,42 @@
 //! [`SimulationResult`] (per-point EPE, total EPE, PV-band area), which is
 //! exactly the information the paper's engines consume from Calibre.
 //!
-//! # The scratch-buffer pipeline
+//! # Architecture: shared context, pooled workspaces, tiled layouts
 //!
-//! Evaluation runs on a reusable [`SimWorkspace`] ([`pipeline`]): masks are
-//! rasterised *analytically* (exact per-pixel area coverage, no intermediate
-//! 1 nm grid), kernels are discretised once per `(σ, defocus)` and cached,
-//! and convolution is windowed over the mask content with a branch-free
-//! interior. OPC loops hold a [`MaskEvaluator`] session
+//! Simulation state is split along the mutability boundary:
+//!
+//! * [`LithoContext`] ([`context`]) is the **shared immutable** half: the
+//!   configuration, the guard band, per-corner print thresholds and the
+//!   kernel taps discretised for every process corner. It is built once per
+//!   [`LithoConfig`] (inside [`LithoSimulator::new`]) and `Arc`-shared by
+//!   every session, batch worker and thread — hot-path tap lookup is a
+//!   plain immutable read, no locking, no interior mutability.
+//! * [`SimWorkspace`] ([`pipeline`]) is the **mutable** half: the mask
+//!   raster, convolution scratch and cached per-corner intensity images of
+//!   one evaluation session. Workspaces are recycled through the
+//!   simulator's [`WorkspacePool`] ([`pool`]): a session checks one out
+//!   (fully reset, buffers reused), and returns it on drop. Checkout never
+//!   blocks — an empty pool falls back to allocation — so a batch on `T`
+//!   threads converges to `T` workspaces for any number of clips.
+//!
+//! Evaluation itself is the scratch-buffer pipeline: masks are rasterised
+//! *analytically* (exact per-pixel area coverage, no intermediate 1 nm
+//! grid) and convolution is windowed over the mask content with a
+//! branch-free interior. OPC loops hold a [`MaskEvaluator`] session
 //! ([`LithoSimulator::evaluator`]): each [`MaskEvaluator::apply_moves`]
 //! re-simulates only the dirty rectangle the movements touched (padded by
 //! the kernel support), allocation-free in the steady state and bit-for-bit
 //! identical to full evaluation. The seed's original implementation is kept
 //! under the `reference-impl` feature as `reference` for parity tests and
 //! speedup tracking (`perf_snapshot`).
+//!
+//! On top of the session API, [`tiling`] scales to layouts larger than one
+//! clip: a [`Tiler`] splits a layout mask into overlapping tile clips (a
+//! pixel-aligned core grid grown by a guard-band halo), the tiles are swept
+//! like any batch of clips, and [`tiling::evaluate_layout`] stitches the
+//! per-tile EPE/PV-band results into a layout-level [`LayoutReport`] that
+//! is **bit-identical** to whole-layout evaluation (see the module docs for
+//! the invariants that make this exact rather than approximate).
 //!
 //! # Example
 //!
@@ -50,11 +73,13 @@
 //! ```
 
 pub mod aerial;
+pub mod context;
 pub mod contour;
 pub mod epe;
 pub mod evaluator;
 pub mod kernel;
 pub mod pipeline;
+pub mod pool;
 pub mod process;
 pub mod pvband;
 #[cfg(any(test, feature = "reference-impl"))]
@@ -62,15 +87,19 @@ pub mod reference;
 pub mod resist;
 pub mod simulator;
 pub mod sraf;
+pub mod tiling;
 
 pub use aerial::rasterize_mask;
+pub use context::LithoContext;
 pub use contour::{contour_cells, print_image};
 pub use epe::{measure_epe, EpeReport};
 pub use evaluator::MaskEvaluator;
 pub use kernel::{GaussianKernel, OpticalModel};
-pub use pipeline::SimWorkspace;
+pub use pipeline::{tap_derivation_count, SimWorkspace};
+pub use pool::WorkspacePool;
 pub use process::ProcessCorner;
-pub use pvband::pv_band_area;
+pub use pvband::{pv_band_area, pv_band_area_in};
 pub use resist::ResistModel;
 pub use simulator::{LithoConfig, LithoSimulator, SimulationResult};
 pub use sraf::{insert_srafs, SrafRules};
+pub use tiling::{LayoutReport, LayoutTile, TileEvaluation, Tiler};

@@ -20,7 +20,20 @@
 //!   implementation to ~1 ulp.
 
 use crate::kernel::{GaussianKernel, OpticalModel};
-use camo_geometry::{Coord, CoverageScratch, PixelWindow, Point, Raster};
+use camo_geometry::{Coord, CoverageScratch, PixelWindow, Point, Raster, Rect};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Count of kernel discretisations performed process-wide (each one is a
+/// `GaussianKernel::taps` derivation plus a cache insert). The shared
+/// [`crate::LithoContext`] pre-populates every corner's taps exactly once,
+/// so batch runs over any number of clips must not move this counter — the
+/// construction-count tests assert exactly that.
+static TAP_DERIVATIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of kernel-tap derivations performed so far by this process.
+pub fn tap_derivation_count() -> usize {
+    TAP_DERIVATIONS.load(Ordering::Relaxed)
+}
 
 /// One discretised kernel: taps plus derived constants reused every step.
 #[derive(Debug, Clone)]
@@ -42,6 +55,12 @@ impl CachedTaps {
 }
 
 /// Cache of discretised taps keyed by `(σ, defocus)` at a fixed pixel size.
+///
+/// Population ([`Self::populate`]) and lookup ([`Self::lookup`]) are split:
+/// the hot path only ever performs immutable lookups, so a fully populated
+/// cache can be shared across threads behind [`crate::LithoContext`] without
+/// interior mutability or locking. Entries are never evicted, so indices
+/// stay stable.
 #[derive(Debug, Clone)]
 pub(crate) struct TapsCache {
     pixel_size: Coord,
@@ -56,45 +75,56 @@ impl TapsCache {
         }
     }
 
-    /// Index of the cached taps for `kernel` at `blur`, discretising on the
-    /// first request. Entries are never evicted, so indices stay stable.
-    pub fn index_of(&mut self, kernel: &GaussianKernel, blur_nm: f64) -> usize {
+    pub fn pixel_size(&self) -> Coord {
+        self.pixel_size
+    }
+
+    /// Index of the cached taps for `kernel` at `blur`, or `None` when that
+    /// pair was never populated. Immutable — safe on the shared hot path.
+    pub fn lookup(&self, kernel: &GaussianKernel, blur_nm: f64) -> Option<usize> {
         let sigma_bits = kernel.sigma_nm.to_bits();
         let blur_bits = blur_nm.to_bits();
-        if let Some(i) = self
-            .entries
+        self.entries
             .iter()
             .position(|e| e.sigma_bits == sigma_bits && e.blur_bits == blur_bits)
-        {
-            return i;
-        }
-        let values = kernel.taps(self.pixel_size, blur_nm);
-        let mut sum = 0.0;
-        for &t in &values {
-            sum += t;
-        }
-        self.entries.push(CachedTaps {
-            sigma_bits,
-            blur_bits,
-            values,
-            sum,
-        });
-        self.entries.len() - 1
     }
 
     pub fn entry(&self, index: usize) -> &CachedTaps {
         &self.entries[index]
     }
 
-    /// Largest tap radius over the model's kernels at `blur` (populates the
-    /// cache as a side effect).
-    pub fn max_radius(&mut self, model: &OpticalModel, blur_nm: f64) -> usize {
+    /// Discretises every kernel of `model` at `blur` that is not already
+    /// cached. Construction/cold path only: context building calls this for
+    /// each process corner, workspaces only for blurs outside the corner set.
+    pub fn populate(&mut self, model: &OpticalModel, blur_nm: f64) {
+        for kernel in model.kernels() {
+            if self.lookup(kernel, blur_nm).is_some() {
+                continue;
+            }
+            TAP_DERIVATIONS.fetch_add(1, Ordering::Relaxed);
+            let values = kernel.taps(self.pixel_size, blur_nm);
+            let mut sum = 0.0;
+            for &t in &values {
+                sum += t;
+            }
+            self.entries.push(CachedTaps {
+                sigma_bits: kernel.sigma_nm.to_bits(),
+                blur_bits: blur_nm.to_bits(),
+                values,
+                sum,
+            });
+        }
+    }
+
+    /// Largest tap radius over the model's kernels at `blur`, or `None` when
+    /// any kernel is missing (the cache was not populated for this blur).
+    pub fn max_radius(&self, model: &OpticalModel, blur_nm: f64) -> Option<usize> {
         let mut radius = 0;
         for kernel in model.kernels() {
-            let idx = self.index_of(kernel, blur_nm);
+            let idx = self.lookup(kernel, blur_nm)?;
             radius = radius.max(self.entries[idx].radius());
         }
-        radius
+        Some(radius)
     }
 }
 
@@ -212,6 +242,14 @@ pub(crate) fn convolve_window(
 /// Recomputes the aerial intensity of `mask_data` inside `win`: zeroes the
 /// window, then accumulates `weight · amplitude²` per kernel, exactly as the
 /// full-frame computation would for those pixels.
+///
+/// `taps` must already hold every kernel of `model` at `blur_nm` (shared
+/// contexts pre-populate all corners; exotic blurs fall back to a
+/// workspace-local cache).
+///
+/// # Panics
+///
+/// Panics if `taps` is missing a kernel at `blur_nm`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn aerial_window(
     mask_data: &[f64],
@@ -219,7 +257,7 @@ pub(crate) fn aerial_window(
     h: usize,
     model: &OpticalModel,
     blur_nm: f64,
-    taps: &mut TapsCache,
+    taps: &TapsCache,
     win: PixelWindow,
     tmp: &mut [f64],
     amp: &mut [f64],
@@ -230,7 +268,9 @@ pub(crate) fn aerial_window(
         intensity[y * w + win.x0..y * w + win.x1].fill(0.0);
     }
     for kernel in model.kernels() {
-        let idx = taps.index_of(kernel, blur_nm);
+        let idx = taps
+            .lookup(kernel, blur_nm)
+            .expect("taps cache populated for this blur");
         let entry = taps.entry(idx);
         convolve_window(
             mask_data,
@@ -256,15 +296,22 @@ pub(crate) fn aerial_window(
 }
 
 /// The reusable scratch state of one evaluation session: the mask raster,
-/// convolution buffers, cached taps, polygon/coverage scratch and the
-/// derived intensity images (one per defocus value in use).
+/// convolution buffers, polygon/coverage scratch and the derived intensity
+/// images (one per defocus value in use).
+///
+/// Kernel taps live in the shared, immutable [`crate::LithoContext`]; the
+/// workspace only keeps a small `extra_taps` cache for blurs outside the
+/// configured corner set (a cold path). Workspaces are recycled through
+/// [`crate::WorkspacePool`]: [`Self::reset`] re-targets every buffer at a
+/// new clip geometry while keeping the allocations.
 #[derive(Debug, Clone)]
 pub struct SimWorkspace {
     pub(crate) raster: Raster,
     pub(crate) tmp: Vec<f64>,
     pub(crate) amp: Vec<f64>,
     pub(crate) row_acc: Vec<f64>,
-    pub(crate) taps: TapsCache,
+    /// Fallback taps for blurs the shared context was not built with.
+    pub(crate) extra_taps: TapsCache,
     pub(crate) polys: Vec<Vec<Point>>,
     pub(crate) cov: CoverageScratch,
     /// Pixel window known to contain all non-zero mask coverage.
@@ -302,7 +349,7 @@ impl SimWorkspace {
             tmp: vec![0.0; cells],
             amp: vec![0.0; cells],
             row_acc: Vec::new(),
-            taps: TapsCache::new(pixel_size),
+            extra_taps: TapsCache::new(pixel_size),
             polys: (0..polygon_count)
                 .map(|_| Vec::with_capacity(vertex_bound))
                 .collect(),
@@ -312,12 +359,69 @@ impl SimWorkspace {
         }
     }
 
-    pub(crate) fn width(&self) -> usize {
-        self.raster.width()
+    /// Builds a fresh workspace for the given session geometry (the pool's
+    /// allocation fallback).
+    pub(crate) fn for_geometry(
+        region: Rect,
+        pixel_size: Coord,
+        polygon_count: usize,
+        segment_count: usize,
+    ) -> Self {
+        Self::new(
+            Raster::new(region, pixel_size),
+            pixel_size,
+            polygon_count,
+            segment_count,
+        )
     }
 
-    pub(crate) fn height(&self) -> usize {
-        self.raster.height()
+    /// Fully resets this workspace for a new session over `region`: the
+    /// raster and cached images are re-targeted and invalidated, scratch
+    /// buffers are resized, and the content window is cleared — while every
+    /// allocation large enough is kept. After a reset the workspace behaves
+    /// exactly like a freshly built one.
+    ///
+    /// No buffer is eagerly zeroed: the session's initial full
+    /// rasterisation overwrites the mask raster, an invalidated image slot
+    /// is zero-filled before recomputation, and `tmp`/`amp` are strictly
+    /// overwrite-before-read within every convolution window. Skipping the
+    /// memsets is what makes a pooled checkout cheaper than a fresh
+    /// (lazily zeroed) allocation.
+    pub(crate) fn reset(
+        &mut self,
+        region: Rect,
+        pixel_size: Coord,
+        polygon_count: usize,
+        segment_count: usize,
+    ) {
+        self.raster.reshape_scratch(region, pixel_size);
+        let cells = self.raster.width() * self.raster.height();
+        resize_scratch(&mut self.tmp, cells);
+        resize_scratch(&mut self.amp, cells);
+        if self.extra_taps.pixel_size() != pixel_size {
+            self.extra_taps = TapsCache::new(pixel_size);
+        }
+        let vertex_bound = 2 * segment_count + 8;
+        for poly in &mut self.polys {
+            poly.clear();
+            if poly.capacity() < vertex_bound {
+                poly.reserve(vertex_bound - poly.len());
+            }
+        }
+        while self.polys.len() < polygon_count {
+            self.polys.push(Vec::with_capacity(vertex_bound));
+        }
+        self.content = None;
+        for slot in &mut self.slots {
+            slot.img.reshape_scratch_with_dimensions(
+                self.raster.origin(),
+                pixel_size,
+                self.raster.width(),
+                self.raster.height(),
+            );
+            slot.valid = false;
+            slot.pending = None;
+        }
     }
 
     /// Ensures `row_acc` can hold one window row of the raster.
@@ -325,5 +429,16 @@ impl SimWorkspace {
         if self.row_acc.len() < self.raster.width() {
             self.row_acc = vec![0.0; self.raster.width()];
         }
+    }
+}
+
+/// Resizes a scratch buffer to exactly `cells` elements without refilling
+/// the retained prefix (contents are unspecified; consumers overwrite
+/// before reading).
+fn resize_scratch(buf: &mut Vec<f64>, cells: usize) {
+    if buf.len() < cells {
+        buf.resize(cells, 0.0);
+    } else {
+        buf.truncate(cells);
     }
 }

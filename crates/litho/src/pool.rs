@@ -1,0 +1,198 @@
+//! The workspace pool: reusable [`SimWorkspace`] buffers shared by every
+//! evaluator session of one [`crate::LithoSimulator`].
+//!
+//! A batch run over N clips on T threads holds at most T sessions alive at
+//! once, so the pool converges to T workspaces regardless of N — every
+//! session checks a workspace out, and [`PooledWorkspace`]'s drop checks it
+//! back in. Checkout **never blocks**: an empty pool falls back to
+//! allocating a fresh workspace (and an over-full check-in simply drops the
+//! buffers), so pool exhaustion can degrade throughput but can never
+//! deadlock.
+
+use crate::pipeline::SimWorkspace;
+use camo_geometry::{Coord, Rect};
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// A lock-guarded free list of [`SimWorkspace`]s with allocation fallback.
+#[derive(Debug)]
+pub struct WorkspacePool {
+    idle: Mutex<Vec<SimWorkspace>>,
+    max_idle: usize,
+    reuses: AtomicUsize,
+    allocations: AtomicUsize,
+}
+
+impl WorkspacePool {
+    /// Creates a pool retaining at most `max_idle` idle workspaces; beyond
+    /// that, checked-in workspaces are dropped instead of cached.
+    pub fn new(max_idle: usize) -> Self {
+        Self {
+            idle: Mutex::new(Vec::new()),
+            max_idle,
+            reuses: AtomicUsize::new(0),
+            allocations: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured idle-retention cap.
+    pub fn max_idle(&self) -> usize {
+        self.max_idle
+    }
+
+    /// Number of idle workspaces currently cached.
+    pub fn idle_count(&self) -> usize {
+        self.lock_idle().len()
+    }
+
+    /// Checkouts served by recycling a pooled workspace.
+    pub fn reuse_count(&self) -> usize {
+        self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Checkouts served by allocating a fresh workspace (pool was empty).
+    pub fn allocation_count(&self) -> usize {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Takes a workspace sized/reset for the given session geometry. Served
+    /// from the free list when possible (the workspace is fully reset before
+    /// being handed out), otherwise freshly allocated — never blocks on an
+    /// exhausted pool.
+    pub(crate) fn checkout(
+        &self,
+        region: Rect,
+        pixel_size: Coord,
+        polygon_count: usize,
+        segment_count: usize,
+    ) -> SimWorkspace {
+        let recycled = self.lock_idle().pop();
+        match recycled {
+            Some(mut ws) => {
+                self.reuses.fetch_add(1, Ordering::Relaxed);
+                ws.reset(region, pixel_size, polygon_count, segment_count);
+                ws
+            }
+            None => {
+                self.allocations.fetch_add(1, Ordering::Relaxed);
+                SimWorkspace::for_geometry(region, pixel_size, polygon_count, segment_count)
+            }
+        }
+    }
+
+    /// Returns a workspace to the free list (dropped when the list is full).
+    pub(crate) fn checkin(&self, ws: SimWorkspace) {
+        let mut idle = self.lock_idle();
+        if idle.len() < self.max_idle {
+            idle.push(ws);
+        }
+    }
+
+    /// The free list is plain data, so a panic while the lock was held
+    /// cannot leave it inconsistent — recover from poisoning instead of
+    /// cascading the failure into every later session.
+    fn lock_idle(&self) -> std::sync::MutexGuard<'_, Vec<SimWorkspace>> {
+        self.idle.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Default for WorkspacePool {
+    fn default() -> Self {
+        Self::new(default_max_idle())
+    }
+}
+
+/// Default idle-retention cap: one workspace per hardware thread (with a
+/// little slack for nested one-shot sessions).
+pub(crate) fn default_max_idle() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        + 2
+}
+
+/// A [`SimWorkspace`] on loan from a [`WorkspacePool`]; dereferences to the
+/// workspace and checks it back in on drop.
+#[derive(Debug)]
+pub(crate) struct PooledWorkspace {
+    ws: Option<SimWorkspace>,
+    pool: Arc<WorkspacePool>,
+}
+
+impl PooledWorkspace {
+    pub(crate) fn new(ws: SimWorkspace, pool: Arc<WorkspacePool>) -> Self {
+        Self { ws: Some(ws), pool }
+    }
+}
+
+impl Deref for PooledWorkspace {
+    type Target = SimWorkspace;
+
+    fn deref(&self) -> &SimWorkspace {
+        self.ws.as_ref().expect("workspace present until drop")
+    }
+}
+
+impl DerefMut for PooledWorkspace {
+    fn deref_mut(&mut self) -> &mut SimWorkspace {
+        self.ws.as_mut().expect("workspace present until drop")
+    }
+}
+
+impl Drop for PooledWorkspace {
+    fn drop(&mut self) {
+        if let Some(ws) = self.ws.take() {
+            self.pool.checkin(ws);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> (Rect, Coord) {
+        (Rect::new(0, 0, 400, 400), 10)
+    }
+
+    #[test]
+    fn checkout_falls_back_to_allocation_when_empty() {
+        let pool = WorkspacePool::new(4);
+        let (region, px) = geometry();
+        // Nothing pooled: every checkout allocates, none blocks.
+        let a = pool.checkout(region, px, 1, 4);
+        let b = pool.checkout(region, px, 1, 4);
+        assert_eq!(pool.allocation_count(), 2);
+        assert_eq!(pool.reuse_count(), 0);
+        pool.checkin(a);
+        pool.checkin(b);
+        assert_eq!(pool.idle_count(), 2);
+        let _c = pool.checkout(region, px, 1, 4);
+        assert_eq!(pool.reuse_count(), 1);
+        assert_eq!(pool.idle_count(), 1);
+    }
+
+    #[test]
+    fn checkin_beyond_cap_drops_workspaces() {
+        let pool = WorkspacePool::new(1);
+        let (region, px) = geometry();
+        let a = pool.checkout(region, px, 1, 4);
+        let b = pool.checkout(region, px, 1, 4);
+        pool.checkin(a);
+        pool.checkin(b);
+        assert_eq!(pool.idle_count(), 1, "cap must bound the free list");
+    }
+
+    #[test]
+    fn pooled_guard_returns_workspace_on_drop() {
+        let pool = Arc::new(WorkspacePool::new(4));
+        let (region, px) = geometry();
+        {
+            let ws = pool.checkout(region, px, 1, 4);
+            let _guard = PooledWorkspace::new(ws, Arc::clone(&pool));
+            assert_eq!(pool.idle_count(), 0);
+        }
+        assert_eq!(pool.idle_count(), 1);
+    }
+}

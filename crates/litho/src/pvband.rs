@@ -1,6 +1,6 @@
 //! Process-variation band computation.
 
-use camo_geometry::Raster;
+use camo_geometry::{PixelWindow, Raster};
 
 /// Computes the PV-band area in nm²: the area printed under the *outer*
 /// corner but not under the *inner* corner.
@@ -16,16 +16,52 @@ pub fn pv_band_area(
     outer_intensity: &Raster,
     outer_threshold: f64,
 ) -> f64 {
+    pv_band_area_in(
+        inner_intensity,
+        inner_threshold,
+        outer_intensity,
+        outer_threshold,
+        inner_intensity.full_window(),
+    )
+}
+
+/// Computes the PV-band area inside one pixel window only, in nm².
+///
+/// Counting is per pixel and exact, so summing this over a partition of the
+/// image's pixels reproduces [`pv_band_area`] bit for bit — the property
+/// layout tiling uses to stitch per-tile PV contributions into the exact
+/// layout total.
+///
+/// # Panics
+///
+/// Panics if the image dimensions or pixel sizes differ, or the window
+/// exceeds the image.
+pub fn pv_band_area_in(
+    inner_intensity: &Raster,
+    inner_threshold: f64,
+    outer_intensity: &Raster,
+    outer_threshold: f64,
+    win: PixelWindow,
+) -> f64 {
     assert_eq!(inner_intensity.width(), outer_intensity.width());
     assert_eq!(inner_intensity.height(), outer_intensity.height());
     assert_eq!(inner_intensity.pixel_size(), outer_intensity.pixel_size());
+    assert!(
+        win.x1 <= inner_intensity.width() && win.y1 <= inner_intensity.height(),
+        "window exceeds the image"
+    );
     let px = inner_intensity.pixel_size() as f64;
+    let w = inner_intensity.width();
     let mut band_pixels = 0usize;
-    for (&i_in, &i_out) in inner_intensity.data().iter().zip(outer_intensity.data()) {
-        let printed_inner = i_in > inner_threshold;
-        let printed_outer = i_out > outer_threshold;
-        if printed_outer && !printed_inner {
-            band_pixels += 1;
+    for iy in win.y0..win.y1 {
+        let row_in = &inner_intensity.data()[iy * w + win.x0..iy * w + win.x1];
+        let row_out = &outer_intensity.data()[iy * w + win.x0..iy * w + win.x1];
+        for (&i_in, &i_out) in row_in.iter().zip(row_out) {
+            let printed_inner = i_in > inner_threshold;
+            let printed_outer = i_out > outer_threshold;
+            if printed_outer && !printed_inner {
+                band_pixels += 1;
+            }
         }
     }
     band_pixels as f64 * px * px
@@ -135,6 +171,51 @@ mod tests {
         let img = pv_band_image(&inner, t_in, &outer, t_out);
         let img_area = img.count_above(0.5) as f64 * 25.0;
         assert!((area - img_area).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_band_areas_partition_the_total() {
+        use camo_geometry::PixelWindow;
+        let mask = via_mask();
+        let raster = rasterize_mask(&mask, 5, 0);
+        let model = OpticalModel::default();
+        let resist = ResistModel::default();
+        let inner = aerial_image(&raster, &model, 20.0);
+        let outer = aerial_image(&raster, &model, 0.0);
+        let t_in = resist.dosed_threshold(0.96);
+        let t_out = resist.dosed_threshold(1.04);
+        let total = pv_band_area(&inner, t_in, &outer, t_out);
+        // Any partition of the pixel grid must sum to the exact total.
+        let (w, h) = (inner.width(), inner.height());
+        let split_x = w / 3;
+        let split_y = 2 * h / 3;
+        let windows = [
+            (0, 0, split_x, split_y),
+            (split_x, 0, w, split_y),
+            (0, split_y, split_x, h),
+            (split_x, split_y, w, h),
+        ];
+        let mut sum = 0.0;
+        for (x0, y0, x1, y1) in windows {
+            sum += pv_band_area_in(&inner, t_in, &outer, t_out, PixelWindow { x0, y0, x1, y1 });
+        }
+        assert_eq!(sum, total, "windowed sums must partition exactly");
+    }
+
+    #[test]
+    #[should_panic(expected = "window exceeds")]
+    fn windowed_band_area_rejects_oversized_window() {
+        use camo_geometry::PixelWindow;
+        let mask = via_mask();
+        let raster = rasterize_mask(&mask, 5, 0);
+        let img = aerial_image(&raster, &OpticalModel::default(), 0.0);
+        let win = PixelWindow {
+            x0: 0,
+            y0: 0,
+            x1: img.width() + 1,
+            y1: img.height(),
+        };
+        let _ = pv_band_area_in(&img, 0.5, &img, 0.5, win);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! The lithography-simulator facade used by every OPC engine.
 
+use crate::context::LithoContext;
 use crate::epe::EpeReport;
 use crate::evaluator::MaskEvaluator;
 use crate::kernel::OpticalModel;
+use crate::pool::{default_max_idle, WorkspacePool};
 use crate::process::ProcessCorner;
 use crate::pvband::pv_band_image;
 use crate::resist::ResistModel;
 use camo_geometry::{Coord, MaskState, Raster};
+use std::sync::Arc;
 
 /// Configuration of the lithography simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,20 +102,65 @@ impl SimulationResult {
 /// owns reusable scratch buffers and re-simulates only the region each
 /// update dirtied, which is what makes the per-step cost proportional to
 /// the change rather than to the clip.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Internally the simulator is two shared pieces: an immutable
+/// [`LithoContext`] (cached kernel taps, thresholds, guard band — built
+/// once per configuration) and a [`WorkspacePool`] of reusable
+/// [`crate::SimWorkspace`] buffers. Sessions borrow the context and check a
+/// workspace out of the pool, so a whole batch of clips — on any number of
+/// threads — shares one context and at most one workspace per live session.
+/// Cloning the simulator clones the `Arc`s, not the state.
+#[derive(Debug, Clone)]
 pub struct LithoSimulator {
-    config: LithoConfig,
+    context: Arc<LithoContext>,
+    pool: Arc<WorkspacePool>,
 }
 
 impl LithoSimulator {
-    /// Creates a simulator with the given configuration.
+    /// Creates a simulator with the given configuration, building the shared
+    /// context (tap derivation happens here, once).
     pub fn new(config: LithoConfig) -> Self {
-        Self { config }
+        Self::from_context(Arc::new(LithoContext::new(config)))
+    }
+
+    /// Creates a simulator over an existing shared context — long-lived
+    /// processes can hand one context to many simulators/front-ends.
+    pub fn from_context(context: Arc<LithoContext>) -> Self {
+        Self {
+            context,
+            pool: Arc::new(WorkspacePool::new(default_max_idle())),
+        }
+    }
+
+    /// Replaces the workspace pool's idle-retention cap (workspaces above
+    /// the cap are dropped on check-in rather than cached).
+    pub fn with_pool_capacity(mut self, max_idle: usize) -> Self {
+        self.pool = Arc::new(WorkspacePool::new(max_idle));
+        self
     }
 
     /// The active configuration.
     pub fn config(&self) -> &LithoConfig {
-        &self.config
+        self.context.config()
+    }
+
+    /// The shared immutable context backing every session.
+    pub fn context(&self) -> &LithoContext {
+        &self.context
+    }
+
+    /// The shared context as an `Arc`, for handing to other simulators.
+    pub fn context_arc(&self) -> Arc<LithoContext> {
+        Arc::clone(&self.context)
+    }
+
+    /// The workspace pool sessions draw their scratch buffers from.
+    pub fn pool(&self) -> &WorkspacePool {
+        &self.pool
+    }
+
+    pub(crate) fn pool_arc(&self) -> Arc<WorkspacePool> {
+        Arc::clone(&self.pool)
     }
 
     /// Opens an incremental evaluation session over a copy of `mask`.
@@ -123,7 +171,7 @@ impl LithoSimulator {
     /// Rasterises the mask at the configured pixel size (guard band
     /// included).
     pub fn rasterize(&self, mask: &MaskState) -> Raster {
-        crate::aerial::rasterize_mask(mask, self.config.pixel_size, self.config.guard_band_nm())
+        crate::aerial::rasterize_mask(mask, self.config().pixel_size, self.context.guard_band_nm())
     }
 
     /// Aerial image under an arbitrary process corner.
@@ -134,7 +182,7 @@ impl LithoSimulator {
 
     /// Effective print threshold under `corner` (dose scales the threshold).
     pub fn threshold(&self, corner: ProcessCorner) -> f64 {
-        self.config.resist.dosed_threshold(corner.dose)
+        self.context.threshold(corner)
     }
 
     /// Binary print image under `corner`.
@@ -157,14 +205,16 @@ impl LithoSimulator {
 
     /// PV-band binary image for visualisation (Figure 6 of the paper).
     pub fn pv_band_image(&self, mask: &MaskState) -> Raster {
+        let config = self.config();
+        let (inner_corner, outer_corner) = (config.inner_corner, config.outer_corner);
         let mut eval = self.evaluator(mask);
-        let inner = eval.aerial(self.config.inner_corner).clone();
-        let outer = eval.aerial(self.config.outer_corner).clone();
+        let inner = eval.aerial(inner_corner).clone();
+        let outer = eval.aerial(outer_corner).clone();
         pv_band_image(
             &inner,
-            self.threshold(self.config.inner_corner),
+            self.threshold(inner_corner),
             &outer,
-            self.threshold(self.config.outer_corner),
+            self.threshold(outer_corner),
         )
     }
 }
@@ -172,6 +222,14 @@ impl LithoSimulator {
 impl Default for LithoSimulator {
     fn default() -> Self {
         Self::new(LithoConfig::default())
+    }
+}
+
+/// Two simulators are equal when they simulate the same configuration; the
+/// pool and cached state are implementation detail.
+impl PartialEq for LithoSimulator {
+    fn eq(&self, other: &Self) -> bool {
+        self.config() == other.config()
     }
 }
 

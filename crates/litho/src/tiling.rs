@@ -1,0 +1,377 @@
+//! Layout tiling: sweep one large layout as a batch of overlapping clips.
+//!
+//! A full-layout mask is split into a grid of **core** cells that partition
+//! the layout region. Each core is grown by a **halo** (sized from the
+//! widest kernel's support and the EPE sampling reach) into an overlapping
+//! tile clip; the tile carries every polygon/SRAF whose moved geometry can
+//! reach the tile's simulation raster, with fragmentation and offsets
+//! *sliced* from the layout mask rather than recomputed. Tiles are then
+//! ordinary clips: the batch runtime can sweep them through
+//! `optimize_batch`/`sweep_cases`, and [`evaluate_layout`] stitches per-tile
+//! EPE/PV-band results back into one layout-level report.
+//!
+//! # Exactness
+//!
+//! Stitched results are **bit-identical** to whole-layout evaluation, not an
+//! approximation. Three invariants carry the proof:
+//!
+//! * **Grid alignment** — core boundaries and halos are multiples of the
+//!   pixel size, and tile regions are clamped to the layout region, so every
+//!   tile raster is a sub-grid of the layout raster (same pixel boundaries,
+//!   and the same outer edges wherever a tile touches the layout boundary).
+//!   Coverage fills and [`camo_geometry::Raster::sample_bilinear`] are
+//!   origin-translation invariant by construction, so identical geometry
+//!   yields identical bits.
+//! * **Support containment** — a tile includes every polygon whose moved
+//!   geometry intersects its raster, and the raster extends a full guard
+//!   band (the widest kernel's support) past the tile region. Every pixel
+//!   of the tile region therefore sees exactly the coverage and convolution
+//!   inputs the layout raster sees, and computes the identical intensity.
+//! * **Ownership partition** — each measure point is owned by exactly one
+//!   core (half-open cells, closed at the layout's upper edges), and the
+//!   halo exceeds the EPE search reach, so an owned point's sub-pixel
+//!   contour search reads only pixels from the identical-intensity zone.
+//!   PV-band windows extend cores to the raster edge along the layout
+//!   boundary, so the windows partition the layout raster's pixels and the
+//!   per-tile areas sum to the exact whole-layout PV band.
+
+use crate::epe::EpeReport;
+use crate::simulator::{LithoConfig, LithoSimulator};
+use camo_geometry::{Clip, Coord, Fragments, MaskState, MeasurePoint, Point, Rect, Segment};
+
+/// Splits layouts into overlapping tile clips on a pixel-aligned grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tiler {
+    tile_nm: Coord,
+    halo_override: Option<Coord>,
+}
+
+impl Tiler {
+    /// Creates a tiler with ~`tile_nm` × `tile_nm` cores (snapped up to
+    /// whole pixels per configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_nm <= 0`.
+    pub fn new(tile_nm: Coord) -> Self {
+        assert!(tile_nm > 0, "tile size must be positive");
+        Self {
+            tile_nm,
+            halo_override: None,
+        }
+    }
+
+    /// Overrides the derived halo (rounded up to whole pixels). Halos below
+    /// [`Self::halo_nm`]'s default forfeit the bit-identity guarantee for
+    /// measure points near core boundaries; larger halos only cost work.
+    pub fn with_halo(mut self, halo_nm: Coord) -> Self {
+        assert!(halo_nm >= 0, "halo must be non-negative");
+        self.halo_override = Some(halo_nm);
+        self
+    }
+
+    /// The requested core size in nm.
+    pub fn tile_nm(&self) -> Coord {
+        self.tile_nm
+    }
+
+    /// Core size snapped up to a whole number of pixels of `config`.
+    pub fn core_nm(&self, config: &LithoConfig) -> Coord {
+        let p = config.pixel_size;
+        ((self.tile_nm + p - 1) / p) * p
+    }
+
+    /// The halo each core is grown by, in nm: at least the widest kernel's
+    /// guard band and the EPE sampling reach (search range plus bilinear
+    /// support), rounded up to whole pixels.
+    pub fn halo_nm(&self, config: &LithoConfig) -> Coord {
+        let p = config.pixel_size;
+        let halo = match self.halo_override {
+            Some(h) => h,
+            None => {
+                let sample_reach = config.epe_search_range.ceil() as Coord + 2 * p;
+                config.guard_band_nm().max(sample_reach)
+            }
+        };
+        ((halo + p - 1) / p) * p
+    }
+
+    /// Grid dimensions `(cols, rows)` the tiler produces for `region`.
+    pub fn grid(&self, region: Rect, config: &LithoConfig) -> (usize, usize) {
+        let core = self.core_nm(config);
+        let cols = ((region.width() + core - 1) / core).max(1) as usize;
+        let rows = ((region.height() + core - 1) / core).max(1) as usize;
+        (cols, rows)
+    }
+}
+
+/// One tile of a layout: an overlapping clip plus the bookkeeping needed to
+/// stitch its results back into the layout report.
+#[derive(Debug, Clone)]
+pub struct LayoutTile {
+    /// Column of this tile in the core grid.
+    pub col: usize,
+    /// Row of this tile in the core grid.
+    pub row: usize,
+    /// The core cell this tile owns (cores partition the layout region).
+    pub core: Rect,
+    /// Window the tile's PV-band contribution is counted over: the core,
+    /// extended to the raster edge wherever it touches the layout boundary.
+    pub pv_region: Rect,
+    /// The tile mask: core + halo clip, polygons/SRAFs within reach of its
+    /// raster, fragmentation and offsets sliced from the layout mask.
+    pub mask: MaskState,
+    /// `(tile measure-point index, layout measure-point index)` for every
+    /// measure point owned by this tile's core.
+    pub point_map: Vec<(usize, usize)>,
+}
+
+/// Per-tile evaluation results, ready for stitching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileEvaluation {
+    /// EPE at every measure point of the tile (tile-local order).
+    pub epe: EpeReport,
+    /// PV-band area inside the tile's `pv_region`, nm².
+    pub pv_band: f64,
+}
+
+/// A stitched layout-level report: EPE per layout measure point (layout
+/// order) plus the exact layout PV band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutReport {
+    /// Per-measure-point EPE in the layout's measure-point order.
+    pub epe: EpeReport,
+    /// Total PV-band area over the layout raster, nm².
+    pub pv_band: f64,
+    /// Number of tiles evaluated.
+    pub tiles: usize,
+}
+
+/// Replicates [`camo_geometry::Raster::new`]'s outward rounding: the nm
+/// bounds of the raster a clip with `region` and `guard` produces.
+fn raster_bounds(region: Rect, guard: Coord, pixel_size: Coord) -> Rect {
+    let r = region.expanded(guard);
+    let w_px = (r.width() + pixel_size - 1) / pixel_size;
+    let h_px = (r.height() + pixel_size - 1) / pixel_size;
+    Rect::new(
+        r.x0,
+        r.y0,
+        r.x0 + w_px * pixel_size,
+        r.y0 + h_px * pixel_size,
+    )
+}
+
+/// Splits `layout` into overlapping tiles per `tiler`. Every measure point
+/// of the layout is owned by exactly one tile; polygon fragmentation and
+/// segment offsets are sliced from the layout mask, never recomputed.
+pub fn tile_layout(layout: &MaskState, config: &LithoConfig, tiler: &Tiler) -> Vec<LayoutTile> {
+    let region = layout.clip().region();
+    let p = config.pixel_size;
+    let guard = config.guard_band_nm();
+    let core_nm = tiler.core_nm(config);
+    let halo = tiler.halo_nm(config);
+    let (cols, rows) = tiler.grid(region, config);
+
+    // Contiguous segment (== measure point) range of each layout polygon.
+    let segs = &layout.fragments().segments;
+    let n_polys = layout.clip().targets().len();
+    let mut ranges: Vec<(usize, usize)> = vec![(0, 0); n_polys];
+    {
+        let mut i = 0;
+        while i < segs.len() {
+            let poly = segs[i].polygon;
+            let start = i;
+            while i < segs.len() && segs[i].polygon == poly {
+                i += 1;
+            }
+            ranges[poly] = (start, i);
+        }
+    }
+    // Moved geometry can reach `max_offset` past the target boundary (plus
+    // one for the corner jogs), so include polygons with that margin.
+    let reach = layout.max_offset() + 1;
+
+    let mut tiles = Vec::with_capacity(cols * rows);
+    for row in 0..rows {
+        for col in 0..cols {
+            let core = Rect::new(
+                region.x0 + col as Coord * core_nm,
+                region.y0 + row as Coord * core_nm,
+                if col + 1 == cols {
+                    region.x1
+                } else {
+                    region.x0 + (col as Coord + 1) * core_nm
+                },
+                if row + 1 == rows {
+                    region.y1
+                } else {
+                    region.y0 + (row as Coord + 1) * core_nm
+                },
+            );
+            let tile_region = core
+                .expanded(halo)
+                .intersection(&region)
+                .expect("core lies inside the layout region");
+            let bounds = raster_bounds(tile_region, guard, p);
+
+            let name = if layout.clip().name().is_empty() {
+                format!("t{col}_{row}")
+            } else {
+                format!("{}/t{col}_{row}", layout.clip().name())
+            };
+            let mut clip = Clip::with_name(tile_region, name);
+            let mut frags = Fragments::default();
+            let mut point_map = Vec::new();
+            let mut seg_sources: Vec<usize> = Vec::new();
+            let last_col = col + 1 == cols;
+            let last_row = row + 1 == rows;
+            for (poly_idx, target) in layout.clip().targets().iter().enumerate() {
+                if !target.bounding_box().expanded(reach).intersects(&bounds) {
+                    continue;
+                }
+                let tile_poly = clip.targets().len();
+                clip.add_target(target.clone());
+                let (start, end) = ranges[poly_idx];
+                for (layout_seg, s) in segs.iter().enumerate().take(end).skip(start) {
+                    let id = frags.segments.len();
+                    frags.segments.push(Segment {
+                        id,
+                        polygon: tile_poly,
+                        ..s.clone()
+                    });
+                    let mp = layout.fragments().measure_points[layout_seg];
+                    frags
+                        .measure_points
+                        .push(MeasurePoint { segment: id, ..mp });
+                    seg_sources.push(layout_seg);
+                    if core_owns(core, mp.location, last_col, last_row) {
+                        point_map.push((id, layout_seg));
+                    }
+                }
+            }
+            for &sraf in layout.sraf_rects() {
+                if sraf.intersects(&bounds) {
+                    clip.add_sraf(sraf);
+                }
+            }
+
+            let mut mask = MaskState::new(clip, frags);
+            mask.set_max_offset(layout.max_offset());
+            // Copy the layout's per-segment offsets onto the sliced
+            // segments (moving from zero adds the offset exactly, and the
+            // clamp matches the layout's).
+            for (id, &src) in seg_sources.iter().enumerate() {
+                let offset = layout.offsets()[src];
+                if offset != 0 {
+                    mask.move_segment(id, offset);
+                }
+            }
+            tiles.push(LayoutTile {
+                col,
+                row,
+                core,
+                pv_region: Rect::new(
+                    if core.x0 == region.x0 {
+                        bounds.x0
+                    } else {
+                        core.x0
+                    },
+                    if core.y0 == region.y0 {
+                        bounds.y0
+                    } else {
+                        core.y0
+                    },
+                    if core.x1 == region.x1 {
+                        bounds.x1
+                    } else {
+                        core.x1
+                    },
+                    if core.y1 == region.y1 {
+                        bounds.y1
+                    } else {
+                        core.y1
+                    },
+                ),
+                mask,
+                point_map,
+            });
+        }
+    }
+    tiles
+}
+
+/// True when `core` owns a measure point at `location`: half-open cells,
+/// closed at the layout's upper edges so boundary points stay covered.
+fn core_owns(core: Rect, location: Point, last_col: bool, last_row: bool) -> bool {
+    let x_hi = if last_col {
+        location.x <= core.x1
+    } else {
+        location.x < core.x1
+    };
+    let y_hi = if last_row {
+        location.y <= core.y1
+    } else {
+        location.y < core.y1
+    };
+    location.x >= core.x0 && location.y >= core.y0 && x_hi && y_hi
+}
+
+/// Evaluates one tile: EPE at every tile measure point plus the PV band over
+/// the tile's stitching window.
+pub fn evaluate_tile(sim: &LithoSimulator, tile: &LayoutTile) -> TileEvaluation {
+    let mut eval = sim.evaluator(&tile.mask);
+    let epe = eval.epe();
+    let pv_band = eval.pv_band_in(tile.pv_region);
+    TileEvaluation { epe, pv_band }
+}
+
+/// Stitches per-tile evaluations into a layout-level report.
+///
+/// # Panics
+///
+/// Panics if `evals` does not match `tiles`, or the tiles do not cover every
+/// measure point of `layout` exactly once.
+pub fn stitch_layout(
+    layout: &MaskState,
+    tiles: &[LayoutTile],
+    evals: &[TileEvaluation],
+    search_range: f64,
+) -> LayoutReport {
+    assert_eq!(tiles.len(), evals.len(), "one evaluation per tile");
+    let n = layout.fragments().measure_points.len();
+    let mut per_point: Vec<Option<f64>> = vec![None; n];
+    let mut pv_band = 0.0;
+    for (tile, eval) in tiles.iter().zip(evals) {
+        pv_band += eval.pv_band;
+        for &(tile_idx, layout_idx) in &tile.point_map {
+            let slot = &mut per_point[layout_idx];
+            assert!(
+                slot.is_none(),
+                "measure point {layout_idx} owned by more than one tile"
+            );
+            *slot = Some(eval.epe.per_point[tile_idx]);
+        }
+    }
+    let per_point: Vec<f64> = per_point
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| v.unwrap_or_else(|| panic!("measure point {i} not owned by any tile")))
+        .collect();
+    LayoutReport {
+        epe: EpeReport {
+            per_point,
+            search_range,
+        },
+        pv_band,
+        tiles: tiles.len(),
+    }
+}
+
+/// Evaluates a layout by tiling it and stitching the per-tile results —
+/// bit-identical to whole-layout evaluation (see the module docs). Serial;
+/// the batch runtime provides the parallel counterpart.
+pub fn evaluate_layout(sim: &LithoSimulator, layout: &MaskState, tiler: &Tiler) -> LayoutReport {
+    let tiles = tile_layout(layout, sim.config(), tiler);
+    let evals: Vec<TileEvaluation> = tiles.iter().map(|t| evaluate_tile(sim, t)).collect();
+    stitch_layout(layout, &tiles, &evals, sim.config().epe_search_range)
+}

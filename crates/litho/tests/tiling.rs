@@ -1,0 +1,170 @@
+//! Property tests of layout tiling: stitched tile evaluation must be
+//! **bit-identical** to whole-layout evaluation — EPE at every measure
+//! point with |Δ| = 0, and the exact same PV-band area.
+
+use camo_geometry::{Clip, Coord, FragmentationParams, MaskState, Rect};
+use camo_litho::tiling::{evaluate_layout, evaluate_tile, stitch_layout, tile_layout};
+use camo_litho::{LithoConfig, LithoSimulator, Tiler};
+use proptest::prelude::*;
+
+/// A layout-sized clip with vias on a jittered grid; `picks` selects which
+/// grid cells are populated and the jitter within each cell.
+fn layout_mask(size: Coord, picks: &[(bool, i64, i64)], offsets_seed: &[i64]) -> MaskState {
+    let mut clip = Clip::with_name(Rect::new(0, 0, size, size), "L");
+    let cell = 400;
+    let cells_per_side = ((size - 200) / cell).max(1);
+    let mut idx = 0;
+    for gy in 0..cells_per_side {
+        for gx in 0..cells_per_side {
+            let Some(&(on, jx, jy)) = picks.get(idx) else {
+                break;
+            };
+            idx += 1;
+            if !on {
+                continue;
+            }
+            let x = 100 + gx * cell + 40 + jx;
+            let y = 100 + gy * cell + 40 + jy;
+            clip.add_target(Rect::new(x, y, x + 70, y + 70).to_polygon());
+        }
+    }
+    // Always include one via hugging the layout boundary: its measure
+    // points sample into the guard ring, the hardest stitching case.
+    clip.add_target(Rect::new(0, size / 2, 70, size / 2 + 70).to_polygon());
+    clip.add_sraf(Rect::new(size / 2, 150, size / 2 + 20, 220));
+
+    let mut mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+    let n = mask.segment_count();
+    if n > 0 && !offsets_seed.is_empty() {
+        let moves: Vec<Coord> = (0..n)
+            .map(|i| offsets_seed[i % offsets_seed.len()])
+            .collect();
+        mask.apply_moves(&moves);
+    }
+    mask
+}
+
+fn assert_tiling_matches_whole(sim: &LithoSimulator, mask: &MaskState, tiler: &Tiler) {
+    let whole = sim.evaluate(mask);
+    let tiled = evaluate_layout(sim, mask, tiler);
+    assert_eq!(
+        tiled.epe.per_point.len(),
+        whole.epe.per_point.len(),
+        "stitched report must cover every measure point"
+    );
+    for (i, (t, w)) in tiled
+        .epe
+        .per_point
+        .iter()
+        .zip(&whole.epe.per_point)
+        .enumerate()
+    {
+        assert!(
+            t.to_bits() == w.to_bits(),
+            "EPE at measure point {i} diverged: tiled {t} vs whole {w} (Δ = {})",
+            (t - w).abs()
+        );
+    }
+    assert!(
+        tiled.pv_band.to_bits() == whole.pv_band.to_bits(),
+        "PV band diverged: tiled {} vs whole {}",
+        tiled.pv_band,
+        whole.pv_band
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random layouts, random offsets, random (valid) tile sizes: stitched
+    /// tiled evaluation equals whole-layout evaluation bit for bit.
+    #[test]
+    fn tiled_evaluation_is_bit_identical_to_whole_layout(
+        picks in prop::collection::vec((prop::bool::ANY, 0i64..=260, 0i64..=260), 36),
+        offsets in prop::collection::vec(-4i64..=6, 1..6),
+        tile_nm in 700i64..=1600,
+    ) {
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let mask = layout_mask(2600, &picks, &offsets);
+        let tiler = Tiler::new(tile_nm);
+        assert_tiling_matches_whole(&sim, &mask, &tiler);
+    }
+}
+
+#[test]
+fn single_tile_layout_reproduces_whole_evaluation() {
+    // A tiler whose core swallows the whole layout degenerates to exactly
+    // one tile covering the layout raster.
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let mask = layout_mask(
+        2000,
+        &[(true, 100, 50), (true, 30, 200), (true, 250, 10)],
+        &[2, -1],
+    );
+    let tiler = Tiler::new(10_000);
+    let tiles = tile_layout(&mask, sim.config(), &tiler);
+    assert_eq!(tiles.len(), 1);
+    assert_tiling_matches_whole(&sim, &mask, &tiler);
+}
+
+#[test]
+fn tiling_covers_every_measure_point_exactly_once() {
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let mask = layout_mask(
+        2600,
+        &[(true, 0, 0), (true, 130, 130), (true, 260, 260)],
+        &[1],
+    );
+    let tiler = Tiler::new(900);
+    let tiles = tile_layout(&mask, sim.config(), &tiler);
+    assert!(tiles.len() > 1, "expected a multi-tile grid");
+    let mut owned = vec![0usize; mask.fragments().measure_points.len()];
+    for tile in &tiles {
+        for &(tile_idx, layout_idx) in &tile.point_map {
+            assert!(tile_idx < tile.mask.fragments().measure_points.len());
+            owned[layout_idx] += 1;
+        }
+    }
+    assert!(
+        owned.iter().all(|&c| c == 1),
+        "ownership must partition: {owned:?}"
+    );
+}
+
+#[test]
+fn metal_layer_layout_tiles_bit_identically() {
+    // Metal-style fragmentation (many segments per edge, measure points on
+    // a 60 nm pitch) exercises point ownership much more densely than vias.
+    let mut clip = Clip::with_name(Rect::new(0, 0, 2400, 2400), "M");
+    clip.add_target(Rect::new(200, 300, 2200, 350).to_polygon());
+    clip.add_target(Rect::new(200, 500, 1100, 550).to_polygon());
+    clip.add_target(Rect::new(1300, 500, 2200, 550).to_polygon());
+    clip.add_target(Rect::new(400, 900, 450, 2100).to_polygon());
+    let mut mask = MaskState::from_clip(&clip, &FragmentationParams::metal_layer());
+    let n = mask.segment_count();
+    let moves: Vec<Coord> = (0..n).map(|i| [2, -1, 0, 1][i % 4]).collect();
+    mask.apply_moves(&moves);
+
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    assert_tiling_matches_whole(&sim, &mask, &Tiler::new(800));
+}
+
+#[test]
+fn stitch_panics_on_missing_coverage() {
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let mask = layout_mask(2000, &[(true, 100, 100)], &[]);
+    let tiler = Tiler::new(900);
+    let tiles = tile_layout(&mask, sim.config(), &tiler);
+    let evals: Vec<_> = tiles.iter().map(|t| evaluate_tile(&sim, t)).collect();
+    // Dropping a tile's ownership must be detected at stitch time.
+    let mut broken = tiles.clone();
+    let victim = broken
+        .iter_mut()
+        .find(|t| !t.point_map.is_empty())
+        .expect("some tile owns points");
+    victim.point_map.clear();
+    let result = std::panic::catch_unwind(|| {
+        stitch_layout(&mask, &broken, &evals, sim.config().epe_search_range)
+    });
+    assert!(result.is_err(), "stitching an incomplete cover must panic");
+}

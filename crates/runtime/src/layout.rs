@@ -1,0 +1,64 @@
+//! Layout-scale sweeps on the worker pool: tile a large layout with
+//! [`camo_litho::tiling`], evaluate or optimise the tiles as an ordinary
+//! clip batch, and stitch the results back into one layout-level report.
+//!
+//! Everything here inherits both determinism contracts: tile evaluation is
+//! bit-identical to whole-layout evaluation (the tiler's guarantee), and
+//! the pool returns results in tile order, so any thread count produces the
+//! identical stitched report.
+
+use crate::pool::parallel_map;
+use camo_baselines::{OpcEngine, OpcOutcome};
+use camo_geometry::MaskState;
+use camo_litho::tiling::{evaluate_tile, stitch_layout, tile_layout};
+use camo_litho::{LayoutReport, LithoSimulator, Tiler};
+
+/// Evaluates a layout mask by sweeping its tiles over up to `threads`
+/// workers and stitching the per-tile results. Bit-identical to
+/// [`camo_litho::tiling::evaluate_layout`] (and therefore to whole-layout
+/// evaluation) at any thread count; the whole sweep shares the simulator's
+/// context and at most `threads` pooled workspaces.
+pub fn evaluate_layout(
+    sim: &LithoSimulator,
+    layout: &MaskState,
+    tiler: &Tiler,
+    threads: usize,
+) -> LayoutReport {
+    let tiles = tile_layout(layout, sim.config(), tiler);
+    let evals = parallel_map(threads, &tiles, |_, tile| evaluate_tile(sim, tile));
+    stitch_layout(layout, &tiles, &evals, sim.config().epe_search_range)
+}
+
+/// Optimises a layout tile-by-tile: every tile clip is handed to its own
+/// clone of `engine` on the worker pool (exactly like
+/// [`crate::sweep_cases`]), returning `(tile name, outcome)` pairs in tile
+/// order. Halo regions overlap between neighbouring tiles, so outcomes
+/// describe per-tile masks; interior measure points are authoritative for
+/// their owning tile.
+///
+/// Engines receive only the tile **clip** and build their own initial mask
+/// from it (per [`OpcEngine::optimize`]'s contract), so any segment offsets
+/// already applied to `layout` seed tiled *evaluation*
+/// ([`evaluate_layout`]) but are not a starting point for optimisation —
+/// exactly as [`crate::optimize_batch`] treats ordinary clips.
+pub fn sweep_layout<E>(
+    engine: &E,
+    layout: &MaskState,
+    tiler: &Tiler,
+    sim: &LithoSimulator,
+    threads: usize,
+) -> Vec<(String, OpcOutcome)>
+where
+    E: OpcEngine + Clone + Sync,
+{
+    let tiles = tile_layout(layout, sim.config(), tiler);
+    let outcomes = parallel_map(threads, &tiles, |_, tile| {
+        let mut worker = engine.clone();
+        worker.optimize(tile.mask.clip(), sim)
+    });
+    tiles
+        .iter()
+        .map(|t| t.mask.clip().name().to_string())
+        .zip(outcomes)
+        .collect()
+}

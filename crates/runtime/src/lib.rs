@@ -11,7 +11,16 @@
 //!   [`parallel_map`] with dynamic work claiming but input-ordered results;
 //! * [`batch`] — [`optimize_batch`] / [`sweep_cases`] for multi-clip
 //!   inference, and [`imitation_epoch`] / [`reinforce_epoch`] / [`train`]
-//!   for training with per-clip episodes computed concurrently.
+//!   for training with per-clip episodes computed concurrently;
+//! * [`layout`] — [`evaluate_layout`] / [`sweep_layout`] for layouts larger
+//!   than one clip, tiled by [`camo_litho::tiling`] and swept as an
+//!   ordinary clip batch.
+//!
+//! Every clip (or tile) in a batch shares one immutable
+//! [`camo_litho::LithoContext`] — kernel taps are derived once per
+//! configuration, never per clip — and scratch buffers come from the
+//! simulator's [`camo_litho::WorkspacePool`], so a sweep holds at most one
+//! workspace per live session regardless of batch size.
 //!
 //! # Determinism contract
 //!
@@ -51,9 +60,11 @@
 //! ```
 
 pub mod batch;
+pub mod layout;
 pub mod pool;
 
 pub use batch::{
     imitation_epoch, optimize_batch, reinforce_epoch, reinforce_epoch_at, sweep_cases, train,
 };
+pub use layout::{evaluate_layout, sweep_layout};
 pub use pool::{available_threads, parallel_map, scope, Scope};

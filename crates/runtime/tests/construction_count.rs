@@ -1,0 +1,77 @@
+//! Construction-count accounting for the shared litho context: one batch —
+//! any clip count, any thread count — builds exactly one [`LithoContext`]
+//! and derives kernel taps exactly once per (kernel, corner blur).
+//!
+//! This file deliberately holds a single `#[test]` so it runs alone in its
+//! process: the assertions are exact deltas of process-wide counters, which
+//! concurrent tests would perturb.
+
+use camo::{CamoConfig, CamoEngine};
+use camo_baselines::OpcConfig;
+use camo_geometry::{Clip, Rect};
+use camo_litho::{tap_derivation_count, LithoConfig, LithoContext, LithoSimulator};
+use camo_runtime::optimize_batch;
+
+#[test]
+fn one_batch_builds_one_context_and_derives_taps_once() {
+    let clips: Vec<Clip> = (0..6)
+        .map(|i| {
+            let mut clip = Clip::new(Rect::new(0, 0, 900, 900));
+            let x = 300 + 20 * i;
+            clip.add_target(Rect::new(x, 415, x + 70, 485).to_polygon());
+            clip
+        })
+        .collect();
+
+    let contexts_before = LithoContext::build_count();
+    let taps_before = tap_derivation_count();
+
+    let config = LithoConfig::fast();
+    let kernels = config.optical.kernels().len();
+    let simulator = LithoSimulator::new(config);
+
+    // Building the simulator derives taps for the corner blur set (0.0
+    // shared by nominal + outer, plus the inner corner's defocus) — and
+    // nothing else ever does.
+    let distinct_blurs = 2;
+    assert_eq!(LithoContext::build_count() - contexts_before, 1);
+    assert_eq!(
+        tap_derivation_count() - taps_before,
+        kernels * distinct_blurs
+    );
+
+    let mut opc = OpcConfig::via_layer();
+    opc.max_steps = 2;
+    let engine = CamoEngine::new(opc, CamoConfig::fast());
+    for threads in [1, 2, 4] {
+        let outcomes = optimize_batch(&engine, &clips, &simulator, threads);
+        assert_eq!(outcomes.len(), clips.len());
+    }
+
+    // The entire batch — 6 clips × 3 thread counts, every one of which
+    // opens evaluator sessions — shared the one context: no further
+    // context builds, no per-clip tap derivation.
+    assert_eq!(
+        LithoContext::build_count() - contexts_before,
+        1,
+        "the batch must share a single LithoContext"
+    );
+    assert_eq!(
+        tap_derivation_count() - taps_before,
+        kernels * distinct_blurs,
+        "no clip may re-derive kernel taps"
+    );
+
+    // And the workspace pool bounds live workspaces by concurrency, not by
+    // clip count: 18 clip optimisations needed at most a handful of
+    // allocations (serial reuse guarantees strictly fewer than one per
+    // clip).
+    let pool = simulator.pool();
+    assert!(
+        pool.allocation_count() < clips.len(),
+        "workspaces must be recycled across the batch (allocated {}, reused {})",
+        pool.allocation_count(),
+        pool.reuse_count()
+    );
+    assert!(pool.reuse_count() > 0);
+}

@@ -4,8 +4,10 @@
 use camo::{CamoConfig, CamoEngine, CamoTrainer};
 use camo_baselines::{CalibreLikeOpc, OpcConfig, OpcEngine, RlOpc, RlOpcConfig};
 use camo_geometry::{Clip, FeatureConfig, Rect};
-use camo_litho::{LithoConfig, LithoSimulator};
-use camo_runtime::{imitation_epoch, optimize_batch, reinforce_epoch, sweep_cases};
+use camo_litho::{LithoConfig, LithoSimulator, Tiler};
+use camo_runtime::{
+    evaluate_layout, imitation_epoch, optimize_batch, reinforce_epoch, sweep_cases, sweep_layout,
+};
 use proptest::prelude::*;
 
 /// A small via grid with `count` vias spread over the clip.
@@ -160,6 +162,73 @@ fn baseline_engines_run_bit_identically_through_the_pool() {
         .collect();
     let parallel = optimize_batch(&rl, &clips, &sim, 3);
     assert_outcomes_bit_identical(&serial, &parallel, 3);
+}
+
+#[test]
+fn parallel_layout_evaluation_is_bit_identical_at_any_thread_count() {
+    let case =
+        camo_workloads::generate_layout("L-test", &camo_workloads::LayoutParams::smoke(), 4242);
+    let mut mask = case.initial_mask();
+    let moves: Vec<i64> = (0..mask.segment_count())
+        .map(|i| [2, -1, 0, 3][i % 4])
+        .collect();
+    mask.apply_moves(&moves);
+
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let tiler = Tiler::new(1000);
+    // Whole-layout evaluation is the ground truth; every thread count of
+    // the tiled parallel sweep must reproduce it bit for bit.
+    let whole = sim.evaluate(&mask);
+    for threads in 1..=4 {
+        let report = evaluate_layout(&sim, &mask, &tiler, threads);
+        assert!(report.tiles > 1, "smoke layout must span several tiles");
+        assert_eq!(
+            report.epe.per_point.len(),
+            whole.epe.per_point.len(),
+            "stitched report must cover every measure point"
+        );
+        for (i, (t, w)) in report
+            .epe
+            .per_point
+            .iter()
+            .zip(&whole.epe.per_point)
+            .enumerate()
+        {
+            assert_eq!(
+                t.to_bits(),
+                w.to_bits(),
+                "EPE {i} diverged at {threads} threads: {t} vs {w}"
+            );
+        }
+        assert_eq!(
+            report.pv_band.to_bits(),
+            whole.pv_band.to_bits(),
+            "PV band diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn sweep_layout_matches_serial_tile_optimisation() {
+    let case = camo_workloads::generate_layout("L-opt", &camo_workloads::LayoutParams::smoke(), 77);
+    let mask = case.initial_mask();
+    let sim = LithoSimulator::new(LithoConfig::fast());
+    let tiler = Tiler::new(1200);
+    let engine = CalibreLikeOpc::new(fast_opc(2));
+
+    let serial = sweep_layout(&engine, &mask, &tiler, &sim, 1);
+    assert!(serial.len() > 1);
+    for threads in 2..=4 {
+        let parallel = sweep_layout(&engine, &mask, &tiler, &sim, threads);
+        assert_eq!(serial.len(), parallel.len());
+        for ((sn, s), (pn, p)) in serial.iter().zip(&parallel) {
+            assert_eq!(sn, pn, "tile order diverged at {threads} threads");
+            assert_eq!(s.mask.offsets(), p.mask.offsets());
+            assert_eq!(s.result.epe.per_point, p.result.epe.per_point);
+        }
+    }
+    // Tile names are derived from the layout name and grid position.
+    assert!(serial[0].0.starts_with("L-opt/t"));
 }
 
 #[test]

@@ -1,0 +1,189 @@
+//! Multi-tile layout benchmark generation.
+//!
+//! The via and metal suites match the paper's single-clip benchmarks
+//! (2 µm / 1.5 µm windows). Layout cases are the workload the tiler and the
+//! batch runtime exist for: one region several times larger than a clip,
+//! densely populated with vias on a jittered grid, meant to be swept as a
+//! grid of overlapping tiles (`camo_litho::tiling`) rather than simulated
+//! in one piece. Generation is deterministic given the seed.
+
+use camo_geometry::{Clip, Coord, FragmentationParams, MaskState, Rect};
+use camo_litho::{insert_srafs, SrafRules};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the layout generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutParams {
+    /// Layout side length, nm (several clip-sized tiles per side).
+    pub layout_size: Coord,
+    /// Via side length, nm.
+    pub via_size: Coord,
+    /// Placement-grid cell size, nm: at most one via per cell, so the
+    /// density stays layout-like and the minimum pitch is implicit.
+    pub cell_size: Coord,
+    /// Fraction of cells populated, in percent (0–100).
+    pub fill_percent: u32,
+    /// Margin kept free around the layout boundary, nm.
+    pub margin: Coord,
+    /// Whether SRAFs are inserted.
+    pub with_srafs: bool,
+}
+
+impl Default for LayoutParams {
+    fn default() -> Self {
+        Self {
+            layout_size: 6000,
+            via_size: 70,
+            cell_size: 400,
+            fill_percent: 45,
+            margin: 200,
+            with_srafs: false,
+        }
+    }
+}
+
+impl LayoutParams {
+    /// A small layout (still multi-tile at the default litho configuration)
+    /// for CI smoke runs.
+    pub fn smoke() -> Self {
+        Self {
+            layout_size: 3000,
+            ..Self::default()
+        }
+    }
+}
+
+/// One generated layout case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutCase {
+    /// The layout clip (targets plus optional SRAFs).
+    pub clip: Clip,
+    /// Number of vias placed.
+    pub via_count: usize,
+}
+
+impl LayoutCase {
+    /// Fragmentation parameters appropriate for this case.
+    pub fn fragmentation(&self) -> FragmentationParams {
+        FragmentationParams::via_layer()
+    }
+
+    /// The layout as a zero-offset mask, ready for tiling/evaluation.
+    pub fn initial_mask(&self) -> MaskState {
+        MaskState::from_clip(&self.clip, &self.fragmentation())
+    }
+}
+
+/// Generates one layout: cells of a placement grid are filled with
+/// probability `fill_percent`, each via jittered inside its cell on a 10 nm
+/// grid. Deterministic for a given `(params, seed)`.
+pub fn generate_layout(name: impl Into<String>, params: &LayoutParams, seed: u64) -> LayoutCase {
+    let p = params;
+    assert!(p.layout_size > 2 * p.margin, "margin swallows the layout");
+    assert!(p.cell_size > p.via_size, "cells must fit a via");
+    let region = Rect::new(0, 0, p.layout_size, p.layout_size);
+    let mut clip = Clip::with_name(region, name);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let usable = p.layout_size - 2 * p.margin;
+    let cells = (usable / p.cell_size).max(1);
+    let jitter_range = p.cell_size - p.via_size;
+    let mut via_count = 0;
+    for gy in 0..cells {
+        for gx in 0..cells {
+            if rng.gen_range(0..100u32) >= p.fill_percent {
+                continue;
+            }
+            // Snap to a 10 nm placement grid like real via layers.
+            let jx = (rng.gen_range(0..jitter_range) / 10) * 10;
+            let jy = (rng.gen_range(0..jitter_range) / 10) * 10;
+            let x = p.margin + gx * p.cell_size + jx;
+            let y = p.margin + gy * p.cell_size + jy;
+            clip.add_target(Rect::new(x, y, x + p.via_size, y + p.via_size).to_polygon());
+            via_count += 1;
+        }
+    }
+    if p.with_srafs {
+        for s in insert_srafs(&clip, &SrafRules::default()) {
+            clip.add_sraf(s);
+        }
+    }
+    LayoutCase { clip, via_count }
+}
+
+/// The standard layout benchmark set: three deterministic layouts of
+/// increasing density.
+pub fn layout_test_set() -> Vec<LayoutCase> {
+    [(1, 30u32), (2, 45), (3, 60)]
+        .iter()
+        .map(|&(i, fill)| {
+            let params = LayoutParams {
+                fill_percent: fill,
+                ..LayoutParams::default()
+            };
+            generate_layout(format!("L{i}"), &params, 9000 + i as u64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camo_litho::{LithoConfig, Tiler};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_layout("L", &LayoutParams::default(), 42);
+        let b = generate_layout("L", &LayoutParams::default(), 42);
+        assert_eq!(a.clip, b.clip);
+        let c = generate_layout("L", &LayoutParams::default(), 43);
+        assert_ne!(a.clip, c.clip, "different seeds must differ");
+    }
+
+    #[test]
+    fn layouts_are_genuinely_multi_tile() {
+        for case in layout_test_set() {
+            assert!(case.via_count > 10, "layouts should be dense");
+            let (cols, rows) = Tiler::new(1500).grid(case.clip.region(), &LithoConfig::default());
+            assert!(cols * rows >= 16, "a layout must span many tiles");
+        }
+    }
+
+    #[test]
+    fn vias_respect_margin_and_cells() {
+        let params = LayoutParams::default();
+        let case = generate_layout("L", &params, 7);
+        for t in case.clip.targets() {
+            let b = t.bounding_box();
+            assert_eq!(b.width(), params.via_size);
+            assert!(b.x0 >= params.margin && b.y0 >= params.margin);
+            assert!(b.x1 <= params.layout_size - params.margin + params.cell_size);
+        }
+        // One via per cell keeps a guaranteed pitch: neighbours in adjacent
+        // cells stay at least a snapped jitter step apart edge to edge.
+        let boxes: Vec<Rect> = case
+            .clip
+            .targets()
+            .iter()
+            .map(|t| t.bounding_box())
+            .collect();
+        for (i, a) in boxes.iter().enumerate() {
+            for b in boxes.iter().skip(i + 1) {
+                let dx = (a.center().x - b.center().x).abs();
+                let dy = (a.center().y - b.center().y).abs();
+                assert!(
+                    dx.max(dy) >= params.via_size + 10,
+                    "vias too close: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_params_produce_a_small_layout() {
+        let case = generate_layout("S", &LayoutParams::smoke(), 1);
+        assert_eq!(case.clip.region().width(), 3000);
+        assert!(case.via_count > 0);
+    }
+}

@@ -15,6 +15,11 @@
 //! every experiment in the paper can be exercised end-to-end. Generation is
 //! deterministic given the benchmark seed.
 //!
+//! Beyond the paper's single-clip suites, [`layout`] generates **multi-tile
+//! layouts** — regions several clips wide, densely populated with vias —
+//! the workload `camo_litho::tiling` and the batch runtime sweep as grids
+//! of overlapping tiles.
+//!
 //! # Example
 //!
 //! ```
@@ -28,8 +33,10 @@
 //! assert_eq!(metals.len(), 10);
 //! ```
 
+pub mod layout;
 pub mod metal;
 pub mod via;
 
+pub use layout::{generate_layout, layout_test_set, LayoutCase, LayoutParams};
 pub use metal::{metal_test_set, metal_training_set, MetalCase, MetalGenerator, MetalParams};
 pub use via::{via_test_set, via_training_set, ViaCase, ViaGenerator, ViaParams};
