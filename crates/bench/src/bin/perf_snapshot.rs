@@ -26,6 +26,13 @@
 //! `LithoContext`/workspace pool vs a cold per-clip simulator) is measured;
 //! both are recorded in `BENCH_litho.json`. CI smokes
 //! `--quick --layout --threads 1` alongside the batch runs.
+//!
+//! `--serve` adds the serving section (also on by default in full mode): a
+//! `camo-serve` server is started in-process on an ephemeral port, a
+//! deterministic mixed request stream is fired at it over loopback, and
+//! end-to-end requests/s is recorded per worker-thread count — plus a
+//! queue-saturation probe (dispatchers disabled, bounded queue) counting
+//! typed `busy` rejections. Any failed or missing response exits 1.
 
 use camo::{CamoConfig, CamoEngine};
 use camo_baselines::{OpcConfig, OpcEngine};
@@ -87,9 +94,129 @@ impl ContextReuse {
     }
 }
 
+/// End-to-end serving throughput at one worker-thread count.
+struct ServeRow {
+    threads: usize,
+    requests: usize,
+    requests_per_s: f64,
+}
+
+/// Queue-saturation probe: what a burst beyond the queue depth observes.
+struct ServeSaturation {
+    queue_depth: usize,
+    submitted: usize,
+    rejected: usize,
+    retry_after_ms: u64,
+}
+
+/// Fires `requests` mixed requests at an in-process server with `threads`
+/// batch workers and returns the end-to-end rate; exits 1 on any failed or
+/// missing response.
+fn serve_throughput(threads: usize, requests: usize) -> ServeRow {
+    use camo_serve::client::{collect_responses, Client, Completed};
+    use camo_serve::exec::case_body;
+    use camo_serve::wire::JobSpec;
+    use camo_serve::{serve, ServerConfig};
+    use camo_workloads::{request_stream, RequestStreamParams};
+
+    let handle = serve(ServerConfig {
+        threads,
+        queue_depth: requests.max(8),
+        ..ServerConfig::default()
+    })
+    .expect("bind serve bench server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let job = JobSpec {
+        max_steps: Some(2),
+        ..JobSpec::fast_calibre_via()
+    };
+    let cases = request_stream(&RequestStreamParams::smoke(), 2024, requests);
+    let start = Instant::now();
+    let ids: Vec<u64> = cases
+        .iter()
+        .map(|case| client.send(case_body(case, &job)).expect("send"))
+        .collect();
+    let results = collect_responses(&mut client, &ids).expect("responses");
+    let secs = start.elapsed().as_secs_f64();
+    for (id, completed) in &results {
+        match completed {
+            Completed::Single(_) | Completed::Sweep(_) => {}
+            other => {
+                eprintln!("SERVE REGRESSION: request {id} completed as {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if results.len() != cases.len() {
+        eprintln!(
+            "SERVE REGRESSION: {} of {} responses",
+            results.len(),
+            cases.len()
+        );
+        std::process::exit(1);
+    }
+    handle.shutdown();
+    ServeRow {
+        threads,
+        requests,
+        requests_per_s: requests as f64 / secs,
+    }
+}
+
+/// Saturates a dispatcher-less server and counts the typed rejections: a
+/// burst of `queue_depth + overflow` requests must yield exactly `overflow`
+/// `busy` responses carrying the retry hint.
+fn serve_saturation(queue_depth: usize, overflow: usize) -> ServeSaturation {
+    use camo_serve::client::{collect_responses, Client, Completed};
+    use camo_serve::exec::case_body;
+    use camo_serve::wire::JobSpec;
+    use camo_serve::{serve, ServerConfig};
+    use camo_workloads::{request_stream, RequestStreamParams};
+
+    let retry_after_ms = 50;
+    let handle = serve(ServerConfig {
+        queue_depth,
+        dispatchers: 0,
+        retry_after_ms,
+        ..ServerConfig::default()
+    })
+    .expect("bind saturation server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let job = JobSpec {
+        max_steps: Some(1),
+        ..JobSpec::fast_calibre_via()
+    };
+    let submitted = queue_depth + overflow;
+    let cases = request_stream(&RequestStreamParams::smoke(), 7, submitted);
+    let ids: Vec<u64> = cases
+        .iter()
+        .map(|case| client.send(case_body(case, &job)).expect("send"))
+        .collect();
+    // Only the overflow requests respond (with busy); the queued ones are
+    // answered `shutting_down` when the server drains at shutdown.
+    let rejected_ids = &ids[queue_depth..];
+    let results = collect_responses(&mut client, rejected_ids).expect("rejections");
+    let rejected = results
+        .values()
+        .filter(|c| matches!(c, Completed::Rejected { .. }))
+        .count();
+    if rejected != overflow {
+        eprintln!("SERVE REGRESSION: {rejected} busy rejections, expected {overflow}");
+        std::process::exit(1);
+    }
+    handle.shutdown();
+    ServeSaturation {
+        queue_depth,
+        submitted,
+        rejected,
+        retry_after_ms,
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let layout_mode = std::env::args().any(|a| a == "--layout") || !quick;
+    let serve_mode = std::env::args().any(|a| a == "--serve") || !quick;
     let only_threads = std::env::args().any(|a| a == "--threads");
     let thread_counts: Vec<usize> = if only_threads {
         // 0 keeps its documented "all hardware threads" meaning; the row is
@@ -350,6 +477,23 @@ fn main() {
         });
     }
 
+    // Serving section: end-to-end requests/s over loopback per worker-thread
+    // count, plus the queue-saturation probe.
+    let mut serve_rows: Vec<ServeRow> = Vec::new();
+    let mut serve_sat: Option<ServeSaturation> = None;
+    if serve_mode {
+        let serve_threads: Vec<usize> = if only_threads {
+            thread_counts.clone()
+        } else {
+            vec![1, 2]
+        };
+        let requests = if quick { 12 } else { 32 };
+        for &threads in &serve_threads {
+            serve_rows.push(serve_throughput(threads, requests));
+        }
+        serve_sat = Some(serve_saturation(4, 4));
+    }
+
     // Human-readable report.
     println!(
         "perf snapshot — clip {} ({} segments), px{} guard {} nm",
@@ -407,6 +551,25 @@ fn main() {
             cr.shared_s,
             cr.cold_s,
             cr.speedup()
+        );
+    }
+    let serve_serial = serve_rows
+        .iter()
+        .find(|r| r.threads == 1)
+        .map(|r| r.requests_per_s);
+    for r in &serve_rows {
+        let vs_serial = serve_serial
+            .map(|s| format!(", {:.2}x vs 1 thread", r.requests_per_s / s))
+            .unwrap_or_default();
+        println!(
+            "serve end-to-end {:>2} thread(s)     {:>8.2} req/s over {} mixed requests{}",
+            r.threads, r.requests_per_s, r.requests, vs_serial
+        );
+    }
+    if let Some(sat) = &serve_sat {
+        println!(
+            "serve saturation: {} requests into queue depth {} -> {} typed busy rejections (retry_after {} ms)",
+            sat.submitted, sat.queue_depth, sat.rejected, sat.retry_after_ms
         );
     }
 
@@ -482,14 +645,48 @@ fn main() {
     if let Some(cr) = &context_reuse {
         let _ = writeln!(
             json,
-            "  \"context_reuse\": {{\"op\": \"evaluate_batch_serial\", \"clips\": {}, \"shared_context_s\": {:.4}, \"cold_context_per_clip_s\": {:.4}, \"speedup\": {:.2}}}",
+            "  \"context_reuse\": {{\"op\": \"evaluate_batch_serial\", \"clips\": {}, \"shared_context_s\": {:.4}, \"cold_context_per_clip_s\": {:.4}, \"speedup\": {:.2}}},",
             cr.clips,
             cr.shared_s,
             cr.cold_s,
             cr.speedup()
         );
     } else {
-        json.push_str("  \"context_reuse\": null\n");
+        json.push_str("  \"context_reuse\": null,\n");
+    }
+    if serve_rows.is_empty() && serve_sat.is_none() {
+        json.push_str("  \"serve\": null\n");
+    } else {
+        json.push_str("  \"serve\": {\"rows\": [\n");
+        for (i, r) in serve_rows.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"op\": \"serve_end_to_end\", \"threads\": {}, \"requests\": {}, \"requests_per_s\": {:.3}, \"speedup_vs_1_thread\": {}}}",
+                r.threads,
+                r.requests,
+                r.requests_per_s,
+                serve_serial.map_or("null".to_string(), |s| format!(
+                    "{:.2}",
+                    r.requests_per_s / s
+                )),
+            );
+            json.push_str(if i + 1 < serve_rows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("  ],\n");
+        match &serve_sat {
+            Some(sat) => {
+                let _ = writeln!(
+                    json,
+                    "  \"saturation\": {{\"queue_depth\": {}, \"submitted\": {}, \"rejected_busy\": {}, \"retry_after_ms\": {}}}}}",
+                    sat.queue_depth, sat.submitted, sat.rejected, sat.retry_after_ms
+                );
+            }
+            None => json.push_str("  \"saturation\": null}\n"),
+        }
     }
     json.push_str("}\n");
     std::fs::write("BENCH_litho.json", &json).expect("write BENCH_litho.json");

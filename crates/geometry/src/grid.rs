@@ -153,6 +153,13 @@ impl Raster {
         &mut self.data
     }
 
+    /// Heap memory retained by this raster, in bytes (capacity, not length —
+    /// a reshaped raster keeps its largest-ever allocation, which is what
+    /// pooled-buffer footprint accounting has to measure).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Sample at pixel `(ix, iy)`.
     ///
     /// # Panics
@@ -662,6 +669,12 @@ impl CoverageScratch {
             band_ys: Vec::with_capacity(max_vertices),
             crossings: Vec::with_capacity(max_vertices),
         }
+    }
+
+    /// Heap memory retained by the scratch buffers, in bytes (capacities).
+    pub fn heap_bytes(&self) -> usize {
+        self.vertical_edges.capacity() * std::mem::size_of::<(Coord, Coord, Coord)>()
+            + (self.band_ys.capacity() + self.crossings.capacity()) * std::mem::size_of::<Coord>()
     }
 }
 

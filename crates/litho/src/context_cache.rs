@@ -1,0 +1,244 @@
+//! A bounded LRU cache of shared simulators, keyed by configuration hash.
+//!
+//! Long-lived serving processes receive requests that name their process
+//! configuration explicitly, and the whole point of the
+//! [`LithoContext`](crate::LithoContext) / [`crate::WorkspacePool`] split is
+//! that every request under the same configuration shares one context (taps
+//! derived once) and one workspace pool (buffers recycled across requests).
+//! [`ContextCache`] is that sharing point: `get` returns a
+//! [`LithoSimulator`] clone whose `Arc`s are common to every other request
+//! with the same [`LithoConfig::fingerprint`], building the context only on
+//! the first miss. The cache is bounded: when more distinct configurations
+//! than `capacity` are live, the least-recently-used entry is evicted (its
+//! context stays alive only as long as outstanding simulators hold it).
+
+use crate::simulator::{LithoConfig, LithoSimulator};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+impl LithoConfig {
+    /// A 64-bit fingerprint of every field of this configuration (float
+    /// fields hashed by bit pattern), suitable as a cache key: two configs
+    /// compare equal iff their fingerprint inputs are identical.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_i64(self.pixel_size);
+        for k in self.optical.kernels() {
+            h.write_f64(k.weight);
+            h.write_f64(k.sigma_nm);
+        }
+        h.write_f64(self.resist.threshold);
+        h.write_f64(self.resist.steepness);
+        for corner in [self.inner_corner, self.outer_corner] {
+            h.write_f64(corner.dose);
+            h.write_f64(corner.defocus_nm);
+        }
+        h.write_f64(self.epe_search_range);
+        h.finish()
+    }
+}
+
+/// FNV-1a, vendored because the build is offline and `std`'s hashers are
+/// randomly seeded per process (cache keys must be stable for tests/logs).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One cached entry: the fingerprint key and the shared simulator handle.
+#[derive(Debug)]
+struct Entry {
+    key: u64,
+    simulator: LithoSimulator,
+}
+
+/// Bounded LRU of shared [`LithoSimulator`]s keyed by
+/// [`LithoConfig::fingerprint`].
+#[derive(Debug)]
+pub struct ContextCache {
+    /// Most-recently-used last; evictions pop the front.
+    entries: Mutex<Vec<Entry>>,
+    capacity: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl ContextCache {
+    /// Creates a cache holding at most `capacity` distinct configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity cache can never serve");
+        Self {
+            entries: Mutex::new(Vec::new()),
+            capacity,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured entry cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of distinct configurations currently cached.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no configuration is cached.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hit_count(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that built a fresh context.
+    pub fn miss_count(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Returns the shared simulator for `config`, building its context on
+    /// first use and marking the entry most-recently-used. Distinct configs
+    /// beyond the capacity evict the least-recently-used entry; evicted
+    /// contexts stay alive while checked-out simulators still hold them.
+    pub fn get(&self, config: &LithoConfig) -> LithoSimulator {
+        let key = config.fingerprint();
+        {
+            let mut entries = self.lock();
+            if let Some(pos) = entries.iter().position(|e| e.key == key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                // Move to the back: most recently used.
+                let entry = entries.remove(pos);
+                let sim = entry.simulator.clone();
+                entries.push(entry);
+                return sim;
+            }
+        }
+        // Build outside the lock: context construction derives kernel taps
+        // and can be slow, and two racing builders only waste work, never
+        // correctness (last insert wins, both simulators are valid).
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let simulator = LithoSimulator::new(config.clone());
+        let mut entries = self.lock();
+        if let Some(pos) = entries.iter().position(|e| e.key == key) {
+            // A racing request inserted first; adopt its handle so every
+            // caller shares one context.
+            let entry = entries.remove(pos);
+            let sim = entry.simulator.clone();
+            entries.push(entry);
+            return sim;
+        }
+        if entries.len() == self.capacity {
+            entries.remove(0);
+        }
+        entries.push(Entry {
+            key,
+            simulator: simulator.clone(),
+        });
+        simulator
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Entry>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn config_px(pixel_size: i64) -> LithoConfig {
+        LithoConfig {
+            pixel_size,
+            ..LithoConfig::fast()
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs_and_is_stable() {
+        let a = LithoConfig::default();
+        let b = LithoConfig::fast();
+        assert_eq!(a.fingerprint(), LithoConfig::default().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = LithoConfig::default();
+        c.epe_search_range += 1.0;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn repeated_gets_share_one_context() {
+        let cache = ContextCache::new(4);
+        let a = cache.get(&config_px(10));
+        let b = cache.get(&config_px(10));
+        assert!(Arc::ptr_eq(&a.context_arc(), &b.context_arc()));
+        assert_eq!(cache.miss_count(), 1);
+        assert_eq!(cache.hit_count(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ContextCache::new(2);
+        let a = cache.get(&config_px(10));
+        let _b = cache.get(&config_px(20));
+        // Touch A so B becomes least recently used.
+        let _ = cache.get(&config_px(10));
+        let _c = cache.get(&config_px(25)); // evicts B
+        assert_eq!(cache.len(), 2);
+        // A survived the eviction round (same context as before)...
+        let a2 = cache.get(&config_px(10));
+        assert!(Arc::ptr_eq(&a.context_arc(), &a2.context_arc()));
+        // ...while B was evicted: fetching it again is a miss with a fresh
+        // context.
+        let misses = cache.miss_count();
+        let _b2 = cache.get(&config_px(20));
+        assert_eq!(cache.miss_count(), misses + 1);
+    }
+
+    #[test]
+    fn concurrent_gets_agree_on_one_context() {
+        let cache = Arc::new(ContextCache::new(2));
+        let sims: Vec<LithoSimulator> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    s.spawn(move || cache.get(&config_px(10)))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for pair in sims.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0].context_arc(), &pair[1].context_arc()));
+        }
+    }
+}

@@ -37,7 +37,14 @@
 //!   simulator's [`WorkspacePool`] ([`pool`]): a session checks one out
 //!   (fully reset, buffers reused), and returns it on drop. Checkout never
 //!   blocks — an empty pool falls back to allocation — so a batch on `T`
-//!   threads converges to `T` workspaces for any number of clips.
+//!   threads converges to `T` workspaces for any number of clips, and
+//!   retention is bounded in count *and* bytes so burst load cannot pin
+//!   layout-sized buffers forever.
+//!
+//! Long-lived serving processes pick simulators out of a [`ContextCache`]
+//! ([`context_cache`]): an LRU keyed by [`LithoConfig::fingerprint`], so
+//! every request under one process configuration shares one context and
+//! one workspace pool across its whole lifetime.
 //!
 //! Evaluation itself is the scratch-buffer pipeline: masks are rasterised
 //! *analytically* (exact per-pixel area coverage, no intermediate 1 nm
@@ -74,6 +81,7 @@
 
 pub mod aerial;
 pub mod context;
+pub mod context_cache;
 pub mod contour;
 pub mod epe;
 pub mod evaluator;
@@ -91,6 +99,7 @@ pub mod tiling;
 
 pub use aerial::rasterize_mask;
 pub use context::LithoContext;
+pub use context_cache::ContextCache;
 pub use contour::{contour_cells, print_image};
 pub use epe::{measure_epe, EpeReport};
 pub use evaluator::MaskEvaluator;

@@ -424,6 +424,23 @@ impl SimWorkspace {
         }
     }
 
+    /// Heap memory retained by this workspace, in bytes: the mask raster,
+    /// convolution scratch, cached intensity images and polygon/coverage
+    /// buffers, all measured by **capacity**. Resets re-target but never
+    /// shrink buffers, so this is the high-water footprint the workspace
+    /// keeps alive while idle — the figure [`crate::WorkspacePool`]'s
+    /// retention cap is enforced against.
+    pub fn footprint_bytes(&self) -> usize {
+        let f64s = self.tmp.capacity() + self.amp.capacity() + self.row_acc.capacity();
+        let polys: usize = self.polys.iter().map(|p| p.capacity()).sum();
+        let slots: usize = self.slots.iter().map(|s| s.img.heap_bytes()).sum();
+        self.raster.heap_bytes()
+            + f64s * std::mem::size_of::<f64>()
+            + polys * std::mem::size_of::<Point>()
+            + self.cov.heap_bytes()
+            + slots
+    }
+
     /// Ensures `row_acc` can hold one window row of the raster.
     pub(crate) fn reserve_row_acc(&mut self) {
         if self.row_acc.len() < self.raster.width() {

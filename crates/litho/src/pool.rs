@@ -5,9 +5,16 @@
 //! once, so the pool converges to T workspaces regardless of N — every
 //! session checks a workspace out, and [`PooledWorkspace`]'s drop checks it
 //! back in. Checkout **never blocks**: an empty pool falls back to
-//! allocating a fresh workspace (and an over-full check-in simply drops the
+//! allocating a fresh workspace (and an over-cap check-in simply drops the
 //! buffers), so pool exhaustion can degrade throughput but can never
 //! deadlock.
+//!
+//! Long-lived serving processes are the reason retention is bounded in
+//! **bytes** as well as count: under burst load the allocation fallback
+//! mints extra workspaces, and each one later checks back in carrying its
+//! high-water buffer capacity (resets never shrink). [`WorkspacePool`]
+//! therefore drops any check-in that would push the combined idle footprint
+//! past [`WorkspacePool::max_idle_bytes`].
 
 use crate::pipeline::SimWorkspace;
 use camo_geometry::{Coord, Rect};
@@ -15,24 +22,50 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
+/// The mutex-guarded free list plus its retained-byte accounting (kept in
+/// one struct so the count and the byte total can never drift apart).
+#[derive(Debug, Default)]
+struct IdleState {
+    list: Vec<SimWorkspace>,
+    bytes: usize,
+}
+
 /// A lock-guarded free list of [`SimWorkspace`]s with allocation fallback.
+///
+/// Retention is bounded two ways: at most [`Self::max_idle`] workspaces are
+/// cached, and their combined [`SimWorkspace::footprint_bytes`] never
+/// exceeds [`Self::max_idle_bytes`]. The count cap alone is not enough —
+/// resets re-target but never shrink buffers, so one burst of layout-sized
+/// sessions would otherwise leave every cached workspace pinned at its
+/// high-water footprint forever. A check-in that would break either bound
+/// drops the workspace (freeing its buffers) instead of caching it.
 #[derive(Debug)]
 pub struct WorkspacePool {
-    idle: Mutex<Vec<SimWorkspace>>,
+    idle: Mutex<IdleState>,
     max_idle: usize,
+    max_idle_bytes: usize,
     reuses: AtomicUsize,
     allocations: AtomicUsize,
+    drops: AtomicUsize,
 }
 
 impl WorkspacePool {
-    /// Creates a pool retaining at most `max_idle` idle workspaces; beyond
-    /// that, checked-in workspaces are dropped instead of cached.
+    /// Creates a pool retaining at most `max_idle` idle workspaces (and at
+    /// most [`default_max_idle_bytes`] of retained buffer capacity); beyond
+    /// either cap, checked-in workspaces are dropped instead of cached.
     pub fn new(max_idle: usize) -> Self {
+        Self::with_limits(max_idle, default_max_idle_bytes())
+    }
+
+    /// Creates a pool with explicit count and byte caps.
+    pub fn with_limits(max_idle: usize, max_idle_bytes: usize) -> Self {
         Self {
-            idle: Mutex::new(Vec::new()),
+            idle: Mutex::new(IdleState::default()),
             max_idle,
+            max_idle_bytes,
             reuses: AtomicUsize::new(0),
             allocations: AtomicUsize::new(0),
+            drops: AtomicUsize::new(0),
         }
     }
 
@@ -41,9 +74,19 @@ impl WorkspacePool {
         self.max_idle
     }
 
+    /// The configured cap on combined idle workspace footprint, bytes.
+    pub fn max_idle_bytes(&self) -> usize {
+        self.max_idle_bytes
+    }
+
     /// Number of idle workspaces currently cached.
     pub fn idle_count(&self) -> usize {
-        self.lock_idle().len()
+        self.lock_idle().list.len()
+    }
+
+    /// Combined heap footprint of the cached idle workspaces, bytes.
+    pub fn idle_bytes(&self) -> usize {
+        self.lock_idle().bytes
     }
 
     /// Checkouts served by recycling a pooled workspace.
@@ -54,6 +97,11 @@ impl WorkspacePool {
     /// Checkouts served by allocating a fresh workspace (pool was empty).
     pub fn allocation_count(&self) -> usize {
         self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Check-ins dropped because caching would exceed a retention cap.
+    pub fn dropped_count(&self) -> usize {
+        self.drops.load(Ordering::Relaxed)
     }
 
     /// Takes a workspace sized/reset for the given session geometry. Served
@@ -67,7 +115,14 @@ impl WorkspacePool {
         polygon_count: usize,
         segment_count: usize,
     ) -> SimWorkspace {
-        let recycled = self.lock_idle().pop();
+        let recycled = {
+            let mut idle = self.lock_idle();
+            let ws = idle.list.pop();
+            if let Some(ws) = &ws {
+                idle.bytes = idle.bytes.saturating_sub(ws.footprint_bytes());
+            }
+            ws
+        };
         match recycled {
             Some(mut ws) => {
                 self.reuses.fetch_add(1, Ordering::Relaxed);
@@ -81,18 +136,24 @@ impl WorkspacePool {
         }
     }
 
-    /// Returns a workspace to the free list (dropped when the list is full).
+    /// Returns a workspace to the free list; dropped (buffers freed) when
+    /// the list is full or caching it would exceed the byte cap.
     pub(crate) fn checkin(&self, ws: SimWorkspace) {
+        let footprint = ws.footprint_bytes();
         let mut idle = self.lock_idle();
-        if idle.len() < self.max_idle {
-            idle.push(ws);
+        if idle.list.len() < self.max_idle && idle.bytes + footprint <= self.max_idle_bytes {
+            idle.bytes += footprint;
+            idle.list.push(ws);
+        } else {
+            drop(idle);
+            self.drops.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// The free list is plain data, so a panic while the lock was held
     /// cannot leave it inconsistent — recover from poisoning instead of
     /// cascading the failure into every later session.
-    fn lock_idle(&self) -> std::sync::MutexGuard<'_, Vec<SimWorkspace>> {
+    fn lock_idle(&self) -> std::sync::MutexGuard<'_, IdleState> {
         self.idle.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
@@ -101,6 +162,13 @@ impl Default for WorkspacePool {
     fn default() -> Self {
         Self::new(default_max_idle())
     }
+}
+
+/// Default cap on the combined footprint of idle workspaces: generous for
+/// clip-scale serving (a px5 clip workspace is a few MiB) while bounding
+/// what a burst of layout-scale sessions can leave pinned.
+pub(crate) fn default_max_idle_bytes() -> usize {
+    256 * 1024 * 1024
 }
 
 /// Default idle-retention cap: one workspace per hardware thread (with a
@@ -182,6 +250,52 @@ mod tests {
         pool.checkin(a);
         pool.checkin(b);
         assert_eq!(pool.idle_count(), 1, "cap must bound the free list");
+    }
+
+    #[test]
+    fn checkin_beyond_byte_cap_drops_workspaces() {
+        let (region, px) = geometry();
+        let probe = WorkspacePool::new(4);
+        let fp = probe.checkout(region, px, 1, 4).footprint_bytes();
+        assert!(fp > 0);
+        // The cap fits exactly one workspace of this geometry.
+        let pool = WorkspacePool::with_limits(8, fp + fp / 2);
+        let a = pool.checkout(region, px, 1, 4);
+        let b = pool.checkout(region, px, 1, 4);
+        pool.checkin(a);
+        assert_eq!(pool.idle_count(), 1);
+        pool.checkin(b);
+        assert_eq!(pool.idle_count(), 1, "byte cap must bound the free list");
+        assert_eq!(pool.dropped_count(), 1);
+        assert!(pool.idle_bytes() <= pool.max_idle_bytes());
+        // Checkout releases the accounted bytes again.
+        let _c = pool.checkout(region, px, 1, 4);
+        assert_eq!(pool.idle_bytes(), 0);
+    }
+
+    #[test]
+    fn burst_of_large_sessions_cannot_pin_unbounded_memory() {
+        // Regression: under burst load the allocation fallback mints extra
+        // workspaces, each sized for its (large) session; before the byte
+        // cap, every check-in under the count cap was retained forever.
+        let (region, px) = geometry();
+        let small_fp = WorkspacePool::new(1)
+            .checkout(region, px, 1, 4)
+            .footprint_bytes();
+        let cap = 4 * small_fp;
+        let pool = WorkspacePool::with_limits(16, cap);
+        let big = Rect::new(0, 0, 4000, 4000);
+        let outstanding: Vec<_> = (0..8).map(|_| pool.checkout(big, px, 4, 16)).collect();
+        assert_eq!(pool.allocation_count(), 8);
+        for ws in outstanding {
+            pool.checkin(ws);
+        }
+        assert!(
+            pool.idle_bytes() <= cap,
+            "retained footprint {} exceeds cap {cap}",
+            pool.idle_bytes()
+        );
+        assert!(pool.dropped_count() > 0, "over-cap check-ins must drop");
     }
 
     #[test]

@@ -139,6 +139,13 @@ impl LithoSimulator {
         self
     }
 
+    /// Replaces the workspace pool with explicit count and byte retention
+    /// caps (see [`WorkspacePool::with_limits`]).
+    pub fn with_pool_limits(mut self, max_idle: usize, max_idle_bytes: usize) -> Self {
+        self.pool = Arc::new(WorkspacePool::with_limits(max_idle, max_idle_bytes));
+        self
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &LithoConfig {
         self.context.config()

@@ -14,7 +14,14 @@
 //!   for training with per-clip episodes computed concurrently;
 //! * [`layout`] — [`evaluate_layout`] / [`sweep_layout`] for layouts larger
 //!   than one clip, tiled by [`camo_litho::tiling`] and swept as an
-//!   ordinary clip batch.
+//!   ordinary clip batch;
+//! * [`queue`] — a bounded MPMC [`BoundedQueue`] whose `try_push` is the
+//!   backpressure primitive long-lived front-ends build *reject with
+//!   retry-after* on, and whose close-then-drain semantics make graceful
+//!   shutdown possible;
+//! * [`service`] — [`ServicePool`], a long-lived worker pool over that
+//!   queue with drain/join/propagate-first-panic shutdown (the scheduling
+//!   substrate of the `camo-serve` front-end).
 //!
 //! Every clip (or tile) in a batch shares one immutable
 //! [`camo_litho::LithoContext`] — kernel taps are derived once per
@@ -62,9 +69,13 @@
 pub mod batch;
 pub mod layout;
 pub mod pool;
+pub mod queue;
+pub mod service;
 
 pub use batch::{
     imitation_epoch, optimize_batch, reinforce_epoch, reinforce_epoch_at, sweep_cases, train,
 };
 pub use layout::{evaluate_layout, sweep_layout};
 pub use pool::{available_threads, parallel_map, scope, Scope};
+pub use queue::{BoundedQueue, PushError};
+pub use service::ServicePool;

@@ -1,0 +1,238 @@
+//! A bounded MPMC queue with non-blocking backpressure and cooperative
+//! shutdown.
+//!
+//! This is the scheduling spine shared by the service pool and the serving
+//! front-end: producers either block until space frees ([`BoundedQueue::push`])
+//! or observe fullness immediately ([`BoundedQueue::try_push`], the
+//! backpressure path — a server answers *reject with retry-after* instead of
+//! stalling its reader threads), and consumers block until work arrives or
+//! the queue is closed and drained. Closing never discards items: everything
+//! enqueued before [`BoundedQueue::close`] is still handed out, which is what
+//! makes graceful drain-then-join shutdown possible.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a push did not enqueue.
+#[derive(PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back (backpressure).
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+/// Manual so queues of non-`Debug` items (boxed jobs) still produce useful
+/// errors.
+impl<T> std::fmt::Debug for PushError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Full(_) => f.write_str("PushError::Full(..)"),
+            Self::Closed(_) => f.write_str("PushError::Closed(..)"),
+        }
+    }
+}
+
+impl<T> PushError<T> {
+    /// The rejected item.
+    pub fn into_inner(self) -> T {
+        match self {
+            Self::Full(item) | Self::Closed(item) => item,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer FIFO on `Mutex` + `Condvar`.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue cannot accept work");
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    /// True once [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Enqueues without blocking, or reports fullness/closure immediately —
+    /// the backpressure path.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() == self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues, blocking while the queue is full; fails only when the
+    /// queue is (or becomes) closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return Err(PushError::Closed(item));
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeues, blocking until an item arrives. Returns `None` only when
+    /// the queue is closed **and** drained, so no enqueued item is lost to
+    /// shutdown.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Dequeues without blocking (`None` when nothing is queued right now —
+    /// callers that must distinguish emptiness from closure use [`Self::pop`]).
+    pub fn try_pop(&self) -> Option<T> {
+        let item = self.lock().items.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Closes the queue: later pushes fail, and consumers drain what is
+    /// already queued before observing `None`. Idempotent.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// The queue state is plain data; recover from poisoning instead of
+    /// cascading a producer's panic into every consumer.
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_push_reports_fullness_with_the_item() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space_and_pop_waits_for_items() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0u32).unwrap();
+        std::thread::scope(|s| {
+            let producer = {
+                let q = Arc::clone(&q);
+                s.spawn(move || q.push(1).is_ok())
+            };
+            // The consumer frees space; the blocked producer finishes.
+            assert_eq!(q.pop(), Some(0));
+            assert!(producer.join().unwrap());
+            assert_eq!(q.pop(), Some(1));
+        });
+    }
+
+    #[test]
+    fn close_unblocks_waiting_consumers() {
+        let q = Arc::new(BoundedQueue::<u8>::new(1));
+        std::thread::scope(|s| {
+            let consumer = {
+                let q = Arc::clone(&q);
+                s.spawn(move || q.pop())
+            };
+            q.close();
+            assert_eq!(consumer.join().unwrap(), None);
+        });
+    }
+}

@@ -1,0 +1,219 @@
+//! A long-lived worker pool with graceful shutdown.
+//!
+//! [`parallel_map`](crate::parallel_map) covers fork-join batches, but a
+//! serving process needs workers that outlive any one batch: threads started
+//! once, fed through a [`BoundedQueue`] of jobs, and torn down in a
+//! controlled way. [`ServicePool::shutdown`] implements the contract every
+//! long-lived front-end wants:
+//!
+//! 1. **drain** — the queue is closed, so no new work is accepted, but every
+//!    job already submitted still runs;
+//! 2. **join** — all workers are joined after the drain;
+//! 3. **propagate** — the first job panic (in submission-observation order)
+//!    is resurfaced on the caller's thread, after all workers are joined, so
+//!    a poisoned job can neither be silently swallowed nor strand siblings.
+//!
+//! A panicking job does **not** kill its worker: jobs run under
+//! `catch_unwind`, the first payload is parked, and the worker keeps
+//! serving. A server therefore stays up through a poisoned request and
+//! still reports the failure at shutdown.
+
+use crate::queue::{BoundedQueue, PushError};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+#[derive(Debug, Default)]
+struct PanicSlot {
+    first: Mutex<Option<PanicPayload>>,
+}
+
+impl PanicSlot {
+    fn park(&self, payload: PanicPayload) {
+        let mut slot = self.first.lock().unwrap_or_else(PoisonError::into_inner);
+        slot.get_or_insert(payload);
+    }
+
+    fn take(&self) -> Option<PanicPayload> {
+        self.first
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+}
+
+/// A fixed set of worker threads consuming jobs from a bounded queue.
+pub struct ServicePool {
+    queue: Arc<BoundedQueue<Job>>,
+    panic_slot: Arc<PanicSlot>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServicePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServicePool")
+            .field("workers", &self.workers.len())
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl ServicePool {
+    /// Starts `threads` workers over a job queue of depth `queue_depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` or `queue_depth` is zero.
+    pub fn new(threads: usize, queue_depth: usize) -> Self {
+        assert!(threads > 0, "a pool needs at least one worker");
+        let queue = Arc::new(BoundedQueue::new(queue_depth));
+        let panic_slot = Arc::new(PanicSlot::default());
+        let workers = (0..threads)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let panic_slot = Arc::clone(&panic_slot);
+                std::thread::Builder::new()
+                    .name(format!("camo-service-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                                panic_slot.park(payload);
+                            }
+                        }
+                    })
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self {
+            queue,
+            panic_slot,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs queued but not yet claimed by a worker.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits a job, blocking while the queue is full. Fails only after
+    /// [`Self::shutdown`] began (the job is returned inside the error).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PushError<Job>> {
+        self.queue.push(Box::new(job))
+    }
+
+    /// Submits without blocking; `Err(Full)` is the backpressure signal.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), PushError<Job>> {
+        self.queue.try_push(Box::new(job))
+    }
+
+    /// Gracefully shuts down: drains all submitted work, joins every
+    /// worker, then propagates the first job panic (if any) on this thread.
+    pub fn shutdown(mut self) {
+        self.queue.close();
+        let workers = std::mem::take(&mut self.workers);
+        for handle in workers {
+            // Workers never panic themselves (jobs are caught), so a join
+            // error would indicate a bug in the pool; surface it.
+            handle.join().expect("service worker exited cleanly");
+        }
+        if let Some(payload) = self.panic_slot.take() {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ServicePool {
+    /// Dropping without [`Self::shutdown`] still drains and joins (so work
+    /// is never abandoned), but swallows parked panics — explicit shutdown
+    /// is the observable path.
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in std::mem::take(&mut self.workers) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn shutdown_drains_all_submitted_work() {
+        let pool = ServicePool::new(2, 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn submit_after_shutdown_begins_is_rejected() {
+        let pool = ServicePool::new(1, 4);
+        pool.queue.close();
+        assert!(matches!(pool.submit(|| {}), Err(PushError::Closed(_))));
+    }
+
+    #[test]
+    fn try_submit_signals_backpressure_when_full() {
+        // One worker parked on a gate keeps the queue from draining.
+        let gate = Arc::new(BoundedQueue::<()>::new(1));
+        let pool = ServicePool::new(1, 1);
+        let worker_gate = Arc::clone(&gate);
+        pool.submit(move || {
+            let _ = worker_gate.pop();
+        })
+        .unwrap();
+        // Wait until the worker has claimed the gate job, fill the single
+        // queue slot, then observe Full without blocking.
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        pool.try_submit(|| {}).unwrap();
+        assert!(matches!(pool.try_submit(|| {}), Err(PushError::Full(_))));
+        gate.close();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_propagates_the_first_job_panic_after_draining() {
+        let pool = ServicePool::new(2, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        pool.submit(|| panic!("poisoned request")).unwrap();
+        for _ in 0..10 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| pool.shutdown()));
+        std::panic::set_hook(prev);
+        let payload = result.expect_err("the job panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("poisoned request")
+        );
+        // The panic did not abort the drain: every later job still ran.
+        assert_eq!(done.load(Ordering::Relaxed), 10);
+    }
+}

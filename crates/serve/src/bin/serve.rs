@@ -1,0 +1,61 @@
+//! The `serve` binary: a long-lived OPC server on one TCP port.
+//!
+//! ```text
+//! serve [--host 127.0.0.1] [--port 7878] [--threads N] [--queue-depth N]
+//!       [--max-connections N] [--dispatchers N] [--retry-after-ms N]
+//!       [--port-file PATH]
+//! ```
+//!
+//! `--port 0` binds an ephemeral port; the bound address is printed on
+//! stdout and, with `--port-file`, written to a file so scripts (CI smoke)
+//! can discover it. The process exits cleanly when a client sends a
+//! `shutdown` request.
+
+use camo_serve::cli::{flag_value, parsed_flag};
+use camo_serve::{serve, ServerConfig};
+use std::net::SocketAddr;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let defaults = ServerConfig::default();
+    let host = flag_value(&args, "--host").unwrap_or_else(|| "127.0.0.1".into());
+    let port: u16 = parsed_flag(&args, "--port", 7878);
+    let addr: SocketAddr = format!("{host}:{port}").parse().unwrap_or_else(|_| {
+        eprintln!("invalid --host/--port combination");
+        std::process::exit(2);
+    });
+    let config = ServerConfig {
+        addr,
+        threads: parsed_flag(&args, "--threads", defaults.threads),
+        queue_depth: parsed_flag(&args, "--queue-depth", defaults.queue_depth),
+        max_connections: parsed_flag(&args, "--max-connections", defaults.max_connections),
+        dispatchers: parsed_flag(&args, "--dispatchers", defaults.dispatchers),
+        retry_after_ms: parsed_flag(&args, "--retry-after-ms", defaults.retry_after_ms),
+        context_capacity: parsed_flag(&args, "--context-capacity", defaults.context_capacity),
+        coalesce_limit: parsed_flag(&args, "--coalesce-limit", defaults.coalesce_limit),
+    };
+    let threads = config.threads;
+    let queue_depth = config.queue_depth;
+    let handle = serve(config).unwrap_or_else(|e| {
+        eprintln!("bind failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "camo-serve listening on {} ({} worker thread(s), queue depth {})",
+        handle.addr(),
+        threads,
+        queue_depth
+    );
+    if let Some(path) = flag_value(&args, "--port-file") {
+        if let Err(e) = std::fs::write(&path, handle.addr().to_string()) {
+            eprintln!("cannot write --port-file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    handle.wait_for_shutdown_request();
+    let stats = handle.shutdown();
+    println!(
+        "camo-serve shut down cleanly: {} request(s) served, {} rejected, {} connection(s)",
+        stats.served, stats.rejected, stats.connections
+    );
+}

@@ -1,0 +1,40 @@
+//! Minimal flag parsing shared by the `serve` and `camo-client` binaries
+//! (the container is offline, so no clap): space-separated `--flag value`
+//! pairs and boolean `--flag` presence checks.
+
+/// The raw value following `--flag`, if present.
+pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses the value following `--flag`, or returns `default` when the flag
+/// is absent; exits 2 with a message on an unparseable value.
+pub fn parsed_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match flag_value(args, flag) {
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for {flag}: {raw}");
+            std::process::exit(2);
+        }),
+        None => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_values_and_defaults() {
+        let a = args(&["--port", "8080", "--verify"]);
+        assert_eq!(flag_value(&a, "--port").as_deref(), Some("8080"));
+        assert_eq!(flag_value(&a, "--missing"), None);
+        assert_eq!(parsed_flag(&a, "--port", 1u16), 8080);
+        assert_eq!(parsed_flag(&a, "--threads", 3usize), 3);
+    }
+}

@@ -1,0 +1,255 @@
+//! The blocking client: framed send/receive plus request-id correlation.
+//!
+//! Responses stream back in **completion order**, not submission order — a
+//! coalesced batch may finish before an earlier expensive request, and
+//! sweep cases arrive as separate frames. [`ResponseRouter`] reassembles
+//! that stream: every response is filed under its request id, and a request
+//! is *complete* once its single result arrived (optimize / evaluate /
+//! layout / busy / error / shutting-down) or every sweep case index
+//! `0..total` is present. The out-of-order correlation tests in
+//! `tests/wire_properties.rs` drive the router directly with scrambled
+//! streams.
+
+use crate::wire::{
+    decode_response, encode_request, read_frame, Frame, Request, RequestBody, Response,
+    ResponseBody, WireError,
+};
+use std::collections::BTreeMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport or codec.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer sent a frame that does not decode.
+    Wire(WireError),
+    /// The peer violated the correlation protocol (duplicate case index,
+    /// response for an unknown id, inconsistent totals).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Wire(e) => write!(f, "wire error: {e}"),
+            Self::Protocol(what) => write!(f, "protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+/// A blocking connection to a serve process.
+pub struct Client {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(Self {
+            writer: BufWriter::new(stream),
+            reader: BufReader::new(read_half),
+            next_id: 1,
+        })
+    }
+
+    /// Sends a body under a fresh id and returns that id.
+    pub fn send(&mut self, body: RequestBody) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_request(&Request { id, body })?;
+        Ok(id)
+    }
+
+    /// Sends a fully specified request (caller-chosen id).
+    pub fn send_request(&mut self, request: &Request) -> Result<(), ClientError> {
+        let frame = encode_request(request)?;
+        self.writer.write_all(frame.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Receives the next response; `None` on clean EOF.
+    pub fn recv(&mut self) -> Result<Option<Response>, ClientError> {
+        loop {
+            match read_frame(&mut self.reader)? {
+                None => return Ok(None),
+                Some(Frame::Oversized { len }) => {
+                    return Err(ClientError::Wire(WireError::Oversized { len }))
+                }
+                Some(Frame::Line(line)) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    return Ok(Some(decode_response(&line)?));
+                }
+            }
+        }
+    }
+}
+
+/// One fully correlated request result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Completed {
+    /// A single-response result (outcome / evaluation / layout / pong).
+    Single(ResponseBody),
+    /// All cases of a sweep, ordered by case index.
+    Sweep(Vec<ResponseBody>),
+    /// The request was rejected with backpressure; retry after the hint.
+    Rejected {
+        /// Suggested back-off, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request failed or was refused at shutdown.
+    Failed(ResponseBody),
+}
+
+#[derive(Debug, Default)]
+struct PartialSweep {
+    total: usize,
+    cases: BTreeMap<usize, ResponseBody>,
+}
+
+/// Correlates a completion-ordered response stream back to request ids.
+#[derive(Debug, Default)]
+pub struct ResponseRouter {
+    partial: BTreeMap<u64, PartialSweep>,
+    done: BTreeMap<u64, Completed>,
+}
+
+impl ResponseRouter {
+    /// A fresh router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Files one response. Returns `Some(id)` when that request just became
+    /// complete.
+    pub fn accept(&mut self, response: Response) -> Result<Option<u64>, ClientError> {
+        let id = response.id;
+        if self.done.contains_key(&id) {
+            return Err(ClientError::Protocol(format!(
+                "response for already-completed id {id}"
+            )));
+        }
+        match response.body {
+            ResponseBody::CaseOutcome { index, total, .. } => {
+                if total == 0 || index >= total {
+                    return Err(ClientError::Protocol(format!(
+                        "case index {index} out of range 0..{total}"
+                    )));
+                }
+                let partial = self.partial.entry(id).or_insert_with(|| PartialSweep {
+                    total,
+                    cases: BTreeMap::new(),
+                });
+                if partial.total != total {
+                    return Err(ClientError::Protocol(format!(
+                        "sweep {id} changed total {} -> {total}",
+                        partial.total
+                    )));
+                }
+                if partial.cases.insert(index, response.body).is_some() {
+                    return Err(ClientError::Protocol(format!(
+                        "duplicate case {index} for sweep {id}"
+                    )));
+                }
+                if partial.cases.len() == partial.total {
+                    let partial = self.partial.remove(&id).expect("just inserted");
+                    let ordered = partial.cases.into_values().collect();
+                    self.done.insert(id, Completed::Sweep(ordered));
+                    Ok(Some(id))
+                } else {
+                    Ok(None)
+                }
+            }
+            ResponseBody::Busy { retry_after_ms } => {
+                self.done.insert(id, Completed::Rejected { retry_after_ms });
+                Ok(Some(id))
+            }
+            body @ (ResponseBody::Error { .. } | ResponseBody::ShuttingDown) => {
+                // An error/refusal terminates the request even if sweep
+                // cases already arrived.
+                self.partial.remove(&id);
+                self.done.insert(id, Completed::Failed(body));
+                Ok(Some(id))
+            }
+            body => {
+                if self.partial.contains_key(&id) {
+                    return Err(ClientError::Protocol(format!(
+                        "single response for sweep id {id}"
+                    )));
+                }
+                self.done.insert(id, Completed::Single(body));
+                Ok(Some(id))
+            }
+        }
+    }
+
+    /// Number of completed requests not yet taken.
+    pub fn completed(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Takes a completed result.
+    pub fn take(&mut self, id: u64) -> Option<Completed> {
+        self.done.remove(&id)
+    }
+
+    /// True while any sweep is still partially received.
+    pub fn has_partial(&self) -> bool {
+        !self.partial.is_empty()
+    }
+}
+
+/// Drives `client` until the given ids are all complete, routing everything
+/// received; returns the completed results by id.
+pub fn collect_responses(
+    client: &mut Client,
+    ids: &[u64],
+) -> Result<BTreeMap<u64, Completed>, ClientError> {
+    let mut router = ResponseRouter::new();
+    let mut outstanding: std::collections::BTreeSet<u64> = ids.iter().copied().collect();
+    let mut results = BTreeMap::new();
+    while !outstanding.is_empty() {
+        let response = client
+            .recv()?
+            .ok_or_else(|| ClientError::Protocol("eof with requests outstanding".into()))?;
+        // Id 0 means the server could not attribute the failure to any
+        // request (a frame we sent never decoded) — one of the outstanding
+        // ids will therefore never complete. Waiting would hang; fail fast.
+        if response.id == 0 && !outstanding.contains(&0) {
+            return Err(ClientError::Protocol(format!(
+                "server reported an unattributable failure: {:?}",
+                response.body
+            )));
+        }
+        if let Some(id) = router.accept(response)? {
+            if outstanding.remove(&id) {
+                results.insert(id, router.take(id).expect("just completed"));
+            }
+        }
+    }
+    Ok(results)
+}

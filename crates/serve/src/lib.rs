@@ -1,0 +1,69 @@
+//! `camo-serve`: the long-lived OPC serving front-end.
+//!
+//! Everything below `camo-serve` computes; this crate *serves*. A single
+//! process holds the expensive shared state — one immutable
+//! [`camo_litho::LithoContext`] per lithography configuration (LRU-cached
+//! via [`camo_litho::ContextCache`]) and a recycled
+//! [`camo_litho::WorkspacePool`] per context — accepts
+//! clip-optimization / evaluation / layout-sweep requests over TCP, and
+//! streams per-clip outcomes back as they complete. The container this
+//! repository builds in is offline, so there is no tokio and no serde: the
+//! server is plain `std::net` + threads, and the wire format is the
+//! hand-rolled JSON-subset codec in [`wire`].
+//!
+//! # Architecture
+//!
+//! ```text
+//!                ┌────────────────────────── serve process ─────────────────────────┐
+//!  client ──TCP──▶ acceptor ─▶ reader ──try_push──▶ BoundedQueue ──pop──▶ dispatchers │
+//!  (camo-client)│     │          │ full → Busy{retry_after_ms}       (ServicePool)   │
+//!               │     │          ▼                                       │ coalesce  │
+//!               │     │        writer ◀───────── responses ──────────────┤ by config │
+//!               │     │     (per conn, newline-delimited, completion order)          │
+//!               │     └ max_connections cap                  ContextCache (LRU)      │
+//!               └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`wire`] — line-based JSON-subset codec: typed requests/responses,
+//!   strict validation, exact `f64` round-trips, typed errors (never
+//!   panics) for truncated/oversized/malformed frames.
+//! * [`server`] — acceptor + per-connection reader/writer threads, the
+//!   bounded request queue whose `try_push` failure becomes a typed
+//!   [`wire::ResponseBody::Busy`] rejection (backpressure, never blocking,
+//!   never silent drops), and dispatchers on a
+//!   [`camo_runtime::ServicePool`] that coalesce compatible requests into
+//!   `optimize_batch` / `sweep_cases` / `evaluate_layout` calls.
+//! * [`exec`] — the spec → engine/simulator materialisation shared by the
+//!   server and the offline verifier, which is what reduces "server ==
+//!   offline" to the batch runtime's own determinism contract.
+//! * [`client`] — blocking client plus [`client::ResponseRouter`]
+//!   request-id correlation for the completion-ordered response stream.
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical to offline runs**: engines rebuild
+//! deterministically from their [`wire::JobSpec`] (CAMO policies seed from
+//! the spec), episodes follow the `(seed, clip_index)` RNG contract, and
+//! the batch runtime is bit-identical to serial loops at any thread count.
+//! The end-to-end test (`tests/e2e.rs`) and `camo-client --verify` diff
+//! server responses against direct `camo-runtime` calls with
+//! `f64::to_bits` equality.
+//!
+//! # Binaries
+//!
+//! * `serve` — `--port/--threads/--queue-depth/--max-connections/...`;
+//!   prints the bound address, optionally writes it to `--port-file`, and
+//!   exits cleanly on a client `shutdown` request.
+//! * `camo-client` — load generator over
+//!   [`camo_workloads::request_stream`], with `--verify` (offline
+//!   bit-identity diff) and `--shutdown`.
+
+pub mod cli;
+pub mod client;
+pub mod exec;
+pub mod server;
+pub mod wire;
+
+pub use client::{collect_responses, Client, ClientError, Completed, ResponseRouter};
+pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use wire::{Request, RequestBody, Response, ResponseBody, WireError};

@@ -1,0 +1,653 @@
+//! The long-lived serving process: acceptor, per-connection reader/writer
+//! threads, a bounded request queue with backpressure, and dispatchers that
+//! coalesce compatible requests into batch-runtime calls.
+//!
+//! # Thread anatomy
+//!
+//! ```text
+//! acceptor ──accept──▶ reader (1/conn) ──try_push──▶ BoundedQueue
+//!                        │  full? ──▶ Busy{retry_after_ms} to writer
+//!                        ▼
+//!                      writer (1/conn) ◀──respond── dispatchers (ServicePool)
+//! ```
+//!
+//! * The **acceptor** owns the listener (non-blocking, so shutdown is
+//!   prompt) and enforces `max_connections` — excess connections receive a
+//!   single `busy` frame and are closed.
+//! * Each connection's **reader** decodes frames and `try_push`es them into
+//!   the shared [`BoundedQueue`]. A full queue is answered *immediately*
+//!   with a typed [`ResponseBody::Busy`] rejection carrying a retry hint —
+//!   the reader never blocks, never drops a request silently.
+//! * **Dispatchers** run as jobs on a [`ServicePool`] (the runtime's
+//!   graceful-shutdown pool). Each pops a request, opportunistically drains
+//!   compatible neighbours ([`crate::exec::coalesce_key`]) and executes
+//!   them as one `optimize_batch`/`parallel_map` call on `threads` worker
+//!   threads. Simulators come from a shared [`ContextCache`], so every
+//!   request under one process configuration shares one immutable
+//!   [`camo_litho::LithoContext`] and one workspace pool.
+//! * Each connection's **writer** streams newline-delimited responses in
+//!   completion order; clients correlate by request id.
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or a client `shutdown` request followed by
+//! [`ServerHandle::wait_for_shutdown_request`]) stops the acceptor, closes
+//! the request queue (later pushes answer `shutting_down`), lets the
+//! dispatchers drain everything already queued, read-shuts every connection
+//! so readers unblock, joins all threads and finally propagates the first
+//! dispatcher panic, if any — the [`ServicePool`] contract.
+
+use crate::exec::{
+    coalesce_key, run_evaluate, run_layout, run_optimize, run_sweep, wire_evaluation, wire_outcome,
+};
+use crate::wire::{
+    encode_response, read_frame, ErrorCode, Frame, Request, RequestBody, Response, ResponseBody,
+};
+use camo_litho::ContextCache;
+use camo_runtime::{BoundedQueue, PushError, ServicePool};
+use std::collections::VecDeque;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (port 0 picks an ephemeral port).
+    pub addr: SocketAddr,
+    /// Worker threads each batch execution fans out over.
+    pub threads: usize,
+    /// Request-queue depth; a full queue answers `busy` (backpressure).
+    pub queue_depth: usize,
+    /// Maximum simultaneously open connections.
+    pub max_connections: usize,
+    /// Dispatcher threads draining the queue. `0` is a test/bench hook: the
+    /// queue is never drained, so saturation behaviour can be observed
+    /// deterministically.
+    pub dispatchers: usize,
+    /// Retry hint carried by `busy` rejections, milliseconds.
+    pub retry_after_ms: u64,
+    /// Distinct lithography configurations cached (LRU beyond this).
+    pub context_capacity: usize,
+    /// Most requests one dispatcher drains into a single coalesced batch.
+    pub coalesce_limit: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".parse().expect("static addr"),
+            threads: 1,
+            queue_depth: 64,
+            max_connections: 32,
+            dispatchers: 1,
+            retry_after_ms: 50,
+            context_capacity: 4,
+            coalesce_limit: 16,
+        }
+    }
+}
+
+/// Counters exposed for logging and the bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests answered with a result (every sweep counts once).
+    pub served: usize,
+    /// Requests rejected with `busy` (queue full) plus connections turned
+    /// away at the connection cap.
+    pub rejected: usize,
+    /// Connections accepted.
+    pub connections: usize,
+}
+
+/// One queued unit of work: the decoded request plus the sender feeding its
+/// connection's writer thread.
+struct QueuedRequest {
+    reply: Sender<Response>,
+    request: Request,
+}
+
+struct Shared {
+    config: ServerConfig,
+    queue: BoundedQueue<QueuedRequest>,
+    contexts: ContextCache,
+    stop: AtomicBool,
+    live: AtomicUsize,
+    served: AtomicUsize,
+    rejected: AtomicUsize,
+    connections: AtomicUsize,
+    shutdown_flag: Mutex<bool>,
+    shutdown_cv: Condvar,
+    /// Stream clones used to read-shutdown blocked readers at exit, keyed
+    /// by connection id so entries are dropped when their reader exits —
+    /// otherwise a long-lived server would leak one fd per past connection.
+    streams: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.queue.close();
+        for (_, stream) in self.lock_streams().iter() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let mut flag = self
+            .shutdown_flag
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *flag = true;
+        self.shutdown_cv.notify_all();
+    }
+
+    fn register_stream(&self, conn_id: u64, stream: TcpStream) {
+        self.lock_streams().push((conn_id, stream));
+    }
+
+    fn deregister_stream(&self, conn_id: u64) {
+        self.lock_streams().retain(|(id, _)| *id != conn_id);
+    }
+
+    fn lock_streams(&self) -> std::sync::MutexGuard<'_, Vec<(u64, TcpStream)>> {
+        self.streams.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A running server; dropping it without [`Self::shutdown`] aborts less
+/// gracefully (threads are still joined, panics are not propagated).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    dispatchers: Option<ServicePool>,
+}
+
+/// Binds and starts a server; returns once the listener is live.
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: BoundedQueue::new(config.queue_depth),
+        contexts: ContextCache::new(config.context_capacity),
+        stop: AtomicBool::new(false),
+        live: AtomicUsize::new(0),
+        served: AtomicUsize::new(0),
+        rejected: AtomicUsize::new(0),
+        connections: AtomicUsize::new(0),
+        shutdown_flag: Mutex::new(false),
+        shutdown_cv: Condvar::new(),
+        streams: Mutex::new(Vec::new()),
+        config,
+    });
+
+    let dispatchers = match shared.config.dispatchers {
+        0 => None,
+        n => {
+            let pool = ServicePool::new(n, n);
+            for _ in 0..n {
+                let shared = Arc::clone(&shared);
+                pool.submit(move || dispatcher_loop(&shared))
+                    .expect("fresh pool accepts jobs");
+            }
+            Some(pool)
+        }
+    };
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("camo-serve-acceptor".into())
+            .spawn(move || acceptor_loop(listener, &shared))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        dispatchers,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            connections: self.shared.connections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Blocks until a client sends a `shutdown` request (the serve binary's
+    /// main loop). Returns immediately if shutdown already began.
+    pub fn wait_for_shutdown_request(&self) {
+        let mut flag = self
+            .shared
+            .shutdown_flag
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while !*flag {
+            flag = self
+                .shared
+                .shutdown_cv
+                .wait(flag)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Gracefully shuts down: stop accepting, let the dispatchers drain
+    /// every queued request, flush and close all connections, join all
+    /// threads, and propagate the first dispatcher panic (if any).
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shared.request_shutdown();
+        if let Some(pool) = self.dispatchers.take() {
+            // Waits for the dispatcher jobs to drain the (closed) request
+            // queue, then joins and propagates parked panics. If that
+            // propagates, Drop still runs `finish` during unwinding.
+            pool.shutdown();
+        }
+        self.finish()
+    }
+
+    /// Answers whatever is still queued (only possible when no dispatcher
+    /// ran — the saturation-test mode) and joins the acceptor, which in
+    /// turn joins every connection thread.
+    fn finish(&mut self) -> ServerStats {
+        while let Some(q) = self.shared.queue.try_pop() {
+            let _ = q.reply.send(Response {
+                id: q.request.id,
+                body: ResponseBody::ShuttingDown,
+            });
+        }
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.request_shutdown();
+        if let Some(pool) = self.dispatchers.take() {
+            // Drain and join without panic propagation (ServicePool::drop);
+            // the explicit shutdown() path is the observable one.
+            drop(pool);
+        }
+        self.finish();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor + connection threads
+// ---------------------------------------------------------------------------
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                conn_threads.retain(|h| !h.is_finished());
+                let conn_id = shared.connections.fetch_add(1, Ordering::Relaxed) as u64;
+                if shared.live.fetch_add(1, Ordering::SeqCst) >= shared.config.max_connections {
+                    shared.live.fetch_sub(1, Ordering::SeqCst);
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    reject_connection(stream, shared.config.retry_after_ms);
+                    continue;
+                }
+                match spawn_connection(conn_id, stream, shared) {
+                    Ok(handles) => conn_threads.extend(handles),
+                    Err(_) => {
+                        shared.live.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for handle in conn_threads {
+        let _ = handle.join();
+    }
+}
+
+/// Turns an over-cap connection away with a single typed `busy` frame.
+fn reject_connection(stream: TcpStream, retry_after_ms: u64) {
+    let mut writer = BufWriter::new(stream);
+    if let Ok(frame) = encode_response(&Response {
+        id: 0,
+        body: ResponseBody::Busy { retry_after_ms },
+    }) {
+        let _ = writer.write_all(frame.as_bytes());
+        let _ = writer.write_all(b"\n");
+        let _ = writer.flush();
+    }
+}
+
+fn spawn_connection(
+    conn_id: u64,
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+) -> std::io::Result<[JoinHandle<()>; 2]> {
+    // A dead or stalled client must not wedge shutdown behind a full send
+    // buffer; writers give up after this long.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let read_half = stream.try_clone()?;
+    shared.register_stream(conn_id, stream.try_clone()?);
+    // Close the race with a concurrent `request_shutdown`: if its
+    // read-shutdown pass already swept the registry, sweep this connection
+    // ourselves so the reader observes EOF instead of blocking forever.
+    if shared.stop.load(Ordering::SeqCst) {
+        let _ = read_half.shutdown(Shutdown::Read);
+    }
+    let (tx, rx) = channel::<Response>();
+
+    let writer = std::thread::Builder::new()
+        .name("camo-serve-writer".into())
+        .spawn(move || writer_loop(stream, rx));
+    let writer = match writer {
+        Ok(handle) => handle,
+        Err(e) => {
+            shared.deregister_stream(conn_id);
+            return Err(e);
+        }
+    };
+    let reader = {
+        let shared_for_reader = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("camo-serve-reader".into())
+            .spawn(move || {
+                reader_loop(read_half, &shared_for_reader, tx);
+                shared_for_reader.deregister_stream(conn_id);
+                shared_for_reader.live.fetch_sub(1, Ordering::SeqCst);
+            })
+    };
+    let reader = match reader {
+        Ok(handle) => handle,
+        Err(e) => {
+            // `tx` was moved into the failed spawn attempt and dropped, so
+            // the writer drains and exits on its own.
+            shared.deregister_stream(conn_id);
+            return Err(e);
+        }
+    };
+    Ok([reader, writer])
+}
+
+fn writer_loop(stream: TcpStream, rx: Receiver<Response>) {
+    let mut writer = BufWriter::new(stream);
+    // Ends when every sender (reader + queued requests) is gone; the final
+    // write-shutdown sends FIN so clients draining the stream observe EOF
+    // even while the server's shutdown registry still holds a clone.
+    while let Ok(response) = rx.recv() {
+        let frame = match encode_response(&response) {
+            Ok(frame) => frame,
+            Err(e) => match encode_response(&Response {
+                id: response.id,
+                body: ResponseBody::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("unencodable response: {e}"),
+                },
+            }) {
+                Ok(frame) => frame,
+                Err(_) => continue,
+            },
+        };
+        if writer.write_all(frame.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+    let _ = writer.get_ref().shutdown(Shutdown::Write);
+}
+
+fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, tx: Sender<Response>) {
+    let mut reader = BufReader::new(stream);
+    // Ends on EOF, a transport error, or a `shutdown` request (Err and
+    // Ok(None) both fall out of the `while let`).
+    while let Ok(Some(frame)) = read_frame(&mut reader) {
+        let line = match frame {
+            Frame::Line(line) => line,
+            Frame::Oversized { len } => {
+                let _ = tx.send(Response {
+                    id: 0,
+                    body: ResponseBody::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("frame of {len} bytes exceeds the limit"),
+                    },
+                });
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match crate::wire::decode_request(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                let _ = tx.send(Response {
+                    id: 0,
+                    body: ResponseBody::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                });
+                continue;
+            }
+        };
+        let id = request.id;
+        match request.body {
+            RequestBody::Ping => {
+                let _ = tx.send(Response {
+                    id,
+                    body: ResponseBody::Pong,
+                });
+            }
+            RequestBody::Shutdown => {
+                let _ = tx.send(Response {
+                    id,
+                    body: ResponseBody::ShuttingDown,
+                });
+                shared.request_shutdown();
+                break;
+            }
+            _ => {
+                let queued = QueuedRequest {
+                    reply: tx.clone(),
+                    request,
+                };
+                match shared.queue.try_push(queued) {
+                    Ok(()) => {}
+                    Err(PushError::Full(q)) => {
+                        shared.rejected.fetch_add(1, Ordering::Relaxed);
+                        let _ = q.reply.send(Response {
+                            id: q.request.id,
+                            body: ResponseBody::Busy {
+                                retry_after_ms: shared.config.retry_after_ms,
+                            },
+                        });
+                    }
+                    Err(PushError::Closed(q)) => {
+                        let _ = q.reply.send(Response {
+                            id: q.request.id,
+                            body: ResponseBody::ShuttingDown,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------------
+
+fn dispatcher_loop(shared: &Shared) {
+    while let Some(first) = shared.queue.pop() {
+        // Opportunistically drain whatever is queued right now, up to the
+        // coalesce limit; execution below groups compatible requests.
+        let mut pending: VecDeque<QueuedRequest> = VecDeque::new();
+        pending.push_back(first);
+        while pending.len() < shared.config.coalesce_limit {
+            match shared.queue.try_pop() {
+                Some(q) => pending.push_back(q),
+                None => break,
+            }
+        }
+        while let Some(head) = pending.pop_front() {
+            let key = coalesce_key(&head.request.body);
+            let mut batch = vec![head];
+            if let Some(key) = &key {
+                let mut i = 0;
+                while i < pending.len() {
+                    if coalesce_key(&pending[i].request.body).as_ref() == Some(key) {
+                        batch.push(pending.remove(i).expect("index checked"));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            execute_batch(shared, batch);
+        }
+    }
+}
+
+/// Executes one homogeneous batch and streams its responses. A panic inside
+/// execution is converted into per-request `internal` errors so one
+/// poisoned request cannot take the dispatcher down.
+fn execute_batch(shared: &Shared, batch: Vec<QueuedRequest>) {
+    let responses = catch_unwind(AssertUnwindSafe(|| run_batch(shared, &batch)));
+    match responses {
+        Ok(per_request) => {
+            for (q, responses) in batch.iter().zip(per_request) {
+                for response in responses {
+                    let _ = q.reply.send(response);
+                }
+                shared.served.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "request execution panicked".to_string());
+            for q in &batch {
+                let _ = q.reply.send(Response {
+                    id: q.request.id,
+                    body: ResponseBody::Error {
+                        code: ErrorCode::Internal,
+                        message: message.clone(),
+                    },
+                });
+            }
+        }
+    }
+}
+
+/// Runs one batch; `batch` is non-empty and homogeneous in coalesce key
+/// (sweep/layout batches always have exactly one request).
+fn run_batch(shared: &Shared, batch: &[QueuedRequest]) -> Vec<Vec<Response>> {
+    let threads = shared.config.threads;
+    match &batch[0].request.body {
+        RequestBody::Optimize { job, .. } => {
+            let clips: Vec<_> = batch
+                .iter()
+                .map(|q| match &q.request.body {
+                    RequestBody::Optimize { clip, .. } => clip.clone(),
+                    _ => unreachable!("coalesced batch is homogeneous"),
+                })
+                .collect();
+            let sim = shared.contexts.get(&job.litho.to_config());
+            let outcomes = run_optimize(job, &clips, &sim, threads);
+            batch
+                .iter()
+                .zip(&outcomes)
+                .map(|(q, outcome)| {
+                    vec![Response {
+                        id: q.request.id,
+                        body: ResponseBody::Outcome(wire_outcome(outcome)),
+                    }]
+                })
+                .collect()
+        }
+        RequestBody::Evaluate { litho, .. } => {
+            let probes: Vec<_> = batch
+                .iter()
+                .map(|q| match &q.request.body {
+                    RequestBody::Evaluate {
+                        layer, bias, clip, ..
+                    } => (*layer, *bias, clip.clone()),
+                    _ => unreachable!("coalesced batch is homogeneous"),
+                })
+                .collect();
+            let sim = shared.contexts.get(&litho.to_config());
+            let results = run_evaluate(&probes, &sim, threads);
+            batch
+                .iter()
+                .zip(&results)
+                .map(|(q, result)| {
+                    vec![Response {
+                        id: q.request.id,
+                        body: wire_evaluation(result),
+                    }]
+                })
+                .collect()
+        }
+        RequestBody::Sweep { job, cases } => {
+            let sim = shared.contexts.get(&job.litho.to_config());
+            let outcomes = run_sweep(job, cases, &sim, threads);
+            let id = batch[0].request.id;
+            let total = outcomes.len();
+            vec![outcomes
+                .iter()
+                .enumerate()
+                .map(|(index, (name, outcome))| Response {
+                    id,
+                    body: ResponseBody::CaseOutcome {
+                        index,
+                        total,
+                        name: name.clone(),
+                        outcome: wire_outcome(outcome),
+                    },
+                })
+                .collect()]
+        }
+        RequestBody::Layout {
+            litho,
+            params,
+            seed,
+            tile_nm,
+        } => {
+            let sim = shared.contexts.get(&litho.to_config());
+            let report = run_layout(params, *seed, *tile_nm, &sim, threads);
+            vec![vec![Response {
+                id: batch[0].request.id,
+                body: ResponseBody::LayoutReport {
+                    tiles: report.tiles,
+                    epe_per_point: report.epe.per_point.clone(),
+                    pv_band: report.pv_band,
+                },
+            }]]
+        }
+        RequestBody::Ping | RequestBody::Shutdown => {
+            unreachable!("answered inline by the reader")
+        }
+    }
+}

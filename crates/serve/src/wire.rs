@@ -1,0 +1,1685 @@
+//! The line-based wire protocol: a hand-rolled JSON-subset codec plus the
+//! typed request/response schema.
+//!
+//! The build environment is offline (no `serde`), so this module vendors
+//! exactly what the protocol needs and nothing more. One **frame** is one
+//! line of UTF-8 ending in `\n`, holding one JSON value; frames longer than
+//! [`MAX_FRAME`] bytes are rejected before parsing. The value grammar is a
+//! strict JSON subset:
+//!
+//! * objects, arrays, strings, booleans, `null`;
+//! * numbers split into exact [`Value::Int`] (no `.`/exponent, fits `i64`)
+//!   and [`Value::Float`] — integer coordinates and segment offsets
+//!   round-trip exactly, and floats are emitted with Rust's shortest
+//!   round-trip formatting so EPE/PV-band values survive the wire **bit for
+//!   bit** (the end-to-end tests diff server results against offline runs
+//!   with `f64::to_bits`);
+//! * string escapes `\" \\ \/ \n \r \t` only (no `\u`), no raw control
+//!   bytes; non-finite floats are unencodable.
+//!
+//! Decoding is strict: unknown object fields, duplicate fields, trailing
+//! garbage, oversized frames and truncated values are all typed
+//! [`WireError`]s, never panics — property-tested against mutated and
+//! random frames in `tests/wire_properties.rs`.
+
+use camo_geometry::{Clip, Coord, Point, Polygon, Rect};
+use camo_litho::LithoConfig;
+use camo_workloads::LayoutParams;
+use std::fmt;
+
+/// Maximum frame length in bytes (the newline excluded).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Maximum nesting depth a frame may use.
+const MAX_DEPTH: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Every way a frame can fail to decode (or a value fail to encode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame exceeds [`MAX_FRAME`] bytes.
+    Oversized {
+        /// Observed length in bytes.
+        len: usize,
+    },
+    /// The frame ended in the middle of a value (truncated line).
+    Truncated,
+    /// A structural error at byte offset `at`.
+    Syntax {
+        /// Byte offset of the offending input.
+        at: usize,
+        /// What the parser expected or found.
+        what: &'static str,
+    },
+    /// An unsupported or malformed string escape at byte offset `at`.
+    BadEscape {
+        /// Byte offset of the backslash.
+        at: usize,
+    },
+    /// A malformed or out-of-range number at byte offset `at`.
+    BadNumber {
+        /// Byte offset of the number's first byte.
+        at: usize,
+    },
+    /// Nesting deeper than the supported maximum.
+    TooDeep,
+    /// The value parsed but does not match the typed schema.
+    Schema(String),
+    /// The value cannot be represented on the wire (non-finite float,
+    /// control character in a string).
+    Unencodable(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Oversized { len } => write!(f, "frame of {len} bytes exceeds {MAX_FRAME}"),
+            Self::Truncated => write!(f, "frame truncated mid-value"),
+            Self::Syntax { at, what } => write!(f, "syntax error at byte {at}: {what}"),
+            Self::BadEscape { at } => write!(f, "bad string escape at byte {at}"),
+            Self::BadNumber { at } => write!(f, "bad number at byte {at}"),
+            Self::TooDeep => write!(f, "nesting exceeds depth {MAX_DEPTH}"),
+            Self::Schema(what) => write!(f, "schema error: {what}"),
+            Self::Unencodable(what) => write!(f, "unencodable value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An exact integer (no decimal point or exponent on the wire).
+    Int(i64),
+    /// A finite double, round-tripped exactly.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object (insertion-ordered; duplicate keys are a decode error).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Self::Null => "null",
+            Self::Bool(_) => "bool",
+            Self::Int(_) => "int",
+            Self::Float(_) => "float",
+            Self::Str(_) => "string",
+            Self::Arr(_) => "array",
+            Self::Obj(_) => "object",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, what: &'static str) -> Result<(), WireError> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(_) => Err(WireError::Syntax { at: self.pos, what }),
+            None => Err(WireError::Truncated),
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(WireError::Truncated),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(WireError::Syntax {
+                at: self.pos,
+                what: "expected a value",
+            }),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &'static str, value: Value) -> Result<Value, WireError> {
+        let end = self.pos + word.len();
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        if &self.bytes[self.pos..end] == word.as_bytes() {
+            self.pos = end;
+            Ok(value)
+        } else {
+            Err(WireError::Syntax {
+                at: self.pos,
+                what: "expected a keyword",
+            })
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, WireError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut fields: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key_at = self.pos;
+            let key = self.parse_string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(WireError::Syntax {
+                    at: key_at,
+                    what: "duplicate object key",
+                });
+            }
+            self.skip_ws();
+            self.expect(b':', "expected ':'")?;
+            let value = self.parse_value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                Some(_) => {
+                    return Err(WireError::Syntax {
+                        at: self.pos,
+                        what: "expected ',' or '}'",
+                    })
+                }
+                None => return Err(WireError::Truncated),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, WireError> {
+        self.expect(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                Some(_) => {
+                    return Err(WireError::Syntax {
+                        at: self.pos,
+                        what: "expected ',' or ']'",
+                    })
+                }
+                None => return Err(WireError::Truncated),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, WireError> {
+        self.expect(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(WireError::Truncated),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let at = self.pos;
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or(WireError::Truncated)?;
+                    let ch = match escaped {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        _ => return Err(WireError::BadEscape { at }),
+                    };
+                    out.push(ch);
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(WireError::Syntax {
+                        at: self.pos,
+                        what: "raw control byte in string",
+                    })
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid; find the char covering pos).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| WireError::Syntax {
+                        at: self.pos,
+                        what: "invalid utf-8",
+                    })?;
+                    let ch = s.chars().next().ok_or(WireError::Truncated)?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, WireError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| WireError::BadNumber { at: start })?;
+        if float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| WireError::BadNumber { at: start })?;
+            if !v.is_finite() {
+                return Err(WireError::BadNumber { at: start });
+            }
+            Ok(Value::Float(v))
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| WireError::BadNumber { at: start })?;
+            Ok(Value::Int(v))
+        }
+    }
+}
+
+/// Parses one frame (without its trailing newline) into a [`Value`].
+pub fn parse_value(frame: &str) -> Result<Value, WireError> {
+    if frame.len() > MAX_FRAME {
+        return Err(WireError::Oversized { len: frame.len() });
+    }
+    let mut p = Parser::new(frame);
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(WireError::Syntax {
+            at: p.pos,
+            what: "trailing bytes after value",
+        });
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+/// Serializes a [`Value`] into one frame (no trailing newline).
+pub fn write_value(value: &Value, out: &mut String) -> Result<(), WireError> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            out.push_str(&i.to_string());
+        }
+        Value::Float(v) => {
+            if !v.is_finite() {
+                return Err(WireError::Unencodable("non-finite float"));
+            }
+            // Rust's shortest round-trip formatting: parses back to the
+            // identical bits. Normalise the integral form to carry a '.' so
+            // decoding stays in the Float variant.
+            let s = format!("{v:?}");
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => write_string(s, out)?,
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out)?;
+                out.push(':');
+                write_value(item, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) -> Result<(), WireError> {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                return Err(WireError::Unencodable("control character in string"))
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Schema helpers
+// ---------------------------------------------------------------------------
+
+/// A strict object view: every field must be consumed exactly once.
+struct ObjView<'a> {
+    fields: &'a [(String, Value)],
+    taken: Vec<bool>,
+}
+
+impl<'a> ObjView<'a> {
+    fn new(value: &'a Value, what: &str) -> Result<Self, WireError> {
+        match value {
+            Value::Obj(fields) => Ok(Self {
+                fields,
+                taken: vec![false; fields.len()],
+            }),
+            other => Err(WireError::Schema(format!(
+                "{what}: expected object, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn take(&mut self, key: &str) -> Result<&'a Value, WireError> {
+        self.take_opt(key)?
+            .ok_or_else(|| WireError::Schema(format!("missing field '{key}'")))
+    }
+
+    fn take_opt(&mut self, key: &str) -> Result<Option<&'a Value>, WireError> {
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if k == key {
+                self.taken[i] = true;
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        for (i, (k, _)) in self.fields.iter().enumerate() {
+            if !self.taken[i] {
+                return Err(WireError::Schema(format!("unknown field '{k}'")));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn as_i64(value: &Value, what: &str) -> Result<i64, WireError> {
+    match value {
+        Value::Int(i) => Ok(*i),
+        other => Err(WireError::Schema(format!(
+            "{what}: expected int, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn as_u64(value: &Value, what: &str) -> Result<u64, WireError> {
+    let i = as_i64(value, what)?;
+    u64::try_from(i).map_err(|_| WireError::Schema(format!("{what}: expected non-negative int")))
+}
+
+fn as_usize(value: &Value, what: &str) -> Result<usize, WireError> {
+    let i = as_i64(value, what)?;
+    usize::try_from(i).map_err(|_| WireError::Schema(format!("{what}: expected non-negative int")))
+}
+
+fn as_f64(value: &Value, what: &str) -> Result<f64, WireError> {
+    match value {
+        Value::Float(v) => Ok(*v),
+        // Integral floats may arrive as Int (e.g. an EPE of exactly 40).
+        Value::Int(i) => Ok(*i as f64),
+        other => Err(WireError::Schema(format!(
+            "{what}: expected number, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn as_str<'a>(value: &'a Value, what: &str) -> Result<&'a str, WireError> {
+    match value {
+        Value::Str(s) => Ok(s),
+        other => Err(WireError::Schema(format!(
+            "{what}: expected string, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn as_bool(value: &Value, what: &str) -> Result<bool, WireError> {
+    match value {
+        Value::Bool(b) => Ok(*b),
+        other => Err(WireError::Schema(format!(
+            "{what}: expected bool, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn as_arr<'a>(value: &'a Value, what: &str) -> Result<&'a [Value], WireError> {
+    match value {
+        Value::Arr(items) => Ok(items),
+        other => Err(WireError::Schema(format!(
+            "{what}: expected array, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn i64_vec(value: &Value, what: &str) -> Result<Vec<i64>, WireError> {
+    as_arr(value, what)?
+        .iter()
+        .map(|v| as_i64(v, what))
+        .collect()
+}
+
+fn f64_vec(value: &Value, what: &str) -> Result<Vec<f64>, WireError> {
+    as_arr(value, what)?
+        .iter()
+        .map(|v| as_f64(v, what))
+        .collect()
+}
+
+fn float_arr(values: &[f64]) -> Value {
+    Value::Arr(values.iter().map(|&v| Value::Float(v)).collect())
+}
+
+fn int_arr(values: &[i64]) -> Value {
+    Value::Arr(values.iter().map(|&v| Value::Int(v)).collect())
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Wire integers are `i64`; a `u64` field (ids, seeds) must fit, or encode
+/// fails typed instead of silently wrapping to a negative number the
+/// decoder would reject.
+fn u64_value(v: u64) -> Result<Value, WireError> {
+    i64::try_from(v)
+        .map(Value::Int)
+        .map_err(|_| WireError::Unencodable("u64 exceeds i64 on the wire"))
+}
+
+// ---------------------------------------------------------------------------
+// Geometry schema
+// ---------------------------------------------------------------------------
+
+fn rect_to_value(rect: Rect) -> Value {
+    int_arr(&[rect.x0, rect.y0, rect.x1, rect.y1])
+}
+
+fn rect_from_value(value: &Value, what: &str) -> Result<Rect, WireError> {
+    let v = i64_vec(value, what)?;
+    if v.len() != 4 {
+        return Err(WireError::Schema(format!("{what}: expected [x0,y0,x1,y1]")));
+    }
+    if v[0] >= v[2] || v[1] >= v[3] {
+        return Err(WireError::Schema(format!("{what}: degenerate rectangle")));
+    }
+    Ok(Rect::new(v[0], v[1], v[2], v[3]))
+}
+
+fn polygon_to_value(poly: &Polygon) -> Value {
+    let mut flat = Vec::with_capacity(poly.vertices().len() * 2);
+    for p in poly.vertices() {
+        flat.push(p.x);
+        flat.push(p.y);
+    }
+    int_arr(&flat)
+}
+
+fn polygon_from_value(value: &Value, what: &str) -> Result<Polygon, WireError> {
+    let flat = i64_vec(value, what)?;
+    if flat.len() < 8 || flat.len() % 2 != 0 {
+        return Err(WireError::Schema(format!(
+            "{what}: expected a flat [x,y,...] loop of at least 4 vertices"
+        )));
+    }
+    let points: Vec<Point> = flat.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
+    // Validate what `Polygon::new` would assert, so hostile frames surface
+    // as typed errors instead of panics.
+    let n = points.len();
+    for i in 0..n {
+        let (a, b) = (points[i], points[(i + 1) % n]);
+        if a == b {
+            return Err(WireError::Schema(format!(
+                "{what}: degenerate zero-length edge at vertex {i}"
+            )));
+        }
+        if a.x != b.x && a.y != b.y {
+            return Err(WireError::Schema(format!(
+                "{what}: edge at vertex {i} is not axis-parallel"
+            )));
+        }
+    }
+    Ok(Polygon::new(points))
+}
+
+/// Serializes a clip (region, name, targets, SRAFs).
+pub fn clip_to_value(clip: &Clip) -> Value {
+    obj(vec![
+        ("name", Value::Str(clip.name().to_string())),
+        ("region", rect_to_value(clip.region())),
+        (
+            "targets",
+            Value::Arr(clip.targets().iter().map(polygon_to_value).collect()),
+        ),
+        (
+            "srafs",
+            Value::Arr(clip.srafs().iter().map(|&r| rect_to_value(r)).collect()),
+        ),
+    ])
+}
+
+/// Deserializes a clip; targets are re-normalised exactly as
+/// [`Clip::add_target`] does, so a round-tripped clip compares equal.
+pub fn clip_from_value(value: &Value) -> Result<Clip, WireError> {
+    let mut view = ObjView::new(value, "clip")?;
+    let name = as_str(view.take("name")?, "clip.name")?.to_string();
+    let region = rect_from_value(view.take("region")?, "clip.region")?;
+    let targets = as_arr(view.take("targets")?, "clip.targets")?;
+    let srafs = as_arr(view.take("srafs")?, "clip.srafs")?;
+    view.finish()?;
+    let mut clip = Clip::with_name(region, name);
+    for t in targets {
+        clip.add_target(polygon_from_value(t, "clip.targets[..]")?);
+    }
+    for s in srafs {
+        clip.add_sraf(rect_from_value(s, "clip.srafs[..]")?);
+    }
+    Ok(clip)
+}
+
+// ---------------------------------------------------------------------------
+// Job schema
+// ---------------------------------------------------------------------------
+
+/// The lithography configuration a request runs under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LithoSpec {
+    /// Base preset (`"default"` or `"fast"`).
+    pub preset: LithoPreset,
+    /// Optional pixel-size override, nm.
+    pub pixel_size: Option<Coord>,
+}
+
+/// Named base configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LithoPreset {
+    /// [`LithoConfig::default`] — the paper's px5 setup.
+    Default,
+    /// [`LithoConfig::fast`] — the coarser px10 CI setup.
+    Fast,
+}
+
+impl LithoSpec {
+    /// The fast preset with no overrides.
+    pub fn fast() -> Self {
+        Self {
+            preset: LithoPreset::Fast,
+            pixel_size: None,
+        }
+    }
+
+    /// The default (paper px5) preset with no overrides.
+    pub fn paper() -> Self {
+        Self {
+            preset: LithoPreset::Default,
+            pixel_size: None,
+        }
+    }
+
+    /// Materialises the concrete configuration.
+    pub fn to_config(&self) -> LithoConfig {
+        let base = match self.preset {
+            LithoPreset::Default => LithoConfig::default(),
+            LithoPreset::Fast => LithoConfig::fast(),
+        };
+        match self.pixel_size {
+            Some(px) => LithoConfig {
+                pixel_size: px,
+                ..base
+            },
+            None => base,
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let preset = match self.preset {
+            LithoPreset::Default => "default",
+            LithoPreset::Fast => "fast",
+        };
+        let mut fields = vec![("preset", Value::Str(preset.to_string()))];
+        if let Some(px) = self.pixel_size {
+            fields.push(("pixel_size", Value::Int(px)));
+        }
+        obj(fields)
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let mut view = ObjView::new(value, "litho")?;
+        let preset = match as_str(view.take("preset")?, "litho.preset")? {
+            "default" => LithoPreset::Default,
+            "fast" => LithoPreset::Fast,
+            other => return Err(WireError::Schema(format!("unknown litho preset '{other}'"))),
+        };
+        let pixel_size = match view.take_opt("pixel_size")? {
+            Some(v) => {
+                let px = as_i64(v, "litho.pixel_size")?;
+                if px <= 0 {
+                    return Err(WireError::Schema("pixel_size must be positive".into()));
+                }
+                Some(px)
+            }
+            None => None,
+        };
+        view.finish()?;
+        Ok(Self { preset, pixel_size })
+    }
+}
+
+/// Fragmentation / OPC-preset layer of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Via-layer rules ([`camo_baselines::OpcConfig::via_layer`]).
+    Via,
+    /// Metal-layer rules ([`camo_baselines::OpcConfig::metal_layer`]).
+    Metal,
+}
+
+impl Layer {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Via => "via",
+            Self::Metal => "metal",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<Self, WireError> {
+        match s {
+            "via" => Ok(Self::Via),
+            "metal" => Ok(Self::Metal),
+            other => Err(WireError::Schema(format!("unknown layer '{other}'"))),
+        }
+    }
+}
+
+/// Which OPC engine executes an optimize/sweep request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The Calibre-like damped EPE-feedback baseline.
+    Calibre,
+    /// The CAMO engine (fast configuration, seeded deterministically).
+    Camo {
+        /// Policy-initialisation seed ([`camo::CamoConfig::seed`]).
+        seed: u64,
+    },
+}
+
+/// Everything needed to reproduce an optimization run: lithography
+/// configuration, layer preset, engine and step cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Lithography configuration.
+    pub litho: LithoSpec,
+    /// Layer preset (fragmentation + OPC schedule).
+    pub layer: Layer,
+    /// Engine selection.
+    pub engine: EngineKind,
+    /// Optional override of the preset's `max_steps`.
+    pub max_steps: Option<usize>,
+}
+
+impl JobSpec {
+    /// A fast Calibre-like via job — the default for load generation.
+    pub fn fast_calibre_via() -> Self {
+        Self {
+            litho: LithoSpec::fast(),
+            layer: Layer::Via,
+            engine: EngineKind::Calibre,
+            max_steps: None,
+        }
+    }
+
+    fn to_value(&self) -> Result<Value, WireError> {
+        let mut fields = vec![
+            ("litho", self.litho.to_value()),
+            ("layer", Value::Str(self.layer.as_str().to_string())),
+        ];
+        match self.engine {
+            EngineKind::Calibre => fields.push(("engine", Value::Str("calibre".into()))),
+            EngineKind::Camo { seed } => {
+                fields.push(("engine", Value::Str("camo".into())));
+                fields.push(("camo_seed", u64_value(seed)?));
+            }
+        }
+        if let Some(steps) = self.max_steps {
+            fields.push(("max_steps", Value::Int(steps as i64)));
+        }
+        Ok(obj(fields))
+    }
+
+    fn from_value(value: &Value) -> Result<Self, WireError> {
+        let mut view = ObjView::new(value, "job")?;
+        let litho = LithoSpec::from_value(view.take("litho")?)?;
+        let layer = Layer::from_str(as_str(view.take("layer")?, "job.layer")?)?;
+        let engine_name = as_str(view.take("engine")?, "job.engine")?.to_string();
+        let camo_seed = view.take_opt("camo_seed")?;
+        let engine = match engine_name.as_str() {
+            "calibre" => {
+                if camo_seed.is_some() {
+                    return Err(WireError::Schema(
+                        "camo_seed is only valid with engine 'camo'".into(),
+                    ));
+                }
+                EngineKind::Calibre
+            }
+            "camo" => EngineKind::Camo {
+                seed: match camo_seed {
+                    Some(v) => as_u64(v, "job.camo_seed")?,
+                    None => 2024,
+                },
+            },
+            other => return Err(WireError::Schema(format!("unknown engine '{other}'"))),
+        };
+        let max_steps = match view.take_opt("max_steps")? {
+            Some(v) => Some(as_usize(v, "job.max_steps")?),
+            None => None,
+        };
+        view.finish()?;
+        Ok(Self {
+            litho,
+            layer,
+            engine,
+            max_steps,
+        })
+    }
+}
+
+fn layout_params_to_value(params: &LayoutParams) -> Value {
+    obj(vec![
+        ("layout_size", Value::Int(params.layout_size)),
+        ("via_size", Value::Int(params.via_size)),
+        ("cell_size", Value::Int(params.cell_size)),
+        ("fill_percent", Value::Int(params.fill_percent as i64)),
+        ("margin", Value::Int(params.margin)),
+        ("with_srafs", Value::Bool(params.with_srafs)),
+    ])
+}
+
+fn layout_params_from_value(value: &Value) -> Result<LayoutParams, WireError> {
+    let mut view = ObjView::new(value, "layout params")?;
+    let layout_size = as_i64(view.take("layout_size")?, "layout_size")?;
+    let via_size = as_i64(view.take("via_size")?, "via_size")?;
+    let cell_size = as_i64(view.take("cell_size")?, "cell_size")?;
+    let fill_percent = as_i64(view.take("fill_percent")?, "fill_percent")?;
+    let margin = as_i64(view.take("margin")?, "margin")?;
+    let with_srafs = as_bool(view.take("with_srafs")?, "with_srafs")?;
+    view.finish()?;
+    if layout_size <= 0 || via_size <= 0 || cell_size <= 0 || margin < 0 {
+        return Err(WireError::Schema(
+            "layout dimensions must be positive".into(),
+        ));
+    }
+    if !(0..=100).contains(&fill_percent) {
+        return Err(WireError::Schema("fill_percent must be 0-100".into()));
+    }
+    if layout_size <= 2 * margin {
+        return Err(WireError::Schema("margin swallows the layout".into()));
+    }
+    if cell_size <= via_size {
+        return Err(WireError::Schema("cells must fit a via".into()));
+    }
+    Ok(LayoutParams {
+        layout_size,
+        via_size,
+        cell_size,
+        fill_percent: fill_percent as u32,
+        margin,
+        with_srafs,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// One client request (an `id` correlating its responses, plus the body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id; echoed on every response this request
+    /// produces.
+    pub id: u64,
+    /// What to do.
+    pub body: RequestBody,
+}
+
+/// The request kinds the server understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Health probe; answered inline, never queued.
+    Ping,
+    /// Optimise one clip.
+    Optimize {
+        /// Run specification.
+        job: JobSpec,
+        /// The target clip.
+        clip: Clip,
+    },
+    /// Evaluate one clip's initial mask at a uniform outward bias.
+    Evaluate {
+        /// Lithography configuration.
+        litho: LithoSpec,
+        /// Fragmentation layer.
+        layer: Layer,
+        /// Uniform outward bias, nm (|bias| ≤ 20).
+        bias: Coord,
+        /// The target clip.
+        clip: Clip,
+    },
+    /// Optimise a set of named cases; produces one streamed response per
+    /// case.
+    Sweep {
+        /// Run specification.
+        job: JobSpec,
+        /// `(name, clip)` pairs.
+        cases: Vec<(String, Clip)>,
+    },
+    /// Tiled evaluation of a generated layout.
+    Layout {
+        /// Lithography configuration.
+        litho: LithoSpec,
+        /// Layout-generator parameters.
+        params: LayoutParams,
+        /// Layout-generator seed.
+        seed: u64,
+        /// Tile core size, nm.
+        tile_nm: Coord,
+    },
+    /// Ask the server to drain and exit.
+    Shutdown,
+}
+
+impl RequestBody {
+    /// Short kind tag (the wire `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Ping => "ping",
+            Self::Optimize { .. } => "optimize",
+            Self::Evaluate { .. } => "evaluate",
+            Self::Sweep { .. } => "sweep",
+            Self::Layout { .. } => "layout",
+            Self::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Encodes a request as one frame (no trailing newline).
+pub fn encode_request(request: &Request) -> Result<String, WireError> {
+    let mut fields = vec![
+        (
+            "id",
+            Value::Int(
+                i64::try_from(request.id)
+                    .map_err(|_| WireError::Unencodable("request id exceeds i64"))?,
+            ),
+        ),
+        ("type", Value::Str(request.body.kind().to_string())),
+    ];
+    match &request.body {
+        RequestBody::Ping | RequestBody::Shutdown => {}
+        RequestBody::Optimize { job, clip } => {
+            fields.push(("job", job.to_value()?));
+            fields.push(("clip", clip_to_value(clip)));
+        }
+        RequestBody::Evaluate {
+            litho,
+            layer,
+            bias,
+            clip,
+        } => {
+            fields.push(("litho", litho.to_value()));
+            fields.push(("layer", Value::Str(layer.as_str().to_string())));
+            fields.push(("bias", Value::Int(*bias)));
+            fields.push(("clip", clip_to_value(clip)));
+        }
+        RequestBody::Sweep { job, cases } => {
+            fields.push(("job", job.to_value()?));
+            fields.push((
+                "cases",
+                Value::Arr(
+                    cases
+                        .iter()
+                        .map(|(name, clip)| {
+                            obj(vec![
+                                ("name", Value::Str(name.clone())),
+                                ("clip", clip_to_value(clip)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        RequestBody::Layout {
+            litho,
+            params,
+            seed,
+            tile_nm,
+        } => {
+            fields.push(("litho", litho.to_value()));
+            fields.push(("params", layout_params_to_value(params)));
+            fields.push(("seed", u64_value(*seed)?));
+            fields.push(("tile_nm", Value::Int(*tile_nm)));
+        }
+    }
+    let value = obj(fields);
+    let mut out = String::new();
+    write_value(&value, &mut out)?;
+    if out.len() > MAX_FRAME {
+        return Err(WireError::Oversized { len: out.len() });
+    }
+    Ok(out)
+}
+
+/// Decodes one frame into a request.
+pub fn decode_request(frame: &str) -> Result<Request, WireError> {
+    let value = parse_value(frame)?;
+    let mut view = ObjView::new(&value, "request")?;
+    let id = as_u64(view.take("id")?, "request.id")?;
+    let kind = as_str(view.take("type")?, "request.type")?.to_string();
+    let body = match kind.as_str() {
+        "ping" => RequestBody::Ping,
+        "shutdown" => RequestBody::Shutdown,
+        "optimize" => RequestBody::Optimize {
+            job: JobSpec::from_value(view.take("job")?)?,
+            clip: clip_from_value(view.take("clip")?)?,
+        },
+        "evaluate" => {
+            let litho = LithoSpec::from_value(view.take("litho")?)?;
+            let layer = Layer::from_str(as_str(view.take("layer")?, "evaluate.layer")?)?;
+            let bias = as_i64(view.take("bias")?, "evaluate.bias")?;
+            // Range check, not `abs()`: `i64::MIN.abs()` overflows.
+            if !(-20..=20).contains(&bias) {
+                return Err(WireError::Schema(
+                    "evaluate.bias exceeds the mask offset clamp (|bias| <= 20)".into(),
+                ));
+            }
+            RequestBody::Evaluate {
+                litho,
+                layer,
+                bias,
+                clip: clip_from_value(view.take("clip")?)?,
+            }
+        }
+        "sweep" => {
+            let job = JobSpec::from_value(view.take("job")?)?;
+            let cases = as_arr(view.take("cases")?, "sweep.cases")?
+                .iter()
+                .map(|case| {
+                    let mut v = ObjView::new(case, "sweep case")?;
+                    let name = as_str(v.take("name")?, "case.name")?.to_string();
+                    let clip = clip_from_value(v.take("clip")?)?;
+                    v.finish()?;
+                    Ok((name, clip))
+                })
+                .collect::<Result<Vec<_>, WireError>>()?;
+            if cases.is_empty() {
+                return Err(WireError::Schema("sweep with no cases".into()));
+            }
+            RequestBody::Sweep { job, cases }
+        }
+        "layout" => {
+            let litho = LithoSpec::from_value(view.take("litho")?)?;
+            let params = layout_params_from_value(view.take("params")?)?;
+            let seed = as_u64(view.take("seed")?, "layout.seed")?;
+            let tile_nm = as_i64(view.take("tile_nm")?, "layout.tile_nm")?;
+            if tile_nm <= 0 {
+                return Err(WireError::Schema("tile_nm must be positive".into()));
+            }
+            RequestBody::Layout {
+                litho,
+                params,
+                seed,
+                tile_nm,
+            }
+        }
+        other => return Err(WireError::Schema(format!("unknown request type '{other}'"))),
+    };
+    view.finish()?;
+    Ok(Request { id, body })
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// One optimization outcome on the wire: exactly the bits the end-to-end
+/// identity test diffs against an offline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireOutcome {
+    /// Final per-segment offsets, nm.
+    pub offsets: Vec<i64>,
+    /// Signed EPE per measure point, nm.
+    pub epe_per_point: Vec<f64>,
+    /// PV-band area, nm².
+    pub pv_band: f64,
+    /// Mask updates performed.
+    pub steps: usize,
+}
+
+/// Machine-readable error classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request decoded but cannot be executed as specified.
+    BadRequest,
+    /// The server cannot take the work right now (connection cap).
+    Overloaded,
+    /// Execution failed server-side.
+    Internal,
+}
+
+impl ErrorCode {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::BadRequest => "bad_request",
+            Self::Overloaded => "overloaded",
+            Self::Internal => "internal",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<Self, WireError> {
+        match s {
+            "bad_request" => Ok(Self::BadRequest),
+            "overloaded" => Ok(Self::Overloaded),
+            "internal" => Ok(Self::Internal),
+            other => Err(WireError::Schema(format!("unknown error code '{other}'"))),
+        }
+    }
+}
+
+/// One server response (echoing the request `id` it answers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Correlation id of the request (0 when the request never decoded).
+    pub id: u64,
+    /// The payload.
+    pub body: ResponseBody,
+}
+
+/// The response kinds the server emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Health answer.
+    Pong,
+    /// Result of an optimize request.
+    Outcome(WireOutcome),
+    /// One case of a sweep (streamed; `index` of `total`).
+    CaseOutcome {
+        /// Case position within the sweep request.
+        index: usize,
+        /// Number of cases in the sweep.
+        total: usize,
+        /// Case name.
+        name: String,
+        /// The case's outcome.
+        outcome: WireOutcome,
+    },
+    /// Result of an evaluate request.
+    Evaluation {
+        /// Signed EPE per measure point, nm.
+        epe_per_point: Vec<f64>,
+        /// PV-band area, nm².
+        pv_band: f64,
+    },
+    /// Result of a layout request.
+    LayoutReport {
+        /// Tiles swept.
+        tiles: usize,
+        /// Signed EPE per layout measure point, nm.
+        epe_per_point: Vec<f64>,
+        /// Exact layout PV-band area, nm².
+        pv_band: f64,
+    },
+    /// Backpressure: the request queue is full; retry after the hint.
+    Busy {
+        /// Suggested client back-off, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request failed.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server acknowledged a shutdown request (or rejected work while
+    /// draining).
+    ShuttingDown,
+}
+
+impl ResponseBody {
+    /// Short kind tag (the wire `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Pong => "pong",
+            Self::Outcome(_) => "outcome",
+            Self::CaseOutcome { .. } => "case",
+            Self::Evaluation { .. } => "evaluation",
+            Self::LayoutReport { .. } => "layout",
+            Self::Busy { .. } => "busy",
+            Self::Error { .. } => "error",
+            Self::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+fn outcome_fields(outcome: &WireOutcome, fields: &mut Vec<(&str, Value)>) {
+    fields.push(("offsets", int_arr(&outcome.offsets)));
+    fields.push(("epe", float_arr(&outcome.epe_per_point)));
+    fields.push(("pv_band", Value::Float(outcome.pv_band)));
+    fields.push(("steps", Value::Int(outcome.steps as i64)));
+}
+
+fn outcome_from_view(view: &mut ObjView<'_>) -> Result<WireOutcome, WireError> {
+    Ok(WireOutcome {
+        offsets: i64_vec(view.take("offsets")?, "outcome.offsets")?,
+        epe_per_point: f64_vec(view.take("epe")?, "outcome.epe")?,
+        pv_band: as_f64(view.take("pv_band")?, "outcome.pv_band")?,
+        steps: as_usize(view.take("steps")?, "outcome.steps")?,
+    })
+}
+
+/// Encodes a response as one frame (no trailing newline).
+pub fn encode_response(response: &Response) -> Result<String, WireError> {
+    let id = i64::try_from(response.id)
+        .map_err(|_| WireError::Unencodable("response id exceeds i64"))?;
+    let mut fields = vec![
+        ("id", Value::Int(id)),
+        ("type", Value::Str(response.body.kind().to_string())),
+    ];
+    match &response.body {
+        ResponseBody::Pong | ResponseBody::ShuttingDown => {}
+        ResponseBody::Outcome(outcome) => outcome_fields(outcome, &mut fields),
+        ResponseBody::CaseOutcome {
+            index,
+            total,
+            name,
+            outcome,
+        } => {
+            fields.push(("index", Value::Int(*index as i64)));
+            fields.push(("total", Value::Int(*total as i64)));
+            fields.push(("name", Value::Str(name.clone())));
+            outcome_fields(outcome, &mut fields);
+        }
+        ResponseBody::Evaluation {
+            epe_per_point,
+            pv_band,
+        } => {
+            fields.push(("epe", float_arr(epe_per_point)));
+            fields.push(("pv_band", Value::Float(*pv_band)));
+        }
+        ResponseBody::LayoutReport {
+            tiles,
+            epe_per_point,
+            pv_band,
+        } => {
+            fields.push(("tiles", Value::Int(*tiles as i64)));
+            fields.push(("epe", float_arr(epe_per_point)));
+            fields.push(("pv_band", Value::Float(*pv_band)));
+        }
+        ResponseBody::Busy { retry_after_ms } => {
+            fields.push(("retry_after_ms", u64_value(*retry_after_ms)?));
+        }
+        ResponseBody::Error { code, message } => {
+            fields.push(("code", Value::Str(code.as_str().to_string())));
+            fields.push(("message", Value::Str(message.clone())));
+        }
+    }
+    let value = obj(fields);
+    let mut out = String::new();
+    write_value(&value, &mut out)?;
+    if out.len() > MAX_FRAME {
+        return Err(WireError::Oversized { len: out.len() });
+    }
+    Ok(out)
+}
+
+/// Decodes one frame into a response.
+pub fn decode_response(frame: &str) -> Result<Response, WireError> {
+    let value = parse_value(frame)?;
+    let mut view = ObjView::new(&value, "response")?;
+    let id = as_u64(view.take("id")?, "response.id")?;
+    let kind = as_str(view.take("type")?, "response.type")?.to_string();
+    let body = match kind.as_str() {
+        "pong" => ResponseBody::Pong,
+        "shutting_down" => ResponseBody::ShuttingDown,
+        "outcome" => ResponseBody::Outcome(outcome_from_view(&mut view)?),
+        "case" => ResponseBody::CaseOutcome {
+            index: as_usize(view.take("index")?, "case.index")?,
+            total: as_usize(view.take("total")?, "case.total")?,
+            name: as_str(view.take("name")?, "case.name")?.to_string(),
+            outcome: outcome_from_view(&mut view)?,
+        },
+        "evaluation" => ResponseBody::Evaluation {
+            epe_per_point: f64_vec(view.take("epe")?, "evaluation.epe")?,
+            pv_band: as_f64(view.take("pv_band")?, "evaluation.pv_band")?,
+        },
+        "layout" => ResponseBody::LayoutReport {
+            tiles: as_usize(view.take("tiles")?, "layout.tiles")?,
+            epe_per_point: f64_vec(view.take("epe")?, "layout.epe")?,
+            pv_band: as_f64(view.take("pv_band")?, "layout.pv_band")?,
+        },
+        "busy" => ResponseBody::Busy {
+            retry_after_ms: as_u64(view.take("retry_after_ms")?, "busy.retry_after_ms")?,
+        },
+        "error" => ResponseBody::Error {
+            code: ErrorCode::from_str(as_str(view.take("code")?, "error.code")?)?,
+            message: as_str(view.take("message")?, "error.message")?.to_string(),
+        },
+        other => {
+            return Err(WireError::Schema(format!(
+                "unknown response type '{other}'"
+            )))
+        }
+    };
+    view.finish()?;
+    Ok(Response { id, body })
+}
+
+// ---------------------------------------------------------------------------
+// Bounded frame reader
+// ---------------------------------------------------------------------------
+
+/// One frame read from a connection.
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete line within the size bound (newline stripped).
+    Line(String),
+    /// A line longer than [`MAX_FRAME`]; the input was consumed up to its
+    /// newline so the connection stays framed.
+    Oversized {
+        /// Bytes the oversized line occupied.
+        len: usize,
+    },
+}
+
+/// Reads one newline-terminated frame without ever buffering more than
+/// [`MAX_FRAME`] bytes of a hostile line. Returns `Ok(None)` at EOF.
+pub fn read_frame(reader: &mut impl std::io::BufRead) -> std::io::Result<Option<Frame>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = 0usize;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: a partial unterminated line is dropped (the peer died
+            // mid-frame); a clean EOF ends the stream.
+            return Ok(None);
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(chunk.len(), |i| i + 1);
+        if overflow > 0 || buf.len() + take > MAX_FRAME + 1 {
+            overflow += take;
+            let done = newline.is_some();
+            reader.consume(take);
+            if done {
+                return Ok(Some(Frame::Oversized {
+                    len: buf.len() + overflow,
+                }));
+            }
+            continue;
+        }
+        buf.extend_from_slice(&chunk[..take]);
+        let done = newline.is_some();
+        reader.consume(take);
+        if done {
+            while matches!(buf.last(), Some(b'\n' | b'\r')) {
+                buf.pop();
+            }
+            if buf.len() > MAX_FRAME {
+                return Ok(Some(Frame::Oversized { len: buf.len() }));
+            }
+            let line = String::from_utf8(buf).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 frame")
+            })?;
+            return Ok(Some(Frame::Line(line)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn via_clip() -> Clip {
+        let mut clip = Clip::with_name(Rect::new(0, 0, 2000, 2000), "V1");
+        clip.add_target(Rect::new(965, 965, 1035, 1035).to_polygon());
+        clip.add_sraf(Rect::new(800, 965, 820, 1035));
+        clip
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let bodies = vec![
+            RequestBody::Ping,
+            RequestBody::Shutdown,
+            RequestBody::Optimize {
+                job: JobSpec::fast_calibre_via(),
+                clip: via_clip(),
+            },
+            RequestBody::Evaluate {
+                litho: LithoSpec::paper(),
+                layer: Layer::Metal,
+                bias: -3,
+                clip: via_clip(),
+            },
+            RequestBody::Sweep {
+                job: JobSpec {
+                    engine: EngineKind::Camo { seed: 7 },
+                    max_steps: Some(2),
+                    ..JobSpec::fast_calibre_via()
+                },
+                cases: vec![("a".into(), via_clip()), ("b".into(), via_clip())],
+            },
+            RequestBody::Layout {
+                litho: LithoSpec::fast(),
+                params: LayoutParams::smoke(),
+                seed: 99,
+                tile_nm: 1500,
+            },
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let request = Request { id: i as u64, body };
+            let frame = encode_request(&request).unwrap();
+            assert_eq!(decode_request(&frame).unwrap(), request, "frame: {frame}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        let outcome = WireOutcome {
+            offsets: vec![3, -2, 0, 20],
+            epe_per_point: vec![1.25, -0.1, 40.0, f64::MIN_POSITIVE, -1.0e-300],
+            pv_band: 5431.0625,
+            steps: 7,
+        };
+        let bodies = vec![
+            ResponseBody::Pong,
+            ResponseBody::ShuttingDown,
+            ResponseBody::Outcome(outcome.clone()),
+            ResponseBody::CaseOutcome {
+                index: 1,
+                total: 3,
+                name: "V2".into(),
+                outcome: outcome.clone(),
+            },
+            ResponseBody::Evaluation {
+                epe_per_point: vec![0.1 + 0.2, 1.0 / 3.0],
+                pv_band: 0.1,
+            },
+            ResponseBody::LayoutReport {
+                tiles: 9,
+                epe_per_point: vec![-0.0, 2.5e-17],
+                pv_band: 1e9 + 0.25,
+            },
+            ResponseBody::Busy { retry_after_ms: 50 },
+            ResponseBody::Error {
+                code: ErrorCode::BadRequest,
+                message: "tab\t\"quote\"\nnewline".into(),
+            },
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let response = Response { id: i as u64, body };
+            let frame = encode_response(&response).unwrap();
+            let decoded = decode_response(&frame).unwrap();
+            assert_eq!(decoded, response, "frame: {frame}");
+            // PartialEq on f64 treats -0.0 == 0.0; re-check the bits.
+            if let (
+                ResponseBody::LayoutReport {
+                    epe_per_point: a, ..
+                },
+                ResponseBody::LayoutReport {
+                    epe_per_point: b, ..
+                },
+            ) = (&decoded.body, &response.body)
+            {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u64_fields_beyond_i64_are_unencodable_not_corrupted() {
+        // Regression: seeds above i64::MAX used to wrap to negative wire
+        // ints that the decoder rejected, leaving the request unanswerable.
+        let request = Request {
+            id: 1,
+            body: RequestBody::Layout {
+                litho: LithoSpec::fast(),
+                params: LayoutParams::smoke(),
+                seed: (i64::MAX as u64) + 1,
+                tile_nm: 1500,
+            },
+        };
+        assert!(matches!(
+            encode_request(&request).unwrap_err(),
+            WireError::Unencodable(_)
+        ));
+        let camo = Request {
+            id: 2,
+            body: RequestBody::Optimize {
+                job: JobSpec {
+                    engine: EngineKind::Camo { seed: u64::MAX },
+                    ..JobSpec::fast_calibre_via()
+                },
+                clip: via_clip(),
+            },
+        };
+        assert!(matches!(
+            encode_request(&camo).unwrap_err(),
+            WireError::Unencodable(_)
+        ));
+        // At the boundary everything still round-trips.
+        let ok = Request {
+            id: 3,
+            body: RequestBody::Layout {
+                litho: LithoSpec::fast(),
+                params: LayoutParams::smoke(),
+                seed: i64::MAX as u64,
+                tile_nm: 1500,
+            },
+        };
+        let frame = encode_request(&ok).unwrap();
+        assert_eq!(decode_request(&frame).unwrap(), ok);
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors() {
+        let frame = encode_request(&Request {
+            id: 3,
+            body: RequestBody::Optimize {
+                job: JobSpec::fast_calibre_via(),
+                clip: via_clip(),
+            },
+        })
+        .unwrap();
+        // Every strict prefix must fail cleanly, mostly as Truncated; never
+        // panic, never succeed.
+        for cut in 0..frame.len() {
+            let err = decode_request(&frame[..cut]).unwrap_err();
+            match err {
+                WireError::Truncated
+                | WireError::Syntax { .. }
+                | WireError::BadNumber { .. }
+                | WireError::Schema(_) => {}
+                other => panic!("unexpected error {other:?} at cut {cut}"),
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_bias_is_a_typed_error_not_a_panic() {
+        // Regression: `bias.abs()` panicked (debug) / wrapped (release) on
+        // i64::MIN; the range check must reject it cleanly.
+        let frame = format!(
+            "{{\"id\":1,\"type\":\"evaluate\",\"litho\":{{\"preset\":\"fast\"}},\
+             \"layer\":\"via\",\"bias\":{},\"clip\":{{\"name\":\"c\",\"region\":[0,0,100,100],\
+             \"targets\":[[10,10,40,10,40,40,10,40]],\"srafs\":[]}}}}",
+            i64::MIN
+        );
+        assert!(matches!(
+            decode_request(&frame).unwrap_err(),
+            WireError::Schema(_)
+        ));
+    }
+
+    #[test]
+    fn bad_escapes_are_typed_errors() {
+        let err = parse_value(r#"{"name":"bad\qescape"}"#).unwrap_err();
+        assert!(matches!(err, WireError::BadEscape { .. }), "{err:?}");
+        let err = parse_value("\"unicode\\u0041 unsupported\"").unwrap_err();
+        assert!(matches!(err, WireError::BadEscape { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn oversized_frames_are_typed_errors() {
+        let huge = format!("\"{}\"", "x".repeat(MAX_FRAME + 8));
+        assert!(matches!(
+            parse_value(&huge).unwrap_err(),
+            WireError::Oversized { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_fields_are_rejected() {
+        assert!(matches!(
+            parse_value(r#"{"a":1,"a":2}"#).unwrap_err(),
+            WireError::Syntax { .. }
+        ));
+        let err = decode_response(r#"{"id":1,"type":"pong","extra":0}"#).unwrap_err();
+        assert!(matches!(err, WireError::Schema(_)), "{err:?}");
+    }
+
+    #[test]
+    fn read_frame_bounds_hostile_lines() {
+        use std::io::BufReader;
+        let mut input = Vec::new();
+        input.extend_from_slice(b"{\"ok\":true}\n");
+        input.extend_from_slice(&vec![b'x'; MAX_FRAME + 100]);
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"after\":1}\n");
+        let mut reader = BufReader::with_capacity(512, &input[..]);
+        assert!(matches!(
+            read_frame(&mut reader).unwrap(),
+            Some(Frame::Line(l)) if l == "{\"ok\":true}"
+        ));
+        assert!(matches!(
+            read_frame(&mut reader).unwrap(),
+            Some(Frame::Oversized { len }) if len > MAX_FRAME
+        ));
+        assert!(matches!(
+            read_frame(&mut reader).unwrap(),
+            Some(Frame::Line(l)) if l == "{\"after\":1}"
+        ));
+        assert!(read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert_eq!(parse_value(&deep).unwrap_err(), WireError::TooDeep);
+    }
+}

@@ -1,0 +1,361 @@
+//! End-to-end server tests: results over TCP are **bit-identical** to
+//! direct `camo-runtime` calls, backpressure is a typed rejection, hostile
+//! frames never kill a connection, and shutdown is graceful.
+
+use camo_geometry::{Clip, Rect};
+use camo_litho::LithoSimulator;
+use camo_serve::client::{collect_responses, Client, Completed};
+use camo_serve::exec::{evaluate_mask, run_layout, run_optimize, run_sweep};
+use camo_serve::server::{serve, ServerConfig};
+use camo_serve::wire::{
+    EngineKind, JobSpec, Layer, LithoSpec, RequestBody, ResponseBody, WireOutcome,
+};
+use camo_workloads::{via_test_set, LayoutParams};
+
+fn test_clip(offset: i64) -> Clip {
+    let mut clip = Clip::with_name(Rect::new(0, 0, 900, 900), format!("E{offset}"));
+    let x = 340 + offset * 25;
+    clip.add_target(Rect::new(x, 395, x + 70, 465).to_polygon());
+    clip
+}
+
+fn job(max_steps: usize) -> JobSpec {
+    JobSpec {
+        litho: LithoSpec::fast(),
+        layer: Layer::Via,
+        engine: EngineKind::Calibre,
+        max_steps: Some(max_steps),
+    }
+}
+
+fn assert_outcome_matches(wire: &WireOutcome, offline: &camo_baselines::OpcOutcome, what: &str) {
+    assert_eq!(wire.offsets, offline.mask.offsets(), "{what}: offsets");
+    assert_eq!(wire.steps, offline.steps, "{what}: steps");
+    assert_eq!(
+        wire.epe_per_point.len(),
+        offline.result.epe.per_point.len(),
+        "{what}: epe arity"
+    );
+    for (i, (a, b)) in wire
+        .epe_per_point
+        .iter()
+        .zip(&offline.result.epe.per_point)
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: epe[{i}] bits");
+    }
+    assert_eq!(
+        wire.pv_band.to_bits(),
+        offline.result.pv_band.to_bits(),
+        "{what}: pv band bits"
+    );
+}
+
+/// The acceptance-criteria test: optimize / evaluate / sweep / layout
+/// requests served over TCP (with coalescing in play) match direct
+/// `camo-runtime` calls bit for bit, at 1 and 2 worker threads.
+#[test]
+fn served_results_are_bit_identical_to_offline_runs() {
+    for threads in [1usize, 2] {
+        let handle = serve(ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+
+        let job = job(3);
+        let clips: Vec<Clip> = (0..3).map(test_clip).collect();
+        let sweep_cases: Vec<(String, Clip)> = via_test_set()
+            .iter()
+            .take(2)
+            .map(|c| (c.clip.name().to_string(), c.clip.clone()))
+            .collect();
+        let layout_params = LayoutParams::smoke();
+
+        // Send everything before reading anything, so the dispatcher sees a
+        // backlog it can coalesce into one batch.
+        let mut ids = Vec::new();
+        for clip in &clips {
+            ids.push(
+                client
+                    .send(RequestBody::Optimize {
+                        job: job.clone(),
+                        clip: clip.clone(),
+                    })
+                    .unwrap(),
+            );
+        }
+        let eval_id = client
+            .send(RequestBody::Evaluate {
+                litho: job.litho.clone(),
+                layer: Layer::Via,
+                bias: 3,
+                clip: clips[0].clone(),
+            })
+            .unwrap();
+        let sweep_id = client
+            .send(RequestBody::Sweep {
+                job: job.clone(),
+                cases: sweep_cases.clone(),
+            })
+            .unwrap();
+        let layout_id = client
+            .send(RequestBody::Layout {
+                litho: job.litho.clone(),
+                params: layout_params.clone(),
+                seed: 4242,
+                tile_nm: 1500,
+            })
+            .unwrap();
+
+        let mut all_ids = ids.clone();
+        all_ids.extend([eval_id, sweep_id, layout_id]);
+        let mut results = collect_responses(&mut client, &all_ids).expect("responses");
+
+        // Offline truth, built from the same specs on a fresh simulator.
+        let sim = LithoSimulator::new(job.litho.to_config());
+        let offline_opt = run_optimize(&job, &clips, &sim, 1);
+        for (i, id) in ids.iter().enumerate() {
+            match results.remove(id).expect("optimize result") {
+                Completed::Single(ResponseBody::Outcome(wire)) => {
+                    assert_outcome_matches(&wire, &offline_opt[i], &format!("optimize {i}"));
+                }
+                other => panic!("unexpected optimize completion: {other:?}"),
+            }
+        }
+
+        let offline_eval = sim.evaluate(&evaluate_mask(Layer::Via, 3, &clips[0]));
+        match results.remove(&eval_id).expect("evaluate result") {
+            Completed::Single(ResponseBody::Evaluation {
+                epe_per_point,
+                pv_band,
+            }) => {
+                for (a, b) in epe_per_point.iter().zip(&offline_eval.epe.per_point) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "evaluation epe bits");
+                }
+                assert_eq!(pv_band.to_bits(), offline_eval.pv_band.to_bits());
+            }
+            other => panic!("unexpected evaluate completion: {other:?}"),
+        }
+
+        let offline_sweep = run_sweep(&job, &sweep_cases, &sim, 1);
+        match results.remove(&sweep_id).expect("sweep result") {
+            Completed::Sweep(cases) => {
+                assert_eq!(cases.len(), offline_sweep.len());
+                for (body, (name, outcome)) in cases.iter().zip(&offline_sweep) {
+                    match body {
+                        ResponseBody::CaseOutcome {
+                            name: got_name,
+                            outcome: got,
+                            ..
+                        } => {
+                            assert_eq!(got_name, name);
+                            assert_outcome_matches(got, outcome, name);
+                        }
+                        other => panic!("unexpected sweep body: {other:?}"),
+                    }
+                }
+            }
+            other => panic!("unexpected sweep completion: {other:?}"),
+        }
+
+        let offline_layout = run_layout(&layout_params, 4242, 1500, &sim, 1);
+        match results.remove(&layout_id).expect("layout result") {
+            Completed::Single(ResponseBody::LayoutReport {
+                tiles,
+                epe_per_point,
+                pv_band,
+            }) => {
+                assert_eq!(tiles, offline_layout.tiles);
+                assert_eq!(epe_per_point.len(), offline_layout.epe.per_point.len());
+                for (a, b) in epe_per_point.iter().zip(&offline_layout.epe.per_point) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "layout epe bits");
+                }
+                assert_eq!(pv_band.to_bits(), offline_layout.pv_band.to_bits());
+            }
+            other => panic!("unexpected layout completion: {other:?}"),
+        }
+
+        let stats = handle.shutdown();
+        assert!(stats.served >= all_ids.len());
+        assert_eq!(stats.rejected, 0, "no backpressure in this scenario");
+    }
+}
+
+/// The CAMO engine serves deterministically too: same spec, same bits.
+#[test]
+fn camo_engine_serves_bit_identically() {
+    let handle = serve(ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let job = JobSpec {
+        engine: EngineKind::Camo { seed: 7 },
+        ..job(2)
+    };
+    let clip = test_clip(1);
+    let id = client
+        .send(RequestBody::Optimize {
+            job: job.clone(),
+            clip: clip.clone(),
+        })
+        .unwrap();
+    let mut results = collect_responses(&mut client, &[id]).expect("responses");
+    let sim = LithoSimulator::new(job.litho.to_config());
+    let offline = &run_optimize(&job, std::slice::from_ref(&clip), &sim, 1)[0];
+    match results.remove(&id).unwrap() {
+        Completed::Single(ResponseBody::Outcome(wire)) => {
+            assert_outcome_matches(&wire, offline, "camo optimize");
+        }
+        other => panic!("unexpected completion: {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// A saturated queue answers a typed `busy` rejection carrying the retry
+/// hint — it neither blocks the reader nor drops the request silently.
+#[test]
+fn saturated_queue_returns_typed_backpressure() {
+    // No dispatcher: the queue can only fill, so saturation is
+    // deterministic.
+    let handle = serve(ServerConfig {
+        queue_depth: 2,
+        dispatchers: 0,
+        retry_after_ms: 123,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let job = job(1);
+    let mut ids = Vec::new();
+    for i in 0..4 {
+        ids.push(
+            client
+                .send(RequestBody::Optimize {
+                    job: job.clone(),
+                    clip: test_clip(i),
+                })
+                .unwrap(),
+        );
+    }
+    // The first two occupy the queue; the remaining two must be rejected
+    // with the configured retry hint.
+    let rejected = collect_responses(&mut client, &ids[2..]).expect("rejections");
+    for id in &ids[2..] {
+        match rejected[id] {
+            Completed::Rejected { retry_after_ms } => assert_eq!(retry_after_ms, 123),
+            ref other => panic!("expected busy, got {other:?}"),
+        }
+    }
+    let stats = handle.shutdown();
+    assert_eq!(stats.rejected, 2);
+}
+
+/// Hostile frames (garbage, truncated JSON, oversized lines) produce typed
+/// error responses and leave the connection usable.
+#[test]
+fn malformed_frames_get_typed_errors_and_connection_survives() {
+    use std::io::Write;
+    let handle = serve(ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Reach under the typed client to inject hostile bytes.
+    let mut raw = std::net::TcpStream::connect(handle.addr()).expect("raw connect");
+    raw.write_all(b"this is not json\n").unwrap();
+    raw.write_all(b"{\"id\":5,\"type\":\"optimize\"\n").unwrap();
+    let huge = vec![b'x'; camo_serve::wire::MAX_FRAME + 64];
+    raw.write_all(&huge).unwrap();
+    raw.write_all(b"\n").unwrap();
+    raw.write_all(b"{\"id\":6,\"type\":\"ping\"}\n").unwrap();
+    raw.flush().unwrap();
+    let mut raw_reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let mut errors = 0;
+    loop {
+        let mut line = String::new();
+        std::io::BufRead::read_line(&mut raw_reader, &mut line).unwrap();
+        let response = camo_serve::wire::decode_response(line.trim_end()).unwrap();
+        match response.body {
+            ResponseBody::Error { .. } => errors += 1,
+            ResponseBody::Pong => {
+                assert_eq!(response.id, 6);
+                break;
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+    assert_eq!(errors, 3, "each hostile frame earns one typed error");
+
+    // The typed client on its own connection is unaffected throughout.
+    let id = client.send(RequestBody::Ping).unwrap();
+    let pong = client.recv().unwrap().unwrap();
+    assert_eq!(pong.id, id);
+    assert!(matches!(pong.body, ResponseBody::Pong));
+    handle.shutdown();
+}
+
+/// The connection cap turns extra connections away with a `busy` frame.
+#[test]
+fn connection_cap_rejects_extra_connections() {
+    let handle = serve(ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let mut first = Client::connect(handle.addr()).expect("connect");
+    let id = first.send(RequestBody::Ping).unwrap();
+    assert!(matches!(
+        first.recv().unwrap().unwrap(),
+        camo_serve::wire::Response {
+            body: ResponseBody::Pong,
+            ..
+        } if id == 1
+    ));
+    let mut second = Client::connect(handle.addr()).expect("tcp connect succeeds");
+    match second.recv().expect("busy frame") {
+        Some(response) => {
+            assert_eq!(response.id, 0);
+            assert!(matches!(response.body, ResponseBody::Busy { .. }));
+        }
+        None => panic!("expected a busy frame before close"),
+    }
+    assert!(
+        second.recv().expect("clean close").is_none(),
+        "rejected connection is closed"
+    );
+    handle.shutdown();
+}
+
+/// A client `shutdown` request drains the server: the acknowledgement
+/// arrives, the connection closes, and the handle's shutdown reports stats.
+#[test]
+fn client_shutdown_request_drains_and_closes() {
+    let handle = serve(ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let work_id = client
+        .send(RequestBody::Evaluate {
+            litho: LithoSpec::fast(),
+            layer: Layer::Via,
+            bias: 2,
+            clip: test_clip(0),
+        })
+        .unwrap();
+    let shutdown_id = client.send(RequestBody::Shutdown).unwrap();
+    let mut saw_work = false;
+    let mut saw_ack = false;
+    while let Some(response) = client.recv().expect("stream") {
+        if response.id == work_id {
+            assert!(matches!(response.body, ResponseBody::Evaluation { .. }));
+            saw_work = true;
+        } else if response.id == shutdown_id {
+            assert!(matches!(response.body, ResponseBody::ShuttingDown));
+            saw_ack = true;
+        }
+    }
+    assert!(saw_ack, "shutdown must be acknowledged");
+    assert!(
+        saw_work,
+        "work queued before shutdown must still be answered"
+    );
+    handle.wait_for_shutdown_request();
+    let stats = handle.shutdown();
+    assert!(stats.served >= 1);
+}

@@ -1,0 +1,258 @@
+//! Property tests for the wire codec and the response correlation layer:
+//! round-trips are exact, malformed frames are typed errors (never panics),
+//! and the router reassembles out-of-order completion streams.
+
+use camo_geometry::{Clip, Rect};
+use camo_serve::client::{Completed, ResponseRouter};
+use camo_serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, parse_value, EngineKind,
+    JobSpec, Layer, LithoPreset, LithoSpec, Request, RequestBody, Response, ResponseBody,
+    WireOutcome,
+};
+use proptest::prelude::*;
+
+fn arb_clip() -> impl Strategy<Value = Clip> {
+    (
+        0usize..3,
+        100i64..400,
+        prop::collection::vec((0i64..8, 0i64..8, 1i64..8, 1i64..8), 1..4),
+    )
+        .prop_map(|(srafs, size, boxes)| {
+            let mut clip = Clip::with_name(Rect::new(0, 0, 4000, 4000), "P");
+            for (gx, gy, w, h) in &boxes {
+                let x = 100 + gx * 450;
+                let y = 100 + gy * 450;
+                clip.add_target(Rect::new(x, y, x + w * 40, y + h * 40).to_polygon());
+            }
+            clip.add_target(Rect::new(3600 - size, 3600 - size, 3600, 3600).to_polygon());
+            for s in 0..srafs {
+                let x = 200 + 120 * s as i64;
+                clip.add_sraf(Rect::new(x, 3800, x + 20, 3900));
+            }
+            clip
+        })
+}
+
+fn arb_job() -> impl Strategy<Value = JobSpec> {
+    (0u64..3, 0u32..2, 0u32..2, 0usize..4).prop_map(|(seed, engine, layer, steps)| JobSpec {
+        litho: LithoSpec {
+            preset: if seed % 2 == 0 {
+                LithoPreset::Fast
+            } else {
+                LithoPreset::Default
+            },
+            pixel_size: if seed == 2 { Some(10) } else { None },
+        },
+        layer: if layer == 0 { Layer::Via } else { Layer::Metal },
+        engine: if engine == 0 {
+            EngineKind::Calibre
+        } else {
+            EngineKind::Camo { seed }
+        },
+        max_steps: if steps == 0 { None } else { Some(steps) },
+    })
+}
+
+fn arb_outcome() -> impl Strategy<Value = WireOutcome> {
+    (
+        prop::collection::vec(-20i64..=20, 1..24),
+        prop::collection::vec(-40.0f64..40.0, 1..24),
+        0.0f64..1.0e7,
+        0usize..16,
+    )
+        .prop_map(|(offsets, epe_per_point, pv_band, steps)| WireOutcome {
+            offsets,
+            epe_per_point,
+            pv_band,
+            steps,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Requests of every kind survive encode → decode unchanged.
+    #[test]
+    fn requests_round_trip(job in arb_job(), clip in arb_clip(), id in 0u64..1_000_000, kind in 0u32..4, bias in -20i64..=20) {
+        let body = match kind {
+            0 => RequestBody::Optimize { job, clip },
+            1 => RequestBody::Evaluate { litho: job.litho, layer: job.layer, bias, clip },
+            2 => RequestBody::Sweep {
+                job,
+                cases: vec![("a".to_string(), clip.clone()), ("b".to_string(), clip)],
+            },
+            _ => RequestBody::Layout {
+                litho: job.litho,
+                params: camo_workloads::LayoutParams::smoke(),
+                seed: id,
+                tile_nm: 1500,
+            },
+        };
+        let request = Request { id, body };
+        let frame = encode_request(&request).unwrap();
+        prop_assert_eq!(decode_request(&frame).unwrap(), request);
+    }
+
+    /// Responses round-trip with bit-exact floats.
+    #[test]
+    fn responses_round_trip_bit_exactly(outcome in arb_outcome(), id in 0u64..1_000_000, kind in 0u32..3) {
+        let body = match kind {
+            0 => ResponseBody::Outcome(outcome.clone()),
+            1 => ResponseBody::CaseOutcome { index: 0, total: 1, name: "c".into(), outcome: outcome.clone() },
+            _ => ResponseBody::LayoutReport {
+                tiles: outcome.steps + 1,
+                epe_per_point: outcome.epe_per_point.clone(),
+                pv_band: outcome.pv_band,
+            },
+        };
+        let response = Response { id, body };
+        let frame = encode_response(&response).unwrap();
+        let decoded = decode_response(&frame).unwrap();
+        prop_assert_eq!(&decoded, &response);
+        let (a, b) = match (&decoded.body, &response.body) {
+            (ResponseBody::Outcome(x), ResponseBody::Outcome(y)) => (x, y),
+            (ResponseBody::CaseOutcome { outcome: x, .. }, ResponseBody::CaseOutcome { outcome: y, .. }) => (x, y),
+            _ => (&outcome, &outcome),
+        };
+        for (x, y) in a.epe_per_point.iter().zip(&b.epe_per_point) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        prop_assert_eq!(a.pv_band.to_bits(), b.pv_band.to_bits());
+    }
+
+    /// Truncating a valid frame anywhere yields a typed error, never a
+    /// panic and never a bogus success.
+    #[test]
+    fn truncated_frames_fail_cleanly(job in arb_job(), clip in arb_clip(), cut_frac in 0.0f64..1.0) {
+        let frame = encode_request(&Request { id: 1, body: RequestBody::Optimize { job, clip } }).unwrap();
+        let cut = ((frame.len() as f64 * cut_frac) as usize).min(frame.len() - 1);
+        prop_assert!(decode_request(&frame[..cut]).is_err());
+    }
+
+    /// Byte-level mutations either decode to something (rarely) or fail
+    /// with a typed error — the decoder never panics on corrupt frames.
+    #[test]
+    fn mutated_frames_never_panic(outcome in arb_outcome(), pos_frac in 0.0f64..1.0, byte in 0u32..256) {
+        let frame = encode_response(&Response { id: 9, body: ResponseBody::Outcome(outcome) }).unwrap();
+        let mut bytes = frame.into_bytes();
+        let pos = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+        bytes[pos] = byte as u8;
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            let _ = decode_response(&mutated);
+            let _ = parse_value(&mutated);
+        }
+    }
+
+    /// Random garbage lines never panic the parser.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(0u32..128, 0..200)) {
+        let line: String = bytes.iter().filter_map(|&b| char::from_u32(b)).collect();
+        let _ = parse_value(&line);
+        let _ = decode_request(&line);
+        let _ = decode_response(&line);
+    }
+}
+
+/// The router reassembles a completion-ordered (scrambled) stream: sweep
+/// cases interleave with other requests' results and arrive out of index
+/// order, yet every request correlates back to its id with cases in order.
+#[test]
+fn router_correlates_out_of_order_completion() {
+    let outcome = |tag: f64| WireOutcome {
+        offsets: vec![1, 2],
+        epe_per_point: vec![tag],
+        pv_band: tag * 2.0,
+        steps: 1,
+    };
+    let case = |id: u64, index: usize, total: usize, tag: f64| Response {
+        id,
+        body: ResponseBody::CaseOutcome {
+            index,
+            total,
+            name: format!("c{index}"),
+            outcome: outcome(tag),
+        },
+    };
+    // Stream: sweep 7 (3 cases, indexes arriving 2,0,1) interleaved with
+    // optimize 3, evaluation 5 and a busy 9 — completion order unrelated to
+    // id order.
+    let stream = vec![
+        case(7, 2, 3, 72.0),
+        Response {
+            id: 5,
+            body: ResponseBody::Evaluation {
+                epe_per_point: vec![0.5],
+                pv_band: 1.5,
+            },
+        },
+        case(7, 0, 3, 70.0),
+        Response {
+            id: 9,
+            body: ResponseBody::Busy { retry_after_ms: 25 },
+        },
+        Response {
+            id: 3,
+            body: ResponseBody::Outcome(outcome(30.0)),
+        },
+        case(7, 1, 3, 71.0),
+    ];
+    let mut router = ResponseRouter::new();
+    let mut completion_order = Vec::new();
+    for response in stream {
+        if let Some(id) = router.accept(response).unwrap() {
+            completion_order.push(id);
+        }
+    }
+    assert_eq!(completion_order, vec![5, 9, 3, 7]);
+    assert!(!router.has_partial());
+
+    match router.take(7).unwrap() {
+        Completed::Sweep(cases) => {
+            let tags: Vec<f64> = cases
+                .iter()
+                .map(|c| match c {
+                    ResponseBody::CaseOutcome { outcome, .. } => outcome.epe_per_point[0],
+                    other => panic!("unexpected {other:?}"),
+                })
+                .collect();
+            assert_eq!(tags, vec![70.0, 71.0, 72.0], "cases ordered by index");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(matches!(
+        router.take(9).unwrap(),
+        Completed::Rejected { retry_after_ms: 25 }
+    ));
+    assert!(matches!(router.take(3).unwrap(), Completed::Single(_)));
+    assert!(matches!(router.take(5).unwrap(), Completed::Single(_)));
+    assert!(router.take(7).is_none(), "taken results are gone");
+}
+
+/// Duplicate case indexes and inconsistent totals are protocol errors, not
+/// silent corruption.
+#[test]
+fn router_rejects_protocol_violations() {
+    let outcome = WireOutcome {
+        offsets: vec![],
+        epe_per_point: vec![],
+        pv_band: 0.0,
+        steps: 0,
+    };
+    let case = |index: usize, total: usize| Response {
+        id: 1,
+        body: ResponseBody::CaseOutcome {
+            index,
+            total,
+            name: "c".into(),
+            outcome: outcome.clone(),
+        },
+    };
+    let mut router = ResponseRouter::new();
+    router.accept(case(0, 3)).unwrap();
+    assert!(router.accept(case(0, 3)).is_err(), "duplicate index");
+    let mut router = ResponseRouter::new();
+    router.accept(case(0, 3)).unwrap();
+    assert!(router.accept(case(1, 4)).is_err(), "total changed");
+    let mut router = ResponseRouter::new();
+    assert!(router.accept(case(5, 3)).is_err(), "index out of range");
+}

@@ -18,7 +18,9 @@
 //! Beyond the paper's single-clip suites, [`layout`] generates **multi-tile
 //! layouts** — regions several clips wide, densely populated with vias —
 //! the workload `camo_litho::tiling` and the batch runtime sweep as grids
-//! of overlapping tiles.
+//! of overlapping tiles, and [`requests`] generates deterministic
+//! **request streams** (mixed optimize/evaluate/sweep/layout traffic) for
+//! the serving front-end's load generator and CI smoke.
 //!
 //! # Example
 //!
@@ -35,8 +37,10 @@
 
 pub mod layout;
 pub mod metal;
+pub mod requests;
 pub mod via;
 
 pub use layout::{generate_layout, layout_test_set, LayoutCase, LayoutParams};
 pub use metal::{metal_test_set, metal_training_set, MetalCase, MetalGenerator, MetalParams};
+pub use requests::{request_stream, RequestStreamParams, ServeCase};
 pub use via::{via_test_set, via_training_set, ViaCase, ViaGenerator, ViaParams};

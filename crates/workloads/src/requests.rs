@@ -1,0 +1,222 @@
+//! Serving-workload generation: deterministic request streams.
+//!
+//! A long-lived OPC server is exercised with *traffic*, not with one batch:
+//! interleaved single-clip optimizations, evaluation probes, whole-suite
+//! sweeps and layout-scale tiled evaluations, arriving in an order that
+//! mixes cheap and expensive work. [`request_stream`] generates such a
+//! stream deterministically from a seed, drawing clips from the paper's via
+//! test suite and layouts from [`crate::layout`], so a load generator and an
+//! offline verifier can reproduce the exact same request sequence and
+//! compare results bit for bit.
+
+use crate::layout::LayoutParams;
+use crate::via::via_test_set;
+use camo_geometry::{Clip, Coord};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated serving request, independent of any wire format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeCase {
+    /// Optimise one clip.
+    Optimize {
+        /// The target clip.
+        clip: Clip,
+    },
+    /// Evaluate one clip's initial mask at a uniform outward bias.
+    Evaluate {
+        /// The target clip.
+        clip: Clip,
+        /// Uniform outward bias applied before evaluation, nm.
+        bias: Coord,
+    },
+    /// Optimise a set of named cases as one sweep.
+    Sweep {
+        /// `(name, clip)` pairs, in case order.
+        cases: Vec<(String, Clip)>,
+    },
+    /// Tiled evaluation of a generated layout.
+    Layout {
+        /// Layout-generator parameters.
+        params: LayoutParams,
+        /// Layout-generator seed.
+        seed: u64,
+        /// Requested tile core size, nm.
+        tile_nm: Coord,
+    },
+}
+
+impl ServeCase {
+    /// Short kind tag, for logs and summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Optimize { .. } => "optimize",
+            Self::Evaluate { .. } => "evaluate",
+            Self::Sweep { .. } => "sweep",
+            Self::Layout { .. } => "layout",
+        }
+    }
+}
+
+/// Tuning knobs of [`request_stream`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestStreamParams {
+    /// Relative weight of single-clip optimize requests.
+    pub optimize_weight: u32,
+    /// Relative weight of evaluation probes.
+    pub evaluate_weight: u32,
+    /// Relative weight of multi-case sweeps.
+    pub sweep_weight: u32,
+    /// Relative weight of layout-scale requests.
+    pub layout_weight: u32,
+    /// Number of cases per sweep request.
+    pub sweep_cases: usize,
+    /// Layout parameters used by layout requests.
+    pub layout: LayoutParams,
+    /// Tile core size for layout requests, nm.
+    pub tile_nm: Coord,
+}
+
+impl Default for RequestStreamParams {
+    fn default() -> Self {
+        Self {
+            optimize_weight: 6,
+            evaluate_weight: 3,
+            sweep_weight: 1,
+            layout_weight: 1,
+            sweep_cases: 3,
+            layout: LayoutParams::smoke(),
+            tile_nm: 1500,
+        }
+    }
+}
+
+impl RequestStreamParams {
+    /// A cheap stream for CI smoke runs: no layout-scale requests, tiny
+    /// sweeps.
+    pub fn smoke() -> Self {
+        Self {
+            layout_weight: 0,
+            sweep_cases: 2,
+            ..Self::default()
+        }
+    }
+
+    fn total_weight(&self) -> u32 {
+        self.optimize_weight + self.evaluate_weight + self.sweep_weight + self.layout_weight
+    }
+}
+
+/// Generates `count` requests, deterministic for a given `(params, seed)`.
+///
+/// Clips cycle through the via test suite in a seed-dependent order;
+/// evaluation biases are drawn from the OPC-realistic 0–6 nm range; layout
+/// requests use seed-derived layout generator seeds so distinct requests
+/// exercise distinct layouts.
+///
+/// # Panics
+///
+/// Panics if every weight in `params` is zero.
+pub fn request_stream(params: &RequestStreamParams, seed: u64, count: usize) -> Vec<ServeCase> {
+    assert!(params.total_weight() > 0, "at least one weight must be set");
+    let suite = via_test_set();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut next_clip = {
+        let mut cursor = rng.gen_range(0..suite.len());
+        move |rng: &mut StdRng| {
+            cursor = (cursor + 1 + rng.gen_range(0..3usize)) % suite.len();
+            suite[cursor].clip.clone()
+        }
+    };
+    (0..count)
+        .map(|i| {
+            let mut pick = rng.gen_range(0..params.total_weight());
+            if pick < params.optimize_weight {
+                return ServeCase::Optimize {
+                    clip: next_clip(&mut rng),
+                };
+            }
+            pick -= params.optimize_weight;
+            if pick < params.evaluate_weight {
+                return ServeCase::Evaluate {
+                    clip: next_clip(&mut rng),
+                    bias: rng.gen_range(0..=6),
+                };
+            }
+            pick -= params.evaluate_weight;
+            if pick < params.sweep_weight {
+                let cases = (0..params.sweep_cases)
+                    .map(|j| {
+                        let clip = next_clip(&mut rng);
+                        (format!("sweep{i}.{j}:{}", clip.name()), clip)
+                    })
+                    .collect();
+                return ServeCase::Sweep { cases };
+            }
+            ServeCase::Layout {
+                params: params.layout.clone(),
+                // Masked to 63 bits: serving wire formats carry integers as
+                // i64, so generated seeds must stay encodable everywhere.
+                seed: (seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)))
+                    & (i64::MAX as u64),
+                tile_nm: params.tile_nm,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let p = RequestStreamParams::default();
+        let a = request_stream(&p, 7, 32);
+        let b = request_stream(&p, 7, 32);
+        assert_eq!(a, b);
+        let c = request_stream(&p, 8, 32);
+        assert_ne!(a, c, "different seeds must differ");
+        assert_eq!(a.len(), 32);
+    }
+
+    #[test]
+    fn default_stream_mixes_request_kinds() {
+        let cases = request_stream(&RequestStreamParams::default(), 11, 64);
+        let count = |k: &str| cases.iter().filter(|c| c.kind() == k).count();
+        assert!(count("optimize") > 0);
+        assert!(count("evaluate") > 0);
+        assert!(count("sweep") + count("layout") > 0, "rare kinds appear");
+    }
+
+    #[test]
+    fn smoke_stream_has_no_layout_requests() {
+        let cases = request_stream(&RequestStreamParams::smoke(), 3, 64);
+        assert!(cases.iter().all(|c| c.kind() != "layout"));
+    }
+
+    #[test]
+    fn layout_seeds_stay_wire_encodable() {
+        let params = RequestStreamParams {
+            layout_weight: 10,
+            ..RequestStreamParams::default()
+        };
+        for stream_seed in [0u64, 42, u64::MAX] {
+            for case in request_stream(&params, stream_seed, 64) {
+                if let ServeCase::Layout { seed, .. } = case {
+                    assert!(seed <= i64::MAX as u64, "seed {seed} exceeds i64");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_biases_stay_in_opc_range() {
+        let cases = request_stream(&RequestStreamParams::default(), 5, 128);
+        for case in &cases {
+            if let ServeCase::Evaluate { bias, .. } = case {
+                assert!((0..=6).contains(bias));
+            }
+        }
+    }
+}
