@@ -33,6 +33,14 @@
 //! end-to-end requests/s is recorded per worker-thread count — plus a
 //! queue-saturation probe (dispatchers disabled, bounded queue) counting
 //! typed `busy` rejections. Any failed or missing response exits 1.
+//!
+//! `--serve --shards N` adds the **router tier**: `N` real `serve` shard
+//! processes are spawned (the binary next to this one, i.e.
+//! `target/release/serve`), a router fronts them, and the same request
+//! stream is measured end-to-end through `router + N shards` — recording
+//! router-tier requests/s and the router-overhead-vs-direct ratio into
+//! `BENCH_litho.json`. Full mode records shards 1 and 2. Routed responses
+//! are checked complete the same way; any failure exits 1.
 
 use camo::{CamoConfig, CamoEngine};
 use camo_baselines::{OpcConfig, OpcEngine};
@@ -107,6 +115,176 @@ struct ServeSaturation {
     submitted: usize,
     rejected: usize,
     retry_after_ms: u64,
+}
+
+/// End-to-end router-tier throughput at one shard count, paired with the
+/// direct single-process rate over the *same* multi-configuration stream
+/// so the overhead ratio compares identical workloads.
+struct RouterRow {
+    shards: usize,
+    requests: usize,
+    configs: usize,
+    requests_per_s: f64,
+    direct_requests_per_s: f64,
+}
+
+impl RouterRow {
+    fn overhead_vs_direct(&self) -> f64 {
+        self.direct_requests_per_s / self.requests_per_s
+    }
+}
+
+/// The `serve` binary the router bench spawns as shards: it is built into
+/// the same directory as this snapshot binary.
+fn serve_binary() -> Option<std::path::PathBuf> {
+    let path = std::env::current_exe().ok()?.with_file_name("serve");
+    path.exists().then_some(path)
+}
+
+/// The multi-configuration request mix the router rows measure: one
+/// lithography configuration per shard, each chosen (by preference order)
+/// to land on a distinct shard — a single-configuration stream would keep
+/// every shard but one idle and the multi-shard rows meaningless.
+fn tagged_cases(
+    shards: usize,
+    requests: usize,
+) -> Vec<(camo_serve::wire::JobSpec, camo_workloads::ServeCase)> {
+    use camo_serve::router::shard_preference;
+    use camo_serve::wire::{JobSpec, LithoSpec};
+    use camo_workloads::{multi_config_stream, RequestStreamParams};
+
+    let litho_for = |px: i64| LithoSpec {
+        pixel_size: Some(px),
+        ..LithoSpec::fast()
+    };
+    let mut pixel_sizes: Vec<i64> = Vec::new();
+    let mut covered = vec![false; shards];
+    for px in 8i64..256 {
+        let preferred = shard_preference(litho_for(px).to_config().fingerprint(), shards)[0];
+        if !covered[preferred] {
+            covered[preferred] = true;
+            pixel_sizes.push(px);
+        }
+        if covered.iter().all(|&c| c) {
+            break;
+        }
+    }
+    multi_config_stream(&RequestStreamParams::smoke(), &pixel_sizes, 2024, requests)
+        .into_iter()
+        .map(|tagged| {
+            let job = JobSpec {
+                litho: litho_for(tagged.pixel_size),
+                max_steps: Some(2),
+                ..JobSpec::fast_calibre_via()
+            };
+            (job, tagged.case)
+        })
+        .collect()
+}
+
+/// Fires `cases` at `addr` and returns the wall-clock seconds; exits 1 on
+/// any failed or missing response (after `drain` releases the serving
+/// processes, so an exit never orphans spawned shards).
+fn fire_cases(
+    addr: std::net::SocketAddr,
+    cases: &[(camo_serve::wire::JobSpec, camo_workloads::ServeCase)],
+    what: &str,
+    drain: impl FnOnce(),
+) -> f64 {
+    use camo_serve::client::{collect_responses, Client, Completed};
+    use camo_serve::exec::case_body;
+
+    let mut drain = Some(drain);
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            (drain.take().expect("drain once"))();
+            eprintln!("{what}: connect failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let start = Instant::now();
+    let ids: Vec<u64> = cases
+        .iter()
+        .map(|(job, case)| client.send(case_body(case, job)).expect("send"))
+        .collect();
+    let results = collect_responses(&mut client, &ids).expect("responses");
+    let secs = start.elapsed().as_secs_f64();
+    let mut regression = None;
+    for (id, completed) in &results {
+        match completed {
+            Completed::Single(_) | Completed::Sweep(_) => {}
+            other => {
+                regression = Some(format!("request {id} completed as {other:?}"));
+                break;
+            }
+        }
+    }
+    if results.len() != cases.len() {
+        regression = Some(format!("{} of {} responses", results.len(), cases.len()));
+    }
+    drop(client);
+    // Drain before any exit: `process::exit` skips destructors, which
+    // would orphan spawned shard processes.
+    (drain.take().expect("drain once"))();
+    if let Some(what_failed) = regression {
+        eprintln!("{what} REGRESSION: {what_failed}");
+        std::process::exit(1);
+    }
+    secs
+}
+
+/// Measures the same multi-configuration stream end-to-end twice — through
+/// a direct single-process server, then through `router + shards` real
+/// serve processes — and reports both rates.
+fn router_throughput(binary: &std::path::Path, shards: usize, requests: usize) -> RouterRow {
+    use camo_serve::router::{route_spawned, RouterConfig};
+    use camo_serve::shard::{ShardSet, ShardSpec};
+    use camo_serve::{serve, ServerConfig};
+
+    let cases = tagged_cases(shards, requests);
+    let configs = shards; // one configuration per shard, by construction
+
+    let direct = serve(ServerConfig {
+        threads: 1,
+        queue_depth: requests.max(8),
+        ..ServerConfig::default()
+    })
+    .expect("bind direct baseline server");
+    let direct_addr = direct.addr();
+    let direct_secs = fire_cases(direct_addr, &cases, "DIRECT BENCH", move || {
+        direct.shutdown();
+    });
+
+    let mut spec = ShardSpec::new(binary);
+    spec.args = vec!["--threads".into(), "1".into()];
+    let set = ShardSet::spawn(&spec, shards).unwrap_or_else(|e| {
+        eprintln!("ROUTER BENCH: shard spawn failed: {e}");
+        std::process::exit(1);
+    });
+    let handle = route_spawned(
+        RouterConfig {
+            queue_depth: requests.max(8),
+            ..RouterConfig::default()
+        },
+        set,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("ROUTER BENCH: router start failed: {e}");
+        std::process::exit(1);
+    });
+    let routed_addr = handle.addr();
+    let routed_secs = fire_cases(routed_addr, &cases, "ROUTER BENCH", move || {
+        handle.shutdown();
+    });
+
+    RouterRow {
+        shards,
+        requests,
+        configs,
+        requests_per_s: requests as f64 / routed_secs,
+        direct_requests_per_s: requests as f64 / direct_secs,
+    }
 }
 
 /// Fires `requests` mixed requests at an in-process server with `threads`
@@ -481,6 +659,9 @@ fn main() {
     // count, plus the queue-saturation probe.
     let mut serve_rows: Vec<ServeRow> = Vec::new();
     let mut serve_sat: Option<ServeSaturation> = None;
+    let mut router_rows: Vec<RouterRow> = Vec::new();
+    let args: Vec<String> = std::env::args().collect();
+    let shards_flag = args.iter().any(|a| a == "--shards");
     if serve_mode {
         let serve_threads: Vec<usize> = if only_threads {
             thread_counts.clone()
@@ -492,6 +673,38 @@ fn main() {
             serve_rows.push(serve_throughput(threads, requests));
         }
         serve_sat = Some(serve_saturation(4, 4));
+
+        // Router tier: explicit `--shards N`, or shard counts 1 and 2 in
+        // full mode (where the rows are persisted).
+        let shard_counts: Vec<usize> = if shards_flag {
+            vec![camo_serve::cli::parsed_flag(&args, "--shards", 1usize)]
+        } else if quick {
+            Vec::new()
+        } else {
+            vec![1, 2]
+        };
+        if !shard_counts.is_empty() {
+            match serve_binary() {
+                Some(binary) => {
+                    for &shards in &shard_counts {
+                        router_rows.push(router_throughput(&binary, shards, requests));
+                    }
+                }
+                None if shards_flag => {
+                    eprintln!(
+                        "ROUTER BENCH: no `serve` binary next to perf_snapshot — \
+                         run `cargo build --release -p camo-serve` first"
+                    );
+                    std::process::exit(1);
+                }
+                None => {
+                    eprintln!(
+                        "router rows skipped: no `serve` binary next to perf_snapshot \
+                         (cargo build --release -p camo-serve)"
+                    );
+                }
+            }
+        }
     }
 
     // Human-readable report.
@@ -570,6 +783,18 @@ fn main() {
         println!(
             "serve saturation: {} requests into queue depth {} -> {} typed busy rejections (retry_after {} ms)",
             sat.submitted, sat.queue_depth, sat.rejected, sat.retry_after_ms
+        );
+    }
+    for r in &router_rows {
+        println!(
+            "router end-to-end {:>2} shard(s)    {:>8.2} req/s over {} mixed requests across {} config(s), \
+             {:.2}x overhead vs direct ({:.2} req/s) on the same stream",
+            r.shards,
+            r.requests_per_s,
+            r.requests,
+            r.configs,
+            r.overhead_vs_direct(),
+            r.direct_requests_per_s
         );
     }
 
@@ -677,6 +902,29 @@ fn main() {
             });
         }
         json.push_str("  ],\n");
+        if router_rows.is_empty() {
+            json.push_str("  \"router\": null,\n");
+        } else {
+            json.push_str("  \"router\": [\n");
+            for (i, r) in router_rows.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "    {{\"op\": \"router_end_to_end\", \"shards\": {}, \"configs\": {}, \"requests\": {}, \"requests_per_s\": {:.3}, \"direct_requests_per_s\": {:.3}, \"overhead_vs_direct\": {:.2}}}",
+                    r.shards,
+                    r.configs,
+                    r.requests,
+                    r.requests_per_s,
+                    r.direct_requests_per_s,
+                    r.overhead_vs_direct(),
+                );
+                json.push_str(if i + 1 < router_rows.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            json.push_str("  ],\n");
+        }
         match &serve_sat {
             Some(sat) => {
                 let _ = writeln!(

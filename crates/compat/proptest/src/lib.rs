@@ -175,7 +175,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Sizes accepted by [`vec`] (subset of `proptest`'s `SizeRange`).
+        /// Sizes accepted by [`vec()`] (subset of `proptest`'s `SizeRange`).
         pub trait IntoSizeRange {
             /// Draws a concrete length.
             fn draw_len(&self, rng: &mut TestRng) -> usize;

@@ -87,8 +87,8 @@ impl Raster {
         self.reshape_scratch_with_dimensions(region.lower_left(), pixel_size, width, height);
     }
 
-    /// Like [`Self::reshape_with_dimensions`], but leaves the sample values
-    /// unspecified (see [`Self::reshape_scratch`]).
+    /// Like [`Self::reshape_scratch`], but with explicitly provided grid
+    /// dimensions (sample values stay unspecified).
     ///
     /// # Panics
     ///

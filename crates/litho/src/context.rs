@@ -9,7 +9,7 @@
 //!
 //! The tap cache is fully populated at construction and never mutated
 //! afterwards, so shared access needs no interior mutability or locking on
-//! the hot path (see [`TapsCache::lookup`]).
+//! the hot path (see `TapsCache::lookup`).
 
 use crate::pipeline::TapsCache;
 use crate::process::ProcessCorner;

@@ -12,7 +12,7 @@ use camo_geometry::{Coord, MaskState, Raster, Rect};
 /// A stateful evaluation session over one mask.
 ///
 /// Created by [`LithoSimulator::evaluator`]. The evaluator owns the mask and
-/// a [`SimWorkspace`]; [`Self::apply_moves`] re-rasterises and re-convolves
+/// a [`crate::SimWorkspace`]; [`Self::apply_moves`] re-rasterises and re-convolves
 /// only the dirty rectangle reported by the mask (padded by the kernel
 /// radius), falling back to a full refresh when more than half the raster is
 /// dirty. Results are identical to stateless evaluation — the incremental

@@ -44,7 +44,12 @@
 //! Long-lived serving processes pick simulators out of a [`ContextCache`]
 //! ([`context_cache`]): an LRU keyed by [`LithoConfig::fingerprint`], so
 //! every request under one process configuration shares one context and
-//! one workspace pool across its whole lifetime.
+//! one workspace pool across its whole lifetime. The same fingerprint is
+//! the **routing key** of `camo-serve`'s multi-process shard tier: the
+//! router ranks shards per fingerprint (rendezvous hashing), so each
+//! configuration's requests land on one shard — each shard process owns
+//! its own `ContextCache` and keeps a hot context for the configurations
+//! routed to it.
 //!
 //! Evaluation itself is the scratch-buffer pipeline: masks are rasterised
 //! *analytically* (exact per-pixel area coverage, no intermediate 1 nm

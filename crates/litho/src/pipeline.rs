@@ -302,7 +302,7 @@ pub(crate) fn aerial_window(
 /// Kernel taps live in the shared, immutable [`crate::LithoContext`]; the
 /// workspace only keeps a small `extra_taps` cache for blurs outside the
 /// configured corner set (a cold path). Workspaces are recycled through
-/// [`crate::WorkspacePool`]: [`Self::reset`] re-targets every buffer at a
+/// [`crate::WorkspacePool`]: `reset` re-targets every buffer at a
 /// new clip geometry while keeping the allocations.
 #[derive(Debug, Clone)]
 pub struct SimWorkspace {

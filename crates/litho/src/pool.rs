@@ -3,7 +3,7 @@
 //!
 //! A batch run over N clips on T threads holds at most T sessions alive at
 //! once, so the pool converges to T workspaces regardless of N — every
-//! session checks a workspace out, and [`PooledWorkspace`]'s drop checks it
+//! session checks a workspace out, and `PooledWorkspace`'s drop checks it
 //! back in. Checkout **never blocks**: an empty pool falls back to
 //! allocating a fresh workspace (and an over-cap check-in simply drops the
 //! buffers), so pool exhaustion can degrade throughput but can never
@@ -51,7 +51,7 @@ pub struct WorkspacePool {
 
 impl WorkspacePool {
     /// Creates a pool retaining at most `max_idle` idle workspaces (and at
-    /// most [`default_max_idle_bytes`] of retained buffer capacity); beyond
+    /// most `default_max_idle_bytes` of retained buffer capacity); beyond
     /// either cap, checked-in workspaces are dropped instead of cached.
     pub fn new(max_idle: usize) -> Self {
         Self::with_limits(max_idle, default_max_idle_bytes())

@@ -66,6 +66,8 @@
 //! assert_eq!(outcomes.len(), clips.len());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod batch;
 pub mod layout;
 pub mod pool;

@@ -1,11 +1,16 @@
 //! The `camo-client` binary: load generator and offline verifier.
 //!
 //! ```text
-//! camo-client [--addr 127.0.0.1:7878 | --port-file PATH]
+//! camo-client [--addr 127.0.0.1:7878 | --front ADDR | --port-file PATH]
 //!             [--requests N] [--seed S] [--smoke] [--engine calibre|camo]
 //!             [--litho fast|default] [--max-steps N]
 //!             [--verify] [--shutdown]
 //! ```
+//!
+//! `--front` addresses the front port of a `serve --shards N` router tier;
+//! it is interchangeable with `--addr` because the routed protocol is
+//! byte-for-byte the single-process protocol (and `--verify` holds through
+//! the router: routed results are bit-identical to offline runs).
 //!
 //! Generates a deterministic mixed request stream
 //! ([`camo_workloads::request_stream`]), fires it at the server, retries
@@ -137,7 +142,9 @@ fn main() {
             .unwrap_or_else(|e| fail(format!("cannot read --port-file {path}: {e}")))
             .trim()
             .to_string(),
-        None => flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
+        None => flag_value(&args, "--front")
+            .or_else(|| flag_value(&args, "--addr"))
+            .unwrap_or_else(|| "127.0.0.1:7878".into()),
     };
     let requests: usize = parsed_flag(&args, "--requests", 16);
     let seed: u64 = parsed_flag(&args, "--seed", 42);

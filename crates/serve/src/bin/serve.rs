@@ -1,19 +1,104 @@
-//! The `serve` binary: a long-lived OPC server on one TCP port.
+//! The `serve` binary: a long-lived OPC server on one TCP port — or, with
+//! `--shards N`, the router of a multi-process shard tier.
 //!
 //! ```text
 //! serve [--host 127.0.0.1] [--port 7878] [--threads N] [--queue-depth N]
 //!       [--max-connections N] [--dispatchers N] [--retry-after-ms N]
 //!       [--port-file PATH]
+//!       [--shards N] [--forwarders N] [--probe-interval-ms N] [--probe-timeout-ms N]
 //! ```
 //!
 //! `--port 0` binds an ephemeral port; the bound address is printed on
 //! stdout and, with `--port-file`, written to a file so scripts (CI smoke)
 //! can discover it. The process exits cleanly when a client sends a
 //! `shutdown` request.
+//!
+//! With `--shards N`, the process re-executes itself `N` times as backend
+//! shards (each a plain single-process server on its own ephemeral port,
+//! inheriting the tuning flags above) and runs a
+//! [`camo_serve::router`] on the front port instead of a server. A client
+//! `shutdown` request then drains the whole tier: the router stops
+//! accepting, waits for in-flight responses, asks every shard to drain and
+//! exit, and reaps the child processes before exiting itself.
 
 use camo_serve::cli::{flag_value, parsed_flag};
-use camo_serve::{serve, ServerConfig};
+use camo_serve::{route_spawned, serve, RouterConfig, ServerConfig, ShardSet, ShardSpec};
 use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Tuning flags forwarded verbatim from the router process to every shard.
+const SHARD_FLAGS: &[&str] = &[
+    "--threads",
+    "--queue-depth",
+    "--max-connections",
+    "--dispatchers",
+    "--retry-after-ms",
+    "--context-capacity",
+    "--coalesce-limit",
+];
+
+fn run_router(args: &[String], addr: SocketAddr, shards: usize) {
+    let binary = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate the serve binary to re-execute: {e}");
+        std::process::exit(1);
+    });
+    let mut spec = ShardSpec::new(binary);
+    for flag in SHARD_FLAGS {
+        if let Some(value) = flag_value(args, flag) {
+            spec.args.push((*flag).to_string());
+            spec.args.push(value);
+        }
+    }
+    let set = ShardSet::spawn(&spec, shards).unwrap_or_else(|e| {
+        eprintln!("shard spawn failed: {e}");
+        std::process::exit(1);
+    });
+    let defaults = RouterConfig::default();
+    let config = RouterConfig {
+        addr,
+        queue_depth: parsed_flag(args, "--queue-depth", defaults.queue_depth),
+        max_connections: parsed_flag(args, "--max-connections", defaults.max_connections),
+        forwarders: parsed_flag(args, "--forwarders", defaults.forwarders),
+        retry_after_ms: parsed_flag(args, "--retry-after-ms", defaults.retry_after_ms),
+        probe_interval: Duration::from_millis(parsed_flag(
+            args,
+            "--probe-interval-ms",
+            defaults.probe_interval.as_millis() as u64,
+        )),
+        probe_timeout: Duration::from_millis(parsed_flag(
+            args,
+            "--probe-timeout-ms",
+            defaults.probe_timeout.as_millis() as u64,
+        )),
+        drain_timeout: defaults.drain_timeout,
+    };
+    let handle = route_spawned(config, set).unwrap_or_else(|e| {
+        eprintln!("router start failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "camo-serve router listening on {} ({} shard(s): {:?})",
+        handle.addr(),
+        shards,
+        handle.shard_addrs()
+    );
+    if let Some(path) = flag_value(args, "--port-file") {
+        if let Err(e) = std::fs::write(&path, handle.addr().to_string()) {
+            eprintln!("cannot write --port-file {path}: {e}");
+            // `process::exit` would skip destructors and orphan the shard
+            // processes; drain the tier first.
+            handle.shutdown();
+            std::process::exit(1);
+        }
+    }
+    handle.wait_for_shutdown_request();
+    let stats = handle.shutdown();
+    println!(
+        "camo-serve router shut down cleanly: {} request(s) completed, {} rejected, \
+         {} redispatched, per-shard {:?}",
+        stats.completed, stats.rejected, stats.redispatched, stats.forwarded_per_shard
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +109,11 @@ fn main() {
         eprintln!("invalid --host/--port combination");
         std::process::exit(2);
     });
+    let shards: usize = parsed_flag(&args, "--shards", 0);
+    if shards > 0 {
+        run_router(&args, addr, shards);
+        return;
+    }
     let config = ServerConfig {
         addr,
         threads: parsed_flag(&args, "--threads", defaults.threads),

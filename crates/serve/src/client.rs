@@ -185,6 +185,10 @@ impl ResponseRouter {
                 }
             }
             ResponseBody::Busy { retry_after_ms } => {
+                // A conforming server only rejects before any case is
+                // produced, but a stale partial must not outlive the
+                // request either way.
+                self.partial.remove(&id);
                 self.done.insert(id, Completed::Rejected { retry_after_ms });
                 Ok(Some(id))
             }

@@ -1,0 +1,334 @@
+//! The client-facing connection front-end shared by the single-process
+//! server and the shard router.
+//!
+//! Both processes present the same face to a client: an acceptor with a
+//! connection cap, one reader and one writer thread per connection, inline
+//! `ping`/`shutdown` handling, typed `busy` rejections, and a stream
+//! registry so shutdown can unblock every reader. Only what happens to an
+//! *admitted* request differs — the server queues it for its dispatchers,
+//! the router for its forwarders — so that single decision is the
+//! [`FrontHandler`] trait and everything else lives here once.
+
+use crate::wire::{
+    decode_request, encode_response, read_frame, ErrorCode, Frame, Request, RequestBody, Response,
+    ResponseBody,
+};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Connection-tier state embedded in the server's and the router's shared
+/// state: liveness counters, the stop flag, the shutdown rendezvous, and
+/// the registry of streams to read-shutdown at exit.
+pub(crate) struct FrontState {
+    /// Maximum simultaneously open client connections.
+    max_connections: usize,
+    /// Retry hint carried by `busy` rejections, milliseconds.
+    pub(crate) retry_after_ms: u64,
+    pub(crate) stop: AtomicBool,
+    live: AtomicUsize,
+    pub(crate) connections: AtomicUsize,
+    pub(crate) rejected: AtomicUsize,
+    shutdown_flag: Mutex<bool>,
+    shutdown_cv: Condvar,
+    /// Stream clones used to read-shutdown blocked readers at exit, keyed
+    /// by connection id so entries are dropped when their reader exits —
+    /// otherwise a long-lived process would leak one fd per past
+    /// connection.
+    streams: Mutex<Vec<(u64, TcpStream)>>,
+}
+
+impl FrontState {
+    pub(crate) fn new(max_connections: usize, retry_after_ms: u64) -> Self {
+        Self {
+            max_connections,
+            retry_after_ms,
+            stop: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            shutdown_flag: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            streams: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Stops the acceptor, read-shuts every registered connection so
+    /// blocked readers unblock, and wakes [`Self::wait_for_shutdown`]
+    /// waiters. Idempotent; callers close their own request queue.
+    pub(crate) fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for (_, stream) in self.lock_streams().iter() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let mut flag = self
+            .shutdown_flag
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *flag = true;
+        self.shutdown_cv.notify_all();
+    }
+
+    /// Blocks until [`Self::begin_shutdown`] has run (the binaries' main
+    /// loop). Returns immediately if shutdown already began.
+    pub(crate) fn wait_for_shutdown(&self) {
+        let mut flag = self
+            .shutdown_flag
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while !*flag {
+            flag = self
+                .shutdown_cv
+                .wait(flag)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn lock_streams(&self) -> std::sync::MutexGuard<'_, Vec<(u64, TcpStream)>> {
+        self.streams.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn deregister_stream(&self, conn_id: u64) {
+        self.lock_streams().retain(|(id, _)| *id != conn_id);
+    }
+}
+
+/// One request admitted past the connection tier: the decoded request plus
+/// the sender feeding its connection's writer thread. The element type of
+/// both the server's dispatch queue and the router's forwarding queue.
+pub(crate) struct AdmittedRequest {
+    pub(crate) reply: Sender<Response>,
+    pub(crate) request: Request,
+}
+
+/// What the embedding process does with an admitted request; everything
+/// else about a connection's life is shared.
+pub(crate) trait FrontHandler: Send + Sync + 'static {
+    /// The embedded connection-tier state.
+    fn front(&self) -> &FrontState;
+    /// The bounded queue admitted requests are pushed onto; its overflow is
+    /// the backpressure signal.
+    fn queue(&self) -> &camo_runtime::BoundedQueue<AdmittedRequest>;
+    /// A client asked the process to drain and exit (the acknowledgement
+    /// has already been sent).
+    fn on_shutdown_request(&self);
+
+    /// Takes one decoded request that is neither `ping` nor `shutdown`: a
+    /// non-blocking push onto [`Self::queue`], where a full queue answers a
+    /// typed `busy` rejection and a closed one answers `shutting_down`.
+    fn admit(&self, reply: &Sender<Response>, request: Request) {
+        let admitted = AdmittedRequest {
+            reply: reply.clone(),
+            request,
+        };
+        match self.queue().try_push(admitted) {
+            Ok(()) => {}
+            Err(camo_runtime::PushError::Full(a)) => {
+                self.front().rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = a.reply.send(Response {
+                    id: a.request.id,
+                    body: ResponseBody::Busy {
+                        retry_after_ms: self.front().retry_after_ms,
+                    },
+                });
+            }
+            Err(camo_runtime::PushError::Closed(a)) => {
+                let _ = a.reply.send(Response {
+                    id: a.request.id,
+                    body: ResponseBody::ShuttingDown,
+                });
+            }
+        }
+    }
+}
+
+/// Accepts connections until shutdown, enforcing the connection cap; joins
+/// every connection thread before returning.
+pub(crate) fn acceptor_loop<H: FrontHandler>(listener: TcpListener, shared: &Arc<H>) {
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.front().stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                conn_threads.retain(|h| !h.is_finished());
+                let front = shared.front();
+                let conn_id = front.connections.fetch_add(1, Ordering::Relaxed) as u64;
+                if front.live.fetch_add(1, Ordering::SeqCst) >= front.max_connections {
+                    front.live.fetch_sub(1, Ordering::SeqCst);
+                    front.rejected.fetch_add(1, Ordering::Relaxed);
+                    reject_connection(stream, front.retry_after_ms);
+                    continue;
+                }
+                match spawn_connection(conn_id, stream, shared) {
+                    Ok(handles) => conn_threads.extend(handles),
+                    Err(_) => {
+                        shared.front().live.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for handle in conn_threads {
+        let _ = handle.join();
+    }
+}
+
+/// Turns an over-cap connection away with a single typed `busy` frame.
+fn reject_connection(stream: TcpStream, retry_after_ms: u64) {
+    let mut writer = BufWriter::new(stream);
+    if let Ok(frame) = encode_response(&Response {
+        id: 0,
+        body: ResponseBody::Busy { retry_after_ms },
+    }) {
+        let _ = writer.write_all(frame.as_bytes());
+        let _ = writer.write_all(b"\n");
+        let _ = writer.flush();
+    }
+}
+
+fn spawn_connection<H: FrontHandler>(
+    conn_id: u64,
+    stream: TcpStream,
+    shared: &Arc<H>,
+) -> std::io::Result<[JoinHandle<()>; 2]> {
+    // A dead or stalled client must not wedge shutdown behind a full send
+    // buffer; writers give up after this long.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let read_half = stream.try_clone()?;
+    shared
+        .front()
+        .lock_streams()
+        .push((conn_id, stream.try_clone()?));
+    // Close the race with a concurrent `begin_shutdown`: if its
+    // read-shutdown pass already swept the registry, sweep this connection
+    // ourselves so the reader observes EOF instead of blocking forever.
+    if shared.front().stop.load(Ordering::SeqCst) {
+        let _ = read_half.shutdown(Shutdown::Read);
+    }
+    let (tx, rx) = channel::<Response>();
+
+    let writer = std::thread::Builder::new()
+        .name("camo-serve-writer".into())
+        .spawn(move || writer_loop(stream, rx));
+    let writer = match writer {
+        Ok(handle) => handle,
+        Err(e) => {
+            shared.front().deregister_stream(conn_id);
+            return Err(e);
+        }
+    };
+    let reader = {
+        let shared_for_reader = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("camo-serve-reader".into())
+            .spawn(move || {
+                reader_loop(read_half, &*shared_for_reader, tx);
+                shared_for_reader.front().deregister_stream(conn_id);
+                shared_for_reader
+                    .front()
+                    .live
+                    .fetch_sub(1, Ordering::SeqCst);
+            })
+    };
+    let reader = match reader {
+        Ok(handle) => handle,
+        Err(e) => {
+            // `tx` was moved into the failed spawn attempt and dropped, so
+            // the writer drains and exits on its own.
+            shared.front().deregister_stream(conn_id);
+            return Err(e);
+        }
+    };
+    Ok([reader, writer])
+}
+
+fn writer_loop(stream: TcpStream, rx: Receiver<Response>) {
+    let mut writer = BufWriter::new(stream);
+    // Ends when every sender (reader + admitted requests) is gone; the
+    // final write-shutdown sends FIN so clients draining the stream observe
+    // EOF even while the shutdown registry still holds a clone.
+    while let Ok(response) = rx.recv() {
+        let frame = match encode_response(&response) {
+            Ok(frame) => frame,
+            Err(e) => match encode_response(&Response {
+                id: response.id,
+                body: ResponseBody::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("unencodable response: {e}"),
+                },
+            }) {
+                Ok(frame) => frame,
+                Err(_) => continue,
+            },
+        };
+        if writer.write_all(frame.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+    let _ = writer.get_ref().shutdown(Shutdown::Write);
+}
+
+fn reader_loop<H: FrontHandler>(stream: TcpStream, shared: &H, tx: Sender<Response>) {
+    let mut reader = BufReader::new(stream);
+    // Ends on EOF, a transport error, or a `shutdown` request (Err and
+    // Ok(None) both fall out of the `while let`).
+    while let Ok(Some(frame)) = read_frame(&mut reader) {
+        let line = match frame {
+            Frame::Line(line) => line,
+            Frame::Oversized { len } => {
+                let _ = tx.send(Response {
+                    id: 0,
+                    body: ResponseBody::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("frame of {len} bytes exceeds the limit"),
+                    },
+                });
+                continue;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match decode_request(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                let _ = tx.send(Response {
+                    id: 0,
+                    body: ResponseBody::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                });
+                continue;
+            }
+        };
+        let id = request.id;
+        match request.body {
+            RequestBody::Ping => {
+                let _ = tx.send(Response {
+                    id,
+                    body: ResponseBody::Pong,
+                });
+            }
+            RequestBody::Shutdown => {
+                let _ = tx.send(Response {
+                    id,
+                    body: ResponseBody::ShuttingDown,
+                });
+                shared.on_shutdown_request();
+                break;
+            }
+            _ => shared.admit(&tx, request),
+        }
+    }
+}

@@ -24,6 +24,18 @@
 //!               └──────────────────────────────────────────────────────────────────┘
 //! ```
 //!
+//! One serve process is one queue, one [`camo_litho::ContextCache`] and one
+//! failure domain. The **shard tier** ([`router`] + [`shard`], started with
+//! `serve --shards N`) multiplies all three: a router process accepts
+//! clients on one front port and forwards framed requests to `N`
+//! supervised `serve` processes, routed consistently by
+//! [`camo_litho::LithoConfig::fingerprint`] so each shard keeps a hot
+//! context, with per-shard health probes, typed `busy` propagation,
+//! redispatch-on-shard-death and a tier-wide graceful drain. The protocol
+//! through the router is byte-for-byte the single-process protocol, and the
+//! results stay bit-identical. See `docs/ARCHITECTURE.md` for the full
+//! picture and `docs/WIRE_PROTOCOL.md` for the wire specification.
+//!
 //! * [`wire`] — line-based JSON-subset codec: typed requests/responses,
 //!   strict validation, exact `f64` round-trips, typed errors (never
 //!   panics) for truncated/oversized/malformed frames.
@@ -38,6 +50,9 @@
 //!   offline" to the batch runtime's own determinism contract.
 //! * [`client`] — blocking client plus [`client::ResponseRouter`]
 //!   request-id correlation for the completion-ordered response stream.
+//! * [`shard`] / [`router`] — the multi-process tier: `std::process`
+//!   supervision of backend serve processes and the front-port router that
+//!   load-balances over them by configuration fingerprint.
 //!
 //! # Determinism
 //!
@@ -53,17 +68,28 @@
 //!
 //! * `serve` — `--port/--threads/--queue-depth/--max-connections/...`;
 //!   prints the bound address, optionally writes it to `--port-file`, and
-//!   exits cleanly on a client `shutdown` request.
+//!   exits cleanly on a client `shutdown` request. With `--shards N` it
+//!   runs as the router of a multi-process tier instead, re-executing
+//!   itself `N` times as backend shards and draining them all on shutdown.
 //! * `camo-client` — load generator over
 //!   [`camo_workloads::request_stream`], with `--verify` (offline
-//!   bit-identity diff) and `--shutdown`.
+//!   bit-identity diff), `--shutdown`, and `--front` to address a router
+//!   front port (the protocol is identical, so this is spelling, not
+//!   mechanism).
+
+#![deny(missing_docs)]
 
 pub mod cli;
 pub mod client;
 pub mod exec;
+mod front;
+pub mod router;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
 pub use client::{collect_responses, Client, ClientError, Completed, ResponseRouter};
+pub use router::{route, route_spawned, shard_preference, RouterConfig, RouterHandle, RouterStats};
 pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
+pub use shard::{ShardSet, ShardSpec};
 pub use wire::{Request, RequestBody, Response, ResponseBody, WireError};

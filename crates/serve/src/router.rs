@@ -1,0 +1,892 @@
+//! The shard router: one front port fanned out over `N` backend `serve`
+//! processes.
+//!
+//! A single serve process caps the machine at one request queue, one
+//! [`camo_litho::ContextCache`] and one failure domain. The router
+//! multiplies all three while keeping the wire protocol *identical* — a
+//! client cannot tell a router from a plain server, and routed results are
+//! **bit-identical** to direct single-process serving (the determinism
+//! contract makes every shard compute the same bits from the same spec).
+//!
+//! # Thread anatomy
+//!
+//! ```text
+//!                 ┌──────────────────────── router process ───────────────────────┐
+//!  client ──TCP──▶ acceptor ─▶ reader ──try_push──▶ BoundedQueue ──pop──▶ forwarders │
+//!                 │              │ full → Busy{retry_after_ms}        (ServicePool) │
+//!                 │              ▼                                        │ route by │
+//!                 │            writer ◀── responses (id-translated) ──┐  │ litho    │
+//!                 │                                                   │  ▼ fingerprint
+//!                 │   prober ──ping/pong──▶ ┌────────┐  shard reader ┴─ shard writer
+//!                 └─────────────────────────│ shard 0│◀───────────────────────────┘
+//!                      (per-shard health)   │ shard 1│  … one TCP channel per shard
+//!                                           └────────┘
+//! ```
+//!
+//! * Client-facing threads mirror [`crate::server`]: an acceptor with a
+//!   connection cap, one reader and one writer per connection, and a
+//!   bounded request queue whose overflow answers a typed
+//!   [`ResponseBody::Busy`] rejection.
+//! * **Forwarders** are jobs on a [`camo_runtime::ServicePool`]. Each pops
+//!   a request, computes its lithography fingerprint
+//!   ([`camo_litho::LithoConfig::fingerprint`] via
+//!   [`crate::exec::litho_spec`]), and writes it — under a fresh router id
+//!   — to the shard that [`shard_preference`] ranks first among the live
+//!   ones. Consistent routing means every configuration's requests land on
+//!   one shard, which therefore keeps a **hot context** for it.
+//! * One **shard reader** per backend demultiplexes responses: router ids
+//!   are translated back to client ids and forwarded to the owning
+//!   connection's writer. Sweep cases stream through one by one.
+//! * The **prober** pings every live shard on an interval. A shard that
+//!   stops answering within the probe timeout — or whose connection drops,
+//!   or which sends a frame that does not decode — is marked dead and every
+//!   request in flight on it is **redispatched** to the next shard in its
+//!   preference order. Sweeps that already streamed some cases to the
+//!   client resend only the missing indices (bit-identical recomputation
+//!   makes the dedup exact).
+//!
+//! # Failure semantics
+//!
+//! * `busy` from a shard is propagated to the client unchanged — the shard
+//!   tier never converts backpressure into blocking.
+//! * A dead shard is routed around, not respawned; when every shard is
+//!   dead, in-flight and new requests complete with a typed
+//!   [`ErrorCode::Internal`] error.
+//! * Shutdown drains in order: stop accepting, forward everything queued,
+//!   wait for in-flight work (bounded by
+//!   [`RouterConfig::drain_timeout`]), then send each live shard a
+//!   `shutdown` request and reap the supervised processes.
+
+use crate::exec::litho_spec;
+use crate::front::{acceptor_loop, AdmittedRequest, FrontHandler, FrontState};
+use crate::shard::ShardSet;
+use crate::wire::{
+    decode_response, encode_request_parts, read_frame, ErrorCode, Frame, RequestBody, Response,
+    ResponseBody,
+};
+use camo_runtime::{BoundedQueue, ServicePool};
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Router tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Front address clients connect to (port 0 picks an ephemeral port).
+    pub addr: SocketAddr,
+    /// Forwarding-queue depth; a full queue answers `busy` (backpressure).
+    pub queue_depth: usize,
+    /// Maximum simultaneously open client connections.
+    pub max_connections: usize,
+    /// Forwarder jobs draining the queue onto shard channels.
+    pub forwarders: usize,
+    /// Retry hint carried by router-side `busy` rejections, milliseconds.
+    pub retry_after_ms: u64,
+    /// Interval between health probes to each live shard.
+    pub probe_interval: Duration,
+    /// A shard whose probe goes unanswered this long is declared dead.
+    pub probe_timeout: Duration,
+    /// Upper bound on waiting for in-flight requests at shutdown; requests
+    /// still unanswered afterwards complete with a typed internal error.
+    pub drain_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".parse().expect("static addr"),
+            queue_depth: 64,
+            max_connections: 32,
+            forwarders: 2,
+            retry_after_ms: 50,
+            probe_interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_secs(5),
+            drain_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Counters exposed for logging, the bench harness and the affinity tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Client connections accepted.
+    pub connections: usize,
+    /// Requests rejected with router-side `busy` (queue full or connection
+    /// cap).
+    pub rejected: usize,
+    /// Requests whose final response (or final sweep case) was forwarded.
+    pub completed: usize,
+    /// Requests re-sent to another shard after their shard died.
+    pub redispatched: usize,
+    /// Requests forwarded to each shard, in shard order (redispatches
+    /// count again on the new shard).
+    pub forwarded_per_shard: Vec<usize>,
+    /// Liveness of each shard at the time of the snapshot.
+    pub shard_alive: Vec<bool>,
+}
+
+/// The deterministic shard preference order for one lithography
+/// fingerprint: shard indices ranked by rendezvous hashing, best first.
+///
+/// Every fingerprint ranks *all* shards, so routing degrades gracefully —
+/// when the preferred shard dies, its traffic moves as one block to the
+/// fingerprint's second choice (keeping per-configuration affinity) instead
+/// of being scattered. Distinct fingerprints spread independently, so a
+/// multi-configuration workload balances across the tier.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_preference(fingerprint: u64, shards: usize) -> Vec<usize> {
+    assert!(shards > 0, "a router needs at least one shard");
+    let mut order: Vec<usize> = (0..shards).collect();
+    order.sort_by_key(|&s| std::cmp::Reverse(mix(fingerprint, s as u64)));
+    order
+}
+
+/// SplitMix64-style avalanche of `(fingerprint, shard)` — the rendezvous
+/// weight. Vendored (offline build): any statistically decent mixer works,
+/// it only has to be deterministic across processes.
+fn mix(fingerprint: u64, shard: u64) -> u64 {
+    let mut x = fingerprint ^ shard.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// One request in flight on a shard, kept until its final response is
+/// forwarded so it can be redispatched if the shard dies.
+struct Inflight {
+    reply: Sender<Response>,
+    client_id: u64,
+    /// Shared with in-progress encodes so redispatch never clones payloads.
+    body: Arc<RequestBody>,
+    shard: usize,
+    attempts: usize,
+    /// Sweep case indices already forwarded to the client — after a
+    /// redispatch, the replacement shard's identical stream is deduplicated
+    /// against this set.
+    forwarded_cases: BTreeSet<usize>,
+    /// Case count, learned from the first case frame.
+    total_cases: Option<usize>,
+}
+
+/// The router's connection to one backend shard.
+struct ShardLink {
+    addr: SocketAddr,
+    alive: AtomicBool,
+    writer: Mutex<Option<BufWriter<TcpStream>>>,
+    /// A clone used to shut the channel down so the shard reader unblocks.
+    stream: Mutex<Option<TcpStream>>,
+    forwarded: AtomicUsize,
+}
+
+struct RouterShared {
+    config: RouterConfig,
+    queue: BoundedQueue<AdmittedRequest>,
+    links: Vec<ShardLink>,
+    front: FrontState,
+    inflight: Mutex<BTreeMap<u64, Inflight>>,
+    /// Notified whenever `inflight` shrinks (the drain wait).
+    idle: Condvar,
+    /// Outstanding health probes: router id → (shard, sent-at).
+    probes: Mutex<BTreeMap<u64, (usize, Instant)>>,
+    next_id: AtomicU64,
+    probe_stop: AtomicBool,
+    completed: AtomicUsize,
+    redispatched: AtomicUsize,
+}
+
+impl RouterShared {
+    fn lock_inflight(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, Inflight>> {
+        self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_probes(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, (usize, Instant)>> {
+        self.probes.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn fresh_id(&self) -> u64 {
+        // Starts at 1: id 0 is the protocol's "unattributable" marker.
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn alive_count(&self) -> usize {
+        self.links
+            .iter()
+            .filter(|l| l.alive.load(Ordering::SeqCst))
+            .count()
+    }
+
+    fn request_shutdown(&self) {
+        self.queue.close();
+        self.front.begin_shutdown();
+    }
+}
+
+impl FrontHandler for RouterShared {
+    fn front(&self) -> &FrontState {
+        &self.front
+    }
+
+    fn queue(&self) -> &BoundedQueue<AdmittedRequest> {
+        &self.queue
+    }
+
+    fn on_shutdown_request(&self) {
+        self.request_shutdown();
+    }
+}
+
+/// A running router; [`Self::shutdown`] is the graceful path.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    acceptor: Option<JoinHandle<()>>,
+    forwarders: Option<ServicePool>,
+    prober: Option<JoinHandle<()>>,
+    shard_readers: Vec<JoinHandle<()>>,
+    supervised: Option<ShardSet>,
+}
+
+/// Starts a router over externally managed shard addresses (tests drive
+/// this directly; production spawns go through [`route_spawned`]).
+///
+/// # Panics
+///
+/// Panics if `shards` is empty.
+pub fn route(config: RouterConfig, shards: &[SocketAddr]) -> std::io::Result<RouterHandle> {
+    start(config, shards.to_vec(), None)
+}
+
+/// Spawns nothing itself but adopts an already-spawned [`ShardSet`]: the
+/// router connects to every shard, and [`RouterHandle::shutdown`] drains
+/// and reaps the processes.
+pub fn route_spawned(config: RouterConfig, shards: ShardSet) -> std::io::Result<RouterHandle> {
+    let addrs = shards.addrs();
+    start(config, addrs, Some(shards))
+}
+
+fn start(
+    config: RouterConfig,
+    addrs: Vec<SocketAddr>,
+    supervised: Option<ShardSet>,
+) -> std::io::Result<RouterHandle> {
+    assert!(!addrs.is_empty(), "a router needs at least one shard");
+    let listener = TcpListener::bind(config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let links: Vec<ShardLink> = addrs
+        .iter()
+        .map(|&addr| ShardLink {
+            addr,
+            alive: AtomicBool::new(false),
+            writer: Mutex::new(None),
+            stream: Mutex::new(None),
+            forwarded: AtomicUsize::new(0),
+        })
+        .collect();
+    let forwarder_count = config.forwarders.max(1);
+    let shared = Arc::new(RouterShared {
+        queue: BoundedQueue::new(config.queue_depth),
+        links,
+        front: FrontState::new(config.max_connections, config.retry_after_ms),
+        inflight: Mutex::new(BTreeMap::new()),
+        idle: Condvar::new(),
+        probes: Mutex::new(BTreeMap::new()),
+        next_id: AtomicU64::new(0),
+        probe_stop: AtomicBool::new(false),
+        completed: AtomicUsize::new(0),
+        redispatched: AtomicUsize::new(0),
+        config,
+    });
+
+    // Connect every shard channel up front; a shard that refuses now is
+    // simply dead from the start (the tier still serves on the others).
+    let mut shard_readers = Vec::new();
+    for index in 0..shared.links.len() {
+        if let Some(handle) = connect_shard(&shared, index) {
+            shard_readers.push(handle);
+        }
+    }
+    if shared.alive_count() == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            "no shard accepted the router's connection",
+        ));
+    }
+
+    let forwarders = {
+        let pool = ServicePool::new(forwarder_count, forwarder_count);
+        for _ in 0..forwarder_count {
+            let shared = Arc::clone(&shared);
+            pool.submit(move || forward_loop(&shared))
+                .expect("fresh pool accepts jobs");
+        }
+        Some(pool)
+    };
+
+    let prober = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("camo-router-prober".into())
+            .spawn(move || prober_loop(&shared))
+            .expect("spawn prober")
+    };
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("camo-router-acceptor".into())
+            .spawn(move || acceptor_loop(listener, &shared))
+            .expect("spawn acceptor")
+    };
+
+    Ok(RouterHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        forwarders,
+        prober: Some(prober),
+        shard_readers,
+        supervised,
+    })
+}
+
+/// Connects one shard channel and spawns its reader; `None` (and a dead
+/// link) when the shard is unreachable.
+fn connect_shard(shared: &Arc<RouterShared>, index: usize) -> Option<JoinHandle<()>> {
+    let link = &shared.links[index];
+    let stream = TcpStream::connect(link.addr).ok()?;
+    // A wedged shard must not hang a forwarder behind a full send buffer.
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let read_half = stream.try_clone().ok()?;
+    *link.stream.lock().unwrap_or_else(PoisonError::into_inner) = Some(stream.try_clone().ok()?);
+    *link.writer.lock().unwrap_or_else(PoisonError::into_inner) = Some(BufWriter::new(stream));
+    link.alive.store(true, Ordering::SeqCst);
+    let reader = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name(format!("camo-router-shard-{index}"))
+            .spawn(move || shard_reader_loop(&shared, index, read_half))
+    };
+    match reader {
+        Ok(handle) => Some(handle),
+        Err(_) => {
+            // No reader means no responses: a half-connected link must not
+            // stay routable (or satisfy start()'s liveness check).
+            fail_shard(shared, index);
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding
+// ---------------------------------------------------------------------------
+
+fn forward_loop(shared: &RouterShared) {
+    while let Some(routed) = shared.queue.pop() {
+        let router_id = shared.fresh_id();
+        let entry = Inflight {
+            reply: routed.reply,
+            client_id: routed.request.id,
+            body: Arc::new(routed.request.body),
+            shard: usize::MAX,
+            attempts: 0,
+            forwarded_cases: BTreeSet::new(),
+            total_cases: None,
+        };
+        shared.lock_inflight().insert(router_id, entry);
+        send_to_shard(shared, router_id);
+    }
+}
+
+/// (Re)dispatches one in-flight request to the best live shard in its
+/// fingerprint's preference order; exhausting the tier completes the
+/// request with a typed internal error.
+fn send_to_shard(shared: &RouterShared, router_id: u64) {
+    // Snapshot the body under the lock, then fingerprint and encode
+    // outside it — encoding can touch a MiB-scale frame and must not
+    // stall response delivery tier-wide. A concurrent redispatch can
+    // double-send the same router id at worst; the response path
+    // tolerates duplicates (stale-shard and case-index dedup). The body
+    // never changes after admission, so one encode covers every retry of
+    // the write loop below.
+    let body = {
+        let inflight = shared.lock_inflight();
+        match inflight.get(&router_id) {
+            Some(entry) => Arc::clone(&entry.body),
+            None => return, // completed concurrently
+        }
+    };
+    let fingerprint = litho_spec(&body)
+        .map(|spec| spec.to_config().fingerprint())
+        .unwrap_or(0);
+    let preference = shard_preference(fingerprint, shared.links.len());
+    let frame = match encode_request_parts(router_id, &body) {
+        Ok(frame) => frame,
+        Err(e) => {
+            if let Some(entry) = shared.lock_inflight().remove(&router_id) {
+                fail_entry(shared, entry, &format!("unforwardable request: {e}"));
+            }
+            return;
+        }
+    };
+    loop {
+        let shard = {
+            let mut inflight = shared.lock_inflight();
+            let Some(entry) = inflight.get_mut(&router_id) else {
+                return; // completed concurrently
+            };
+            if entry.attempts >= shared.links.len() {
+                let entry = inflight.remove(&router_id).expect("entry present");
+                drop(inflight);
+                fail_entry(shared, entry, "request redispatched too many times");
+                return;
+            }
+            let choice = preference
+                .iter()
+                .copied()
+                .find(|&s| shared.links[s].alive.load(Ordering::SeqCst));
+            let Some(shard) = choice else {
+                let entry = inflight.remove(&router_id).expect("entry present");
+                drop(inflight);
+                fail_entry(shared, entry, "every shard is dead");
+                return;
+            };
+            entry.shard = shard;
+            entry.attempts += 1;
+            shard
+        };
+        if write_to_shard(shared, shard, &frame) {
+            shared.links[shard]
+                .forwarded
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // The write failed: the shard is dead. `fail_shard` redispatches
+        // everything assigned to it — including this entry — so the loop
+        // here only spins again if the entry is somehow still unassigned.
+        fail_shard(shared, shard);
+        if shared.lock_inflight().get(&router_id).map(|e| e.shard) != Some(shard) {
+            return;
+        }
+    }
+}
+
+/// Writes one frame to a shard channel; false when the channel is down.
+fn write_to_shard(shared: &RouterShared, shard: usize, frame: &str) -> bool {
+    let link = &shared.links[shard];
+    if !link.alive.load(Ordering::SeqCst) {
+        return false;
+    }
+    let mut writer = link.writer.lock().unwrap_or_else(PoisonError::into_inner);
+    let Some(w) = writer.as_mut() else {
+        return false;
+    };
+    w.write_all(frame.as_bytes()).is_ok() && w.write_all(b"\n").is_ok() && w.flush().is_ok()
+}
+
+/// Completes one request with a typed internal error (shard tier failure).
+fn fail_entry(shared: &RouterShared, entry: Inflight, message: &str) {
+    let _ = entry.reply.send(Response {
+        id: entry.client_id,
+        body: ResponseBody::Error {
+            code: ErrorCode::Internal,
+            message: message.to_string(),
+        },
+    });
+    shared.completed.fetch_add(1, Ordering::Relaxed);
+    shared.idle.notify_all();
+}
+
+/// Marks one shard dead, closes its channel so the reader unblocks, and
+/// redispatches every request in flight on it. Idempotent.
+fn fail_shard(shared: &RouterShared, shard: usize) {
+    let link = &shared.links[shard];
+    if !link.alive.swap(false, Ordering::SeqCst) {
+        return;
+    }
+    if let Some(stream) = link
+        .stream
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+    {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    link.writer
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take();
+    shared
+        .lock_probes()
+        .retain(|_, (probe_shard, _)| *probe_shard != shard);
+    let stranded: Vec<u64> = shared
+        .lock_inflight()
+        .iter()
+        .filter(|(_, e)| e.shard == shard)
+        .map(|(&id, _)| id)
+        .collect();
+    for router_id in stranded {
+        shared.redispatched.fetch_add(1, Ordering::Relaxed);
+        send_to_shard(shared, router_id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard responses
+// ---------------------------------------------------------------------------
+
+fn shard_reader_loop(shared: &Arc<RouterShared>, shard: usize, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    // Ends on EOF, a transport error, or an oversized frame — the channel
+    // is unusable either way — and on the protocol violations below.
+    while let Ok(Some(Frame::Line(line))) = read_frame(&mut reader) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match decode_response(&line) {
+            Ok(response) => response,
+            // A backend speaking garbage is a protocol violation, not a
+            // client error: fail the shard, recompute its work elsewhere.
+            Err(_) => break,
+        };
+        if !handle_shard_response(shared, shard, response) {
+            break;
+        }
+    }
+    fail_shard(shared, shard);
+}
+
+/// Translates one shard response back to its client; false when the
+/// response proves the shard must be failed.
+fn handle_shard_response(shared: &RouterShared, shard: usize, response: Response) -> bool {
+    // Id 0 means the shard could not decode a frame the router sent —
+    // which the router never does; the channel is desynchronised.
+    if response.id == 0 {
+        return false;
+    }
+    if let Some((probe_shard, _)) = shared.lock_probes().remove(&response.id) {
+        // Pong for a health probe; any other body under a probe id is a
+        // protocol violation.
+        return probe_shard == shard && matches!(response.body, ResponseBody::Pong);
+    }
+    let mut inflight = shared.lock_inflight();
+    let Some(entry) = inflight.get_mut(&response.id) else {
+        // Late or duplicate frame for a request that already completed
+        // (e.g. the tail of a redispatched sweep); drop it.
+        return true;
+    };
+    if entry.shard != shard {
+        // A frame raced the failover from the old shard; the replacement
+        // shard owns this request now.
+        return true;
+    }
+    let client_id = entry.client_id;
+    match response.body {
+        ResponseBody::CaseOutcome {
+            index,
+            total,
+            name,
+            outcome,
+        } => {
+            if entry.total_cases.get_or_insert(total) != &total || index >= total {
+                return false; // inconsistent sweep stream
+            }
+            if !entry.forwarded_cases.insert(index) {
+                return true; // already streamed before a redispatch
+            }
+            let done = entry.forwarded_cases.len() == total;
+            let reply = entry.reply.clone();
+            if done {
+                inflight.remove(&response.id);
+            }
+            drop(inflight);
+            let _ = reply.send(Response {
+                id: client_id,
+                body: ResponseBody::CaseOutcome {
+                    index,
+                    total,
+                    name,
+                    outcome,
+                },
+            });
+            if done {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                shared.idle.notify_all();
+            }
+            true
+        }
+        // A shard announcing shutdown while it still owes work is dying;
+        // fail it so the work is recomputed elsewhere.
+        ResponseBody::ShuttingDown => false,
+        body => {
+            // Single-frame completions: outcome, evaluation, layout,
+            // `busy` (typed backpressure propagated unchanged) and typed
+            // errors all end the request. One exception: `busy` for a
+            // sweep that already streamed cases to the client cannot be
+            // forwarded — "never accepted" would contradict the results
+            // the client already holds — so it completes as a typed error
+            // instead.
+            let entry = inflight.remove(&response.id).expect("entry present");
+            drop(inflight);
+            let body = match body {
+                ResponseBody::Busy { .. } if !entry.forwarded_cases.is_empty() => {
+                    ResponseBody::Error {
+                        code: ErrorCode::Internal,
+                        message: "shard rejected a partially delivered sweep on failover".into(),
+                    }
+                }
+                body => body,
+            };
+            let _ = entry.reply.send(Response {
+                id: client_id,
+                body,
+            });
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            shared.idle.notify_all();
+            true
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Health probes
+// ---------------------------------------------------------------------------
+
+fn prober_loop(shared: &Arc<RouterShared>) {
+    while !shared.probe_stop.load(Ordering::SeqCst) {
+        let now = Instant::now();
+        for shard in 0..shared.links.len() {
+            if !shared.links[shard].alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            let (outstanding, timed_out) = {
+                let probes = shared.lock_probes();
+                let mut outstanding = false;
+                let mut timed_out = false;
+                for &(probe_shard, sent) in probes.values() {
+                    if probe_shard == shard {
+                        outstanding = true;
+                        if now.duration_since(sent) > shared.config.probe_timeout {
+                            timed_out = true;
+                        }
+                    }
+                }
+                (outstanding, timed_out)
+            };
+            if timed_out {
+                fail_shard(shared, shard);
+                continue;
+            }
+            if outstanding {
+                continue;
+            }
+            let id = shared.fresh_id();
+            let frame = match encode_request_parts(id, &RequestBody::Ping) {
+                Ok(frame) => frame,
+                Err(_) => continue,
+            };
+            // Stamped at insertion, not with the sweep-top `now`: a write
+            // stall on an earlier shard must not age this probe before it
+            // is even sent (a healthy shard would look timed out).
+            shared.lock_probes().insert(id, (shard, Instant::now()));
+            if !write_to_shard(shared, shard, &frame) {
+                shared.lock_probes().remove(&id);
+                fail_shard(shared, shard);
+            }
+        }
+        std::thread::sleep(shared.config.probe_interval);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handle
+// ---------------------------------------------------------------------------
+
+impl RouterHandle {
+    /// The bound front address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The address of each shard, in shard order.
+    pub fn shard_addrs(&self) -> Vec<SocketAddr> {
+        self.shared.links.iter().map(|l| l.addr).collect()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            connections: self.shared.front.connections.load(Ordering::Relaxed),
+            rejected: self.shared.front.rejected.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            redispatched: self.shared.redispatched.load(Ordering::Relaxed),
+            forwarded_per_shard: self
+                .shared
+                .links
+                .iter()
+                .map(|l| l.forwarded.load(Ordering::Relaxed))
+                .collect(),
+            shard_alive: self
+                .shared
+                .links
+                .iter()
+                .map(|l| l.alive.load(Ordering::SeqCst))
+                .collect(),
+        }
+    }
+
+    /// Force-kills one **supervised** shard process — the
+    /// failure-injection hook behind the redispatch tests. No-op for
+    /// routers over external shard addresses.
+    pub fn kill_shard(&mut self, index: usize) -> std::io::Result<()> {
+        match self.supervised.as_mut() {
+            Some(set) => set.kill(index),
+            None => Ok(()),
+        }
+    }
+
+    /// Blocks until a client sends a `shutdown` request (the serve
+    /// binary's main loop in router mode).
+    pub fn wait_for_shutdown_request(&self) {
+        self.shared.front.wait_for_shutdown();
+    }
+
+    /// Gracefully shuts the whole tier down: stop accepting, forward
+    /// everything queued, wait (bounded) for in-flight responses, ask every
+    /// live shard to drain and exit, reap supervised processes, join all
+    /// threads.
+    pub fn shutdown(mut self) -> RouterStats {
+        self.shared.request_shutdown();
+        if let Some(pool) = self.forwarders.take() {
+            pool.shutdown();
+        }
+        self.drain_inflight();
+        self.shared.probe_stop.store(true, Ordering::SeqCst);
+        self.finish()
+    }
+
+    /// Waits for in-flight requests, erroring out whatever remains after
+    /// the drain timeout (a hung shard must not wedge shutdown forever).
+    fn drain_inflight(&self) {
+        let deadline = Instant::now() + self.shared.config.drain_timeout;
+        let mut inflight = self.shared.lock_inflight();
+        while !inflight.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .shared
+                .idle
+                .wait_timeout(inflight, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            inflight = guard;
+        }
+        let stranded: Vec<Inflight> = std::mem::take(&mut *inflight).into_values().collect();
+        drop(inflight);
+        for entry in stranded {
+            fail_entry(&self.shared, entry, "router shut down before a response");
+        }
+    }
+
+    /// Sends every live shard a `shutdown`, joins all router threads and
+    /// reaps supervised shard processes.
+    fn finish(&mut self) -> RouterStats {
+        while let Some(r) = self.shared.queue.try_pop() {
+            let _ = r.reply.send(Response {
+                id: r.request.id,
+                body: ResponseBody::ShuttingDown,
+            });
+        }
+        for shard in 0..self.shared.links.len() {
+            if !self.shared.links[shard].alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            let id = self.shared.fresh_id();
+            if let Ok(frame) = encode_request_parts(id, &RequestBody::Shutdown) {
+                let _ = write_to_shard(&self.shared, shard, &frame);
+            }
+        }
+        // A well-behaved shard closes its connection after the shutdown
+        // acknowledgement, ending its reader; a wedged one must not hang
+        // the router forever — after the grace period its channel is
+        // force-closed so the join below always completes.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.shard_readers.iter().any(|h| !h.is_finished()) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for shard in 0..self.shared.links.len() {
+            fail_shard(&self.shared, shard);
+        }
+        for handle in std::mem::take(&mut self.shard_readers) {
+            let _ = handle.join();
+        }
+        if let Some(mut set) = self.supervised.take() {
+            let _ = set.wait_all(Duration::from_secs(30));
+        }
+        if let Some(handle) = self.prober.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shared.request_shutdown();
+        self.shared.probe_stop.store(true, Ordering::SeqCst);
+        if let Some(pool) = self.forwarders.take() {
+            drop(pool);
+        }
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preference_orders_are_deterministic_permutations() {
+        for shards in 1..=8usize {
+            for fp in [0u64, 1, 42, u64::MAX, 0x9e37_79b9] {
+                let a = shard_preference(fp, shards);
+                assert_eq!(a, shard_preference(fp, shards), "stable per (fp, n)");
+                let mut sorted = a.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..shards).collect::<Vec<_>>(), "a permutation");
+            }
+        }
+    }
+
+    #[test]
+    fn preference_spreads_fingerprints_across_shards() {
+        let shards = 4usize;
+        let mut first_choice = vec![0usize; shards];
+        for fp in 0..256u64 {
+            first_choice[shard_preference(fp.wrapping_mul(0x2545_f491_4f6c_dd1d), shards)[0]] += 1;
+        }
+        for (s, &count) in first_choice.iter().enumerate() {
+            assert!(
+                count > 256 / shards / 4,
+                "shard {s} starves: {first_choice:?}"
+            );
+        }
+    }
+}

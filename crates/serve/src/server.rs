@@ -40,20 +40,16 @@
 use crate::exec::{
     coalesce_key, run_evaluate, run_layout, run_optimize, run_sweep, wire_evaluation, wire_outcome,
 };
-use crate::wire::{
-    encode_response, read_frame, ErrorCode, Frame, Request, RequestBody, Response, ResponseBody,
-};
+use crate::front::{acceptor_loop, AdmittedRequest, FrontHandler, FrontState};
+use crate::wire::{ErrorCode, RequestBody, Response, ResponseBody};
 use camo_litho::ContextCache;
-use camo_runtime::{BoundedQueue, PushError, ServicePool};
+use camo_runtime::{BoundedQueue, ServicePool};
 use std::collections::VecDeque;
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -105,55 +101,32 @@ pub struct ServerStats {
     pub connections: usize,
 }
 
-/// One queued unit of work: the decoded request plus the sender feeding its
-/// connection's writer thread.
-struct QueuedRequest {
-    reply: Sender<Response>,
-    request: Request,
-}
-
 struct Shared {
     config: ServerConfig,
-    queue: BoundedQueue<QueuedRequest>,
+    queue: BoundedQueue<AdmittedRequest>,
     contexts: ContextCache,
-    stop: AtomicBool,
-    live: AtomicUsize,
+    front: FrontState,
     served: AtomicUsize,
-    rejected: AtomicUsize,
-    connections: AtomicUsize,
-    shutdown_flag: Mutex<bool>,
-    shutdown_cv: Condvar,
-    /// Stream clones used to read-shutdown blocked readers at exit, keyed
-    /// by connection id so entries are dropped when their reader exits —
-    /// otherwise a long-lived server would leak one fd per past connection.
-    streams: Mutex<Vec<(u64, TcpStream)>>,
 }
 
 impl Shared {
     fn request_shutdown(&self) {
-        self.stop.store(true, Ordering::SeqCst);
         self.queue.close();
-        for (_, stream) in self.lock_streams().iter() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-        let mut flag = self
-            .shutdown_flag
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        *flag = true;
-        self.shutdown_cv.notify_all();
+        self.front.begin_shutdown();
+    }
+}
+
+impl FrontHandler for Shared {
+    fn front(&self) -> &FrontState {
+        &self.front
     }
 
-    fn register_stream(&self, conn_id: u64, stream: TcpStream) {
-        self.lock_streams().push((conn_id, stream));
+    fn queue(&self) -> &BoundedQueue<AdmittedRequest> {
+        &self.queue
     }
 
-    fn deregister_stream(&self, conn_id: u64) {
-        self.lock_streams().retain(|(id, _)| *id != conn_id);
-    }
-
-    fn lock_streams(&self) -> std::sync::MutexGuard<'_, Vec<(u64, TcpStream)>> {
-        self.streams.lock().unwrap_or_else(PoisonError::into_inner)
+    fn on_shutdown_request(&self) {
+        self.request_shutdown();
     }
 }
 
@@ -174,14 +147,8 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_depth),
         contexts: ContextCache::new(config.context_capacity),
-        stop: AtomicBool::new(false),
-        live: AtomicUsize::new(0),
+        front: FrontState::new(config.max_connections, config.retry_after_ms),
         served: AtomicUsize::new(0),
-        rejected: AtomicUsize::new(0),
-        connections: AtomicUsize::new(0),
-        shutdown_flag: Mutex::new(false),
-        shutdown_cv: Condvar::new(),
-        streams: Mutex::new(Vec::new()),
         config,
     });
 
@@ -224,26 +191,15 @@ impl ServerHandle {
     pub fn stats(&self) -> ServerStats {
         ServerStats {
             served: self.shared.served.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            connections: self.shared.connections.load(Ordering::Relaxed),
+            rejected: self.shared.front.rejected.load(Ordering::Relaxed),
+            connections: self.shared.front.connections.load(Ordering::Relaxed),
         }
     }
 
     /// Blocks until a client sends a `shutdown` request (the serve binary's
     /// main loop). Returns immediately if shutdown already began.
     pub fn wait_for_shutdown_request(&self) {
-        let mut flag = self
-            .shared
-            .shutdown_flag
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        while !*flag {
-            flag = self
-                .shared
-                .shutdown_cv
-                .wait(flag)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
+        self.shared.front.wait_for_shutdown();
     }
 
     /// Gracefully shuts down: stop accepting, let the dispatchers drain
@@ -290,211 +246,6 @@ impl Drop for ServerHandle {
 }
 
 // ---------------------------------------------------------------------------
-// Acceptor + connection threads
-// ---------------------------------------------------------------------------
-
-fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                conn_threads.retain(|h| !h.is_finished());
-                let conn_id = shared.connections.fetch_add(1, Ordering::Relaxed) as u64;
-                if shared.live.fetch_add(1, Ordering::SeqCst) >= shared.config.max_connections {
-                    shared.live.fetch_sub(1, Ordering::SeqCst);
-                    shared.rejected.fetch_add(1, Ordering::Relaxed);
-                    reject_connection(stream, shared.config.retry_after_ms);
-                    continue;
-                }
-                match spawn_connection(conn_id, stream, shared) {
-                    Ok(handles) => conn_threads.extend(handles),
-                    Err(_) => {
-                        shared.live.fetch_sub(1, Ordering::SeqCst);
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
-        }
-    }
-    for handle in conn_threads {
-        let _ = handle.join();
-    }
-}
-
-/// Turns an over-cap connection away with a single typed `busy` frame.
-fn reject_connection(stream: TcpStream, retry_after_ms: u64) {
-    let mut writer = BufWriter::new(stream);
-    if let Ok(frame) = encode_response(&Response {
-        id: 0,
-        body: ResponseBody::Busy { retry_after_ms },
-    }) {
-        let _ = writer.write_all(frame.as_bytes());
-        let _ = writer.write_all(b"\n");
-        let _ = writer.flush();
-    }
-}
-
-fn spawn_connection(
-    conn_id: u64,
-    stream: TcpStream,
-    shared: &Arc<Shared>,
-) -> std::io::Result<[JoinHandle<()>; 2]> {
-    // A dead or stalled client must not wedge shutdown behind a full send
-    // buffer; writers give up after this long.
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let read_half = stream.try_clone()?;
-    shared.register_stream(conn_id, stream.try_clone()?);
-    // Close the race with a concurrent `request_shutdown`: if its
-    // read-shutdown pass already swept the registry, sweep this connection
-    // ourselves so the reader observes EOF instead of blocking forever.
-    if shared.stop.load(Ordering::SeqCst) {
-        let _ = read_half.shutdown(Shutdown::Read);
-    }
-    let (tx, rx) = channel::<Response>();
-
-    let writer = std::thread::Builder::new()
-        .name("camo-serve-writer".into())
-        .spawn(move || writer_loop(stream, rx));
-    let writer = match writer {
-        Ok(handle) => handle,
-        Err(e) => {
-            shared.deregister_stream(conn_id);
-            return Err(e);
-        }
-    };
-    let reader = {
-        let shared_for_reader = Arc::clone(shared);
-        std::thread::Builder::new()
-            .name("camo-serve-reader".into())
-            .spawn(move || {
-                reader_loop(read_half, &shared_for_reader, tx);
-                shared_for_reader.deregister_stream(conn_id);
-                shared_for_reader.live.fetch_sub(1, Ordering::SeqCst);
-            })
-    };
-    let reader = match reader {
-        Ok(handle) => handle,
-        Err(e) => {
-            // `tx` was moved into the failed spawn attempt and dropped, so
-            // the writer drains and exits on its own.
-            shared.deregister_stream(conn_id);
-            return Err(e);
-        }
-    };
-    Ok([reader, writer])
-}
-
-fn writer_loop(stream: TcpStream, rx: Receiver<Response>) {
-    let mut writer = BufWriter::new(stream);
-    // Ends when every sender (reader + queued requests) is gone; the final
-    // write-shutdown sends FIN so clients draining the stream observe EOF
-    // even while the server's shutdown registry still holds a clone.
-    while let Ok(response) = rx.recv() {
-        let frame = match encode_response(&response) {
-            Ok(frame) => frame,
-            Err(e) => match encode_response(&Response {
-                id: response.id,
-                body: ResponseBody::Error {
-                    code: ErrorCode::Internal,
-                    message: format!("unencodable response: {e}"),
-                },
-            }) {
-                Ok(frame) => frame,
-                Err(_) => continue,
-            },
-        };
-        if writer.write_all(frame.as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-            || writer.flush().is_err()
-        {
-            break;
-        }
-    }
-    let _ = writer.get_ref().shutdown(Shutdown::Write);
-}
-
-fn reader_loop(stream: TcpStream, shared: &Arc<Shared>, tx: Sender<Response>) {
-    let mut reader = BufReader::new(stream);
-    // Ends on EOF, a transport error, or a `shutdown` request (Err and
-    // Ok(None) both fall out of the `while let`).
-    while let Ok(Some(frame)) = read_frame(&mut reader) {
-        let line = match frame {
-            Frame::Line(line) => line,
-            Frame::Oversized { len } => {
-                let _ = tx.send(Response {
-                    id: 0,
-                    body: ResponseBody::Error {
-                        code: ErrorCode::BadRequest,
-                        message: format!("frame of {len} bytes exceeds the limit"),
-                    },
-                });
-                continue;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = match crate::wire::decode_request(&line) {
-            Ok(request) => request,
-            Err(e) => {
-                let _ = tx.send(Response {
-                    id: 0,
-                    body: ResponseBody::Error {
-                        code: ErrorCode::BadRequest,
-                        message: e.to_string(),
-                    },
-                });
-                continue;
-            }
-        };
-        let id = request.id;
-        match request.body {
-            RequestBody::Ping => {
-                let _ = tx.send(Response {
-                    id,
-                    body: ResponseBody::Pong,
-                });
-            }
-            RequestBody::Shutdown => {
-                let _ = tx.send(Response {
-                    id,
-                    body: ResponseBody::ShuttingDown,
-                });
-                shared.request_shutdown();
-                break;
-            }
-            _ => {
-                let queued = QueuedRequest {
-                    reply: tx.clone(),
-                    request,
-                };
-                match shared.queue.try_push(queued) {
-                    Ok(()) => {}
-                    Err(PushError::Full(q)) => {
-                        shared.rejected.fetch_add(1, Ordering::Relaxed);
-                        let _ = q.reply.send(Response {
-                            id: q.request.id,
-                            body: ResponseBody::Busy {
-                                retry_after_ms: shared.config.retry_after_ms,
-                            },
-                        });
-                    }
-                    Err(PushError::Closed(q)) => {
-                        let _ = q.reply.send(Response {
-                            id: q.request.id,
-                            body: ResponseBody::ShuttingDown,
-                        });
-                    }
-                }
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
 // Dispatcher
 // ---------------------------------------------------------------------------
 
@@ -502,7 +253,7 @@ fn dispatcher_loop(shared: &Shared) {
     while let Some(first) = shared.queue.pop() {
         // Opportunistically drain whatever is queued right now, up to the
         // coalesce limit; execution below groups compatible requests.
-        let mut pending: VecDeque<QueuedRequest> = VecDeque::new();
+        let mut pending: VecDeque<AdmittedRequest> = VecDeque::new();
         pending.push_back(first);
         while pending.len() < shared.config.coalesce_limit {
             match shared.queue.try_pop() {
@@ -531,7 +282,7 @@ fn dispatcher_loop(shared: &Shared) {
 /// Executes one homogeneous batch and streams its responses. A panic inside
 /// execution is converted into per-request `internal` errors so one
 /// poisoned request cannot take the dispatcher down.
-fn execute_batch(shared: &Shared, batch: Vec<QueuedRequest>) {
+fn execute_batch(shared: &Shared, batch: Vec<AdmittedRequest>) {
     let responses = catch_unwind(AssertUnwindSafe(|| run_batch(shared, &batch)));
     match responses {
         Ok(per_request) => {
@@ -563,7 +314,7 @@ fn execute_batch(shared: &Shared, batch: Vec<QueuedRequest>) {
 
 /// Runs one batch; `batch` is non-empty and homogeneous in coalesce key
 /// (sweep/layout batches always have exactly one request).
-fn run_batch(shared: &Shared, batch: &[QueuedRequest]) -> Vec<Vec<Response>> {
+fn run_batch(shared: &Shared, batch: &[AdmittedRequest]) -> Vec<Vec<Response>> {
     let threads = shared.config.threads;
     match &batch[0].request.body {
         RequestBody::Optimize { job, .. } => {

@@ -1,0 +1,223 @@
+//! Backend shard supervision: spawning, discovering and reaping `serve`
+//! processes.
+//!
+//! The shard tier multiplies the single-process server: `N` independent
+//! `serve` processes — each with its own port, request queue, dispatcher
+//! pool and [`camo_litho::ContextCache`] — sit behind one
+//! [`router`](crate::router) front. This module owns the *process* half of
+//! that story:
+//!
+//! * [`ShardSpec`] describes how to launch one shard (the `serve` binary
+//!   path plus whatever tuning flags every shard should share);
+//! * [`ShardSet::spawn`] starts `count` children via [`std::process`], each
+//!   with `--port 0 --port-file <tmp>`, and blocks until every shard has
+//!   written its ephemeral address (so the caller never races a
+//!   half-started backend);
+//! * [`ShardSet::kill`] force-kills one shard (the failure-injection hook
+//!   behind the router's redispatch tests), and [`ShardSet::wait_all`]
+//!   reaps every child after a graceful drain — escalating to a kill only
+//!   when a child outlives the timeout.
+//!
+//! Supervision is deliberately minimal: a dead shard is *not* respawned.
+//! The router routes around it (every fingerprint's preference order spans
+//! all shards), so capacity degrades but availability does not; operators
+//! restart the tier to restore capacity. Dropping a `ShardSet` kills any
+//! children still running, so an aborted router start cannot leak
+//! processes.
+
+use std::io;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How to launch one backend shard process.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Path to the `serve` binary (a router binary typically passes
+    /// [`std::env::current_exe`], re-executing itself without `--shards`).
+    pub binary: PathBuf,
+    /// Extra arguments forwarded verbatim to every shard (e.g. `--threads`,
+    /// `--queue-depth`). `--port`/`--port-file` are owned by the spawner.
+    pub args: Vec<String>,
+    /// How long to wait for a spawned shard to report its bound address.
+    pub spawn_timeout: Duration,
+}
+
+impl ShardSpec {
+    /// A spec launching `binary` with no extra flags and a 30 s discovery
+    /// timeout.
+    pub fn new(binary: impl Into<PathBuf>) -> Self {
+        Self {
+            binary: binary.into(),
+            args: Vec::new(),
+            spawn_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One supervised backend process.
+#[derive(Debug)]
+struct ShardProcess {
+    child: Child,
+    addr: SocketAddr,
+    port_file: PathBuf,
+}
+
+/// A set of spawned backend `serve` processes.
+#[derive(Debug)]
+pub struct ShardSet {
+    shards: Vec<ShardProcess>,
+}
+
+impl ShardSet {
+    /// Spawns `count` shard processes and waits until each has bound its
+    /// ephemeral port and written it to its `--port-file`.
+    ///
+    /// On any failure (spawn error, discovery timeout, unparseable port
+    /// file) every already-started child is killed before the error is
+    /// returned — a failed spawn never leaks processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn spawn(spec: &ShardSpec, count: usize) -> io::Result<Self> {
+        assert!(count > 0, "a shard tier needs at least one shard");
+        // Pid alone is not unique enough: concurrent spawns inside one test
+        // process would race on the same file names.
+        static SPAWN_SERIAL: std::sync::atomic::AtomicUsize =
+            std::sync::atomic::AtomicUsize::new(0);
+        let serial = SPAWN_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut set = Self { shards: Vec::new() };
+        let base = std::env::temp_dir();
+        for index in 0..count {
+            let port_file = base.join(format!(
+                "camo-shard-{}-{serial}-{index}.port",
+                std::process::id()
+            ));
+            // A stale file from a recycled pid would satisfy the discovery
+            // poll with the wrong address; remove it before spawning.
+            let _ = std::fs::remove_file(&port_file);
+            let child = Command::new(&spec.binary)
+                .arg("--port")
+                .arg("0")
+                .arg("--port-file")
+                .arg(&port_file)
+                .args(&spec.args)
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn()?;
+            // Killed on drop of `set` if discovery below fails.
+            set.shards.push(ShardProcess {
+                child,
+                addr: "0.0.0.0:0".parse().expect("static addr"),
+                port_file,
+            });
+        }
+        let deadline = Instant::now() + spec.spawn_timeout;
+        for index in 0..count {
+            set.shards[index].addr = Self::discover(&mut set.shards[index], deadline)?;
+        }
+        Ok(set)
+    }
+
+    /// Polls one shard's port file until it holds a parseable address; a
+    /// child that exits early or outlives `deadline` is an error.
+    fn discover(shard: &mut ShardProcess, deadline: Instant) -> io::Result<SocketAddr> {
+        loop {
+            if let Ok(raw) = std::fs::read_to_string(&shard.port_file) {
+                let trimmed = raw.trim();
+                if !trimmed.is_empty() {
+                    return trimmed.parse().map_err(|_| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("shard wrote an unparseable address: {trimmed:?}"),
+                        )
+                    });
+                }
+            }
+            if let Some(status) = shard.child.try_wait()? {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("shard exited during startup: {status}"),
+                ));
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "shard did not report its address before the spawn timeout",
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Number of shards spawned (dead ones included).
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the set holds no shards (never, after a successful spawn).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The bound address of each shard, in spawn order.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.shards.iter().map(|s| s.addr).collect()
+    }
+
+    /// Force-kills one shard (SIGKILL) and reaps it — the
+    /// failure-injection hook used by the redispatch tests.
+    pub fn kill(&mut self, index: usize) -> io::Result<()> {
+        let shard = &mut self.shards[index];
+        shard.child.kill()?;
+        shard.child.wait()?;
+        Ok(())
+    }
+
+    /// True while the shard process has not been reaped as exited.
+    pub fn is_running(&mut self, index: usize) -> io::Result<bool> {
+        Ok(self.shards[index].child.try_wait()?.is_none())
+    }
+
+    /// Waits for every shard to exit on its own (the graceful path: the
+    /// router has sent each a `shutdown` request); any child still running
+    /// after `timeout` is killed. Returns the number of shards that had to
+    /// be killed.
+    pub fn wait_all(&mut self, timeout: Duration) -> io::Result<usize> {
+        let deadline = Instant::now() + timeout;
+        let mut killed = 0usize;
+        for shard in &mut self.shards {
+            loop {
+                if shard.child.try_wait()?.is_some() {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    let _ = shard.child.kill();
+                    let _ = shard.child.wait();
+                    killed += 1;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let _ = std::fs::remove_file(&shard.port_file);
+        }
+        Ok(killed)
+    }
+}
+
+impl Drop for ShardSet {
+    /// Kills and reaps any child still running, so an aborted start (or a
+    /// caller that never drained) cannot leak shard processes.
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            if let Ok(None) = shard.child.try_wait() {
+                let _ = shard.child.kill();
+            }
+            let _ = shard.child.wait();
+            let _ = std::fs::remove_file(&shard.port_file);
+        }
+    }
+}

@@ -1008,17 +1008,22 @@ impl RequestBody {
 
 /// Encodes a request as one frame (no trailing newline).
 pub fn encode_request(request: &Request) -> Result<String, WireError> {
+    encode_request_parts(request.id, &request.body)
+}
+
+/// Like [`encode_request`], but from borrowed parts — forwarding paths can
+/// encode a stored body without materialising an owned [`Request`].
+pub fn encode_request_parts(id: u64, body: &RequestBody) -> Result<String, WireError> {
     let mut fields = vec![
         (
             "id",
             Value::Int(
-                i64::try_from(request.id)
-                    .map_err(|_| WireError::Unencodable("request id exceeds i64"))?,
+                i64::try_from(id).map_err(|_| WireError::Unencodable("request id exceeds i64"))?,
             ),
         ),
-        ("type", Value::Str(request.body.kind().to_string())),
+        ("type", Value::Str(body.kind().to_string())),
     ];
-    match &request.body {
+    match body {
         RequestBody::Ping | RequestBody::Shutdown => {}
         RequestBody::Optimize { job, clip } => {
             fields.push(("job", job.to_value()?));

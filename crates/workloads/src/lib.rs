@@ -42,5 +42,7 @@ pub mod via;
 
 pub use layout::{generate_layout, layout_test_set, LayoutCase, LayoutParams};
 pub use metal::{metal_test_set, metal_training_set, MetalCase, MetalGenerator, MetalParams};
-pub use requests::{request_stream, RequestStreamParams, ServeCase};
+pub use requests::{
+    multi_config_stream, request_stream, RequestStreamParams, ServeCase, TaggedCase,
+};
 pub use via::{via_test_set, via_training_set, ViaCase, ViaGenerator, ViaParams};

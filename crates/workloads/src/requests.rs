@@ -165,6 +165,76 @@ pub fn request_stream(params: &RequestStreamParams, seed: u64, count: usize) -> 
         .collect()
 }
 
+/// One request of a multi-configuration stream: the case plus the
+/// pixel-size override naming the lithography configuration it runs under.
+///
+/// A sharded serving tier routes requests by their configuration
+/// fingerprint, so a stream that exercises *affinity* must interleave
+/// several distinct configurations. The tag is a pixel size (nm) rather
+/// than a full configuration because workloads stay wire-format agnostic:
+/// the serving layer maps each tag onto its own litho spec (and therefore
+/// its own `LithoConfig::fingerprint`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedCase {
+    /// Pixel-size override (nm) selecting the lithography configuration.
+    pub pixel_size: Coord,
+    /// The request itself.
+    pub case: ServeCase,
+}
+
+/// Generates `count` requests spread deterministically over the given
+/// pixel-size configurations — the shard-affinity workload: every
+/// configuration's requests should land on one shard of a sharded serving
+/// tier, and the interleaving makes sure routing is exercised per request,
+/// not per connection.
+///
+/// Configurations are assigned per request from a separate generator
+/// derived from the same seed — the underlying case sequence is exactly
+/// [`request_stream`]'s, with tags layered on top — so the stream (cases
+/// *and* tags) is reproducible from `(params, pixel_sizes, seed)`. Every
+/// listed configuration is
+/// guaranteed to appear at least once whenever `count >= pixel_sizes.len()`
+/// (the first `pixel_sizes.len()` requests cycle through all of them).
+///
+/// # Panics
+///
+/// Panics if `pixel_sizes` is empty, contains a non-positive size, or if
+/// every weight in `params` is zero.
+pub fn multi_config_stream(
+    params: &RequestStreamParams,
+    pixel_sizes: &[Coord],
+    seed: u64,
+    count: usize,
+) -> Vec<TaggedCase> {
+    assert!(
+        !pixel_sizes.is_empty(),
+        "a multi-config stream needs at least one configuration"
+    );
+    assert!(
+        pixel_sizes.iter().all(|&px| px > 0),
+        "pixel sizes must be positive"
+    );
+    let cases = request_stream(params, seed, count);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa076_1d64_78bd_642f);
+    cases
+        .into_iter()
+        .enumerate()
+        .map(|(i, case)| {
+            // Cycle through every configuration first so short streams
+            // still cover all of them, then mix freely.
+            let pick = if i < pixel_sizes.len() {
+                i
+            } else {
+                rng.gen_range(0..pixel_sizes.len())
+            };
+            TaggedCase {
+                pixel_size: pixel_sizes[pick],
+                case,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +278,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn multi_config_streams_are_deterministic_and_cover_every_config() {
+        let p = RequestStreamParams::smoke();
+        let sizes = [10i64, 12, 15];
+        let a = multi_config_stream(&p, &sizes, 21, 24);
+        let b = multi_config_stream(&p, &sizes, 21, 24);
+        assert_eq!(a, b);
+        assert_ne!(a, multi_config_stream(&p, &sizes, 22, 24));
+        for &px in &sizes {
+            assert!(
+                a.iter().any(|t| t.pixel_size == px),
+                "configuration px{px} never appears"
+            );
+        }
+        // The underlying case mix is the plain stream: tagging only adds
+        // configuration labels, it does not perturb the request sequence.
+        let plain = request_stream(&p, 21, 24);
+        let untagged: Vec<ServeCase> = a.into_iter().map(|t| t.case).collect();
+        assert_eq!(untagged, plain);
     }
 
     #[test]
