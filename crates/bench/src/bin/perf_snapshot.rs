@@ -32,7 +32,12 @@
 //! deterministic mixed request stream is fired at it over loopback, and
 //! end-to-end requests/s is recorded per worker-thread count — plus a
 //! queue-saturation probe (dispatchers disabled, bounded queue) counting
-//! typed `busy` rejections. Any failed or missing response exits 1.
+//! typed `busy` rejections. Any failed or missing response exits 1. The
+//! section also snapshots the server's `metrics` report and records
+//! per-request-kind latency (p50/p99/max µs) — asserting the rows are
+//! plausible (every kind the stream exercised has samples, p50 ≤ p99) and
+//! exiting 1 otherwise, so the CI `--quick --serve` run is a tail-latency
+//! regression gate, not just a throughput print.
 //!
 //! `--serve --shards N` adds the **router tier**: `N` real `serve` shard
 //! processes are spawned (the binary next to this one, i.e.
@@ -41,6 +46,13 @@
 //! router-tier requests/s and the router-overhead-vs-direct ratio into
 //! `BENCH_litho.json`. Full mode records shards 1 and 2. Routed responses
 //! are checked complete the same way; any failure exits 1.
+//!
+//! The router section finishes with the **respawn-overhead row**: the same
+//! stream is measured through a supervised 2-shard tier twice — untouched,
+//! then with a shard killed mid-stream — and the row records both rates,
+//! their ratio, and the respawn count the router's `metrics` report shows
+//! afterwards (which must be ≥ 1, and every response must still complete;
+//! anything else exits 1).
 
 use camo::{CamoConfig, CamoEngine};
 use camo_baselines::{OpcConfig, OpcEngine};
@@ -107,6 +119,22 @@ struct ServeRow {
     threads: usize,
     requests: usize,
     requests_per_s: f64,
+}
+
+/// Steady vs during-respawn throughput through a supervised router tier,
+/// plus the respawn count its `metrics` report shows afterwards.
+struct RespawnRow {
+    shards: usize,
+    requests: usize,
+    steady_requests_per_s: f64,
+    respawn_requests_per_s: f64,
+    respawns: usize,
+}
+
+impl RespawnRow {
+    fn overhead_vs_steady(&self) -> f64 {
+        self.steady_requests_per_s / self.respawn_requests_per_s
+    }
 }
 
 /// Queue-saturation probe: what a burst beyond the queue depth observes.
@@ -287,10 +315,64 @@ fn router_throughput(binary: &std::path::Path, shards: usize, requests: usize) -
     }
 }
 
+/// Sends one `metrics` request on an already-connected client and blocks
+/// for the report (control requests are answered inline by the reader).
+fn fetch_metrics(client: &mut camo_serve::Client, what: &str) -> camo_serve::MetricsReport {
+    use camo_serve::wire::{RequestBody, ResponseBody};
+    let id = match client.send(RequestBody::Metrics) {
+        Ok(id) => id,
+        Err(e) => {
+            eprintln!("{what}: metrics send failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    loop {
+        match client.recv() {
+            Ok(Some(response)) if response.id == id => match response.body {
+                ResponseBody::Metrics(report) => return report,
+                other => {
+                    eprintln!("{what}: unexpected metrics reply: {other:?}");
+                    std::process::exit(1);
+                }
+            },
+            Ok(Some(_)) => continue,
+            Ok(None) => {
+                eprintln!("{what}: eof while awaiting metrics");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("{what}: metrics recv failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Asserts the per-kind latency rows a serving process reported are
+/// plausible: every kind the stream exercised has samples, and within each
+/// row `count > 0`, `p50 ≤ p99` and `p99 ≥ 1 µs`. Exits 1 otherwise — this
+/// is what makes the CI `--quick --serve` run a tail-latency gate.
+fn validate_latency(latency: &[camo_serve::KindLatency], expected_kinds: &[&str], what: &str) {
+    for row in latency {
+        let s = &row.latency;
+        if s.count == 0 || s.p50_us > s.p99_us || s.p99_us == 0 {
+            eprintln!("{what} REGRESSION: implausible latency row {row:?}");
+            std::process::exit(1);
+        }
+    }
+    for kind in expected_kinds {
+        if !latency.iter().any(|row| row.kind == *kind) {
+            eprintln!("{what} REGRESSION: stream exercised `{kind}` but no latency row for it");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Fires `requests` mixed requests at an in-process server with `threads`
-/// batch workers and returns the end-to-end rate; exits 1 on any failed or
-/// missing response.
-fn serve_throughput(threads: usize, requests: usize) -> ServeRow {
+/// batch workers and returns the end-to-end rate plus the server's
+/// per-kind latency rows (validated); exits 1 on any failed or missing
+/// response.
+fn serve_throughput(threads: usize, requests: usize) -> (ServeRow, Vec<camo_serve::KindLatency>) {
     use camo_serve::client::{collect_responses, Client, Completed};
     use camo_serve::exec::case_body;
     use camo_serve::wire::JobSpec;
@@ -308,7 +390,10 @@ fn serve_throughput(threads: usize, requests: usize) -> ServeRow {
         max_steps: Some(2),
         ..JobSpec::fast_calibre_via()
     };
-    let cases = request_stream(&RequestStreamParams::smoke(), 2024, requests);
+    // Seed 2: its smoke stream mixes optimize/evaluate/sweep even in the
+    // 12-request quick prefix, so the per-kind latency gate below covers
+    // every kind in CI and not just the majority one.
+    let cases = request_stream(&RequestStreamParams::smoke(), 2, requests);
     let start = Instant::now();
     let ids: Vec<u64> = cases
         .iter()
@@ -333,11 +418,130 @@ fn serve_throughput(threads: usize, requests: usize) -> ServeRow {
         );
         std::process::exit(1);
     }
+    let report = fetch_metrics(&mut client, "SERVE BENCH");
+    let exercised: Vec<&str> = {
+        let mut kinds: Vec<&str> = cases.iter().map(|c| c.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        kinds
+    };
+    validate_latency(&report.latency, &exercised, "SERVE BENCH");
     handle.shutdown();
-    ServeRow {
-        threads,
+    (
+        ServeRow {
+            threads,
+            requests,
+            requests_per_s: requests as f64 / secs,
+        },
+        report.latency,
+    )
+}
+
+/// Measures the respawn-overhead row: the same multi-configuration stream
+/// through a supervised 2-shard router tier, untouched and then with a
+/// shard killed mid-stream, waiting for the supervisor to respawn the
+/// victim before reading the tier's respawn count from `metrics`.
+fn respawn_overhead(binary: &std::path::Path, requests: usize) -> RespawnRow {
+    use camo_serve::client::{collect_responses, Client, Completed};
+    use camo_serve::exec::case_body;
+    use camo_serve::router::{route_spawned, RouterConfig};
+    use camo_serve::shard::{ShardSet, ShardSpec};
+    use camo_serve::supervise::RespawnPolicy;
+    use std::time::Duration;
+
+    let shards = 2usize;
+    let cases = tagged_cases(shards, requests);
+    let mut spec = ShardSpec::new(binary);
+    spec.args = vec!["--threads".into(), "1".into()];
+    let set = ShardSet::spawn(&spec, shards).unwrap_or_else(|e| {
+        eprintln!("RESPAWN BENCH: shard spawn failed: {e}");
+        std::process::exit(1);
+    });
+    let handle = route_spawned(
+        RouterConfig {
+            queue_depth: requests.max(8),
+            probe_interval: Duration::from_millis(20),
+            respawn: RespawnPolicy {
+                initial_backoff: Duration::from_millis(50),
+                max_backoff: Duration::from_millis(500),
+                // The deliberate kill must not bench the victim.
+                breaker_failures: 10_000,
+                ..RespawnPolicy::default()
+            },
+            ..RouterConfig::default()
+        },
+        set,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("RESPAWN BENCH: router start failed: {e}");
+        std::process::exit(1);
+    });
+
+    // One closure measures a full stream pass; `kill` injects the failure
+    // after half the stream is on the wire. Failures are returned, not
+    // exited on: `process::exit` skips destructors, and the tier must be
+    // drained first or the spawned shards would be orphaned.
+    let run_pass = |kill: bool| -> Result<f64, String> {
+        let mut client =
+            Client::connect(handle.addr()).map_err(|e| format!("connect failed: {e}"))?;
+        let start = Instant::now();
+        let mut ids: Vec<u64> = Vec::new();
+        for (i, (job, case)) in cases.iter().enumerate() {
+            if kill && i == cases.len() / 2 {
+                handle
+                    .kill_shard(0)
+                    .map_err(|e| format!("kill shard 0 failed: {e}"))?;
+            }
+            ids.push(
+                client
+                    .send(case_body(case, job))
+                    .map_err(|e| format!("send failed: {e}"))?,
+            );
+        }
+        let results =
+            collect_responses(&mut client, &ids).map_err(|e| format!("responses: {e}"))?;
+        let secs = start.elapsed().as_secs_f64();
+        for (id, completed) in &results {
+            match completed {
+                Completed::Single(_) | Completed::Sweep(_) => {}
+                other => return Err(format!("request {id} completed as {other:?}")),
+            }
+        }
+        Ok(secs)
+    };
+    // The victim must come back before the tier is torn down — the row is
+    // only evidence of self-healing if the respawn actually happened.
+    let await_respawn = || -> Result<usize, String> {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let report = handle.metrics();
+            if report.shards.iter().all(|s| s.alive) && report.respawns >= 1 {
+                return Ok(report.respawns);
+            }
+            if Instant::now() >= deadline {
+                return Err(format!("killed shard never respawned: {report:?}"));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+    let outcome = run_pass(false)
+        .map_err(|e| format!("steady pass: {e}"))
+        .and_then(|steady| {
+            let respawn = run_pass(true).map_err(|e| format!("kill pass: {e}"))?;
+            Ok((steady, respawn, await_respawn()?))
+        });
+    handle.shutdown();
+    let (steady_secs, respawn_secs, respawns) = outcome.unwrap_or_else(|e| {
+        eprintln!("RESPAWN BENCH REGRESSION: {e}");
+        std::process::exit(1);
+    });
+
+    RespawnRow {
+        shards,
         requests,
-        requests_per_s: requests as f64 / secs,
+        steady_requests_per_s: requests as f64 / steady_secs,
+        respawn_requests_per_s: requests as f64 / respawn_secs,
+        respawns,
     }
 }
 
@@ -658,8 +862,10 @@ fn main() {
     // Serving section: end-to-end requests/s over loopback per worker-thread
     // count, plus the queue-saturation probe.
     let mut serve_rows: Vec<ServeRow> = Vec::new();
+    let mut serve_latency: Vec<camo_serve::KindLatency> = Vec::new();
     let mut serve_sat: Option<ServeSaturation> = None;
     let mut router_rows: Vec<RouterRow> = Vec::new();
+    let mut respawn_row: Option<RespawnRow> = None;
     let args: Vec<String> = std::env::args().collect();
     let shards_flag = args.iter().any(|a| a == "--shards");
     if serve_mode {
@@ -670,7 +876,13 @@ fn main() {
         };
         let requests = if quick { 12 } else { 32 };
         for &threads in &serve_threads {
-            serve_rows.push(serve_throughput(threads, requests));
+            let (row, latency) = serve_throughput(threads, requests);
+            serve_rows.push(row);
+            // The persisted latency rows come from the first (1-thread in
+            // full mode) run; every run's rows were validated regardless.
+            if serve_latency.is_empty() {
+                serve_latency = latency;
+            }
         }
         serve_sat = Some(serve_saturation(4, 4));
 
@@ -689,6 +901,7 @@ fn main() {
                     for &shards in &shard_counts {
                         router_rows.push(router_throughput(&binary, shards, requests));
                     }
+                    respawn_row = Some(respawn_overhead(&binary, requests));
                 }
                 None if shards_flag => {
                     eprintln!(
@@ -779,6 +992,12 @@ fn main() {
             r.threads, r.requests_per_s, r.requests, vs_serial
         );
     }
+    for row in &serve_latency {
+        println!(
+            "serve latency {:<9}            count={:<6} p50={}us p99={}us max={}us",
+            row.kind, row.latency.count, row.latency.p50_us, row.latency.p99_us, row.latency.max_us
+        );
+    }
     if let Some(sat) = &serve_sat {
         println!(
             "serve saturation: {} requests into queue depth {} -> {} typed busy rejections (retry_after {} ms)",
@@ -795,6 +1014,17 @@ fn main() {
             r.configs,
             r.overhead_vs_direct(),
             r.direct_requests_per_s
+        );
+    }
+    if let Some(r) = &respawn_row {
+        println!(
+            "router kill/respawn {:>2} shard(s)  {:>8.2} req/s with a shard killed mid-stream vs \
+             {:.2} req/s steady ({:.2}x overhead), {} respawn(s), every response complete",
+            r.shards,
+            r.respawn_requests_per_s,
+            r.steady_requests_per_s,
+            r.overhead_vs_steady(),
+            r.respawns
         );
     }
 
@@ -901,6 +1131,19 @@ fn main() {
                 "\n"
             });
         }
+        json.push_str("  ],\n  \"latency\": [\n");
+        for (i, row) in serve_latency.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{\"kind\": \"{}\", \"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+                row.kind, row.latency.count, row.latency.p50_us, row.latency.p99_us, row.latency.max_us,
+            );
+            json.push_str(if i + 1 < serve_latency.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
         json.push_str("  ],\n");
         if router_rows.is_empty() {
             json.push_str("  \"router\": null,\n");
@@ -924,6 +1167,21 @@ fn main() {
                 });
             }
             json.push_str("  ],\n");
+        }
+        match &respawn_row {
+            Some(r) => {
+                let _ = writeln!(
+                    json,
+                    "  \"respawn\": {{\"op\": \"router_kill_respawn\", \"shards\": {}, \"requests\": {}, \"steady_requests_per_s\": {:.3}, \"respawn_requests_per_s\": {:.3}, \"overhead_vs_steady\": {:.2}, \"respawns\": {}}},",
+                    r.shards,
+                    r.requests,
+                    r.steady_requests_per_s,
+                    r.respawn_requests_per_s,
+                    r.overhead_vs_steady(),
+                    r.respawns
+                );
+            }
+            None => json.push_str("  \"respawn\": null,\n"),
         }
         match &serve_sat {
             Some(sat) => {

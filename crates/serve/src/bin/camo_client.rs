@@ -4,7 +4,7 @@
 //! camo-client [--addr 127.0.0.1:7878 | --front ADDR | --port-file PATH]
 //!             [--requests N] [--seed S] [--smoke] [--engine calibre|camo]
 //!             [--litho fast|default] [--max-steps N]
-//!             [--verify] [--shutdown]
+//!             [--verify] [--metrics] [--restart [SHARD]] [--shutdown]
 //! ```
 //!
 //! `--front` addresses the front port of a `serve --shards N` router tier;
@@ -14,23 +14,32 @@
 //!
 //! Generates a deterministic mixed request stream
 //! ([`camo_workloads::request_stream`]), fires it at the server, retries
-//! `busy` rejections after the server's `retry_after_ms` hint, and prints a
-//! throughput summary. With `--verify`, every response is diffed against a
-//! direct `camo-runtime` call built from the same specs — **bit-identical**
-//! (`f64::to_bits`) or the process exits 1. With `--shutdown`, a `shutdown`
-//! request is sent at the end and the clean acknowledgement is awaited.
+//! `busy` rejections on the [`camo_serve::busy_backoff`] schedule (the
+//! server's `retry_after_ms` hint doubled per attempt, capped, with
+//! deterministic per-seed jitter so a herd of clients decorrelates), and
+//! prints a throughput summary. With `--verify`, every response is diffed
+//! against a direct `camo-runtime` call built from the same specs —
+//! **bit-identical** (`f64::to_bits`) or the process exits 1.
+//!
+//! `--metrics` fetches the server's `metrics` report after the load run
+//! and renders it as plain text (counters, per-kind latency quantiles and
+//! — through a router — per-shard status). `--restart` asks a router tier
+//! for a rolling restart (optionally of one shard index) and waits for the
+//! `restarted` acknowledgement. With `--shutdown`, a `shutdown` request is
+//! sent at the end and the clean acknowledgement is awaited.
 
 use camo_baselines::OpcOutcome;
 use camo_litho::ContextCache;
 use camo_serve::cli::{flag_value, parsed_flag};
-use camo_serve::client::{Client, Completed, ResponseRouter};
+use camo_serve::client::{busy_backoff, Client, Completed, ResponseRouter};
 use camo_serve::exec::{evaluate_mask, run_layout, run_optimize, run_sweep};
 use camo_serve::wire::{
     EngineKind, JobSpec, Layer, LithoSpec, RequestBody, ResponseBody, WireOutcome,
 };
+use camo_serve::MetricsReport;
 use camo_workloads::{request_stream, RequestStreamParams, ServeCase};
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("camo-client: {message}");
@@ -135,6 +144,59 @@ fn verify_case(
     }
 }
 
+/// Blocks until the reply for `id` arrives, skipping unrelated frames.
+fn await_reply(client: &mut Client, id: u64) -> ResponseBody {
+    loop {
+        match client.recv() {
+            Ok(Some(response)) if response.id == id => return response.body,
+            Ok(Some(_)) => continue,
+            Ok(None) => fail("eof while awaiting a control reply"),
+            Err(e) => fail(format!("recv: {e}")),
+        }
+    }
+}
+
+/// Renders a metrics report as plain text — counters, per-kind latency
+/// quantiles and (through a router) per-shard status.
+fn render_metrics(report: &MetricsReport) {
+    println!(
+        "metrics ({}): queue_depth={} in_flight={} completed={} busy_rejected={} \
+         redispatched={} respawns={}",
+        report.role,
+        report.queue_depth,
+        report.in_flight,
+        report.completed,
+        report.busy_rejected,
+        report.redispatched,
+        report.respawns
+    );
+    for kind in &report.latency {
+        println!(
+            "  latency {:<9} count={:<6} p50={}us p99={}us max={}us",
+            kind.kind,
+            kind.latency.count,
+            kind.latency.p50_us,
+            kind.latency.p99_us,
+            kind.latency.max_us
+        );
+    }
+    for shard in &report.shards {
+        println!(
+            "  shard {}: {}{} forwarded={} respawns={} queue_depth={} in_flight={} \
+             completed={} busy_rejected={}",
+            shard.index,
+            if shard.alive { "alive" } else { "dead" },
+            if shard.benched { " (benched)" } else { "" },
+            shard.forwarded,
+            shard.respawns,
+            shard.queue_depth,
+            shard.in_flight,
+            shard.completed,
+            shard.busy_rejected
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let addr = match flag_value(&args, "--port-file") {
@@ -149,6 +211,17 @@ fn main() {
     let requests: usize = parsed_flag(&args, "--requests", 16);
     let seed: u64 = parsed_flag(&args, "--seed", 42);
     let verify = args.iter().any(|a| a == "--verify");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    // `--restart` is boolean-or-valued: bare it rolls the whole tier, with
+    // a trailing index it restarts that one shard.
+    let restart: Option<Option<usize>> = args.iter().position(|a| a == "--restart").map(|i| {
+        args.get(i + 1)
+            .filter(|next| !next.starts_with("--"))
+            .map(|raw| {
+                raw.parse()
+                    .unwrap_or_else(|_| fail(format!("invalid --restart shard index {raw}")))
+            })
+    });
     let shutdown = args.iter().any(|a| a == "--shutdown");
     let stream_params = if args.iter().any(|a| a == "--smoke") {
         RequestStreamParams::smoke()
@@ -192,6 +265,8 @@ fn main() {
     let mut router = ResponseRouter::new();
     let mut results: BTreeMap<usize, Completed> = BTreeMap::new();
     let mut busy_retries = 0usize;
+    // Retry attempt count per case, driving the backoff schedule.
+    let mut attempts: BTreeMap<usize, u32> = BTreeMap::new();
     while results.len() < cases.len() {
         let response = match client.recv() {
             Ok(Some(response)) => response,
@@ -215,7 +290,9 @@ fn main() {
         match router.take(id).expect("just completed") {
             Completed::Rejected { retry_after_ms } => {
                 busy_retries += 1;
-                std::thread::sleep(Duration::from_millis(retry_after_ms));
+                let attempt = attempts.entry(index).or_insert(0);
+                std::thread::sleep(busy_backoff(retry_after_ms, *attempt, seed));
+                *attempt = attempt.saturating_add(1);
                 let new_id = client
                     .send(to_body(&cases[index], &job))
                     .unwrap_or_else(|e| fail(format!("retry send: {e}")));
@@ -263,6 +340,28 @@ fn main() {
             "camo-client: offline bit-identity verified for all {} request(s)",
             cases.len()
         );
+    }
+
+    if let Some(shard) = restart {
+        let id = client
+            .send(RequestBody::Restart { shard })
+            .unwrap_or_else(|e| fail(format!("restart send: {e}")));
+        match await_reply(&mut client, id) {
+            ResponseBody::Restarted { shards } => {
+                println!("camo-client: rolling restart complete, shards {shards:?} reborn");
+            }
+            other => fail(format!("restart refused: {other:?}")),
+        }
+    }
+
+    if metrics {
+        let id = client
+            .send(RequestBody::Metrics)
+            .unwrap_or_else(|e| fail(format!("metrics send: {e}")));
+        match await_reply(&mut client, id) {
+            ResponseBody::Metrics(report) => render_metrics(&report),
+            other => fail(format!("unexpected metrics reply: {other:?}")),
+        }
     }
 
     if shutdown {

@@ -5,7 +5,10 @@
 //! serve [--host 127.0.0.1] [--port 7878] [--threads N] [--queue-depth N]
 //!       [--max-connections N] [--dispatchers N] [--retry-after-ms N]
 //!       [--port-file PATH]
-//!       [--shards N] [--forwarders N] [--probe-interval-ms N] [--probe-timeout-ms N]
+//!       [--shards N|auto] [--forwarders N]
+//!       [--probe-interval-ms N] [--probe-timeout-ms N]
+//!       [--respawn-backoff-ms N] [--respawn-backoff-max-ms N]
+//!       [--breaker-window-ms N] [--breaker-failures N]
 //! ```
 //!
 //! `--port 0` binds an ephemeral port; the bound address is printed on
@@ -16,13 +19,20 @@
 //! With `--shards N`, the process re-executes itself `N` times as backend
 //! shards (each a plain single-process server on its own ephemeral port,
 //! inheriting the tuning flags above) and runs a
-//! [`camo_serve::router`] on the front port instead of a server. A client
-//! `shutdown` request then drains the whole tier: the router stops
-//! accepting, waits for in-flight responses, asks every shard to drain and
-//! exit, and reaps the child processes before exiting itself.
+//! [`camo_serve::router`] on the front port instead of a server.
+//! `--shards auto` sizes the tier elastically from the detected cores
+//! (one shard per four available threads, at least two). A shard that dies
+//! is respawned under the `--respawn-*`/`--breaker-*` schedule; a client
+//! `shutdown` request drains the whole tier: the router stops accepting,
+//! waits for in-flight responses, asks every shard to drain and exit, and
+//! reaps the child processes before exiting itself. Zero or malformed
+//! values for any knob are rejected up front (exit 2) rather than
+//! producing a tier that cannot probe or respawn.
 
 use camo_serve::cli::{flag_value, parsed_flag};
-use camo_serve::{route_spawned, serve, RouterConfig, ServerConfig, ShardSet, ShardSpec};
+use camo_serve::{
+    route_spawned, serve, RespawnPolicy, RouterConfig, ServerConfig, ShardSet, ShardSpec,
+};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -38,22 +48,8 @@ const SHARD_FLAGS: &[&str] = &[
 ];
 
 fn run_router(args: &[String], addr: SocketAddr, shards: usize) {
-    let binary = std::env::current_exe().unwrap_or_else(|e| {
-        eprintln!("cannot locate the serve binary to re-execute: {e}");
-        std::process::exit(1);
-    });
-    let mut spec = ShardSpec::new(binary);
-    for flag in SHARD_FLAGS {
-        if let Some(value) = flag_value(args, flag) {
-            spec.args.push((*flag).to_string());
-            spec.args.push(value);
-        }
-    }
-    let set = ShardSet::spawn(&spec, shards).unwrap_or_else(|e| {
-        eprintln!("shard spawn failed: {e}");
-        std::process::exit(1);
-    });
     let defaults = RouterConfig::default();
+    let respawn_defaults = RespawnPolicy::default();
     let config = RouterConfig {
         addr,
         queue_depth: parsed_flag(args, "--queue-depth", defaults.queue_depth),
@@ -71,7 +67,52 @@ fn run_router(args: &[String], addr: SocketAddr, shards: usize) {
             defaults.probe_timeout.as_millis() as u64,
         )),
         drain_timeout: defaults.drain_timeout,
+        respawn: RespawnPolicy {
+            initial_backoff: Duration::from_millis(parsed_flag(
+                args,
+                "--respawn-backoff-ms",
+                respawn_defaults.initial_backoff.as_millis() as u64,
+            )),
+            max_backoff: Duration::from_millis(parsed_flag(
+                args,
+                "--respawn-backoff-max-ms",
+                respawn_defaults.max_backoff.as_millis() as u64,
+            )),
+            breaker_window: Duration::from_millis(parsed_flag(
+                args,
+                "--breaker-window-ms",
+                respawn_defaults.breaker_window.as_millis() as u64,
+            )),
+            breaker_failures: parsed_flag(
+                args,
+                "--breaker-failures",
+                respawn_defaults.breaker_failures,
+            ),
+        },
     };
+    // Reject degenerate knobs (zero intervals, empty windows) before
+    // anything binds or spawns; the typed message names the bad flag.
+    // Validating before the shard spawn matters: `process::exit` skips
+    // destructors, so children started first would be orphaned.
+    if let Err(e) = config.validate() {
+        eprintln!("invalid router configuration: {e}");
+        std::process::exit(2);
+    }
+    let binary = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate the serve binary to re-execute: {e}");
+        std::process::exit(1);
+    });
+    let mut spec = ShardSpec::new(binary);
+    for flag in SHARD_FLAGS {
+        if let Some(value) = flag_value(args, flag) {
+            spec.args.push((*flag).to_string());
+            spec.args.push(value);
+        }
+    }
+    let set = ShardSet::spawn(&spec, shards).unwrap_or_else(|e| {
+        eprintln!("shard spawn failed: {e}");
+        std::process::exit(1);
+    });
     let handle = route_spawned(config, set).unwrap_or_else(|e| {
         eprintln!("router start failed: {e}");
         std::process::exit(1);
@@ -109,7 +150,17 @@ fn main() {
         eprintln!("invalid --host/--port combination");
         std::process::exit(2);
     });
-    let shards: usize = parsed_flag(&args, "--shards", 0);
+    let shards: usize = match flag_value(&args, "--shards").as_deref() {
+        // Elastic sizing: one shard per four available threads keeps each
+        // shard's dispatcher pool meaningful, and a floor of two preserves
+        // the tier's reason to exist (routing, failover) on small hosts.
+        Some("auto") => (camo_runtime::available_threads() / 4).max(2),
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value for --shards: {raw} (expected a count or `auto`)");
+            std::process::exit(2);
+        }),
+        None => 0,
+    };
     if shards > 0 {
         run_router(&args, addr, shards);
         return;
@@ -126,10 +177,17 @@ fn main() {
     };
     let threads = config.threads;
     let queue_depth = config.queue_depth;
-    let handle = serve(config).unwrap_or_else(|e| {
-        eprintln!("bind failed: {e}");
-        std::process::exit(1);
-    });
+    let handle = match serve(config) {
+        Ok(handle) => handle,
+        Err(e @ camo_serve::ServeError::Config(_)) => {
+            eprintln!("invalid server configuration: {e}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("serve start failed: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "camo-serve listening on {} ({} worker thread(s), queue depth {})",
         handle.addr(),

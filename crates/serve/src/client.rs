@@ -17,6 +17,42 @@ use crate::wire::{
 use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Cap on the busy-retry backoff, milliseconds ([`busy_backoff`]).
+pub const BUSY_BACKOFF_CAP_MS: u64 = 2_000;
+
+/// The client-side retry schedule for `busy` rejections: the server's
+/// `retry_after_ms` hint doubled per attempt (capped at
+/// [`BUSY_BACKOFF_CAP_MS`]) plus a deterministic per-client jitter of up to
+/// a quarter of the base.
+///
+/// Sleeping the hint verbatim synchronises every rejected client: they all
+/// come back in the same instant and collide with the same full queue
+/// again. Exponential growth spaces the attempts of one client; the jitter
+/// decorrelates different clients (seed their workload seed) — while
+/// staying a pure function of `(hint, attempt, seed)` so load-generator
+/// runs remain reproducible.
+pub fn busy_backoff(retry_after_ms: u64, attempt: u32, seed: u64) -> Duration {
+    let hint = retry_after_ms.max(1);
+    let base = hint
+        .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+        .min(BUSY_BACKOFF_CAP_MS);
+    let span = base / 4;
+    let jitter = if span == 0 {
+        0
+    } else {
+        mix64(seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15)) % (span + 1)
+    };
+    Duration::from_millis(base + jitter)
+}
+
+/// SplitMix64 finaliser — the jitter source (vendored; offline build).
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 /// Client-side failure: transport or codec.
 #[derive(Debug)]
@@ -256,4 +292,61 @@ pub fn collect_responses(
         }
     }
     Ok(results)
+}
+
+#[cfg(test)]
+mod backoff_tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_from_the_hint_and_caps() {
+        let hint = 50u64;
+        for attempt in 0..32u32 {
+            let base = hint
+                .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+                .min(BUSY_BACKOFF_CAP_MS);
+            let d = busy_backoff(hint, attempt, 7).as_millis() as u64;
+            assert!(d >= base, "attempt {attempt}: {d} below base {base}");
+            assert!(
+                d <= base + base / 4,
+                "attempt {attempt}: {d} beyond base {base} + quarter jitter"
+            );
+        }
+        // The base component is monotone in the attempt count.
+        let bases: Vec<u64> = (0..16u32)
+            .map(|a| {
+                hint.saturating_mul(1u64.checked_shl(a).unwrap_or(u64::MAX))
+                    .min(BUSY_BACKOFF_CAP_MS)
+            })
+            .collect();
+        assert!(bases.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*bases.last().unwrap(), BUSY_BACKOFF_CAP_MS);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_decorrelated_across_seeds() {
+        for attempt in 0..8u32 {
+            assert_eq!(
+                busy_backoff(50, attempt, 1),
+                busy_backoff(50, attempt, 1),
+                "pure function of (hint, attempt, seed)"
+            );
+        }
+        // Two clients with different seeds should not share the whole
+        // schedule (that would recreate the synchronised herd).
+        let a: Vec<Duration> = (0..8u32).map(|n| busy_backoff(50, n, 1)).collect();
+        let b: Vec<Duration> = (0..8u32).map(|n| busy_backoff(50, n, 2)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_and_huge_hints_stay_sane() {
+        // A zero hint must still sleep (busy-spinning on the server would
+        // be worse than the queue being full).
+        assert!(busy_backoff(0, 0, 9) >= Duration::from_millis(1));
+        // Saturation: enormous hints and attempts never overflow, and the
+        // cap bounds the sleep.
+        let d = busy_backoff(u64::MAX, u32::MAX, 9).as_millis() as u64;
+        assert!(d <= BUSY_BACKOFF_CAP_MS + BUSY_BACKOFF_CAP_MS / 4);
+    }
 }

@@ -1,0 +1,76 @@
+//! The serving tier's typed startup/configuration error.
+//!
+//! `serve`, `route` and `route_spawned` return [`ServeError`] instead of
+//! panicking: a resource-exhausted host (thread spawn failing mid-accept)
+//! or an invalid configuration degrades into an error the caller can
+//! report, not an abort. I/O errors during an established session are
+//! still handled per-connection and never surface here.
+
+use std::fmt;
+use std::io;
+
+/// Why a serving component failed to start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket setup (bind, local_addr, …) failed.
+    Io(io::Error),
+    /// Spawning a named service thread failed — typically resource
+    /// exhaustion on the host.
+    Spawn {
+        /// Which thread could not be spawned (e.g. `"prober"`).
+        what: &'static str,
+        /// The underlying spawn failure.
+        source: io::Error,
+    },
+    /// The configuration is invalid (zero interval, zero queue depth, …).
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "serving i/o failed: {e}"),
+            Self::Spawn { what, source } => {
+                write!(f, "could not spawn the {what} thread: {source}")
+            }
+            Self::Config(msg) => write!(f, "invalid serving configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) | Self::Spawn { source: e, .. } => Some(e),
+            Self::Config(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failed_thread() {
+        let e = ServeError::Spawn {
+            what: "prober",
+            source: io::Error::new(io::ErrorKind::OutOfMemory, "no threads"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("prober"), "{msg}");
+        assert!(msg.contains("no threads"), "{msg}");
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: ServeError = io::Error::new(io::ErrorKind::AddrInUse, "busy").into();
+        assert!(matches!(e, ServeError::Io(_)));
+    }
+}

@@ -158,7 +158,7 @@ pub fn wire_evaluation(result: &SimulationResult) -> ResponseBody {
 
 /// The key under which requests may share one batch execution. `None` for
 /// kinds that never coalesce (sweep and layout execute as their own batch;
-/// ping/shutdown never reach the dispatcher).
+/// ping/metrics/restart/shutdown never reach the dispatcher).
 pub fn coalesce_key(body: &RequestBody) -> Option<CoalesceKey> {
     match body {
         RequestBody::Optimize { job, .. } => Some(CoalesceKey {
@@ -216,12 +216,16 @@ pub fn case_body(case: &camo_workloads::ServeCase, job: &JobSpec) -> RequestBody
     }
 }
 
-/// The lithography spec a request runs under (`None` for ping/shutdown).
+/// The lithography spec a request runs under (`None` for the control
+/// kinds: ping, metrics, restart, shutdown).
 pub fn litho_spec(body: &RequestBody) -> Option<&LithoSpec> {
     match body {
         RequestBody::Optimize { job, .. } | RequestBody::Sweep { job, .. } => Some(&job.litho),
         RequestBody::Evaluate { litho, .. } | RequestBody::Layout { litho, .. } => Some(litho),
-        RequestBody::Ping | RequestBody::Shutdown => None,
+        RequestBody::Ping
+        | RequestBody::Metrics
+        | RequestBody::Restart { .. }
+        | RequestBody::Shutdown => None,
     }
 }
 

@@ -3,11 +3,14 @@
 //!
 //! Both processes present the same face to a client: an acceptor with a
 //! connection cap, one reader and one writer thread per connection, inline
-//! `ping`/`shutdown` handling, typed `busy` rejections, and a stream
-//! registry so shutdown can unblock every reader. Only what happens to an
-//! *admitted* request differs — the server queues it for its dispatchers,
-//! the router for its forwarders — so that single decision is the
-//! [`FrontHandler`] trait and everything else lives here once.
+//! `ping`/`metrics`/`restart`/`shutdown` handling, typed `busy`
+//! rejections, and a stream registry so shutdown can unblock every reader.
+//! Control requests are answered by the reader thread itself — never
+//! queued — so health and observability stay responsive even when the
+//! request queue is saturated. Only what happens to an *admitted* request
+//! differs — the server queues it for its dispatchers, the router for its
+//! forwarders — so that single decision is the [`FrontHandler`] trait and
+//! everything else lives here once.
 
 use crate::wire::{
     decode_request, encode_response, read_frame, ErrorCode, Frame, Request, RequestBody, Response,
@@ -19,7 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Connection-tier state embedded in the server's and the router's shared
 /// state: liveness counters, the stop flag, the shutdown rendezvous, and
@@ -103,6 +106,10 @@ impl FrontState {
 pub(crate) struct AdmittedRequest {
     pub(crate) reply: Sender<Response>,
     pub(crate) request: Request,
+    /// When the reader admitted the request — the start of the latency
+    /// sample its completion records (queue wait included, so histograms
+    /// show what a client actually experienced).
+    pub(crate) admitted_at: Instant,
 }
 
 /// What the embedding process does with an admitted request; everything
@@ -116,14 +123,29 @@ pub(crate) trait FrontHandler: Send + Sync + 'static {
     /// A client asked the process to drain and exit (the acknowledgement
     /// has already been sent).
     fn on_shutdown_request(&self);
+    /// The process's current [`crate::stats::MetricsReport`], answered
+    /// inline by the reader thread (works under queue saturation).
+    fn metrics(&self) -> ResponseBody;
+    /// An admin `restart` request. The default rejects it: a plain server
+    /// has nothing to restart without dropping the very connection the
+    /// request arrived on. The router overrides this with a rolling
+    /// restart of its shard tier.
+    fn restart(&self, shard: Option<usize>) -> ResponseBody {
+        let _ = shard;
+        ResponseBody::Error {
+            code: ErrorCode::BadRequest,
+            message: "this process has no shard tier to restart".into(),
+        }
+    }
 
-    /// Takes one decoded request that is neither `ping` nor `shutdown`: a
+    /// Takes one decoded request that is not a control kind: a
     /// non-blocking push onto [`Self::queue`], where a full queue answers a
     /// typed `busy` rejection and a closed one answers `shutting_down`.
     fn admit(&self, reply: &Sender<Response>, request: Request) {
         let admitted = AdmittedRequest {
             reply: reply.clone(),
             request,
+            admitted_at: Instant::now(),
         };
         match self.queue().try_push(admitted) {
             Ok(()) => {}
@@ -319,6 +341,21 @@ fn reader_loop<H: FrontHandler>(stream: TcpStream, shared: &H, tx: Sender<Respon
                     id,
                     body: ResponseBody::Pong,
                 });
+            }
+            RequestBody::Metrics => {
+                let _ = tx.send(Response {
+                    id,
+                    body: shared.metrics(),
+                });
+            }
+            RequestBody::Restart { shard } => {
+                // Deliberately synchronous: this connection's reader blocks
+                // until the rolling restart finishes, so the `restarted`
+                // acknowledgement really means the tier is whole again.
+                // Other connections (and this one's earlier pipelined
+                // requests) proceed normally throughout.
+                let body = shared.restart(shard);
+                let _ = tx.send(Response { id, body });
             }
             RequestBody::Shutdown => {
                 let _ = tx.send(Response {

@@ -52,7 +52,14 @@
 //!   request-id correlation for the completion-ordered response stream.
 //! * [`shard`] / [`router`] — the multi-process tier: `std::process`
 //!   supervision of backend serve processes and the front-port router that
-//!   load-balances over them by configuration fingerprint.
+//!   load-balances over them by configuration fingerprint. Dead shards are
+//!   **respawned** under the [`supervise`] policy (capped exponential
+//!   backoff, flap-detection breaker), and a `restart` wire request rolls
+//!   the tier one shard at a time.
+//! * [`stats`] / [`supervise`] — the observability and self-healing
+//!   building blocks: lock-free log2 latency histograms behind the
+//!   `metrics` wire request, and the pure backoff/breaker schedule the
+//!   router's supervisor follows.
 //!
 //! # Determinism
 //!
@@ -81,15 +88,24 @@
 
 pub mod cli;
 pub mod client;
+pub mod error;
 pub mod exec;
 mod front;
 pub mod router;
 pub mod server;
 pub mod shard;
+pub mod stats;
+pub mod supervise;
 pub mod wire;
 
-pub use client::{collect_responses, Client, ClientError, Completed, ResponseRouter};
+pub use client::{
+    busy_backoff, collect_responses, Client, ClientError, Completed, ResponseRouter,
+    BUSY_BACKOFF_CAP_MS,
+};
+pub use error::ServeError;
 pub use router::{route, route_spawned, shard_preference, RouterConfig, RouterHandle, RouterStats};
 pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
 pub use shard::{ShardSet, ShardSpec};
+pub use stats::{KindLatency, LatencySnapshot, MetricsReport, ShardStatus};
+pub use supervise::{Backoff, FlapBreaker, RespawnPolicy};
 pub use wire::{Request, RequestBody, Response, ResponseBody, WireError};

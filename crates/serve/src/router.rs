@@ -49,28 +49,49 @@
 //!
 //! * `busy` from a shard is propagated to the client unchanged — the shard
 //!   tier never converts backpressure into blocking.
-//! * A dead shard is routed around, not respawned; when every shard is
-//!   dead, in-flight and new requests complete with a typed
-//!   [`ErrorCode::Internal`] error.
+//! * A dead shard is routed around immediately (its in-flight work is
+//!   redispatched), and — when the tier is supervised ([`route_spawned`]) —
+//!   **respawned** by the supervisor thread under the
+//!   [`RespawnPolicy`]: capped exponential backoff between attempts, and a
+//!   flap-detection [`FlapBreaker`] that *benches* a shard which keeps
+//!   dying (it stays down, is reported on stderr and in `metrics`, and
+//!   never burns further respawn attempts). A reborn shard rejoins its old
+//!   slot in the rendezvous order, so its fingerprints move back on the
+//!   next request and rewarm its context.
+//! * Every shard connection carries an **epoch**: stale failure reports
+//!   from a previous incarnation's reader cannot kill the fresh process.
+//! * When every shard is dead, in-flight and new requests complete with a
+//!   typed [`ErrorCode::Internal`] error.
+//! * The `restart` wire request rolls the tier one shard at a time: drain
+//!   the shard (siblings absorb its fingerprints bit-identically), wait
+//!   for a graceful exit, respawn, reconnect, move on. The `restarted`
+//!   acknowledgement means the whole tier is whole again.
+//! * The `metrics` wire request answers a [`MetricsReport`] aggregating
+//!   router counters, per-request-kind latency histograms and per-shard
+//!   status (the prober's probes double as metrics fetches, so shard
+//!   self-reports are cached and cost nothing extra).
 //! * Shutdown drains in order: stop accepting, forward everything queued,
 //!   wait for in-flight work (bounded by
 //!   [`RouterConfig::drain_timeout`]), then send each live shard a
 //!   `shutdown` request and reap the supervised processes.
 
+use crate::error::ServeError;
 use crate::exec::litho_spec;
 use crate::front::{acceptor_loop, AdmittedRequest, FrontHandler, FrontState};
-use crate::shard::ShardSet;
+use crate::shard::{ShardSet, ShardSpec};
+use crate::stats::{KindLatencies, MetricsReport, ShardStatus};
+use crate::supervise::{FlapBreaker, RespawnPolicy};
 use crate::wire::{
     decode_response, encode_request_parts, read_frame, ErrorCode, Frame, RequestBody, Response,
     ResponseBody,
 };
 use camo_runtime::{BoundedQueue, ServicePool};
 use std::collections::{BTreeMap, BTreeSet};
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -94,6 +115,11 @@ pub struct RouterConfig {
     /// Upper bound on waiting for in-flight requests at shutdown; requests
     /// still unanswered afterwards complete with a typed internal error.
     pub drain_timeout: Duration,
+    /// The supervised-respawn schedule (backoff between respawn attempts
+    /// plus the flap breaker). Only consulted when the tier is supervised
+    /// ([`route_spawned`]); a router over external addresses never
+    /// respawns.
+    pub respawn: RespawnPolicy,
 }
 
 impl Default for RouterConfig {
@@ -107,7 +133,48 @@ impl Default for RouterConfig {
             probe_interval: Duration::from_millis(100),
             probe_timeout: Duration::from_secs(5),
             drain_timeout: Duration::from_secs(120),
+            respawn: RespawnPolicy::default(),
         }
+    }
+}
+
+impl RouterConfig {
+    /// Rejects configurations that cannot work: zero capacities, zero
+    /// probe/drain intervals, and a respawn policy whose backoff or
+    /// breaker window is degenerate. Called by [`route`]/[`route_spawned`];
+    /// the CLI surfaces the typed message before binding anything.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        fn positive(name: &str, d: Duration) -> Result<(), ServeError> {
+            if d == Duration::ZERO {
+                return Err(ServeError::Config(format!("{name} must be positive")));
+            }
+            Ok(())
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::Config("queue depth must be at least 1".into()));
+        }
+        if self.max_connections == 0 {
+            return Err(ServeError::Config(
+                "connection cap must be at least 1".into(),
+            ));
+        }
+        positive("probe interval", self.probe_interval)?;
+        positive("probe timeout", self.probe_timeout)?;
+        positive("drain timeout", self.drain_timeout)?;
+        positive("respawn backoff", self.respawn.initial_backoff)?;
+        positive("respawn backoff cap", self.respawn.max_backoff)?;
+        if self.respawn.max_backoff < self.respawn.initial_backoff {
+            return Err(ServeError::Config(
+                "respawn backoff cap must be at least the initial backoff".into(),
+            ));
+        }
+        positive("breaker window", self.respawn.breaker_window)?;
+        if self.respawn.breaker_failures == 0 {
+            return Err(ServeError::Config(
+                "breaker failure threshold must be at least 1".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -128,6 +195,11 @@ pub struct RouterStats {
     pub forwarded_per_shard: Vec<usize>,
     /// Liveness of each shard at the time of the snapshot.
     pub shard_alive: Vec<bool>,
+    /// Successful supervised respawns of each shard, in shard order.
+    pub respawns_per_shard: Vec<usize>,
+    /// Whether each shard has been benched by the flap breaker (it keeps
+    /// dying; the supervisor has given up on it).
+    pub shard_benched: Vec<bool>,
 }
 
 /// The deterministic shard preference order for one lithography
@@ -177,16 +249,66 @@ struct Inflight {
     forwarded_cases: BTreeSet<usize>,
     /// Case count, learned from the first case frame.
     total_cases: Option<usize>,
+    /// When the request was admitted at the front (latency histograms
+    /// include queue wait and any redispatch detour).
+    admitted_at: Instant,
+    /// The request kind, for the per-kind latency histogram.
+    kind: &'static str,
 }
 
-/// The router's connection to one backend shard.
+/// The router's connection to one backend shard (one *incarnation* at a
+/// time; respawn replaces the address, channel and epoch in place).
 struct ShardLink {
-    addr: SocketAddr,
+    /// Current address — rewritten when a respawned incarnation binds a
+    /// fresh ephemeral port.
+    addr: Mutex<SocketAddr>,
     alive: AtomicBool,
+    /// Incarnation counter, bumped on every successful (re)connect. A
+    /// failure report carries the epoch it observed; a stale reader from a
+    /// previous incarnation can therefore never kill the fresh process.
+    epoch: AtomicUsize,
+    /// Set by the flap breaker: the shard keeps dying and the supervisor
+    /// has stopped respawning it. Cleared by a rolling `restart`.
+    benched: AtomicBool,
+    /// Set around a planned (rolling-restart) kill so the breaker does not
+    /// count it as a crash and the supervisor does not race the restart.
+    restarting: AtomicBool,
+    /// Successful supervised respawns of this slot.
+    respawns: AtomicUsize,
     writer: Mutex<Option<BufWriter<TcpStream>>>,
     /// A clone used to shut the channel down so the shard reader unblocks.
     stream: Mutex<Option<TcpStream>>,
     forwarded: AtomicUsize,
+    /// The shard's last self-report, cached from the prober's `metrics`
+    /// probes and served under `ShardStatus` without extra round-trips.
+    last_report: Mutex<Option<MetricsReport>>,
+    /// Serialises liveness transitions (fail vs. reconnect) and guards the
+    /// epoch check. Held only for the transition itself, never across I/O
+    /// or redispatch.
+    state: Mutex<()>,
+}
+
+impl ShardLink {
+    fn addr(&self) -> SocketAddr {
+        *self.addr.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// One outstanding health probe.
+struct Probe {
+    shard: usize,
+    sent: Instant,
+    /// The link epoch the probe was written under; answers and timeouts
+    /// from other epochs are stale and dropped.
+    epoch: usize,
+}
+
+/// Per-shard supervision state (attempt counter drives the backoff
+/// schedule; the breaker benches flapping shards).
+struct ShardSupervision {
+    attempts: u32,
+    next_attempt: Instant,
+    breaker: FlapBreaker,
 }
 
 struct RouterShared {
@@ -197,12 +319,31 @@ struct RouterShared {
     inflight: Mutex<BTreeMap<u64, Inflight>>,
     /// Notified whenever `inflight` shrinks (the drain wait).
     idle: Condvar,
-    /// Outstanding health probes: router id → (shard, sent-at).
-    probes: Mutex<BTreeMap<u64, (usize, Instant)>>,
+    /// Outstanding health probes by router id.
+    probes: Mutex<BTreeMap<u64, Probe>>,
     next_id: AtomicU64,
     probe_stop: AtomicBool,
     completed: AtomicUsize,
     redispatched: AtomicUsize,
+    /// Per-request-kind latency histograms (admission → final response).
+    latency: KindLatencies,
+    /// True when the router owns the shard processes ([`route_spawned`]).
+    /// Plain bool (not "is the set present") so [`fail_shard`] never has
+    /// to take the `shard_set` lock.
+    supervised: bool,
+    /// The supervised process set; `None` for routers over external
+    /// addresses. Lock order: `shard_set` before any `ShardLink::state`.
+    shard_set: Mutex<Option<ShardSet>>,
+    /// Reader threads for every incarnation ever connected (the supervisor
+    /// adds one per respawn); all joined at shutdown.
+    reader_handles: Mutex<Vec<JoinHandle<()>>>,
+    supervision: Mutex<Vec<ShardSupervision>>,
+    /// Serialises rolling restarts (two concurrent `restart` requests must
+    /// not interleave their drains).
+    restart_lock: Mutex<()>,
+    /// Back-reference for [`FrontHandler`] hooks that must spawn threads
+    /// (reconnect during a rolling restart).
+    self_weak: OnceLock<Weak<RouterShared>>,
 }
 
 impl RouterShared {
@@ -210,8 +351,26 @@ impl RouterShared {
         self.inflight.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn lock_probes(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, (usize, Instant)>> {
+    fn lock_probes(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, Probe>> {
         self.probes.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_shard_set(&self) -> std::sync::MutexGuard<'_, Option<ShardSet>> {
+        self.shard_set
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_supervision(&self) -> std::sync::MutexGuard<'_, Vec<ShardSupervision>> {
+        self.supervision
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_reader_handles(&self) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+        self.reader_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     fn fresh_id(&self) -> u64 {
@@ -244,6 +403,97 @@ impl FrontHandler for RouterShared {
     fn on_shutdown_request(&self) {
         self.request_shutdown();
     }
+
+    fn metrics(&self) -> ResponseBody {
+        let shards: Vec<ShardStatus> = self
+            .links
+            .iter()
+            .enumerate()
+            .map(|(index, link)| {
+                let report = link
+                    .last_report
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone();
+                ShardStatus {
+                    index,
+                    alive: link.alive.load(Ordering::SeqCst),
+                    benched: link.benched.load(Ordering::SeqCst),
+                    forwarded: link.forwarded.load(Ordering::Relaxed),
+                    respawns: link.respawns.load(Ordering::Relaxed),
+                    queue_depth: report.as_ref().map_or(0, |r| r.queue_depth),
+                    in_flight: report.as_ref().map_or(0, |r| r.in_flight),
+                    completed: report.as_ref().map_or(0, |r| r.completed),
+                    busy_rejected: report.as_ref().map_or(0, |r| r.busy_rejected),
+                }
+            })
+            .collect();
+        ResponseBody::Metrics(MetricsReport {
+            role: "router".into(),
+            queue_depth: self.queue.len(),
+            in_flight: self.lock_inflight().len(),
+            completed: self.completed.load(Ordering::Relaxed),
+            busy_rejected: self.front.rejected.load(Ordering::Relaxed),
+            redispatched: self.redispatched.load(Ordering::Relaxed),
+            respawns: shards.iter().map(|s| s.respawns).sum(),
+            latency: self.latency.snapshot(),
+            shards,
+        })
+    }
+
+    fn restart(&self, shard: Option<usize>) -> ResponseBody {
+        if !self.supervised {
+            return ResponseBody::Error {
+                code: ErrorCode::BadRequest,
+                message: "this router supervises no shard processes; \
+                          external shards cannot be restarted"
+                    .into(),
+            };
+        }
+        let Some(me) = self.self_weak.get().and_then(Weak::upgrade) else {
+            return ResponseBody::Error {
+                code: ErrorCode::Internal,
+                message: "router is shutting down".into(),
+            };
+        };
+        if let Some(index) = shard {
+            if index >= self.links.len() {
+                return ResponseBody::Error {
+                    code: ErrorCode::BadRequest,
+                    message: format!(
+                        "shard index {index} out of range (tier has {} shards)",
+                        self.links.len()
+                    ),
+                };
+            }
+        }
+        // Serialise whole rolls: two concurrent restarts draining different
+        // shards at once could take the tier below quorum.
+        let _serial = self
+            .restart_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let targets: Vec<usize> = match shard {
+            Some(index) => vec![index],
+            None => (0..self.links.len()).collect(),
+        };
+        let mut restarted = Vec::new();
+        for index in targets {
+            match restart_one(&me, index) {
+                Ok(()) => restarted.push(index),
+                Err(e) => {
+                    return ResponseBody::Error {
+                        code: ErrorCode::Internal,
+                        message: format!(
+                            "rolling restart failed at shard {index} \
+                             (restarted so far: {restarted:?}): {e}"
+                        ),
+                    };
+                }
+            }
+        }
+        ResponseBody::Restarted { shards: restarted }
+    }
 }
 
 /// A running router; [`Self::shutdown`] is the graceful path.
@@ -253,24 +503,25 @@ pub struct RouterHandle {
     acceptor: Option<JoinHandle<()>>,
     forwarders: Option<ServicePool>,
     prober: Option<JoinHandle<()>>,
-    shard_readers: Vec<JoinHandle<()>>,
-    supervised: Option<ShardSet>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 /// Starts a router over externally managed shard addresses (tests drive
-/// this directly; production spawns go through [`route_spawned`]).
+/// this directly; production spawns go through [`route_spawned`]). Such a
+/// tier is never respawned: a dead external shard stays routed around.
 ///
 /// # Panics
 ///
 /// Panics if `shards` is empty.
-pub fn route(config: RouterConfig, shards: &[SocketAddr]) -> std::io::Result<RouterHandle> {
+pub fn route(config: RouterConfig, shards: &[SocketAddr]) -> Result<RouterHandle, ServeError> {
     start(config, shards.to_vec(), None)
 }
 
-/// Spawns nothing itself but adopts an already-spawned [`ShardSet`]: the
-/// router connects to every shard, and [`RouterHandle::shutdown`] drains
-/// and reaps the processes.
-pub fn route_spawned(config: RouterConfig, shards: ShardSet) -> std::io::Result<RouterHandle> {
+/// Adopts an already-spawned [`ShardSet`]: the router connects to every
+/// shard, its supervisor respawns members that die (under
+/// [`RouterConfig::respawn`]), and [`RouterHandle::shutdown`] drains and
+/// reaps the processes.
+pub fn route_spawned(config: RouterConfig, shards: ShardSet) -> Result<RouterHandle, ServeError> {
     let addrs = shards.addrs();
     start(config, addrs, Some(shards))
 }
@@ -279,8 +530,9 @@ fn start(
     config: RouterConfig,
     addrs: Vec<SocketAddr>,
     supervised: Option<ShardSet>,
-) -> std::io::Result<RouterHandle> {
+) -> Result<RouterHandle, ServeError> {
     assert!(!addrs.is_empty(), "a router needs at least one shard");
+    config.validate()?;
     let listener = TcpListener::bind(config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -288,14 +540,28 @@ fn start(
     let links: Vec<ShardLink> = addrs
         .iter()
         .map(|&addr| ShardLink {
-            addr,
+            addr: Mutex::new(addr),
             alive: AtomicBool::new(false),
+            epoch: AtomicUsize::new(0),
+            benched: AtomicBool::new(false),
+            restarting: AtomicBool::new(false),
+            respawns: AtomicUsize::new(0),
             writer: Mutex::new(None),
             stream: Mutex::new(None),
             forwarded: AtomicUsize::new(0),
+            last_report: Mutex::new(None),
+            state: Mutex::new(()),
         })
         .collect();
+    let shard_count = links.len();
     let forwarder_count = config.forwarders.max(1);
+    let supervision = (0..shard_count)
+        .map(|_| ShardSupervision {
+            attempts: 0,
+            next_attempt: Instant::now(),
+            breaker: config.respawn.breaker(),
+        })
+        .collect();
     let shared = Arc::new(RouterShared {
         queue: BoundedQueue::new(config.queue_depth),
         links,
@@ -307,85 +573,186 @@ fn start(
         probe_stop: AtomicBool::new(false),
         completed: AtomicUsize::new(0),
         redispatched: AtomicUsize::new(0),
+        latency: KindLatencies::new(),
+        supervised: supervised.is_some(),
+        shard_set: Mutex::new(supervised),
+        reader_handles: Mutex::new(Vec::new()),
+        supervision: Mutex::new(supervision),
+        restart_lock: Mutex::new(()),
+        self_weak: OnceLock::new(),
         config,
     });
+    let _ = shared.self_weak.set(Arc::downgrade(&shared));
 
     // Connect every shard channel up front; a shard that refuses now is
-    // simply dead from the start (the tier still serves on the others).
-    let mut shard_readers = Vec::new();
+    // simply dead from the start (the tier still serves on the others, and
+    // a supervised tier will respawn it).
     for index in 0..shared.links.len() {
-        if let Some(handle) = connect_shard(&shared, index) {
-            shard_readers.push(handle);
-        }
+        connect_shard(&shared, index);
     }
     if shared.alive_count() == 0 {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::ConnectionRefused,
-            "no shard accepted the router's connection",
+        return Err(fail_start(
+            &shared,
+            None,
+            Vec::new(),
+            "shard channels",
+            io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "no shard accepted the router's connection",
+            ),
         ));
     }
 
-    let forwarders = {
-        let pool = ServicePool::new(forwarder_count, forwarder_count);
-        for _ in 0..forwarder_count {
-            let shared = Arc::clone(&shared);
-            pool.submit(move || forward_loop(&shared))
-                .expect("fresh pool accepts jobs");
+    let pool = ServicePool::new(forwarder_count, forwarder_count);
+    for _ in 0..forwarder_count {
+        let worker = Arc::clone(&shared);
+        if pool.submit(move || forward_loop(&worker)).is_err() {
+            return Err(fail_start(
+                &shared,
+                Some(pool),
+                Vec::new(),
+                "forwarder",
+                io::Error::other("forwarder pool rejected a fresh job"),
+            ));
         }
-        Some(pool)
-    };
+    }
 
     let prober = {
-        let shared = Arc::clone(&shared);
+        let worker = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("camo-router-prober".into())
-            .spawn(move || prober_loop(&shared))
-            .expect("spawn prober")
+            .spawn(move || prober_loop(&worker))
+    };
+    let prober = match prober {
+        Ok(handle) => handle,
+        Err(source) => {
+            return Err(fail_start(
+                &shared,
+                Some(pool),
+                Vec::new(),
+                "prober",
+                source,
+            ))
+        }
+    };
+
+    let supervisor = if shared.supervised {
+        let worker = Arc::clone(&shared);
+        match std::thread::Builder::new()
+            .name("camo-router-supervisor".into())
+            .spawn(move || supervisor_loop(&worker))
+        {
+            Ok(handle) => Some(handle),
+            Err(source) => {
+                return Err(fail_start(
+                    &shared,
+                    Some(pool),
+                    vec![prober],
+                    "supervisor",
+                    source,
+                ));
+            }
+        }
+    } else {
+        None
     };
 
     let acceptor = {
-        let shared = Arc::clone(&shared);
+        let worker = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("camo-router-acceptor".into())
-            .spawn(move || acceptor_loop(listener, &shared))
-            .expect("spawn acceptor")
+            .spawn(move || acceptor_loop(listener, &worker))
+    };
+    let acceptor = match acceptor {
+        Ok(handle) => handle,
+        Err(source) => {
+            let mut threads = vec![prober];
+            threads.extend(supervisor);
+            return Err(fail_start(&shared, Some(pool), threads, "acceptor", source));
+        }
     };
 
     Ok(RouterHandle {
         addr,
         shared,
         acceptor: Some(acceptor),
-        forwarders,
+        forwarders: Some(pool),
         prober: Some(prober),
-        shard_readers,
-        supervised,
+        supervisor,
     })
 }
 
-/// Connects one shard channel and spawns its reader; `None` (and a dead
-/// link) when the shard is unreachable.
-fn connect_shard(shared: &Arc<RouterShared>, index: usize) -> Option<JoinHandle<()>> {
+/// Unwinds a partially started router — no thread, process or socket may
+/// outlive a failed [`start`] — and converts the cause into a typed error.
+fn fail_start(
+    shared: &Arc<RouterShared>,
+    pool: Option<ServicePool>,
+    threads: Vec<JoinHandle<()>>,
+    what: &'static str,
+    source: io::Error,
+) -> ServeError {
+    shared.request_shutdown();
+    shared.probe_stop.store(true, Ordering::SeqCst);
+    if let Some(pool) = pool {
+        pool.shutdown();
+    }
+    for shard in 0..shared.links.len() {
+        fail_shard_now(shared, shard);
+    }
+    for handle in std::mem::take(&mut *shared.lock_reader_handles()) {
+        let _ = handle.join();
+    }
+    for handle in threads {
+        let _ = handle.join();
+    }
+    // Dropping the set kills and reaps any spawned shard processes.
+    drop(shared.lock_shard_set().take());
+    ServeError::Spawn { what, source }
+}
+
+/// Connects one shard channel, bumps the link epoch and spawns its reader
+/// (registered in the shared reader list); `false` — and a dead link —
+/// when the shard is unreachable.
+fn connect_shard(shared: &Arc<RouterShared>, index: usize) -> bool {
     let link = &shared.links[index];
-    let stream = TcpStream::connect(link.addr).ok()?;
+    let Ok(stream) = TcpStream::connect(link.addr()) else {
+        return false;
+    };
     // A wedged shard must not hang a forwarder behind a full send buffer.
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let read_half = stream.try_clone().ok()?;
-    *link.stream.lock().unwrap_or_else(PoisonError::into_inner) = Some(stream.try_clone().ok()?);
-    *link.writer.lock().unwrap_or_else(PoisonError::into_inner) = Some(BufWriter::new(stream));
-    link.alive.store(true, Ordering::SeqCst);
+    let Ok(read_half) = stream.try_clone() else {
+        return false;
+    };
+    let Ok(closer) = stream.try_clone() else {
+        return false;
+    };
+    let epoch = {
+        // The transition lock orders this against a concurrent fail_shard:
+        // whoever holds it sees a consistent (alive, epoch, channel) triple.
+        let _state = link.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let epoch = link.epoch.load(Ordering::SeqCst) + 1;
+        link.epoch.store(epoch, Ordering::SeqCst);
+        *link.stream.lock().unwrap_or_else(PoisonError::into_inner) = Some(closer);
+        *link.writer.lock().unwrap_or_else(PoisonError::into_inner) = Some(BufWriter::new(stream));
+        link.alive.store(true, Ordering::SeqCst);
+        epoch
+    };
     let reader = {
         let shared = Arc::clone(shared);
         std::thread::Builder::new()
             .name(format!("camo-router-shard-{index}"))
-            .spawn(move || shard_reader_loop(&shared, index, read_half))
+            .spawn(move || shard_reader_loop(&shared, index, epoch, read_half))
     };
     match reader {
-        Ok(handle) => Some(handle),
+        Ok(handle) => {
+            shared.lock_reader_handles().push(handle);
+            true
+        }
         Err(_) => {
             // No reader means no responses: a half-connected link must not
             // stay routable (or satisfy start()'s liveness check).
-            fail_shard(shared, index);
-            None
+            fail_shard(shared, index, epoch);
+            false
         }
     }
 }
@@ -400,11 +767,13 @@ fn forward_loop(shared: &RouterShared) {
         let entry = Inflight {
             reply: routed.reply,
             client_id: routed.request.id,
+            kind: routed.request.body.kind(),
             body: Arc::new(routed.request.body),
             shard: usize::MAX,
             attempts: 0,
             forwarded_cases: BTreeSet::new(),
             total_cases: None,
+            admitted_at: routed.admitted_at,
         };
         shared.lock_inflight().insert(router_id, entry);
         send_to_shard(shared, router_id);
@@ -468,6 +837,10 @@ fn send_to_shard(shared: &RouterShared, router_id: u64) {
             entry.attempts += 1;
             shard
         };
+        // Capture the epoch before the write: if the shard is respawned
+        // between the failed write and the fail call, the stale epoch makes
+        // the fail a no-op and the loop simply retries.
+        let epoch = shared.links[shard].epoch.load(Ordering::SeqCst);
         if write_to_shard(shared, shard, &frame) {
             shared.links[shard]
                 .forwarded
@@ -477,7 +850,7 @@ fn send_to_shard(shared: &RouterShared, router_id: u64) {
         // The write failed: the shard is dead. `fail_shard` redispatches
         // everything assigned to it — including this entry — so the loop
         // here only spins again if the entry is somehow still unassigned.
-        fail_shard(shared, shard);
+        fail_shard(shared, shard, epoch);
         if shared.lock_inflight().get(&router_id).map(|e| e.shard) != Some(shard) {
             return;
         }
@@ -499,6 +872,9 @@ fn write_to_shard(shared: &RouterShared, shard: usize, frame: &str) -> bool {
 
 /// Completes one request with a typed internal error (shard tier failure).
 fn fail_entry(shared: &RouterShared, entry: Inflight, message: &str) {
+    // Count before the reply is handed to the writer so a client holding
+    // the response always observes a `metrics` report that includes it.
+    shared.completed.fetch_add(1, Ordering::Relaxed);
     let _ = entry.reply.send(Response {
         id: entry.client_id,
         body: ResponseBody::Error {
@@ -506,32 +882,54 @@ fn fail_entry(shared: &RouterShared, entry: Inflight, message: &str) {
             message: message.to_string(),
         },
     });
-    shared.completed.fetch_add(1, Ordering::Relaxed);
     shared.idle.notify_all();
 }
 
 /// Marks one shard dead, closes its channel so the reader unblocks, and
-/// redispatches every request in flight on it. Idempotent.
-fn fail_shard(shared: &RouterShared, shard: usize) {
+/// redispatches every request in flight on it. Idempotent, and a no-op
+/// when `epoch` is stale — a lingering reader from a killed incarnation
+/// can never take down the respawned process.
+fn fail_shard(shared: &RouterShared, shard: usize, epoch: usize) {
     let link = &shared.links[shard];
-    if !link.alive.swap(false, Ordering::SeqCst) {
-        return;
-    }
-    if let Some(stream) = link
-        .stream
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .take()
     {
-        let _ = stream.shutdown(Shutdown::Both);
+        let _state = link.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if link.epoch.load(Ordering::SeqCst) != epoch {
+            return;
+        }
+        if !link.alive.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(stream) = link
+            .stream
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        link.writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
     }
-    link.writer
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .take();
     shared
         .lock_probes()
-        .retain(|_, (probe_shard, _)| *probe_shard != shard);
+        .retain(|_, probe| probe.shard != shard || probe.epoch != epoch);
+    // An unplanned death of a supervised shard counts toward the flap
+    // breaker (a planned rolling-restart kill does not). Recorded outside
+    // the transition lock: the breaker shares a mutex with the supervisor.
+    if shared.supervised && !link.restarting.load(Ordering::SeqCst) {
+        let mut supervision = shared.lock_supervision();
+        if supervision[shard].breaker.record(Instant::now())
+            && !link.benched.swap(true, Ordering::SeqCst)
+        {
+            eprintln!(
+                "router: shard {shard} benched — {} deaths within {:?}; \
+                 it will not be respawned (send a `restart` request to retry)",
+                shared.config.respawn.breaker_failures, shared.config.respawn.breaker_window
+            );
+        }
+    }
     let stranded: Vec<u64> = shared
         .lock_inflight()
         .iter()
@@ -544,11 +942,19 @@ fn fail_shard(shared: &RouterShared, shard: usize) {
     }
 }
 
+/// [`fail_shard`] against the link's *current* epoch — for callers making
+/// a fresh decision (shutdown, rolling restart) rather than reporting an
+/// observation that might be stale.
+fn fail_shard_now(shared: &RouterShared, shard: usize) {
+    let epoch = shared.links[shard].epoch.load(Ordering::SeqCst);
+    fail_shard(shared, shard, epoch);
+}
+
 // ---------------------------------------------------------------------------
 // Shard responses
 // ---------------------------------------------------------------------------
 
-fn shard_reader_loop(shared: &Arc<RouterShared>, shard: usize, stream: TcpStream) {
+fn shard_reader_loop(shared: &Arc<RouterShared>, shard: usize, epoch: usize, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
     // Ends on EOF, a transport error, or an oversized frame — the channel
     // is unusable either way — and on the protocol violations below.
@@ -566,7 +972,9 @@ fn shard_reader_loop(shared: &Arc<RouterShared>, shard: usize, stream: TcpStream
             break;
         }
     }
-    fail_shard(shared, shard);
+    // Carries this incarnation's epoch: if the shard has already been
+    // respawned, this is a stale observation and a no-op.
+    fail_shard(shared, shard, epoch);
 }
 
 /// Translates one shard response back to its client; false when the
@@ -577,10 +985,24 @@ fn handle_shard_response(shared: &RouterShared, shard: usize, response: Response
     if response.id == 0 {
         return false;
     }
-    if let Some((probe_shard, _)) = shared.lock_probes().remove(&response.id) {
-        // Pong for a health probe; any other body under a probe id is a
-        // protocol violation.
-        return probe_shard == shard && matches!(response.body, ResponseBody::Pong);
+    if let Some(probe) = shared.lock_probes().remove(&response.id) {
+        // Probes are `metrics` requests, so a healthy answer doubles as
+        // the shard's self-report; a bare `pong` is also accepted. Any
+        // other body under a probe id is a protocol violation.
+        if probe.shard != shard {
+            return false;
+        }
+        return match response.body {
+            ResponseBody::Metrics(report) => {
+                *shared.links[shard]
+                    .last_report
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(report);
+                true
+            }
+            ResponseBody::Pong => true,
+            _ => false,
+        };
     }
     let mut inflight = shared.lock_inflight();
     let Some(entry) = inflight.get_mut(&response.id) else {
@@ -609,10 +1031,18 @@ fn handle_shard_response(shared: &RouterShared, shard: usize, response: Response
             }
             let done = entry.forwarded_cases.len() == total;
             let reply = entry.reply.clone();
+            let sample = (entry.kind, entry.admitted_at);
             if done {
                 inflight.remove(&response.id);
             }
             drop(inflight);
+            // Sample and count before the final case reaches the writer so
+            // a client holding the last response always observes a
+            // `metrics` report that includes the sweep.
+            if done {
+                shared.latency.record(sample.0, sample.1.elapsed());
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+            }
             let _ = reply.send(Response {
                 id: client_id,
                 body: ResponseBody::CaseOutcome {
@@ -623,7 +1053,6 @@ fn handle_shard_response(shared: &RouterShared, shard: usize, response: Response
                 },
             });
             if done {
-                shared.completed.fetch_add(1, Ordering::Relaxed);
                 shared.idle.notify_all();
             }
             true
@@ -650,11 +1079,18 @@ fn handle_shard_response(shared: &RouterShared, shard: usize, response: Response
                 }
                 body => body,
             };
+            // Busy rejections and typed errors are not latency samples:
+            // the histogram measures served work, not refusal round-trips.
+            if !matches!(body, ResponseBody::Busy { .. } | ResponseBody::Error { .. }) {
+                shared
+                    .latency
+                    .record(entry.kind, entry.admitted_at.elapsed());
+            }
+            shared.completed.fetch_add(1, Ordering::Relaxed);
             let _ = entry.reply.send(Response {
                 id: client_id,
                 body,
             });
-            shared.completed.fetch_add(1, Ordering::Relaxed);
             shared.idle.notify_all();
             true
         }
@@ -669,17 +1105,22 @@ fn prober_loop(shared: &Arc<RouterShared>) {
     while !shared.probe_stop.load(Ordering::SeqCst) {
         let now = Instant::now();
         for shard in 0..shared.links.len() {
-            if !shared.links[shard].alive.load(Ordering::SeqCst) {
+            let link = &shared.links[shard];
+            if !link.alive.load(Ordering::SeqCst) {
                 continue;
             }
+            let epoch = link.epoch.load(Ordering::SeqCst);
             let (outstanding, timed_out) = {
-                let probes = shared.lock_probes();
+                let mut probes = shared.lock_probes();
+                // Probes written to a previous incarnation can never be
+                // answered; drop them instead of timing out the fresh one.
+                probes.retain(|_, p| p.shard != shard || p.epoch == epoch);
                 let mut outstanding = false;
                 let mut timed_out = false;
-                for &(probe_shard, sent) in probes.values() {
-                    if probe_shard == shard {
+                for probe in probes.values() {
+                    if probe.shard == shard {
                         outstanding = true;
-                        if now.duration_since(sent) > shared.config.probe_timeout {
+                        if now.duration_since(probe.sent) > shared.config.probe_timeout {
                             timed_out = true;
                         }
                     }
@@ -687,28 +1128,172 @@ fn prober_loop(shared: &Arc<RouterShared>) {
                 (outstanding, timed_out)
             };
             if timed_out {
-                fail_shard(shared, shard);
+                fail_shard(shared, shard, epoch);
                 continue;
             }
             if outstanding {
                 continue;
             }
+            // Probes are `metrics` requests: liveness and the shard's
+            // self-report (queue depth, in-flight, counters) in one
+            // round-trip, cached on the link for the router's own report.
             let id = shared.fresh_id();
-            let frame = match encode_request_parts(id, &RequestBody::Ping) {
+            let frame = match encode_request_parts(id, &RequestBody::Metrics) {
                 Ok(frame) => frame,
                 Err(_) => continue,
             };
             // Stamped at insertion, not with the sweep-top `now`: a write
             // stall on an earlier shard must not age this probe before it
             // is even sent (a healthy shard would look timed out).
-            shared.lock_probes().insert(id, (shard, Instant::now()));
+            shared.lock_probes().insert(
+                id,
+                Probe {
+                    shard,
+                    sent: Instant::now(),
+                    epoch,
+                },
+            );
             if !write_to_shard(shared, shard, &frame) {
                 shared.lock_probes().remove(&id);
-                fail_shard(shared, shard);
+                fail_shard(shared, shard, epoch);
             }
         }
         std::thread::sleep(shared.config.probe_interval);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Supervision: respawn, breaker, rolling restart
+// ---------------------------------------------------------------------------
+
+/// The supervisor thread (supervised tiers only): respawns dead shards on
+/// the [`RespawnPolicy`] backoff schedule, skipping benched shards and
+/// shards mid-rolling-restart.
+fn supervisor_loop(shared: &Arc<RouterShared>) {
+    while !shared.probe_stop.load(Ordering::SeqCst) {
+        for shard in 0..shared.links.len() {
+            if shared.probe_stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let link = &shared.links[shard];
+            if link.alive.load(Ordering::SeqCst)
+                || link.benched.load(Ordering::SeqCst)
+                || link.restarting.load(Ordering::SeqCst)
+            {
+                continue;
+            }
+            let due = {
+                let supervision = shared.lock_supervision();
+                Instant::now() >= supervision[shard].next_attempt
+            };
+            if due {
+                attempt_respawn(shared, shard);
+            }
+        }
+        std::thread::sleep(shared.config.probe_interval.min(Duration::from_millis(50)));
+    }
+}
+
+/// One supervised respawn attempt. Success rearms the backoff schedule
+/// (but keeps the breaker's failure history — a flapping shard that keeps
+/// coming back still trips it); failure schedules the next attempt and
+/// counts toward the breaker.
+fn attempt_respawn(shared: &Arc<RouterShared>, shard: usize) {
+    let respawned = {
+        let mut set_guard = shared.lock_shard_set();
+        let Some(set) = set_guard.as_mut() else {
+            return;
+        };
+        set.respawn(shard)
+    };
+    match respawned {
+        Ok(addr) => {
+            *shared.links[shard]
+                .addr
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = addr;
+            if connect_shard(shared, shard) {
+                shared.links[shard].respawns.fetch_add(1, Ordering::Relaxed);
+                let mut supervision = shared.lock_supervision();
+                supervision[shard].attempts = 0;
+                supervision[shard].next_attempt = Instant::now();
+                eprintln!("router: shard {shard} respawned at {addr}");
+            } else {
+                note_respawn_failure(shared, shard, "respawned shard refused the connection");
+            }
+        }
+        Err(e) => note_respawn_failure(shared, shard, &e.to_string()),
+    }
+}
+
+/// Books one failed respawn attempt: advance the backoff schedule and
+/// count it toward the flap breaker (a shard whose *handshake* keeps
+/// failing — bad port file, instant exit — is as flappy as one that
+/// crashes after connecting).
+fn note_respawn_failure(shared: &RouterShared, shard: usize, why: &str) {
+    let policy = &shared.config.respawn;
+    let backoff = policy.backoff();
+    let mut supervision = shared.lock_supervision();
+    let entry = &mut supervision[shard];
+    entry.attempts = entry.attempts.saturating_add(1);
+    entry.next_attempt = Instant::now() + backoff.delay(entry.attempts);
+    let tripped = entry.breaker.record(Instant::now());
+    drop(supervision);
+    if tripped {
+        if !shared.links[shard].benched.swap(true, Ordering::SeqCst) {
+            eprintln!(
+                "router: shard {shard} benched — {} failures within {:?} ({why}); \
+                 it will not be respawned (send a `restart` request to retry)",
+                policy.breaker_failures, policy.breaker_window
+            );
+        }
+    } else {
+        eprintln!("router: shard {shard} respawn failed ({why}); backing off");
+    }
+}
+
+/// One step of a rolling restart: drain the shard (siblings absorb its
+/// fingerprints — bit-identical recomputation makes that invisible), wait
+/// briefly for a graceful exit, respawn, reconnect, rearm supervision.
+fn restart_one(shared: &Arc<RouterShared>, shard: usize) -> io::Result<()> {
+    let link = &shared.links[shard];
+    link.restarting.store(true, Ordering::SeqCst);
+    let result = (|| {
+        if link.alive.load(Ordering::SeqCst) {
+            // Ask nicely first so the shard drains its own queue, then
+            // close the channel: in-flight work redispatches to siblings
+            // and new work routes around the hole.
+            let id = shared.fresh_id();
+            if let Ok(frame) = encode_request_parts(id, &RequestBody::Shutdown) {
+                let _ = write_to_shard(shared, shard, &frame);
+            }
+            fail_shard_now(shared, shard);
+        }
+        let addr = {
+            let mut set_guard = shared.lock_shard_set();
+            let set = set_guard.as_mut().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::Unsupported, "no supervised shard set")
+            })?;
+            let _ = set.wait_one(shard, Duration::from_secs(2));
+            set.respawn(shard)?
+        };
+        *link.addr.lock().unwrap_or_else(PoisonError::into_inner) = addr;
+        if !connect_shard(shared, shard) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "respawned shard refused the router's connection",
+            ));
+        }
+        link.respawns.fetch_add(1, Ordering::Relaxed);
+        link.benched.store(false, Ordering::SeqCst);
+        let mut supervision = shared.lock_supervision();
+        supervision[shard].attempts = 0;
+        supervision[shard].next_attempt = Instant::now();
+        supervision[shard].breaker.reset();
+        Ok(())
+    })();
+    link.restarting.store(false, Ordering::SeqCst);
+    result
 }
 
 // ---------------------------------------------------------------------------
@@ -721,9 +1306,10 @@ impl RouterHandle {
         self.addr
     }
 
-    /// The address of each shard, in shard order.
+    /// The current address of each shard, in shard order (respawned
+    /// incarnations bind fresh ephemeral ports).
     pub fn shard_addrs(&self) -> Vec<SocketAddr> {
-        self.shared.links.iter().map(|l| l.addr).collect()
+        self.shared.links.iter().map(|l| l.addr()).collect()
     }
 
     /// Current counters.
@@ -745,17 +1331,50 @@ impl RouterHandle {
                 .iter()
                 .map(|l| l.alive.load(Ordering::SeqCst))
                 .collect(),
+            respawns_per_shard: self
+                .shared
+                .links
+                .iter()
+                .map(|l| l.respawns.load(Ordering::Relaxed))
+                .collect(),
+            shard_benched: self
+                .shared
+                .links
+                .iter()
+                .map(|l| l.benched.load(Ordering::SeqCst))
+                .collect(),
+        }
+    }
+
+    /// The router's own [`MetricsReport`] — the same payload a `metrics`
+    /// wire request answers, without a round-trip.
+    pub fn metrics(&self) -> MetricsReport {
+        match FrontHandler::metrics(&*self.shared) {
+            ResponseBody::Metrics(report) => report,
+            _ => unreachable!("router metrics always answers a metrics body"),
         }
     }
 
     /// Force-kills one **supervised** shard process — the
-    /// failure-injection hook behind the redispatch tests. No-op for
-    /// routers over external shard addresses.
-    pub fn kill_shard(&mut self, index: usize) -> std::io::Result<()> {
-        match self.supervised.as_mut() {
+    /// failure-injection hook behind the redispatch and chaos tests. The
+    /// supervisor will notice and respawn it (unless the breaker benches
+    /// the slot first). No-op for routers over external shard addresses.
+    pub fn kill_shard(&self, index: usize) -> std::io::Result<()> {
+        match self.shared.lock_shard_set().as_mut() {
             Some(set) => set.kill(index),
             None => Ok(()),
         }
+    }
+
+    /// Runs `f` against the supervised launch spec (`None` for routers
+    /// over external addresses) — the failure-injection hook behind the
+    /// breaker tests: point the binary at something that corrupts its
+    /// handshake and every respawn attempt fails.
+    pub fn with_shard_spec<R>(&self, f: impl FnOnce(&mut ShardSpec) -> R) -> Option<R> {
+        self.shared
+            .lock_shard_set()
+            .as_mut()
+            .map(|set| f(set.spec_mut()))
     }
 
     /// Blocks until a client sends a `shutdown` request (the serve
@@ -805,6 +1424,12 @@ impl RouterHandle {
     /// Sends every live shard a `shutdown`, joins all router threads and
     /// reaps supervised shard processes.
     fn finish(&mut self) -> RouterStats {
+        // The supervisor goes first (probe_stop is already set): a respawn
+        // racing the drain below could resurrect a shard after its
+        // shutdown frame was sent.
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
         while let Some(r) = self.shared.queue.try_pop() {
             let _ = r.reply.send(Response {
                 id: r.request.id,
@@ -825,16 +1450,24 @@ impl RouterHandle {
         // the router forever — after the grace period its channel is
         // force-closed so the join below always completes.
         let deadline = Instant::now() + Duration::from_secs(10);
-        while self.shard_readers.iter().any(|h| !h.is_finished()) && Instant::now() < deadline {
+        loop {
+            let pending = self
+                .shared
+                .lock_reader_handles()
+                .iter()
+                .any(|h| !h.is_finished());
+            if !pending || Instant::now() >= deadline {
+                break;
+            }
             std::thread::sleep(Duration::from_millis(5));
         }
         for shard in 0..self.shared.links.len() {
-            fail_shard(&self.shared, shard);
+            fail_shard_now(&self.shared, shard);
         }
-        for handle in std::mem::take(&mut self.shard_readers) {
+        for handle in std::mem::take(&mut *self.shared.lock_reader_handles()) {
             let _ = handle.join();
         }
-        if let Some(mut set) = self.supervised.take() {
+        if let Some(mut set) = self.shared.lock_shard_set().take() {
             let _ = set.wait_all(Duration::from_secs(30));
         }
         if let Some(handle) = self.prober.take() {

@@ -37,10 +37,12 @@
 //! so readers unblock, joins all threads and finally propagates the first
 //! dispatcher panic, if any — the [`ServicePool`] contract.
 
+use crate::error::ServeError;
 use crate::exec::{
     coalesce_key, run_evaluate, run_layout, run_optimize, run_sweep, wire_evaluation, wire_outcome,
 };
 use crate::front::{acceptor_loop, AdmittedRequest, FrontHandler, FrontState};
+use crate::stats::{KindLatencies, MetricsReport};
 use crate::wire::{ErrorCode, RequestBody, Response, ResponseBody};
 use camo_litho::ContextCache;
 use camo_runtime::{BoundedQueue, ServicePool};
@@ -89,6 +91,26 @@ impl Default for ServerConfig {
     }
 }
 
+impl ServerConfig {
+    /// Rejects configurations that cannot serve (zero capacities). A zero
+    /// `dispatchers` count is deliberately allowed — it is the documented
+    /// saturation-test hook.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        for (name, value) in [
+            ("threads", self.threads),
+            ("queue_depth", self.queue_depth),
+            ("max_connections", self.max_connections),
+            ("context_capacity", self.context_capacity),
+            ("coalesce_limit", self.coalesce_limit),
+        ] {
+            if value == 0 {
+                return Err(ServeError::Config(format!("{name} must be positive")));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Counters exposed for logging and the bench harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerStats {
@@ -107,6 +129,8 @@ struct Shared {
     contexts: ContextCache,
     front: FrontState,
     served: AtomicUsize,
+    in_flight: AtomicUsize,
+    latency: KindLatencies,
 }
 
 impl Shared {
@@ -128,6 +152,20 @@ impl FrontHandler for Shared {
     fn on_shutdown_request(&self) {
         self.request_shutdown();
     }
+
+    fn metrics(&self) -> ResponseBody {
+        ResponseBody::Metrics(MetricsReport {
+            role: "server".into(),
+            queue_depth: self.queue.len(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            completed: self.served.load(Ordering::Relaxed),
+            busy_rejected: self.front.rejected.load(Ordering::Relaxed),
+            redispatched: 0,
+            respawns: 0,
+            latency: self.latency.snapshot(),
+            shards: Vec::new(),
+        })
+    }
 }
 
 /// A running server; dropping it without [`Self::shutdown`] aborts less
@@ -139,8 +177,11 @@ pub struct ServerHandle {
     dispatchers: Option<ServicePool>,
 }
 
-/// Binds and starts a server; returns once the listener is live.
-pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+/// Binds and starts a server; returns once the listener is live. Fails
+/// typed — invalid configuration, bind failure, or a host too exhausted to
+/// spawn the acceptor thread — instead of panicking.
+pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServeError> {
+    config.validate()?;
     let listener = TcpListener::bind(config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -149,6 +190,8 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         contexts: ContextCache::new(config.context_capacity),
         front: FrontState::new(config.max_connections, config.retry_after_ms),
         served: AtomicUsize::new(0),
+        in_flight: AtomicUsize::new(0),
+        latency: KindLatencies::new(),
         config,
     });
 
@@ -170,7 +213,19 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         std::thread::Builder::new()
             .name("camo-serve-acceptor".into())
             .spawn(move || acceptor_loop(listener, &shared))
-            .expect("spawn acceptor")
+    };
+    let acceptor = match acceptor {
+        Ok(handle) => handle,
+        Err(source) => {
+            // Unwind what already started: close the queue so dispatcher
+            // jobs exit, then join them by dropping the pool.
+            shared.request_shutdown();
+            drop(dispatchers);
+            return Err(ServeError::Spawn {
+                what: "acceptor",
+                source,
+            });
+        }
     };
 
     Ok(ServerHandle {
@@ -283,14 +338,22 @@ fn dispatcher_loop(shared: &Shared) {
 /// execution is converted into per-request `internal` errors so one
 /// poisoned request cannot take the dispatcher down.
 fn execute_batch(shared: &Shared, batch: Vec<AdmittedRequest>) {
+    shared.in_flight.fetch_add(batch.len(), Ordering::Relaxed);
     let responses = catch_unwind(AssertUnwindSafe(|| run_batch(shared, &batch)));
+    shared.in_flight.fetch_sub(batch.len(), Ordering::Relaxed);
     match responses {
         Ok(per_request) => {
             for (q, responses) in batch.iter().zip(per_request) {
+                // Count and sample before the reply is handed to the writer:
+                // a client that has received its response must observe a
+                // `metrics` report that already includes it.
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .latency
+                    .record(q.request.body.kind(), q.admitted_at.elapsed());
                 for response in responses {
                     let _ = q.reply.send(response);
                 }
-                shared.served.fetch_add(1, Ordering::Relaxed);
             }
         }
         Err(payload) => {
@@ -397,7 +460,10 @@ fn run_batch(shared: &Shared, batch: &[AdmittedRequest]) -> Vec<Vec<Response>> {
                 },
             }]]
         }
-        RequestBody::Ping | RequestBody::Shutdown => {
+        RequestBody::Ping
+        | RequestBody::Metrics
+        | RequestBody::Restart { .. }
+        | RequestBody::Shutdown => {
             unreachable!("answered inline by the reader")
         }
     }

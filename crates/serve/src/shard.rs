@@ -14,16 +14,20 @@
 //!   written its ephemeral address (so the caller never races a
 //!   half-started backend);
 //! * [`ShardSet::kill`] force-kills one shard (the failure-injection hook
-//!   behind the router's redispatch tests), and [`ShardSet::wait_all`]
-//!   reaps every child after a graceful drain — escalating to a kill only
-//!   when a child outlives the timeout.
+//!   behind the router's redispatch and chaos tests);
+//! * [`ShardSet::respawn`] replaces one dead (or doomed) shard with a
+//!   fresh process launched from the stored spec — the router's supervisor
+//!   calls this when its prober declares a shard dead, and the rolling
+//!   `restart` admin request calls it per shard;
+//! * [`ShardSet::wait_all`] reaps every child after a graceful drain —
+//!   escalating to a kill only when a child outlives the timeout.
 //!
-//! Supervision is deliberately minimal: a dead shard is *not* respawned.
-//! The router routes around it (every fingerprint's preference order spans
-//! all shards), so capacity degrades but availability does not; operators
-//! restart the tier to restore capacity. Dropping a `ShardSet` kills any
-//! children still running, so an aborted router start cannot leak
-//! processes.
+//! While a shard is down the router routes around it (every fingerprint's
+//! preference order spans all shards), so capacity degrades but
+//! availability does not; supervised respawn (see [`crate::supervise`])
+//! then restores capacity without operator action. Dropping a `ShardSet`
+//! kills any children still running, so an aborted router start cannot
+//! leak processes.
 
 use std::io;
 use std::net::SocketAddr;
@@ -64,10 +68,12 @@ struct ShardProcess {
     port_file: PathBuf,
 }
 
-/// A set of spawned backend `serve` processes.
+/// A set of spawned backend `serve` processes, keeping the spec they were
+/// launched from so dead members can be respawned in place.
 #[derive(Debug)]
 pub struct ShardSet {
     shards: Vec<ShardProcess>,
+    spec: ShardSpec,
 }
 
 impl ShardSet {
@@ -88,27 +94,18 @@ impl ShardSet {
         static SPAWN_SERIAL: std::sync::atomic::AtomicUsize =
             std::sync::atomic::AtomicUsize::new(0);
         let serial = SPAWN_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let mut set = Self { shards: Vec::new() };
+        let mut set = Self {
+            shards: Vec::new(),
+            spec: spec.clone(),
+        };
         let base = std::env::temp_dir();
         for index in 0..count {
             let port_file = base.join(format!(
                 "camo-shard-{}-{serial}-{index}.port",
                 std::process::id()
             ));
-            // A stale file from a recycled pid would satisfy the discovery
-            // poll with the wrong address; remove it before spawning.
-            let _ = std::fs::remove_file(&port_file);
-            let child = Command::new(&spec.binary)
-                .arg("--port")
-                .arg("0")
-                .arg("--port-file")
-                .arg(&port_file)
-                .args(&spec.args)
-                .stdin(Stdio::null())
-                .stdout(Stdio::null())
-                .stderr(Stdio::inherit())
-                .spawn()?;
             // Killed on drop of `set` if discovery below fails.
+            let child = Self::launch(spec, &port_file)?;
             set.shards.push(ShardProcess {
                 child,
                 addr: "0.0.0.0:0".parse().expect("static addr"),
@@ -120,6 +117,24 @@ impl ShardSet {
             set.shards[index].addr = Self::discover(&mut set.shards[index], deadline)?;
         }
         Ok(set)
+    }
+
+    /// Starts one child of `spec`, reporting into `port_file`.
+    fn launch(spec: &ShardSpec, port_file: &PathBuf) -> io::Result<Child> {
+        // A stale file from a recycled pid (or a previous incarnation of
+        // this shard slot) would satisfy the discovery poll with the wrong
+        // address; remove it before spawning.
+        let _ = std::fs::remove_file(port_file);
+        Command::new(&spec.binary)
+            .arg("--port")
+            .arg("0")
+            .arg("--port-file")
+            .arg(port_file)
+            .args(&spec.args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
     }
 
     /// Polls one shard's port file until it holds a parseable address; a
@@ -180,6 +195,53 @@ impl ShardSet {
     /// True while the shard process has not been reaped as exited.
     pub fn is_running(&mut self, index: usize) -> io::Result<bool> {
         Ok(self.shards[index].child.try_wait()?.is_none())
+    }
+
+    /// Replaces shard `index` with a fresh process launched from the stored
+    /// spec, returning the new incarnation's bound address.
+    ///
+    /// The old child is killed (if still running) and reaped first, so the
+    /// slot never holds two live processes. On failure — spawn error,
+    /// discovery timeout, or a corrupt port file — the half-started child
+    /// stays in the slot: the next `respawn` call (or `Drop`) kills it, so
+    /// a failed respawn still cannot leak processes.
+    pub fn respawn(&mut self, index: usize) -> io::Result<SocketAddr> {
+        let spec = self.spec.clone();
+        let shard = &mut self.shards[index];
+        if shard.child.try_wait()?.is_none() {
+            let _ = shard.child.kill();
+        }
+        let _ = shard.child.wait();
+        shard.child = Self::launch(&spec, &shard.port_file)?;
+        let deadline = Instant::now() + spec.spawn_timeout;
+        shard.addr = Self::discover(shard, deadline)?;
+        Ok(shard.addr)
+    }
+
+    /// Waits up to `timeout` for shard `index` to exit *on its own* (the
+    /// graceful half of a rolling restart: the caller has already sent the
+    /// shard a `shutdown` request). Returns whether the shard exited; a
+    /// shard that outlives the timeout is left running for the caller to
+    /// escalate (typically via [`ShardSet::respawn`], which kills it).
+    pub fn wait_one(&mut self, index: usize, timeout: Duration) -> io::Result<bool> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.shards[index].child.try_wait()?.is_some() {
+                return Ok(true);
+            }
+            if Instant::now() >= deadline {
+                return Ok(false);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Mutable access to the stored launch spec — the failure-injection
+    /// hook behind the breaker tests (point `binary` at something that
+    /// corrupts its port file and every respawn attempt fails) and an ops
+    /// hook for retuning shard flags before a rolling restart.
+    pub fn spec_mut(&mut self) -> &mut ShardSpec {
+        &mut self.spec
     }
 
     /// Waits for every shard to exit on its own (the graceful path: the

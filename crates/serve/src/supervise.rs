@@ -1,0 +1,238 @@
+//! Shard supervision policy: respawn backoff and flap detection.
+//!
+//! The router's supervisor (see [`crate::router`]) respawns dead shards.
+//! Two pure, independently testable pieces govern *when* it gives up
+//! waiting and *whether* it keeps trying at all:
+//!
+//! * [`Backoff`] — the classic capped exponential schedule. Attempt `n`
+//!   waits `min(initial * 2^n, cap)`; arithmetic saturates, so absurd
+//!   attempt counts cannot overflow into a zero delay.
+//! * [`FlapBreaker`] — a sliding-window circuit breaker. Every failure
+//!   (a shard death *or* a failed respawn attempt) is recorded with its
+//!   timestamp; once `threshold` failures land inside `window`, the
+//!   breaker trips and stays tripped until explicitly reset (a `restart`
+//!   admin request resets it). A tripped breaker **benches** the shard:
+//!   the tier routes around it and stops burning CPU on a crash loop.
+//!
+//! Neither type spawns threads or reads clocks — callers pass `Instant`s
+//! in, which is what makes the schedule property-testable.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Capped exponential backoff: attempt `n` (0-based) waits
+/// `min(initial * 2^n, cap)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    initial: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// A schedule starting at `initial` and never exceeding
+    /// `max(initial, cap)`.
+    pub fn new(initial: Duration, cap: Duration) -> Self {
+        Self {
+            initial,
+            cap: cap.max(initial),
+        }
+    }
+
+    /// The delay before attempt `attempt` (0-based). Monotone
+    /// non-decreasing in `attempt` and capped; saturates instead of
+    /// overflowing.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.initial.saturating_mul(factor).min(self.cap)
+    }
+}
+
+/// Sliding-window flap detection: trips after `threshold` failures inside
+/// `window`, then latches until [`FlapBreaker::reset`].
+#[derive(Debug, Clone)]
+pub struct FlapBreaker {
+    window: Duration,
+    threshold: usize,
+    failures: VecDeque<Instant>,
+    tripped: bool,
+}
+
+impl FlapBreaker {
+    /// A breaker that trips on `threshold` failures within `window`.
+    /// `threshold` is clamped to ≥ 1 (a zero threshold would trip before
+    /// any failure, which no caller means).
+    pub fn new(window: Duration, threshold: usize) -> Self {
+        Self {
+            window,
+            threshold: threshold.max(1),
+            failures: VecDeque::new(),
+            tripped: false,
+        }
+    }
+
+    /// Records a failure observed at `now`; returns the breaker state
+    /// after the failure. Out-of-window history is pruned first, so only
+    /// a genuine burst trips it.
+    pub fn record(&mut self, now: Instant) -> bool {
+        while let Some(&oldest) = self.failures.front() {
+            if now.saturating_duration_since(oldest) > self.window {
+                self.failures.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.failures.push_back(now);
+        if self.failures.len() >= self.threshold {
+            self.tripped = true;
+        }
+        self.tripped
+    }
+
+    /// Whether the breaker has tripped (latched until [`Self::reset`]).
+    pub fn is_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Clears the failure history and un-trips the breaker.
+    pub fn reset(&mut self) {
+        self.failures.clear();
+        self.tripped = false;
+    }
+}
+
+/// The knobs of supervised respawn, carried by
+/// [`crate::router::RouterConfig`] and settable from `serve` CLI flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RespawnPolicy {
+    /// First respawn delay after a death.
+    pub initial_backoff: Duration,
+    /// Ceiling of the backoff schedule.
+    pub max_backoff: Duration,
+    /// Flap-detection window.
+    pub breaker_window: Duration,
+    /// Failures within [`Self::breaker_window`] that bench the shard.
+    pub breaker_failures: usize,
+}
+
+impl Default for RespawnPolicy {
+    fn default() -> Self {
+        Self {
+            initial_backoff: Duration::from_millis(200),
+            max_backoff: Duration::from_secs(10),
+            breaker_window: Duration::from_secs(30),
+            breaker_failures: 5,
+        }
+    }
+}
+
+impl RespawnPolicy {
+    /// The backoff schedule this policy describes.
+    pub fn backoff(&self) -> Backoff {
+        Backoff::new(self.initial_backoff, self.max_backoff)
+    }
+
+    /// A fresh breaker under this policy.
+    pub fn breaker(&self) -> FlapBreaker {
+        FlapBreaker::new(self.breaker_window, self.breaker_failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_monotone_and_capped() {
+        // Property sweep over a grid of schedules and a long attempt run:
+        // the schedule never decreases, never exceeds the cap, and starts
+        // exactly at `initial`.
+        for initial_ms in [1u64, 7, 50, 200, 1000] {
+            for cap_ms in [1u64, 100, 1500, 60_000] {
+                let b = Backoff::new(
+                    Duration::from_millis(initial_ms),
+                    Duration::from_millis(cap_ms),
+                );
+                let cap = Duration::from_millis(cap_ms.max(initial_ms));
+                assert_eq!(b.delay(0), Duration::from_millis(initial_ms));
+                let mut prev = Duration::ZERO;
+                for attempt in 0..200 {
+                    let d = b.delay(attempt);
+                    assert!(d >= prev, "schedule decreased at attempt {attempt}");
+                    assert!(d <= cap, "attempt {attempt} exceeded the cap: {d:?}");
+                    prev = d;
+                }
+                assert_eq!(b.delay(199), cap, "the schedule must reach its cap");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_below_the_cap() {
+        let b = Backoff::new(Duration::from_millis(100), Duration::from_secs(10));
+        for attempt in 0..6u32 {
+            assert_eq!(
+                b.delay(attempt),
+                Duration::from_millis(100 << attempt),
+                "attempt {attempt}"
+            );
+        }
+        assert_eq!(b.delay(32), Duration::from_secs(10), "huge attempts cap");
+        assert_eq!(b.delay(u32::MAX), Duration::from_secs(10), "no overflow");
+    }
+
+    #[test]
+    fn breaker_trips_after_k_failures_in_window() {
+        let start = Instant::now();
+        let mut b = FlapBreaker::new(Duration::from_secs(10), 3);
+        assert!(!b.record(start));
+        assert!(!b.record(start + Duration::from_secs(1)));
+        assert!(!b.is_tripped());
+        assert!(b.record(start + Duration::from_secs(2)), "third in window");
+        assert!(b.is_tripped());
+        // Latched: even a failure far outside the window keeps it tripped.
+        assert!(b.record(start + Duration::from_secs(500)));
+    }
+
+    #[test]
+    fn slow_failures_never_trip_the_breaker() {
+        let start = Instant::now();
+        let mut b = FlapBreaker::new(Duration::from_secs(5), 3);
+        for i in 0..50u64 {
+            assert!(
+                !b.record(start + Duration::from_secs(10 * i)),
+                "failure {i} is alone in its window"
+            );
+        }
+        assert!(!b.is_tripped());
+    }
+
+    #[test]
+    fn breaker_prunes_only_out_of_window_history() {
+        let start = Instant::now();
+        let mut b = FlapBreaker::new(Duration::from_secs(10), 3);
+        assert!(!b.record(start));
+        // 11 s later the first failure has aged out; the next two
+        // failures are a fresh pair, not a trio.
+        assert!(!b.record(start + Duration::from_secs(11)));
+        assert!(!b.record(start + Duration::from_secs(12)));
+        assert!(b.record(start + Duration::from_secs(13)), "trio in window");
+    }
+
+    #[test]
+    fn breaker_reset_unlatches() {
+        let start = Instant::now();
+        let mut b = FlapBreaker::new(Duration::from_secs(10), 2);
+        b.record(start);
+        assert!(b.record(start));
+        b.reset();
+        assert!(!b.is_tripped());
+        assert!(!b.record(start + Duration::from_secs(1)), "history cleared");
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let mut b = FlapBreaker::new(Duration::from_secs(1), 0);
+        assert!(!b.is_tripped(), "no failure yet, nothing to trip on");
+        assert!(b.record(Instant::now()), "first failure trips at once");
+    }
+}

@@ -22,6 +22,7 @@
 //! [`WireError`]s, never panics — property-tested against mutated and
 //! random frames in `tests/wire_properties.rs`.
 
+use crate::stats::{KindLatency, LatencySnapshot, MetricsReport, ShardStatus};
 use camo_geometry::{Clip, Coord, Point, Polygon, Rect};
 use camo_litho::LithoConfig;
 use camo_workloads::LayoutParams;
@@ -988,6 +989,18 @@ pub enum RequestBody {
         /// Tile core size, nm.
         tile_nm: Coord,
     },
+    /// Observability probe: answered inline with a [`MetricsReport`],
+    /// never queued.
+    Metrics,
+    /// Admin request: rolling-restart the shard tier (or one shard).
+    /// Answered inline by a router once the restart completes; a plain
+    /// server rejects it (there is nothing to restart without losing the
+    /// connection the request arrived on).
+    Restart {
+        /// Restart only this shard index; `None` restarts the whole tier
+        /// one shard at a time.
+        shard: Option<usize>,
+    },
     /// Ask the server to drain and exit.
     Shutdown,
 }
@@ -1001,6 +1014,8 @@ impl RequestBody {
             Self::Evaluate { .. } => "evaluate",
             Self::Sweep { .. } => "sweep",
             Self::Layout { .. } => "layout",
+            Self::Metrics => "metrics",
+            Self::Restart { .. } => "restart",
             Self::Shutdown => "shutdown",
         }
     }
@@ -1024,7 +1039,12 @@ pub fn encode_request_parts(id: u64, body: &RequestBody) -> Result<String, WireE
         ("type", Value::Str(body.kind().to_string())),
     ];
     match body {
-        RequestBody::Ping | RequestBody::Shutdown => {}
+        RequestBody::Ping | RequestBody::Metrics | RequestBody::Shutdown => {}
+        RequestBody::Restart { shard } => {
+            if let Some(index) = shard {
+                fields.push(("shard", Value::Int(*index as i64)));
+            }
+        }
         RequestBody::Optimize { job, clip } => {
             fields.push(("job", job.to_value()?));
             fields.push(("clip", clip_to_value(clip)));
@@ -1086,6 +1106,13 @@ pub fn decode_request(frame: &str) -> Result<Request, WireError> {
     let kind = as_str(view.take("type")?, "request.type")?.to_string();
     let body = match kind.as_str() {
         "ping" => RequestBody::Ping,
+        "metrics" => RequestBody::Metrics,
+        "restart" => RequestBody::Restart {
+            shard: match view.take_opt("shard")? {
+                Some(v) => Some(as_usize(v, "restart.shard")?),
+                None => None,
+            },
+        },
         "shutdown" => RequestBody::Shutdown,
         "optimize" => RequestBody::Optimize {
             job: JobSpec::from_value(view.take("job")?)?,
@@ -1237,6 +1264,14 @@ pub enum ResponseBody {
         /// Exact layout PV-band area, nm².
         pv_band: f64,
     },
+    /// Result of a metrics request: the process's observable state.
+    Metrics(MetricsReport),
+    /// A rolling restart completed; lists the shard indices restarted, in
+    /// restart order.
+    Restarted {
+        /// Shard indices that were drained and respawned.
+        shards: Vec<usize>,
+    },
     /// Backpressure: the request queue is full; retry after the hint.
     Busy {
         /// Suggested client back-off, milliseconds.
@@ -1263,6 +1298,8 @@ impl ResponseBody {
             Self::CaseOutcome { .. } => "case",
             Self::Evaluation { .. } => "evaluation",
             Self::LayoutReport { .. } => "layout",
+            Self::Metrics(_) => "metrics",
+            Self::Restarted { .. } => "restarted",
             Self::Busy { .. } => "busy",
             Self::Error { .. } => "error",
             Self::ShuttingDown => "shutting_down",
@@ -1283,6 +1320,126 @@ fn outcome_from_view(view: &mut ObjView<'_>) -> Result<WireOutcome, WireError> {
         epe_per_point: f64_vec(view.take("epe")?, "outcome.epe")?,
         pv_band: as_f64(view.take("pv_band")?, "outcome.pv_band")?,
         steps: as_usize(view.take("steps")?, "outcome.steps")?,
+    })
+}
+
+fn kind_latency_to_value(k: &KindLatency) -> Result<Value, WireError> {
+    let buckets = k
+        .latency
+        .buckets
+        .iter()
+        .map(|&b| u64_value(b))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(obj(vec![
+        ("kind", Value::Str(k.kind.clone())),
+        ("count", u64_value(k.latency.count)?),
+        ("p50_us", u64_value(k.latency.p50_us)?),
+        ("p99_us", u64_value(k.latency.p99_us)?),
+        ("max_us", u64_value(k.latency.max_us)?),
+        ("buckets", Value::Arr(buckets)),
+    ]))
+}
+
+fn kind_latency_from_value(value: &Value) -> Result<KindLatency, WireError> {
+    let mut view = ObjView::new(value, "latency")?;
+    let kind = as_str(view.take("kind")?, "latency.kind")?.to_string();
+    let count = as_u64(view.take("count")?, "latency.count")?;
+    let p50_us = as_u64(view.take("p50_us")?, "latency.p50_us")?;
+    let p99_us = as_u64(view.take("p99_us")?, "latency.p99_us")?;
+    let max_us = as_u64(view.take("max_us")?, "latency.max_us")?;
+    let buckets = as_arr(view.take("buckets")?, "latency.buckets")?
+        .iter()
+        .map(|v| as_u64(v, "latency.buckets[..]"))
+        .collect::<Result<Vec<_>, _>>()?;
+    view.finish()?;
+    Ok(KindLatency {
+        kind,
+        latency: LatencySnapshot {
+            count,
+            p50_us,
+            p99_us,
+            max_us,
+            buckets,
+        },
+    })
+}
+
+fn shard_status_to_value(s: &ShardStatus) -> Value {
+    obj(vec![
+        ("index", Value::Int(s.index as i64)),
+        ("alive", Value::Bool(s.alive)),
+        ("benched", Value::Bool(s.benched)),
+        ("forwarded", Value::Int(s.forwarded as i64)),
+        ("respawns", Value::Int(s.respawns as i64)),
+        ("queue_depth", Value::Int(s.queue_depth as i64)),
+        ("in_flight", Value::Int(s.in_flight as i64)),
+        ("completed", Value::Int(s.completed as i64)),
+        ("busy_rejected", Value::Int(s.busy_rejected as i64)),
+    ])
+}
+
+fn shard_status_from_value(value: &Value) -> Result<ShardStatus, WireError> {
+    let mut view = ObjView::new(value, "shard status")?;
+    let status = ShardStatus {
+        index: as_usize(view.take("index")?, "shard.index")?,
+        alive: as_bool(view.take("alive")?, "shard.alive")?,
+        benched: as_bool(view.take("benched")?, "shard.benched")?,
+        forwarded: as_usize(view.take("forwarded")?, "shard.forwarded")?,
+        respawns: as_usize(view.take("respawns")?, "shard.respawns")?,
+        queue_depth: as_usize(view.take("queue_depth")?, "shard.queue_depth")?,
+        in_flight: as_usize(view.take("in_flight")?, "shard.in_flight")?,
+        completed: as_usize(view.take("completed")?, "shard.completed")?,
+        busy_rejected: as_usize(view.take("busy_rejected")?, "shard.busy_rejected")?,
+    };
+    view.finish()?;
+    Ok(status)
+}
+
+fn metrics_fields(
+    report: &MetricsReport,
+    fields: &mut Vec<(&'static str, Value)>,
+) -> Result<(), WireError> {
+    fields.push(("role", Value::Str(report.role.clone())));
+    fields.push(("queue_depth", Value::Int(report.queue_depth as i64)));
+    fields.push(("in_flight", Value::Int(report.in_flight as i64)));
+    fields.push(("completed", Value::Int(report.completed as i64)));
+    fields.push(("busy_rejected", Value::Int(report.busy_rejected as i64)));
+    fields.push(("redispatched", Value::Int(report.redispatched as i64)));
+    fields.push(("respawns", Value::Int(report.respawns as i64)));
+    fields.push((
+        "latency",
+        Value::Arr(
+            report
+                .latency
+                .iter()
+                .map(kind_latency_to_value)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+    ));
+    fields.push((
+        "shards",
+        Value::Arr(report.shards.iter().map(shard_status_to_value).collect()),
+    ));
+    Ok(())
+}
+
+fn metrics_from_view(view: &mut ObjView<'_>) -> Result<MetricsReport, WireError> {
+    Ok(MetricsReport {
+        role: as_str(view.take("role")?, "metrics.role")?.to_string(),
+        queue_depth: as_usize(view.take("queue_depth")?, "metrics.queue_depth")?,
+        in_flight: as_usize(view.take("in_flight")?, "metrics.in_flight")?,
+        completed: as_usize(view.take("completed")?, "metrics.completed")?,
+        busy_rejected: as_usize(view.take("busy_rejected")?, "metrics.busy_rejected")?,
+        redispatched: as_usize(view.take("redispatched")?, "metrics.redispatched")?,
+        respawns: as_usize(view.take("respawns")?, "metrics.respawns")?,
+        latency: as_arr(view.take("latency")?, "metrics.latency")?
+            .iter()
+            .map(kind_latency_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+        shards: as_arr(view.take("shards")?, "metrics.shards")?
+            .iter()
+            .map(shard_status_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
     })
 }
 
@@ -1323,6 +1480,11 @@ pub fn encode_response(response: &Response) -> Result<String, WireError> {
             fields.push(("tiles", Value::Int(*tiles as i64)));
             fields.push(("epe", float_arr(epe_per_point)));
             fields.push(("pv_band", Value::Float(*pv_band)));
+        }
+        ResponseBody::Metrics(report) => metrics_fields(report, &mut fields)?,
+        ResponseBody::Restarted { shards } => {
+            let indices: Vec<i64> = shards.iter().map(|&s| s as i64).collect();
+            fields.push(("shards", int_arr(&indices)));
         }
         ResponseBody::Busy { retry_after_ms } => {
             fields.push(("retry_after_ms", u64_value(*retry_after_ms)?));
@@ -1365,6 +1527,13 @@ pub fn decode_response(frame: &str) -> Result<Response, WireError> {
             tiles: as_usize(view.take("tiles")?, "layout.tiles")?,
             epe_per_point: f64_vec(view.take("epe")?, "layout.epe")?,
             pv_band: as_f64(view.take("pv_band")?, "layout.pv_band")?,
+        },
+        "metrics" => ResponseBody::Metrics(metrics_from_view(&mut view)?),
+        "restarted" => ResponseBody::Restarted {
+            shards: as_arr(view.take("shards")?, "restarted.shards")?
+                .iter()
+                .map(|v| as_usize(v, "restarted.shards[..]"))
+                .collect::<Result<Vec<_>, _>>()?,
         },
         "busy" => ResponseBody::Busy {
             retry_after_ms: as_u64(view.take("retry_after_ms")?, "busy.retry_after_ms")?,
@@ -1544,6 +1713,101 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn metrics_and_restart_round_trip() {
+        let requests = vec![
+            RequestBody::Metrics,
+            RequestBody::Restart { shard: None },
+            RequestBody::Restart { shard: Some(1) },
+        ];
+        for (i, body) in requests.into_iter().enumerate() {
+            let request = Request { id: i as u64, body };
+            let frame = encode_request(&request).unwrap();
+            assert_eq!(decode_request(&frame).unwrap(), request, "frame: {frame}");
+        }
+
+        let report = MetricsReport {
+            role: "router".into(),
+            queue_depth: 3,
+            in_flight: 2,
+            completed: 940,
+            busy_rejected: 7,
+            redispatched: 4,
+            respawns: 2,
+            latency: vec![KindLatency {
+                kind: "optimize".into(),
+                latency: LatencySnapshot {
+                    count: 940,
+                    p50_us: 1023,
+                    p99_us: 8191,
+                    max_us: 7311,
+                    buckets: vec![0, 0, 1, 930, 9],
+                },
+            }],
+            shards: vec![
+                ShardStatus {
+                    index: 0,
+                    alive: true,
+                    benched: false,
+                    forwarded: 500,
+                    respawns: 2,
+                    queue_depth: 1,
+                    in_flight: 1,
+                    completed: 498,
+                    busy_rejected: 3,
+                },
+                ShardStatus {
+                    index: 1,
+                    alive: false,
+                    benched: true,
+                    forwarded: 440,
+                    respawns: 5,
+                    queue_depth: 0,
+                    in_flight: 0,
+                    completed: 440,
+                    busy_rejected: 0,
+                },
+            ],
+        };
+        let responses = vec![
+            ResponseBody::Metrics(report),
+            ResponseBody::Metrics(MetricsReport {
+                role: "server".into(),
+                queue_depth: 0,
+                in_flight: 0,
+                completed: 0,
+                busy_rejected: 0,
+                redispatched: 0,
+                respawns: 0,
+                latency: vec![],
+                shards: vec![],
+            }),
+            ResponseBody::Restarted { shards: vec![0, 1] },
+            ResponseBody::Restarted { shards: vec![] },
+        ];
+        for (i, body) in responses.into_iter().enumerate() {
+            let response = Response { id: i as u64, body };
+            let frame = encode_response(&response).unwrap();
+            assert_eq!(decode_response(&frame).unwrap(), response, "frame: {frame}");
+        }
+    }
+
+    #[test]
+    fn malformed_metrics_fields_are_typed_errors() {
+        // A negative gauge and an unknown latency field must both be
+        // schema errors, not panics or silent acceptance.
+        let err = decode_response(
+            r#"{"id":1,"type":"metrics","role":"server","queue_depth":-1,"in_flight":0,"completed":0,"busy_rejected":0,"redispatched":0,"respawns":0,"latency":[],"shards":[]}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, WireError::Schema(_)), "{err:?}");
+        let err = decode_response(
+            r#"{"id":1,"type":"metrics","role":"server","queue_depth":0,"in_flight":0,"completed":0,"busy_rejected":0,"redispatched":0,"respawns":0,"latency":[{"kind":"optimize","count":1,"p50_us":1,"p99_us":1,"max_us":1,"buckets":[1],"surprise":0}],"shards":[]}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, WireError::Schema(_)), "{err:?}");
     }
 
     #[test]

@@ -359,3 +359,54 @@ fn client_shutdown_request_drains_and_closes() {
     let stats = handle.shutdown();
     assert!(stats.served >= 1);
 }
+
+/// The `metrics` request reports a plain server's own state: role,
+/// completed/latency evidence for work it served, no shard rows — and is
+/// answered inline even though it never touches the request queue.
+#[test]
+fn metrics_request_reports_server_state() {
+    let handle = serve(ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let job = job(1);
+    let ids: Vec<u64> = (0..3)
+        .map(|i| {
+            client
+                .send(RequestBody::Optimize {
+                    job: job.clone(),
+                    clip: test_clip(i),
+                })
+                .unwrap()
+        })
+        .collect();
+    let results = collect_responses(&mut client, &ids).expect("responses");
+    assert!(results
+        .values()
+        .all(|c| matches!(c, Completed::Single(ResponseBody::Outcome(_)))));
+
+    let metrics_id = client.send(RequestBody::Metrics).unwrap();
+    let report = loop {
+        let response = client.recv().expect("stream").expect("open");
+        if response.id == metrics_id {
+            match response.body {
+                ResponseBody::Metrics(report) => break report,
+                other => panic!("unexpected metrics reply: {other:?}"),
+            }
+        }
+    };
+    assert_eq!(report.role, "server");
+    assert!(report.completed >= 3, "{report:?}");
+    assert_eq!(report.in_flight, 0, "{report:?}");
+    assert!(report.shards.is_empty(), "a server has no shard rows");
+    assert_eq!(report.respawns, 0);
+    let optimize = report
+        .latency
+        .iter()
+        .find(|k| k.kind == "optimize")
+        .expect("optimize latency row");
+    assert!(optimize.latency.count >= 3, "{optimize:?}");
+    assert!(
+        optimize.latency.p50_us <= optimize.latency.p99_us,
+        "{optimize:?}"
+    );
+    handle.shutdown();
+}

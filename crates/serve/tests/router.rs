@@ -15,6 +15,7 @@ use camo_serve::client::{collect_responses, Client, Completed};
 use camo_serve::exec::{evaluate_mask, run_layout, run_optimize, run_sweep};
 use camo_serve::router::{route, route_spawned, shard_preference, RouterConfig};
 use camo_serve::shard::{ShardSet, ShardSpec};
+use camo_serve::supervise::RespawnPolicy;
 use camo_serve::wire::{
     EngineKind, JobSpec, Layer, LithoSpec, RequestBody, ResponseBody, WireOutcome,
 };
@@ -189,10 +190,20 @@ fn routed_results_are_bit_identical_to_offline_runs() {
 
 /// Killing a shard mid-stream redispatches its in-flight requests to the
 /// surviving shard, and every response — pre- and post-kill — stays
-/// bit-identical to the offline run.
+/// bit-identical to the offline run. A breaker threshold of 1 benches the
+/// shard on its first death, so redispatch (not supervised respawn) is the
+/// mechanism under test and the end-state assertions stay deterministic;
+/// the chaos suite covers the respawn path.
 #[test]
 fn killing_a_shard_mid_stream_stays_bit_identical() {
-    let mut handle = route_spawned(RouterConfig::default(), spawn_shards(2)).expect("start router");
+    let config = RouterConfig {
+        respawn: RespawnPolicy {
+            breaker_failures: 1,
+            ..RespawnPolicy::default()
+        },
+        ..RouterConfig::default()
+    };
+    let handle = route_spawned(config, spawn_shards(2)).expect("start router");
     let mut client = Client::connect(handle.addr()).expect("connect");
 
     // Everything under one configuration lands on one shard (affinity), so
@@ -241,7 +252,15 @@ fn killing_a_shard_mid_stream_stays_bit_identical() {
     let stats = handle.shutdown();
     assert!(
         !stats.shard_alive[doomed],
-        "the killed shard must be marked dead"
+        "the killed shard must stay dead (benched on first death)"
+    );
+    assert!(
+        stats.shard_benched[doomed],
+        "a 1-failure breaker benches the shard immediately"
+    );
+    assert_eq!(
+        stats.respawns_per_shard[doomed], 0,
+        "a benched shard is never respawned"
     );
     assert!(
         stats.redispatched > 0,
