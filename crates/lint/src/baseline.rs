@@ -1,0 +1,96 @@
+//! The checked-in baseline (`lint-baseline.txt`): pre-existing findings
+//! recorded as visible debt. `camo-lint --deny-new` fails only on
+//! findings *not* in the baseline, so new violations cannot land while
+//! old ones stay diffable in review instead of silently allowlisted.
+//!
+//! Keys are content-addressed — `rule`, `path`, the trimmed source line,
+//! and an occurrence index among identical lines — so pure line-number
+//! drift (code moving up or down a file) does not invalidate entries.
+
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// One baseline entry (also the dedup key for findings).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Key {
+    /// Rule identifier.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Occurrence index among findings in the file sharing rule+line text.
+    pub occurrence: usize,
+    /// The trimmed text of the offending source line.
+    pub line_text: String,
+}
+
+/// Assigns every finding its content-addressed key.
+pub fn keys_for(findings: &[Finding]) -> Vec<Key> {
+    let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    findings
+        .iter()
+        .map(|f| {
+            let slot = counts
+                .entry((f.rule.to_string(), f.path.clone(), f.line_text.clone()))
+                .or_insert(0);
+            let occurrence = *slot;
+            *slot += 1;
+            Key {
+                rule: f.rule.to_string(),
+                path: f.path.clone(),
+                occurrence,
+                line_text: f.line_text.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Parses a baseline file; lines are `rule<TAB>path<TAB>occ<TAB>text`.
+pub fn parse(text: &str) -> Result<Vec<Key>, String> {
+    let mut keys = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() || raw.starts_with('#') {
+            continue;
+        }
+        let mut parts = raw.splitn(4, '\t');
+        let (rule, path, occ, line_text) = (
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+            parts.next().unwrap_or(""),
+        );
+        let occurrence: usize = occ
+            .parse()
+            .map_err(|_| format!("lint-baseline.txt:{}: malformed entry: {raw}", n + 1))?;
+        if rule.is_empty() || path.is_empty() {
+            return Err(format!(
+                "lint-baseline.txt:{}: malformed entry: {raw}",
+                n + 1
+            ));
+        }
+        keys.push(Key {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            occurrence,
+            line_text: line_text.to_string(),
+        });
+    }
+    Ok(keys)
+}
+
+/// Renders keys back into the baseline file format.
+pub fn render(keys: &[Key]) -> String {
+    let mut out = String::from(
+        "# camo-lint baseline: pre-existing findings tolerated by --deny-new.\n\
+         # One entry per line: rule<TAB>path<TAB>occurrence<TAB>trimmed source line.\n\
+         # Regenerate with `camo-lint --write-baseline`; shrink it by fixing debt.\n",
+    );
+    let mut sorted = keys.to_vec();
+    sorted.sort();
+    for k in &sorted {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\n",
+            k.rule, k.path, k.occurrence, k.line_text
+        ));
+    }
+    out
+}

@@ -1,0 +1,92 @@
+//! The checked-in lint configuration (`camo-lint.toml`): a line-based
+//! format (not actual TOML — the container has no TOML parser and the
+//! grammar here is three directives) holding path skips and per-rule,
+//! per-path allowlists.
+//!
+//! ```text
+//! # comment
+//! skip <path-prefix>            — exclude the subtree from every rule
+//! allow <rule> <path-prefix>    — exclude the subtree from one rule
+//! scope <rule> <path-prefix>    — add a subtree to a scoped rule's paths
+//! ```
+//!
+//! Allowlists answer "this code is exempt on purpose, forever" (e.g. the
+//! supervision tier may read wall clocks); the baseline answers "this is
+//! pre-existing debt we can see" — see [`crate::baseline`].
+
+/// Parsed lint configuration.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Path prefixes excluded from every rule.
+    pub skips: Vec<String>,
+    /// `(rule, path-prefix)` pairs excluded from one rule.
+    pub allows: Vec<(String, String)>,
+    /// `(rule, path-prefix)` pairs *added* to a scoped rule's coverage.
+    pub scopes: Vec<(String, String)>,
+}
+
+impl Config {
+    /// Parses the configuration text; unknown directives are errors so a
+    /// typo cannot silently disable an allowlist.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut config = Config::default();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let directive = parts.next().unwrap_or("");
+            let rest: Vec<&str> = parts.collect();
+            match (directive, rest.as_slice()) {
+                ("skip", [path]) => config.skips.push(normalize(path)),
+                ("allow", [rule, path]) => {
+                    config.allows.push((rule.to_string(), normalize(path)));
+                }
+                ("scope", [rule, path]) => {
+                    config.scopes.push((rule.to_string(), normalize(path)));
+                }
+                _ => {
+                    return Err(format!(
+                        "camo-lint.toml:{}: unrecognized directive: {raw}",
+                        n + 1
+                    ))
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// True when `rel` is excluded from every rule.
+    pub fn skipped(&self, rel: &str) -> bool {
+        self.skips.iter().any(|p| starts_with_path(rel, p))
+    }
+
+    /// True when `rel` is allowlisted for `rule`.
+    pub fn allowed(&self, rule: &str, rel: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|(r, p)| r == rule && starts_with_path(rel, p))
+    }
+
+    /// Extra path prefixes the config adds to `rule`'s scope.
+    pub fn extra_scope<'a>(&'a self, rule: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.scopes
+            .iter()
+            .filter(move |(r, _)| r == rule)
+            .map(|(_, p)| p.as_str())
+    }
+}
+
+fn normalize(path: &str) -> String {
+    path.trim_matches('/').to_string()
+}
+
+/// Prefix match on whole path segments (`crates/li` must not match
+/// `crates/litho`).
+pub fn starts_with_path(rel: &str, prefix: &str) -> bool {
+    rel == prefix
+        || rel
+            .strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with('/'))
+}

@@ -1,0 +1,186 @@
+//! The per-file analysis unit handed to every rule: the token stream,
+//! raw lines, and which token ranges are test-only code.
+
+use crate::lexer::{lex, TokKind, Token};
+
+/// One lexed source file plus the derived facts rules share.
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// The token stream (see [`crate::lexer`]).
+    pub tokens: Vec<Token>,
+    /// Raw source lines (for baseline keys and diagnostics).
+    pub lines: Vec<String>,
+    /// Token-index ranges lexically inside `#[cfg(test)]` items.
+    test_ranges: Vec<(usize, usize)>,
+    /// Whole file is test/bench/example code by its path alone.
+    all_test: bool,
+}
+
+impl SourceFile {
+    /// Lexes `source` (at workspace-relative path `rel`) and derives the
+    /// test spans.
+    pub fn new(rel: &str, source: &str) -> Self {
+        let tokens = lex(source);
+        let test_ranges = find_test_ranges(&tokens);
+        let all_test = rel
+            .split('/')
+            .any(|seg| seg == "tests" || seg == "benches" || seg == "examples" || seg == "fuzz");
+        Self {
+            rel: rel.to_string(),
+            tokens,
+            lines: source.lines().map(str::to_string).collect(),
+            test_ranges,
+            all_test,
+        }
+    }
+
+    /// True when token `idx` is inside test-only code (a `#[cfg(test)]`
+    /// item, or any file under `tests/`, `benches/` or `examples/`).
+    pub fn is_test(&self, idx: usize) -> bool {
+        self.all_test
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(lo, hi)| idx >= lo && idx <= hi)
+    }
+
+    /// The trimmed text of source line `line` (1-based), or `""`.
+    pub fn line_text(&self, line: usize) -> &str {
+        self.lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim())
+            .unwrap_or("")
+    }
+
+    /// True when a comment containing `marker` sits on the same line as
+    /// token `idx` or on one of the two lines above it. This is how the
+    /// justification annotations (`relaxed-ok:`, `panic-ok:`, `SAFETY:`,
+    /// `lock-ok:`, `io-ok:`) attach to the code they bless.
+    pub fn justified(&self, idx: usize, marker: &str) -> bool {
+        let line = self.tokens[idx].line;
+        self.tokens.iter().any(|t| {
+            t.is_comment() && t.line + 2 >= line && t.line <= line && t.text.contains(marker)
+        })
+    }
+
+    /// Index of the next non-comment token at or after `idx`.
+    pub fn skip_comments(&self, mut idx: usize) -> usize {
+        while idx < self.tokens.len() && self.tokens[idx].is_comment() {
+            idx += 1;
+        }
+        idx
+    }
+
+    /// The previous non-comment token before `idx`, if any.
+    pub fn prev_code(&self, idx: usize) -> Option<&Token> {
+        self.tokens[..idx].iter().rev().find(|t| !t.is_comment())
+    }
+}
+
+/// Finds token ranges covered by `#[cfg(test)]` items: the attribute, any
+/// further attributes, an optional visibility, then a `mod`/`fn`/`impl`
+/// whose body braces delimit the range.
+fn find_test_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            if let Some((lo, hi)) = item_body_range(tokens, i) {
+                ranges.push((lo, hi));
+                i = hi + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// True when tokens at `i` spell `#[cfg(test)]` (comments ignored would be
+/// pathological inside an attribute; exact adjacency is required).
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let expect: [&dyn Fn(&Token) -> bool; 7] = [
+        &|t| t.is_punct('#'),
+        &|t| t.is_punct('['),
+        &|t| t.is_ident("cfg"),
+        &|t| t.is_punct('('),
+        &|t| t.is_ident("test"),
+        &|t| t.is_punct(')'),
+        &|t| t.is_punct(']'),
+    ];
+    expect
+        .iter()
+        .enumerate()
+        .all(|(k, check)| tokens.get(i + k).is_some_and(check))
+}
+
+/// From the start of a `#[cfg(test)]` attribute, finds the brace-delimited
+/// body of the item it decorates and returns the covered token range.
+fn item_body_range(tokens: &[Token], attr_start: usize) -> Option<(usize, usize)> {
+    let mut i = attr_start + 7;
+    // Skip any further attributes.
+    loop {
+        let at = next_code(tokens, i)?;
+        if tokens[at].is_punct('#') && tokens.get(at + 1).is_some_and(|t| t.is_punct('[')) {
+            let mut depth = 0usize;
+            i = at + 1;
+            loop {
+                let t = tokens.get(i)?;
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            i += 1;
+        } else {
+            i = at;
+            break;
+        }
+    }
+    // Find the opening brace of the item body (stopping at `;` for items
+    // without one, e.g. `#[cfg(test)] use …;`).
+    let mut open = None;
+    let mut j = i;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('{') {
+            open = Some(j);
+            break;
+        }
+        if t.is_punct(';') {
+            return Some((attr_start, j));
+        }
+        j += 1;
+    }
+    let open = open?;
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((attr_start, k));
+            }
+        }
+    }
+    Some((attr_start, tokens.len() - 1))
+}
+
+fn next_code(tokens: &[Token], mut i: usize) -> Option<usize> {
+    while tokens.get(i)?.is_comment() {
+        i += 1;
+    }
+    Some(i)
+}
+
+/// Convenience used by several rules: true when the token is an ident and
+/// its text equals any of `names`.
+pub fn ident_in(tok: &Token, names: &[&str]) -> bool {
+    tok.kind == TokKind::Ident && names.contains(&tok.text.as_str())
+}

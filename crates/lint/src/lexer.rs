@@ -1,0 +1,336 @@
+//! A minimal hand-rolled Rust lexer — just enough fidelity that the rule
+//! engine never mistakes the inside of a comment, string, raw string or
+//! char literal for code (the hard 10% of lexing Rust), without pulling a
+//! real parser into an offline container that has no crates.io.
+//!
+//! The token stream is lossy on purpose: numbers are one opaque token,
+//! every punctuation byte is its own token, and no attempt is made to
+//! glue multi-byte operators together. The rules only ever look for
+//! identifier/punctuation sequences and comment text, so this is exactly
+//! the level of detail they need — and nothing the lexer cannot classify
+//! will ever silently disappear (unknown bytes still become tokens).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `Mutex`, …).
+    Ident,
+    /// A numeric literal (opaque; exact value is irrelevant to every rule).
+    Number,
+    /// A single punctuation byte (`.`, `:`, `{`, `!`, …).
+    Punct,
+    /// A `"…"` or `b"…"` string literal (text excludes the quotes).
+    Str,
+    /// A raw string literal `r"…"` / `r#"…"#` / `br##"…"##` (text excludes
+    /// the delimiters).
+    RawStr,
+    /// A character or byte literal `'a'`, `b'\n'`, `'\u{1F600}'`.
+    CharLit,
+    /// A lifetime such as `'a` or `'static` (text excludes the quote).
+    Lifetime,
+    /// A `// …` comment, including doc comments (text includes the `//`).
+    LineComment,
+    /// A `/* … */` comment, nesting handled (text includes delimiters).
+    BlockComment,
+}
+
+/// One lexed token with its 1-based starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokKind,
+    /// The token's text (see [`TokKind`] for what each kind includes).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: usize,
+}
+
+impl Token {
+    /// True for comment tokens of either flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True when this is punctuation matching `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+
+    /// True when this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+/// Lexes `source` into a token stream. Never fails: unterminated literals
+/// simply extend to end-of-file, and unclassifiable bytes become
+/// single-byte [`TokKind::Punct`] tokens.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                while let Some(n) = cur.peek(0) {
+                    if n == b'\n' {
+                        break;
+                    }
+                    cur.bump();
+                }
+                push(&mut out, TokKind::LineComment, &cur, start, line);
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                push(&mut out, TokKind::BlockComment, &cur, start, line);
+            }
+            b'"' => {
+                lex_string(&mut cur);
+                push_span(&mut out, TokKind::Str, &cur, start + 1, line, 1);
+            }
+            b'\'' => lex_quote(&mut cur, &mut out, start, line),
+            _ if is_ident_start(b) => {
+                // `r"`/`r#"`/`b"`/`br#"` prefixes hand over to the string
+                // lexers; `r#ident` is a raw identifier, not a raw string.
+                if let Some(tok) = lex_maybe_prefixed_string(&mut cur, start, line) {
+                    out.push(tok);
+                    continue;
+                }
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                push(&mut out, TokKind::Ident, &cur, start, line);
+            }
+            _ if b.is_ascii_digit() => {
+                while let Some(n) = cur.peek(0) {
+                    if is_ident_continue(n) {
+                        cur.bump();
+                    } else if n == b'.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                        // `1.5` continues the number; `1..n` does not.
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                push(&mut out, TokKind::Number, &cur, start, line);
+            }
+            _ => {
+                cur.bump();
+                push(&mut out, TokKind::Punct, &cur, start, line);
+            }
+        }
+    }
+    out
+}
+
+fn push(out: &mut Vec<Token>, kind: TokKind, cur: &Cursor<'_>, start: usize, line: usize) {
+    push_span(out, kind, cur, start, line, 0);
+}
+
+/// Pushes the token spanning `start..cur.pos`, trimming `trim` bytes off
+/// both ends (used to strip quote delimiters from string-ish literals).
+fn push_span(
+    out: &mut Vec<Token>,
+    kind: TokKind,
+    cur: &Cursor<'_>,
+    start: usize,
+    line: usize,
+    trim: usize,
+) {
+    let end = cur.pos.saturating_sub(trim).max(start);
+    let text = String::from_utf8_lossy(&cur.bytes[start..end]).into_owned();
+    out.push(Token { kind, text, line });
+}
+
+/// Consumes a `"…"` body (opening quote included), honoring `\` escapes.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(n) = cur.bump() {
+        match n {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguates `'` between char literals and lifetimes.
+///
+/// After the quote: `\` always means a char literal; an ident-start byte
+/// is a char literal only when the very next character closes the quote
+/// (`'a'`), otherwise it is a lifetime (`'a`, `'static`); anything else
+/// (including multi-byte UTF-8) is a char literal.
+fn lex_quote(cur: &mut Cursor<'_>, out: &mut Vec<Token>, start: usize, line: usize) {
+    cur.bump(); // the quote
+    match cur.peek(0) {
+        Some(b'\\') => {
+            cur.bump();
+            cur.bump(); // the escaped byte ('\u{..}' keeps reading below)
+            while let Some(n) = cur.bump() {
+                if n == b'\'' {
+                    break;
+                }
+            }
+            push_span(out, TokKind::CharLit, cur, start + 1, line, 1);
+        }
+        Some(n) if is_ident_start(n) => {
+            // Find where the ident run ends; a quote right after exactly
+            // one character means a char literal, anything else a lifetime.
+            let mut len = 0;
+            while cur.peek(len).is_some_and(is_ident_continue) {
+                len += 1;
+            }
+            if cur.peek(len) == Some(b'\'') {
+                for _ in 0..=len {
+                    cur.bump();
+                }
+                push_span(out, TokKind::CharLit, cur, start + 1, line, 1);
+            } else {
+                for _ in 0..len {
+                    cur.bump();
+                }
+                push_span(out, TokKind::Lifetime, cur, start + 1, line, 0);
+            }
+        }
+        Some(_) => {
+            // Punctuation or multi-byte char literal: read to closing quote.
+            while let Some(n) = cur.bump() {
+                if n == b'\'' {
+                    break;
+                }
+            }
+            push_span(out, TokKind::CharLit, cur, start + 1, line, 1);
+        }
+        None => out.push(Token {
+            kind: TokKind::Punct,
+            text: "'".into(),
+            line,
+        }),
+    }
+}
+
+/// Handles `r`/`b`/`br` prefixes that introduce string literals. Returns
+/// `None` when the prefix turns out to be a plain identifier (including
+/// raw identifiers like `r#match`), leaving the cursor untouched.
+fn lex_maybe_prefixed_string(cur: &mut Cursor<'_>, start: usize, line: usize) -> Option<Token> {
+    let b0 = cur.peek(0)?;
+    let (raw, prefix_len) = match (b0, cur.peek(1)) {
+        (b'r', _) => (true, 1),
+        (b'b', Some(b'r')) => (true, 2),
+        (b'b', Some(b'"')) => (false, 1),
+        (b'b', Some(b'\'')) => {
+            // Byte char literal b'x': delegate to the quote lexer from the
+            // quote's own position.
+            cur.bump();
+            let mut tmp = Vec::new();
+            let quote_at = cur.pos;
+            lex_quote(cur, &mut tmp, quote_at, line);
+            return tmp.pop();
+        }
+        _ => return None,
+    };
+    if !raw {
+        // b"…": a plain string with a byte prefix.
+        cur.bump();
+        lex_string(cur);
+        let end = cur.pos.saturating_sub(1).max(start + 2);
+        return Some(Token {
+            kind: TokKind::Str,
+            text: String::from_utf8_lossy(&cur.bytes[start + 2..end]).into_owned(),
+            line,
+        });
+    }
+    // Count hashes after the r/br prefix; a quote must follow for this to
+    // be a raw string (otherwise it's `r#ident` or the ident `r`).
+    let mut hashes = 0;
+    while cur.peek(prefix_len + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    if cur.peek(prefix_len + hashes) != Some(b'"') {
+        return None;
+    }
+    for _ in 0..prefix_len + hashes + 1 {
+        cur.bump();
+    }
+    let body_start = cur.pos;
+    let mut body_end = cur.pos;
+    'scan: while let Some(n) = cur.bump() {
+        if n == b'"' {
+            // Close only on a quote followed by exactly `hashes` hashes.
+            for h in 0..hashes {
+                if cur.peek(h) != Some(b'#') {
+                    continue 'scan;
+                }
+            }
+            body_end = cur.pos - 1;
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+    Some(Token {
+        kind: TokKind::RawStr,
+        text: String::from_utf8_lossy(&cur.bytes[body_start..body_end]).into_owned(),
+        line,
+    })
+}

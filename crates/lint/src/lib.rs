@@ -1,0 +1,185 @@
+//! `camo-lint` — the workspace's own static-analysis pass.
+//!
+//! CI's e2e bit-identity tests catch determinism violations *after* they
+//! ship; this crate catches the way they get introduced. A minimal
+//! hand-rolled Rust [`lexer`] (comments, raw strings, char literals — the
+//! part naive grep gets wrong) feeds a [`rules`] engine with per-rule,
+//! per-path allowlists ([`config`]) and a checked-in baseline
+//! ([`baseline`]) so pre-existing violations are visible debt, not
+//! silence.
+//!
+//! The rules, each documented in `docs/ANALYSIS.md`:
+//!
+//! | rule          | contract it enforces |
+//! |---------------|----------------------|
+//! | `determinism` | no wall clock / ambient entropy in result-producing crates |
+//! | `panics`      | no `unwrap`/`expect`/`panic!` in serve/runtime non-test code |
+//! | `locks`       | declared global lock hierarchy; no descending acquisition; no IO under guard |
+//! | `atomics`     | `Ordering::Relaxed` justified outside `stats.rs` |
+//! | `unsafety`    | every `unsafe` carries a `// SAFETY:` comment |
+//! | `drift`       | wire kinds ⊆ WIRE_PROTOCOL.md, CLI flags ⊆ README/docs |
+
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod file;
+pub mod lexer;
+pub mod rules;
+
+use config::Config;
+use file::SourceFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Trimmed text of the offending line (the baseline key content).
+    pub line_text: String,
+    /// Human-readable explanation with the fix or annotation to apply.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Everything the engine loaded from one workspace tree.
+pub struct Workspace {
+    /// Lexed Rust sources, config skips already applied.
+    pub files: Vec<SourceFile>,
+    /// `(rel-path, content)` for README.md and everything under `docs/`.
+    pub docs: Vec<(String, String)>,
+    /// The parsed `camo-lint.toml` (default when absent).
+    pub config: Config,
+}
+
+/// Loads a workspace rooted at `root`: every `*.rs` under it (skipping
+/// `target`, hidden directories and configured skips) plus the docs the
+/// drift rule reads.
+pub fn load(root: &Path) -> Result<Workspace, String> {
+    let config = match fs::read_to_string(root.join("camo-lint.toml")) {
+        Ok(text) => Config::parse(&text)?,
+        Err(_) => Config::default(),
+    };
+    let mut rs_paths = Vec::new();
+    let mut doc_paths = vec![root.join("README.md")];
+    walk(root, root, &mut rs_paths, &mut doc_paths)?;
+    rs_paths.sort();
+    doc_paths.sort();
+    doc_paths.dedup();
+
+    let mut files = Vec::new();
+    for path in rs_paths {
+        let rel = relative(root, &path);
+        if config.skipped(&rel) {
+            continue;
+        }
+        let source = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        files.push(SourceFile::new(&rel, &source));
+    }
+    let mut docs = Vec::new();
+    for path in doc_paths {
+        if let Ok(content) = fs::read_to_string(&path) {
+            docs.push((relative(root, &path), content));
+        }
+    }
+    Ok(Workspace {
+        files,
+        docs,
+        config,
+    })
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    rs: &mut Vec<PathBuf>,
+    docs: &mut Vec<PathBuf>,
+) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("cannot read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, rs, docs)?;
+        } else if name.ends_with(".rs") {
+            rs.push(path);
+        } else if name.ends_with(".md") && relative(root, &path).starts_with("docs/") {
+            docs.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Runs every rule over a loaded workspace; findings are sorted by path,
+/// line, then rule.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut registry = rules::locks::Registry::default();
+    for file in &ws.files {
+        if !ws.config.allowed("locks", &file.rel) {
+            rules::locks::declare(file, &mut registry, &mut findings);
+        }
+    }
+    for file in &ws.files {
+        for (rule, check) in RULES {
+            if ws.config.allowed(rule, &file.rel) {
+                continue;
+            }
+            check(file, &ws.config, &mut findings);
+        }
+        rules::locks::check(file, &registry, &ws.config, &mut findings);
+    }
+    rules::drift::check(&ws.files, &ws.docs, &mut findings);
+    findings.retain(|f| !ws.config.allowed(f.rule, &f.path));
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule)
+            .partial_cmp(&(&b.path, b.line, b.rule))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    findings
+}
+
+type RuleFn = fn(&SourceFile, &Config, &mut Vec<Finding>);
+
+/// The per-file token-scan rules (locks and drift run separately: one
+/// needs a global registry, the other the docs).
+const RULES: &[(&str, RuleFn)] = &[
+    ("determinism", rules::determinism),
+    ("panics", rules::panics),
+    ("atomics", rules::atomics),
+    ("unsafety", rules::unsafety),
+];
+
+/// Convenience for tests: load + run from a root directory.
+pub fn run_root(root: &Path) -> Result<Vec<Finding>, String> {
+    Ok(run(&load(root)?))
+}

@@ -1,0 +1,119 @@
+//! The `camo-lint` binary: runs the workspace static-analysis pass and
+//! gates CI on new findings.
+//!
+//! ```text
+//! camo-lint                      # print every finding (baseline marked)
+//! camo-lint --deny-new           # exit 1 on findings not in the baseline
+//! camo-lint --write-baseline     # rewrite lint-baseline.txt from scratch
+//! camo-lint --root DIR           # lint a different tree (default: cwd)
+//! camo-lint --baseline FILE      # non-default baseline path
+//! ```
+
+use camo_lint::{baseline, load, run};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut baseline_path = None;
+    let mut deny_new = false;
+    let mut write_baseline = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                root = PathBuf::from(args.get(i).map(String::as_str).unwrap_or("."));
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = args.get(i).map(PathBuf::from);
+            }
+            "--deny-new" => deny_new = true,
+            "--write-baseline" => write_baseline = true,
+            other => {
+                eprintln!("camo-lint: unknown argument {other}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let ws = match load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("camo-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = run(&ws);
+    let keys = baseline::keys_for(&findings);
+
+    if write_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, baseline::render(&keys)) {
+            eprintln!("camo-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "camo-lint: wrote {} entries to {}",
+            keys.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let known = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(keys) => keys,
+            Err(e) => {
+                eprintln!("camo-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+
+    let mut new = 0usize;
+    let mut baselined = 0usize;
+    let mut used = vec![false; known.len()];
+    for (finding, key) in findings.iter().zip(&keys) {
+        let slot = known
+            .iter()
+            .enumerate()
+            .position(|(k, b)| !used[k] && *b == *key);
+        match slot {
+            Some(k) => {
+                used[k] = true;
+                baselined += 1;
+                if !deny_new {
+                    println!("{finding} [baseline]");
+                }
+            }
+            None => {
+                new += 1;
+                println!("{finding}");
+            }
+        }
+    }
+    for (k, stale) in known.iter().enumerate() {
+        if !used[k] {
+            eprintln!(
+                "camo-lint: stale baseline entry (debt paid — remove the line): \
+                 {} {} #{} `{}`",
+                stale.rule, stale.path, stale.occurrence, stale.line_text
+            );
+        }
+    }
+    eprintln!(
+        "camo-lint: {} finding(s) — {new} new, {baselined} baselined, over {} files",
+        findings.len(),
+        ws.files.len()
+    );
+    if deny_new && new > 0 {
+        eprintln!("camo-lint: --deny-new: failing on {new} new finding(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

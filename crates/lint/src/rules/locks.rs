@@ -1,0 +1,418 @@
+//! Rule `locks`: a workspace-global lock hierarchy, declared at the field
+//! and checked at every acquisition site.
+//!
+//! * Every `Mutex`/`RwLock` **field or static** declares its level with a
+//!   `// lock-order: N` comment on the same or previous line. Levels are
+//!   global: lower numbers are acquired first (outer), higher later
+//!   (inner). Two declarations reusing one field name with different
+//!   levels is itself a finding — the registry is keyed by field name, so
+//!   names must mean one level workspace-wide.
+//! * Inside one function body, acquiring ordered guards in **descending**
+//!   level order is a finding (`// lock-ok:` justifies, e.g. when the
+//!   earlier guard provably dropped first).
+//! * A `let` guard binding that is still live (no `drop(guard)`, block
+//!   not closed) when a `write_all`/`flush` happens is flagged as lock
+//!   held across IO (`// io-ok:` justifies a writer mutex whose entire
+//!   point is serializing socket writes).
+
+use crate::config::Config;
+use crate::file::SourceFile;
+use crate::lexer::{TokKind, Token};
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// One declared lock field.
+#[derive(Debug, Clone)]
+pub struct Declared {
+    /// Hierarchy level from the `// lock-order: N` annotation.
+    pub level: u32,
+    /// File that declared it (for conflict diagnostics).
+    pub path: String,
+    /// Line of the declaration.
+    pub line: usize,
+}
+
+/// Registry of lock fields collected across the whole workspace.
+#[derive(Debug, Default)]
+pub struct Registry {
+    fields: BTreeMap<String, Declared>,
+}
+
+/// Pass 1: find `name: Mutex<…>` / `name: RwLock<…>` declarations, demand
+/// the `lock-order` annotation, and populate the registry.
+pub fn declare(file: &SourceFile, registry: &mut Registry, out: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if !is_lock_type(&toks[i]) {
+            continue;
+        }
+        // Require `… < ` after and `name :` (with optional path segments
+        // between) before, and reject reference types (`&Mutex<…>` is a
+        // borrowed parameter, not a declaration site).
+        let Some(next) = toks.get(file.skip_comments(i + 1)) else {
+            continue;
+        };
+        if !next.is_punct('<') {
+            continue;
+        }
+        let Some(name_idx) = declared_field_name(file, i) else {
+            continue;
+        };
+        let name = toks[name_idx].text.clone();
+        let line = toks[name_idx].line;
+        let Some(level) = lock_order_annotation(file, line) else {
+            out.push(Finding {
+                rule: "locks",
+                path: file.rel.clone(),
+                line,
+                line_text: file.line_text(line).to_string(),
+                message: format!(
+                    "lock field `{name}` has no `// lock-order: N` annotation; every \
+                     Mutex/RwLock declares its place in the global hierarchy"
+                ),
+            });
+            continue;
+        };
+        match registry.fields.get(&name) {
+            Some(existing) if existing.level != level => {
+                out.push(Finding {
+                    rule: "locks",
+                    path: file.rel.clone(),
+                    line,
+                    line_text: file.line_text(line).to_string(),
+                    message: format!(
+                        "lock field `{name}` declared with lock-order {level} here but \
+                         {} at {}:{}; the hierarchy is keyed by field name, so rename \
+                         the field or align the levels",
+                        existing.level, existing.path, existing.line
+                    ),
+                });
+            }
+            Some(_) => {}
+            None => {
+                registry.fields.insert(
+                    name,
+                    Declared {
+                        level,
+                        path: file.rel.clone(),
+                        line,
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Pass 2: walk every function body checking acquisition order and the
+/// held-across-IO heuristic.
+pub fn check(file: &SourceFile, registry: &Registry, config: &Config, out: &mut Vec<Finding>) {
+    if config.allowed("locks", &file.rel) {
+        return;
+    }
+    for (body_start, body_end) in fn_bodies(file) {
+        check_body(file, registry, body_start, body_end, out);
+    }
+}
+
+fn is_lock_type(tok: &Token) -> bool {
+    tok.is_ident("Mutex") || tok.is_ident("RwLock")
+}
+
+/// For a `Mutex`/`RwLock` ident at `i`, walks back across `::`-separated
+/// path segments to the `:` of a field declaration and returns the index
+/// of the field name. `None` when the shape is not `name: [path::]Lock<`.
+fn declared_field_name(file: &SourceFile, i: usize) -> Option<usize> {
+    let toks = &file.tokens;
+    let mut j = i;
+    // Walk back over `seg ::` pairs.
+    loop {
+        let prev = prev_code_idx(file, j)?;
+        if toks[prev].is_punct(':') {
+            let prev2 = prev_code_idx(file, prev)?;
+            if toks[prev2].is_punct(':') {
+                // `::` — skip the preceding path segment ident.
+                let seg = prev_code_idx(file, prev2)?;
+                if toks[seg].kind != TokKind::Ident {
+                    return None;
+                }
+                j = seg;
+                continue;
+            }
+            // Single `:` — the field-name separator.
+            let name = prev_code_idx(file, prev)?;
+            if toks[name].kind != TokKind::Ident {
+                return None;
+            }
+            // Reject fn parameters: parameter lists put `(` or `,`+`(`
+            // shapes before the name with types like `&Mutex<…>`; a `&`
+            // anywhere between `:` and the lock type already bailed (the
+            // walk above only crosses idents and `::`). Remaining
+            // ambiguity (a `name: Mutex<…>` parameter by value) is rare
+            // and harmless to annotate.
+            return Some(name);
+        }
+        return None;
+    }
+}
+
+/// The `N` of a `// lock-order: N` comment trailing `line`, or standing
+/// alone on the line above. A trailing comment annotates only its own
+/// line — otherwise two annotated fields on consecutive lines would leak
+/// the first field's level onto the second.
+fn lock_order_annotation(file: &SourceFile, line: usize) -> Option<u32> {
+    let parse = |t: &Token| {
+        let rest = t.text.split("lock-order:").nth(1)?;
+        rest.split_whitespace().next()?.parse().ok()
+    };
+    let mut above = None;
+    for t in file.tokens.iter().filter(|t| t.is_comment()) {
+        if t.line == line {
+            if let Some(level) = parse(t) {
+                return Some(level);
+            }
+        } else if t.line + 1 == line && !has_code_on(file, t.line) {
+            above = parse(t).or(above);
+        }
+    }
+    above
+}
+
+/// True when any non-comment token sits on line `l`.
+fn has_code_on(file: &SourceFile, l: usize) -> bool {
+    file.tokens.iter().any(|t| !t.is_comment() && t.line == l)
+}
+
+/// Token-index ranges of `fn` bodies (the braces included).
+fn fn_bodies(file: &SourceFile) -> Vec<(usize, usize)> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        // Find the body `{` at paren depth 0, stopping at `;` (trait
+        // method declarations have no body).
+        let mut j = i + 1;
+        let mut paren = 0i32;
+        let mut open = None;
+        while let Some(t) = toks.get(j) {
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if paren == 0 && t.is_punct('{') {
+                open = Some(j);
+                break;
+            } else if paren == 0 && t.is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut end = toks.len() - 1;
+        for (k, t) in toks.iter().enumerate().skip(open) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    end = k;
+                    break;
+                }
+            }
+        }
+        out.push((open, end));
+        // Nested fns/closures are scanned as part of this body; that is
+        // conservative in the right direction for ordering.
+        i = end + 1;
+    }
+    out
+}
+
+/// One acquisition of a registered lock within a body.
+struct Acquisition {
+    name: String,
+    level: u32,
+    token: usize,
+    line: usize,
+    /// Name of the `let` binding holding the guard, when there is one.
+    binding: Option<String>,
+}
+
+fn check_body(
+    file: &SourceFile,
+    registry: &Registry,
+    start: usize,
+    end: usize,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.tokens;
+    let mut acquisitions: Vec<Acquisition> = Vec::new();
+    let mut i = start;
+    while i <= end {
+        let tok = &toks[i];
+        if tok.is_comment() {
+            i += 1;
+            continue;
+        }
+        // Match `.field.lock(` / `.field.read(` / `.field.write(`.
+        if tok.is_punct('.') {
+            if let Some(acq) = match_acquisition(file, i, registry) {
+                // Descending order against the previous acquisition in
+                // this body is a hierarchy violation.
+                if let Some(prev) = acquisitions.last() {
+                    if acq.level < prev.level && !file.justified(acq.token, "lock-ok:") {
+                        out.push(Finding {
+                            rule: "locks",
+                            path: file.rel.clone(),
+                            line: acq.line,
+                            line_text: file.line_text(acq.line).to_string(),
+                            message: format!(
+                                "`{}` (lock-order {}) acquired after `{}` (lock-order {}, \
+                                 line {}): descending acquisition invites deadlock; \
+                                 acquire in ascending order or justify with `// lock-ok:`",
+                                acq.name, acq.level, prev.name, prev.level, prev.line
+                            ),
+                        });
+                    }
+                }
+                acquisitions.push(acq);
+            }
+        }
+        i += 1;
+    }
+    check_io_under_guard(file, start, end, &acquisitions, out);
+}
+
+/// At a `.` token, recognizes `.name.lock()`/`.read()`/`.write()` for a
+/// registered lock field and captures the `let` binding name if the
+/// statement is `let [mut] g = …`.
+fn match_acquisition(file: &SourceFile, dot: usize, registry: &Registry) -> Option<Acquisition> {
+    let toks = &file.tokens;
+    let name_idx = file.skip_comments(dot + 1);
+    let name_tok = toks.get(name_idx)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let declared = registry.fields.get(&name_tok.text)?;
+    let dot2 = file.skip_comments(name_idx + 1);
+    if !toks.get(dot2)?.is_punct('.') {
+        return None;
+    }
+    let method_idx = file.skip_comments(dot2 + 1);
+    let method = toks.get(method_idx)?;
+    if !(method.is_ident("lock") || method.is_ident("read") || method.is_ident("write")) {
+        return None;
+    }
+    if !toks.get(file.skip_comments(method_idx + 1))?.is_punct('(') {
+        return None;
+    }
+    Some(Acquisition {
+        name: name_tok.text.clone(),
+        level: declared.level,
+        token: name_idx,
+        line: name_tok.line,
+        binding: binding_for(file, dot),
+    })
+}
+
+/// Walks back from an acquisition to the start of its statement; returns
+/// the bound name for `let [mut] g = …` statements.
+fn binding_for(file: &SourceFile, from: usize) -> Option<String> {
+    let toks = &file.tokens;
+    let mut i = from;
+    // Statement start: the token after the previous `;`, `{` or `}`.
+    while i > 0 {
+        let p = &toks[i - 1];
+        if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+            break;
+        }
+        i -= 1;
+    }
+    let mut j = file.skip_comments(i);
+    if !toks.get(j)?.is_ident("let") {
+        return None;
+    }
+    j = file.skip_comments(j + 1);
+    if toks.get(j)?.is_ident("mut") {
+        j = file.skip_comments(j + 1);
+    }
+    let name = toks.get(j)?;
+    if name.kind != TokKind::Ident {
+        return None;
+    }
+    Some(name.text.clone())
+}
+
+/// IO calls that put a syscall under any still-held guard binding.
+const IO_CALLS: &[&str] = &["write_all", "flush"];
+
+/// Flags `let guard = ….lock()` bindings still live when a `write_all` /
+/// `flush` call happens in the same block.
+fn check_io_under_guard(
+    file: &SourceFile,
+    _start: usize,
+    end: usize,
+    acquisitions: &[Acquisition],
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.tokens;
+    for acq in acquisitions {
+        let Some(binding) = &acq.binding else {
+            continue;
+        };
+        if file.justified(acq.token, "io-ok:") {
+            continue;
+        }
+        // Scan forward from the acquisition to the end of its enclosing
+        // block (depth would go negative), an explicit `drop(binding)`,
+        // or the body end.
+        let mut depth = 0i32;
+        let mut i = acq.token;
+        while i <= end {
+            let t = &toks[i];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            } else if t.is_ident("drop")
+                && toks
+                    .get(file.skip_comments(i + 1))
+                    .is_some_and(|n| n.is_punct('('))
+                && toks
+                    .get(file.skip_comments(file.skip_comments(i + 1) + 1))
+                    .is_some_and(|n| n.is_ident(binding))
+            {
+                break;
+            } else if t.kind == TokKind::Ident && IO_CALLS.contains(&t.text.as_str()) {
+                out.push(Finding {
+                    rule: "locks",
+                    path: file.rel.clone(),
+                    line: t.line,
+                    line_text: file.line_text(t.line).to_string(),
+                    message: format!(
+                        "`{}` while guard `{binding}` (lock `{}`, line {}) is still \
+                         held: socket IO under a lock stalls every other waiter; drop \
+                         the guard first or justify with `// io-ok:`",
+                        t.text, acq.name, acq.line
+                    ),
+                });
+                break;
+            }
+            i += 1;
+        }
+    }
+}
+
+fn prev_code_idx(file: &SourceFile, idx: usize) -> Option<usize> {
+    (0..idx).rev().find(|&k| !file.tokens[k].is_comment())
+}

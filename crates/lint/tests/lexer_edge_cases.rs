@@ -1,0 +1,129 @@
+//! Edge cases for the hand-rolled lexer: exactly the constructs a naive
+//! grep-based linter misclassifies (comment markers inside strings, raw
+//! strings, nested block comments, char-vs-lifetime quotes).
+
+use camo_lint::lexer::{lex, TokKind};
+
+fn kinds(src: &str) -> Vec<TokKind> {
+    lex(src).into_iter().map(|t| t.kind).collect()
+}
+
+fn texts_of(src: &str, kind: TokKind) -> Vec<String> {
+    lex(src)
+        .into_iter()
+        .filter(|t| t.kind == kind)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn raw_string_with_hashes_swallows_quotes_and_comment_markers() {
+    let src = r####"let s = r##"quote " hash "# and // no comment"##;"####;
+    let toks = lex(src);
+    assert_eq!(
+        texts_of(src, TokKind::RawStr),
+        vec![r##"quote " hash "# and // no comment"##.to_string()]
+    );
+    assert!(
+        toks.iter().all(|t| !t.is_comment()),
+        "comment markers inside a raw string must not produce comment tokens"
+    );
+    // The trailing `;` after the closing delimiter is still seen as code.
+    assert!(toks.last().unwrap().is_punct(';'));
+}
+
+#[test]
+fn byte_raw_strings_and_byte_strings_are_string_tokens() {
+    assert_eq!(
+        texts_of(r###"let a = br#"x"#;"###, TokKind::RawStr),
+        vec!["x".to_string()]
+    );
+    assert_eq!(
+        texts_of(r#"let b = b"bytes";"#, TokKind::Str),
+        vec!["bytes".to_string()]
+    );
+}
+
+#[test]
+fn nested_block_comments_stay_one_comment() {
+    let src = "/* outer /* inner // deep */ tail */ fn after() {}";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokKind::BlockComment);
+    assert!(toks[0].text.contains("inner"));
+    assert!(toks[0].text.ends_with("*/"));
+    // Only the *balanced* close ends the comment: `fn` is real code.
+    assert!(toks[1].is_ident("fn"));
+}
+
+#[test]
+fn char_literal_versus_lifetime() {
+    let src = "let c = 'a'; fn f<'a>(x: &'a str, y: &'static str) -> char { '\\n' }";
+    assert_eq!(
+        texts_of(src, TokKind::CharLit),
+        vec!["a".to_string(), "\\n".to_string()]
+    );
+    assert_eq!(
+        texts_of(src, TokKind::Lifetime),
+        vec!["a".to_string(), "a".to_string(), "static".to_string()]
+    );
+}
+
+#[test]
+fn comment_markers_inside_plain_strings_are_not_comments() {
+    let src = "let s = \"// not a comment\"; // but this is";
+    let toks = lex(src);
+    assert_eq!(
+        texts_of(src, TokKind::Str),
+        vec!["// not a comment".to_string()]
+    );
+    let comments: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.is_comment())
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(comments, vec!["// but this is"]);
+}
+
+#[test]
+fn escaped_quote_does_not_end_a_string() {
+    let src = r#"let s = "a\"b // still string"; let t = 1;"#;
+    assert_eq!(
+        texts_of(src, TokKind::Str),
+        vec![r#"a\"b // still string"#.to_string()]
+    );
+}
+
+#[test]
+fn lines_advance_through_multiline_raw_strings() {
+    let src = "let s = r#\"one\ntwo\nthree\"#;\nfn f() {}";
+    let toks = lex(src);
+    let fn_tok = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+    assert_eq!(fn_tok.line, 4);
+    let raw = toks.iter().find(|t| t.kind == TokKind::RawStr).unwrap();
+    assert_eq!(raw.line, 1, "a token starts on its opening line");
+}
+
+#[test]
+fn unterminated_literals_extend_to_eof_without_panicking() {
+    for src in ["let s = \"never closed", "let c = '", "/* never closed"] {
+        let toks = lex(src);
+        assert!(!toks.is_empty(), "{src:?} must still lex");
+    }
+}
+
+#[test]
+fn raw_identifiers_are_idents_not_strings() {
+    let src = "let r#match = 1; let r = 2; let b = 3;";
+    assert!(texts_of(src, TokKind::RawStr).is_empty());
+    assert!(texts_of(src, TokKind::Str).is_empty());
+    assert_eq!(kinds("r"), vec![TokKind::Ident]);
+}
+
+#[test]
+fn byte_char_literal_is_a_char_token() {
+    let src = "let nl = b'\\n'; let q = b'q';";
+    assert_eq!(
+        texts_of(src, TokKind::CharLit),
+        vec!["\\n".to_string(), "q".to_string()]
+    );
+}

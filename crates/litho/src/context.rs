@@ -56,7 +56,7 @@ impl LithoContext {
                 .expect("taps just populated");
             known_blurs.push((blur.to_bits(), radius));
         }
-        CONTEXT_BUILDS.fetch_add(1, Ordering::Relaxed);
+        CONTEXT_BUILDS.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
         Self {
             config,
             guard_band_nm,
@@ -68,7 +68,7 @@ impl LithoContext {
     /// Number of contexts built so far by this process. A whole batch (or
     /// training run) over one simulator must add exactly 1.
     pub fn build_count() -> usize {
-        CONTEXT_BUILDS.load(Ordering::Relaxed)
+        CONTEXT_BUILDS.load(Ordering::Relaxed) // relaxed-ok: stats counter; reads are reporting-only
     }
 
     /// The configuration this context was built for.

@@ -79,7 +79,7 @@ struct Entry {
 #[derive(Debug)]
 pub struct ContextCache {
     /// Most-recently-used last; evictions pop the front.
-    entries: Mutex<Vec<Entry>>,
+    entries: Mutex<Vec<Entry>>, // lock-order: 75
     capacity: usize,
     hits: AtomicUsize,
     misses: AtomicUsize,
@@ -118,12 +118,12 @@ impl ContextCache {
 
     /// Lookups served from the cache.
     pub fn hit_count(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed) // relaxed-ok: stats counter; reads are reporting-only
     }
 
     /// Lookups that built a fresh context.
     pub fn miss_count(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed) // relaxed-ok: stats counter; reads are reporting-only
     }
 
     /// Returns the shared simulator for `config`, building its context on
@@ -135,8 +135,8 @@ impl ContextCache {
         {
             let mut entries = self.lock();
             if let Some(pos) = entries.iter().position(|e| e.key == key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                // Move to the back: most recently used.
+                self.hits.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
+                                                           // Move to the back: most recently used.
                 let entry = entries.remove(pos);
                 let sim = entry.simulator.clone();
                 entries.push(entry);
@@ -146,7 +146,7 @@ impl ContextCache {
         // Build outside the lock: context construction derives kernel taps
         // and can be slow, and two racing builders only waste work, never
         // correctness (last insert wins, both simulators are valid).
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
         let simulator = LithoSimulator::new(config.clone());
         let mut entries = self.lock();
         if let Some(pos) = entries.iter().position(|e| e.key == key) {

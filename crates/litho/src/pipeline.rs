@@ -32,7 +32,7 @@ static TAP_DERIVATIONS: AtomicUsize = AtomicUsize::new(0);
 
 /// Number of kernel-tap derivations performed so far by this process.
 pub fn tap_derivation_count() -> usize {
-    TAP_DERIVATIONS.load(Ordering::Relaxed)
+    TAP_DERIVATIONS.load(Ordering::Relaxed) // relaxed-ok: stats counter; reads are reporting-only
 }
 
 /// One discretised kernel: taps plus derived constants reused every step.
@@ -101,7 +101,7 @@ impl TapsCache {
             if self.lookup(kernel, blur_nm).is_some() {
                 continue;
             }
-            TAP_DERIVATIONS.fetch_add(1, Ordering::Relaxed);
+            TAP_DERIVATIONS.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
             let values = kernel.taps(self.pixel_size, blur_nm);
             let mut sum = 0.0;
             for &t in &values {

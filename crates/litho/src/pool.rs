@@ -41,7 +41,7 @@ struct IdleState {
 /// drops the workspace (freeing its buffers) instead of caching it.
 #[derive(Debug)]
 pub struct WorkspacePool {
-    idle: Mutex<IdleState>,
+    idle: Mutex<IdleState>, // lock-order: 76
     max_idle: usize,
     max_idle_bytes: usize,
     reuses: AtomicUsize,
@@ -91,17 +91,17 @@ impl WorkspacePool {
 
     /// Checkouts served by recycling a pooled workspace.
     pub fn reuse_count(&self) -> usize {
-        self.reuses.load(Ordering::Relaxed)
+        self.reuses.load(Ordering::Relaxed) // relaxed-ok: stats counter; reads are reporting-only
     }
 
     /// Checkouts served by allocating a fresh workspace (pool was empty).
     pub fn allocation_count(&self) -> usize {
-        self.allocations.load(Ordering::Relaxed)
+        self.allocations.load(Ordering::Relaxed) // relaxed-ok: stats counter; reads are reporting-only
     }
 
     /// Check-ins dropped because caching would exceed a retention cap.
     pub fn dropped_count(&self) -> usize {
-        self.drops.load(Ordering::Relaxed)
+        self.drops.load(Ordering::Relaxed) // relaxed-ok: stats counter; reads are reporting-only
     }
 
     /// Takes a workspace sized/reset for the given session geometry. Served
@@ -125,12 +125,12 @@ impl WorkspacePool {
         };
         match recycled {
             Some(mut ws) => {
-                self.reuses.fetch_add(1, Ordering::Relaxed);
+                self.reuses.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
                 ws.reset(region, pixel_size, polygon_count, segment_count);
                 ws
             }
             None => {
-                self.allocations.fetch_add(1, Ordering::Relaxed);
+                self.allocations.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
                 SimWorkspace::for_geometry(region, pixel_size, polygon_count, segment_count)
             }
         }
@@ -146,7 +146,7 @@ impl WorkspacePool {
             idle.list.push(ws);
         } else {
             drop(idle);
-            self.drops.fetch_add(1, Ordering::Relaxed);
+            self.drops.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
         }
     }
 

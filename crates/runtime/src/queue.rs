@@ -51,7 +51,7 @@ struct State<T> {
 /// A bounded multi-producer/multi-consumer FIFO on `Mutex` + `Condvar`.
 #[derive(Debug)]
 pub struct BoundedQueue<T> {
-    state: Mutex<State<T>>,
+    state: Mutex<State<T>>, // lock-order: 55
     capacity: usize,
     not_empty: Condvar,
     not_full: Condvar,

@@ -27,9 +27,35 @@ use std::thread::JoinHandle;
 type Job = Box<dyn FnOnce() + Send + 'static>;
 type PanicPayload = Box<dyn Any + Send + 'static>;
 
+/// Why a [`ServicePool`] could not be built: the OS refused to spawn one
+/// of the worker threads (typically resource exhaustion on the host).
+#[derive(Debug)]
+pub struct PoolSpawnError {
+    /// Index of the worker whose thread could not be started.
+    pub worker: usize,
+    /// The underlying spawn failure.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for PoolSpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "could not spawn service worker {}: {}",
+            self.worker, self.source
+        )
+    }
+}
+
+impl std::error::Error for PoolSpawnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 #[derive(Debug, Default)]
 struct PanicSlot {
-    first: Mutex<Option<PanicPayload>>,
+    first: Mutex<Option<PanicPayload>>, // lock-order: 80
 }
 
 impl PanicSlot {
@@ -64,35 +90,47 @@ impl std::fmt::Debug for ServicePool {
 
 impl ServicePool {
     /// Starts `threads` workers over a job queue of depth `queue_depth`.
+    /// A spawn refusal from the OS tears down any workers already started
+    /// (none of them can have claimed work yet) and returns typed.
     ///
     /// # Panics
     ///
     /// Panics if `threads` or `queue_depth` is zero.
-    pub fn new(threads: usize, queue_depth: usize) -> Self {
+    pub fn new(threads: usize, queue_depth: usize) -> Result<Self, PoolSpawnError> {
         assert!(threads > 0, "a pool needs at least one worker");
         let queue = Arc::new(BoundedQueue::new(queue_depth));
         let panic_slot = Arc::new(PanicSlot::default());
-        let workers = (0..threads)
-            .map(|i| {
-                let queue = Arc::clone(&queue);
-                let panic_slot = Arc::clone(&panic_slot);
-                std::thread::Builder::new()
-                    .name(format!("camo-service-{i}"))
-                    .spawn(move || {
-                        while let Some(job) = queue.pop() {
-                            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
-                                panic_slot.park(payload);
-                            }
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let worker_queue = Arc::clone(&queue);
+            let worker_slot = Arc::clone(&panic_slot);
+            let spawned = std::thread::Builder::new()
+                .name(format!("camo-service-{i}"))
+                .spawn(move || {
+                    while let Some(job) = worker_queue.pop() {
+                        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                            worker_slot.park(payload);
                         }
-                    })
-                    .expect("spawn service worker")
-            })
-            .collect();
-        Self {
+                    }
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(source) => {
+                    // Close the (still empty) queue so the workers that
+                    // did start exit, then join them before reporting.
+                    queue.close();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(PoolSpawnError { worker: i, source });
+                }
+            }
+        }
+        Ok(Self {
             queue,
             panic_slot,
             workers,
-        }
+        })
     }
 
     /// Number of worker threads.
@@ -122,9 +160,13 @@ impl ServicePool {
         self.queue.close();
         let workers = std::mem::take(&mut self.workers);
         for handle in workers {
-            // Workers never panic themselves (jobs are caught), so a join
-            // error would indicate a bug in the pool; surface it.
-            handle.join().expect("service worker exited cleanly");
+            // Workers never panic themselves (jobs run under
+            // catch_unwind), so a join error indicates a bug in the pool;
+            // park it like a job panic so it is surfaced after every
+            // sibling is joined instead of stranding them.
+            if let Err(payload) = handle.join() {
+                self.panic_slot.park(payload);
+            }
         }
         if let Some(payload) = self.panic_slot.take() {
             resume_unwind(payload);
@@ -151,7 +193,7 @@ mod tests {
 
     #[test]
     fn shutdown_drains_all_submitted_work() {
-        let pool = ServicePool::new(2, 64);
+        let pool = ServicePool::new(2, 64).expect("spawn pool");
         let done = Arc::new(AtomicUsize::new(0));
         for _ in 0..50 {
             let done = Arc::clone(&done);
@@ -166,7 +208,7 @@ mod tests {
 
     #[test]
     fn submit_after_shutdown_begins_is_rejected() {
-        let pool = ServicePool::new(1, 4);
+        let pool = ServicePool::new(1, 4).expect("spawn pool");
         pool.queue.close();
         assert!(matches!(pool.submit(|| {}), Err(PushError::Closed(_))));
     }
@@ -175,7 +217,7 @@ mod tests {
     fn try_submit_signals_backpressure_when_full() {
         // One worker parked on a gate keeps the queue from draining.
         let gate = Arc::new(BoundedQueue::<()>::new(1));
-        let pool = ServicePool::new(1, 1);
+        let pool = ServicePool::new(1, 1).expect("spawn pool");
         let worker_gate = Arc::clone(&gate);
         pool.submit(move || {
             let _ = worker_gate.pop();
@@ -194,7 +236,7 @@ mod tests {
 
     #[test]
     fn shutdown_propagates_the_first_job_panic_after_draining() {
-        let pool = ServicePool::new(2, 16);
+        let pool = ServicePool::new(2, 16).expect("spawn pool");
         let done = Arc::new(AtomicUsize::new(0));
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));

@@ -287,7 +287,10 @@ fn main() {
         let Some(index) = case_of.remove(&id) else {
             continue;
         };
-        match router.take(id).expect("just completed") {
+        let Some(completed) = router.take(id) else {
+            fail(format!("completed result for request {id} vanished"));
+        };
+        match completed {
             Completed::Rejected { retry_after_ms } => {
                 busy_retries += 1;
                 let attempt = attempts.entry(index).or_insert(0);

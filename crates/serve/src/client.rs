@@ -212,8 +212,8 @@ impl ResponseRouter {
                     )));
                 }
                 if partial.cases.len() == partial.total {
-                    let partial = self.partial.remove(&id).expect("just inserted");
-                    let ordered = partial.cases.into_values().collect();
+                    let ordered = std::mem::take(&mut partial.cases).into_values().collect();
+                    self.partial.remove(&id);
                     self.done.insert(id, Completed::Sweep(ordered));
                     Ok(Some(id))
                 } else {
@@ -287,7 +287,12 @@ pub fn collect_responses(
         }
         if let Some(id) = router.accept(response)? {
             if outstanding.remove(&id) {
-                results.insert(id, router.take(id).expect("just completed"));
+                let Some(done) = router.take(id) else {
+                    return Err(ClientError::Protocol(format!(
+                        "completed result for request {id} vanished"
+                    )));
+                };
+                results.insert(id, done);
             }
         }
     }

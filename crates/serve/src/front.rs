@@ -36,13 +36,13 @@ pub(crate) struct FrontState {
     live: AtomicUsize,
     pub(crate) connections: AtomicUsize,
     pub(crate) rejected: AtomicUsize,
-    shutdown_flag: Mutex<bool>,
+    shutdown_flag: Mutex<bool>, // lock-order: 50
     shutdown_cv: Condvar,
     /// Stream clones used to read-shutdown blocked readers at exit, keyed
     /// by connection id so entries are dropped when their reader exits —
     /// otherwise a long-lived process would leak one fd per past
     /// connection.
-    streams: Mutex<Vec<(u64, TcpStream)>>,
+    streams: Mutex<Vec<(u64, TcpStream)>>, // lock-order: 52
 }
 
 impl FrontState {
@@ -150,7 +150,7 @@ pub(crate) trait FrontHandler: Send + Sync + 'static {
         match self.queue().try_push(admitted) {
             Ok(()) => {}
             Err(camo_runtime::PushError::Full(a)) => {
-                self.front().rejected.fetch_add(1, Ordering::Relaxed);
+                self.front().rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
                 let _ = a.reply.send(Response {
                     id: a.request.id,
                     body: ResponseBody::Busy {
@@ -177,10 +177,10 @@ pub(crate) fn acceptor_loop<H: FrontHandler>(listener: TcpListener, shared: &Arc
             Ok((stream, _)) => {
                 conn_threads.retain(|h| !h.is_finished());
                 let front = shared.front();
-                let conn_id = front.connections.fetch_add(1, Ordering::Relaxed) as u64;
+                let conn_id = front.connections.fetch_add(1, Ordering::Relaxed) as u64; // relaxed-ok: connection-id counter; uniqueness needs only atomicity
                 if front.live.fetch_add(1, Ordering::SeqCst) >= front.max_connections {
                     front.live.fetch_sub(1, Ordering::SeqCst);
-                    front.rejected.fetch_add(1, Ordering::Relaxed);
+                    front.rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
                     reject_connection(stream, front.retry_after_ms);
                     continue;
                 }

@@ -125,7 +125,7 @@ pub struct RouterConfig {
 impl Default for RouterConfig {
     fn default() -> Self {
         Self {
-            addr: "127.0.0.1:0".parse().expect("static addr"),
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             queue_depth: 64,
             max_connections: 32,
             forwarders: 2,
@@ -261,7 +261,7 @@ struct Inflight {
 struct ShardLink {
     /// Current address — rewritten when a respawned incarnation binds a
     /// fresh ephemeral port.
-    addr: Mutex<SocketAddr>,
+    addr: Mutex<SocketAddr>, // lock-order: 64
     alive: AtomicBool,
     /// Incarnation counter, bumped on every successful (re)connect. A
     /// failure report carries the epoch it observed; a stale reader from a
@@ -275,17 +275,17 @@ struct ShardLink {
     restarting: AtomicBool,
     /// Successful supervised respawns of this slot.
     respawns: AtomicUsize,
-    writer: Mutex<Option<BufWriter<TcpStream>>>,
+    writer: Mutex<Option<BufWriter<TcpStream>>>, // lock-order: 62
     /// A clone used to shut the channel down so the shard reader unblocks.
-    stream: Mutex<Option<TcpStream>>,
+    stream: Mutex<Option<TcpStream>>, // lock-order: 60
     forwarded: AtomicUsize,
     /// The shard's last self-report, cached from the prober's `metrics`
     /// probes and served under `ShardStatus` without extra round-trips.
-    last_report: Mutex<Option<MetricsReport>>,
+    last_report: Mutex<Option<MetricsReport>>, // lock-order: 66
     /// Serialises liveness transitions (fail vs. reconnect) and guards the
     /// epoch check. Held only for the transition itself, never across I/O
     /// or redispatch.
-    state: Mutex<()>,
+    state: Mutex<()>, // lock-order: 55
 }
 
 impl ShardLink {
@@ -316,11 +316,11 @@ struct RouterShared {
     queue: BoundedQueue<AdmittedRequest>,
     links: Vec<ShardLink>,
     front: FrontState,
-    inflight: Mutex<BTreeMap<u64, Inflight>>,
+    inflight: Mutex<BTreeMap<u64, Inflight>>, // lock-order: 40
     /// Notified whenever `inflight` shrinks (the drain wait).
     idle: Condvar,
     /// Outstanding health probes by router id.
-    probes: Mutex<BTreeMap<u64, Probe>>,
+    probes: Mutex<BTreeMap<u64, Probe>>, // lock-order: 45
     next_id: AtomicU64,
     probe_stop: AtomicBool,
     completed: AtomicUsize,
@@ -333,14 +333,14 @@ struct RouterShared {
     supervised: bool,
     /// The supervised process set; `None` for routers over external
     /// addresses. Lock order: `shard_set` before any `ShardLink::state`.
-    shard_set: Mutex<Option<ShardSet>>,
+    shard_set: Mutex<Option<ShardSet>>, // lock-order: 20
     /// Reader threads for every incarnation ever connected (the supervisor
     /// adds one per respawn); all joined at shutdown.
-    reader_handles: Mutex<Vec<JoinHandle<()>>>,
-    supervision: Mutex<Vec<ShardSupervision>>,
+    reader_handles: Mutex<Vec<JoinHandle<()>>>, // lock-order: 35
+    supervision: Mutex<Vec<ShardSupervision>>, // lock-order: 30
     /// Serialises rolling restarts (two concurrent `restart` requests must
     /// not interleave their drains).
-    restart_lock: Mutex<()>,
+    restart_lock: Mutex<()>, // lock-order: 10
     /// Back-reference for [`FrontHandler`] hooks that must spawn threads
     /// (reconnect during a rolling restart).
     self_weak: OnceLock<Weak<RouterShared>>,
@@ -375,7 +375,7 @@ impl RouterShared {
 
     fn fresh_id(&self) -> u64 {
         // Starts at 1: id 0 is the protocol's "unattributable" marker.
-        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1 // relaxed-ok: unique-id counter; uniqueness needs only atomicity
     }
 
     fn alive_count(&self) -> usize {
@@ -419,8 +419,8 @@ impl FrontHandler for RouterShared {
                     index,
                     alive: link.alive.load(Ordering::SeqCst),
                     benched: link.benched.load(Ordering::SeqCst),
-                    forwarded: link.forwarded.load(Ordering::Relaxed),
-                    respawns: link.respawns.load(Ordering::Relaxed),
+                    forwarded: link.forwarded.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
+                    respawns: link.respawns.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
                     queue_depth: report.as_ref().map_or(0, |r| r.queue_depth),
                     in_flight: report.as_ref().map_or(0, |r| r.in_flight),
                     completed: report.as_ref().map_or(0, |r| r.completed),
@@ -432,9 +432,9 @@ impl FrontHandler for RouterShared {
             role: "router".into(),
             queue_depth: self.queue.len(),
             in_flight: self.lock_inflight().len(),
-            completed: self.completed.load(Ordering::Relaxed),
-            busy_rejected: self.front.rejected.load(Ordering::Relaxed),
-            redispatched: self.redispatched.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
+            busy_rejected: self.front.rejected.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
+            redispatched: self.redispatched.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
             respawns: shards.iter().map(|s| s.respawns).sum(),
             latency: self.latency.snapshot(),
             shards,
@@ -603,7 +603,18 @@ fn start(
         ));
     }
 
-    let pool = ServicePool::new(forwarder_count, forwarder_count);
+    let pool = match ServicePool::new(forwarder_count, forwarder_count) {
+        Ok(pool) => pool,
+        Err(e) => {
+            return Err(fail_start(
+                &shared,
+                None,
+                Vec::new(),
+                "forwarder pool",
+                e.source,
+            ))
+        }
+    };
     for _ in 0..forwarder_count {
         let worker = Arc::clone(&shared);
         if pool.submit(move || forward_loop(&worker)).is_err() {
@@ -818,7 +829,12 @@ fn send_to_shard(shared: &RouterShared, router_id: u64) {
                 return; // completed concurrently
             };
             if entry.attempts >= shared.links.len() {
-                let entry = inflight.remove(&router_id).expect("entry present");
+                // The guard is held, so the entry just observed via
+                // get_mut is still there; a miss only means someone
+                // completed it, which makes this dispatch a no-op.
+                let Some(entry) = inflight.remove(&router_id) else {
+                    return;
+                };
                 drop(inflight);
                 fail_entry(shared, entry, "request redispatched too many times");
                 return;
@@ -828,7 +844,9 @@ fn send_to_shard(shared: &RouterShared, router_id: u64) {
                 .copied()
                 .find(|&s| shared.links[s].alive.load(Ordering::SeqCst));
             let Some(shard) = choice else {
-                let entry = inflight.remove(&router_id).expect("entry present");
+                let Some(entry) = inflight.remove(&router_id) else {
+                    return; // completed concurrently; nothing left to fail
+                };
                 drop(inflight);
                 fail_entry(shared, entry, "every shard is dead");
                 return;
@@ -844,7 +862,7 @@ fn send_to_shard(shared: &RouterShared, router_id: u64) {
         if write_to_shard(shared, shard, &frame) {
             shared.links[shard]
                 .forwarded
-                .fetch_add(1, Ordering::Relaxed);
+                .fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
             return;
         }
         // The write failed: the shard is dead. `fail_shard` redispatches
@@ -863,6 +881,10 @@ fn write_to_shard(shared: &RouterShared, shard: usize, frame: &str) -> bool {
     if !link.alive.load(Ordering::SeqCst) {
         return false;
     }
+    // The writer lock IS the shard channel: holding it across the write
+    // serialises concurrent forwarders onto one socket, and the stream's
+    // 10s write timeout keeps a wedged shard from pinning it.
+    // io-ok: serialising the socket is this lock's entire purpose.
     let mut writer = link.writer.lock().unwrap_or_else(PoisonError::into_inner);
     let Some(w) = writer.as_mut() else {
         return false;
@@ -874,7 +896,7 @@ fn write_to_shard(shared: &RouterShared, shard: usize, frame: &str) -> bool {
 fn fail_entry(shared: &RouterShared, entry: Inflight, message: &str) {
     // Count before the reply is handed to the writer so a client holding
     // the response always observes a `metrics` report that includes it.
-    shared.completed.fetch_add(1, Ordering::Relaxed);
+    shared.completed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
     let _ = entry.reply.send(Response {
         id: entry.client_id,
         body: ResponseBody::Error {
@@ -937,7 +959,7 @@ fn fail_shard(shared: &RouterShared, shard: usize, epoch: usize) {
         .map(|(&id, _)| id)
         .collect();
     for router_id in stranded {
-        shared.redispatched.fetch_add(1, Ordering::Relaxed);
+        shared.redispatched.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
         send_to_shard(shared, router_id);
     }
 }
@@ -1041,7 +1063,7 @@ fn handle_shard_response(shared: &RouterShared, shard: usize, response: Response
             // `metrics` report that includes the sweep.
             if done {
                 shared.latency.record(sample.0, sample.1.elapsed());
-                shared.completed.fetch_add(1, Ordering::Relaxed);
+                shared.completed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
             }
             let _ = reply.send(Response {
                 id: client_id,
@@ -1068,7 +1090,11 @@ fn handle_shard_response(shared: &RouterShared, shard: usize, response: Response
             // forwarded — "never accepted" would contradict the results
             // the client already holds — so it completes as a typed error
             // instead.
-            let entry = inflight.remove(&response.id).expect("entry present");
+            // The guard held since get_mut keeps the entry pinned; treat
+            // a miss as a request that already completed.
+            let Some(entry) = inflight.remove(&response.id) else {
+                return true;
+            };
             drop(inflight);
             let body = match body {
                 ResponseBody::Busy { .. } if !entry.forwarded_cases.is_empty() => {
@@ -1086,7 +1112,7 @@ fn handle_shard_response(shared: &RouterShared, shard: usize, response: Response
                     .latency
                     .record(entry.kind, entry.admitted_at.elapsed());
             }
-            shared.completed.fetch_add(1, Ordering::Relaxed);
+            shared.completed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
             let _ = entry.reply.send(Response {
                 id: client_id,
                 body,
@@ -1213,7 +1239,7 @@ fn attempt_respawn(shared: &Arc<RouterShared>, shard: usize) {
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner) = addr;
             if connect_shard(shared, shard) {
-                shared.links[shard].respawns.fetch_add(1, Ordering::Relaxed);
+                shared.links[shard].respawns.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
                 let mut supervision = shared.lock_supervision();
                 supervision[shard].attempts = 0;
                 supervision[shard].next_attempt = Instant::now();
@@ -1284,7 +1310,7 @@ fn restart_one(shared: &Arc<RouterShared>, shard: usize) -> io::Result<()> {
                 "respawned shard refused the router's connection",
             ));
         }
-        link.respawns.fetch_add(1, Ordering::Relaxed);
+        link.respawns.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
         link.benched.store(false, Ordering::SeqCst);
         let mut supervision = shared.lock_supervision();
         supervision[shard].attempts = 0;
@@ -1315,15 +1341,15 @@ impl RouterHandle {
     /// Current counters.
     pub fn stats(&self) -> RouterStats {
         RouterStats {
-            connections: self.shared.front.connections.load(Ordering::Relaxed),
-            rejected: self.shared.front.rejected.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
-            redispatched: self.shared.redispatched.load(Ordering::Relaxed),
+            connections: self.shared.front.connections.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
+            rejected: self.shared.front.rejected.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
+            completed: self.shared.completed.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
+            redispatched: self.shared.redispatched.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
             forwarded_per_shard: self
                 .shared
                 .links
                 .iter()
-                .map(|l| l.forwarded.load(Ordering::Relaxed))
+                .map(|l| l.forwarded.load(Ordering::Relaxed)) // relaxed-ok: stats counter; reads are reporting-only
                 .collect(),
             shard_alive: self
                 .shared
@@ -1335,7 +1361,7 @@ impl RouterHandle {
                 .shared
                 .links
                 .iter()
-                .map(|l| l.respawns.load(Ordering::Relaxed))
+                .map(|l| l.respawns.load(Ordering::Relaxed)) // relaxed-ok: stats counter; reads are reporting-only
                 .collect(),
             shard_benched: self
                 .shared

@@ -47,6 +47,7 @@ use crate::wire::{ErrorCode, RequestBody, Response, ResponseBody};
 use camo_litho::ContextCache;
 use camo_runtime::{BoundedQueue, ServicePool};
 use std::collections::VecDeque;
+use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -79,7 +80,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
-            addr: "127.0.0.1:0".parse().expect("static addr"),
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             threads: 1,
             queue_depth: 64,
             max_connections: 32,
@@ -157,9 +158,9 @@ impl FrontHandler for Shared {
         ResponseBody::Metrics(MetricsReport {
             role: "server".into(),
             queue_depth: self.queue.len(),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
-            completed: self.served.load(Ordering::Relaxed),
-            busy_rejected: self.front.rejected.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
+            completed: self.served.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
+            busy_rejected: self.front.rejected.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
             redispatched: 0,
             respawns: 0,
             latency: self.latency.snapshot(),
@@ -198,11 +199,23 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServeError> {
     let dispatchers = match shared.config.dispatchers {
         0 => None,
         n => {
-            let pool = ServicePool::new(n, n);
+            let pool = ServicePool::new(n, n).map_err(|e| ServeError::Spawn {
+                what: "dispatcher pool",
+                source: e.source,
+            })?;
             for _ in 0..n {
-                let shared = Arc::clone(&shared);
-                pool.submit(move || dispatcher_loop(&shared))
-                    .expect("fresh pool accepts jobs");
+                let worker = Arc::clone(&shared);
+                if pool.submit(move || dispatcher_loop(&worker)).is_err() {
+                    // Unreachable for a fresh pool (submit fails only
+                    // after close), but degrade typed: release the
+                    // workers before reporting.
+                    shared.queue.close();
+                    pool.shutdown();
+                    return Err(ServeError::Spawn {
+                        what: "dispatcher",
+                        source: io::Error::other("fresh dispatcher pool rejected a job"),
+                    });
+                }
             }
             Some(pool)
         }
@@ -245,9 +258,9 @@ impl ServerHandle {
     /// Current counters.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
-            served: self.shared.served.load(Ordering::Relaxed),
-            rejected: self.shared.front.rejected.load(Ordering::Relaxed),
-            connections: self.shared.front.connections.load(Ordering::Relaxed),
+            served: self.shared.served.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
+            rejected: self.shared.front.rejected.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
+            connections: self.shared.front.connections.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
         }
     }
 
@@ -323,7 +336,12 @@ fn dispatcher_loop(shared: &Shared) {
                 let mut i = 0;
                 while i < pending.len() {
                     if coalesce_key(&pending[i].request.body).as_ref() == Some(key) {
-                        batch.push(pending.remove(i).expect("index checked"));
+                        // `remove` can only return None for an
+                        // out-of-range index, which the loop bound
+                        // excludes; skipping is the graceful fallback.
+                        if let Some(compatible) = pending.remove(i) {
+                            batch.push(compatible);
+                        }
                     } else {
                         i += 1;
                     }
@@ -338,16 +356,16 @@ fn dispatcher_loop(shared: &Shared) {
 /// execution is converted into per-request `internal` errors so one
 /// poisoned request cannot take the dispatcher down.
 fn execute_batch(shared: &Shared, batch: Vec<AdmittedRequest>) {
-    shared.in_flight.fetch_add(batch.len(), Ordering::Relaxed);
+    shared.in_flight.fetch_add(batch.len(), Ordering::Relaxed); // relaxed-ok: gauge read only by metrics reporting
     let responses = catch_unwind(AssertUnwindSafe(|| run_batch(shared, &batch)));
-    shared.in_flight.fetch_sub(batch.len(), Ordering::Relaxed);
+    shared.in_flight.fetch_sub(batch.len(), Ordering::Relaxed); // relaxed-ok: gauge read only by metrics reporting
     match responses {
         Ok(per_request) => {
             for (q, responses) in batch.iter().zip(per_request) {
                 // Count and sample before the reply is handed to the writer:
                 // a client that has received its response must observe a
                 // `metrics` report that already includes it.
-                shared.served.fetch_add(1, Ordering::Relaxed);
+                shared.served.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
                 shared
                     .latency
                     .record(q.request.body.kind(), q.admitted_at.elapsed());

@@ -93,7 +93,7 @@ impl ShardSet {
         // process would race on the same file names.
         static SPAWN_SERIAL: std::sync::atomic::AtomicUsize =
             std::sync::atomic::AtomicUsize::new(0);
-        let serial = SPAWN_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let serial = SPAWN_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed); // relaxed-ok: unique-suffix counter; uniqueness needs only atomicity
         let mut set = Self {
             shards: Vec::new(),
             spec: spec.clone(),
@@ -108,7 +108,7 @@ impl ShardSet {
             let child = Self::launch(spec, &port_file)?;
             set.shards.push(ShardProcess {
                 child,
-                addr: "0.0.0.0:0".parse().expect("static addr"),
+                addr: SocketAddr::from(([0, 0, 0, 0], 0)),
                 port_file,
             });
         }

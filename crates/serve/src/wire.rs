@@ -155,7 +155,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8, what: &'static str) -> Result<(), WireError> {
+    fn expect_byte(&mut self, byte: u8, what: &'static str) -> Result<(), WireError> {
         match self.peek() {
             Some(b) if b == byte => {
                 self.pos += 1;
@@ -204,7 +204,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_object(&mut self, depth: usize) -> Result<Value, WireError> {
-        self.expect(b'{', "expected '{'")?;
+        self.expect_byte(b'{', "expected '{'")?;
         let mut fields: Vec<(String, Value)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -222,7 +222,7 @@ impl<'a> Parser<'a> {
                 });
             }
             self.skip_ws();
-            self.expect(b':', "expected ':'")?;
+            self.expect_byte(b':', "expected ':'")?;
             let value = self.parse_value(depth + 1)?;
             fields.push((key, value));
             self.skip_ws();
@@ -244,7 +244,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_array(&mut self, depth: usize) -> Result<Value, WireError> {
-        self.expect(b'[', "expected '['")?;
+        self.expect_byte(b'[', "expected '['")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -272,7 +272,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, WireError> {
-        self.expect(b'"', "expected '\"'")?;
+        self.expect_byte(b'"', "expected '\"'")?;
         let mut out = String::new();
         loop {
             match self.peek() {

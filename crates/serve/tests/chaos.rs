@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 /// and scan `/proc` for leaks by this process's pid, so interleaving them
 /// would let one test's (legitimate, soon-reaped) children trip another
 /// test's leak check.
-static SERIAL: Mutex<()> = Mutex::new(());
+static SERIAL: Mutex<()> = Mutex::new(()); // lock-order: 1
 
 fn spawn_shards(count: usize) -> ShardSet {
     let mut spec = ShardSpec::new(env!("CARGO_BIN_EXE_serve"));
