@@ -42,6 +42,6 @@ pub mod rl_opc;
 
 pub use calibre_like::CalibreLikeOpc;
 pub use damo_like::DamoLikeOpc;
-pub use engine::{OpcConfig, OpcEngine, OpcOutcome};
+pub use engine::{OpcConfig, OpcEngine, OpcOutcome, TimedEngine};
 pub use ilt::PixelIlt;
 pub use rl_opc::{RlOpc, RlOpcConfig};

@@ -1,7 +1,9 @@
 //! Experiment runners reproducing the paper's tables and figures.
 
 use camo::{CamoConfig, CamoEngine, CamoTrainer, Modulator};
-use camo_baselines::{CalibreLikeOpc, DamoLikeOpc, OpcConfig, OpcEngine, RlOpc, RlOpcConfig};
+use camo_baselines::{
+    CalibreLikeOpc, DamoLikeOpc, OpcConfig, OpcEngine, RlOpc, RlOpcConfig, TimedEngine,
+};
 use camo_geometry::{Clip, FeatureConfig};
 use camo_litho::{LithoConfig, LithoSimulator, ResistModel};
 use camo_runtime::sweep_cases;
@@ -201,7 +203,10 @@ fn run_engine<E: OpcEngine + Clone + Sync>(
     simulator: &LithoSimulator,
     threads: usize,
 ) -> EngineRow {
-    let cases = sweep_cases(engine, clips, simulator, threads)
+    // Clock-free engines (CAMO) report Duration::ZERO; the wrapper times
+    // every optimize call so the tables show real wall-clock figures.
+    let timed = TimedEngine(engine.clone());
+    let cases = sweep_cases(&timed, clips, simulator, threads)
         .into_iter()
         .map(|(case, outcome)| CaseResult {
             case,

@@ -7,6 +7,7 @@
 use crate::point::{Coord, Point};
 use crate::polygon::Polygon;
 use crate::rect::Rect;
+use crate::simd;
 
 /// A dense 2-D grid of `f64` samples covering a layout region.
 ///
@@ -425,6 +426,24 @@ impl Raster {
     /// the rectangle. This is the analytic equivalent of filling a 1 nm grid
     /// and box-downsampling, without the intermediate grid.
     pub fn fill_rect_coverage_in(&mut self, rect: Rect, value: f64, win: PixelWindow) {
+        self.fill_rect_coverage_in_on(simd::active(), rect, value, win);
+    }
+
+    /// [`Self::fill_rect_coverage_in`] on an explicit SIMD backend — the
+    /// hook the per-arch parity tests and micro-benchmarks use.
+    ///
+    /// Each row splits into at most two partially-covered border pixels and
+    /// a fully-covered interior span; interior pixels all gain the same
+    /// contribution (`hx == pixel_size` exactly, in integer nm), which the
+    /// backend adds as a constant. Border pixels use the per-pixel formula,
+    /// so every backend is bit-identical to the dense scalar loop.
+    pub fn fill_rect_coverage_in_on(
+        &mut self,
+        arch: simd::ArchId,
+        rect: Rect,
+        value: f64,
+        win: PixelWindow,
+    ) {
         let p = self.pixel_size;
         let inv_area = 1.0 / (p * p) as f64;
         // Clip the rectangle to the window's nm extent.
@@ -438,6 +457,18 @@ impl Raster {
         }
         let ix0 = ((x0 - self.origin.x) / p) as usize;
         let iy0 = ((y0 - self.origin.y) / p) as usize;
+        // Touched columns are [ix0, ix_end); columns whose pixel square is
+        // fully covered in x (`hx == p`) are [ifull_lo, ifull_hi). All
+        // quotients are of non-negative integers (x1 > x0 ≥ wr.x0 ≥
+        // origin.x), so ceil is the usual `(n + p - 1) / p`.
+        let ix_end = (((x1 - self.origin.x + p - 1) / p) as usize).min(win.x1);
+        let ifull_lo = (((x0 - self.origin.x + p - 1) / p) as usize).clamp(ix0, ix_end);
+        let ifull_hi = (((x1 - self.origin.x) / p) as usize).clamp(ifull_lo, ix_end);
+        let border = |data: &mut [f64], row: usize, ix: usize, hy: Coord, origin_x: Coord| {
+            let px0 = origin_x + ix as Coord * p;
+            let hx = x1.min(px0 + p) - x0.max(px0);
+            data[row + ix] += value * (hx * hy) as f64 * inv_area;
+        };
         for iy in iy0..win.y1 {
             let py0 = self.origin.y + iy as Coord * p;
             if py0 >= y1 {
@@ -445,13 +476,15 @@ impl Raster {
             }
             let hy = y1.min(py0 + p) - y0.max(py0);
             let row = iy * self.width;
-            for ix in ix0..win.x1 {
-                let px0 = self.origin.x + ix as Coord * p;
-                if px0 >= x1 {
-                    break;
-                }
-                let hx = x1.min(px0 + p) - x0.max(px0);
-                self.data[row + ix] += value * (hx * hy) as f64 * inv_area;
+            for ix in ix0..ifull_lo {
+                border(&mut self.data, row, ix, hy, self.origin.x);
+            }
+            // `(p * hy) as f64` is bit-equal to the per-pixel `(hx * hy)`
+            // for interior columns: the i64 product is the same number.
+            let c = value * (p * hy) as f64 * inv_area;
+            simd::add_constant(arch, &mut self.data[row + ifull_lo..row + ifull_hi], c);
+            for ix in ifull_hi..ix_end {
+                border(&mut self.data, row, ix, hy, self.origin.x);
             }
         }
     }
@@ -466,6 +499,19 @@ impl Raster {
     /// rectangle handed to [`Self::fill_rect_coverage_in`].
     pub fn fill_polygon_coverage_in(
         &mut self,
+        vertices: &[Point],
+        value: f64,
+        win: PixelWindow,
+        scratch: &mut CoverageScratch,
+    ) {
+        self.fill_polygon_coverage_in_on(simd::active(), vertices, value, win, scratch);
+    }
+
+    /// [`Self::fill_polygon_coverage_in`] on an explicit SIMD backend — the
+    /// hook the per-arch parity tests and micro-benchmarks use.
+    pub fn fill_polygon_coverage_in_on(
+        &mut self,
+        arch: simd::ArchId,
         vertices: &[Point],
         value: f64,
         win: PixelWindow,
@@ -507,7 +553,12 @@ impl Raster {
             }
             scratch.crossings.sort_unstable();
             for pair in scratch.crossings.chunks_exact(2) {
-                self.fill_rect_coverage_in(Rect::new(pair[0], ya, pair[1], yb), value, win);
+                self.fill_rect_coverage_in_on(
+                    arch,
+                    Rect::new(pair[0], ya, pair[1], yb),
+                    value,
+                    win,
+                );
             }
         }
     }

@@ -135,11 +135,69 @@ impl MaskState {
         dirty
     }
 
+    /// [`Self::apply_moves`], additionally pushing every moved segment's
+    /// individual refresh rectangle ([`Self::segment_refresh_rect`]) into
+    /// `rects` (cleared first, capacity reused). The union of `rects` equals
+    /// the returned rectangle; sparse incremental evaluators re-rasterise the
+    /// per-segment rects and skip unchanged spans inside the union, staying
+    /// bit-identical to a from-scratch rasterisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `moves.len()` differs from [`Self::segment_count`].
+    pub fn apply_moves_into(&mut self, moves: &[Coord], rects: &mut Vec<Rect>) -> Option<Rect> {
+        assert_eq!(
+            moves.len(),
+            self.offsets.len(),
+            "one movement per segment is required"
+        );
+        rects.clear();
+        let mut dirty: Option<Rect> = None;
+        for (id, &m) in moves.iter().enumerate() {
+            let before = self.offsets[id];
+            self.move_segment(id, m);
+            if self.offsets[id] != before {
+                let r = self.segment_refresh_rect(id);
+                rects.push(r);
+                dirty = Some(match dirty {
+                    Some(acc) => acc.union(&r),
+                    None => r,
+                });
+            }
+        }
+        dirty
+    }
+
     /// Conservative bound on the geometry affected by moving segment `id`:
     /// the segment's target extent grown by the offset clamp plus one.
     fn segment_dirty_rect(&self, id: usize) -> Rect {
         let s = &self.fragments.segments[id];
         Rect::new(s.start.x, s.start.y, s.end.x, s.end.y).expanded(self.max_offset + 1)
+    }
+
+    /// Conservative bound on the raster pixels whose *coverage values can
+    /// change at the bit level* when segment `id` moves.
+    ///
+    /// For vertical segments this is the segment's dirty extent. For
+    /// horizontal segments the rows extend across the whole polygon: the
+    /// scanline bands used by coverage fills are delimited by every vertex
+    /// y-coordinate of the polygon, so moving a horizontal edge regroups the
+    /// per-pixel contribution sums of every pixel row containing its old or
+    /// new position, polygon-wide — the totals are mathematically unchanged
+    /// away from the edge, but the floating-point sums can round differently.
+    /// Incremental evaluators that promise bit-identity to a from-scratch
+    /// rasterisation must re-rasterise this whole rect.
+    pub fn segment_refresh_rect(&self, id: usize) -> Rect {
+        let r = self.segment_dirty_rect(id);
+        let s = &self.fragments.segments[id];
+        if s.orientation() == Orientation::Horizontal {
+            let bb = self.clip.targets()[s.polygon]
+                .bounding_box()
+                .expanded(self.max_offset + 1);
+            Rect::new(bb.x0, r.y0, bb.x1, r.y1)
+        } else {
+            r
+        }
     }
 
     /// Moves every segment outward by `bias` nm — the paper's mask

@@ -1,0 +1,811 @@
+//! Lane-width-generic SIMD kernels with runtime dispatch.
+//!
+//! The dense inner loops of the serving hot path — separable convolution,
+//! area-coverage row fills, threshold sweeps — are written **once**, generic
+//! over an [`Arch`] backend. Three backends exist: [`Scalar`] (portable,
+//! always available), [`Sse2`] (2 × f64 lanes) and [`Avx2`] (4 × f64 lanes).
+//! The active backend is selected exactly once per process by [`active`]:
+//! the widest instruction set `is_x86_feature_detected!` reports, or the
+//! `CAMO_SIMD` override (`scalar`, `sse2`, `avx2` or `auto`) for testing.
+//! Requesting an undetected backend falls back to `scalar`; on targets other
+//! than x86-64 every [`ArchId`] resolves to the scalar implementation.
+//!
+//! # Bit-identity contract
+//!
+//! Every backend produces **bit-identical** `f64` results to [`Scalar`]:
+//! each output element is computed by the same sequence of IEEE-754
+//! operations in the same order, only on independent lanes in parallel.
+//! Concretely, [`Arch::convolve_interior`] accumulates taps in ascending
+//! index order *per output pixel* (lanes are output pixels, so each lane
+//! runs the scalar tap loop verbatim), [`Arch::axpy`] and
+//! [`Arch::square_weighted_add`] are element-wise mul/add chains with the
+//! scalar association, and the comparison kernels use the same ordered `>`
+//! predicate. The parity tests below and the litho-level proptests assert
+//! `to_bits` equality on every backend the host detects, and CI diffs a
+//! `CAMO_SIMD=scalar` against a `CAMO_SIMD=auto` benchmark run bit for bit.
+//! This is what lets the serving tier's determinism contract
+//! (`(policy_version, seed, clip)` fully determines the result) survive the
+//! SIMD specialisation: heterogeneous shards agree as long as they share a
+//! CPU baseline, and `CAMO_SIMD=scalar` is the portable escape hatch.
+
+use std::sync::OnceLock;
+
+/// Identifier of one SIMD backend — the runtime half of the static [`Arch`]
+/// trait. Order is ascending capability; `detected()` always lists backends
+/// in this order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchId {
+    /// Portable scalar loops; the semantics reference.
+    Scalar,
+    /// 128-bit SSE2, 2 × f64 lanes (baseline on x86-64).
+    Sse2,
+    /// 256-bit AVX2, 4 × f64 lanes.
+    Avx2,
+}
+
+impl ArchId {
+    /// Stable lower-case name (`scalar` / `sse2` / `avx2`) used by the
+    /// `CAMO_SIMD` override, benchmark rows and the serving metrics report.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchId::Scalar => Scalar::NAME,
+            ArchId::Sse2 => Sse2::NAME,
+            ArchId::Avx2 => Avx2::NAME,
+        }
+    }
+}
+
+/// Backends usable on this host, in ascending capability order; the first
+/// entry is always [`ArchId::Scalar`]. Parity tests iterate this list.
+pub fn detected() -> &'static [ArchId] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            &[ArchId::Scalar, ArchId::Sse2, ArchId::Avx2]
+        } else if std::arch::is_x86_feature_detected!("sse2") {
+            &[ArchId::Scalar, ArchId::Sse2]
+        } else {
+            &[ArchId::Scalar]
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        &[ArchId::Scalar]
+    }
+}
+
+static ACTIVE: OnceLock<ArchId> = OnceLock::new();
+
+/// The backend every dispatched kernel call uses, selected once per process:
+/// the `CAMO_SIMD` environment override when set (an undetected request
+/// falls back to `scalar`; unknown values mean `auto`), otherwise the widest
+/// backend [`detected`] reports.
+pub fn active() -> ArchId {
+    *ACTIVE.get_or_init(select)
+}
+
+fn select() -> ArchId {
+    let best = *detected().last().unwrap_or(&ArchId::Scalar);
+    match std::env::var("CAMO_SIMD").as_deref() {
+        Ok("scalar") => ArchId::Scalar,
+        Ok("sse2") if detected().contains(&ArchId::Sse2) => ArchId::Sse2,
+        Ok("avx2") if detected().contains(&ArchId::Avx2) => ArchId::Avx2,
+        Ok("sse2") | Ok("avx2") => ArchId::Scalar,
+        _ => best,
+    }
+}
+
+/// One SIMD backend: the dense f64 kernels of the hot path, written once
+/// per lane width. Default methods are the scalar reference loops, so a
+/// backend only overrides what it accelerates — and the scalar bodies *are*
+/// the semantics every override must reproduce bit for bit.
+///
+/// Non-scalar implementations must only run on hosts where the matching CPU
+/// feature was detected; [`active`] and [`detected`] enforce this, and the
+/// dispatching wrappers ([`convolve_interior`] & co.) are the only intended
+/// entry points.
+pub trait Arch {
+    /// Lower-case backend name (matches [`ArchId::name`]).
+    const NAME: &'static str;
+    /// f64 lanes processed per vector operation.
+    const LANES: usize;
+
+    /// `dst[i] += c` — the fully-covered interior span of an area-coverage
+    /// row fill, where every pixel gains the same coverage contribution.
+    fn add_constant(dst: &mut [f64], c: f64) {
+        for d in dst {
+            *d += c;
+        }
+    }
+
+    /// `acc[i] += t · src[i]` — one tap of the vertical convolution pass.
+    /// Per element this is exactly the scalar `acc += t * s` (mul then add,
+    /// two roundings; never an FMA, which would round once and diverge).
+    fn axpy(acc: &mut [f64], t: f64, src: &[f64]) {
+        for (a, s) in acc.iter_mut().zip(src) {
+            *a += t * s;
+        }
+    }
+
+    /// `out[i] = acc[i] / norm` — the normalisation store of a convolution
+    /// row.
+    fn div_into(out: &mut [f64], acc: &[f64], norm: f64) {
+        for (o, a) in out.iter_mut().zip(acc) {
+            *o = a / norm;
+        }
+    }
+
+    /// `out[i] += weight · amp[i] · amp[i]` — the SOCS intensity
+    /// accumulation, associated exactly as the scalar `(weight * v) * v`.
+    fn square_weighted_add(out: &mut [f64], weight: f64, amp: &[f64]) {
+        for (o, &v) in out.iter_mut().zip(amp) {
+            *o += weight * v * v;
+        }
+    }
+
+    /// The interior span `[il, ih)` of one convolution row: for each output
+    /// pixel `x`, the dot product of `taps` against
+    /// `row_in[x-radius ..= x+radius]` accumulated in ascending tap order,
+    /// divided by `taps_sum`. Callers guarantee full tap support:
+    /// `il ≥ radius` and `ih + radius < row_in.len() + 1`.
+    ///
+    /// Vector backends assign consecutive *output pixels* to lanes, so each
+    /// lane still runs the ascending tap loop verbatim — the reduction
+    /// design that keeps SIMD bit-identical to scalar.
+    fn convolve_interior(
+        row_in: &[f64],
+        row_out: &mut [f64],
+        taps: &[f64],
+        taps_sum: f64,
+        il: usize,
+        ih: usize,
+    ) {
+        let len = taps.len();
+        let radius = len / 2;
+        for x in il..ih {
+            let window = &row_in[x - radius..x - radius + len];
+            let mut acc = 0.0;
+            for (t, v) in taps.iter().zip(window) {
+                acc += t * v;
+            }
+            row_out[x] = acc / taps_sum;
+        }
+    }
+
+    /// Number of elements printed under the outer corner but not the inner:
+    /// `outer[i] > t_out && !(inner[i] > t_in)` — one PV-band row.
+    // The negation is load-bearing: vector backends realise it as ANDNOT of
+    // an ordered `>` compare, so `!(x > t)` — not `x <= t` — is the predicate
+    // every backend must share (they differ on NaN).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn band_count(inner: &[f64], t_in: f64, outer: &[f64], t_out: f64) -> usize {
+        let mut count = 0;
+        for (&i_in, &i_out) in inner.iter().zip(outer) {
+            if i_out > t_out && !(i_in > t_in) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Threshold sweep to a bitmask: bit `j` of `words[i]` is
+    /// `src[64·i + j] > threshold`. Trailing bits of the last touched word
+    /// are zero; `words` beyond the touched prefix are left untouched.
+    fn mask_gt(src: &[f64], threshold: f64, words: &mut [u64]) {
+        for (word, chunk) in words.iter_mut().zip(src.chunks(64)) {
+            let mut w = 0u64;
+            for (j, &v) in chunk.iter().enumerate() {
+                if v > threshold {
+                    w |= 1 << j;
+                }
+            }
+            *word = w;
+        }
+    }
+}
+
+/// Portable scalar backend — the reference implementation of every kernel.
+pub struct Scalar;
+
+impl Arch for Scalar {
+    const NAME: &'static str = "scalar";
+    const LANES: usize = 1;
+}
+
+/// 2-lane SSE2 backend. On non-x86-64 targets the type exists but runs the
+/// scalar defaults, so [`ArchId`] stays portable.
+pub struct Sse2;
+
+/// 4-lane AVX2 backend. On non-x86-64 targets the type exists but runs the
+/// scalar defaults, so [`ArchId`] stays portable.
+pub struct Avx2;
+
+#[cfg(not(target_arch = "x86_64"))]
+impl Arch for Sse2 {
+    const NAME: &'static str = "sse2";
+    const LANES: usize = 2;
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+impl Arch for Avx2 {
+    const NAME: &'static str = "avx2";
+    const LANES: usize = 4;
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{Arch, Avx2, Scalar, Sse2};
+    use std::arch::x86_64::*;
+
+    impl Arch for Sse2 {
+        const NAME: &'static str = "sse2";
+        const LANES: usize = 2;
+
+        fn add_constant(dst: &mut [f64], c: f64) {
+            debug_assert!(std::arch::is_x86_feature_detected!("sse2"));
+            // SAFETY: the dispatch layer selects `Sse2` only on hosts where
+            // `is_x86_feature_detected!("sse2")` held (debug-asserted above).
+            unsafe { add_constant_sse2(dst, c) }
+        }
+
+        fn axpy(acc: &mut [f64], t: f64, src: &[f64]) {
+            debug_assert!(std::arch::is_x86_feature_detected!("sse2"));
+            // SAFETY: dispatch selects `Sse2` only after SSE2 detection.
+            unsafe { axpy_sse2(acc, t, src) }
+        }
+
+        fn div_into(out: &mut [f64], acc: &[f64], norm: f64) {
+            debug_assert!(std::arch::is_x86_feature_detected!("sse2"));
+            // SAFETY: dispatch selects `Sse2` only after SSE2 detection.
+            unsafe { div_into_sse2(out, acc, norm) }
+        }
+
+        fn square_weighted_add(out: &mut [f64], weight: f64, amp: &[f64]) {
+            debug_assert!(std::arch::is_x86_feature_detected!("sse2"));
+            // SAFETY: dispatch selects `Sse2` only after SSE2 detection.
+            unsafe { square_weighted_add_sse2(out, weight, amp) }
+        }
+
+        fn convolve_interior(
+            row_in: &[f64],
+            row_out: &mut [f64],
+            taps: &[f64],
+            taps_sum: f64,
+            il: usize,
+            ih: usize,
+        ) {
+            debug_assert!(std::arch::is_x86_feature_detected!("sse2"));
+            // SAFETY: dispatch selects `Sse2` only after SSE2 detection.
+            unsafe { convolve_interior_sse2(row_in, row_out, taps, taps_sum, il, ih) }
+        }
+
+        fn band_count(inner: &[f64], t_in: f64, outer: &[f64], t_out: f64) -> usize {
+            debug_assert!(std::arch::is_x86_feature_detected!("sse2"));
+            // SAFETY: dispatch selects `Sse2` only after SSE2 detection.
+            unsafe { band_count_sse2(inner, t_in, outer, t_out) }
+        }
+
+        fn mask_gt(src: &[f64], threshold: f64, words: &mut [u64]) {
+            debug_assert!(std::arch::is_x86_feature_detected!("sse2"));
+            // SAFETY: dispatch selects `Sse2` only after SSE2 detection.
+            unsafe { mask_gt_sse2(src, threshold, words) }
+        }
+    }
+
+    impl Arch for Avx2 {
+        const NAME: &'static str = "avx2";
+        const LANES: usize = 4;
+
+        fn add_constant(dst: &mut [f64], c: f64) {
+            debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+            // SAFETY: dispatch selects `Avx2` only after AVX2 detection.
+            unsafe { add_constant_avx2(dst, c) }
+        }
+
+        fn axpy(acc: &mut [f64], t: f64, src: &[f64]) {
+            debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+            // SAFETY: dispatch selects `Avx2` only after AVX2 detection.
+            unsafe { axpy_avx2(acc, t, src) }
+        }
+
+        fn div_into(out: &mut [f64], acc: &[f64], norm: f64) {
+            debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+            // SAFETY: dispatch selects `Avx2` only after AVX2 detection.
+            unsafe { div_into_avx2(out, acc, norm) }
+        }
+
+        fn square_weighted_add(out: &mut [f64], weight: f64, amp: &[f64]) {
+            debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+            // SAFETY: dispatch selects `Avx2` only after AVX2 detection.
+            unsafe { square_weighted_add_avx2(out, weight, amp) }
+        }
+
+        fn convolve_interior(
+            row_in: &[f64],
+            row_out: &mut [f64],
+            taps: &[f64],
+            taps_sum: f64,
+            il: usize,
+            ih: usize,
+        ) {
+            debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+            // SAFETY: dispatch selects `Avx2` only after AVX2 detection.
+            unsafe { convolve_interior_avx2(row_in, row_out, taps, taps_sum, il, ih) }
+        }
+
+        fn band_count(inner: &[f64], t_in: f64, outer: &[f64], t_out: f64) -> usize {
+            debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+            // SAFETY: dispatch selects `Avx2` only after AVX2 detection.
+            unsafe { band_count_avx2(inner, t_in, outer, t_out) }
+        }
+
+        fn mask_gt(src: &[f64], threshold: f64, words: &mut [u64]) {
+            debug_assert!(std::arch::is_x86_feature_detected!("avx2"));
+            // SAFETY: dispatch selects `Avx2` only after AVX2 detection.
+            unsafe { mask_gt_avx2(src, threshold, words) }
+        }
+    }
+
+    // SAFETY: requires SSE2; all loads/stores are within `dst` (chunks of 2).
+    #[target_feature(enable = "sse2")]
+    unsafe fn add_constant_sse2(dst: &mut [f64], c: f64) {
+        let cv = _mm_set1_pd(c);
+        let mut chunks = dst.chunks_exact_mut(2);
+        for d in chunks.by_ref() {
+            let v = _mm_loadu_pd(d.as_ptr());
+            _mm_storeu_pd(d.as_mut_ptr(), _mm_add_pd(v, cv));
+        }
+        Scalar::add_constant(chunks.into_remainder(), c);
+    }
+
+    // SAFETY: requires AVX2; all loads/stores are within `dst` (chunks of 4).
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_constant_avx2(dst: &mut [f64], c: f64) {
+        let cv = _mm256_set1_pd(c);
+        let mut chunks = dst.chunks_exact_mut(4);
+        for d in chunks.by_ref() {
+            let v = _mm256_loadu_pd(d.as_ptr());
+            _mm256_storeu_pd(d.as_mut_ptr(), _mm256_add_pd(v, cv));
+        }
+        Scalar::add_constant(chunks.into_remainder(), c);
+    }
+
+    // Mul then add per lane — never an FMA.
+    // SAFETY: requires SSE2; lanes stay in the zipped prefix of `acc`/`src`.
+    #[target_feature(enable = "sse2")]
+    unsafe fn axpy_sse2(acc: &mut [f64], t: f64, src: &[f64]) {
+        let n = acc.len().min(src.len());
+        let tv = _mm_set1_pd(t);
+        let mut x = 0;
+        while x + 2 <= n {
+            let a = _mm_loadu_pd(acc.as_ptr().add(x));
+            let s = _mm_loadu_pd(src.as_ptr().add(x));
+            _mm_storeu_pd(acc.as_mut_ptr().add(x), _mm_add_pd(a, _mm_mul_pd(tv, s)));
+            x += 2;
+        }
+        Scalar::axpy(&mut acc[x..n], t, &src[x..n]);
+    }
+
+    // Mul then add per lane — never an FMA.
+    // SAFETY: requires AVX2; lanes stay in the zipped prefix of `acc`/`src`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn axpy_avx2(acc: &mut [f64], t: f64, src: &[f64]) {
+        let n = acc.len().min(src.len());
+        let tv = _mm256_set1_pd(t);
+        let mut x = 0;
+        while x + 4 <= n {
+            let a = _mm256_loadu_pd(acc.as_ptr().add(x));
+            let s = _mm256_loadu_pd(src.as_ptr().add(x));
+            _mm256_storeu_pd(
+                acc.as_mut_ptr().add(x),
+                _mm256_add_pd(a, _mm256_mul_pd(tv, s)),
+            );
+            x += 4;
+        }
+        Scalar::axpy(&mut acc[x..n], t, &src[x..n]);
+    }
+
+    // SAFETY: requires SSE2; lanes stay in the zipped prefix of `out`/`acc`.
+    #[target_feature(enable = "sse2")]
+    unsafe fn div_into_sse2(out: &mut [f64], acc: &[f64], norm: f64) {
+        let n = out.len().min(acc.len());
+        let nv = _mm_set1_pd(norm);
+        let mut x = 0;
+        while x + 2 <= n {
+            let a = _mm_loadu_pd(acc.as_ptr().add(x));
+            _mm_storeu_pd(out.as_mut_ptr().add(x), _mm_div_pd(a, nv));
+            x += 2;
+        }
+        Scalar::div_into(&mut out[x..n], &acc[x..n], norm);
+    }
+
+    // SAFETY: requires AVX2; lanes stay in the zipped prefix of `out`/`acc`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn div_into_avx2(out: &mut [f64], acc: &[f64], norm: f64) {
+        let n = out.len().min(acc.len());
+        let nv = _mm256_set1_pd(norm);
+        let mut x = 0;
+        while x + 4 <= n {
+            let a = _mm256_loadu_pd(acc.as_ptr().add(x));
+            _mm256_storeu_pd(out.as_mut_ptr().add(x), _mm256_div_pd(a, nv));
+            x += 4;
+        }
+        Scalar::div_into(&mut out[x..n], &acc[x..n], norm);
+    }
+
+    // Association matches the scalar `(weight * v) * v`.
+    // SAFETY: requires SSE2; lanes stay in the zipped prefix of `out`/`amp`.
+    #[target_feature(enable = "sse2")]
+    unsafe fn square_weighted_add_sse2(out: &mut [f64], weight: f64, amp: &[f64]) {
+        let n = out.len().min(amp.len());
+        let wv = _mm_set1_pd(weight);
+        let mut x = 0;
+        while x + 2 <= n {
+            let o = _mm_loadu_pd(out.as_ptr().add(x));
+            let v = _mm_loadu_pd(amp.as_ptr().add(x));
+            let term = _mm_mul_pd(_mm_mul_pd(wv, v), v);
+            _mm_storeu_pd(out.as_mut_ptr().add(x), _mm_add_pd(o, term));
+            x += 2;
+        }
+        Scalar::square_weighted_add(&mut out[x..n], weight, &amp[x..n]);
+    }
+
+    // Association matches the scalar `(weight * v) * v`.
+    // SAFETY: requires AVX2; lanes stay in the zipped prefix of `out`/`amp`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn square_weighted_add_avx2(out: &mut [f64], weight: f64, amp: &[f64]) {
+        let n = out.len().min(amp.len());
+        let wv = _mm256_set1_pd(weight);
+        let mut x = 0;
+        while x + 4 <= n {
+            let o = _mm256_loadu_pd(out.as_ptr().add(x));
+            let v = _mm256_loadu_pd(amp.as_ptr().add(x));
+            let term = _mm256_mul_pd(_mm256_mul_pd(wv, v), v);
+            _mm256_storeu_pd(out.as_mut_ptr().add(x), _mm256_add_pd(o, term));
+            x += 4;
+        }
+        Scalar::square_weighted_add(&mut out[x..n], weight, &amp[x..n]);
+    }
+
+    // Lanes are output pixels x..x+2 with x+1 < ih; the widest load covers
+    // indices (x+1) - radius ..= (x+1) + radius, all ≤ ih - 1 + radius <
+    // row_in.len() by the caller-guaranteed full-support invariant of
+    // `Arch::convolve_interior`. Each lane accumulates taps in ascending
+    // order with mul-then-add, exactly the scalar loop.
+    // SAFETY: requires SSE2; every load is in bounds as argued above.
+    #[target_feature(enable = "sse2")]
+    unsafe fn convolve_interior_sse2(
+        row_in: &[f64],
+        row_out: &mut [f64],
+        taps: &[f64],
+        taps_sum: f64,
+        il: usize,
+        ih: usize,
+    ) {
+        let radius = taps.len() / 2;
+        let sum = _mm_set1_pd(taps_sum);
+        let mut x = il;
+        while x + 2 <= ih {
+            let base = x - radius;
+            let mut acc = _mm_setzero_pd();
+            for (k, &t) in taps.iter().enumerate() {
+                let v = _mm_loadu_pd(row_in.as_ptr().add(base + k));
+                acc = _mm_add_pd(acc, _mm_mul_pd(_mm_set1_pd(t), v));
+            }
+            _mm_storeu_pd(row_out.as_mut_ptr().add(x), _mm_div_pd(acc, sum));
+            x += 2;
+        }
+        Scalar::convolve_interior(row_in, row_out, taps, taps_sum, x, ih);
+    }
+
+    // Lanes are output pixels x..x+4 with x+3 < ih; the widest load covers
+    // indices (x+3) - radius ..= (x+3) + radius, all ≤ ih - 1 + radius <
+    // row_in.len() by the caller-guaranteed full-support invariant of
+    // `Arch::convolve_interior`. Each lane accumulates taps in ascending
+    // order with mul-then-add, exactly the scalar loop.
+    // SAFETY: requires AVX2; every load is in bounds as argued above.
+    #[target_feature(enable = "avx2")]
+    unsafe fn convolve_interior_avx2(
+        row_in: &[f64],
+        row_out: &mut [f64],
+        taps: &[f64],
+        taps_sum: f64,
+        il: usize,
+        ih: usize,
+    ) {
+        let radius = taps.len() / 2;
+        let sum = _mm256_set1_pd(taps_sum);
+        let mut x = il;
+        while x + 4 <= ih {
+            let base = x - radius;
+            let mut acc = _mm256_setzero_pd();
+            for (k, &t) in taps.iter().enumerate() {
+                let v = _mm256_loadu_pd(row_in.as_ptr().add(base + k));
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(t), v));
+            }
+            _mm256_storeu_pd(row_out.as_mut_ptr().add(x), _mm256_div_pd(acc, sum));
+            x += 4;
+        }
+        Scalar::convolve_interior(row_in, row_out, taps, taps_sum, x, ih);
+    }
+
+    // `_mm_cmpgt_pd` is the same ordered `>` predicate as the scalar
+    // comparison (false on NaN).
+    // SAFETY: requires SSE2; lanes stay in the zipped prefix of the slices.
+    #[target_feature(enable = "sse2")]
+    unsafe fn band_count_sse2(inner: &[f64], t_in: f64, outer: &[f64], t_out: f64) -> usize {
+        let n = inner.len().min(outer.len());
+        let ti = _mm_set1_pd(t_in);
+        let to = _mm_set1_pd(t_out);
+        let mut count = 0usize;
+        let mut x = 0;
+        while x + 2 <= n {
+            let vi = _mm_loadu_pd(inner.as_ptr().add(x));
+            let vo = _mm_loadu_pd(outer.as_ptr().add(x));
+            let printed_outer = _mm_cmpgt_pd(vo, to);
+            let printed_inner = _mm_cmpgt_pd(vi, ti);
+            let band = _mm_andnot_pd(printed_inner, printed_outer);
+            count += (_mm_movemask_pd(band) as u32).count_ones() as usize;
+            x += 2;
+        }
+        count + Scalar::band_count(&inner[x..n], t_in, &outer[x..n], t_out)
+    }
+
+    // `_CMP_GT_OQ` is the same ordered `>` predicate as the scalar
+    // comparison (false on NaN).
+    // SAFETY: requires AVX2; lanes stay in the zipped prefix of the slices.
+    #[target_feature(enable = "avx2")]
+    unsafe fn band_count_avx2(inner: &[f64], t_in: f64, outer: &[f64], t_out: f64) -> usize {
+        let n = inner.len().min(outer.len());
+        let ti = _mm256_set1_pd(t_in);
+        let to = _mm256_set1_pd(t_out);
+        let mut count = 0usize;
+        let mut x = 0;
+        while x + 4 <= n {
+            let vi = _mm256_loadu_pd(inner.as_ptr().add(x));
+            let vo = _mm256_loadu_pd(outer.as_ptr().add(x));
+            let printed_outer = _mm256_cmp_pd::<_CMP_GT_OQ>(vo, to);
+            let printed_inner = _mm256_cmp_pd::<_CMP_GT_OQ>(vi, ti);
+            let band = _mm256_andnot_pd(printed_inner, printed_outer);
+            count += (_mm256_movemask_pd(band) as u32).count_ones() as usize;
+            x += 4;
+        }
+        count + Scalar::band_count(&inner[x..n], t_in, &outer[x..n], t_out)
+    }
+
+    // 32 × 2-lane compares per word; `_mm_cmpgt_pd` matches the scalar
+    // ordered `>`, and the remainder is handled by the scalar reference.
+    // SAFETY: requires SSE2; reads whole 64-element chunks of `src`.
+    #[target_feature(enable = "sse2")]
+    unsafe fn mask_gt_sse2(src: &[f64], threshold: f64, words: &mut [u64]) {
+        let t = _mm_set1_pd(threshold);
+        let mut chunks = src.chunks_exact(64);
+        let mut wi = 0;
+        for chunk in chunks.by_ref() {
+            let mut w = 0u64;
+            for b in 0..32 {
+                let v = _mm_loadu_pd(chunk.as_ptr().add(2 * b));
+                let m = _mm_movemask_pd(_mm_cmpgt_pd(v, t)) as u64;
+                w |= m << (2 * b);
+            }
+            words[wi] = w;
+            wi += 1;
+        }
+        Scalar::mask_gt(chunks.remainder(), threshold, &mut words[wi..]);
+    }
+
+    // 16 × 4-lane compares per word; `_CMP_GT_OQ` matches the scalar
+    // ordered `>`, and the remainder is handled by the scalar reference.
+    // SAFETY: requires AVX2; reads whole 64-element chunks of `src`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn mask_gt_avx2(src: &[f64], threshold: f64, words: &mut [u64]) {
+        let t = _mm256_set1_pd(threshold);
+        let mut chunks = src.chunks_exact(64);
+        let mut wi = 0;
+        for chunk in chunks.by_ref() {
+            let mut w = 0u64;
+            for b in 0..16 {
+                let v = _mm256_loadu_pd(chunk.as_ptr().add(4 * b));
+                let m = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_GT_OQ>(v, t)) as u64;
+                w |= m << (4 * b);
+            }
+            words[wi] = w;
+            wi += 1;
+        }
+        Scalar::mask_gt(chunks.remainder(), threshold, &mut words[wi..]);
+    }
+}
+
+/// Invokes one method of the backend `$arch` names. The only place the
+/// `ArchId` → type mapping exists.
+macro_rules! dispatch {
+    ($arch:expr, $method:ident ( $($arg:expr),* $(,)? )) => {
+        match $arch {
+            ArchId::Scalar => <Scalar as Arch>::$method($($arg),*),
+            ArchId::Sse2 => <Sse2 as Arch>::$method($($arg),*),
+            ArchId::Avx2 => <Avx2 as Arch>::$method($($arg),*),
+        }
+    };
+}
+
+/// Dispatched [`Arch::add_constant`].
+pub fn add_constant(arch: ArchId, dst: &mut [f64], c: f64) {
+    dispatch!(arch, add_constant(dst, c))
+}
+
+/// Dispatched [`Arch::axpy`].
+pub fn axpy(arch: ArchId, acc: &mut [f64], t: f64, src: &[f64]) {
+    dispatch!(arch, axpy(acc, t, src))
+}
+
+/// Dispatched [`Arch::div_into`].
+pub fn div_into(arch: ArchId, out: &mut [f64], acc: &[f64], norm: f64) {
+    dispatch!(arch, div_into(out, acc, norm))
+}
+
+/// Dispatched [`Arch::square_weighted_add`].
+pub fn square_weighted_add(arch: ArchId, out: &mut [f64], weight: f64, amp: &[f64]) {
+    dispatch!(arch, square_weighted_add(out, weight, amp))
+}
+
+/// Dispatched [`Arch::convolve_interior`].
+pub fn convolve_interior(
+    arch: ArchId,
+    row_in: &[f64],
+    row_out: &mut [f64],
+    taps: &[f64],
+    taps_sum: f64,
+    il: usize,
+    ih: usize,
+) {
+    dispatch!(
+        arch,
+        convolve_interior(row_in, row_out, taps, taps_sum, il, ih)
+    )
+}
+
+/// Dispatched [`Arch::band_count`].
+pub fn band_count(arch: ArchId, inner: &[f64], t_in: f64, outer: &[f64], t_out: f64) -> usize {
+    dispatch!(arch, band_count(inner, t_in, outer, t_out))
+}
+
+/// Dispatched [`Arch::mask_gt`].
+pub fn mask_gt(arch: ArchId, src: &[f64], threshold: f64, words: &mut [u64]) {
+    dispatch!(arch, mask_gt(src, threshold, words))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random f64s in (-1, 1) — no external RNG, no
+    /// ambient entropy, so the parity corpus is identical on every run.
+    fn noise(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn detected_starts_with_scalar_and_contains_active() {
+        let archs = detected();
+        assert_eq!(archs.first(), Some(&ArchId::Scalar));
+        assert!(archs.contains(&active()));
+    }
+
+    #[test]
+    fn arch_names_round_trip() {
+        assert_eq!(ArchId::Scalar.name(), "scalar");
+        assert_eq!(ArchId::Sse2.name(), "sse2");
+        assert_eq!(ArchId::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn elementwise_kernels_are_bit_identical_across_detected_archs() {
+        // Lengths straddle every lane boundary, including the scalar tails.
+        for len in [0, 1, 2, 3, 4, 5, 7, 8, 63, 64, 65, 130] {
+            let src = noise(len, 41 + len as u64);
+            let base = noise(len, 97 + len as u64);
+            for &arch in detected() {
+                let mut a = base.clone();
+                let mut b = base.clone();
+                Scalar::add_constant(&mut a, 0.8125);
+                add_constant(arch, &mut b, 0.8125);
+                assert_eq!(bits(&a), bits(&b), "{:?} add_constant len {len}", arch);
+
+                let mut a = base.clone();
+                let mut b = base.clone();
+                Scalar::axpy(&mut a, 0.3331, &src);
+                axpy(arch, &mut b, 0.3331, &src);
+                assert_eq!(bits(&a), bits(&b), "{:?} axpy len {len}", arch);
+
+                let mut a = vec![0.0; len];
+                let mut b = vec![0.0; len];
+                Scalar::div_into(&mut a, &src, 0.7713);
+                div_into(arch, &mut b, &src, 0.7713);
+                assert_eq!(bits(&a), bits(&b), "{:?} div_into len {len}", arch);
+
+                let mut a = base.clone();
+                let mut b = base.clone();
+                Scalar::square_weighted_add(&mut a, 1.77, &src);
+                square_weighted_add(arch, &mut b, 1.77, &src);
+                assert_eq!(
+                    bits(&a),
+                    bits(&b),
+                    "{:?} square_weighted_add len {len}",
+                    arch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn convolve_interior_is_bit_identical_across_detected_archs() {
+        for (w, tap_len) in [(9, 3), (40, 7), (129, 21), (257, 1)] {
+            let row_in = noise(w, 7 + w as u64);
+            let taps = noise(tap_len, 11)
+                .iter()
+                .map(|t| t.abs() + 0.01)
+                .collect::<Vec<_>>();
+            let taps_sum: f64 = taps.iter().sum();
+            let radius = tap_len / 2;
+            let il = radius;
+            let ih = w + radius + 1 - tap_len;
+            let mut reference = vec![0.0; w];
+            Scalar::convolve_interior(&row_in, &mut reference, &taps, taps_sum, il, ih);
+            for &arch in detected() {
+                let mut out = vec![0.0; w];
+                convolve_interior(arch, &row_in, &mut out, &taps, taps_sum, il, ih);
+                assert_eq!(
+                    bits(&reference),
+                    bits(&out),
+                    "{:?} w={w} taps={tap_len}",
+                    arch
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_kernels_are_bit_identical_across_detected_archs() {
+        for len in [0, 1, 2, 5, 63, 64, 65, 200] {
+            let inner = noise(len, 3 + len as u64);
+            let outer = noise(len, 5 + len as u64);
+            let expected = Scalar::band_count(&inner, 0.1, &outer, -0.1);
+            let words = len.div_ceil(64).max(1);
+            let mut reference = vec![0u64; words];
+            Scalar::mask_gt(&outer, 0.05, &mut reference);
+            for &arch in detected() {
+                assert_eq!(
+                    band_count(arch, &inner, 0.1, &outer, -0.1),
+                    expected,
+                    "{:?} band_count len {len}",
+                    arch
+                );
+                let mut got = vec![0u64; words];
+                mask_gt(arch, &outer, 0.05, &mut got);
+                assert_eq!(reference, got, "{:?} mask_gt len {len}", arch);
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_override_forces_scalar() {
+        // `select` honours an explicit scalar request regardless of what the
+        // host supports; exercised directly since `active` latches once.
+        std::env::set_var("CAMO_SIMD", "scalar");
+        assert_eq!(select(), ArchId::Scalar);
+        std::env::remove_var("CAMO_SIMD");
+        assert_eq!(select(), *detected().last().unwrap());
+    }
+}

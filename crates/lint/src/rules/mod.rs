@@ -158,8 +158,10 @@ pub fn atomics(file: &SourceFile, _config: &Config, out: &mut Vec<Finding>) {
 }
 
 /// Rule `unsafety`: every `unsafe` token (block, fn, impl) is preceded by
-/// a `// SAFETY:` comment. Applies to test code too — a test allocator's
-/// contract deserves the same sentence as production code.
+/// a `// SAFETY:` comment. The rule is workspace-wide with no allowlist:
+/// it covers the SIMD intrinsic backends under `crates/geometry` and
+/// `crates/litho` as well as test code — a test allocator's contract
+/// deserves the same sentence as production code.
 pub fn unsafety(file: &SourceFile, _config: &Config, out: &mut Vec<Finding>) {
     for (i, tok) in file.tokens.iter().enumerate() {
         if !tok.is_ident("unsafe") {

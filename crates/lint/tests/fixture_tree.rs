@@ -113,7 +113,8 @@ fn every_rule_fires_on_its_seeded_violation() {
     );
 
     // locks (IO under a live guard), outside the panic scope so the
-    // `.expect` here stays silent.
+    // `.expect` here stays silent; unsafety on a SAFETY-less SIMD
+    // intrinsic call — the annotated twin below it must stay silent.
     put(
         &root,
         "crates/litho/src/lib.rs",
@@ -127,6 +128,15 @@ fn every_rule_fires_on_its_seeded_violation() {
          pub fn blast(ch: &Channel, bytes: &[u8]) -> std::io::Result<()> {\n\
              let mut guard = ch.sink.lock().expect(\"poisoned\");\n\
              guard.write_all(bytes)\n\
+         }\n\
+         \n\
+         pub fn lane0(v: &[f64]) -> f64 {\n\
+             unsafe { std::arch::x86_64::_mm_cvtsd_f64(std::arch::x86_64::_mm_loadu_pd(v.as_ptr())) }\n\
+         }\n\
+         \n\
+         pub fn lane0_justified(v: &[f64]) -> f64 {\n\
+             // SAFETY: every caller passes at least two lanes.\n\
+             unsafe { std::arch::x86_64::_mm_cvtsd_f64(std::arch::x86_64::_mm_loadu_pd(v.as_ptr())) }\n\
          }\n",
     );
 
@@ -144,6 +154,7 @@ fn every_rule_fires_on_its_seeded_violation() {
     let expected: Vec<(String, usize, &str)> = [
         ("crates/core/src/lib.rs", 1, "determinism"),
         ("crates/litho/src/lib.rs", 10, "locks"),
+        ("crates/litho/src/lib.rs", 14, "unsafety"),
         ("crates/serve/src/bin/tool.rs", 4, "drift"),
         ("crates/serve/src/lib.rs", 7, "locks"),
         ("crates/serve/src/lib.rs", 14, "panics"),

@@ -2,12 +2,28 @@
 //! to re-simulate only what changed.
 
 use crate::epe::{measure_epe, EpeReport};
-use crate::pipeline::{aerial_window, DerivedImage, TapsCache};
+use crate::pipeline::{aerial_window, DerivedImage, SimWorkspace, TapsCache, MAX_SUB_WINDOWS};
 use crate::pool::PooledWorkspace;
 use crate::process::ProcessCorner;
 use crate::pvband::{pv_band_area, pv_band_area_in};
 use crate::simulator::{LithoSimulator, SimulationResult};
-use camo_geometry::{Coord, MaskState, Raster, Rect};
+use camo_geometry::{Coord, MaskState, PixelWindow, Raster, Rect};
+
+/// Pixel accounting of the most recent refresh — the evidence the
+/// bitmask-sparse dirty-tile path reports to benchmarks and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefreshStats {
+    /// Pixels actually re-rasterised (the sum of disjoint sub-window areas
+    /// on the sparse path; the dirty window or whole raster otherwise).
+    pub rasterized_pixels: usize,
+    /// Pixels the dense dirty-rect path would have re-rasterised (the
+    /// snapped dirty window's area; the whole raster on a full rebuild).
+    pub dirty_window_pixels: usize,
+    /// Disjoint sub-windows refreshed (1 on the dense and full paths).
+    pub sub_windows: usize,
+    /// Whether the refresh rebuilt the whole raster.
+    pub full: bool,
+}
 
 /// A stateful evaluation session over one mask.
 ///
@@ -45,6 +61,7 @@ pub struct MaskEvaluator<'a> {
     sim: &'a LithoSimulator,
     mask: MaskState,
     ws: PooledWorkspace,
+    last_refresh: RefreshStats,
 }
 
 impl<'a> MaskEvaluator<'a> {
@@ -61,6 +78,7 @@ impl<'a> MaskEvaluator<'a> {
             sim,
             mask,
             ws: PooledWorkspace::new(ws, sim.pool_arc()),
+            last_refresh: RefreshStats::default(),
         };
         eval.ws.reserve_row_acc();
         eval.full_rasterize();
@@ -90,10 +108,25 @@ impl<'a> MaskEvaluator<'a> {
     /// Applies one movement per segment and incrementally re-simulates the
     /// dirty region (see [`MaskState::apply_moves`] for the movement
     /// semantics and panics).
+    ///
+    /// The refresh is *bitmask-sparse*: each moved segment's dirty rect is
+    /// marked into a per-row bitmask (one bit per pixel, one `u64` word per
+    /// 64 pixels) and only the marked spans inside the union dirty window
+    /// are re-rasterised and re-convolved — distant simultaneous moves no
+    /// longer pay for the empty area between them. Results stay
+    /// bit-identical to the dense path and to a fresh full evaluation.
     pub fn apply_moves(&mut self, moves: &[Coord]) {
-        let dirty = self.mask.apply_moves(moves);
+        let mut rects = std::mem::take(&mut self.ws.dirty_rects);
+        let dirty = self.mask.apply_moves_into(moves, &mut rects);
+        self.ws.dirty_rects = rects;
         let Some(dirty_nm) = dirty else { return };
-        self.refresh_dirty(dirty_nm);
+        self.refresh_dirty_sparse(dirty_nm);
+    }
+
+    /// Pixel accounting of the most recent raster refresh (construction
+    /// counts as a full rebuild).
+    pub fn last_refresh_stats(&self) -> RefreshStats {
+        self.last_refresh
     }
 
     /// Adds `delta` nm to one segment's offset and re-simulates.
@@ -101,10 +134,7 @@ impl<'a> MaskEvaluator<'a> {
         let before = self.mask.offsets()[id];
         self.mask.move_segment(id, delta);
         if self.mask.offsets()[id] != before {
-            let s = &self.mask.fragments().segments[id];
-            let dirty = Rect::new(s.start.x, s.start.y, s.end.x, s.end.y)
-                .expanded(self.mask.max_offset() + 1);
-            self.refresh_dirty(dirty);
+            self.refresh_dirty(self.mask.segment_refresh_rect(id));
         }
     }
 
@@ -191,13 +221,22 @@ impl<'a> MaskEvaluator<'a> {
             slot.valid = false;
             slot.pending = None;
         }
+        let total = ws.raster.width() * ws.raster.height();
+        self.last_refresh = RefreshStats {
+            rasterized_pixels: total,
+            dirty_window_pixels: total,
+            sub_windows: 1,
+            full: true,
+        };
         for i in 0..self.ws.slots.len() {
             self.refresh_slot(i);
         }
     }
 
-    /// Re-rasterises the dirty window and refreshes every cached image, or
-    /// falls back to a full refresh when the window dominates the raster.
+    /// Re-rasterises the dirty window densely and refreshes every cached
+    /// image, or falls back to a full refresh when the window dominates the
+    /// raster. Single-rect callers ([`Self::move_segment`], tests) use this
+    /// directly; [`Self::apply_moves`] goes through the sparse path.
     fn refresh_dirty(&mut self, dirty_nm: Rect) {
         // The mask has already mutated by the time we get here, so a dirty
         // rect that misses the raster (or degenerates when snapped to pixel
@@ -213,6 +252,91 @@ impl<'a> MaskEvaluator<'a> {
             self.full_rasterize();
             return;
         }
+        self.refresh_window_dense(win);
+    }
+
+    /// Re-rasterises only the bitmask-marked spans of the dirty window,
+    /// using the per-segment rects of the last
+    /// [`MaskState::apply_moves_into`] (in `ws.dirty_rects`). Falls back to
+    /// the dense window when the union is small anyway, the decomposition
+    /// overflows [`MAX_SUB_WINDOWS`], or the sparse area is no smaller.
+    fn refresh_dirty_sparse(&mut self, dirty_nm: Rect) {
+        let ws = &mut *self.ws;
+        let Some(win) = ws.raster.pixel_window(dirty_nm) else {
+            self.full_rasterize();
+            return;
+        };
+        let total = ws.raster.width() * ws.raster.height();
+        if win.area() * 2 > total {
+            self.full_rasterize();
+            return;
+        }
+        if !decompose_dirty(ws, win) {
+            self.refresh_window_dense(win);
+            return;
+        }
+        let sparse_px: usize = ws.sub_windows.iter().map(|sw| sw.area()).sum();
+        if sparse_px >= win.area() {
+            self.refresh_window_dense(win);
+            return;
+        }
+        // Phase 0: rebuild every moved polygon's vertices once.
+        for i in 0..self.mask.clip().targets().len() {
+            let mut verts = std::mem::take(&mut ws.polys[i]);
+            self.mask.moved_polygon_vertices(i, &mut verts);
+            ws.polys[i] = verts;
+        }
+        // Phase 1: re-rasterise each disjoint sub-window. All raster
+        // updates complete before any convolution reads (phase 2), so every
+        // cached-image pixel sees fully consistent coverage.
+        for si in 0..ws.sub_windows.len() {
+            let sw = ws.sub_windows[si];
+            ws.raster.zero_window(sw);
+            for i in 0..self.mask.clip().targets().len() {
+                ws.raster
+                    .fill_polygon_coverage_in(&ws.polys[i], 1.0, sw, &mut ws.cov);
+            }
+            for &sraf in self.mask.sraf_rects() {
+                ws.raster.fill_rect_coverage_in(sraf, 1.0, sw);
+            }
+            ws.raster.clamp_window(sw, 0.0, 1.0);
+        }
+        ws.content = Some(match ws.content {
+            Some(c) => c.union(&win),
+            None => win,
+        });
+        self.last_refresh = RefreshStats {
+            rasterized_pixels: sparse_px,
+            dirty_window_pixels: win.area(),
+            sub_windows: ws.sub_windows.len(),
+            full: false,
+        };
+        // Phase 2: every cached image refreshes per sub-window (expanded by
+        // the kernel radius inside `refresh_slot_in`). Pixels outside every
+        // expanded sub-window have convolution supports disjoint from the
+        // changed coverage, so their cached values are already bit-correct;
+        // overlapping expansions recompute idempotently.
+        for i in 0..self.ws.slots.len() {
+            if !self.ws.slots[i].valid {
+                continue;
+            }
+            if self.ws.slots[i].pending.is_some() {
+                // A leftover pending window (never the steady state — every
+                // refresh ends up-to-date) is flushed through the dense path
+                // before the sparse windows are applied on top.
+                self.refresh_slot(i);
+            }
+            for si in 0..self.ws.sub_windows.len() {
+                let sw = self.ws.sub_windows[si];
+                self.refresh_slot_in(i, sw);
+            }
+        }
+    }
+
+    /// The dense window refresh: zero + refill + clamp the window, then
+    /// bring every cached image up to date over it.
+    fn refresh_window_dense(&mut self, win: PixelWindow) {
+        let ws = &mut *self.ws;
         ws.raster.zero_window(win);
         for i in 0..self.mask.clip().targets().len() {
             let mut verts = std::mem::take(&mut ws.polys[i]);
@@ -237,6 +361,12 @@ impl<'a> MaskEvaluator<'a> {
                 });
             }
         }
+        self.last_refresh = RefreshStats {
+            rasterized_pixels: win.area(),
+            dirty_window_pixels: win.area(),
+            sub_windows: 1,
+            full: false,
+        };
         self.refresh_valid_slots();
     }
 
@@ -312,6 +442,7 @@ impl<'a> MaskEvaluator<'a> {
                 &ws.extra_taps
             };
             aerial_window(
+                crate::simd::active(),
                 ws.raster.data(),
                 w,
                 h,
@@ -328,6 +459,136 @@ impl<'a> MaskEvaluator<'a> {
         ws.slots[index].valid = true;
         ws.slots[index].pending = None;
     }
+
+    /// Recomputes one cached image over a fixed window (padded by the kernel
+    /// radius), leaving the slot's valid/pending bookkeeping untouched. The
+    /// sparse path calls this once per disjoint sub-window.
+    fn refresh_slot_in(&mut self, index: usize, win: PixelWindow) {
+        let ctx = self.sim.context();
+        let model = &ctx.config().optical;
+        let ws = &mut *self.ws;
+        let (w, h) = (ws.raster.width(), ws.raster.height());
+        let blur = f64::from_bits(ws.slots[index].blur_bits);
+        let shared_radius = ctx.max_radius(blur);
+        let radius = match shared_radius {
+            Some(r) => r,
+            None => {
+                ws.extra_taps.populate(model, blur);
+                ws.extra_taps
+                    .max_radius(model, blur)
+                    .expect("extra taps just populated")
+            }
+        };
+        let taps: &TapsCache = if shared_radius.is_some() {
+            ctx.taps()
+        } else {
+            &ws.extra_taps
+        };
+        aerial_window(
+            crate::simd::active(),
+            ws.raster.data(),
+            w,
+            h,
+            model,
+            blur,
+            taps,
+            win.expanded(radius, w, h),
+            &mut ws.tmp,
+            &mut ws.amp,
+            &mut ws.row_acc,
+            ws.slots[index].img.data_mut(),
+        );
+    }
+}
+
+/// Marks the per-segment dirty rects of the last
+/// [`MaskState::apply_moves_into`] into `ws.dirty_words` (one bit per raster
+/// pixel, row-major, `⌈w/64⌉` words per row) and decomposes the marked area
+/// inside `win` into disjoint sub-windows in `ws.sub_windows` (maximal bands
+/// of identical bitmask rows × runs of set bits). Returns `false` when the
+/// decomposition would exceed [`MAX_SUB_WINDOWS`].
+fn decompose_dirty(ws: &mut SimWorkspace, win: PixelWindow) -> bool {
+    let wpr = ws.raster.width().div_ceil(64);
+    for iy in win.y0..win.y1 {
+        ws.dirty_words[iy * wpr..(iy + 1) * wpr].fill(0);
+    }
+    for ri in 0..ws.dirty_rects.len() {
+        let Some(rw) = ws.raster.pixel_window(ws.dirty_rects[ri]) else {
+            continue;
+        };
+        // `pixel_window` is monotone, so `rw` already sits inside `win`;
+        // the clip guards against future callers with partial rect lists.
+        let x0 = rw.x0.max(win.x0);
+        let x1 = rw.x1.min(win.x1);
+        if x0 >= x1 {
+            continue;
+        }
+        for iy in rw.y0.max(win.y0)..rw.y1.min(win.y1) {
+            set_bits(&mut ws.dirty_words[iy * wpr..(iy + 1) * wpr], x0, x1);
+        }
+    }
+    ws.sub_windows.clear();
+    let mut iy = win.y0;
+    while iy < win.y1 {
+        let mut band_end = iy + 1;
+        while band_end < win.y1 && rows_equal(&ws.dirty_words, wpr, iy, band_end) {
+            band_end += 1;
+        }
+        let row = &ws.dirty_words[iy * wpr..(iy + 1) * wpr];
+        let mut x = win.x0;
+        while let Some(start) = next_bit(row, x, win.x1, true) {
+            let end = next_bit(row, start, win.x1, false).unwrap_or(win.x1);
+            if ws.sub_windows.len() == MAX_SUB_WINDOWS {
+                return false;
+            }
+            ws.sub_windows.push(PixelWindow {
+                x0: start,
+                y0: iy,
+                x1: end,
+                y1: band_end,
+            });
+            x = end;
+        }
+        iy = band_end;
+    }
+    true
+}
+
+/// Sets bits `[x0, x1)` in one bitmask row. Requires `x0 < x1`.
+fn set_bits(row: &mut [u64], x0: usize, x1: usize) {
+    let (w0, b0) = (x0 / 64, x0 % 64);
+    let (w1, b1) = ((x1 - 1) / 64, (x1 - 1) % 64);
+    let lo = !0_u64 << b0;
+    let hi = !0_u64 >> (63 - b1);
+    if w0 == w1 {
+        row[w0] |= lo & hi;
+    } else {
+        row[w0] |= lo;
+        row[w0 + 1..w1].fill(!0);
+        row[w1] |= hi;
+    }
+}
+
+/// Whether bitmask rows `a` and `b` are identical.
+fn rows_equal(words: &[u64], wpr: usize, a: usize, b: usize) -> bool {
+    words[a * wpr..(a + 1) * wpr] == words[b * wpr..(b + 1) * wpr]
+}
+
+/// Position of the first bit at or after `from` (and before `limit`) whose
+/// value matches `want_set`, scanning a word at a time.
+fn next_bit(row: &[u64], from: usize, limit: usize, want_set: bool) -> Option<usize> {
+    let mut x = from;
+    while x < limit {
+        let wi = x / 64;
+        let mut word = if want_set { row[wi] } else { !row[wi] };
+        word &= !0_u64 << (x % 64);
+        if word != 0 {
+            let pos = wi * 64 + word.trailing_zeros() as usize;
+            return (pos < limit).then_some(pos);
+        }
+        x = (wi + 1) * 64;
+    }
+    None
 }
 
 fn vertex_bbox(vertices: &[camo_geometry::Point]) -> Option<Rect> {
@@ -403,6 +664,70 @@ mod tests {
         assert!(eval.ws.raster.pixel_window(sliver).is_none());
         eval.refresh_dirty(sliver);
         assert_matches_fresh(&sim, &mut eval);
+    }
+
+    #[test]
+    fn set_bits_and_next_bit_cover_word_boundaries() {
+        let mut row = [0_u64; 3];
+        set_bits(&mut row, 60, 70); // straddles words 0 and 1
+        set_bits(&mut row, 130, 131); // single bit in word 2
+        assert_eq!(next_bit(&row, 0, 192, true), Some(60));
+        assert_eq!(next_bit(&row, 60, 192, false), Some(70));
+        assert_eq!(next_bit(&row, 70, 192, true), Some(130));
+        assert_eq!(next_bit(&row, 130, 192, false), Some(131));
+        assert_eq!(next_bit(&row, 131, 192, true), None);
+        // Bits at or past the limit are not reported.
+        assert_eq!(next_bit(&row, 70, 130, true), None);
+        let mut full = [0_u64; 4];
+        set_bits(&mut full, 10, 200); // interior words fully set
+        assert_eq!(full[1], !0);
+        assert_eq!(full[2], !0);
+        assert_eq!(next_bit(&full, 0, 256, true), Some(10));
+        assert_eq!(next_bit(&full, 10, 256, false), Some(200));
+    }
+
+    #[test]
+    fn distant_simultaneous_moves_refresh_sparsely_and_stay_identical() {
+        // Two vias far apart horizontally: applying moves to every segment
+        // dirties two distant islands, and the bitmask decomposition must
+        // skip the empty span between them while staying bit-identical to a
+        // fresh full evaluation.
+        let mut clip = Clip::new(Rect::new(0, 0, 8000, 1000));
+        clip.add_target(Rect::new(200, 465, 270, 535).to_polygon());
+        clip.add_target(Rect::new(7700, 465, 7770, 535).to_polygon());
+        let mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let mut eval = sim.evaluator(&mask);
+        let _ = eval.evaluate(); // populate every cached image
+        let n = eval.mask().segment_count();
+        let moves: Vec<Coord> = (0..n).map(|s| [1, -1][s % 2] as Coord).collect();
+        eval.apply_moves(&moves);
+        let stats = eval.last_refresh_stats();
+        assert!(!stats.full, "{stats:?}");
+        assert!(stats.sub_windows >= 2, "{stats:?}");
+        assert!(
+            stats.rasterized_pixels < stats.dirty_window_pixels / 2,
+            "sparse refresh should skip the span between the vias: {stats:?}"
+        );
+        assert_matches_fresh(&sim, &mut eval);
+    }
+
+    #[test]
+    fn repeated_sparse_refreshes_stay_identical_through_an_episode() {
+        let mut clip = Clip::new(Rect::new(0, 0, 8000, 1000));
+        clip.add_target(Rect::new(200, 465, 270, 535).to_polygon());
+        clip.add_target(Rect::new(7700, 465, 7770, 535).to_polygon());
+        let mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+        let sim = LithoSimulator::new(LithoConfig::fast());
+        let mut eval = sim.evaluator(&mask);
+        let n = eval.mask().segment_count();
+        for step in 0..4 {
+            let moves: Vec<Coord> = (0..n)
+                .map(|s| [2, -1, 1, -2][(s + step) % 4] as Coord)
+                .collect();
+            eval.apply_moves(&moves);
+            assert_matches_fresh(&sim, &mut eval);
+        }
     }
 
     #[test]

@@ -98,6 +98,7 @@ pub mod pvband;
 #[cfg(any(test, feature = "reference-impl"))]
 pub mod reference;
 pub mod resist;
+pub mod simd;
 pub mod simulator;
 pub mod sraf;
 pub mod tiling;
@@ -107,7 +108,7 @@ pub use context::LithoContext;
 pub use context_cache::ContextCache;
 pub use contour::{contour_cells, print_image};
 pub use epe::{measure_epe, EpeReport};
-pub use evaluator::MaskEvaluator;
+pub use evaluator::{MaskEvaluator, RefreshStats};
 pub use kernel::{GaussianKernel, OpticalModel};
 pub use pipeline::{tap_derivation_count, SimWorkspace};
 pub use pool::WorkspacePool;

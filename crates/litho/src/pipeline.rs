@@ -20,6 +20,7 @@
 //!   implementation to ~1 ulp.
 
 use crate::kernel::{GaussianKernel, OpticalModel};
+use crate::simd::{self, ArchId};
 use camo_geometry::{Coord, CoverageScratch, PixelWindow, Point, Raster, Rect};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -130,11 +131,14 @@ impl TapsCache {
 
 /// One row of the separable convolution, output restricted to `[x0, x1)`.
 ///
-/// Interior pixels (full tap support) run branch-free and divide by the
-/// precomputed tap sum; border pixels renormalise over the in-bounds taps
-/// exactly like the seed implementation, so intensity does not artificially
-/// fall off at the raster boundary.
-fn convolve_row(
+/// Interior pixels (full tap support) run branch-free on the dispatched
+/// SIMD backend ([`crate::simd`]) and divide by the precomputed tap sum;
+/// border pixels renormalise over the in-bounds taps exactly like the seed
+/// implementation, so intensity does not artificially fall off at the
+/// raster boundary. Every backend keeps per-pixel tap order ascending, so
+/// the output is bit-identical across arches.
+pub(crate) fn convolve_row(
+    arch: ArchId,
     row_in: &[f64],
     row_out: &mut [f64],
     taps: &[f64],
@@ -158,19 +162,14 @@ fn convolve_row(
         row_out[x] = if norm > 0.0 { acc / norm } else { 0.0 };
     };
     // Disjoint split: [x0, il) border, [il, ih) interior, [ih, x1) border.
+    // Interior means full tap support: il ≥ radius and ih + radius ≤ w —
+    // the bounds invariant `simd::convolve_interior` relies on.
     let il = radius.clamp(x0, x1);
     let ih = (w + radius + 1).saturating_sub(len).clamp(il, x1);
     for x in x0..il {
         bordered(x, row_out);
     }
-    for x in il..ih {
-        let window = &row_in[x - radius..x - radius + len];
-        let mut acc = 0.0;
-        for (t, v) in taps.iter().zip(window) {
-            acc += t * v;
-        }
-        row_out[x] = acc / taps_sum;
-    }
+    simd::convolve_interior(arch, row_in, row_out, taps, taps_sum, il, ih);
     for x in ih..x1 {
         bordered(x, row_out);
     }
@@ -183,6 +182,7 @@ fn convolve_row(
 /// must hold at least `win.width()` elements.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn convolve_window(
+    arch: ArchId,
     input: &[f64],
     w: usize,
     h: usize,
@@ -202,7 +202,7 @@ pub(crate) fn convolve_window(
     for y in ylo..yhi {
         let row_in = &input[y * w..(y + 1) * w];
         let row_out = &mut tmp[y * w..(y + 1) * w];
-        convolve_row(row_in, row_out, taps, taps_sum, win.x0, win.x1);
+        convolve_row(arch, row_in, row_out, taps, taps_sum, win.x0, win.x1);
     }
 
     // Vertical pass: accumulate tap-by-tap over whole rows so the inner loop
@@ -215,9 +215,7 @@ pub(crate) fn convolve_window(
         for (k, &t) in taps.iter().enumerate().take(khi).skip(klo) {
             let src_row = (y + k - radius) * w;
             let src = &tmp[src_row + win.x0..src_row + win.x1];
-            for (a, s) in acc.iter_mut().zip(src) {
-                *a += t * s;
-            }
+            simd::axpy(arch, acc, t, src);
         }
         let norm = if klo == 0 && khi == len {
             taps_sum
@@ -230,9 +228,7 @@ pub(crate) fn convolve_window(
         };
         let out_row = &mut out[y * w + win.x0..y * w + win.x1];
         if norm > 0.0 {
-            for (o, a) in out_row.iter_mut().zip(acc.iter()) {
-                *o = a / norm;
-            }
+            simd::div_into(arch, out_row, acc, norm);
         } else {
             out_row.fill(0.0);
         }
@@ -252,6 +248,7 @@ pub(crate) fn convolve_window(
 /// Panics if `taps` is missing a kernel at `blur_nm`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn aerial_window(
+    arch: ArchId,
     mask_data: &[f64],
     w: usize,
     h: usize,
@@ -273,6 +270,7 @@ pub(crate) fn aerial_window(
             .expect("taps cache populated for this blur");
         let entry = taps.entry(idx);
         convolve_window(
+            arch,
             mask_data,
             w,
             h,
@@ -288,9 +286,7 @@ pub(crate) fn aerial_window(
             let row = y * w;
             let out = &mut intensity[row + win.x0..row + win.x1];
             let a = &amp[row + win.x0..row + win.x1];
-            for (o, &v) in out.iter_mut().zip(a) {
-                *o += weight * v * v;
-            }
+            simd::square_weighted_add(arch, out, weight, a);
         }
     }
 }
@@ -317,7 +313,23 @@ pub struct SimWorkspace {
     /// Pixel window known to contain all non-zero mask coverage.
     pub(crate) content: Option<PixelWindow>,
     pub(crate) slots: Vec<DerivedImage>,
+    /// Per-row dirty bitmask: `width.div_ceil(64)` words per row, bit `j`
+    /// of word `i` covering pixel `64·i + j`. Only rows inside the current
+    /// dirty window hold meaningful bits (they are re-zeroed per refresh).
+    pub(crate) dirty_words: Vec<u64>,
+    /// Per-moved-segment dirty rectangles from the last `apply_moves`
+    /// (scratch for [`camo_geometry::MaskState::apply_moves_into`]).
+    pub(crate) dirty_rects: Vec<Rect>,
+    /// Disjoint sub-windows decomposed from the dirty bitmask (capacity
+    /// fixed at [`MAX_SUB_WINDOWS`]; overflow falls back to dense refresh).
+    pub(crate) sub_windows: Vec<PixelWindow>,
 }
+
+/// Cap on the dirty-bitmask decomposition: more disjoint sub-windows than
+/// this falls back to the dense dirty-rect refresh (the scratch vector is
+/// preallocated to exactly this capacity, keeping the steady state
+/// allocation-free).
+pub(crate) const MAX_SUB_WINDOWS: usize = 64;
 
 /// A cached aerial-intensity image at one defocus blur.
 #[derive(Debug, Clone)]
@@ -341,6 +353,7 @@ impl SimWorkspace {
         segment_count: usize,
     ) -> Self {
         let cells = raster.width() * raster.height();
+        let words = raster.height() * raster.width().div_ceil(64);
         // Upper bound on a moved polygon's vertex count: two vertices per
         // segment plus slack for the closing dedup.
         let vertex_bound = 2 * segment_count + 8;
@@ -356,6 +369,9 @@ impl SimWorkspace {
             cov: CoverageScratch::with_capacity(vertex_bound),
             content: None,
             slots: Vec::new(),
+            dirty_words: vec![0; words],
+            dirty_rects: Vec::with_capacity(segment_count),
+            sub_windows: Vec::with_capacity(MAX_SUB_WINDOWS),
         }
     }
 
@@ -398,6 +414,15 @@ impl SimWorkspace {
         let cells = self.raster.width() * self.raster.height();
         resize_scratch(&mut self.tmp, cells);
         resize_scratch(&mut self.amp, cells);
+        // Dirty-bitmask rows are re-zeroed per refresh, so like `tmp`/`amp`
+        // the retained contents need no eager clearing.
+        let words = self.raster.height() * self.raster.width().div_ceil(64);
+        self.dirty_words.resize(words, 0);
+        self.dirty_rects.clear();
+        if self.dirty_rects.capacity() < segment_count {
+            self.dirty_rects.reserve(segment_count);
+        }
+        self.sub_windows.clear();
         if self.extra_taps.pixel_size() != pixel_size {
             self.extra_taps = TapsCache::new(pixel_size);
         }
@@ -439,6 +464,9 @@ impl SimWorkspace {
             + polys * std::mem::size_of::<Point>()
             + self.cov.heap_bytes()
             + slots
+            + self.dirty_words.capacity() * std::mem::size_of::<u64>()
+            + self.dirty_rects.capacity() * std::mem::size_of::<Rect>()
+            + self.sub_windows.capacity() * std::mem::size_of::<PixelWindow>()
     }
 
     /// Ensures `row_acc` can hold one window row of the raster.
@@ -457,5 +485,133 @@ fn resize_scratch(buf: &mut Vec<f64>, cells: usize) {
         buf.resize(cells, 0.0);
     } else {
         buf.truncate(cells);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Seed-semantics row convolution: per-pixel bounds checks and border
+    /// renormalisation, the behaviour `convolve_row` must reproduce bit for
+    /// bit on every backend (see `crate::reference::convolve_separable`).
+    fn reference_row(row_in: &[f64], taps: &[f64], x0: usize, x1: usize) -> Vec<f64> {
+        let w = row_in.len();
+        let radius = (taps.len() / 2) as isize;
+        let mut out = vec![0.0; w];
+        for (x, o) in out.iter_mut().enumerate().take(x1).skip(x0) {
+            let mut acc = 0.0;
+            let mut norm = 0.0;
+            for (k, &t) in taps.iter().enumerate() {
+                let xi = x as isize + k as isize - radius;
+                if xi >= 0 && (xi as usize) < w {
+                    acc += t * row_in[xi as usize];
+                    norm += t;
+                }
+            }
+            *o = if norm > 0.0 { acc / norm } else { 0.0 };
+        }
+        out
+    }
+
+    fn taps_and_sum(len: usize) -> (Vec<f64>, f64) {
+        let radius = len / 2;
+        let taps: Vec<f64> = (0..len)
+            .map(|i| 1.0 / (1.0 + (i as f64 - radius as f64).abs()))
+            .collect();
+        let mut sum = 0.0;
+        for &t in &taps {
+            sum += t;
+        }
+        (taps, sum)
+    }
+
+    fn row(len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| ((i * 37 + 11) % 97) as f64 / 97.0)
+            .collect()
+    }
+
+    #[test]
+    fn kernel_wider_than_row_matches_reference_on_every_arch() {
+        // Every output pixel is a border pixel: the interior span [il, ih)
+        // is empty and the renormalising closure handles the whole row.
+        for w in [1_usize, 2, 5, 6] {
+            let (taps, sum) = taps_and_sum(7);
+            let input = row(w);
+            let expected = reference_row(&input, &taps, 0, w);
+            for &arch in simd::detected() {
+                let mut out = vec![0.0; w];
+                convolve_row(arch, &input, &mut out, &taps, sum, 0, w);
+                for x in 0..w {
+                    assert_eq!(
+                        out[x].to_bits(),
+                        expected[x].to_bits(),
+                        "{} w={w} x={x}",
+                        arch.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_window_writes_nothing() {
+        let (taps, sum) = taps_and_sum(5);
+        let input = row(16);
+        for &arch in simd::detected() {
+            for x0 in [0_usize, 3, 8, 16] {
+                let mut out = vec![f64::NAN; 16];
+                convolve_row(arch, &input, &mut out, &taps, sum, x0, x0);
+                assert!(
+                    out.iter().all(|v| v.is_nan()),
+                    "{}: x0==x1=={x0} must leave the row untouched",
+                    arch.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn radius_zero_kernel_matches_reference_on_every_arch() {
+        // A single-tap kernel still divides by the tap (t·x / t is not a
+        // bitwise identity), so the reference comparison is meaningful.
+        let (taps, sum) = taps_and_sum(1);
+        let input = row(67); // odd length straddles every lane width
+        let expected = reference_row(&input, &taps, 0, 67);
+        for &arch in simd::detected() {
+            let mut out = vec![0.0; 67];
+            convolve_row(arch, &input, &mut out, &taps, sum, 0, 67);
+            for x in 0..67 {
+                assert_eq!(
+                    out[x].to_bits(),
+                    expected[x].to_bits(),
+                    "{} x={x}",
+                    arch.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_windows_match_reference_on_every_arch() {
+        // Windows that start or end inside the border and interior spans.
+        let (taps, sum) = taps_and_sum(9);
+        let input = row(40);
+        for (x0, x1) in [(0_usize, 40_usize), (2, 7), (1, 39), (5, 35), (36, 40)] {
+            let expected = reference_row(&input, &taps, x0, x1);
+            for &arch in simd::detected() {
+                let mut out = vec![0.0; 40];
+                convolve_row(arch, &input, &mut out, &taps, sum, x0, x1);
+                for x in x0..x1 {
+                    assert_eq!(
+                        out[x].to_bits(),
+                        expected[x].to_bits(),
+                        "{} window [{x0},{x1}) x={x}",
+                        arch.name()
+                    );
+                }
+            }
+        }
     }
 }

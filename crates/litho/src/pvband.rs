@@ -1,5 +1,6 @@
 //! Process-variation band computation.
 
+use crate::simd::{self, ArchId};
 use camo_geometry::{PixelWindow, Raster};
 
 /// Computes the PV-band area in nm²: the area printed under the *outer*
@@ -43,6 +44,33 @@ pub fn pv_band_area_in(
     outer_threshold: f64,
     win: PixelWindow,
 ) -> f64 {
+    pv_band_area_in_on(
+        simd::active(),
+        inner_intensity,
+        inner_threshold,
+        outer_intensity,
+        outer_threshold,
+        win,
+    )
+}
+
+/// [`pv_band_area_in`] on an explicit SIMD backend — the hook the per-arch
+/// parity tests and micro-benchmarks use. Pixel counting is exact on every
+/// backend ([`simd::band_count`] evaluates the same ordered `>` predicate),
+/// so results are identical across arches.
+///
+/// # Panics
+///
+/// Panics if the image dimensions or pixel sizes differ, or the window
+/// exceeds the image.
+pub fn pv_band_area_in_on(
+    arch: ArchId,
+    inner_intensity: &Raster,
+    inner_threshold: f64,
+    outer_intensity: &Raster,
+    outer_threshold: f64,
+    win: PixelWindow,
+) -> f64 {
     assert_eq!(inner_intensity.width(), outer_intensity.width());
     assert_eq!(inner_intensity.height(), outer_intensity.height());
     assert_eq!(inner_intensity.pixel_size(), outer_intensity.pixel_size());
@@ -56,13 +84,7 @@ pub fn pv_band_area_in(
     for iy in win.y0..win.y1 {
         let row_in = &inner_intensity.data()[iy * w + win.x0..iy * w + win.x1];
         let row_out = &outer_intensity.data()[iy * w + win.x0..iy * w + win.x1];
-        for (&i_in, &i_out) in row_in.iter().zip(row_out) {
-            let printed_inner = i_in > inner_threshold;
-            let printed_outer = i_out > outer_threshold;
-            if printed_outer && !printed_inner {
-                band_pixels += 1;
-            }
-        }
+        band_pixels += simd::band_count(arch, row_in, inner_threshold, row_out, outer_threshold);
     }
     band_pixels as f64 * px * px
 }

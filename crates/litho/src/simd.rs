@@ -1,0 +1,23 @@
+//! SIMD backend abstraction for the litho hot loops.
+//!
+//! The kernels themselves live in [`camo_geometry::simd`] (the geometry
+//! crate sits below litho in the dependency graph, and its coverage fills
+//! use the same backends), re-exported here as the canonical entry point:
+//! everything in the simulation pipeline — convolution
+//! ([`crate::pipeline`]), coverage rasterization, EPE search
+//! ([`crate::epe`]), PV-band counting ([`crate::pvband`]) and resist
+//! thresholding ([`crate::contour`]) — dispatches through [`active`].
+//!
+//! Selection happens once per process: the widest instruction set
+//! `is_x86_feature_detected!` reports, overridable with
+//! `CAMO_SIMD=scalar|sse2|avx2|auto` for testing. The contract is that
+//! every backend is **bit-identical** to [`Scalar`] — see the module docs
+//! of [`camo_geometry::simd`] for the reduction-design rules that make
+//! this hold, and the parity tests across this crate
+//! (`tests/simd_parity.rs`) that enforce it on every backend the host
+//! detects.
+
+pub use camo_geometry::simd::{
+    active, add_constant, axpy, band_count, convolve_interior, detected, div_into, mask_gt,
+    square_weighted_add, Arch, ArchId, Avx2, Scalar, Sse2,
+};

@@ -1,0 +1,166 @@
+//! Bit-identity of every SIMD-specialised litho kernel across all backends
+//! the host supports.
+//!
+//! The `camo_litho::simd` contract is that dispatch never changes results:
+//! each vector backend performs the same operations in the same order as the
+//! scalar reference, so `f64::to_bits` equality must hold for whole rasters
+//! and reports — not approximate closeness. These property tests drive the
+//! full pipeline entry points (`*_on` variants) over every arch reported by
+//! `detected()`, which on x86-64 hosts with AVX2 exercises scalar, SSE2, and
+//! AVX2 in one run.
+
+use camo_geometry::simd::{active, detected, ArchId};
+use camo_geometry::{Clip, FragmentationParams, MaskState, Rect};
+use camo_litho::aerial::{aerial_image_on, convolve_separable_on, rasterize_mask_on};
+use camo_litho::contour::print_image_on;
+use camo_litho::epe::measure_epe_on;
+use camo_litho::pvband::pv_band_area_in_on;
+use camo_litho::{LithoConfig, OpticalModel};
+use proptest::prelude::*;
+
+fn via_mask(x: i64, y: i64, size: i64, bias: i64) -> MaskState {
+    let mut clip = Clip::new(Rect::new(0, 0, 1000, 1000));
+    clip.add_target(Rect::new(x, y, x + size, y + size).to_polygon());
+    let mut mask = MaskState::from_clip(&clip, &FragmentationParams::via_layer());
+    mask.apply_uniform_bias(bias);
+    mask
+}
+
+fn assert_rasters_bit_equal(a: &camo_geometry::Raster, b: &camo_geometry::Raster, what: &str) {
+    assert_eq!(a.width(), b.width(), "{what}: width");
+    assert_eq!(a.height(), b.height(), "{what}: height");
+    for (i, (va, vb)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            va.to_bits(),
+            vb.to_bits(),
+            "{what}: pixel {i} diverged ({va:e} vs {vb:e})"
+        );
+    }
+}
+
+#[test]
+fn dispatch_selects_a_detected_arch() {
+    assert!(detected().contains(&active()));
+    assert_eq!(detected()[0], ArchId::Scalar);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Mask rasterisation (area-coverage fills) is bit-identical on every
+    /// backend.
+    #[test]
+    fn rasterize_is_bit_identical_across_archs(
+        x in 200i64..700,
+        y in 200i64..700,
+        size in 40i64..120,
+        bias in -3i64..=6,
+    ) {
+        let mask = via_mask(x, y, size, bias);
+        let reference = rasterize_mask_on(ArchId::Scalar, &mask, 10, 80);
+        for &arch in detected() {
+            let got = rasterize_mask_on(arch, &mask, 10, 80);
+            assert_rasters_bit_equal(&got, &reference, arch.name());
+        }
+    }
+
+    /// The full aerial pipeline (separable convolution + weighted squared
+    /// accumulation) is bit-identical on every backend, with and without
+    /// defocus blur.
+    #[test]
+    fn aerial_image_is_bit_identical_across_archs(
+        x in 200i64..700,
+        y in 200i64..700,
+        size in 40i64..120,
+        blur_steps in 0u32..3,
+    ) {
+        let mask = via_mask(x, y, size, 2);
+        let raster = rasterize_mask_on(ArchId::Scalar, &mask, 10, 80);
+        let model = OpticalModel::default();
+        let blur = f64::from(blur_steps) * 10.0;
+        let reference = aerial_image_on(ArchId::Scalar, &raster, &model, blur);
+        for &arch in detected() {
+            let got = aerial_image_on(arch, &raster, &model, blur);
+            assert_rasters_bit_equal(&got, &reference, arch.name());
+        }
+    }
+
+    /// A bare separable convolution with odd-length kernels (including the
+    /// radius-0 identity) is bit-identical on every backend.
+    #[test]
+    fn convolve_separable_is_bit_identical_across_archs(
+        x in 200i64..700,
+        size in 40i64..120,
+        radius in 0usize..6,
+    ) {
+        let mask = via_mask(x, x, size, 1);
+        let raster = rasterize_mask_on(ArchId::Scalar, &mask, 10, 80);
+        let taps: Vec<f64> = (0..2 * radius + 1)
+            .map(|i| 1.0 / (1.0 + (i as f64 - radius as f64).abs()))
+            .collect();
+        let reference = convolve_separable_on(ArchId::Scalar, &raster, &taps);
+        for &arch in detected() {
+            let got = convolve_separable_on(arch, &raster, &taps);
+            assert_rasters_bit_equal(&got, &reference, arch.name());
+        }
+    }
+
+    /// EPE measurement (bitmask threshold sweep + crossing interpolation)
+    /// and PV-band counting are bit-identical on every backend.
+    #[test]
+    fn epe_and_pv_band_are_bit_identical_across_archs(
+        x in 200i64..700,
+        y in 200i64..700,
+        size in 50i64..110,
+        bias in 0i64..=5,
+    ) {
+        let mask = via_mask(x, y, size, bias);
+        let config = LithoConfig::fast();
+        let raster = rasterize_mask_on(ArchId::Scalar, &mask, config.pixel_size, 80);
+        let model = OpticalModel::default();
+        let nominal = aerial_image_on(ArchId::Scalar, &raster, &model, 0.0);
+        let outer = aerial_image_on(ArchId::Scalar, &raster, &model, 20.0);
+        let points = &mask.fragments().measure_points;
+        let reference = measure_epe_on(ArchId::Scalar, &nominal, 0.34, points, 40.0);
+        let win = nominal.full_window();
+        let band_ref =
+            pv_band_area_in_on(ArchId::Scalar, &nominal, 0.35, &outer, 0.33, win);
+        for &arch in detected() {
+            let report = measure_epe_on(arch, &nominal, 0.34, points, 40.0);
+            for (i, (a, b)) in report
+                .per_point
+                .iter()
+                .zip(&reference.per_point)
+                .enumerate()
+            {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}: EPE point {i} diverged ({a:e} vs {b:e})",
+                    arch.name()
+                );
+            }
+            let band = pv_band_area_in_on(arch, &nominal, 0.35, &outer, 0.33, win);
+            assert_eq!(band.to_bits(), band_ref.to_bits(), "{}: PV band", arch.name());
+        }
+    }
+
+    /// Print-image thresholding (bitmask compare writing exact 1.0/0.0) is
+    /// bit-identical on every backend.
+    #[test]
+    fn print_image_is_bit_identical_across_archs(
+        x in 200i64..700,
+        size in 40i64..120,
+        threshold in 0.1f64..0.9,
+    ) {
+        let mask = via_mask(x, x, size, 2);
+        let raster = rasterize_mask_on(ArchId::Scalar, &mask, 10, 80);
+        let model = OpticalModel::default();
+        let intensity = aerial_image_on(ArchId::Scalar, &raster, &model, 0.0);
+        let reference = print_image_on(ArchId::Scalar, &intensity, threshold);
+        for &arch in detected() {
+            let got = print_image_on(arch, &intensity, threshold);
+            assert_rasters_bit_equal(&got, &reference, arch.name());
+        }
+    }
+}

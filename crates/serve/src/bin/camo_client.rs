@@ -160,9 +160,10 @@ fn await_reply(client: &mut Client, id: u64) -> ResponseBody {
 /// quantiles and (through a router) per-shard status.
 fn render_metrics(report: &MetricsReport) {
     println!(
-        "metrics ({}): queue_depth={} in_flight={} completed={} busy_rejected={} \
+        "metrics ({}): simd_arch={} queue_depth={} in_flight={} completed={} busy_rejected={} \
          redispatched={} respawns={}",
         report.role,
+        report.simd_arch,
         report.queue_depth,
         report.in_flight,
         report.completed,

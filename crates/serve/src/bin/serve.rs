@@ -118,10 +118,11 @@ fn run_router(args: &[String], addr: SocketAddr, shards: usize) {
         std::process::exit(1);
     });
     println!(
-        "camo-serve router listening on {} ({} shard(s): {:?})",
+        "camo-serve router listening on {} ({} shard(s): {:?}, simd {})",
         handle.addr(),
         shards,
-        handle.shard_addrs()
+        handle.shard_addrs(),
+        camo_litho::simd::active().name()
     );
     if let Some(path) = flag_value(args, "--port-file") {
         if let Err(e) = std::fs::write(&path, handle.addr().to_string()) {
@@ -189,10 +190,11 @@ fn main() {
         }
     };
     println!(
-        "camo-serve listening on {} ({} worker thread(s), queue depth {})",
+        "camo-serve listening on {} ({} worker thread(s), queue depth {}, simd {})",
         handle.addr(),
         threads,
-        queue_depth
+        queue_depth,
+        camo_litho::simd::active().name()
     );
     if let Some(path) = flag_value(&args, "--port-file") {
         if let Err(e) = std::fs::write(&path, handle.addr().to_string()) {

@@ -430,6 +430,7 @@ impl FrontHandler for RouterShared {
             .collect();
         ResponseBody::Metrics(MetricsReport {
             role: "router".into(),
+            simd_arch: camo_litho::simd::active().name().into(),
             queue_depth: self.queue.len(),
             in_flight: self.lock_inflight().len(),
             completed: self.completed.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only

@@ -157,6 +157,7 @@ impl FrontHandler for Shared {
     fn metrics(&self) -> ResponseBody {
         ResponseBody::Metrics(MetricsReport {
             role: "server".into(),
+            simd_arch: camo_litho::simd::active().name().into(),
             queue_depth: self.queue.len(),
             in_flight: self.in_flight.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
             completed: self.served.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only

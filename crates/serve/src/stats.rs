@@ -208,6 +208,11 @@ pub struct ShardStatus {
 pub struct MetricsReport {
     /// `"server"` or `"router"`.
     pub role: String,
+    /// SIMD backend the litho hot loops dispatch to in this process
+    /// (`"scalar"`, `"sse2"` or `"avx2"` — detection, or a `CAMO_SIMD`
+    /// override). Results are bit-identical across backends; the field is
+    /// observability, not a result qualifier.
+    pub simd_arch: String,
     /// Current request-queue depth.
     pub queue_depth: usize,
     /// Requests admitted but not yet answered.

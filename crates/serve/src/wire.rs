@@ -1400,6 +1400,7 @@ fn metrics_fields(
     fields: &mut Vec<(&'static str, Value)>,
 ) -> Result<(), WireError> {
     fields.push(("role", Value::Str(report.role.clone())));
+    fields.push(("simd_arch", Value::Str(report.simd_arch.clone())));
     fields.push(("queue_depth", Value::Int(report.queue_depth as i64)));
     fields.push(("in_flight", Value::Int(report.in_flight as i64)));
     fields.push(("completed", Value::Int(report.completed as i64)));
@@ -1426,6 +1427,7 @@ fn metrics_fields(
 fn metrics_from_view(view: &mut ObjView<'_>) -> Result<MetricsReport, WireError> {
     Ok(MetricsReport {
         role: as_str(view.take("role")?, "metrics.role")?.to_string(),
+        simd_arch: as_str(view.take("simd_arch")?, "metrics.simd_arch")?.to_string(),
         queue_depth: as_usize(view.take("queue_depth")?, "metrics.queue_depth")?,
         in_flight: as_usize(view.take("in_flight")?, "metrics.in_flight")?,
         completed: as_usize(view.take("completed")?, "metrics.completed")?,
@@ -1730,6 +1732,7 @@ mod tests {
 
         let report = MetricsReport {
             role: "router".into(),
+            simd_arch: "avx2".into(),
             queue_depth: 3,
             in_flight: 2,
             completed: 940,
@@ -1775,6 +1778,7 @@ mod tests {
             ResponseBody::Metrics(report),
             ResponseBody::Metrics(MetricsReport {
                 role: "server".into(),
+                simd_arch: "scalar".into(),
                 queue_depth: 0,
                 in_flight: 0,
                 completed: 0,
