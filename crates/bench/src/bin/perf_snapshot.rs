@@ -183,6 +183,23 @@ impl RespawnRow {
     }
 }
 
+/// Tracing-plane overhead row: the same stream through an untraced server
+/// and one with tracing armed but sampled out — the gate that proves a
+/// sampled-out request pays no clock reads on the serving hot path — plus
+/// the stage-name coverage a full-sample run recorded.
+struct TraceRow {
+    requests: usize,
+    baseline_requests_per_s: f64,
+    sampled_out_requests_per_s: f64,
+    stages_observed: usize,
+}
+
+impl TraceRow {
+    fn overhead_vs_baseline(&self) -> f64 {
+        self.baseline_requests_per_s / self.sampled_out_requests_per_s
+    }
+}
+
 /// Queue-saturation probe: what a burst beyond the queue depth observes.
 struct ServeSaturation {
     queue_depth: usize,
@@ -589,6 +606,132 @@ fn respawn_overhead(binary: &std::path::Path, requests: usize) -> RespawnRow {
         respawn_requests_per_s: requests as f64 / respawn_secs,
         respawns,
     }
+}
+
+/// Measures the tracing plane: a full-sample run (`trace_sample: 1`) must
+/// record every server-side lifecycle stage in its flight recorder (exit 1
+/// on any missing stage — the timeline is only useful if it is complete),
+/// and the overhead row compares an untraced server against one with
+/// tracing armed but sampled out (`trace_sample` far above the request
+/// count). The sampled-out path is gated: every span clock read is behind
+/// a `trace.is_some()` check, so the ratio must stay near 1 — more than
+/// 1.4x is a regression and exits 1 (the bound is lenient because quick
+/// CI runs measure a dozen requests on a shared box).
+fn trace_overhead(requests: usize) -> TraceRow {
+    use camo_serve::client::{collect_responses, Client, Completed};
+    use camo_serve::exec::case_body;
+    use camo_serve::wire::{JobSpec, RequestBody, ResponseBody};
+    use camo_serve::{serve, ServerConfig};
+    use camo_workloads::{request_stream, RequestStreamParams};
+
+    let job = JobSpec {
+        max_steps: Some(2),
+        ..JobSpec::fast_calibre_via()
+    };
+    let cases = request_stream(&RequestStreamParams::smoke(), 2, requests);
+    let run_pass = |trace_sample: u64, pull_stages: bool| -> (f64, Vec<String>) {
+        let handle = serve(ServerConfig {
+            threads: 1,
+            queue_depth: requests.max(8),
+            trace_sample,
+            ..ServerConfig::default()
+        })
+        .expect("bind trace bench server");
+        let mut client = Client::connect(handle.addr()).expect("connect");
+        let start = Instant::now();
+        let ids: Vec<u64> = cases
+            .iter()
+            .map(|case| client.send(case_body(case, &job)).expect("send"))
+            .collect();
+        let results = collect_responses(&mut client, &ids).expect("responses");
+        let secs = start.elapsed().as_secs_f64();
+        for (id, completed) in &results {
+            match completed {
+                Completed::Single(_) | Completed::Sweep(_) => {}
+                other => {
+                    eprintln!("TRACE BENCH REGRESSION: request {id} completed as {other:?}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let mut stages = Vec::new();
+        if pull_stages {
+            let id = client.send(RequestBody::Trace).expect("trace send");
+            loop {
+                match client.recv() {
+                    Ok(Some(response)) if response.id == id => match response.body {
+                        ResponseBody::Trace(report) => {
+                            stages = report.spans.iter().map(|s| s.stage.clone()).collect();
+                            stages.sort_unstable();
+                            stages.dedup();
+                            break;
+                        }
+                        other => {
+                            eprintln!("TRACE BENCH: unexpected trace reply: {other:?}");
+                            std::process::exit(1);
+                        }
+                    },
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => {
+                        eprintln!("TRACE BENCH: connection lost awaiting the trace pull");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        handle.shutdown();
+        (secs, stages)
+    };
+
+    // Full-sample pass: the stage-coverage evidence.
+    let (_, stages) = run_pass(1, true);
+    for expected in [
+        "admit",
+        "shard-queue",
+        "coalesce",
+        "context-fetch",
+        "rasterize",
+        "convolve",
+        "resist",
+        "epe",
+        "pv-band",
+        "encode",
+        "write",
+    ] {
+        if !stages.iter().any(|s| s == expected) {
+            eprintln!(
+                "TRACE BENCH REGRESSION: full-sample run recorded no `{expected}` span \
+                 (stages seen: {stages:?})"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // Overhead passes, interleaved and best-of-two so one scheduler hiccup
+    // cannot fail the gate in either direction.
+    let mut baseline_secs = f64::INFINITY;
+    let mut sampled_out_secs = f64::INFINITY;
+    for _ in 0..2 {
+        baseline_secs = baseline_secs.min(run_pass(0, false).0);
+        sampled_out_secs = sampled_out_secs.min(run_pass(1_000_000, false).0);
+    }
+    let row = TraceRow {
+        requests,
+        baseline_requests_per_s: requests as f64 / baseline_secs,
+        sampled_out_requests_per_s: requests as f64 / sampled_out_secs,
+        stages_observed: stages.len(),
+    };
+    if row.overhead_vs_baseline() > 1.4 {
+        eprintln!(
+            "TRACE OVERHEAD REGRESSION: sampled-out tracing costs {:.2}x vs untraced \
+             ({:.2} vs {:.2} req/s) — the disabled path must stay clock-free",
+            row.overhead_vs_baseline(),
+            row.sampled_out_requests_per_s,
+            row.baseline_requests_per_s
+        );
+        std::process::exit(1);
+    }
+    row
 }
 
 /// Saturates a dispatcher-less server and counts the typed rejections: a
@@ -1065,6 +1208,7 @@ fn main() {
     let mut serve_rows: Vec<ServeRow> = Vec::new();
     let mut serve_latency: Vec<camo_serve::KindLatency> = Vec::new();
     let mut serve_sat: Option<ServeSaturation> = None;
+    let mut trace_row: Option<TraceRow> = None;
     let mut router_rows: Vec<RouterRow> = Vec::new();
     let mut respawn_row: Option<RespawnRow> = None;
     let args: Vec<String> = std::env::args().collect();
@@ -1086,6 +1230,7 @@ fn main() {
             }
         }
         serve_sat = Some(serve_saturation(4, 4));
+        trace_row = Some(trace_overhead(requests));
 
         // Router tier: explicit `--shards N`, or shard counts 1 and 2 in
         // full mode (where the rows are persisted).
@@ -1226,6 +1371,16 @@ fn main() {
         println!(
             "serve saturation: {} requests into queue depth {} -> {} typed busy rejections (retry_after {} ms)",
             sat.submitted, sat.queue_depth, sat.rejected, sat.retry_after_ms
+        );
+    }
+    if let Some(t) = &trace_row {
+        println!(
+            "trace overhead: sampled-out {:.2} req/s vs untraced {:.2} req/s ({:.2}x, gate 1.40x); \
+             full-sample run recorded {} distinct stage(s)",
+            t.sampled_out_requests_per_s,
+            t.baseline_requests_per_s,
+            t.overhead_vs_baseline(),
+            t.stages_observed
         );
     }
     for r in &router_rows {
@@ -1396,6 +1551,20 @@ fn main() {
             });
         }
         json.push_str("  ],\n");
+        match &trace_row {
+            Some(t) => {
+                let _ = writeln!(
+                    json,
+                    "  \"trace\": {{\"op\": \"trace_sampled_out_overhead\", \"requests\": {}, \"baseline_requests_per_s\": {:.3}, \"sampled_out_requests_per_s\": {:.3}, \"overhead_vs_baseline\": {:.2}, \"stages_observed\": {}}},",
+                    t.requests,
+                    t.baseline_requests_per_s,
+                    t.sampled_out_requests_per_s,
+                    t.overhead_vs_baseline(),
+                    t.stages_observed
+                );
+            }
+            None => json.push_str("  \"trace\": null,\n"),
+        }
         if router_rows.is_empty() {
             json.push_str("  \"router\": null,\n");
         } else {

@@ -13,8 +13,9 @@
 //! context stays alive only as long as outstanding simulators hold it).
 
 use crate::simulator::{LithoConfig, LithoSimulator};
+use crate::trace::{NoopSink, TraceSink};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 impl LithoConfig {
     /// A 64-bit fingerprint of every field of this configuration (float
@@ -83,6 +84,8 @@ pub struct ContextCache {
     capacity: usize,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Installed on every simulator this cache builds (stage tracing).
+    sink: Arc<dyn TraceSink>,
 }
 
 impl ContextCache {
@@ -92,12 +95,25 @@ impl ContextCache {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        Self::with_sink(capacity, Arc::new(NoopSink))
+    }
+
+    /// Like [`Self::new`], but every simulator the cache builds gets `sink`
+    /// installed as its [`TraceSink`] — the serving layer's hook point for
+    /// stage-level timing. The sink never influences results (the pipeline
+    /// only announces stage boundaries through it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_sink(capacity: usize, sink: Arc<dyn TraceSink>) -> Self {
         assert!(capacity > 0, "a zero-capacity cache can never serve");
         Self {
             entries: Mutex::new(Vec::new()),
             capacity,
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            sink,
         }
     }
 
@@ -147,7 +163,7 @@ impl ContextCache {
         // and can be slow, and two racing builders only waste work, never
         // correctness (last insert wins, both simulators are valid).
         self.misses.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
-        let simulator = LithoSimulator::new(config.clone());
+        let simulator = LithoSimulator::new(config.clone()).with_trace_sink(Arc::clone(&self.sink));
         let mut entries = self.lock();
         if let Some(pos) = entries.iter().position(|e| e.key == key) {
             // A racing request inserted first; adopt its handle so every

@@ -7,6 +7,7 @@ use crate::pool::PooledWorkspace;
 use crate::process::ProcessCorner;
 use crate::pvband::{pv_band_area, pv_band_area_in};
 use crate::simulator::{LithoSimulator, SimulationResult};
+use crate::trace::{Stage, StageSpan};
 use camo_geometry::{Coord, MaskState, PixelWindow, Raster, Rect};
 
 /// Pixel accounting of the most recent refresh — the evidence the
@@ -141,8 +142,12 @@ impl<'a> MaskEvaluator<'a> {
     /// Signed EPE at every measure point under the nominal condition.
     pub fn epe(&mut self) -> EpeReport {
         let config = self.sim.config();
-        let threshold = self.sim.threshold(ProcessCorner::nominal());
+        let threshold = {
+            let _span = StageSpan::enter(self.sim.trace_sink(), Stage::Resist);
+            self.sim.threshold(ProcessCorner::nominal())
+        };
         let slot = self.ensure_slot(0.0);
+        let _span = StageSpan::enter(self.sim.trace_sink(), Stage::Epe);
         measure_epe(
             &self.ws.slots[slot].img,
             threshold,
@@ -158,11 +163,19 @@ impl<'a> MaskEvaluator<'a> {
         let epe = self.epe();
         let inner_slot = self.ensure_slot(config.inner_corner.defocus_nm);
         let outer_slot = self.ensure_slot(config.outer_corner.defocus_nm);
+        let (inner_threshold, outer_threshold) = {
+            let _span = StageSpan::enter(self.sim.trace_sink(), Stage::Resist);
+            (
+                self.sim.threshold(config.inner_corner),
+                self.sim.threshold(config.outer_corner),
+            )
+        };
+        let _span = StageSpan::enter(self.sim.trace_sink(), Stage::PvBand);
         let pv_band = pv_band_area(
             &self.ws.slots[inner_slot].img,
-            self.sim.threshold(config.inner_corner),
+            inner_threshold,
             &self.ws.slots[outer_slot].img,
-            self.sim.threshold(config.outer_corner),
+            outer_threshold,
         );
         SimulationResult { epe, pv_band }
     }
@@ -180,6 +193,7 @@ impl<'a> MaskEvaluator<'a> {
         let (inner_corner, outer_corner) = (config.inner_corner, config.outer_corner);
         let inner_slot = self.ensure_slot(inner_corner.defocus_nm);
         let outer_slot = self.ensure_slot(outer_corner.defocus_nm);
+        let _span = StageSpan::enter(self.sim.trace_sink(), Stage::PvBand);
         pv_band_area_in(
             &self.ws.slots[inner_slot].img,
             self.sim.threshold(inner_corner),
@@ -197,6 +211,7 @@ impl<'a> MaskEvaluator<'a> {
 
     /// Rebuilds the raster and every cached image from scratch.
     fn full_rasterize(&mut self) {
+        let raster_span = StageSpan::enter(self.sim.trace_sink(), Stage::Rasterize);
         let ws = &mut *self.ws;
         ws.raster.data_mut().fill(0.0);
         let full = ws.raster.full_window();
@@ -228,6 +243,7 @@ impl<'a> MaskEvaluator<'a> {
             sub_windows: 1,
             full: true,
         };
+        drop(raster_span);
         for i in 0..self.ws.slots.len() {
             self.refresh_slot(i);
         }
@@ -280,6 +296,7 @@ impl<'a> MaskEvaluator<'a> {
             self.refresh_window_dense(win);
             return;
         }
+        let raster_span = StageSpan::enter(self.sim.trace_sink(), Stage::Rasterize);
         // Phase 0: rebuild every moved polygon's vertices once.
         for i in 0..self.mask.clip().targets().len() {
             let mut verts = std::mem::take(&mut ws.polys[i]);
@@ -311,6 +328,7 @@ impl<'a> MaskEvaluator<'a> {
             sub_windows: ws.sub_windows.len(),
             full: false,
         };
+        drop(raster_span);
         // Phase 2: every cached image refreshes per sub-window (expanded by
         // the kernel radius inside `refresh_slot_in`). Pixels outside every
         // expanded sub-window have convolution supports disjoint from the
@@ -336,6 +354,7 @@ impl<'a> MaskEvaluator<'a> {
     /// The dense window refresh: zero + refill + clamp the window, then
     /// bring every cached image up to date over it.
     fn refresh_window_dense(&mut self, win: PixelWindow) {
+        let raster_span = StageSpan::enter(self.sim.trace_sink(), Stage::Rasterize);
         let ws = &mut *self.ws;
         ws.raster.zero_window(win);
         for i in 0..self.mask.clip().targets().len() {
@@ -367,6 +386,7 @@ impl<'a> MaskEvaluator<'a> {
             sub_windows: 1,
             full: false,
         };
+        drop(raster_span);
         self.refresh_valid_slots();
     }
 
@@ -441,6 +461,7 @@ impl<'a> MaskEvaluator<'a> {
             } else {
                 &ws.extra_taps
             };
+            let _span = StageSpan::enter(self.sim.trace_sink(), Stage::Convolve);
             aerial_window(
                 crate::simd::active(),
                 ws.raster.data(),
@@ -484,6 +505,7 @@ impl<'a> MaskEvaluator<'a> {
         } else {
             &ws.extra_taps
         };
+        let _span = StageSpan::enter(self.sim.trace_sink(), Stage::Convolve);
         aerial_window(
             crate::simd::active(),
             ws.raster.data(),

@@ -102,6 +102,7 @@ pub mod simd;
 pub mod simulator;
 pub mod sraf;
 pub mod tiling;
+pub mod trace;
 
 pub use aerial::rasterize_mask;
 pub use context::LithoContext;
@@ -118,3 +119,4 @@ pub use resist::ResistModel;
 pub use simulator::{LithoConfig, LithoSimulator, SimulationResult};
 pub use sraf::{insert_srafs, SrafRules};
 pub use tiling::{LayoutReport, LayoutTile, TileEvaluation, Tiler};
+pub use trace::{NoopSink, TraceSink};

@@ -8,6 +8,7 @@ use crate::pool::{default_max_idle, WorkspacePool};
 use crate::process::ProcessCorner;
 use crate::pvband::pv_band_image;
 use crate::resist::ResistModel;
+use crate::trace::{NoopSink, TraceSink};
 use camo_geometry::{Coord, MaskState, Raster};
 use std::sync::Arc;
 
@@ -114,6 +115,7 @@ impl SimulationResult {
 pub struct LithoSimulator {
     context: Arc<LithoContext>,
     pool: Arc<WorkspacePool>,
+    sink: Arc<dyn TraceSink>,
 }
 
 impl LithoSimulator {
@@ -129,7 +131,22 @@ impl LithoSimulator {
         Self {
             context,
             pool: Arc::new(WorkspacePool::new(default_max_idle())),
+            sink: Arc::new(NoopSink),
         }
+    }
+
+    /// Installs a [`TraceSink`] receiving stage boundaries from every
+    /// session opened on this simulator (and its clones). The default is
+    /// [`NoopSink`]; simulation results are identical under any sink — the
+    /// hooks are observation-only.
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The installed stage-boundary sink.
+    pub fn trace_sink(&self) -> &dyn TraceSink {
+        &*self.sink
     }
 
     /// Replaces the workspace pool's idle-retention cap (workspaces above

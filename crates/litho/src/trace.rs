@@ -1,0 +1,155 @@
+//! Clock-free stage-boundary tracing hooks for the simulation pipeline.
+//!
+//! The serving tier wants per-stage timing (rasterize vs convolve vs EPE vs
+//! PV band) for its flight recorder, but this crate is under the camo-lint
+//! `determinism` rule: no clocks, no ambient state that could perturb
+//! results. The split is therefore callback-shaped — the pipeline announces
+//! *stage boundaries* through an injected [`TraceSink`] and never observes
+//! time itself. The default sink is [`NoopSink`]; only the serving layer
+//! installs a sink that attaches real clocks, and nothing the sink does can
+//! feed back into simulation (the hooks take `&self` and return nothing).
+//!
+//! Boundaries are emitted via the RAII [`StageSpan`] guard so every
+//! `stage_start` is paired with a `stage_end` on every exit path, and
+//! nesting (a convolve refresh triggered while measuring EPE) is
+//! well-bracketed per thread.
+
+use std::fmt::Debug;
+use std::panic::RefUnwindSafe;
+
+/// A pipeline stage whose boundaries are announced to the [`TraceSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Polygon/SRAF coverage rasterisation (full, dense or sparse refresh).
+    Rasterize,
+    /// Separable aerial-image convolution over a window.
+    Convolve,
+    /// Resist-model threshold evaluation for a process corner.
+    Resist,
+    /// EPE measurement at the mask's measure points.
+    Epe,
+    /// PV-band area between the inner and outer corners.
+    PvBand,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Rasterize,
+        Stage::Convolve,
+        Stage::Resist,
+        Stage::Epe,
+        Stage::PvBand,
+    ];
+
+    /// The stable wire/export name of this stage.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Rasterize => "rasterize",
+            Stage::Convolve => "convolve",
+            Stage::Resist => "resist",
+            Stage::Epe => "epe",
+            Stage::PvBand => "pv-band",
+        }
+    }
+}
+
+/// Receiver of stage boundaries. Implementations live outside this crate
+/// (the serving layer's flight recorder); they may observe clocks, but they
+/// cannot influence simulation — the hooks are fire-and-forget.
+///
+/// Implementations must be cheap when tracing is off: the pipeline calls
+/// these on every evaluation, so a disabled sink should reduce to a branch.
+///
+/// `RefUnwindSafe` is required because simulators are shared across the
+/// serving tier's panic isolation boundary (`catch_unwind` around batch
+/// execution); a sink holding only atomics and poisoning mutexes satisfies
+/// it automatically.
+pub trait TraceSink: Send + Sync + Debug + RefUnwindSafe {
+    /// A stage began on the calling thread.
+    fn stage_start(&self, stage: Stage);
+    /// The matching stage ended on the calling thread. Calls are
+    /// well-bracketed per thread (LIFO) because emission goes through
+    /// [`StageSpan`].
+    fn stage_end(&self, stage: Stage);
+}
+
+/// The default sink: ignores every boundary.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn stage_start(&self, _stage: Stage) {}
+    fn stage_end(&self, _stage: Stage) {}
+}
+
+/// RAII guard pairing `stage_start` with `stage_end` on every exit path.
+#[derive(Debug)]
+pub struct StageSpan<'a> {
+    sink: &'a dyn TraceSink,
+    stage: Stage,
+}
+
+impl<'a> StageSpan<'a> {
+    /// Announces `stage_start` now; the matching `stage_end` fires on drop.
+    pub fn enter(sink: &'a dyn TraceSink, stage: Stage) -> Self {
+        sink.stage_start(stage);
+        Self { sink, stage }
+    }
+}
+
+impl Drop for StageSpan<'_> {
+    fn drop(&mut self) {
+        self.sink.stage_end(self.stage);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    struct Log(Mutex<Vec<(&'static str, &'static str)>>);
+
+    impl TraceSink for Log {
+        fn stage_start(&self, stage: Stage) {
+            self.0.lock().unwrap().push(("start", stage.name()));
+        }
+        fn stage_end(&self, stage: Stage) {
+            self.0.lock().unwrap().push(("end", stage.name()));
+        }
+    }
+
+    #[test]
+    fn stage_span_brackets_even_on_early_exit() {
+        let log = Log::default();
+        let observe = |early: bool| {
+            let _span = StageSpan::enter(&log, Stage::Convolve);
+            if early {
+                return;
+            }
+            let _inner = StageSpan::enter(&log, Stage::Epe);
+        };
+        observe(true);
+        observe(false);
+        let events = log.0.into_inner().unwrap();
+        assert_eq!(
+            events,
+            vec![
+                ("start", "convolve"),
+                ("end", "convolve"),
+                ("start", "convolve"),
+                ("start", "epe"),
+                ("end", "epe"),
+                ("end", "convolve"),
+            ]
+        );
+    }
+
+    #[test]
+    fn stage_names_are_distinct_and_stable() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["rasterize", "convolve", "resist", "epe", "pv-band"]);
+    }
+}

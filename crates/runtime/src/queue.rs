@@ -46,6 +46,10 @@ impl<T> PushError<T> {
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Deepest the queue has ever been — a backpressure gauge for the
+    /// metrics plane, updated under the same lock as the push itself so it
+    /// is exact, not sampled.
+    high_water: usize,
 }
 
 /// A bounded multi-producer/multi-consumer FIFO on `Mutex` + `Condvar`.
@@ -69,6 +73,7 @@ impl<T> BoundedQueue<T> {
             state: Mutex::new(State {
                 items: VecDeque::with_capacity(capacity),
                 closed: false,
+                high_water: 0,
             }),
             capacity,
             not_empty: Condvar::new(),
@@ -96,6 +101,12 @@ impl<T> BoundedQueue<T> {
         self.lock().closed
     }
 
+    /// The deepest the queue has ever been (exact: tracked under the queue
+    /// lock at every successful push). Never resets.
+    pub fn high_water(&self) -> usize {
+        self.lock().high_water
+    }
+
     /// Enqueues without blocking, or reports fullness/closure immediately —
     /// the backpressure path.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
@@ -107,6 +118,7 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Full(item));
         }
         state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
         drop(state);
         self.not_empty.notify_one();
         Ok(())
@@ -122,6 +134,7 @@ impl<T> BoundedQueue<T> {
             }
             if state.items.len() < self.capacity {
                 state.items.push_back(item);
+                state.high_water = state.high_water.max(state.items.len());
                 drop(state);
                 self.not_empty.notify_one();
                 return Ok(());
@@ -193,6 +206,22 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.try_pop(), Some(1));
         assert_eq!(q.try_push(3), Ok(()));
+    }
+
+    #[test]
+    fn high_water_tracks_deepest_occupancy_and_never_resets() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.high_water(), 0);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.push(3).unwrap();
+        assert_eq!(q.high_water(), 3);
+        // Draining does not lower the mark...
+        while q.try_pop().is_some() {}
+        assert_eq!(q.high_water(), 3);
+        // ...and a rejected push does not raise it.
+        q.try_push(1).unwrap();
+        assert_eq!(q.high_water(), 3);
     }
 
     #[test]

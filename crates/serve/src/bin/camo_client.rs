@@ -4,7 +4,8 @@
 //! camo-client [--addr 127.0.0.1:7878 | --front ADDR | --port-file PATH]
 //!             [--requests N] [--seed S] [--smoke] [--engine calibre|camo]
 //!             [--litho fast|default] [--max-steps N]
-//!             [--verify] [--metrics] [--restart [SHARD]] [--shutdown]
+//!             [--verify] [--metrics] [--trace-out FILE]
+//!             [--restart [SHARD]] [--shutdown]
 //! ```
 //!
 //! `--front` addresses the front port of a `serve --shards N` router tier;
@@ -23,7 +24,12 @@
 //!
 //! `--metrics` fetches the server's `metrics` report after the load run
 //! and renders it as plain text (counters, per-kind latency quantiles and
-//! — through a router — per-shard status). `--restart` asks a router tier
+//! — through a router — per-shard status). `--trace-out FILE` pulls the
+//! flight recorder (a `trace` request; against a router the reply merges
+//! the router's spans with every live shard's) and writes the timeline as
+//! Chrome trace-event JSON — open it at `chrome://tracing` or in Perfetto.
+//! Tracing must be enabled server-side (`serve --trace-sample N`) for the
+//! pull to contain spans. `--restart` asks a router tier
 //! for a rolling restart (optionally of one shard index) and waits for the
 //! `restarted` acknowledgement. With `--shutdown`, a `shutdown` request is
 //! sent at the end and the clean acknowledgement is awaited.
@@ -36,7 +42,7 @@ use camo_serve::exec::{evaluate_mask, run_layout, run_optimize, run_sweep};
 use camo_serve::wire::{
     EngineKind, JobSpec, Layer, LithoSpec, RequestBody, ResponseBody, WireOutcome,
 };
-use camo_serve::MetricsReport;
+use camo_serve::{chrome_trace_json, MetricsReport};
 use camo_workloads::{request_stream, RequestStreamParams, ServeCase};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -160,12 +166,14 @@ fn await_reply(client: &mut Client, id: u64) -> ResponseBody {
 /// quantiles and (through a router) per-shard status.
 fn render_metrics(report: &MetricsReport) {
     println!(
-        "metrics ({}): simd_arch={} queue_depth={} in_flight={} completed={} busy_rejected={} \
-         redispatched={} respawns={}",
+        "metrics ({}): simd_arch={} queue_depth={} (hwm {}) in_flight={} (hwm {}) completed={} \
+         busy_rejected={} redispatched={} respawns={}",
         report.role,
         report.simd_arch,
         report.queue_depth,
+        report.queue_high_water,
         report.in_flight,
+        report.in_flight_high_water,
         report.completed,
         report.busy_rejected,
         report.redispatched,
@@ -181,9 +189,22 @@ fn render_metrics(report: &MetricsReport) {
             kind.latency.max_us
         );
     }
+    for stage in &report.stage_latency {
+        if stage.latency.count == 0 {
+            continue;
+        }
+        println!(
+            "  stage   {:<13} count={:<6} p50={}us p99={}us max={}us",
+            stage.kind,
+            stage.latency.count,
+            stage.latency.p50_us,
+            stage.latency.p99_us,
+            stage.latency.max_us
+        );
+    }
     for shard in &report.shards {
         println!(
-            "  shard {}: {}{} forwarded={} respawns={} queue_depth={} in_flight={} \
+            "  shard {}: {}{} forwarded={} respawns={} queue_depth={} in_flight={} (hwm {}) \
              completed={} busy_rejected={}",
             shard.index,
             if shard.alive { "alive" } else { "dead" },
@@ -192,6 +213,7 @@ fn render_metrics(report: &MetricsReport) {
             shard.respawns,
             shard.queue_depth,
             shard.in_flight,
+            shard.in_flight_high_water,
             shard.completed,
             shard.busy_rejected
         );
@@ -365,6 +387,28 @@ fn main() {
         match await_reply(&mut client, id) {
             ResponseBody::Metrics(report) => render_metrics(&report),
             other => fail(format!("unexpected metrics reply: {other:?}")),
+        }
+    }
+
+    if let Some(path) = flag_value(&args, "--trace-out") {
+        let id = client
+            .send(RequestBody::Trace)
+            .unwrap_or_else(|e| fail(format!("trace send: {e}")));
+        match await_reply(&mut client, id) {
+            ResponseBody::Trace(report) => {
+                let span_count =
+                    report.spans.len() + report.shards.iter().map(|s| s.spans.len()).sum::<usize>();
+                let dropped = report.dropped + report.shards.iter().map(|s| s.dropped).sum::<u64>();
+                std::fs::write(&path, chrome_trace_json(&report))
+                    .unwrap_or_else(|e| fail(format!("cannot write --trace-out {path}: {e}")));
+                println!(
+                    "camo-client: wrote {span_count} span(s) from {} ({} shard report(s), \
+                     {dropped} dropped) to {path}",
+                    report.role,
+                    report.shards.len()
+                );
+            }
+            other => fail(format!("unexpected trace reply: {other:?}")),
         }
     }
 

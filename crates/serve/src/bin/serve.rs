@@ -4,7 +4,7 @@
 //! ```text
 //! serve [--host 127.0.0.1] [--port 7878] [--threads N] [--queue-depth N]
 //!       [--max-connections N] [--dispatchers N] [--retry-after-ms N]
-//!       [--port-file PATH]
+//!       [--port-file PATH] [--trace-sample N]
 //!       [--shards N|auto] [--forwarders N]
 //!       [--probe-interval-ms N] [--probe-timeout-ms N]
 //!       [--respawn-backoff-ms N] [--respawn-backoff-max-ms N]
@@ -45,6 +45,7 @@ const SHARD_FLAGS: &[&str] = &[
     "--retry-after-ms",
     "--context-capacity",
     "--coalesce-limit",
+    "--trace-sample",
 ];
 
 fn run_router(args: &[String], addr: SocketAddr, shards: usize) {
@@ -89,6 +90,7 @@ fn run_router(args: &[String], addr: SocketAddr, shards: usize) {
                 respawn_defaults.breaker_failures,
             ),
         },
+        trace_sample: parsed_flag(args, "--trace-sample", defaults.trace_sample),
     };
     // Reject degenerate knobs (zero intervals, empty windows) before
     // anything binds or spawns; the typed message names the bad flag.
@@ -175,6 +177,7 @@ fn main() {
         retry_after_ms: parsed_flag(&args, "--retry-after-ms", defaults.retry_after_ms),
         context_capacity: parsed_flag(&args, "--context-capacity", defaults.context_capacity),
         coalesce_limit: parsed_flag(&args, "--coalesce-limit", defaults.coalesce_limit),
+        trace_sample: parsed_flag(&args, "--trace-sample", defaults.trace_sample),
     };
     let threads = config.threads;
     let queue_depth = config.queue_depth;

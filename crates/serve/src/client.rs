@@ -113,7 +113,11 @@ impl Client {
     pub fn send(&mut self, body: RequestBody) -> Result<u64, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        self.send_request(&Request { id, body })?;
+        self.send_request(&Request {
+            id,
+            body,
+            trace: None,
+        })?;
         Ok(id)
     }
 

@@ -217,13 +217,14 @@ pub fn case_body(case: &camo_workloads::ServeCase, job: &JobSpec) -> RequestBody
 }
 
 /// The lithography spec a request runs under (`None` for the control
-/// kinds: ping, metrics, restart, shutdown).
+/// kinds: ping, metrics, trace, restart, shutdown).
 pub fn litho_spec(body: &RequestBody) -> Option<&LithoSpec> {
     match body {
         RequestBody::Optimize { job, .. } | RequestBody::Sweep { job, .. } => Some(&job.litho),
         RequestBody::Evaluate { litho, .. } | RequestBody::Layout { litho, .. } => Some(litho),
         RequestBody::Ping
         | RequestBody::Metrics
+        | RequestBody::Trace
         | RequestBody::Restart { .. }
         | RequestBody::Shutdown => None,
     }

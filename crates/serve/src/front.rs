@@ -12,6 +12,7 @@
 //! forwarders — so that single decision is the [`FrontHandler`] trait and
 //! everything else lives here once.
 
+use crate::trace::{Stage, Tracer};
 use crate::wire::{
     decode_request, encode_response, read_frame, ErrorCode, Frame, Request, RequestBody, Response,
     ResponseBody,
@@ -100,11 +101,30 @@ impl FrontState {
     }
 }
 
+/// One response headed for a connection's writer thread, tagged with the
+/// trace id of the request it answers (when that request was sampled) so
+/// the writer can record `encode`/`write` spans without re-decoding
+/// anything.
+pub(crate) struct Outbound {
+    pub(crate) response: Response,
+    pub(crate) trace: Option<u64>,
+}
+
+impl Outbound {
+    /// An untraced response (control answers, decode errors).
+    pub(crate) fn plain(response: Response) -> Self {
+        Self {
+            response,
+            trace: None,
+        }
+    }
+}
+
 /// One request admitted past the connection tier: the decoded request plus
 /// the sender feeding its connection's writer thread. The element type of
 /// both the server's dispatch queue and the router's forwarding queue.
 pub(crate) struct AdmittedRequest {
-    pub(crate) reply: Sender<Response>,
+    pub(crate) reply: Sender<Outbound>,
     pub(crate) request: Request,
     /// When the reader admitted the request — the start of the latency
     /// sample its completion records (queue wait included, so histograms
@@ -126,6 +146,12 @@ pub(crate) trait FrontHandler: Send + Sync + 'static {
     /// The process's current [`crate::stats::MetricsReport`], answered
     /// inline by the reader thread (works under queue saturation).
     fn metrics(&self) -> ResponseBody;
+    /// The process's tracing plane: sampling decisions at admission, span
+    /// recording at every hop.
+    fn tracer(&self) -> &Arc<Tracer>;
+    /// The process's current [`crate::trace::TraceReport`], answered inline
+    /// by the reader thread (a router merges in each live shard's spans).
+    fn trace(&self) -> ResponseBody;
     /// An admin `restart` request. The default rejects it: a plain server
     /// has nothing to restart without dropping the very connection the
     /// request arrived on. The router overrides this with a rolling
@@ -141,29 +167,48 @@ pub(crate) trait FrontHandler: Send + Sync + 'static {
     /// Takes one decoded request that is not a control kind: a
     /// non-blocking push onto [`Self::queue`], where a full queue answers a
     /// typed `busy` rejection and a closed one answers `shutting_down`.
-    fn admit(&self, reply: &Sender<Response>, request: Request) {
+    ///
+    /// This is also where sampling happens: a request that did not arrive
+    /// with a `trace_id` (i.e. not forwarded by an upstream router) may be
+    /// assigned one here, and sampled requests get an `admit` span. The
+    /// sampled-out path costs one atomic increment and no clock reads.
+    fn admit(&self, reply: &Sender<Outbound>, mut request: Request) {
+        if request.trace.is_none() {
+            request.trace = self.tracer().maybe_assign();
+        }
+        let trace = request.trace;
+        let admitted_at = Instant::now();
         let admitted = AdmittedRequest {
             reply: reply.clone(),
             request,
-            admitted_at: Instant::now(),
+            admitted_at,
         };
         match self.queue().try_push(admitted) {
             Ok(()) => {}
             Err(camo_runtime::PushError::Full(a)) => {
                 self.front().rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
-                let _ = a.reply.send(Response {
-                    id: a.request.id,
-                    body: ResponseBody::Busy {
-                        retry_after_ms: self.front().retry_after_ms,
+                let _ = a.reply.send(Outbound {
+                    response: Response {
+                        id: a.request.id,
+                        body: ResponseBody::Busy {
+                            retry_after_ms: self.front().retry_after_ms,
+                        },
                     },
+                    trace: a.request.trace,
                 });
             }
             Err(camo_runtime::PushError::Closed(a)) => {
-                let _ = a.reply.send(Response {
-                    id: a.request.id,
-                    body: ResponseBody::ShuttingDown,
+                let _ = a.reply.send(Outbound {
+                    response: Response {
+                        id: a.request.id,
+                        body: ResponseBody::ShuttingDown,
+                    },
+                    trace: a.request.trace,
                 });
             }
+        }
+        if let Some(id) = trace {
+            self.tracer().record_since(id, Stage::Admit, admitted_at);
         }
     }
 }
@@ -234,11 +279,14 @@ fn spawn_connection<H: FrontHandler>(
     if shared.front().stop.load(Ordering::SeqCst) {
         let _ = read_half.shutdown(Shutdown::Read);
     }
-    let (tx, rx) = channel::<Response>();
+    let (tx, rx) = channel::<Outbound>();
 
-    let writer = std::thread::Builder::new()
-        .name("camo-serve-writer".into())
-        .spawn(move || writer_loop(stream, rx));
+    let writer = {
+        let tracer = Arc::clone(shared.tracer());
+        std::thread::Builder::new()
+            .name("camo-serve-writer".into())
+            .spawn(move || writer_loop(stream, rx, &tracer))
+    };
     let writer = match writer {
         Ok(handle) => handle,
         Err(e) => {
@@ -271,12 +319,13 @@ fn spawn_connection<H: FrontHandler>(
     Ok([reader, writer])
 }
 
-fn writer_loop(stream: TcpStream, rx: Receiver<Response>) {
+fn writer_loop(stream: TcpStream, rx: Receiver<Outbound>, tracer: &Tracer) {
     let mut writer = BufWriter::new(stream);
     // Ends when every sender (reader + admitted requests) is gone; the
     // final write-shutdown sends FIN so clients draining the stream observe
     // EOF even while the shutdown registry still holds a clone.
-    while let Ok(response) = rx.recv() {
+    while let Ok(Outbound { response, trace }) = rx.recv() {
+        let encode_start = trace.map(|_| Instant::now());
         let frame = match encode_response(&response) {
             Ok(frame) => frame,
             Err(e) => match encode_response(&Response {
@@ -290,17 +339,24 @@ fn writer_loop(stream: TcpStream, rx: Receiver<Response>) {
                 Err(_) => continue,
             },
         };
+        if let (Some(id), Some(start)) = (trace, encode_start) {
+            tracer.record_since(id, Stage::Encode, start);
+        }
+        let write_start = trace.map(|_| Instant::now());
         if writer.write_all(frame.as_bytes()).is_err()
             || writer.write_all(b"\n").is_err()
             || writer.flush().is_err()
         {
             break;
         }
+        if let (Some(id), Some(start)) = (trace, write_start) {
+            tracer.record_since(id, Stage::Write, start);
+        }
     }
     let _ = writer.get_ref().shutdown(Shutdown::Write);
 }
 
-fn reader_loop<H: FrontHandler>(stream: TcpStream, shared: &H, tx: Sender<Response>) {
+fn reader_loop<H: FrontHandler>(stream: TcpStream, shared: &H, tx: Sender<Outbound>) {
     let mut reader = BufReader::new(stream);
     // Ends on EOF, a transport error, or a `shutdown` request (Err and
     // Ok(None) both fall out of the `while let`).
@@ -308,13 +364,13 @@ fn reader_loop<H: FrontHandler>(stream: TcpStream, shared: &H, tx: Sender<Respon
         let line = match frame {
             Frame::Line(line) => line,
             Frame::Oversized { len } => {
-                let _ = tx.send(Response {
+                let _ = tx.send(Outbound::plain(Response {
                     id: 0,
                     body: ResponseBody::Error {
                         code: ErrorCode::BadRequest,
                         message: format!("frame of {len} bytes exceeds the limit"),
                     },
-                });
+                }));
                 continue;
             }
         };
@@ -324,29 +380,38 @@ fn reader_loop<H: FrontHandler>(stream: TcpStream, shared: &H, tx: Sender<Respon
         let request = match decode_request(&line) {
             Ok(request) => request,
             Err(e) => {
-                let _ = tx.send(Response {
+                let _ = tx.send(Outbound::plain(Response {
                     id: 0,
                     body: ResponseBody::Error {
                         code: ErrorCode::BadRequest,
                         message: e.to_string(),
                     },
-                });
+                }));
                 continue;
             }
         };
         let id = request.id;
         match request.body {
             RequestBody::Ping => {
-                let _ = tx.send(Response {
+                let _ = tx.send(Outbound::plain(Response {
                     id,
                     body: ResponseBody::Pong,
-                });
+                }));
             }
             RequestBody::Metrics => {
-                let _ = tx.send(Response {
+                let _ = tx.send(Outbound::plain(Response {
                     id,
                     body: shared.metrics(),
-                });
+                }));
+            }
+            RequestBody::Trace => {
+                // Inline like `metrics`: pulling the flight recorder must
+                // work even when the request queue is saturated — that is
+                // exactly when a timeline is most interesting.
+                let _ = tx.send(Outbound::plain(Response {
+                    id,
+                    body: shared.trace(),
+                }));
             }
             RequestBody::Restart { shard } => {
                 // Deliberately synchronous: this connection's reader blocks
@@ -355,13 +420,13 @@ fn reader_loop<H: FrontHandler>(stream: TcpStream, shared: &H, tx: Sender<Respon
                 // Other connections (and this one's earlier pipelined
                 // requests) proceed normally throughout.
                 let body = shared.restart(shard);
-                let _ = tx.send(Response { id, body });
+                let _ = tx.send(Outbound::plain(Response { id, body }));
             }
             RequestBody::Shutdown => {
-                let _ = tx.send(Response {
+                let _ = tx.send(Outbound::plain(Response {
                     id,
                     body: ResponseBody::ShuttingDown,
-                });
+                }));
                 shared.on_shutdown_request();
                 break;
             }

@@ -60,6 +60,11 @@
 //!   building blocks: lock-free log2 latency histograms behind the
 //!   `metrics` wire request, and the pure backoff/breaker schedule the
 //!   router's supervisor follows.
+//! * [`trace`] — camo-trace, the request-scoped tracing plane: sampled
+//!   requests carry a `trace_id` through the wire frame, every hop records
+//!   typed spans into a lock-free [`FlightRecorder`] ring, the `trace`
+//!   wire request pulls a merged per-request timeline, and
+//!   [`chrome_trace_json`] exports it for `chrome://tracing`.
 //!
 //! # Determinism
 //!
@@ -96,6 +101,7 @@ pub mod server;
 pub mod shard;
 pub mod stats;
 pub mod supervise;
+pub mod trace;
 pub mod wire;
 
 pub use client::{
@@ -108,4 +114,5 @@ pub use server::{serve, ServerConfig, ServerHandle, ServerStats};
 pub use shard::{ShardSet, ShardSpec};
 pub use stats::{KindLatency, LatencySnapshot, MetricsReport, ShardStatus};
 pub use supervise::{Backoff, FlapBreaker, RespawnPolicy};
+pub use trace::{chrome_trace_json, FlightRecorder, ShardTrace, SpanRecord, TraceReport, Tracer};
 pub use wire::{Request, RequestBody, Response, ResponseBody, WireError};

@@ -77,10 +77,11 @@
 
 use crate::error::ServeError;
 use crate::exec::litho_spec;
-use crate::front::{acceptor_loop, AdmittedRequest, FrontHandler, FrontState};
+use crate::front::{acceptor_loop, AdmittedRequest, FrontHandler, FrontState, Outbound};
 use crate::shard::{ShardSet, ShardSpec};
 use crate::stats::{KindLatencies, MetricsReport, ShardStatus};
 use crate::supervise::{FlapBreaker, RespawnPolicy};
+use crate::trace::{ShardTrace, Stage, TraceReport, Tracer};
 use crate::wire::{
     decode_response, encode_request_parts, read_frame, ErrorCode, Frame, RequestBody, Response,
     ResponseBody,
@@ -120,6 +121,10 @@ pub struct RouterConfig {
     /// ([`route_spawned`]); a router over external addresses never
     /// respawns.
     pub respawn: RespawnPolicy,
+    /// Trace every Nth admitted request (`0` disables tracing). Sampled
+    /// requests carry their `trace_id` in the forwarded frame so the shard
+    /// records spans under the same id.
+    pub trace_sample: u64,
 }
 
 impl Default for RouterConfig {
@@ -134,6 +139,7 @@ impl Default for RouterConfig {
             probe_timeout: Duration::from_secs(5),
             drain_timeout: Duration::from_secs(120),
             respawn: RespawnPolicy::default(),
+            trace_sample: 0,
         }
     }
 }
@@ -237,8 +243,11 @@ fn mix(fingerprint: u64, shard: u64) -> u64 {
 /// One request in flight on a shard, kept until its final response is
 /// forwarded so it can be redispatched if the shard dies.
 struct Inflight {
-    reply: Sender<Response>,
+    reply: Sender<Outbound>,
     client_id: u64,
+    /// Tracing id assigned at admission (sampled requests only); forwarded
+    /// in the shard frame and attached to every response hop.
+    trace: Option<u64>,
     /// Shared with in-progress encodes so redispatch never clones payloads.
     body: Arc<RequestBody>,
     shard: usize,
@@ -325,8 +334,13 @@ struct RouterShared {
     probe_stop: AtomicBool,
     completed: AtomicUsize,
     redispatched: AtomicUsize,
+    /// Most requests ever simultaneously in flight on the shard tier.
+    in_flight_high_water: AtomicUsize,
     /// Per-request-kind latency histograms (admission → final response).
     latency: KindLatencies,
+    /// The router's tracing plane: sampling at admission, router-side span
+    /// recording, and the flight recorder the `trace` request snapshots.
+    tracer: Arc<Tracer>,
     /// True when the router owns the shard processes ([`route_spawned`]).
     /// Plain bool (not "is the set present") so [`fail_shard`] never has
     /// to take the `shard_set` lock.
@@ -423,6 +437,7 @@ impl FrontHandler for RouterShared {
                     respawns: link.respawns.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
                     queue_depth: report.as_ref().map_or(0, |r| r.queue_depth),
                     in_flight: report.as_ref().map_or(0, |r| r.in_flight),
+                    in_flight_high_water: report.as_ref().map_or(0, |r| r.in_flight_high_water),
                     completed: report.as_ref().map_or(0, |r| r.completed),
                     busy_rejected: report.as_ref().map_or(0, |r| r.busy_rejected),
                 }
@@ -432,14 +447,41 @@ impl FrontHandler for RouterShared {
             role: "router".into(),
             simd_arch: camo_litho::simd::active().name().into(),
             queue_depth: self.queue.len(),
+            queue_high_water: self.queue.high_water(),
             in_flight: self.lock_inflight().len(),
+            in_flight_high_water: self.in_flight_high_water.load(Ordering::Relaxed), // relaxed-ok: stats gauge; reads are reporting-only
             completed: self.completed.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
             busy_rejected: self.front.rejected.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
             redispatched: self.redispatched.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
             respawns: shards.iter().map(|s| s.respawns).sum(),
             latency: self.latency.snapshot(),
+            stage_latency: self.tracer.stage_latency(),
             shards,
         })
+    }
+
+    fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    fn trace(&self) -> ResponseBody {
+        // The router's own spans, then each live shard's — pulled over
+        // short-lived dedicated connections (a rare admin pull must not
+        // thread through the forwarding channels or take any router lock).
+        let mut report = self.tracer.report("router");
+        for (index, link) in self.links.iter().enumerate() {
+            if !link.alive.load(Ordering::SeqCst) {
+                continue;
+            }
+            if let Some(shard_report) = pull_shard_trace(link.addr()) {
+                report.shards.push(ShardTrace {
+                    index,
+                    dropped: shard_report.dropped,
+                    spans: shard_report.spans,
+                });
+            }
+        }
+        ResponseBody::Trace(report)
     }
 
     fn restart(&self, shard: Option<usize>) -> ResponseBody {
@@ -494,6 +536,32 @@ impl FrontHandler for RouterShared {
             }
         }
         ResponseBody::Restarted { shards: restarted }
+    }
+}
+
+/// Pulls one shard's flight-recorder snapshot over a dedicated short-lived
+/// connection. Trace pulls are rare admin reads: a fresh connection keeps
+/// them off the forwarding channels (no writer-lock contention, no frame
+/// interleaving with data-plane traffic) and the tight timeouts keep a
+/// wedged shard from stalling the pull for the rest of the tier. Any
+/// failure simply omits the shard from the merged report.
+fn pull_shard_trace(addr: SocketAddr) -> Option<TraceReport> {
+    let timeout = Duration::from_secs(2);
+    let stream = TcpStream::connect_timeout(&addr, timeout).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_write_timeout(Some(timeout)).ok()?;
+    let frame = encode_request_parts(1, &RequestBody::Trace, None).ok()?;
+    let mut writer = BufWriter::new(stream.try_clone().ok()?);
+    writer.write_all(frame.as_bytes()).ok()?;
+    writer.write_all(b"\n").ok()?;
+    writer.flush().ok()?;
+    let mut reader = BufReader::new(stream);
+    match read_frame(&mut reader).ok()?? {
+        Frame::Line(line) => match decode_response(&line).ok()?.body {
+            ResponseBody::Trace(report) => Some(report),
+            _ => None,
+        },
+        Frame::Oversized { .. } => None,
     }
 }
 
@@ -574,7 +642,9 @@ fn start(
         probe_stop: AtomicBool::new(false),
         completed: AtomicUsize::new(0),
         redispatched: AtomicUsize::new(0),
+        in_flight_high_water: AtomicUsize::new(0),
         latency: KindLatencies::new(),
+        tracer: Arc::new(Tracer::new(config.trace_sample)),
         supervised: supervised.is_some(),
         shard_set: Mutex::new(supervised),
         reader_handles: Mutex::new(Vec::new()),
@@ -776,9 +846,15 @@ fn connect_shard(shared: &Arc<RouterShared>, index: usize) -> bool {
 fn forward_loop(shared: &RouterShared) {
     while let Some(routed) = shared.queue.pop() {
         let router_id = shared.fresh_id();
+        if let Some(id) = routed.request.trace {
+            shared
+                .tracer
+                .record_since(id, Stage::QueueWait, routed.admitted_at);
+        }
         let entry = Inflight {
             reply: routed.reply,
             client_id: routed.request.id,
+            trace: routed.request.trace,
             kind: routed.request.body.kind(),
             body: Arc::new(routed.request.body),
             shard: usize::MAX,
@@ -787,7 +863,14 @@ fn forward_loop(shared: &RouterShared) {
             total_cases: None,
             admitted_at: routed.admitted_at,
         };
-        shared.lock_inflight().insert(router_id, entry);
+        let depth = {
+            let mut inflight = shared.lock_inflight();
+            inflight.insert(router_id, entry);
+            inflight.len()
+        };
+        shared
+            .in_flight_high_water
+            .fetch_max(depth, Ordering::Relaxed); // relaxed-ok: stats gauge; reads are reporting-only
         send_to_shard(shared, router_id);
     }
 }
@@ -803,10 +886,10 @@ fn send_to_shard(shared: &RouterShared, router_id: u64) {
     // tolerates duplicates (stale-shard and case-index dedup). The body
     // never changes after admission, so one encode covers every retry of
     // the write loop below.
-    let body = {
+    let (body, trace) = {
         let inflight = shared.lock_inflight();
         match inflight.get(&router_id) {
-            Some(entry) => Arc::clone(&entry.body),
+            Some(entry) => (Arc::clone(&entry.body), entry.trace),
             None => return, // completed concurrently
         }
     };
@@ -814,7 +897,7 @@ fn send_to_shard(shared: &RouterShared, router_id: u64) {
         .map(|spec| spec.to_config().fingerprint())
         .unwrap_or(0);
     let preference = shard_preference(fingerprint, shared.links.len());
-    let frame = match encode_request_parts(router_id, &body) {
+    let frame = match encode_request_parts(router_id, &body, trace) {
         Ok(frame) => frame,
         Err(e) => {
             if let Some(entry) = shared.lock_inflight().remove(&router_id) {
@@ -860,10 +943,14 @@ fn send_to_shard(shared: &RouterShared, router_id: u64) {
         // between the failed write and the fail call, the stale epoch makes
         // the fail a no-op and the loop simply retries.
         let epoch = shared.links[shard].epoch.load(Ordering::SeqCst);
+        let forward_start = trace.map(|_| Instant::now());
         if write_to_shard(shared, shard, &frame) {
             shared.links[shard]
                 .forwarded
                 .fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
+            if let (Some(id), Some(start)) = (trace, forward_start) {
+                shared.tracer.record_since(id, Stage::Forward, start);
+            }
             return;
         }
         // The write failed: the shard is dead. `fail_shard` redispatches
@@ -898,12 +985,15 @@ fn fail_entry(shared: &RouterShared, entry: Inflight, message: &str) {
     // Count before the reply is handed to the writer so a client holding
     // the response always observes a `metrics` report that includes it.
     shared.completed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
-    let _ = entry.reply.send(Response {
-        id: entry.client_id,
-        body: ResponseBody::Error {
-            code: ErrorCode::Internal,
-            message: message.to_string(),
+    let _ = entry.reply.send(Outbound {
+        response: Response {
+            id: entry.client_id,
+            body: ResponseBody::Error {
+                code: ErrorCode::Internal,
+                message: message.to_string(),
+            },
         },
+        trace: entry.trace,
     });
     shared.idle.notify_all();
 }
@@ -1054,6 +1144,7 @@ fn handle_shard_response(shared: &RouterShared, shard: usize, response: Response
             }
             let done = entry.forwarded_cases.len() == total;
             let reply = entry.reply.clone();
+            let trace = entry.trace;
             let sample = (entry.kind, entry.admitted_at);
             if done {
                 inflight.remove(&response.id);
@@ -1066,14 +1157,17 @@ fn handle_shard_response(shared: &RouterShared, shard: usize, response: Response
                 shared.latency.record(sample.0, sample.1.elapsed());
                 shared.completed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
             }
-            let _ = reply.send(Response {
-                id: client_id,
-                body: ResponseBody::CaseOutcome {
-                    index,
-                    total,
-                    name,
-                    outcome,
+            let _ = reply.send(Outbound {
+                response: Response {
+                    id: client_id,
+                    body: ResponseBody::CaseOutcome {
+                        index,
+                        total,
+                        name,
+                        outcome,
+                    },
                 },
+                trace,
             });
             if done {
                 shared.idle.notify_all();
@@ -1114,9 +1208,12 @@ fn handle_shard_response(shared: &RouterShared, shard: usize, response: Response
                     .record(entry.kind, entry.admitted_at.elapsed());
             }
             shared.completed.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
-            let _ = entry.reply.send(Response {
-                id: client_id,
-                body,
+            let _ = entry.reply.send(Outbound {
+                response: Response {
+                    id: client_id,
+                    body,
+                },
+                trace: entry.trace,
             });
             shared.idle.notify_all();
             true
@@ -1165,7 +1262,7 @@ fn prober_loop(shared: &Arc<RouterShared>) {
             // self-report (queue depth, in-flight, counters) in one
             // round-trip, cached on the link for the router's own report.
             let id = shared.fresh_id();
-            let frame = match encode_request_parts(id, &RequestBody::Metrics) {
+            let frame = match encode_request_parts(id, &RequestBody::Metrics, None) {
                 Ok(frame) => frame,
                 Err(_) => continue,
             };
@@ -1291,7 +1388,7 @@ fn restart_one(shared: &Arc<RouterShared>, shard: usize) -> io::Result<()> {
             // close the channel: in-flight work redispatches to siblings
             // and new work routes around the hole.
             let id = shared.fresh_id();
-            if let Ok(frame) = encode_request_parts(id, &RequestBody::Shutdown) {
+            if let Ok(frame) = encode_request_parts(id, &RequestBody::Shutdown, None) {
                 let _ = write_to_shard(shared, shard, &frame);
             }
             fail_shard_now(shared, shard);
@@ -1458,9 +1555,12 @@ impl RouterHandle {
             let _ = handle.join();
         }
         while let Some(r) = self.shared.queue.try_pop() {
-            let _ = r.reply.send(Response {
-                id: r.request.id,
-                body: ResponseBody::ShuttingDown,
+            let _ = r.reply.send(Outbound {
+                response: Response {
+                    id: r.request.id,
+                    body: ResponseBody::ShuttingDown,
+                },
+                trace: r.request.trace,
             });
         }
         for shard in 0..self.shared.links.len() {
@@ -1468,7 +1568,7 @@ impl RouterHandle {
                 continue;
             }
             let id = self.shared.fresh_id();
-            if let Ok(frame) = encode_request_parts(id, &RequestBody::Shutdown) {
+            if let Ok(frame) = encode_request_parts(id, &RequestBody::Shutdown, None) {
                 let _ = write_to_shard(&self.shared, shard, &frame);
             }
         }

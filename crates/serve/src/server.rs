@@ -41,10 +41,11 @@ use crate::error::ServeError;
 use crate::exec::{
     coalesce_key, run_evaluate, run_layout, run_optimize, run_sweep, wire_evaluation, wire_outcome,
 };
-use crate::front::{acceptor_loop, AdmittedRequest, FrontHandler, FrontState};
+use crate::front::{acceptor_loop, AdmittedRequest, FrontHandler, FrontState, Outbound};
 use crate::stats::{KindLatencies, MetricsReport};
+use crate::trace::{RecorderSink, Stage, Tracer};
 use crate::wire::{ErrorCode, RequestBody, Response, ResponseBody};
-use camo_litho::ContextCache;
+use camo_litho::{ContextCache, LithoConfig, LithoSimulator};
 use camo_runtime::{BoundedQueue, ServicePool};
 use std::collections::VecDeque;
 use std::io;
@@ -53,6 +54,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -75,6 +77,10 @@ pub struct ServerConfig {
     pub context_capacity: usize,
     /// Most requests one dispatcher drains into a single coalesced batch.
     pub coalesce_limit: usize,
+    /// Trace every Nth admitted request (`0` disables tracing entirely —
+    /// the litho pipeline gets a no-op sink and admission skips even the
+    /// sampling counter's modulo).
+    pub trace_sample: u64,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +94,7 @@ impl Default for ServerConfig {
             retry_after_ms: 50,
             context_capacity: 4,
             coalesce_limit: 16,
+            trace_sample: 0,
         }
     }
 }
@@ -131,13 +138,27 @@ struct Shared {
     front: FrontState,
     served: AtomicUsize,
     in_flight: AtomicUsize,
+    /// Most requests ever simultaneously inside batch execution.
+    in_flight_high_water: AtomicUsize,
     latency: KindLatencies,
+    tracer: Arc<Tracer>,
 }
 
 impl Shared {
     fn request_shutdown(&self) {
         self.queue.close();
         self.front.begin_shutdown();
+    }
+
+    /// Cache lookup with an optional `context-fetch` span — the traced
+    /// request pays two clock reads, the untraced path none.
+    fn fetch_sim(&self, config: &LithoConfig, trace: Option<u64>) -> LithoSimulator {
+        let start = trace.map(|_| Instant::now());
+        let sim = self.contexts.get(config);
+        if let (Some(id), Some(start)) = (trace, start) {
+            self.tracer.record_since(id, Stage::ContextFetch, start);
+        }
+        sim
     }
 }
 
@@ -159,14 +180,25 @@ impl FrontHandler for Shared {
             role: "server".into(),
             simd_arch: camo_litho::simd::active().name().into(),
             queue_depth: self.queue.len(),
+            queue_high_water: self.queue.high_water(),
             in_flight: self.in_flight.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
+            in_flight_high_water: self.in_flight_high_water.load(Ordering::Relaxed), // relaxed-ok: stats gauge; reads are reporting-only
             completed: self.served.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
             busy_rejected: self.front.rejected.load(Ordering::Relaxed), // relaxed-ok: stats counter; reads are reporting-only
             redispatched: 0,
             respawns: 0,
             latency: self.latency.snapshot(),
+            stage_latency: self.tracer.stage_latency(),
             shards: Vec::new(),
         })
+    }
+
+    fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    fn trace(&self) -> ResponseBody {
+        ResponseBody::Trace(self.tracer.report("server"))
     }
 }
 
@@ -187,13 +219,26 @@ pub fn serve(config: ServerConfig) -> Result<ServerHandle, ServeError> {
     let listener = TcpListener::bind(config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let tracer = Arc::new(Tracer::new(config.trace_sample));
+    // With tracing off the pipeline keeps its no-op sink: the litho stages
+    // announce boundaries into nothing, so disabled tracing costs nothing.
+    let contexts = if config.trace_sample > 0 {
+        ContextCache::with_sink(
+            config.context_capacity,
+            Arc::new(RecorderSink::new(Arc::clone(&tracer))),
+        )
+    } else {
+        ContextCache::new(config.context_capacity)
+    };
     let shared = Arc::new(Shared {
         queue: BoundedQueue::new(config.queue_depth),
-        contexts: ContextCache::new(config.context_capacity),
+        contexts,
         front: FrontState::new(config.max_connections, config.retry_after_ms),
         served: AtomicUsize::new(0),
         in_flight: AtomicUsize::new(0),
+        in_flight_high_water: AtomicUsize::new(0),
         latency: KindLatencies::new(),
+        tracer,
         config,
     });
 
@@ -290,9 +335,12 @@ impl ServerHandle {
     /// turn joins every connection thread.
     fn finish(&mut self) -> ServerStats {
         while let Some(q) = self.shared.queue.try_pop() {
-            let _ = q.reply.send(Response {
-                id: q.request.id,
-                body: ResponseBody::ShuttingDown,
+            let _ = q.reply.send(Outbound {
+                response: Response {
+                    id: q.request.id,
+                    body: ResponseBody::ShuttingDown,
+                },
+                trace: q.request.trace,
             });
         }
         if let Some(handle) = self.acceptor.take() {
@@ -330,7 +378,22 @@ fn dispatcher_loop(shared: &Shared) {
                 None => break,
             }
         }
+        // Queue-wait spans for the traced requests just dequeued; one clock
+        // read for the whole drain, none when nothing is traced.
+        if pending.iter().any(|q| q.request.trace.is_some()) {
+            let dequeued = Instant::now();
+            for q in &pending {
+                if let Some(id) = q.request.trace {
+                    shared
+                        .tracer
+                        .record(id, Stage::ShardQueue, q.admitted_at, dequeued);
+                }
+            }
+        }
         while let Some(head) = pending.pop_front() {
+            let traced_group =
+                head.request.trace.is_some() || pending.iter().any(|q| q.request.trace.is_some());
+            let group_start = traced_group.then(Instant::now);
             let key = coalesce_key(&head.request.body);
             let mut batch = vec![head];
             if let Some(key) = &key {
@@ -348,6 +411,14 @@ fn dispatcher_loop(shared: &Shared) {
                     }
                 }
             }
+            if let Some(start) = group_start {
+                let grouped = Instant::now();
+                for q in &batch {
+                    if let Some(id) = q.request.trace {
+                        shared.tracer.record(id, Stage::Coalesce, start, grouped);
+                    }
+                }
+            }
             execute_batch(shared, batch);
         }
     }
@@ -357,8 +428,20 @@ fn dispatcher_loop(shared: &Shared) {
 /// execution is converted into per-request `internal` errors so one
 /// poisoned request cannot take the dispatcher down.
 fn execute_batch(shared: &Shared, batch: Vec<AdmittedRequest>) {
-    shared.in_flight.fetch_add(batch.len(), Ordering::Relaxed); // relaxed-ok: gauge read only by metrics reporting
+    let entered = shared.in_flight.fetch_add(batch.len(), Ordering::Relaxed) + batch.len(); // relaxed-ok: gauge read only by metrics reporting
+    shared
+        .in_flight_high_water
+        .fetch_max(entered, Ordering::Relaxed); // relaxed-ok: stats gauge; reads are reporting-only
+                                                // While the batch runs, litho stage boundaries attribute to this trace
+                                                // id (observational best-effort under concurrent dispatchers).
+    let active = batch.iter().find_map(|q| q.request.trace);
+    if let Some(id) = active {
+        shared.tracer.set_active(id);
+    }
     let responses = catch_unwind(AssertUnwindSafe(|| run_batch(shared, &batch)));
+    if active.is_some() {
+        shared.tracer.clear_active();
+    }
     shared.in_flight.fetch_sub(batch.len(), Ordering::Relaxed); // relaxed-ok: gauge read only by metrics reporting
     match responses {
         Ok(per_request) => {
@@ -371,7 +454,10 @@ fn execute_batch(shared: &Shared, batch: Vec<AdmittedRequest>) {
                     .latency
                     .record(q.request.body.kind(), q.admitted_at.elapsed());
                 for response in responses {
-                    let _ = q.reply.send(response);
+                    let _ = q.reply.send(Outbound {
+                        response,
+                        trace: q.request.trace,
+                    });
                 }
             }
         }
@@ -382,12 +468,15 @@ fn execute_batch(shared: &Shared, batch: Vec<AdmittedRequest>) {
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "request execution panicked".to_string());
             for q in &batch {
-                let _ = q.reply.send(Response {
-                    id: q.request.id,
-                    body: ResponseBody::Error {
-                        code: ErrorCode::Internal,
-                        message: message.clone(),
+                let _ = q.reply.send(Outbound {
+                    response: Response {
+                        id: q.request.id,
+                        body: ResponseBody::Error {
+                            code: ErrorCode::Internal,
+                            message: message.clone(),
+                        },
                     },
+                    trace: q.request.trace,
                 });
             }
         }
@@ -398,6 +487,7 @@ fn execute_batch(shared: &Shared, batch: Vec<AdmittedRequest>) {
 /// (sweep/layout batches always have exactly one request).
 fn run_batch(shared: &Shared, batch: &[AdmittedRequest]) -> Vec<Vec<Response>> {
     let threads = shared.config.threads;
+    let trace = batch.iter().find_map(|q| q.request.trace);
     match &batch[0].request.body {
         RequestBody::Optimize { job, .. } => {
             let clips: Vec<_> = batch
@@ -407,7 +497,7 @@ fn run_batch(shared: &Shared, batch: &[AdmittedRequest]) -> Vec<Vec<Response>> {
                     _ => unreachable!("coalesced batch is homogeneous"),
                 })
                 .collect();
-            let sim = shared.contexts.get(&job.litho.to_config());
+            let sim = shared.fetch_sim(&job.litho.to_config(), trace);
             let outcomes = run_optimize(job, &clips, &sim, threads);
             batch
                 .iter()
@@ -430,7 +520,7 @@ fn run_batch(shared: &Shared, batch: &[AdmittedRequest]) -> Vec<Vec<Response>> {
                     _ => unreachable!("coalesced batch is homogeneous"),
                 })
                 .collect();
-            let sim = shared.contexts.get(&litho.to_config());
+            let sim = shared.fetch_sim(&litho.to_config(), trace);
             let results = run_evaluate(&probes, &sim, threads);
             batch
                 .iter()
@@ -444,7 +534,7 @@ fn run_batch(shared: &Shared, batch: &[AdmittedRequest]) -> Vec<Vec<Response>> {
                 .collect()
         }
         RequestBody::Sweep { job, cases } => {
-            let sim = shared.contexts.get(&job.litho.to_config());
+            let sim = shared.fetch_sim(&job.litho.to_config(), trace);
             let outcomes = run_sweep(job, cases, &sim, threads);
             let id = batch[0].request.id;
             let total = outcomes.len();
@@ -468,7 +558,7 @@ fn run_batch(shared: &Shared, batch: &[AdmittedRequest]) -> Vec<Vec<Response>> {
             seed,
             tile_nm,
         } => {
-            let sim = shared.contexts.get(&litho.to_config());
+            let sim = shared.fetch_sim(&litho.to_config(), trace);
             let report = run_layout(params, *seed, *tile_nm, &sim, threads);
             vec![vec![Response {
                 id: batch[0].request.id,
@@ -481,6 +571,7 @@ fn run_batch(shared: &Shared, batch: &[AdmittedRequest]) -> Vec<Vec<Response>> {
         }
         RequestBody::Ping
         | RequestBody::Metrics
+        | RequestBody::Trace
         | RequestBody::Restart { .. }
         | RequestBody::Shutdown => {
             unreachable!("answered inline by the reader")

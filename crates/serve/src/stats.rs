@@ -168,10 +168,53 @@ impl KindLatencies {
 /// One request kind's latency summary inside a [`MetricsReport`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KindLatency {
-    /// The request kind (`"optimize"`, `"evaluate"`, `"sweep"`, `"layout"`).
+    /// The request kind (`"optimize"`, `"evaluate"`, `"sweep"`, `"layout"`)
+    /// — or, in `MetricsReport::stage_latency`, a tracing stage name.
     pub kind: String,
     /// The summary itself.
     pub latency: LatencySnapshot,
+}
+
+/// Per-tracing-stage latency histograms, fed by every span the
+/// [`crate::trace::Tracer`] records. Snapshotted into
+/// `MetricsReport::stage_latency` so `--metrics` and `perf_snapshot` can
+/// print a stage breakdown without pulling a full trace.
+#[derive(Debug)]
+pub struct StageLatencies {
+    histograms: [LatencyHistogram; crate::trace::Stage::ALL.len()],
+}
+
+impl Default for StageLatencies {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StageLatencies {
+    /// Fresh, empty histograms for every stage.
+    pub fn new() -> Self {
+        Self {
+            histograms: std::array::from_fn(|_| LatencyHistogram::new()),
+        }
+    }
+
+    /// Records one span duration under its stage.
+    pub fn record(&self, stage: crate::trace::Stage, latency: Duration) {
+        self.histograms[stage.index()].record(latency);
+    }
+
+    /// Snapshots every stage with at least one span, in lifecycle order.
+    pub fn snapshot(&self) -> Vec<KindLatency> {
+        crate::trace::Stage::ALL
+            .iter()
+            .zip(&self.histograms)
+            .map(|(stage, h)| KindLatency {
+                kind: stage.name().to_string(),
+                latency: h.snapshot(),
+            })
+            .filter(|k| k.latency.count > 0)
+            .collect()
+    }
 }
 
 /// One shard's status row inside a router's [`MetricsReport`]: the router's
@@ -193,6 +236,8 @@ pub struct ShardStatus {
     pub queue_depth: usize,
     /// Shard-reported in-flight request count.
     pub in_flight: usize,
+    /// Shard-reported in-flight high-water mark.
+    pub in_flight_high_water: usize,
     /// Shard-reported completed-request count.
     pub completed: usize,
     /// Shard-reported busy rejections.
@@ -215,8 +260,12 @@ pub struct MetricsReport {
     pub simd_arch: String,
     /// Current request-queue depth.
     pub queue_depth: usize,
+    /// Deepest the request queue has ever been (exact; never resets).
+    pub queue_high_water: usize,
     /// Requests admitted but not yet answered.
     pub in_flight: usize,
+    /// Most requests ever simultaneously in flight (exact; never resets).
+    pub in_flight_high_water: usize,
     /// Requests answered since startup.
     pub completed: usize,
     /// Requests rejected with `busy` since startup.
@@ -227,6 +276,9 @@ pub struct MetricsReport {
     pub respawns: usize,
     /// Per-request-kind latency summaries (kinds with ≥ 1 sample).
     pub latency: Vec<KindLatency>,
+    /// Per-tracing-stage latency summaries (stages with ≥ 1 span; empty
+    /// unless tracing has recorded spans — see `--trace-sample`).
+    pub stage_latency: Vec<KindLatency>,
     /// Per-shard status rows (router only).
     pub shards: Vec<ShardStatus>,
 }
@@ -261,6 +313,52 @@ mod tests {
         assert_eq!(s.p99_us, 1023);
         assert_eq!(s.max_us, 900);
         assert!(s.p99_us >= s.max_us, "upper-bound read never under-reports");
+    }
+
+    #[test]
+    fn max_is_the_exact_observed_sample_not_a_bucket_bound() {
+        // Satellite: quantiles deliberately read bucket *upper bounds*
+        // (conservative tails), but `max_us` must be the exact observed
+        // maximum — a power-of-two sample sits at the *bottom* of its
+        // bucket, where the bound over-states by almost 2×.
+        let h = LatencyHistogram::new();
+        for _ in 0..9 {
+            h.record(Duration::from_micros(1024));
+        }
+        let s = h.snapshot();
+        // 1024 µs lands in bucket 10, whose inclusive upper bound is 2047:
+        // the quantile reads are the bound...
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_upper_us(10), 2047);
+        assert_eq!(s.p50_us, 2047);
+        assert_eq!(s.p99_us, 2047);
+        // ...while max reports the sample itself, not 2047.
+        assert_eq!(s.max_us, 1024);
+
+        // Boundary pins around the bucket edges: top-of-bucket and
+        // bottom-of-next-bucket samples keep their exact values.
+        for (sample, bound) in [(1u64, 1u64), (1023, 1023), (2047, 2047), (2048, 4095)] {
+            let h = LatencyHistogram::new();
+            h.record(Duration::from_micros(sample));
+            let s = h.snapshot();
+            assert_eq!(s.max_us, sample, "exact max for {sample}");
+            assert_eq!(s.p99_us, bound, "bucket bound for {sample}");
+            assert!(s.p99_us >= s.max_us);
+        }
+    }
+
+    #[test]
+    fn stage_latencies_snapshot_in_lifecycle_order() {
+        let s = StageLatencies::new();
+        assert!(s.snapshot().is_empty());
+        s.record(crate::trace::Stage::Write, Duration::from_micros(9));
+        s.record(crate::trace::Stage::Rasterize, Duration::from_micros(800));
+        s.record(crate::trace::Stage::Rasterize, Duration::from_micros(900));
+        let snap = s.snapshot();
+        let kinds: Vec<&str> = snap.iter().map(|k| k.kind.as_str()).collect();
+        assert_eq!(kinds, ["rasterize", "write"]);
+        assert_eq!(snap[0].latency.count, 2);
+        assert_eq!(snap[0].latency.max_us, 900);
     }
 
     #[test]

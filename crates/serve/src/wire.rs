@@ -23,6 +23,7 @@
 //! random frames in `tests/wire_properties.rs`.
 
 use crate::stats::{KindLatency, LatencySnapshot, MetricsReport, ShardStatus};
+use crate::trace::{ShardTrace, SpanRecord, TraceReport};
 use camo_geometry::{Clip, Coord, Point, Polygon, Rect};
 use camo_litho::LithoConfig;
 use camo_workloads::LayoutParams;
@@ -945,6 +946,11 @@ pub struct Request {
     pub id: u64,
     /// What to do.
     pub body: RequestBody,
+    /// Tracing correlation id (`trace_id` on the wire), present only on
+    /// sampled requests. A router assigns it at admission and forwards it
+    /// so the shard's spans carry the same id; everything else ignores it.
+    /// Tracing never influences results — only observation.
+    pub trace: Option<u64>,
 }
 
 /// The request kinds the server understands.
@@ -1001,6 +1007,10 @@ pub enum RequestBody {
         /// one shard at a time.
         shard: Option<usize>,
     },
+    /// Observability probe: pull the process's span flight recorder,
+    /// answered inline with a [`TraceReport`], never queued. A router
+    /// merges its own spans with each live shard's.
+    Trace,
     /// Ask the server to drain and exit.
     Shutdown,
 }
@@ -1016,6 +1026,7 @@ impl RequestBody {
             Self::Layout { .. } => "layout",
             Self::Metrics => "metrics",
             Self::Restart { .. } => "restart",
+            Self::Trace => "trace",
             Self::Shutdown => "shutdown",
         }
     }
@@ -1023,12 +1034,16 @@ impl RequestBody {
 
 /// Encodes a request as one frame (no trailing newline).
 pub fn encode_request(request: &Request) -> Result<String, WireError> {
-    encode_request_parts(request.id, &request.body)
+    encode_request_parts(request.id, &request.body, request.trace)
 }
 
 /// Like [`encode_request`], but from borrowed parts — forwarding paths can
 /// encode a stored body without materialising an owned [`Request`].
-pub fn encode_request_parts(id: u64, body: &RequestBody) -> Result<String, WireError> {
+pub fn encode_request_parts(
+    id: u64,
+    body: &RequestBody,
+    trace: Option<u64>,
+) -> Result<String, WireError> {
     let mut fields = vec![
         (
             "id",
@@ -1038,8 +1053,11 @@ pub fn encode_request_parts(id: u64, body: &RequestBody) -> Result<String, WireE
         ),
         ("type", Value::Str(body.kind().to_string())),
     ];
+    if let Some(trace_id) = trace {
+        fields.push(("trace_id", u64_value(trace_id)?));
+    }
     match body {
-        RequestBody::Ping | RequestBody::Metrics | RequestBody::Shutdown => {}
+        RequestBody::Ping | RequestBody::Metrics | RequestBody::Trace | RequestBody::Shutdown => {}
         RequestBody::Restart { shard } => {
             if let Some(index) = shard {
                 fields.push(("shard", Value::Int(*index as i64)));
@@ -1104,9 +1122,14 @@ pub fn decode_request(frame: &str) -> Result<Request, WireError> {
     let mut view = ObjView::new(&value, "request")?;
     let id = as_u64(view.take("id")?, "request.id")?;
     let kind = as_str(view.take("type")?, "request.type")?.to_string();
+    let trace = match view.take_opt("trace_id")? {
+        Some(v) => Some(as_u64(v, "request.trace_id")?),
+        None => None,
+    };
     let body = match kind.as_str() {
         "ping" => RequestBody::Ping,
         "metrics" => RequestBody::Metrics,
+        "trace" => RequestBody::Trace,
         "restart" => RequestBody::Restart {
             shard: match view.take_opt("shard")? {
                 Some(v) => Some(as_usize(v, "restart.shard")?),
@@ -1170,7 +1193,7 @@ pub fn decode_request(frame: &str) -> Result<Request, WireError> {
         other => return Err(WireError::Schema(format!("unknown request type '{other}'"))),
     };
     view.finish()?;
-    Ok(Request { id, body })
+    Ok(Request { id, body, trace })
 }
 
 // ---------------------------------------------------------------------------
@@ -1266,6 +1289,10 @@ pub enum ResponseBody {
     },
     /// Result of a metrics request: the process's observable state.
     Metrics(MetricsReport),
+    /// Result of a trace request: the process's recorded spans (a router
+    /// stitches in each live shard's spans so one pull reconstructs the
+    /// full routed timeline).
+    Trace(TraceReport),
     /// A rolling restart completed; lists the shard indices restarted, in
     /// restart order.
     Restarted {
@@ -1299,6 +1326,7 @@ impl ResponseBody {
             Self::Evaluation { .. } => "evaluation",
             Self::LayoutReport { .. } => "layout",
             Self::Metrics(_) => "metrics",
+            Self::Trace(_) => "trace",
             Self::Restarted { .. } => "restarted",
             Self::Busy { .. } => "busy",
             Self::Error { .. } => "error",
@@ -1373,6 +1401,10 @@ fn shard_status_to_value(s: &ShardStatus) -> Value {
         ("respawns", Value::Int(s.respawns as i64)),
         ("queue_depth", Value::Int(s.queue_depth as i64)),
         ("in_flight", Value::Int(s.in_flight as i64)),
+        (
+            "in_flight_high_water",
+            Value::Int(s.in_flight_high_water as i64),
+        ),
         ("completed", Value::Int(s.completed as i64)),
         ("busy_rejected", Value::Int(s.busy_rejected as i64)),
     ])
@@ -1388,11 +1420,103 @@ fn shard_status_from_value(value: &Value) -> Result<ShardStatus, WireError> {
         respawns: as_usize(view.take("respawns")?, "shard.respawns")?,
         queue_depth: as_usize(view.take("queue_depth")?, "shard.queue_depth")?,
         in_flight: as_usize(view.take("in_flight")?, "shard.in_flight")?,
+        in_flight_high_water: as_usize(
+            view.take("in_flight_high_water")?,
+            "shard.in_flight_high_water",
+        )?,
         completed: as_usize(view.take("completed")?, "shard.completed")?,
         busy_rejected: as_usize(view.take("busy_rejected")?, "shard.busy_rejected")?,
     };
     view.finish()?;
     Ok(status)
+}
+
+fn span_to_value(span: &SpanRecord) -> Result<Value, WireError> {
+    Ok(obj(vec![
+        ("trace_id", u64_value(span.trace_id)?),
+        ("stage", Value::Str(span.stage.clone())),
+        ("start_us", u64_value(span.start_us)?),
+        ("end_us", u64_value(span.end_us)?),
+    ]))
+}
+
+fn span_from_value(value: &Value) -> Result<SpanRecord, WireError> {
+    let mut view = ObjView::new(value, "span")?;
+    let span = SpanRecord {
+        trace_id: as_u64(view.take("trace_id")?, "span.trace_id")?,
+        stage: as_str(view.take("stage")?, "span.stage")?.to_string(),
+        start_us: as_u64(view.take("start_us")?, "span.start_us")?,
+        end_us: as_u64(view.take("end_us")?, "span.end_us")?,
+    };
+    view.finish()?;
+    Ok(span)
+}
+
+fn span_arr(spans: &[SpanRecord]) -> Result<Value, WireError> {
+    Ok(Value::Arr(
+        spans
+            .iter()
+            .map(span_to_value)
+            .collect::<Result<Vec<_>, _>>()?,
+    ))
+}
+
+fn span_vec(value: &Value, context: &str) -> Result<Vec<SpanRecord>, WireError> {
+    as_arr(value, context)?
+        .iter()
+        .map(span_from_value)
+        .collect()
+}
+
+fn shard_trace_to_value(shard: &ShardTrace) -> Result<Value, WireError> {
+    Ok(obj(vec![
+        ("index", Value::Int(shard.index as i64)),
+        ("dropped", u64_value(shard.dropped)?),
+        ("spans", span_arr(&shard.spans)?),
+    ]))
+}
+
+fn shard_trace_from_value(value: &Value) -> Result<ShardTrace, WireError> {
+    let mut view = ObjView::new(value, "shard trace")?;
+    let shard = ShardTrace {
+        index: as_usize(view.take("index")?, "shard_trace.index")?,
+        dropped: as_u64(view.take("dropped")?, "shard_trace.dropped")?,
+        spans: span_vec(view.take("spans")?, "shard_trace.spans")?,
+    };
+    view.finish()?;
+    Ok(shard)
+}
+
+fn trace_fields(
+    report: &TraceReport,
+    fields: &mut Vec<(&'static str, Value)>,
+) -> Result<(), WireError> {
+    fields.push(("role", Value::Str(report.role.clone())));
+    fields.push(("dropped", u64_value(report.dropped)?));
+    fields.push(("spans", span_arr(&report.spans)?));
+    fields.push((
+        "shards",
+        Value::Arr(
+            report
+                .shards
+                .iter()
+                .map(shard_trace_to_value)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+    ));
+    Ok(())
+}
+
+fn trace_from_view(view: &mut ObjView<'_>) -> Result<TraceReport, WireError> {
+    Ok(TraceReport {
+        role: as_str(view.take("role")?, "trace.role")?.to_string(),
+        dropped: as_u64(view.take("dropped")?, "trace.dropped")?,
+        spans: span_vec(view.take("spans")?, "trace.spans")?,
+        shards: as_arr(view.take("shards")?, "trace.shards")?
+            .iter()
+            .map(shard_trace_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
 }
 
 fn metrics_fields(
@@ -1402,7 +1526,15 @@ fn metrics_fields(
     fields.push(("role", Value::Str(report.role.clone())));
     fields.push(("simd_arch", Value::Str(report.simd_arch.clone())));
     fields.push(("queue_depth", Value::Int(report.queue_depth as i64)));
+    fields.push((
+        "queue_high_water",
+        Value::Int(report.queue_high_water as i64),
+    ));
     fields.push(("in_flight", Value::Int(report.in_flight as i64)));
+    fields.push((
+        "in_flight_high_water",
+        Value::Int(report.in_flight_high_water as i64),
+    ));
     fields.push(("completed", Value::Int(report.completed as i64)));
     fields.push(("busy_rejected", Value::Int(report.busy_rejected as i64)));
     fields.push(("redispatched", Value::Int(report.redispatched as i64)));
@@ -1412,6 +1544,16 @@ fn metrics_fields(
         Value::Arr(
             report
                 .latency
+                .iter()
+                .map(kind_latency_to_value)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+    ));
+    fields.push((
+        "stage_latency",
+        Value::Arr(
+            report
+                .stage_latency
                 .iter()
                 .map(kind_latency_to_value)
                 .collect::<Result<Vec<_>, _>>()?,
@@ -1429,12 +1571,21 @@ fn metrics_from_view(view: &mut ObjView<'_>) -> Result<MetricsReport, WireError>
         role: as_str(view.take("role")?, "metrics.role")?.to_string(),
         simd_arch: as_str(view.take("simd_arch")?, "metrics.simd_arch")?.to_string(),
         queue_depth: as_usize(view.take("queue_depth")?, "metrics.queue_depth")?,
+        queue_high_water: as_usize(view.take("queue_high_water")?, "metrics.queue_high_water")?,
         in_flight: as_usize(view.take("in_flight")?, "metrics.in_flight")?,
+        in_flight_high_water: as_usize(
+            view.take("in_flight_high_water")?,
+            "metrics.in_flight_high_water",
+        )?,
         completed: as_usize(view.take("completed")?, "metrics.completed")?,
         busy_rejected: as_usize(view.take("busy_rejected")?, "metrics.busy_rejected")?,
         redispatched: as_usize(view.take("redispatched")?, "metrics.redispatched")?,
         respawns: as_usize(view.take("respawns")?, "metrics.respawns")?,
         latency: as_arr(view.take("latency")?, "metrics.latency")?
+            .iter()
+            .map(kind_latency_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+        stage_latency: as_arr(view.take("stage_latency")?, "metrics.stage_latency")?
             .iter()
             .map(kind_latency_from_value)
             .collect::<Result<Vec<_>, _>>()?,
@@ -1484,6 +1635,7 @@ pub fn encode_response(response: &Response) -> Result<String, WireError> {
             fields.push(("pv_band", Value::Float(*pv_band)));
         }
         ResponseBody::Metrics(report) => metrics_fields(report, &mut fields)?,
+        ResponseBody::Trace(report) => trace_fields(report, &mut fields)?,
         ResponseBody::Restarted { shards } => {
             let indices: Vec<i64> = shards.iter().map(|&s| s as i64).collect();
             fields.push(("shards", int_arr(&indices)));
@@ -1531,6 +1683,7 @@ pub fn decode_response(frame: &str) -> Result<Response, WireError> {
             pv_band: as_f64(view.take("pv_band")?, "layout.pv_band")?,
         },
         "metrics" => ResponseBody::Metrics(metrics_from_view(&mut view)?),
+        "trace" => ResponseBody::Trace(trace_from_view(&mut view)?),
         "restarted" => ResponseBody::Restarted {
             shards: as_arr(view.take("shards")?, "restarted.shards")?
                 .iter()
@@ -1656,7 +1809,11 @@ mod tests {
             },
         ];
         for (i, body) in bodies.into_iter().enumerate() {
-            let request = Request { id: i as u64, body };
+            let request = Request {
+                id: i as u64,
+                body,
+                trace: None,
+            };
             let frame = encode_request(&request).unwrap();
             assert_eq!(decode_request(&frame).unwrap(), request, "frame: {frame}");
         }
@@ -1725,7 +1882,11 @@ mod tests {
             RequestBody::Restart { shard: Some(1) },
         ];
         for (i, body) in requests.into_iter().enumerate() {
-            let request = Request { id: i as u64, body };
+            let request = Request {
+                id: i as u64,
+                body,
+                trace: None,
+            };
             let frame = encode_request(&request).unwrap();
             assert_eq!(decode_request(&frame).unwrap(), request, "frame: {frame}");
         }
@@ -1734,7 +1895,9 @@ mod tests {
             role: "router".into(),
             simd_arch: "avx2".into(),
             queue_depth: 3,
+            queue_high_water: 9,
             in_flight: 2,
+            in_flight_high_water: 6,
             completed: 940,
             busy_rejected: 7,
             redispatched: 4,
@@ -1749,6 +1912,16 @@ mod tests {
                     buckets: vec![0, 0, 1, 930, 9],
                 },
             }],
+            stage_latency: vec![KindLatency {
+                kind: "queue-wait".into(),
+                latency: LatencySnapshot {
+                    count: 12,
+                    p50_us: 63,
+                    p99_us: 127,
+                    max_us: 101,
+                    buckets: vec![0, 4, 8],
+                },
+            }],
             shards: vec![
                 ShardStatus {
                     index: 0,
@@ -1758,6 +1931,7 @@ mod tests {
                     respawns: 2,
                     queue_depth: 1,
                     in_flight: 1,
+                    in_flight_high_water: 4,
                     completed: 498,
                     busy_rejected: 3,
                 },
@@ -1769,6 +1943,7 @@ mod tests {
                     respawns: 5,
                     queue_depth: 0,
                     in_flight: 0,
+                    in_flight_high_water: 2,
                     completed: 440,
                     busy_rejected: 0,
                 },
@@ -1780,12 +1955,15 @@ mod tests {
                 role: "server".into(),
                 simd_arch: "scalar".into(),
                 queue_depth: 0,
+                queue_high_water: 0,
                 in_flight: 0,
+                in_flight_high_water: 0,
                 completed: 0,
                 busy_rejected: 0,
                 redispatched: 0,
                 respawns: 0,
                 latency: vec![],
+                stage_latency: vec![],
                 shards: vec![],
             }),
             ResponseBody::Restarted { shards: vec![0, 1] },
@@ -1803,12 +1981,109 @@ mod tests {
         // A negative gauge and an unknown latency field must both be
         // schema errors, not panics or silent acceptance.
         let err = decode_response(
-            r#"{"id":1,"type":"metrics","role":"server","queue_depth":-1,"in_flight":0,"completed":0,"busy_rejected":0,"redispatched":0,"respawns":0,"latency":[],"shards":[]}"#,
+            r#"{"id":1,"type":"metrics","role":"server","queue_depth":-1,"queue_high_water":0,"in_flight":0,"in_flight_high_water":0,"completed":0,"busy_rejected":0,"redispatched":0,"respawns":0,"latency":[],"stage_latency":[],"shards":[]}"#,
         )
         .unwrap_err();
         assert!(matches!(err, WireError::Schema(_)), "{err:?}");
         let err = decode_response(
-            r#"{"id":1,"type":"metrics","role":"server","queue_depth":0,"in_flight":0,"completed":0,"busy_rejected":0,"redispatched":0,"respawns":0,"latency":[{"kind":"optimize","count":1,"p50_us":1,"p99_us":1,"max_us":1,"buckets":[1],"surprise":0}],"shards":[]}"#,
+            r#"{"id":1,"type":"metrics","role":"server","queue_depth":0,"queue_high_water":0,"in_flight":0,"in_flight_high_water":0,"completed":0,"busy_rejected":0,"redispatched":0,"respawns":0,"latency":[{"kind":"optimize","count":1,"p50_us":1,"p99_us":1,"max_us":1,"buckets":[1],"surprise":0}],"stage_latency":[],"shards":[]}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, WireError::Schema(_)), "{err:?}");
+    }
+
+    #[test]
+    fn trace_ids_ride_any_request_kind_and_round_trip() {
+        // The trace_id field is orthogonal to the body: absent means
+        // untraced, present must survive encode/decode exactly.
+        let traced = Request {
+            id: 7,
+            body: RequestBody::Optimize {
+                job: JobSpec::fast_calibre_via(),
+                clip: via_clip(),
+            },
+            trace: Some(42),
+        };
+        let frame = encode_request(&traced).unwrap();
+        assert!(frame.contains("\"trace_id\":42"), "frame: {frame}");
+        assert_eq!(decode_request(&frame).unwrap(), traced);
+
+        let untraced = Request {
+            id: 8,
+            body: RequestBody::Ping,
+            trace: None,
+        };
+        let frame = encode_request(&untraced).unwrap();
+        assert!(!frame.contains("trace_id"), "frame: {frame}");
+        assert_eq!(decode_request(&frame).unwrap(), untraced);
+
+        // The trace *pull* request itself round-trips.
+        let pull = Request {
+            id: 9,
+            body: RequestBody::Trace,
+            trace: None,
+        };
+        let frame = encode_request(&pull).unwrap();
+        assert_eq!(decode_request(&frame).unwrap(), pull);
+    }
+
+    #[test]
+    fn trace_reports_round_trip() {
+        let span = |trace_id: u64, stage: &str, start_us: u64, end_us: u64| SpanRecord {
+            trace_id,
+            stage: stage.into(),
+            start_us,
+            end_us,
+        };
+        let report = TraceReport {
+            role: "router".into(),
+            dropped: 3,
+            spans: vec![
+                span(1, "admit", 10, 12),
+                span(1, "queue-wait", 12, 90),
+                span(1, "forward", 91, 95),
+            ],
+            shards: vec![
+                ShardTrace {
+                    index: 0,
+                    dropped: 0,
+                    spans: vec![
+                        span(1, "shard-queue", 5, 40),
+                        span(1, "coalesce", 40, 41),
+                        span(1, "context-fetch", 41, 44),
+                        span(1, "rasterize", 45, 60),
+                        span(1, "convolve", 60, 80),
+                        span(1, "resist", 80, 81),
+                        span(1, "epe", 81, 88),
+                        span(1, "pv-band", 88, 93),
+                        span(1, "encode", 94, 95),
+                        span(1, "write", 95, 96),
+                    ],
+                },
+                ShardTrace {
+                    index: 1,
+                    dropped: 7,
+                    spans: vec![],
+                },
+            ],
+        };
+        let bodies = vec![
+            ResponseBody::Trace(report),
+            ResponseBody::Trace(TraceReport {
+                role: "server".into(),
+                dropped: 0,
+                spans: vec![],
+                shards: vec![],
+            }),
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let response = Response { id: i as u64, body };
+            let frame = encode_response(&response).unwrap();
+            assert_eq!(decode_response(&frame).unwrap(), response, "frame: {frame}");
+        }
+        // Spans are strict objects: an unknown field is a schema error.
+        let err = decode_response(
+            r#"{"id":1,"type":"trace","role":"server","dropped":0,"spans":[{"trace_id":1,"stage":"admit","start_us":0,"end_us":1,"color":"red"}],"shards":[]}"#,
         )
         .unwrap_err();
         assert!(matches!(err, WireError::Schema(_)), "{err:?}");
@@ -1826,6 +2101,7 @@ mod tests {
                 seed: (i64::MAX as u64) + 1,
                 tile_nm: 1500,
             },
+            trace: None,
         };
         assert!(matches!(
             encode_request(&request).unwrap_err(),
@@ -1840,6 +2116,7 @@ mod tests {
                 },
                 clip: via_clip(),
             },
+            trace: None,
         };
         assert!(matches!(
             encode_request(&camo).unwrap_err(),
@@ -1854,6 +2131,7 @@ mod tests {
                 seed: i64::MAX as u64,
                 tile_nm: 1500,
             },
+            trace: None,
         };
         let frame = encode_request(&ok).unwrap();
         assert_eq!(decode_request(&frame).unwrap(), ok);
@@ -1867,6 +2145,7 @@ mod tests {
                 job: JobSpec::fast_calibre_via(),
                 clip: via_clip(),
             },
+            trace: None,
         })
         .unwrap();
         // Every strict prefix must fail cleanly, mostly as Truncated; never

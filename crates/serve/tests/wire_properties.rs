@@ -88,7 +88,7 @@ proptest! {
                 tile_nm: 1500,
             },
         };
-        let request = Request { id, body };
+        let request = Request { id, body, trace: if id % 3 == 0 { Some(id + 1) } else { None } };
         let frame = encode_request(&request).unwrap();
         prop_assert_eq!(decode_request(&frame).unwrap(), request);
     }
@@ -124,7 +124,7 @@ proptest! {
     /// panic and never a bogus success.
     #[test]
     fn truncated_frames_fail_cleanly(job in arb_job(), clip in arb_clip(), cut_frac in 0.0f64..1.0) {
-        let frame = encode_request(&Request { id: 1, body: RequestBody::Optimize { job, clip } }).unwrap();
+        let frame = encode_request(&Request { id: 1, body: RequestBody::Optimize { job, clip }, trace: None }).unwrap();
         let cut = ((frame.len() as f64 * cut_frac) as usize).min(frame.len() - 1);
         prop_assert!(decode_request(&frame[..cut]).is_err());
     }
