@@ -2,8 +2,10 @@
 //! track the code, mechanically.
 //!
 //! * Every request/response kind string returned by the two `fn kind`
-//!   bodies in `crates/serve/src/wire.rs` must appear (as a whole word)
-//!   in `docs/WIRE_PROTOCOL.md`.
+//!   bodies in `crates/serve/src/wire.rs` — and every v2 opcode name
+//!   returned by `fn opcode_name` — must appear (as a whole word) in
+//!   `docs/WIRE_PROTOCOL.md`, so an undocumented binary opcode fails CI
+//!   exactly like an undocumented text kind.
 //! * Every `--flag` string literal parsed by the `serve` and
 //!   `camo-client` binaries must appear in `README.md` or any file under
 //!   `docs/`.
@@ -56,14 +58,20 @@ fn wire_kinds(files: &[SourceFile], docs: &[(String, String)], out: &mut Vec<Fin
     }
 }
 
-/// String literals inside the bodies of `fn kind` functions — exactly the
-/// request/response kind vocabulary of the protocol.
+/// String literals inside the bodies of `fn kind` and `fn opcode_name`
+/// functions — exactly the request/response kind vocabulary of the
+/// protocol, across both wire versions (the v2 opcode table reuses the v1
+/// kind names, so both feed the same documentation check).
 fn kind_strings(wire: &SourceFile) -> Vec<(usize, String)> {
     let toks = &wire.tokens;
     let mut out = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.is_ident("kind")) {
+        if toks[i].is_ident("fn")
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("kind") || t.is_ident("opcode_name"))
+        {
             // Find the body and collect string literals within it.
             let mut depth = 0i32;
             let mut entered = false;

@@ -81,7 +81,9 @@ fn every_rule_fires_on_its_seeded_violation() {
     );
 
     // drift (wire): `zorble` is served by `fn kind` but absent from the
-    // protocol doc; `ping` is documented and stays silent.
+    // protocol doc; `ping` is documented and stays silent. The v2 opcode
+    // table is scanned the same way: the undocumented `blit` opcode name
+    // must fire while the documented `ping` stays silent.
     put(
         &root,
         "crates/serve/src/wire.rs",
@@ -95,6 +97,20 @@ fn every_rule_fires_on_its_seeded_violation() {
                  match self {\n\
                      Request::Ping => \"ping\",\n\
                      Request::Zorble => \"zorble\",\n\
+                 }\n\
+             }\n\
+         }\n\
+         \n\
+         pub enum Opcode {\n\
+             Ping,\n\
+             Blit,\n\
+         }\n\
+         \n\
+         impl Opcode {\n\
+             pub fn opcode_name(self) -> &'static str {\n\
+                 match self {\n\
+                     Opcode::Ping => \"ping\",\n\
+                     Opcode::Blit => \"blit\",\n\
                  }\n\
              }\n\
          }\n",
@@ -163,6 +179,7 @@ fn every_rule_fires_on_its_seeded_violation() {
         ("crates/serve/src/lib.rs", 20, "atomics"),
         ("crates/serve/src/lib.rs", 24, "unsafety"),
         ("crates/serve/src/wire.rs", 10, "drift"),
+        ("crates/serve/src/wire.rs", 24, "drift"),
     ]
     .into_iter()
     .map(|(p, l, r)| (p.to_string(), l, r))

@@ -3,7 +3,7 @@
 //! ```text
 //! camo-client [--addr 127.0.0.1:7878 | --front ADDR | --port-file PATH]
 //!             [--requests N] [--seed S] [--smoke] [--engine calibre|camo]
-//!             [--litho fast|default] [--max-steps N]
+//!             [--litho fast|default] [--max-steps N] [--wire v1|v2]
 //!             [--verify] [--metrics] [--trace-out FILE]
 //!             [--restart [SHARD]] [--shutdown]
 //! ```
@@ -12,6 +12,12 @@
 //! it is interchangeable with `--addr` because the routed protocol is
 //! byte-for-byte the single-process protocol (and `--verify` holds through
 //! the router: routed results are bit-identical to offline runs).
+//!
+//! `--wire v2` sends the `hello` handshake after connecting and runs the
+//! whole session over the binary v2 framing when the server accepts; a
+//! refusal (a v1-only server) falls back to v1 silently — the printed
+//! summary names the version that was actually negotiated. The default is
+//! `--wire v1`, the protocol every server speaks.
 //!
 //! Generates a deterministic mixed request stream
 //! ([`camo_workloads::request_stream`]), fires it at the server, retries
@@ -42,7 +48,7 @@ use camo_serve::exec::{evaluate_mask, run_layout, run_optimize, run_sweep};
 use camo_serve::wire::{
     EngineKind, JobSpec, Layer, LithoSpec, RequestBody, ResponseBody, WireOutcome,
 };
-use camo_serve::{chrome_trace_json, MetricsReport};
+use camo_serve::{chrome_trace_json, MetricsReport, WireVersion};
 use camo_workloads::{request_stream, RequestStreamParams, ServeCase};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -271,9 +277,24 @@ fn main() {
         }),
     };
 
+    let wire = match flag_value(&args, "--wire").as_deref() {
+        None | Some("v1") => WireVersion::V1,
+        Some("v2") => WireVersion::V2,
+        Some(other) => fail(format!("unknown --wire '{other}' (expected v1 or v2)")),
+    };
+
     let cases = request_stream(&stream_params, seed, requests);
     let mut client =
-        Client::connect(&addr).unwrap_or_else(|e| fail(format!("connect {addr}: {e}")));
+        Client::connect_with(&addr, wire).unwrap_or_else(|e| fail(format!("connect {addr}: {e}")));
+    if wire == WireVersion::V2 {
+        println!(
+            "camo-client: negotiated wire {}",
+            match client.wire() {
+                WireVersion::V2 => "v2",
+                WireVersion::V1 => "v1 (handshake refused; fell back)",
+            }
+        );
+    }
 
     let start = Instant::now();
     // id → index of the case it carries (rebuilt on busy retries).

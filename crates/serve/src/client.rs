@@ -11,8 +11,9 @@
 //! streams.
 
 use crate::wire::{
-    decode_response, encode_request, read_frame, Frame, Request, RequestBody, Response,
-    ResponseBody, WireError,
+    decode_response, decode_response_v2, encode_request, encode_request_v2, read_frame,
+    read_frame_v2, Frame, FrameV2, Request, RequestBody, Response, ResponseBody, WireError,
+    WireVersion,
 };
 use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter, Write};
@@ -95,10 +96,11 @@ pub struct Client {
     writer: BufWriter<TcpStream>,
     reader: BufReader<TcpStream>,
     next_id: u64,
+    wire: WireVersion,
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Connects to `addr` speaking wire v1 (every server understands it).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         let read_half = stream.try_clone()?;
@@ -106,7 +108,52 @@ impl Client {
             writer: BufWriter::new(stream),
             reader: BufReader::new(read_half),
             next_id: 1,
+            wire: WireVersion::V1,
         })
+    }
+
+    /// Connects and, for [`WireVersion::V2`], attempts the `hello` upgrade.
+    /// A refused handshake (a v1-only peer) is not an error: the client
+    /// simply keeps speaking v1, and [`Self::wire`] reports what was
+    /// actually negotiated.
+    pub fn connect_with(addr: impl ToSocketAddrs, wire: WireVersion) -> Result<Self, ClientError> {
+        let mut client = Self::connect(addr)?;
+        if wire == WireVersion::V2 {
+            client.upgrade()?;
+        }
+        Ok(client)
+    }
+
+    /// The wire version this connection currently speaks.
+    pub fn wire(&self) -> WireVersion {
+        self.wire
+    }
+
+    /// Sends the v1 `hello` handshake and waits for the verdict. On
+    /// `hello_ack` the connection switches to the v2 binary framing; on any
+    /// other reply (a v1-only or version-refusing peer) it stays v1. Only a
+    /// transport/codec failure is an error.
+    fn upgrade(&mut self) -> Result<(), ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send_request(&Request {
+            id,
+            body: RequestBody::Hello { version: 2 },
+            trace: None,
+        })?;
+        match self.recv()? {
+            Some(Response {
+                id: ack_id,
+                body: ResponseBody::HelloAck { .. },
+            }) if ack_id == id => {
+                self.wire = WireVersion::V2;
+                Ok(())
+            }
+            // Refusal (typically a typed `bad_request`) or EOF: fall back.
+            // `hello` is this connection's only in-flight request, so the
+            // reply — whatever it is — can only concern the handshake.
+            _ => Ok(()),
+        }
     }
 
     /// Sends a body under a fresh id and returns that id.
@@ -123,28 +170,79 @@ impl Client {
 
     /// Sends a fully specified request (caller-chosen id).
     pub fn send_request(&mut self, request: &Request) -> Result<(), ClientError> {
-        let frame = encode_request(request)?;
-        self.writer.write_all(frame.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        match self.wire {
+            WireVersion::V1 => {
+                let frame = encode_request(request)?;
+                self.writer.write_all(frame.as_bytes())?;
+                self.writer.write_all(b"\n")?;
+            }
+            WireVersion::V2 => {
+                let frame = encode_request_v2(request)?;
+                self.writer.write_all(&frame)?;
+            }
+        }
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Queues a request without flushing — the pipelining primitive. Callers
+    /// batch several `send_pipelined` and then [`Self::flush`] once, putting
+    /// multiple requests in flight on one connection; responses correlate by
+    /// id as usual.
+    pub fn send_pipelined(&mut self, body: RequestBody) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request {
+            id,
+            body,
+            trace: None,
+        };
+        match self.wire {
+            WireVersion::V1 => {
+                let frame = encode_request(&request)?;
+                self.writer.write_all(frame.as_bytes())?;
+                self.writer.write_all(b"\n")?;
+            }
+            WireVersion::V2 => {
+                let frame = encode_request_v2(&request)?;
+                self.writer.write_all(&frame)?;
+            }
+        }
+        Ok(id)
+    }
+
+    /// Flushes queued pipelined requests to the socket.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
         self.writer.flush()?;
         Ok(())
     }
 
     /// Receives the next response; `None` on clean EOF.
     pub fn recv(&mut self) -> Result<Option<Response>, ClientError> {
-        loop {
-            match read_frame(&mut self.reader)? {
-                None => return Ok(None),
-                Some(Frame::Oversized { len }) => {
-                    return Err(ClientError::Wire(WireError::Oversized { len }))
-                }
-                Some(Frame::Line(line)) => {
-                    if line.trim().is_empty() {
-                        continue;
+        match self.wire {
+            WireVersion::V1 => loop {
+                match read_frame(&mut self.reader)? {
+                    None => return Ok(None),
+                    Some(Frame::Oversized { len }) => {
+                        return Err(ClientError::Wire(WireError::Oversized { len }))
                     }
-                    return Ok(Some(decode_response(&line)?));
+                    Some(Frame::Line(line)) => {
+                        if line.trim().is_empty() {
+                            continue;
+                        }
+                        return Ok(Some(decode_response(&line)?));
+                    }
                 }
-            }
+            },
+            WireVersion::V2 => match read_frame_v2(&mut self.reader)? {
+                None => Ok(None),
+                Some(FrameV2::Oversized { len }) => {
+                    Err(ClientError::Wire(WireError::Oversized { len }))
+                }
+                Some(FrameV2::Frame { opcode, payload }) => {
+                    Ok(Some(decode_response_v2(opcode, &payload)?))
+                }
+            },
         }
     }
 }

@@ -157,8 +157,9 @@ pub fn wire_evaluation(result: &SimulationResult) -> ResponseBody {
 }
 
 /// The key under which requests may share one batch execution. `None` for
-/// kinds that never coalesce (sweep and layout execute as their own batch;
-/// ping/metrics/restart/shutdown never reach the dispatcher).
+/// kinds that never coalesce (sweep, optimize_batch and layout execute as
+/// their own batch; ping/metrics/restart/shutdown/hello never reach the
+/// dispatcher).
 pub fn coalesce_key(body: &RequestBody) -> Option<CoalesceKey> {
     match body {
         RequestBody::Optimize { job, .. } => Some(CoalesceKey {
@@ -217,16 +218,19 @@ pub fn case_body(case: &camo_workloads::ServeCase, job: &JobSpec) -> RequestBody
 }
 
 /// The lithography spec a request runs under (`None` for the control
-/// kinds: ping, metrics, trace, restart, shutdown).
+/// kinds: ping, metrics, trace, restart, shutdown, hello).
 pub fn litho_spec(body: &RequestBody) -> Option<&LithoSpec> {
     match body {
-        RequestBody::Optimize { job, .. } | RequestBody::Sweep { job, .. } => Some(&job.litho),
+        RequestBody::Optimize { job, .. }
+        | RequestBody::Sweep { job, .. }
+        | RequestBody::OptimizeBatch { job, .. } => Some(&job.litho),
         RequestBody::Evaluate { litho, .. } | RequestBody::Layout { litho, .. } => Some(litho),
         RequestBody::Ping
         | RequestBody::Metrics
         | RequestBody::Trace
         | RequestBody::Restart { .. }
-        | RequestBody::Shutdown => None,
+        | RequestBody::Shutdown
+        | RequestBody::Hello { .. } => None,
     }
 }
 

@@ -14,8 +14,9 @@
 
 use crate::trace::{Stage, Tracer};
 use crate::wire::{
-    decode_request, encode_response, read_frame, ErrorCode, Frame, Request, RequestBody, Response,
-    ResponseBody,
+    decode_request, decode_request_v2, encode_response, encode_response_v2, read_frame,
+    read_frame_v2, ErrorCode, Frame, FrameV2, Request, RequestBody, Response, ResponseBody,
+    WireVersion,
 };
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -108,6 +109,10 @@ impl FrontState {
 pub(crate) struct Outbound {
     pub(crate) response: Response,
     pub(crate) trace: Option<u64>,
+    /// After writing this response the writer switches to v2 binary
+    /// frames. Set only on the `hello_ack` of an accepted handshake; the
+    /// channel's FIFO order makes the switch race-free.
+    pub(crate) upgrade: bool,
 }
 
 impl Outbound {
@@ -116,6 +121,16 @@ impl Outbound {
         Self {
             response,
             trace: None,
+            upgrade: false,
+        }
+    }
+
+    /// A response answering a (possibly sampled) admitted request.
+    pub(crate) fn traced(response: Response, trace: Option<u64>) -> Self {
+        Self {
+            response,
+            trace,
+            upgrade: false,
         }
     }
 }
@@ -164,6 +179,13 @@ pub(crate) trait FrontHandler: Send + Sync + 'static {
         }
     }
 
+    /// Whether this front accepts the `hello` upgrade to wire v2. The
+    /// default is yes; a process configured v1-only refuses the handshake
+    /// (and the refused client simply continues in v1).
+    fn wire_v2_enabled(&self) -> bool {
+        true
+    }
+
     /// Takes one decoded request that is not a control kind: a
     /// non-blocking push onto [`Self::queue`], where a full queue answers a
     /// typed `busy` rejection and a closed one answers `shutting_down`.
@@ -187,24 +209,24 @@ pub(crate) trait FrontHandler: Send + Sync + 'static {
             Ok(()) => {}
             Err(camo_runtime::PushError::Full(a)) => {
                 self.front().rejected.fetch_add(1, Ordering::Relaxed); // relaxed-ok: stats counter; reads are reporting-only
-                let _ = a.reply.send(Outbound {
-                    response: Response {
+                let _ = a.reply.send(Outbound::traced(
+                    Response {
                         id: a.request.id,
                         body: ResponseBody::Busy {
                             retry_after_ms: self.front().retry_after_ms,
                         },
                     },
-                    trace: a.request.trace,
-                });
+                    a.request.trace,
+                ));
             }
             Err(camo_runtime::PushError::Closed(a)) => {
-                let _ = a.reply.send(Outbound {
-                    response: Response {
+                let _ = a.reply.send(Outbound::traced(
+                    Response {
                         id: a.request.id,
                         body: ResponseBody::ShuttingDown,
                     },
-                    trace: a.request.trace,
-                });
+                    a.request.trace,
+                ));
             }
         }
         if let Some(id) = trace {
@@ -319,38 +341,62 @@ fn spawn_connection<H: FrontHandler>(
     Ok([reader, writer])
 }
 
+/// Encodes one response in the connection's negotiated version, falling
+/// back to a typed internal error when the response itself is unencodable.
+/// The v1 bytes include the frame's trailing newline.
+fn encode_outbound(response: &Response, mode: WireVersion) -> Option<Vec<u8>> {
+    let encode = |response: &Response| match mode {
+        WireVersion::V1 => encode_response(response).map(|mut frame| {
+            frame.push('\n');
+            frame.into_bytes()
+        }),
+        WireVersion::V2 => encode_response_v2(response),
+    };
+    match encode(response) {
+        Ok(bytes) => Some(bytes),
+        Err(e) => encode(&Response {
+            id: response.id,
+            body: ResponseBody::Error {
+                code: ErrorCode::Internal,
+                message: format!("unencodable response: {e}"),
+            },
+        })
+        .ok(),
+    }
+}
+
 fn writer_loop(stream: TcpStream, rx: Receiver<Outbound>, tracer: &Tracer) {
     let mut writer = BufWriter::new(stream);
+    let mut mode = WireVersion::V1;
     // Ends when every sender (reader + admitted requests) is gone; the
     // final write-shutdown sends FIN so clients draining the stream observe
     // EOF even while the shutdown registry still holds a clone.
-    while let Ok(Outbound { response, trace }) = rx.recv() {
+    while let Ok(Outbound {
+        response,
+        trace,
+        upgrade,
+    }) = rx.recv()
+    {
         let encode_start = trace.map(|_| Instant::now());
-        let frame = match encode_response(&response) {
-            Ok(frame) => frame,
-            Err(e) => match encode_response(&Response {
-                id: response.id,
-                body: ResponseBody::Error {
-                    code: ErrorCode::Internal,
-                    message: format!("unencodable response: {e}"),
-                },
-            }) {
-                Ok(frame) => frame,
-                Err(_) => continue,
-            },
+        let Some(bytes) = encode_outbound(&response, mode) else {
+            continue;
         };
         if let (Some(id), Some(start)) = (trace, encode_start) {
             tracer.record_since(id, Stage::Encode, start);
         }
         let write_start = trace.map(|_| Instant::now());
-        if writer.write_all(frame.as_bytes()).is_err()
-            || writer.write_all(b"\n").is_err()
-            || writer.flush().is_err()
-        {
+        if writer.write_all(&bytes).is_err() || writer.flush().is_err() {
             break;
         }
         if let (Some(id), Some(start)) = (trace, write_start) {
             tracer.record_since(id, Stage::Write, start);
+        }
+        if upgrade {
+            // The hello_ack just went out in v1; everything after it is
+            // binary. Responses already queued behind the ack cannot exist
+            // because hello is only accepted as the connection's first
+            // frame.
+            mode = WireVersion::V2;
         }
     }
     let _ = writer.get_ref().shutdown(Shutdown::Write);
@@ -358,40 +404,126 @@ fn writer_loop(stream: TcpStream, rx: Receiver<Outbound>, tracer: &Tracer) {
 
 fn reader_loop<H: FrontHandler>(stream: TcpStream, shared: &H, tx: Sender<Outbound>) {
     let mut reader = BufReader::new(stream);
-    // Ends on EOF, a transport error, or a `shutdown` request (Err and
-    // Ok(None) both fall out of the `while let`).
-    while let Ok(Some(frame)) = read_frame(&mut reader) {
-        let line = match frame {
-            Frame::Line(line) => line,
-            Frame::Oversized { len } => {
-                let _ = tx.send(Outbound::plain(Response {
-                    id: 0,
-                    body: ResponseBody::Error {
-                        code: ErrorCode::BadRequest,
-                        message: format!("frame of {len} bytes exceeds the limit"),
-                    },
-                }));
-                continue;
+    let mut mode = WireVersion::V1;
+    // `hello` is only valid as the first decoded frame of the connection:
+    // that makes the post-ack codec switch race-free even with pipelining,
+    // because no response can be queued ahead of the ack.
+    let mut first_frame = true;
+    // Ends on EOF, a transport error, or a `shutdown` request.
+    loop {
+        let was_first = first_frame;
+        let request = match mode {
+            WireVersion::V1 => {
+                let Ok(Some(frame)) = read_frame(&mut reader) else {
+                    return;
+                };
+                let line = match frame {
+                    Frame::Line(line) => line,
+                    Frame::Oversized { len } => {
+                        first_frame = false;
+                        let _ = tx.send(Outbound::plain(Response {
+                            id: 0,
+                            body: ResponseBody::Error {
+                                code: ErrorCode::BadRequest,
+                                message: format!("frame of {len} bytes exceeds the limit"),
+                            },
+                        }));
+                        continue;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                first_frame = false;
+                match decode_request(&line) {
+                    Ok(request) => request,
+                    Err(e) => {
+                        let _ = tx.send(Outbound::plain(Response {
+                            id: 0,
+                            body: ResponseBody::Error {
+                                code: ErrorCode::BadRequest,
+                                message: e.to_string(),
+                            },
+                        }));
+                        continue;
+                    }
+                }
             }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = match decode_request(&line) {
-            Ok(request) => request,
-            Err(e) => {
-                let _ = tx.send(Outbound::plain(Response {
-                    id: 0,
-                    body: ResponseBody::Error {
-                        code: ErrorCode::BadRequest,
-                        message: e.to_string(),
-                    },
-                }));
-                continue;
+            WireVersion::V2 => {
+                let Ok(Some(frame)) = read_frame_v2(&mut reader) else {
+                    return;
+                };
+                match frame {
+                    FrameV2::Oversized { len } => {
+                        // No newline to resync on: a binary connection
+                        // cannot be re-framed past an oversized header, so
+                        // answer and drop it.
+                        let _ = tx.send(Outbound::plain(Response {
+                            id: 0,
+                            body: ResponseBody::Error {
+                                code: ErrorCode::BadRequest,
+                                message: format!("frame of {len} bytes exceeds the limit"),
+                            },
+                        }));
+                        return;
+                    }
+                    FrameV2::Frame { opcode, payload } => {
+                        match decode_request_v2(opcode, &payload) {
+                            Ok(request) => request,
+                            Err(e) => {
+                                // The length prefix kept the stream framed,
+                                // so (unlike Oversized) the connection
+                                // survives a bad payload — same contract as
+                                // a malformed v1 line.
+                                let _ = tx.send(Outbound::plain(Response {
+                                    id: 0,
+                                    body: ResponseBody::Error {
+                                        code: ErrorCode::BadRequest,
+                                        message: e.to_string(),
+                                    },
+                                }));
+                                continue;
+                            }
+                        }
+                    }
+                }
             }
         };
         let id = request.id;
         match request.body {
+            RequestBody::Hello { version } => {
+                let refusal = if !was_first {
+                    Some("hello must be the first frame of a connection")
+                } else if version != 2 {
+                    Some("unsupported protocol version")
+                } else if !shared.wire_v2_enabled() {
+                    Some("this server speaks wire v1 only")
+                } else {
+                    None
+                };
+                match refusal {
+                    Some(message) => {
+                        let _ = tx.send(Outbound::plain(Response {
+                            id,
+                            body: ResponseBody::Error {
+                                code: ErrorCode::BadRequest,
+                                message: message.into(),
+                            },
+                        }));
+                    }
+                    None => {
+                        let _ = tx.send(Outbound {
+                            response: Response {
+                                id,
+                                body: ResponseBody::HelloAck { version: 2 },
+                            },
+                            trace: None,
+                            upgrade: true,
+                        });
+                        mode = WireVersion::V2;
+                    }
+                }
+            }
             RequestBody::Ping => {
                 let _ = tx.send(Outbound::plain(Response {
                     id,

@@ -36,9 +36,14 @@
 //! results stay bit-identical. See `docs/ARCHITECTURE.md` for the full
 //! picture and `docs/WIRE_PROTOCOL.md` for the wire specification.
 //!
-//! * [`wire`] — line-based JSON-subset codec: typed requests/responses,
-//!   strict validation, exact `f64` round-trips, typed errors (never
-//!   panics) for truncated/oversized/malformed frames.
+//! * [`wire`] — the two codecs: the line-based JSON-subset v1 text
+//!   protocol every peer speaks, and the negotiated v2 binary framing
+//!   (length-prefixed little-endian frames, raw `f64` bit images, a
+//!   64 MiB frame bound for multi-clip batches) a connection upgrades to
+//!   via the `hello`/`hello_ack` handshake. Both: typed
+//!   requests/responses, strict validation, exact `f64` round-trips,
+//!   typed errors (never panics) for truncated/oversized/malformed
+//!   frames — and bit-identical served results.
 //! * [`server`] — acceptor + per-connection reader/writer threads, the
 //!   bounded request queue whose `try_push` failure becomes a typed
 //!   [`wire::ResponseBody::Busy`] rejection (backpressure, never blocking,
@@ -115,4 +120,4 @@ pub use shard::{ShardSet, ShardSpec};
 pub use stats::{KindLatency, LatencySnapshot, MetricsReport, ShardStatus};
 pub use supervise::{Backoff, FlapBreaker, RespawnPolicy};
 pub use trace::{chrome_trace_json, FlightRecorder, ShardTrace, SpanRecord, TraceReport, Tracer};
-pub use wire::{Request, RequestBody, Response, ResponseBody, WireError};
+pub use wire::{Request, RequestBody, Response, ResponseBody, WireError, WireVersion};

@@ -44,7 +44,7 @@ use crate::exec::{
 use crate::front::{acceptor_loop, AdmittedRequest, FrontHandler, FrontState, Outbound};
 use crate::stats::{KindLatencies, MetricsReport};
 use crate::trace::{RecorderSink, Stage, Tracer};
-use crate::wire::{ErrorCode, RequestBody, Response, ResponseBody};
+use crate::wire::{ErrorCode, RequestBody, Response, ResponseBody, WireVersion};
 use camo_litho::{ContextCache, LithoConfig, LithoSimulator};
 use camo_runtime::{BoundedQueue, ServicePool};
 use std::collections::VecDeque;
@@ -81,6 +81,11 @@ pub struct ServerConfig {
     /// the litho pipeline gets a no-op sink and admission skips even the
     /// sampling counter's modulo).
     pub trace_sample: u64,
+    /// Highest wire version this server negotiates. Connections always
+    /// start in v1; with [`WireVersion::V2`] (the default) a client `hello`
+    /// upgrades the connection to the binary framing, while
+    /// [`WireVersion::V1`] refuses the handshake so every frame stays text.
+    pub wire: WireVersion,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +100,7 @@ impl Default for ServerConfig {
             context_capacity: 4,
             coalesce_limit: 16,
             trace_sample: 0,
+            wire: WireVersion::V2,
         }
     }
 }
@@ -199,6 +205,10 @@ impl FrontHandler for Shared {
 
     fn trace(&self) -> ResponseBody {
         ResponseBody::Trace(self.tracer.report("server"))
+    }
+
+    fn wire_v2_enabled(&self) -> bool {
+        self.config.wire == WireVersion::V2
     }
 }
 
@@ -335,13 +345,13 @@ impl ServerHandle {
     /// turn joins every connection thread.
     fn finish(&mut self) -> ServerStats {
         while let Some(q) = self.shared.queue.try_pop() {
-            let _ = q.reply.send(Outbound {
-                response: Response {
+            let _ = q.reply.send(Outbound::traced(
+                Response {
                     id: q.request.id,
                     body: ResponseBody::ShuttingDown,
                 },
-                trace: q.request.trace,
-            });
+                q.request.trace,
+            ));
         }
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
@@ -454,10 +464,7 @@ fn execute_batch(shared: &Shared, batch: Vec<AdmittedRequest>) {
                     .latency
                     .record(q.request.body.kind(), q.admitted_at.elapsed());
                 for response in responses {
-                    let _ = q.reply.send(Outbound {
-                        response,
-                        trace: q.request.trace,
-                    });
+                    let _ = q.reply.send(Outbound::traced(response, q.request.trace));
                 }
             }
         }
@@ -468,16 +475,16 @@ fn execute_batch(shared: &Shared, batch: Vec<AdmittedRequest>) {
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "request execution panicked".to_string());
             for q in &batch {
-                let _ = q.reply.send(Outbound {
-                    response: Response {
+                let _ = q.reply.send(Outbound::traced(
+                    Response {
                         id: q.request.id,
                         body: ResponseBody::Error {
                             code: ErrorCode::Internal,
                             message: message.clone(),
                         },
                     },
-                    trace: q.request.trace,
-                });
+                    q.request.trace,
+                ));
             }
         }
     }
@@ -533,6 +540,29 @@ fn run_batch(shared: &Shared, batch: &[AdmittedRequest]) -> Vec<Vec<Response>> {
                 })
                 .collect()
         }
+        RequestBody::OptimizeBatch { job, clips } => {
+            // A pre-batched request: the clips hit `run_optimize` as one
+            // call (no dispatcher re-coalescing) and stream back as one
+            // case-outcome frame per clip, exactly like a sweep.
+            let sim = shared.fetch_sim(&job.litho.to_config(), trace);
+            let outcomes = run_optimize(job, clips, &sim, threads);
+            let id = batch[0].request.id;
+            let total = outcomes.len();
+            vec![clips
+                .iter()
+                .zip(&outcomes)
+                .enumerate()
+                .map(|(index, (clip, outcome))| Response {
+                    id,
+                    body: ResponseBody::CaseOutcome {
+                        index,
+                        total,
+                        name: clip.name().to_string(),
+                        outcome: wire_outcome(outcome),
+                    },
+                })
+                .collect()]
+        }
         RequestBody::Sweep { job, cases } => {
             let sim = shared.fetch_sim(&job.litho.to_config(), trace);
             let outcomes = run_sweep(job, cases, &sim, threads);
@@ -573,7 +603,8 @@ fn run_batch(shared: &Shared, batch: &[AdmittedRequest]) -> Vec<Vec<Response>> {
         | RequestBody::Metrics
         | RequestBody::Trace
         | RequestBody::Restart { .. }
-        | RequestBody::Shutdown => {
+        | RequestBody::Shutdown
+        | RequestBody::Hello { .. } => {
             unreachable!("answered inline by the reader")
         }
     }

@@ -1,11 +1,12 @@
-//! The line-based wire protocol: a hand-rolled JSON-subset codec plus the
-//! typed request/response schema.
+//! The wire protocol: the typed request/response schema plus two codecs —
+//! the v1 line-based JSON subset every peer speaks, and the negotiated v2
+//! little-endian binary framing for mask-scale payloads.
 //!
 //! The build environment is offline (no `serde`), so this module vendors
-//! exactly what the protocol needs and nothing more. One **frame** is one
-//! line of UTF-8 ending in `\n`, holding one JSON value; frames longer than
-//! [`MAX_FRAME`] bytes are rejected before parsing. The value grammar is a
-//! strict JSON subset:
+//! exactly what the protocol needs and nothing more. In **v1** one frame is
+//! one line of UTF-8 ending in `\n`, holding one JSON value; frames longer
+//! than [`MAX_FRAME`] bytes are rejected before parsing. The value grammar
+//! is a strict JSON subset:
 //!
 //! * objects, arrays, strings, booleans, `null`;
 //! * numbers split into exact [`Value::Int`] (no `.`/exponent, fits `i64`)
@@ -17,10 +18,18 @@
 //! * string escapes `\" \\ \/ \n \r \t` only (no `\u`), no raw control
 //!   bytes; non-finite floats are unencodable.
 //!
-//! Decoding is strict: unknown object fields, duplicate fields, trailing
-//! garbage, oversized frames and truncated values are all typed
-//! [`WireError`]s, never panics — property-tested against mutated and
-//! random frames in `tests/wire_properties.rs`.
+//! **v2** frames the same schema as `[u32 payload_len][u8 opcode][payload]`
+//! with raw little-endian fields — `f64` arrays travel as their `to_bits`
+//! images, so the hot path is a bounds-checked memcpy instead of decimal
+//! formatting. Connections always start in v1; a `hello` request (the
+//! first frame of a connection) negotiates the upgrade, and any refusal
+//! leaves the connection in v1, which is how old peers keep working.
+//!
+//! Decoding is strict in both codecs: unknown object fields, duplicate
+//! fields, trailing garbage, oversized frames and truncated values are all
+//! typed [`WireError`]s, never panics — property-tested against mutated
+//! and random frames in `tests/wire_properties.rs`, and differentially
+//! (v1 vs v2 vs identity) in `tests/codec_differential.rs`.
 
 use crate::stats::{KindLatency, LatencySnapshot, MetricsReport, ShardStatus};
 use crate::trace::{ShardTrace, SpanRecord, TraceReport};
@@ -607,10 +616,16 @@ fn rect_from_value(value: &Value, what: &str) -> Result<Rect, WireError> {
     if v.len() != 4 {
         return Err(WireError::Schema(format!("{what}: expected [x0,y0,x1,y1]")));
     }
-    if v[0] >= v[2] || v[1] >= v[3] {
+    rect_checked(v[0], v[1], v[2], v[3], what)
+}
+
+/// Shared validation for both codecs: rejects what [`Rect::new`] would
+/// assert on, so hostile frames surface as typed errors instead of panics.
+fn rect_checked(x0: i64, y0: i64, x1: i64, y1: i64, what: &str) -> Result<Rect, WireError> {
+    if x0 >= x1 || y0 >= y1 {
         return Err(WireError::Schema(format!("{what}: degenerate rectangle")));
     }
-    Ok(Rect::new(v[0], v[1], v[2], v[3]))
+    Ok(Rect::new(x0, y0, x1, y1))
 }
 
 fn polygon_to_value(poly: &Polygon) -> Value {
@@ -630,8 +645,17 @@ fn polygon_from_value(value: &Value, what: &str) -> Result<Polygon, WireError> {
         )));
     }
     let points: Vec<Point> = flat.chunks(2).map(|c| Point::new(c[0], c[1])).collect();
-    // Validate what `Polygon::new` would assert, so hostile frames surface
-    // as typed errors instead of panics.
+    polygon_from_points(points, what)
+}
+
+/// Shared validation for both codecs: rejects what [`Polygon::new`] would
+/// assert on, so hostile frames surface as typed errors instead of panics.
+fn polygon_from_points(points: Vec<Point>, what: &str) -> Result<Polygon, WireError> {
+    if points.len() < 4 {
+        return Err(WireError::Schema(format!(
+            "{what}: expected a loop of at least 4 vertices"
+        )));
+    }
     let n = points.len();
     for i in 0..n {
         let (a, b) = (points[i], points[(i + 1) % n]);
@@ -910,6 +934,26 @@ fn layout_params_from_value(value: &Value) -> Result<LayoutParams, WireError> {
     let margin = as_i64(view.take("margin")?, "margin")?;
     let with_srafs = as_bool(view.take("with_srafs")?, "with_srafs")?;
     view.finish()?;
+    layout_params_checked(
+        layout_size,
+        via_size,
+        cell_size,
+        fill_percent,
+        margin,
+        with_srafs,
+    )
+}
+
+/// Shared validation for both codecs: the layout-parameter invariants the
+/// generator relies on, surfaced as typed errors.
+fn layout_params_checked(
+    layout_size: i64,
+    via_size: i64,
+    cell_size: i64,
+    fill_percent: i64,
+    margin: i64,
+    with_srafs: bool,
+) -> Result<LayoutParams, WireError> {
     if layout_size <= 0 || via_size <= 0 || cell_size <= 0 || margin < 0 {
         return Err(WireError::Schema(
             "layout dimensions must be positive".into(),
@@ -1013,6 +1057,26 @@ pub enum RequestBody {
     Trace,
     /// Ask the server to drain and exit.
     Shutdown,
+    /// Version negotiation: ask the server to switch this connection to a
+    /// newer protocol version. Only valid as the **first** frame of a
+    /// connection; answered inline with `hello_ack` (after which both ends
+    /// switch to the granted version) or a typed `bad_request` error
+    /// (after which the connection simply continues in v1 — the fallback
+    /// every current client relies on).
+    Hello {
+        /// Requested protocol version (currently only `2`).
+        version: u32,
+    },
+    /// Optimise many clips as one request under one job — the wire image
+    /// of `camo_runtime::optimize_batch`, so a client batches without the
+    /// server re-coalescing. Produces one streamed `case` response per
+    /// clip (named by the clip), exactly like a sweep.
+    OptimizeBatch {
+        /// Run specification shared by every clip.
+        job: JobSpec,
+        /// The target clips.
+        clips: Vec<Clip>,
+    },
 }
 
 impl RequestBody {
@@ -1028,6 +1092,8 @@ impl RequestBody {
             Self::Restart { .. } => "restart",
             Self::Trace => "trace",
             Self::Shutdown => "shutdown",
+            Self::Hello { .. } => "hello",
+            Self::OptimizeBatch { .. } => "optimize_batch",
         }
     }
 }
@@ -1105,6 +1171,16 @@ pub fn encode_request_parts(
             fields.push(("params", layout_params_to_value(params)));
             fields.push(("seed", u64_value(*seed)?));
             fields.push(("tile_nm", Value::Int(*tile_nm)));
+        }
+        RequestBody::Hello { version } => {
+            fields.push(("version", Value::Int(i64::from(*version))));
+        }
+        RequestBody::OptimizeBatch { job, clips } => {
+            fields.push(("job", job.to_value()?));
+            fields.push((
+                "clips",
+                Value::Arr(clips.iter().map(clip_to_value).collect()),
+            ));
         }
     }
     let value = obj(fields);
@@ -1189,6 +1265,23 @@ pub fn decode_request(frame: &str) -> Result<Request, WireError> {
                 seed,
                 tile_nm,
             }
+        }
+        "hello" => {
+            let version = as_i64(view.take("version")?, "hello.version")?;
+            let version = u32::try_from(version)
+                .map_err(|_| WireError::Schema("hello.version out of range".into()))?;
+            RequestBody::Hello { version }
+        }
+        "optimize_batch" => {
+            let job = JobSpec::from_value(view.take("job")?)?;
+            let clips = as_arr(view.take("clips")?, "optimize_batch.clips")?
+                .iter()
+                .map(clip_from_value)
+                .collect::<Result<Vec<_>, WireError>>()?;
+            if clips.is_empty() {
+                return Err(WireError::Schema("optimize_batch with no clips".into()));
+            }
+            RequestBody::OptimizeBatch { job, clips }
         }
         other => return Err(WireError::Schema(format!("unknown request type '{other}'"))),
     };
@@ -1314,6 +1407,12 @@ pub enum ResponseBody {
     /// The server acknowledged a shutdown request (or rejected work while
     /// draining).
     ShuttingDown,
+    /// The server accepted a `hello` handshake; both ends switch to the
+    /// granted protocol version immediately after this frame.
+    HelloAck {
+        /// Granted protocol version.
+        version: u32,
+    },
 }
 
 impl ResponseBody {
@@ -1331,6 +1430,7 @@ impl ResponseBody {
             Self::Busy { .. } => "busy",
             Self::Error { .. } => "error",
             Self::ShuttingDown => "shutting_down",
+            Self::HelloAck { .. } => "hello_ack",
         }
     }
 }
@@ -1647,6 +1747,9 @@ pub fn encode_response(response: &Response) -> Result<String, WireError> {
             fields.push(("code", Value::Str(code.as_str().to_string())));
             fields.push(("message", Value::Str(message.clone())));
         }
+        ResponseBody::HelloAck { version } => {
+            fields.push(("version", Value::Int(i64::from(*version))));
+        }
     }
     let value = obj(fields);
     let mut out = String::new();
@@ -1697,6 +1800,12 @@ pub fn decode_response(frame: &str) -> Result<Response, WireError> {
             code: ErrorCode::from_str(as_str(view.take("code")?, "error.code")?)?,
             message: as_str(view.take("message")?, "error.message")?.to_string(),
         },
+        "hello_ack" => {
+            let version = as_i64(view.take("version")?, "hello_ack.version")?;
+            let version = u32::try_from(version)
+                .map_err(|_| WireError::Schema("hello_ack.version out of range".into()))?;
+            ResponseBody::HelloAck { version }
+        }
         other => {
             return Err(WireError::Schema(format!(
                 "unknown response type '{other}'"
@@ -1765,6 +1874,1182 @@ pub fn read_frame(reader: &mut impl std::io::BufRead) -> std::io::Result<Option<
             return Ok(Some(Frame::Line(line)));
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Binary framing (wire v2)
+// ---------------------------------------------------------------------------
+//
+// v2 exists for one reason: masks. The v1 text codec round-trips every f64
+// through exact decimal formatting, which dominates once responses carry
+// realistic per-point EPE arrays. A v2 frame is
+//
+//   [u32 payload_len, LE] [u8 opcode] [payload]
+//
+// with every field little-endian and every f64 carried as its raw
+// `to_bits()` image, so encoding an array is a bounds-checked memcpy.
+// Connections always start in v1; a `hello` request (which must be the
+// first frame of the connection) upgrades both directions after the
+// `hello_ack` response. See docs/WIRE_PROTOCOL.md §9 for the normative
+// byte-level spec.
+
+/// Maximum v2 payload length in bytes (the 5-byte frame header excluded).
+///
+/// v2 exists to carry mask-scale `f64` arrays, so the bound is far above
+/// [`MAX_FRAME`]; it still caps what a hostile peer can make a reader
+/// buffer for one frame.
+pub const MAX_FRAME_V2: usize = 1 << 26;
+
+/// The protocol version of one connection, negotiated per connection by
+/// the `hello`/`hello_ack` handshake (which itself always travels in v1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireVersion {
+    /// Line-based JSON-subset text frames — the default every peer speaks.
+    V1,
+    /// Length-prefixed little-endian binary frames.
+    V2,
+}
+
+impl WireVersion {
+    /// Short printable tag (`"v1"` / `"v2"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::V1 => "v1",
+            Self::V2 => "v2",
+        }
+    }
+}
+
+/// The opcode byte of one v2 frame. Requests are `0x01..=0x1f`, responses
+/// `0x21..=0x3f`; the ranges are disjoint so a desynchronised peer can
+/// never mistake one for the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `ping` request.
+    Ping = 0x01,
+    /// `optimize` request.
+    Optimize = 0x02,
+    /// `evaluate` request.
+    Evaluate = 0x03,
+    /// `sweep` request.
+    Sweep = 0x04,
+    /// `layout` request.
+    Layout = 0x05,
+    /// `metrics` request.
+    Metrics = 0x06,
+    /// `restart` request.
+    Restart = 0x07,
+    /// `trace` request.
+    Trace = 0x08,
+    /// `shutdown` request.
+    Shutdown = 0x09,
+    /// `hello` request (only meaningful in v1; a binary hello is an
+    /// error because the handshake must be the connection's first frame).
+    Hello = 0x0A,
+    /// `optimize_batch` request.
+    OptimizeBatch = 0x0B,
+    /// `pong` response.
+    Pong = 0x21,
+    /// `outcome` response.
+    Outcome = 0x22,
+    /// `case` response.
+    Case = 0x23,
+    /// `evaluation` response.
+    Evaluation = 0x24,
+    /// `layout` response.
+    LayoutReport = 0x25,
+    /// `metrics` response.
+    MetricsReport = 0x26,
+    /// `trace` response.
+    TraceReport = 0x27,
+    /// `restarted` response.
+    Restarted = 0x28,
+    /// `busy` response.
+    Busy = 0x29,
+    /// `error` response.
+    Error = 0x2A,
+    /// `shutting_down` response.
+    ShuttingDown = 0x2B,
+    /// `hello_ack` response (only ever sent in v1, immediately before the
+    /// switch).
+    HelloAck = 0x2C,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte; `None` for bytes no frame kind claims.
+    pub fn from_u8(byte: u8) -> Option<Self> {
+        Some(match byte {
+            0x01 => Self::Ping,
+            0x02 => Self::Optimize,
+            0x03 => Self::Evaluate,
+            0x04 => Self::Sweep,
+            0x05 => Self::Layout,
+            0x06 => Self::Metrics,
+            0x07 => Self::Restart,
+            0x08 => Self::Trace,
+            0x09 => Self::Shutdown,
+            0x0A => Self::Hello,
+            0x0B => Self::OptimizeBatch,
+            0x21 => Self::Pong,
+            0x22 => Self::Outcome,
+            0x23 => Self::Case,
+            0x24 => Self::Evaluation,
+            0x25 => Self::LayoutReport,
+            0x26 => Self::MetricsReport,
+            0x27 => Self::TraceReport,
+            0x28 => Self::Restarted,
+            0x29 => Self::Busy,
+            0x2A => Self::Error,
+            0x2B => Self::ShuttingDown,
+            0x2C => Self::HelloAck,
+            _ => return None,
+        })
+    }
+
+    /// The documented kind name of this binary frame (the same tag the v1
+    /// `type` field carries), checked against `docs/WIRE_PROTOCOL.md` by
+    /// camo-lint's drift rule.
+    pub fn opcode_name(self) -> &'static str {
+        match self {
+            Self::Ping => "ping",
+            Self::Optimize => "optimize",
+            Self::Evaluate => "evaluate",
+            Self::Sweep => "sweep",
+            Self::Layout => "layout",
+            Self::Metrics => "metrics",
+            Self::Restart => "restart",
+            Self::Trace => "trace",
+            Self::Shutdown => "shutdown",
+            Self::Hello => "hello",
+            Self::OptimizeBatch => "optimize_batch",
+            Self::Pong => "pong",
+            Self::Outcome => "outcome",
+            Self::Case => "case",
+            Self::Evaluation => "evaluation",
+            Self::LayoutReport => "layout",
+            Self::MetricsReport => "metrics",
+            Self::TraceReport => "trace",
+            Self::Restarted => "restarted",
+            Self::Busy => "busy",
+            Self::Error => "error",
+            Self::ShuttingDown => "shutting_down",
+            Self::HelloAck => "hello_ack",
+        }
+    }
+
+    fn is_request(self) -> bool {
+        (self as u8) < 0x20
+    }
+}
+
+fn request_opcode(body: &RequestBody) -> Opcode {
+    match body {
+        RequestBody::Ping => Opcode::Ping,
+        RequestBody::Optimize { .. } => Opcode::Optimize,
+        RequestBody::Evaluate { .. } => Opcode::Evaluate,
+        RequestBody::Sweep { .. } => Opcode::Sweep,
+        RequestBody::Layout { .. } => Opcode::Layout,
+        RequestBody::Metrics => Opcode::Metrics,
+        RequestBody::Restart { .. } => Opcode::Restart,
+        RequestBody::Trace => Opcode::Trace,
+        RequestBody::Shutdown => Opcode::Shutdown,
+        RequestBody::Hello { .. } => Opcode::Hello,
+        RequestBody::OptimizeBatch { .. } => Opcode::OptimizeBatch,
+    }
+}
+
+fn response_opcode(body: &ResponseBody) -> Opcode {
+    match body {
+        ResponseBody::Pong => Opcode::Pong,
+        ResponseBody::Outcome(_) => Opcode::Outcome,
+        ResponseBody::CaseOutcome { .. } => Opcode::Case,
+        ResponseBody::Evaluation { .. } => Opcode::Evaluation,
+        ResponseBody::LayoutReport { .. } => Opcode::LayoutReport,
+        ResponseBody::Metrics(_) => Opcode::MetricsReport,
+        ResponseBody::Trace(_) => Opcode::TraceReport,
+        ResponseBody::Restarted { .. } => Opcode::Restarted,
+        ResponseBody::Busy { .. } => Opcode::Busy,
+        ResponseBody::Error { .. } => Opcode::Error,
+        ResponseBody::ShuttingDown => Opcode::ShuttingDown,
+        ResponseBody::HelloAck { .. } => Opcode::HelloAck,
+    }
+}
+
+/// Serialises v2 payload fields. Starts with a 5-byte header placeholder
+/// that [`FrameBuilder::finish`] back-patches with the payload length.
+struct FrameBuilder {
+    buf: Vec<u8>,
+}
+
+impl FrameBuilder {
+    fn new(opcode: Opcode) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&[0, 0, 0, 0, opcode as u8]);
+        Self { buf }
+    }
+
+    fn finish(mut self) -> Result<Vec<u8>, WireError> {
+        let payload = self.buf.len() - 5;
+        if payload > MAX_FRAME_V2 {
+            return Err(WireError::Oversized {
+                len: self.buf.len(),
+            });
+        }
+        let len = payload as u32;
+        self.buf[..4].copy_from_slice(&len.to_le_bytes());
+        Ok(self.buf)
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a list/string length. Lengths use the full u32 range.
+    fn put_len(&mut self, n: usize) -> Result<(), WireError> {
+        let n = u32::try_from(n).map_err(|_| WireError::Unencodable("length exceeds u32"))?;
+        self.put_u32(n);
+        Ok(())
+    }
+
+    /// Writes a u64 value field. Mirrors the v1 rule that wire integers
+    /// live in i64, so both codecs reject exactly the same inputs.
+    fn put_u64(&mut self, v: u64) -> Result<(), WireError> {
+        if i64::try_from(v).is_err() {
+            return Err(WireError::Unencodable("u64 exceeds i64 on the wire"));
+        }
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn put_usize(&mut self, v: usize) -> Result<(), WireError> {
+        self.put_u64(v as u64)
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Raw bit image: unlike v1, every f64 (NaN payloads, infinities,
+    /// -0.0, subnormals) round-trips bit-exactly.
+    fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    fn put_str(&mut self, s: &str) -> Result<(), WireError> {
+        self.put_len(s.len())?;
+        self.buf.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+
+    fn put_opt_u64(&mut self, v: Option<u64>) -> Result<(), WireError> {
+        match v {
+            None => self.put_u8(0),
+            Some(v) => {
+                self.put_u8(1);
+                self.put_u64(v)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn put_opt_usize(&mut self, v: Option<usize>) -> Result<(), WireError> {
+        self.put_opt_u64(v.map(|v| v as u64))
+    }
+
+    fn put_opt_i64(&mut self, v: Option<i64>) {
+        match v {
+            None => self.put_u8(0),
+            Some(v) => {
+                self.put_u8(1);
+                self.put_i64(v);
+            }
+        }
+    }
+
+    fn put_i64s(&mut self, vals: &[i64]) -> Result<(), WireError> {
+        self.put_len(vals.len())?;
+        self.buf.reserve(vals.len() * 8);
+        for v in vals {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    /// The hot path v2 exists for: a length plus the raw little-endian bit
+    /// images, no per-element formatting.
+    fn put_f64s(&mut self, vals: &[f64]) -> Result<(), WireError> {
+        self.put_len(vals.len())?;
+        self.buf.reserve(vals.len() * 8);
+        for v in vals {
+            self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Ok(())
+    }
+
+    fn put_u64s(&mut self, vals: &[u64]) -> Result<(), WireError> {
+        self.put_len(vals.len())?;
+        self.buf.reserve(vals.len() * 8);
+        for &v in vals {
+            self.put_u64(v)?;
+        }
+        Ok(())
+    }
+}
+
+fn le4(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn le8(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Deserialises v2 payload fields with typed errors: running out of bytes
+/// is [`WireError::Truncated`], invalid content is [`WireError::Schema`].
+/// Never panics on hostile input.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn need(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.need(1)?[0])
+    }
+
+    fn take_u32(&mut self) -> Result<u32, WireError> {
+        Ok(le4(self.need(4)?))
+    }
+
+    fn take_len(&mut self) -> Result<usize, WireError> {
+        Ok(self.take_u32()? as usize)
+    }
+
+    /// Mirrors the v1 rule that wire integers live in i64: a raw u64
+    /// beyond that is a schema error, exactly like an unparsable v1 int.
+    fn take_u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let v = le8(self.need(8)?);
+        if i64::try_from(v).is_err() {
+            return Err(WireError::Schema(format!("{what}: exceeds i64")));
+        }
+        Ok(v)
+    }
+
+    fn take_usize(&mut self, what: &str) -> Result<usize, WireError> {
+        usize::try_from(self.take_u64(what)?)
+            .map_err(|_| WireError::Schema(format!("{what}: exceeds usize")))
+    }
+
+    fn take_i64(&mut self) -> Result<i64, WireError> {
+        let b = self.need(8)?;
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn take_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(le8(self.need(8)?)))
+    }
+
+    fn take_bool(&mut self, what: &str) -> Result<bool, WireError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(WireError::Schema(format!(
+                "{what}: invalid bool byte {other}"
+            ))),
+        }
+    }
+
+    fn take_str(&mut self, what: &str) -> Result<String, WireError> {
+        let n = self.take_len()?;
+        let bytes = self.need(n)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|_| WireError::Schema(format!("{what}: invalid utf-8")))
+    }
+
+    fn take_opt_u64(&mut self, what: &str) -> Result<Option<u64>, WireError> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_u64(what)?)),
+            other => Err(WireError::Schema(format!(
+                "{what}: invalid option tag {other}"
+            ))),
+        }
+    }
+
+    fn take_opt_usize(&mut self, what: &str) -> Result<Option<usize>, WireError> {
+        match self.take_opt_u64(what)? {
+            None => Ok(None),
+            Some(v) => {
+                Ok(Some(usize::try_from(v).map_err(|_| {
+                    WireError::Schema(format!("{what}: exceeds usize"))
+                })?))
+            }
+        }
+    }
+
+    fn take_opt_i64(&mut self, what: &str) -> Result<Option<i64>, WireError> {
+        match self.take_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.take_i64()?)),
+            other => Err(WireError::Schema(format!(
+                "{what}: invalid option tag {other}"
+            ))),
+        }
+    }
+
+    fn take_i64s(&mut self) -> Result<Vec<i64>, WireError> {
+        let n = self.take_len()?;
+        let bytes = self.need(n.checked_mul(8).ok_or(WireError::Truncated)?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect())
+    }
+
+    fn take_f64s(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.take_len()?;
+        let bytes = self.need(n.checked_mul(8).ok_or(WireError::Truncated)?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(le8(c)))
+            .collect())
+    }
+
+    fn take_u64s(&mut self, what: &str) -> Result<Vec<u64>, WireError> {
+        let n = self.take_len()?;
+        let bytes = self.need(n.checked_mul(8).ok_or(WireError::Truncated)?)?;
+        let mut out = Vec::with_capacity(n);
+        for c in bytes.chunks_exact(8) {
+            let v = le8(c);
+            if i64::try_from(v).is_err() {
+                return Err(WireError::Schema(format!("{what}: exceeds i64")));
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Trailing bytes after a fully decoded payload are a schema error,
+    /// mirroring v1's trailing-character check.
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.bytes.len() {
+            return Err(WireError::Schema(
+                "trailing bytes after frame payload".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn layer_to_byte(layer: Layer) -> u8 {
+    match layer {
+        Layer::Via => 0,
+        Layer::Metal => 1,
+    }
+}
+
+fn layer_from_byte(byte: u8) -> Result<Layer, WireError> {
+    match byte {
+        0 => Ok(Layer::Via),
+        1 => Ok(Layer::Metal),
+        other => Err(WireError::Schema(format!("unknown layer byte {other}"))),
+    }
+}
+
+fn put_litho_v2(b: &mut FrameBuilder, litho: &LithoSpec) {
+    b.put_u8(match litho.preset {
+        LithoPreset::Default => 0,
+        LithoPreset::Fast => 1,
+    });
+    b.put_opt_i64(litho.pixel_size);
+}
+
+fn take_litho_v2(c: &mut Cursor<'_>) -> Result<LithoSpec, WireError> {
+    let preset = match c.take_u8()? {
+        0 => LithoPreset::Default,
+        1 => LithoPreset::Fast,
+        other => {
+            return Err(WireError::Schema(format!(
+                "unknown litho preset byte {other}"
+            )))
+        }
+    };
+    let pixel_size = c.take_opt_i64("litho.pixel_size")?;
+    if let Some(px) = pixel_size {
+        if px <= 0 {
+            return Err(WireError::Schema("pixel_size must be positive".into()));
+        }
+    }
+    Ok(LithoSpec { preset, pixel_size })
+}
+
+fn put_job_v2(b: &mut FrameBuilder, job: &JobSpec) -> Result<(), WireError> {
+    put_litho_v2(b, &job.litho);
+    b.put_u8(layer_to_byte(job.layer));
+    match job.engine {
+        EngineKind::Calibre => b.put_u8(0),
+        EngineKind::Camo { seed } => {
+            b.put_u8(1);
+            b.put_u64(seed)?;
+        }
+    }
+    b.put_opt_usize(job.max_steps)
+}
+
+fn take_job_v2(c: &mut Cursor<'_>) -> Result<JobSpec, WireError> {
+    let litho = take_litho_v2(c)?;
+    let layer = layer_from_byte(c.take_u8()?)?;
+    let engine = match c.take_u8()? {
+        0 => EngineKind::Calibre,
+        1 => EngineKind::Camo {
+            seed: c.take_u64("job.camo_seed")?,
+        },
+        other => return Err(WireError::Schema(format!("unknown engine byte {other}"))),
+    };
+    let max_steps = c.take_opt_usize("job.max_steps")?;
+    Ok(JobSpec {
+        litho,
+        layer,
+        engine,
+        max_steps,
+    })
+}
+
+fn put_rect_v2(b: &mut FrameBuilder, rect: Rect) {
+    b.put_i64(rect.x0);
+    b.put_i64(rect.y0);
+    b.put_i64(rect.x1);
+    b.put_i64(rect.y1);
+}
+
+fn take_rect_v2(c: &mut Cursor<'_>, what: &str) -> Result<Rect, WireError> {
+    let (x0, y0) = (c.take_i64()?, c.take_i64()?);
+    let (x1, y1) = (c.take_i64()?, c.take_i64()?);
+    rect_checked(x0, y0, x1, y1, what)
+}
+
+fn put_clip_v2(b: &mut FrameBuilder, clip: &Clip) -> Result<(), WireError> {
+    b.put_str(clip.name())?;
+    put_rect_v2(b, clip.region());
+    b.put_len(clip.targets().len())?;
+    for poly in clip.targets() {
+        b.put_len(poly.vertices().len())?;
+        for p in poly.vertices() {
+            b.put_i64(p.x);
+            b.put_i64(p.y);
+        }
+    }
+    b.put_len(clip.srafs().len())?;
+    for &sraf in clip.srafs() {
+        put_rect_v2(b, sraf);
+    }
+    Ok(())
+}
+
+/// Targets are re-normalised exactly as [`Clip::add_target`] does, so a
+/// round-tripped clip compares equal — the same contract as the v1 codec.
+fn take_clip_v2(c: &mut Cursor<'_>) -> Result<Clip, WireError> {
+    let name = c.take_str("clip.name")?;
+    let region = take_rect_v2(c, "clip.region")?;
+    let mut clip = Clip::with_name(region, name);
+    let targets = c.take_len()?;
+    for _ in 0..targets {
+        let vertices = c.take_len()?;
+        let mut points = Vec::new();
+        for _ in 0..vertices {
+            let (x, y) = (c.take_i64()?, c.take_i64()?);
+            points.push(Point::new(x, y));
+        }
+        clip.add_target(polygon_from_points(points, "clip.targets[..]")?);
+    }
+    let srafs = c.take_len()?;
+    for _ in 0..srafs {
+        clip.add_sraf(take_rect_v2(c, "clip.srafs[..]")?);
+    }
+    Ok(clip)
+}
+
+fn put_params_v2(b: &mut FrameBuilder, params: &LayoutParams) {
+    b.put_i64(params.layout_size);
+    b.put_i64(params.via_size);
+    b.put_i64(params.cell_size);
+    b.put_i64(params.fill_percent as i64);
+    b.put_i64(params.margin);
+    b.put_bool(params.with_srafs);
+}
+
+fn take_params_v2(c: &mut Cursor<'_>) -> Result<LayoutParams, WireError> {
+    let layout_size = c.take_i64()?;
+    let via_size = c.take_i64()?;
+    let cell_size = c.take_i64()?;
+    let fill_percent = c.take_i64()?;
+    let margin = c.take_i64()?;
+    let with_srafs = c.take_bool("params.with_srafs")?;
+    layout_params_checked(
+        layout_size,
+        via_size,
+        cell_size,
+        fill_percent,
+        margin,
+        with_srafs,
+    )
+}
+
+fn put_outcome_v2(b: &mut FrameBuilder, outcome: &WireOutcome) -> Result<(), WireError> {
+    b.put_i64s(&outcome.offsets)?;
+    b.put_f64s(&outcome.epe_per_point)?;
+    b.put_f64(outcome.pv_band);
+    b.put_usize(outcome.steps)
+}
+
+fn take_outcome_v2(c: &mut Cursor<'_>) -> Result<WireOutcome, WireError> {
+    Ok(WireOutcome {
+        offsets: c.take_i64s()?,
+        epe_per_point: c.take_f64s()?,
+        pv_band: c.take_f64()?,
+        steps: c.take_usize("outcome.steps")?,
+    })
+}
+
+fn put_kind_latency_v2(b: &mut FrameBuilder, k: &KindLatency) -> Result<(), WireError> {
+    b.put_str(&k.kind)?;
+    b.put_u64(k.latency.count)?;
+    b.put_u64(k.latency.p50_us)?;
+    b.put_u64(k.latency.p99_us)?;
+    b.put_u64(k.latency.max_us)?;
+    b.put_u64s(&k.latency.buckets)
+}
+
+fn take_kind_latency_v2(c: &mut Cursor<'_>) -> Result<KindLatency, WireError> {
+    Ok(KindLatency {
+        kind: c.take_str("latency.kind")?,
+        latency: LatencySnapshot {
+            count: c.take_u64("latency.count")?,
+            p50_us: c.take_u64("latency.p50_us")?,
+            p99_us: c.take_u64("latency.p99_us")?,
+            max_us: c.take_u64("latency.max_us")?,
+            buckets: c.take_u64s("latency.buckets")?,
+        },
+    })
+}
+
+fn put_shard_status_v2(b: &mut FrameBuilder, s: &ShardStatus) -> Result<(), WireError> {
+    b.put_usize(s.index)?;
+    b.put_bool(s.alive);
+    b.put_bool(s.benched);
+    b.put_usize(s.forwarded)?;
+    b.put_usize(s.respawns)?;
+    b.put_usize(s.queue_depth)?;
+    b.put_usize(s.in_flight)?;
+    b.put_usize(s.in_flight_high_water)?;
+    b.put_usize(s.completed)?;
+    b.put_usize(s.busy_rejected)
+}
+
+fn take_shard_status_v2(c: &mut Cursor<'_>) -> Result<ShardStatus, WireError> {
+    Ok(ShardStatus {
+        index: c.take_usize("shard.index")?,
+        alive: c.take_bool("shard.alive")?,
+        benched: c.take_bool("shard.benched")?,
+        forwarded: c.take_usize("shard.forwarded")?,
+        respawns: c.take_usize("shard.respawns")?,
+        queue_depth: c.take_usize("shard.queue_depth")?,
+        in_flight: c.take_usize("shard.in_flight")?,
+        in_flight_high_water: c.take_usize("shard.in_flight_high_water")?,
+        completed: c.take_usize("shard.completed")?,
+        busy_rejected: c.take_usize("shard.busy_rejected")?,
+    })
+}
+
+fn put_metrics_v2(b: &mut FrameBuilder, report: &MetricsReport) -> Result<(), WireError> {
+    b.put_str(&report.role)?;
+    b.put_str(&report.simd_arch)?;
+    b.put_usize(report.queue_depth)?;
+    b.put_usize(report.queue_high_water)?;
+    b.put_usize(report.in_flight)?;
+    b.put_usize(report.in_flight_high_water)?;
+    b.put_usize(report.completed)?;
+    b.put_usize(report.busy_rejected)?;
+    b.put_usize(report.redispatched)?;
+    b.put_usize(report.respawns)?;
+    b.put_len(report.latency.len())?;
+    for k in &report.latency {
+        put_kind_latency_v2(b, k)?;
+    }
+    b.put_len(report.stage_latency.len())?;
+    for k in &report.stage_latency {
+        put_kind_latency_v2(b, k)?;
+    }
+    b.put_len(report.shards.len())?;
+    for s in &report.shards {
+        put_shard_status_v2(b, s)?;
+    }
+    Ok(())
+}
+
+fn take_metrics_v2(c: &mut Cursor<'_>) -> Result<MetricsReport, WireError> {
+    let role = c.take_str("metrics.role")?;
+    let simd_arch = c.take_str("metrics.simd_arch")?;
+    let queue_depth = c.take_usize("metrics.queue_depth")?;
+    let queue_high_water = c.take_usize("metrics.queue_high_water")?;
+    let in_flight = c.take_usize("metrics.in_flight")?;
+    let in_flight_high_water = c.take_usize("metrics.in_flight_high_water")?;
+    let completed = c.take_usize("metrics.completed")?;
+    let busy_rejected = c.take_usize("metrics.busy_rejected")?;
+    let redispatched = c.take_usize("metrics.redispatched")?;
+    let respawns = c.take_usize("metrics.respawns")?;
+    let mut latency = Vec::new();
+    for _ in 0..c.take_len()? {
+        latency.push(take_kind_latency_v2(c)?);
+    }
+    let mut stage_latency = Vec::new();
+    for _ in 0..c.take_len()? {
+        stage_latency.push(take_kind_latency_v2(c)?);
+    }
+    let mut shards = Vec::new();
+    for _ in 0..c.take_len()? {
+        shards.push(take_shard_status_v2(c)?);
+    }
+    Ok(MetricsReport {
+        role,
+        simd_arch,
+        queue_depth,
+        queue_high_water,
+        in_flight,
+        in_flight_high_water,
+        completed,
+        busy_rejected,
+        redispatched,
+        respawns,
+        latency,
+        stage_latency,
+        shards,
+    })
+}
+
+fn put_span_v2(b: &mut FrameBuilder, span: &SpanRecord) -> Result<(), WireError> {
+    b.put_u64(span.trace_id)?;
+    b.put_str(&span.stage)?;
+    b.put_u64(span.start_us)?;
+    b.put_u64(span.end_us)
+}
+
+fn take_span_v2(c: &mut Cursor<'_>) -> Result<SpanRecord, WireError> {
+    Ok(SpanRecord {
+        trace_id: c.take_u64("span.trace_id")?,
+        stage: c.take_str("span.stage")?,
+        start_us: c.take_u64("span.start_us")?,
+        end_us: c.take_u64("span.end_us")?,
+    })
+}
+
+fn put_trace_v2(b: &mut FrameBuilder, report: &TraceReport) -> Result<(), WireError> {
+    b.put_str(&report.role)?;
+    b.put_u64(report.dropped)?;
+    b.put_len(report.spans.len())?;
+    for span in &report.spans {
+        put_span_v2(b, span)?;
+    }
+    b.put_len(report.shards.len())?;
+    for shard in &report.shards {
+        b.put_usize(shard.index)?;
+        b.put_u64(shard.dropped)?;
+        b.put_len(shard.spans.len())?;
+        for span in &shard.spans {
+            put_span_v2(b, span)?;
+        }
+    }
+    Ok(())
+}
+
+fn take_trace_v2(c: &mut Cursor<'_>) -> Result<TraceReport, WireError> {
+    let role = c.take_str("trace.role")?;
+    let dropped = c.take_u64("trace.dropped")?;
+    let mut spans = Vec::new();
+    for _ in 0..c.take_len()? {
+        spans.push(take_span_v2(c)?);
+    }
+    let mut shards = Vec::new();
+    for _ in 0..c.take_len()? {
+        let index = c.take_usize("shard_trace.index")?;
+        let shard_dropped = c.take_u64("shard_trace.dropped")?;
+        let mut shard_spans = Vec::new();
+        for _ in 0..c.take_len()? {
+            shard_spans.push(take_span_v2(c)?);
+        }
+        shards.push(ShardTrace {
+            index,
+            dropped: shard_dropped,
+            spans: shard_spans,
+        });
+    }
+    Ok(TraceReport {
+        role,
+        dropped,
+        spans,
+        shards,
+    })
+}
+
+/// Encodes a request as one complete v2 frame (header included).
+pub fn encode_request_v2(request: &Request) -> Result<Vec<u8>, WireError> {
+    encode_request_parts_v2(request.id, &request.body, request.trace)
+}
+
+/// Encodes a v2 request frame from parts without cloning the body — the
+/// binary twin of [`encode_request_parts`].
+pub fn encode_request_parts_v2(
+    id: u64,
+    body: &RequestBody,
+    trace: Option<u64>,
+) -> Result<Vec<u8>, WireError> {
+    let mut b = FrameBuilder::new(request_opcode(body));
+    b.put_u64(id)?;
+    b.put_opt_u64(trace)?;
+    match body {
+        RequestBody::Ping | RequestBody::Metrics | RequestBody::Trace | RequestBody::Shutdown => {}
+        RequestBody::Hello { version } => b.put_u32(*version),
+        RequestBody::Restart { shard } => b.put_opt_usize(*shard)?,
+        RequestBody::Optimize { job, clip } => {
+            put_job_v2(&mut b, job)?;
+            put_clip_v2(&mut b, clip)?;
+        }
+        RequestBody::Evaluate {
+            litho,
+            layer,
+            bias,
+            clip,
+        } => {
+            put_litho_v2(&mut b, litho);
+            b.put_u8(layer_to_byte(*layer));
+            b.put_i64(*bias);
+            put_clip_v2(&mut b, clip)?;
+        }
+        RequestBody::Sweep { job, cases } => {
+            put_job_v2(&mut b, job)?;
+            b.put_len(cases.len())?;
+            for (name, clip) in cases {
+                b.put_str(name)?;
+                put_clip_v2(&mut b, clip)?;
+            }
+        }
+        RequestBody::OptimizeBatch { job, clips } => {
+            put_job_v2(&mut b, job)?;
+            b.put_len(clips.len())?;
+            for clip in clips {
+                put_clip_v2(&mut b, clip)?;
+            }
+        }
+        RequestBody::Layout {
+            litho,
+            params,
+            seed,
+            tile_nm,
+        } => {
+            put_litho_v2(&mut b, litho);
+            put_params_v2(&mut b, params);
+            b.put_u64(*seed)?;
+            b.put_i64(*tile_nm);
+        }
+    }
+    b.finish()
+}
+
+/// Decodes one v2 request payload. Applies exactly the validations the v1
+/// decoder applies, so negotiated version never changes what a server
+/// accepts.
+pub fn decode_request_v2(opcode: u8, payload: &[u8]) -> Result<Request, WireError> {
+    let op = Opcode::from_u8(opcode)
+        .ok_or_else(|| WireError::Schema(format!("unknown opcode 0x{opcode:02x}")))?;
+    if !op.is_request() {
+        return Err(WireError::Schema(format!(
+            "opcode '{}' is not a request",
+            op.opcode_name()
+        )));
+    }
+    let mut c = Cursor::new(payload);
+    let id = c.take_u64("request.id")?;
+    let trace = c.take_opt_u64("request.trace_id")?;
+    let body = match op {
+        Opcode::Ping => RequestBody::Ping,
+        Opcode::Metrics => RequestBody::Metrics,
+        Opcode::Trace => RequestBody::Trace,
+        Opcode::Shutdown => RequestBody::Shutdown,
+        Opcode::Hello => RequestBody::Hello {
+            version: c.take_u32()?,
+        },
+        Opcode::Restart => RequestBody::Restart {
+            shard: c.take_opt_usize("restart.shard")?,
+        },
+        Opcode::Optimize => RequestBody::Optimize {
+            job: take_job_v2(&mut c)?,
+            clip: take_clip_v2(&mut c)?,
+        },
+        Opcode::Evaluate => {
+            let litho = take_litho_v2(&mut c)?;
+            let layer = layer_from_byte(c.take_u8()?)?;
+            let bias = c.take_i64()?;
+            // Range check, not `abs()`: `i64::MIN.abs()` overflows.
+            if !(-20..=20).contains(&bias) {
+                return Err(WireError::Schema(
+                    "evaluate.bias exceeds the mask offset clamp (|bias| <= 20)".into(),
+                ));
+            }
+            RequestBody::Evaluate {
+                litho,
+                layer,
+                bias,
+                clip: take_clip_v2(&mut c)?,
+            }
+        }
+        Opcode::Sweep => {
+            let job = take_job_v2(&mut c)?;
+            let count = c.take_len()?;
+            let mut cases = Vec::new();
+            for _ in 0..count {
+                let name = c.take_str("case.name")?;
+                cases.push((name, take_clip_v2(&mut c)?));
+            }
+            if cases.is_empty() {
+                return Err(WireError::Schema("sweep with no cases".into()));
+            }
+            RequestBody::Sweep { job, cases }
+        }
+        Opcode::OptimizeBatch => {
+            let job = take_job_v2(&mut c)?;
+            let count = c.take_len()?;
+            let mut clips = Vec::new();
+            for _ in 0..count {
+                clips.push(take_clip_v2(&mut c)?);
+            }
+            if clips.is_empty() {
+                return Err(WireError::Schema("optimize_batch with no clips".into()));
+            }
+            RequestBody::OptimizeBatch { job, clips }
+        }
+        Opcode::Layout => {
+            let litho = take_litho_v2(&mut c)?;
+            let params = take_params_v2(&mut c)?;
+            let seed = c.take_u64("layout.seed")?;
+            let tile_nm = c.take_i64()?;
+            if tile_nm <= 0 {
+                return Err(WireError::Schema("tile_nm must be positive".into()));
+            }
+            RequestBody::Layout {
+                litho,
+                params,
+                seed,
+                tile_nm,
+            }
+        }
+        _ => unreachable!("response opcodes rejected above"),
+    };
+    c.finish()?;
+    Ok(Request { id, body, trace })
+}
+
+/// Encodes a response as one complete v2 frame (header included).
+pub fn encode_response_v2(response: &Response) -> Result<Vec<u8>, WireError> {
+    let mut b = FrameBuilder::new(response_opcode(&response.body));
+    b.put_u64(response.id)?;
+    match &response.body {
+        ResponseBody::Pong | ResponseBody::ShuttingDown => {}
+        ResponseBody::HelloAck { version } => b.put_u32(*version),
+        ResponseBody::Outcome(outcome) => put_outcome_v2(&mut b, outcome)?,
+        ResponseBody::CaseOutcome {
+            index,
+            total,
+            name,
+            outcome,
+        } => {
+            b.put_usize(*index)?;
+            b.put_usize(*total)?;
+            b.put_str(name)?;
+            put_outcome_v2(&mut b, outcome)?;
+        }
+        ResponseBody::Evaluation {
+            epe_per_point,
+            pv_band,
+        } => {
+            b.put_f64s(epe_per_point)?;
+            b.put_f64(*pv_band);
+        }
+        ResponseBody::LayoutReport {
+            tiles,
+            epe_per_point,
+            pv_band,
+        } => {
+            b.put_usize(*tiles)?;
+            b.put_f64s(epe_per_point)?;
+            b.put_f64(*pv_band);
+        }
+        ResponseBody::Metrics(report) => put_metrics_v2(&mut b, report)?,
+        ResponseBody::Trace(report) => put_trace_v2(&mut b, report)?,
+        ResponseBody::Restarted { shards } => {
+            b.put_len(shards.len())?;
+            for &s in shards {
+                b.put_usize(s)?;
+            }
+        }
+        ResponseBody::Busy { retry_after_ms } => b.put_u64(*retry_after_ms)?,
+        ResponseBody::Error { code, message } => {
+            b.put_u8(match code {
+                ErrorCode::BadRequest => 0,
+                ErrorCode::Overloaded => 1,
+                ErrorCode::Internal => 2,
+            });
+            b.put_str(message)?;
+        }
+    }
+    b.finish()
+}
+
+/// Decodes one v2 response payload. Never panics on hostile input.
+pub fn decode_response_v2(opcode: u8, payload: &[u8]) -> Result<Response, WireError> {
+    let op = Opcode::from_u8(opcode)
+        .ok_or_else(|| WireError::Schema(format!("unknown opcode 0x{opcode:02x}")))?;
+    if op.is_request() {
+        return Err(WireError::Schema(format!(
+            "opcode '{}' is not a response",
+            op.opcode_name()
+        )));
+    }
+    let mut c = Cursor::new(payload);
+    let id = c.take_u64("response.id")?;
+    let body = match op {
+        Opcode::Pong => ResponseBody::Pong,
+        Opcode::ShuttingDown => ResponseBody::ShuttingDown,
+        Opcode::HelloAck => ResponseBody::HelloAck {
+            version: c.take_u32()?,
+        },
+        Opcode::Outcome => ResponseBody::Outcome(take_outcome_v2(&mut c)?),
+        Opcode::Case => ResponseBody::CaseOutcome {
+            index: c.take_usize("case.index")?,
+            total: c.take_usize("case.total")?,
+            name: c.take_str("case.name")?,
+            outcome: take_outcome_v2(&mut c)?,
+        },
+        Opcode::Evaluation => ResponseBody::Evaluation {
+            epe_per_point: c.take_f64s()?,
+            pv_band: c.take_f64()?,
+        },
+        Opcode::LayoutReport => ResponseBody::LayoutReport {
+            tiles: c.take_usize("layout.tiles")?,
+            epe_per_point: c.take_f64s()?,
+            pv_band: c.take_f64()?,
+        },
+        Opcode::MetricsReport => ResponseBody::Metrics(take_metrics_v2(&mut c)?),
+        Opcode::TraceReport => ResponseBody::Trace(take_trace_v2(&mut c)?),
+        Opcode::Restarted => {
+            let count = c.take_len()?;
+            let mut shards = Vec::new();
+            for _ in 0..count {
+                shards.push(c.take_usize("restarted.shards[..]")?);
+            }
+            ResponseBody::Restarted { shards }
+        }
+        Opcode::Busy => ResponseBody::Busy {
+            retry_after_ms: c.take_u64("busy.retry_after_ms")?,
+        },
+        Opcode::Error => {
+            let code = match c.take_u8()? {
+                0 => ErrorCode::BadRequest,
+                1 => ErrorCode::Overloaded,
+                2 => ErrorCode::Internal,
+                other => {
+                    return Err(WireError::Schema(format!(
+                        "unknown error code byte {other}"
+                    )))
+                }
+            };
+            ResponseBody::Error {
+                code,
+                message: c.take_str("error.message")?,
+            }
+        }
+        _ => unreachable!("request opcodes rejected above"),
+    };
+    c.finish()?;
+    Ok(Response { id, body })
+}
+
+/// One binary (v2) frame read from a connection.
+#[derive(Debug)]
+pub enum FrameV2 {
+    /// A complete frame within the size bound.
+    Frame {
+        /// The opcode byte (possibly unknown; the decoders type that).
+        opcode: u8,
+        /// Payload bytes — little-endian fields, header excluded.
+        payload: Vec<u8>,
+    },
+    /// A frame whose declared payload length exceeds [`MAX_FRAME_V2`].
+    /// Unlike an oversized v1 line there is no newline to resync on, so
+    /// the connection cannot be re-framed and must be closed.
+    Oversized {
+        /// The declared payload length.
+        len: usize,
+    },
+}
+
+/// Reads one length-prefixed v2 frame without ever buffering more than
+/// [`MAX_FRAME_V2`] payload bytes. Returns `Ok(None)` at EOF; a partial
+/// frame at EOF is dropped (the peer died mid-frame), exactly like a
+/// partial v1 line.
+pub fn read_frame_v2(reader: &mut impl std::io::Read) -> std::io::Result<Option<FrameV2>> {
+    let mut header = [0u8; 5];
+    if !read_full(reader, &mut header)? {
+        return Ok(None);
+    }
+    let len = le4(&header[..4]) as usize;
+    let opcode = header[4];
+    if len > MAX_FRAME_V2 {
+        return Ok(Some(FrameV2::Oversized { len }));
+    }
+    let mut payload = vec![0u8; len];
+    if !read_full(reader, &mut payload)? {
+        return Ok(None);
+    }
+    Ok(Some(FrameV2::Frame { opcode, payload }))
+}
+
+fn read_full(reader: &mut impl std::io::Read, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -2233,5 +3518,278 @@ mod tests {
     fn depth_limit_is_enforced() {
         let deep = format!("{}1{}", "[".repeat(64), "]".repeat(64));
         assert_eq!(parse_value(&deep).unwrap_err(), WireError::TooDeep);
+    }
+
+    fn v2_round_trip_request(request: &Request) {
+        let frame = encode_request_v2(request).unwrap();
+        assert_eq!(le4(&frame[..4]) as usize, frame.len() - 5);
+        let decoded = decode_request_v2(frame[4], &frame[5..]).unwrap();
+        assert_eq!(&decoded, request);
+    }
+
+    fn v2_round_trip_response(response: &Response) {
+        let frame = encode_response_v2(response).unwrap();
+        assert_eq!(le4(&frame[..4]) as usize, frame.len() - 5);
+        let decoded = decode_response_v2(frame[4], &frame[5..]).unwrap();
+        assert_eq!(&decoded, response);
+    }
+
+    #[test]
+    fn v2_requests_round_trip() {
+        let bodies = vec![
+            RequestBody::Ping,
+            RequestBody::Metrics,
+            RequestBody::Trace,
+            RequestBody::Shutdown,
+            RequestBody::Hello { version: 2 },
+            RequestBody::Restart { shard: None },
+            RequestBody::Restart { shard: Some(1) },
+            RequestBody::Optimize {
+                job: JobSpec::fast_calibre_via(),
+                clip: via_clip(),
+            },
+            RequestBody::Evaluate {
+                litho: LithoSpec::paper(),
+                layer: Layer::Metal,
+                bias: -3,
+                clip: via_clip(),
+            },
+            RequestBody::Sweep {
+                job: JobSpec {
+                    engine: EngineKind::Camo { seed: 7 },
+                    max_steps: Some(2),
+                    ..JobSpec::fast_calibre_via()
+                },
+                cases: vec![("a".into(), via_clip()), ("b".into(), via_clip())],
+            },
+            RequestBody::OptimizeBatch {
+                job: JobSpec::fast_calibre_via(),
+                clips: vec![via_clip(), via_clip()],
+            },
+            RequestBody::Layout {
+                litho: LithoSpec::fast(),
+                params: LayoutParams::smoke(),
+                seed: 99,
+                tile_nm: 1500,
+            },
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            v2_round_trip_request(&Request {
+                id: i as u64,
+                body: body.clone(),
+                trace: None,
+            });
+            v2_round_trip_request(&Request {
+                id: i as u64,
+                body,
+                trace: Some(0xCAFE),
+            });
+        }
+    }
+
+    #[test]
+    fn v2_responses_round_trip_bit_exactly() {
+        let outcome = WireOutcome {
+            offsets: vec![3, -2, 0, 20],
+            epe_per_point: vec![1.25, -0.1, 40.0, f64::MIN_POSITIVE, -1.0e-300],
+            pv_band: 5431.0625,
+            steps: 7,
+        };
+        let bodies = vec![
+            ResponseBody::Pong,
+            ResponseBody::ShuttingDown,
+            ResponseBody::HelloAck { version: 2 },
+            ResponseBody::Outcome(outcome.clone()),
+            ResponseBody::CaseOutcome {
+                index: 1,
+                total: 3,
+                name: "V2".into(),
+                outcome: outcome.clone(),
+            },
+            ResponseBody::Evaluation {
+                epe_per_point: vec![0.1 + 0.2, 1.0 / 3.0, -0.0],
+                pv_band: 0.1,
+            },
+            ResponseBody::LayoutReport {
+                tiles: 9,
+                epe_per_point: vec![-0.0, 2.5e-17],
+                pv_band: 1e9 + 0.25,
+            },
+            ResponseBody::Restarted { shards: vec![0, 1] },
+            ResponseBody::Busy { retry_after_ms: 50 },
+            ResponseBody::Error {
+                code: ErrorCode::BadRequest,
+                message: "tab\t\"quote\"\nnewline".into(),
+            },
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let response = Response { id: i as u64, body };
+            v2_round_trip_response(&response);
+            let frame = encode_response_v2(&response).unwrap();
+            let decoded = decode_response_v2(frame[4], &frame[5..]).unwrap();
+            // PartialEq on f64 is not bit-exactness (-0.0 == 0.0); the
+            // canonical v2 bytes are, so re-encoding must reproduce them.
+            assert_eq!(encode_response_v2(&decoded).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn v2_round_trips_every_f64_bit_pattern() {
+        // The one deliberate v1/v2 difference: v1 cannot encode non-finite
+        // floats (typed Unencodable), v2 carries raw bit images.
+        let patterns = [
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7FF0_0000_0000_0001), // signalling-NaN payload
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+        ];
+        let response = Response {
+            id: 1,
+            body: ResponseBody::Evaluation {
+                epe_per_point: patterns.to_vec(),
+                pv_band: f64::from_bits(0xFFF8_DEAD_BEEF_0001),
+            },
+        };
+        let frame = encode_response_v2(&response).unwrap();
+        let decoded = decode_response_v2(frame[4], &frame[5..]).unwrap();
+        let ResponseBody::Evaluation {
+            epe_per_point,
+            pv_band,
+        } = decoded.body
+        else {
+            panic!("wrong kind");
+        };
+        for (a, b) in patterns.iter().zip(&epe_per_point) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(pv_band.to_bits(), 0xFFF8_DEAD_BEEF_0001);
+        // v1 refuses the same payload with a typed error, never a panic.
+        assert_eq!(
+            encode_response(&response).unwrap_err(),
+            WireError::Unencodable("non-finite float")
+        );
+    }
+
+    #[test]
+    fn v2_truncations_and_mutations_are_typed_errors() {
+        let request = Request {
+            id: 3,
+            body: RequestBody::Optimize {
+                job: JobSpec::fast_calibre_via(),
+                clip: via_clip(),
+            },
+            trace: Some(9),
+        };
+        let frame = encode_request_v2(&request).unwrap();
+        for cut in 0..frame.len().saturating_sub(5) {
+            // Decoding any payload prefix must fail cleanly, never panic.
+            let _ = decode_request_v2(frame[4], &frame[5..5 + cut]);
+        }
+        assert_eq!(
+            decode_request_v2(frame[4], &frame[5..frame.len() - 1]).unwrap_err(),
+            WireError::Truncated
+        );
+        // Trailing bytes are rejected like v1 trailing characters.
+        let mut padded = frame[5..].to_vec();
+        padded.push(0);
+        assert!(matches!(
+            decode_request_v2(frame[4], &padded).unwrap_err(),
+            WireError::Schema(_)
+        ));
+        // Unknown opcodes are schema errors, and response opcodes are not
+        // requests.
+        assert!(matches!(
+            decode_request_v2(0x7F, &frame[5..]).unwrap_err(),
+            WireError::Schema(_)
+        ));
+        assert!(matches!(
+            decode_request_v2(Opcode::Pong as u8, &frame[5..]).unwrap_err(),
+            WireError::Schema(_)
+        ));
+    }
+
+    #[test]
+    fn v2_read_frame_bounds_hostile_streams() {
+        use std::io::BufReader;
+        // A well-formed ping after a declared-oversized frame: the reader
+        // surfaces Oversized without buffering the claimed payload.
+        let ping = encode_request_parts_v2(1, &RequestBody::Ping, None).unwrap();
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&(u32::MAX).to_le_bytes());
+        hostile.push(Opcode::Ping as u8);
+        let mut reader = BufReader::new(&hostile[..]);
+        assert!(matches!(
+            read_frame_v2(&mut reader).unwrap(),
+            Some(FrameV2::Oversized { len }) if len > MAX_FRAME_V2
+        ));
+
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&ping);
+        stream.extend_from_slice(&ping[..7]); // partial frame at EOF
+        let mut reader = BufReader::new(&stream[..]);
+        let Some(FrameV2::Frame { opcode, payload }) = read_frame_v2(&mut reader).unwrap() else {
+            panic!("expected a frame");
+        };
+        assert_eq!(
+            decode_request_v2(opcode, &payload).unwrap().body,
+            RequestBody::Ping
+        );
+        assert!(read_frame_v2(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn v2_u64_beyond_i64_matches_v1_strictness() {
+        let over = (i64::MAX as u64) + 1;
+        let request = Request {
+            id: over,
+            body: RequestBody::Ping,
+            trace: None,
+        };
+        assert_eq!(
+            encode_request_v2(&request).unwrap_err(),
+            WireError::Unencodable("u64 exceeds i64 on the wire")
+        );
+        // A hostile frame carrying such a value is a schema error on
+        // decode, exactly like v1's integer grammar makes it unparsable.
+        let mut frame = encode_request_parts_v2(1, &RequestBody::Ping, None).unwrap();
+        frame[5..13].copy_from_slice(&over.to_le_bytes());
+        assert!(matches!(
+            decode_request_v2(frame[4], &frame[5..]).unwrap_err(),
+            WireError::Schema(_)
+        ));
+    }
+
+    #[test]
+    fn hello_and_optimize_batch_round_trip_in_v1_too() {
+        let bodies = vec![
+            RequestBody::Hello { version: 2 },
+            RequestBody::OptimizeBatch {
+                job: JobSpec::fast_calibre_via(),
+                clips: vec![via_clip()],
+            },
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let request = Request {
+                id: i as u64 + 1,
+                body,
+                trace: None,
+            };
+            let frame = encode_request(&request).unwrap();
+            assert_eq!(decode_request(&frame).unwrap(), request, "frame: {frame}");
+        }
+        let ack = Response {
+            id: 1,
+            body: ResponseBody::HelloAck { version: 2 },
+        };
+        let frame = encode_response(&ack).unwrap();
+        assert_eq!(decode_response(&frame).unwrap(), ack);
+        assert!(matches!(
+            decode_request(r#"{"id":1,"type":"optimize_batch","job":{"litho":{"preset":"fast"},"layer":"via","engine":"calibre"},"clips":[]}"#)
+                .unwrap_err(),
+            WireError::Schema(_)
+        ));
     }
 }

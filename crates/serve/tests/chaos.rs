@@ -27,7 +27,8 @@ use camo_serve::router::{route_spawned, RouterConfig};
 use camo_serve::shard::{ShardSet, ShardSpec};
 use camo_serve::supervise::RespawnPolicy;
 use camo_serve::wire::{
-    EngineKind, JobSpec, Layer, LithoSpec, RequestBody, ResponseBody, WireOutcome,
+    EngineKind, JobSpec, Layer, LithoSpec, RequestBody, Response, ResponseBody, WireOutcome,
+    WireVersion,
 };
 use camo_serve::MetricsReport;
 use camo_workloads::{multi_config_stream, RequestStreamParams, ServeCase, TaggedCase};
@@ -316,6 +317,132 @@ fn chaos_soak_kills_random_shards_and_stays_bit_identical() {
     assert!(
         stats.redispatched > 0,
         "kills mid-stream must have forced redispatches: {stats:?}"
+    );
+    let leaks = leaked_children();
+    assert!(leaks.is_empty(), "leaked shard processes: {leaks:?}");
+}
+
+/// The v2 variant of the headline soak: a **pipelined** v2 connection
+/// keeps a whole cycle's requests in flight at once (written without
+/// flushing, then flushed together) while a shard is killed mid-stream.
+/// Redispatch dedup must hold per in-flight request — every request
+/// completes exactly once, bit-identical, and no stray duplicate response
+/// trails the stream.
+#[test]
+fn pipelined_v2_soak_survives_kills_without_duplicates() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let cycles = chaos_cycles().min(6);
+    let shards = 3usize;
+    let per_cycle = 6usize;
+    let handle = route_spawned(chaos_config(), spawn_shards(shards)).expect("start router");
+    let mut client = Client::connect_with(handle.addr(), WireVersion::V2).expect("connect with v2");
+    assert_eq!(
+        client.wire(),
+        WireVersion::V2,
+        "the router must negotiate v2 on its client front"
+    );
+    let contexts = ContextCache::new(4);
+
+    let stream = multi_config_stream(
+        &RequestStreamParams::smoke(),
+        &[8, 9, 11],
+        4046,
+        cycles * per_cycle,
+    );
+
+    for cycle in 0..cycles {
+        let batch = &stream[cycle * per_cycle..(cycle + 1) * per_cycle];
+        // Pipeline the whole batch: every request is written (unflushed)
+        // before any response is read, so the kill below lands with
+        // multiple requests in flight on this one connection.
+        let mut ids: Vec<u64> = Vec::new();
+        for tagged in &batch[..per_cycle / 2] {
+            ids.push(
+                client
+                    .send_pipelined(case_body(&tagged.case, &job_for(tagged.pixel_size)))
+                    .expect("pipeline"),
+            );
+        }
+        client.flush().expect("flush first half");
+        // Kill the shard the batch's head request routes to: a random
+        // victim can land on a shard the stream never touches (consistent
+        // routing concentrates configs), which would kill nothing
+        // in-flight and never exercise redispatch.
+        let victim = camo_serve::shard_preference(
+            job_for(batch[0].pixel_size).litho.to_config().fingerprint(),
+            shards,
+        )[0];
+        handle.kill_shard(victim).expect("kill victim shard");
+        for tagged in &batch[per_cycle / 2..] {
+            ids.push(
+                client
+                    .send_pipelined(case_body(&tagged.case, &job_for(tagged.pixel_size)))
+                    .expect("pipeline"),
+            );
+        }
+        client.flush().expect("flush second half");
+
+        let mut router = ResponseRouter::new();
+        let mut results: BTreeMap<u64, Completed> = BTreeMap::new();
+        while results.len() < ids.len() {
+            let response = client
+                .recv()
+                .expect("recv")
+                .expect("eof with requests outstanding");
+            assert_ne!(response.id, 0, "unattributable failure from the tier");
+            if let Some(id) = router.accept(response).expect("correlate") {
+                let previous = results.insert(id, router.take(id).expect("just completed"));
+                assert!(
+                    previous.is_none(),
+                    "cycle {cycle}: request {id} completed twice (redispatch dedup broke)"
+                );
+            }
+        }
+        for (tagged, id) in batch.iter().zip(&ids) {
+            assert_bit_identical(
+                tagged,
+                &results[id],
+                &contexts,
+                &format!("pipelined cycle {cycle}, request {id}"),
+            );
+        }
+
+        // Dedup epilogue: a ping is answered inline and thus trails any
+        // stray duplicate of this cycle's responses still in the pipe. The
+        // pong arriving first proves the stream is exactly-once.
+        let ping_id = client.send(RequestBody::Ping).expect("send ping");
+        match client.recv().expect("recv").expect("eof awaiting pong") {
+            Response {
+                id,
+                body: ResponseBody::Pong,
+            } if id == ping_id => {}
+            stray => panic!("cycle {cycle}: duplicate response trailed the stream: {stray:?}"),
+        }
+
+        // Wait for the victim to come back before the next cycle.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let report = fetch_metrics(&mut client);
+            if report.shards.iter().all(|s| s.alive) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "cycle {cycle}: shard {victim} did not respawn: {report:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    let report = fetch_metrics(&mut client);
+    assert!(
+        report.shards.iter().all(|s| s.alive && !s.benched),
+        "every shard ends alive and unbenched: {report:?}"
+    );
+    let stats = handle.shutdown();
+    assert!(
+        stats.redispatched > 0,
+        "kills under a pipelined stream must have forced redispatches: {stats:?}"
     );
     let leaks = leaked_children();
     assert!(leaks.is_empty(), "leaked shard processes: {leaks:?}");

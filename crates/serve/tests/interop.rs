@@ -1,0 +1,207 @@
+//! Wire-version interoperability matrix: {v1 client, v2 client} ×
+//! {v1-only server, v2 server, routed 2-shard tier} must all serve
+//! **bit-identical** results (`f64::to_bits` against a direct offline run),
+//! the v2 client must fall back cleanly when the handshake is refused, and
+//! the `optimize_batch` request must match per-clip offline outcomes in
+//! both wire versions.
+
+use camo_geometry::{Clip, Rect};
+use camo_litho::LithoSimulator;
+use camo_serve::client::{collect_responses, Client, Completed};
+use camo_serve::exec::run_optimize;
+use camo_serve::router::{route_spawned, RouterConfig};
+use camo_serve::server::{serve, ServerConfig};
+use camo_serve::shard::{ShardSet, ShardSpec};
+use camo_serve::wire::{
+    EngineKind, JobSpec, Layer, LithoSpec, RequestBody, ResponseBody, WireOutcome, WireVersion,
+};
+use std::net::SocketAddr;
+
+fn test_clip(offset: i64) -> Clip {
+    let mut clip = Clip::with_name(Rect::new(0, 0, 900, 900), format!("I{offset}"));
+    let x = 340 + offset * 25;
+    clip.add_target(Rect::new(x, 395, x + 70, 465).to_polygon());
+    clip
+}
+
+fn job(max_steps: usize) -> JobSpec {
+    JobSpec {
+        litho: LithoSpec::fast(),
+        layer: Layer::Via,
+        engine: EngineKind::Calibre,
+        max_steps: Some(max_steps),
+    }
+}
+
+fn spawn_shards(count: usize) -> ShardSet {
+    let mut spec = ShardSpec::new(env!("CARGO_BIN_EXE_serve"));
+    spec.args = vec!["--threads".into(), "1".into()];
+    ShardSet::spawn(&spec, count).expect("spawn shard processes")
+}
+
+fn assert_outcome_matches(wire: &WireOutcome, offline: &camo_baselines::OpcOutcome, what: &str) {
+    assert_eq!(wire.offsets, offline.mask.offsets(), "{what}: offsets");
+    assert_eq!(wire.steps, offline.steps, "{what}: steps");
+    assert_eq!(
+        wire.epe_per_point.len(),
+        offline.result.epe.per_point.len(),
+        "{what}: epe arity"
+    );
+    for (i, (a, b)) in wire
+        .epe_per_point
+        .iter()
+        .zip(&offline.result.epe.per_point)
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: epe[{i}] bits");
+    }
+    assert_eq!(
+        wire.pv_band.to_bits(),
+        offline.result.pv_band.to_bits(),
+        "{what}: pv band bits"
+    );
+}
+
+/// Offline truth for the matrix: the same specs run directly.
+fn offline_outcomes(job: &JobSpec, clips: &[Clip]) -> Vec<camo_baselines::OpcOutcome> {
+    let sim = LithoSimulator::new(job.litho.to_config());
+    run_optimize(job, clips, &sim, 1)
+}
+
+/// Drives one cell of the matrix: connects with `wire`, checks what was
+/// actually negotiated, sends per-clip `optimize` requests plus one
+/// `optimize_batch`, and diffs everything against the offline run.
+fn exercise(addr: SocketAddr, wire: WireVersion, negotiated: WireVersion, what: &str) {
+    let mut client = Client::connect_with(addr, wire).expect("connect");
+    assert_eq!(client.wire(), negotiated, "{what}: negotiated wire version");
+
+    let job = job(3);
+    let clips: Vec<Clip> = (0..3).map(test_clip).collect();
+    let offline = offline_outcomes(&job, &clips);
+
+    let mut ids = Vec::new();
+    for clip in &clips {
+        ids.push(
+            client
+                .send(RequestBody::Optimize {
+                    job: job.clone(),
+                    clip: clip.clone(),
+                })
+                .unwrap(),
+        );
+    }
+    let batch_id = client
+        .send(RequestBody::OptimizeBatch {
+            job: job.clone(),
+            clips: clips.clone(),
+        })
+        .unwrap();
+
+    let mut all_ids = ids.clone();
+    all_ids.push(batch_id);
+    let mut results = collect_responses(&mut client, &all_ids).expect("responses");
+
+    for (i, id) in ids.iter().enumerate() {
+        match results.remove(id).expect("optimize result") {
+            Completed::Single(ResponseBody::Outcome(wire)) => {
+                assert_outcome_matches(&wire, &offline[i], &format!("{what}: optimize {i}"));
+            }
+            other => panic!("{what}: unexpected optimize completion: {other:?}"),
+        }
+    }
+
+    match results.remove(&batch_id).expect("batch result") {
+        Completed::Sweep(cases) => {
+            assert_eq!(cases.len(), clips.len(), "{what}: batch case count");
+            for (i, case) in cases.iter().enumerate() {
+                match case {
+                    ResponseBody::CaseOutcome {
+                        index,
+                        total,
+                        name,
+                        outcome,
+                    } => {
+                        assert_eq!(*index, i, "{what}: batch case index");
+                        assert_eq!(*total, clips.len(), "{what}: batch case total");
+                        assert_eq!(name, clips[i].name(), "{what}: batch case name");
+                        assert_outcome_matches(
+                            outcome,
+                            &offline[i],
+                            &format!("{what}: batch case {i}"),
+                        );
+                    }
+                    other => panic!("{what}: unexpected batch case: {other:?}"),
+                }
+            }
+        }
+        other => panic!("{what}: unexpected batch completion: {other:?}"),
+    }
+}
+
+/// The full interop matrix against in-process servers: a v1-pinned server
+/// refuses the handshake (v2 clients fall back to v1 silently), a v2
+/// server upgrades v2 clients while still serving v1 ones, and every cell
+/// is bit-identical to offline.
+#[test]
+fn client_server_matrix_is_bit_identical() {
+    for server_wire in [WireVersion::V1, WireVersion::V2] {
+        let handle = serve(ServerConfig {
+            threads: 1,
+            wire: server_wire,
+            ..ServerConfig::default()
+        })
+        .expect("bind");
+        for client_wire in [WireVersion::V1, WireVersion::V2] {
+            // A v2 client only ends up on v2 when the server negotiates it.
+            let negotiated = if client_wire == WireVersion::V2 && server_wire == WireVersion::V2 {
+                WireVersion::V2
+            } else {
+                WireVersion::V1
+            };
+            exercise(
+                handle.addr(),
+                client_wire,
+                negotiated,
+                &format!("client {client_wire:?} vs server {server_wire:?}"),
+            );
+        }
+        handle.shutdown();
+    }
+}
+
+/// Both client wire versions against a routed 2-shard tier (whose shard
+/// channels negotiate v2 independently of the clients) stay bit-identical
+/// to offline.
+#[test]
+fn routed_tier_matrix_is_bit_identical() {
+    let handle = route_spawned(RouterConfig::default(), spawn_shards(2)).expect("start router");
+    for client_wire in [WireVersion::V1, WireVersion::V2] {
+        exercise(
+            handle.addr(),
+            client_wire,
+            client_wire,
+            &format!("client {client_wire:?} vs routed tier"),
+        );
+    }
+    handle.shutdown();
+}
+
+/// A router pinned to v1 on both planes still serves v2-requesting clients
+/// (they fall back) bit-identically — the "every current client keeps
+/// working" guarantee in reverse.
+#[test]
+fn v1_pinned_router_refuses_handshake_and_still_serves() {
+    let config = RouterConfig {
+        wire: WireVersion::V1,
+        shard_wire: WireVersion::V1,
+        ..RouterConfig::default()
+    };
+    let handle = route_spawned(config, spawn_shards(2)).expect("start router");
+    exercise(
+        handle.addr(),
+        WireVersion::V2,
+        WireVersion::V1,
+        "client v2 vs v1-pinned router",
+    );
+    handle.shutdown();
+}
